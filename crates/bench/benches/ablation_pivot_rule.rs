@@ -1,0 +1,45 @@
+//! Criterion bench (ablation): simplex pivot rules on the paper's mechanism-design
+//! LPs.  The design LPs are heavily degenerate, so the entering-column rule matters:
+//! Dantzig is fastest per pivot but risks stalling, Bland is safe but slow, and the
+//! hybrid default (Dantzig with a Bland fallback) is what the library ships.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cpm_core::prelude::*;
+use cpm_simplex::{PivotRule, SolveOptions};
+
+fn bench_pivot_rules(c: &mut Criterion) {
+    let alpha = Alpha::new(0.9).unwrap();
+    let n = 8;
+    let properties = PropertySet::empty()
+        .with(Property::WeakHonesty)
+        .with(Property::RowMonotonicity)
+        .with(Property::ColumnMonotonicity);
+    let problem = DesignProblem::constrained(n, alpha, Objective::l0(), properties);
+
+    let mut group = c.benchmark_group("pivot_rule_ablation");
+    group.sample_size(10);
+    for (label, rule) in [
+        ("dantzig", PivotRule::Dantzig),
+        ("bland", PivotRule::Bland),
+        (
+            "hybrid_default",
+            PivotRule::Hybrid {
+                degenerate_threshold: 64,
+            },
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::new("wm_lp_n8", label), &rule, |b, &rule| {
+            let options = SolveOptions {
+                pivot_rule: rule,
+                max_iterations: 2_000_000,
+                ..SolveOptions::default()
+            };
+            b.iter(|| problem.solve_with(&options).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pivot_rules);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench: end-to-end experiment pipelines (reduced-scale versions of the
+//! paper's Figure 9 score sweep and Figure 10 Adult experiment).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cpm_core::Alpha;
+use cpm_eval::prelude::{adult_experiment, score_sweeps};
+
+fn bench_score_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.bench_function("fig9_panel_small", |b| {
+        let alpha = Alpha::new(10.0 / 11.0).unwrap();
+        b.iter(|| score_sweeps::l0_versus_group_size(alpha, &[2, 4, 6, 8]).unwrap())
+    });
+    group.bench_function("fig10_adult_quick", |b| {
+        let config = adult_experiment::AdultExperimentConfig::quick();
+        b.iter(|| adult_experiment::run(&config).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_score_sweep);
+criterion_main!(benches);

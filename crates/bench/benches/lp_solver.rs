@@ -1,0 +1,49 @@
+//! Criterion bench: building and solving the constrained mechanism-design LPs.
+//!
+//! The paper reports that solving its LPs is "negligible (sub-second)"; this bench
+//! verifies the same holds for this reproduction across group sizes and property
+//! sets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cpm_core::prelude::*;
+
+fn bench_lp_solve(c: &mut Criterion) {
+    let alpha = Alpha::new(0.9).unwrap();
+    let mut group = c.benchmark_group("lp_solve");
+    group.sample_size(10);
+    for &n in &[4usize, 8, 12] {
+        group.bench_with_input(BenchmarkId::new("unconstrained_l0", n), &n, |b, &n| {
+            b.iter(|| {
+                DesignProblem::unconstrained(n, alpha, Objective::l0())
+                    .solve()
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("wm_wh_rm_cm", n), &n, |b, &n| {
+            b.iter(|| weak_honest_mechanism(n, alpha).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("all_properties", n), &n, |b, &n| {
+            b.iter(|| {
+                optimal_constrained(n, alpha, Objective::l0(), PropertySet::all()).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lp_build_only(c: &mut Criterion) {
+    let alpha = Alpha::new(0.9).unwrap();
+    let mut group = c.benchmark_group("lp_build");
+    for &n in &[8usize, 16, 32] {
+        group.bench_with_input(BenchmarkId::new("build_all_properties", n), &n, |b, &n| {
+            let problem =
+                DesignProblem::constrained(n, alpha, Objective::l0(), PropertySet::all());
+            b.iter(|| problem.build_lp().unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lp_solve, bench_lp_build_only);
+criterion_main!(benches);

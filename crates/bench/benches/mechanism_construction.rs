@@ -1,0 +1,45 @@
+//! Criterion bench: constructing the explicit mechanisms (GM, EM, Laplace,
+//! Exponential) across group sizes — these are closed-form O(n²) matrix fills —
+//! and checking properties / DP on the results.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cpm_core::prelude::*;
+
+fn bench_explicit_constructions(c: &mut Criterion) {
+    let alpha = Alpha::new(0.9).unwrap();
+    let mut group = c.benchmark_group("explicit_construction");
+    for &n in &[8usize, 32, 128, 512] {
+        group.bench_with_input(BenchmarkId::new("geometric", n), &n, |b, &n| {
+            b.iter(|| GeometricMechanism::new(n, alpha).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("explicit_fair", n), &n, |b, &n| {
+            b.iter(|| ExplicitFairMechanism::new(n, alpha).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("laplace", n), &n, |b, &n| {
+            b.iter(|| LaplaceMechanism::new(n, alpha).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("exponential", n), &n, |b, &n| {
+            b.iter(|| ExponentialMechanism::new(n, alpha).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_property_checks(c: &mut Criterion) {
+    let alpha = Alpha::new(0.9).unwrap();
+    let mut group = c.benchmark_group("property_checks");
+    for &n in &[16usize, 64, 256] {
+        let em = ExplicitFairMechanism::new(n, alpha).unwrap().into_matrix();
+        group.bench_with_input(BenchmarkId::new("all_seven_properties", n), &n, |b, _| {
+            b.iter(|| PropertySet::all().all_hold(&em, 1e-9))
+        });
+        group.bench_with_input(BenchmarkId::new("dp_check", n), &n, |b, _| {
+            b.iter(|| em.satisfies_dp(alpha, 1e-9))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_explicit_constructions, bench_property_checks);
+criterion_main!(benches);

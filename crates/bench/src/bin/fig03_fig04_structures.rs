@@ -1,0 +1,31 @@
+//! Figures 3 and 4: the closed-form structure of the Geometric Mechanism and of the
+//! Explicit Fair Mechanism (the paper prints n = 7), plus Example 1's probabilities.
+
+use cpm_bench::cli::FigureOptions;
+use cpm_core::Alpha;
+use cpm_eval::prelude::heatmaps;
+
+fn main() {
+    let options = FigureOptions::from_env();
+    let alpha = Alpha::new(0.62).unwrap();
+    let figure = heatmaps::structures(7, alpha).expect("explicit constructions are valid");
+
+    println!("Figure 3 — Geometric Mechanism, n = {}, alpha = {}", figure.n, figure.alpha);
+    println!("x = 1/(1+a) = {:.4},  y = (1-a)/(1+a) = {:.4}", figure.gm_x, figure.gm_y);
+    println!("{}", figure.gm.heatmap());
+
+    println!("Figure 4 — Explicit Fair Mechanism, n = {}, alpha = {}", figure.n, figure.alpha);
+    println!("y (Eq. 15) = {:.4}", figure.em_y);
+    println!("{}", figure.em.heatmap());
+
+    let example = heatmaps::example_one(Alpha::new(0.9).unwrap()).unwrap();
+    println!("Example 1 (n = 2, alpha = 0.9):");
+    println!(
+        "  Pr[0|1] = {:.3}   Pr[1|1] = {:.3}   Pr[0|0] = {:.3}   wrong/right ratio = {:.1}",
+        example.p_zero_given_one,
+        example.p_one_given_one,
+        example.p_zero_given_zero,
+        example.wrong_to_right_ratio
+    );
+    options.maybe_print_json(&figure);
+}

@@ -1,0 +1,43 @@
+//! Figure 6: the named-mechanism summary table — which structural properties GM, WM,
+//! EM, and UM satisfy, and their rescaled L0 scores.
+
+use cpm_bench::cli::FigureOptions;
+use cpm_core::Alpha;
+use cpm_eval::prelude::{fmt, render_table, score_sweeps};
+
+fn main() {
+    let options = FigureOptions::from_env();
+    let instances: Vec<(usize, f64)> = if options.full {
+        vec![(4, 0.9), (8, 0.76), (8, 0.9), (12, 10.0 / 11.0), (16, 0.99)]
+    } else {
+        vec![(4, 0.9), (8, 0.76)]
+    };
+
+    for (n, alpha_value) in instances {
+        let alpha = Alpha::new(alpha_value).unwrap();
+        let table = score_sweeps::named_mechanism_table(n, alpha)
+            .expect("named mechanisms must build");
+        println!("\nFigure 6 — named mechanisms at n = {n}, alpha = {alpha_value:.3}");
+        let mut header: Vec<String> = vec!["Mechanism".to_string()];
+        if let Some(first) = table.rows.first() {
+            header.extend(first.properties.iter().map(|(name, _)| name.clone()));
+        }
+        header.push("L0".to_string());
+        let rows: Vec<Vec<String>> = table
+            .rows
+            .iter()
+            .map(|row| {
+                let mut cells = vec![row.mechanism.clone()];
+                cells.extend(
+                    row.properties
+                        .iter()
+                        .map(|(_, ok)| if *ok { "Y".to_string() } else { "N".to_string() }),
+                );
+                cells.push(fmt(row.l0, 4));
+                cells
+            })
+            .collect();
+        println!("{}", render_table(&header, &rows));
+        options.maybe_print_json(&table);
+    }
+}

@@ -1,0 +1,41 @@
+//! Figure 9: the rescaled L0 scores of GM, WM, EM, and UM as the group size varies,
+//! for the three privacy levels α ∈ {2/3, 10/11, 99/100}, showing where WM converges
+//! onto GM (the Lemma-2 threshold 2α/(1−α)).
+
+use cpm_bench::cli::FigureOptions;
+use cpm_eval::prelude::{fmt, render_table, score_sweeps};
+
+fn main() {
+    let options = FigureOptions::from_env();
+    // The dense-tableau simplex starts to take minutes per WM solve beyond n ≈ 16–20,
+    // so the paper-scale sweep stops at 16 (the quick default at 12).
+    let group_sizes: Vec<usize> = if options.full {
+        vec![2, 3, 4, 5, 6, 8, 10, 12, 14, 16]
+    } else {
+        vec![2, 4, 6, 8, 12]
+    };
+
+    for alpha in score_sweeps::figure9_alphas() {
+        let sweep = score_sweeps::l0_versus_group_size(alpha, &group_sizes)
+            .expect("score sweep must solve");
+        println!(
+            "\nFigure 9 — L0 vs group size at alpha = {:.4} (WM/GM convergence threshold {:.1})",
+            sweep.alpha, sweep.convergence_threshold
+        );
+        let mut header = vec!["n".to_string()];
+        if let Some(first) = sweep.points.first() {
+            header.extend(first.scores.iter().map(|(label, _)| label.clone()));
+        }
+        let rows: Vec<Vec<String>> = sweep
+            .points
+            .iter()
+            .map(|point| {
+                let mut cells = vec![point.n.to_string()];
+                cells.extend(point.scores.iter().map(|(_, score)| fmt(*score, 4)));
+                cells
+            })
+            .collect();
+        println!("{}", render_table(&header, &rows));
+        options.maybe_print_json(&sweep);
+    }
+}

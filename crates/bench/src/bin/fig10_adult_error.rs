@@ -1,0 +1,64 @@
+//! Figure 10: empirical error probability on the (synthetic) Adult dataset for the
+//! three binary targets, as a function of the group size, at α = 0.9.
+
+use cpm_bench::cli::FigureOptions;
+use cpm_eval::prelude::{adult_experiment, fmt, render_table};
+
+fn main() {
+    let options = FigureOptions::from_env();
+    let config = if options.full {
+        adult_experiment::AdultExperimentConfig::default()
+    } else {
+        adult_experiment::AdultExperimentConfig {
+            group_sizes: vec![2, 4, 8, 12],
+            repetitions: 15,
+            dataset_size: 16_000,
+            ..adult_experiment::AdultExperimentConfig::default()
+        }
+    };
+    let result = adult_experiment::run(&config).expect("adult experiment must run");
+
+    println!(
+        "Figure 10 — empirical error probability on synthetic Adult data (alpha = {}, {} repetitions)",
+        config.alpha, config.repetitions
+    );
+    println!("target marginal rates: {:?}", result.target_rates);
+
+    let targets: Vec<String> = result
+        .target_rates
+        .iter()
+        .map(|(label, _)| label.clone())
+        .collect();
+    for target in &targets {
+        println!("\n== estimating {target} ==");
+        let header = vec![
+            "n".to_string(),
+            "GM".to_string(),
+            "WM".to_string(),
+            "EM".to_string(),
+            "UM".to_string(),
+        ];
+        let rows: Vec<Vec<String>> = config
+            .group_sizes
+            .iter()
+            .map(|&n| {
+                let mut cells = vec![n.to_string()];
+                for mech in ["GM", "WM", "EM", "UM"] {
+                    let point = result
+                        .points
+                        .iter()
+                        .find(|p| p.target == *target && p.n == n && p.mechanism == mech)
+                        .expect("point exists");
+                    cells.push(format!(
+                        "{} ± {}",
+                        fmt(point.error.mean, 3),
+                        fmt(point.error.std_error, 3)
+                    ));
+                }
+                cells
+            })
+            .collect();
+        println!("{}", render_table(&header, &rows));
+    }
+    options.maybe_print_json(&result);
+}

@@ -1,0 +1,60 @@
+//! Figure 12: histograms of the L0,d error as the distance threshold d varies
+//! (n = 8), for a balanced and a skewed Binomial input distribution.
+
+use cpm_bench::cli::FigureOptions;
+use cpm_eval::prelude::{binomial_experiments, fmt, render_table};
+
+fn main() {
+    let options = FigureOptions::from_env();
+    let config = if options.full {
+        binomial_experiments::BinomialExperimentConfig::default()
+    } else {
+        binomial_experiments::BinomialExperimentConfig {
+            population_size: 4_000,
+            repetitions: 10,
+            ..binomial_experiments::BinomialExperimentConfig::default()
+        }
+    };
+    let (n, probabilities, thresholds) = binomial_experiments::figure12_grid();
+    let alphas = if options.full { vec![0.91, 0.67] } else { vec![0.91] };
+
+    let sweep = binomial_experiments::l0d_error_sweep(&config, &[n], &alphas, &probabilities, &thresholds)
+        .expect("binomial experiment must run");
+
+    println!("Figure 12 — L0,d error histograms on Binomial data, n = {n}");
+    for &alpha in &alphas {
+        for &p in &probabilities {
+            let shape = if (p - 0.5).abs() < 0.2 { "proportionate" } else { "skewed" };
+            println!("\n== alpha = {alpha}, p = {p} ({shape} input) ==");
+            let header = vec![
+                "d".to_string(),
+                "GM".to_string(),
+                "WM".to_string(),
+                "EM".to_string(),
+                "UM".to_string(),
+            ];
+            let rows: Vec<Vec<String>> = thresholds
+                .iter()
+                .map(|&d| {
+                    let mut cells = vec![d.to_string()];
+                    for mech in ["GM", "WM", "EM", "UM"] {
+                        let point = sweep
+                            .points
+                            .iter()
+                            .find(|pt| {
+                                pt.d == d
+                                    && (pt.p - p).abs() < 1e-9
+                                    && (pt.alpha - alpha).abs() < 1e-9
+                                    && pt.mechanism == mech
+                            })
+                            .expect("point exists");
+                        cells.push(fmt(point.value.mean, 3));
+                    }
+                    cells
+                })
+                .collect();
+            println!("{}", render_table(&header, &rows));
+        }
+    }
+    options.maybe_print_json(&sweep);
+}

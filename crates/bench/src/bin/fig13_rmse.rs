@@ -1,0 +1,72 @@
+//! Figure 13: root-mean-square error of the reported counts on Binomial data, as the
+//! input distribution p varies, for several group sizes and privacy levels.
+
+use cpm_bench::cli::FigureOptions;
+use cpm_data::prelude::paper_probability_grid;
+use cpm_eval::prelude::{binomial_experiments, fmt, render_table};
+
+fn main() {
+    let options = FigureOptions::from_env();
+    let config = if options.full {
+        binomial_experiments::BinomialExperimentConfig::default()
+    } else {
+        binomial_experiments::BinomialExperimentConfig {
+            population_size: 4_000,
+            repetitions: 10,
+            ..binomial_experiments::BinomialExperimentConfig::default()
+        }
+    };
+    let group_sizes = if options.full { vec![4, 8, 12] } else { vec![4, 8] };
+    let alphas = if options.full { vec![0.91, 0.67] } else { vec![0.91] };
+    let probabilities = if options.full {
+        paper_probability_grid()
+    } else {
+        vec![0.1, 0.3, 0.5, 0.7, 0.9]
+    };
+
+    let sweep = binomial_experiments::rmse_sweep(&config, &group_sizes, &alphas, &probabilities)
+        .expect("binomial experiment must run");
+
+    println!(
+        "Figure 13 — RMSE of reported counts on Binomial data ({} individuals, {} repetitions)",
+        config.population_size, config.repetitions
+    );
+    for &alpha in &alphas {
+        for &n in &group_sizes {
+            println!("\n== alpha = {alpha}, n = {n} ==");
+            let header = vec![
+                "p".to_string(),
+                "GM".to_string(),
+                "WM".to_string(),
+                "EM".to_string(),
+                "UM".to_string(),
+            ];
+            let rows: Vec<Vec<String>> = probabilities
+                .iter()
+                .map(|&p| {
+                    let mut cells = vec![fmt(p, 2)];
+                    for mech in ["GM", "WM", "EM", "UM"] {
+                        let point = sweep
+                            .points
+                            .iter()
+                            .find(|pt| {
+                                (pt.p - p).abs() < 1e-9
+                                    && pt.n == n
+                                    && (pt.alpha - alpha).abs() < 1e-9
+                                    && pt.mechanism == mech
+                            })
+                            .expect("point exists");
+                        cells.push(format!(
+                            "{} ± {}",
+                            fmt(point.value.mean, 3),
+                            fmt(point.value.std_dev, 3)
+                        ));
+                    }
+                    cells
+                })
+                .collect();
+            println!("{}", render_table(&header, &rows));
+        }
+    }
+    options.maybe_print_json(&sweep);
+}

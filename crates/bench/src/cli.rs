@@ -1,0 +1,61 @@
+//! Minimal command-line flag handling shared by the figure binaries.
+
+/// Options common to every figure binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FigureOptions {
+    /// Emit the figure data as JSON (in addition to the text table).
+    pub json: bool,
+    /// Use the paper-scale parameter grid rather than the quick default.
+    pub full: bool,
+}
+
+impl FigureOptions {
+    /// Parse the options from an argument iterator (ignoring the binary name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut options = FigureOptions::default();
+        for arg in args {
+            match arg.as_str() {
+                "--json" => options.json = true,
+                "--full" => options.full = true,
+                "--help" | "-h" => {
+                    eprintln!("flags: --json (emit JSON)  --full (paper-scale parameters)");
+                }
+                _ => {}
+            }
+        }
+        options
+    }
+
+    /// Parse from the process arguments.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Print a serialisable value as pretty JSON when `--json` was requested.
+    pub fn maybe_print_json<T: serde::Serialize>(&self, value: &T) {
+        if self.json {
+            match serde_json::to_string_pretty(value) {
+                Ok(text) => println!("{text}"),
+                Err(err) => eprintln!("failed to serialise JSON output: {err}"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flags_and_ignores_unknown() {
+        let options = FigureOptions::parse(
+            ["--json", "--whatever", "--full"]
+                .into_iter()
+                .map(String::from),
+        );
+        assert!(options.json);
+        assert!(options.full);
+        let none = FigureOptions::parse(std::iter::empty());
+        assert!(!none.json && !none.full);
+    }
+}

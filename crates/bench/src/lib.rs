@@ -1,0 +1,19 @@
+//! # cpm-bench — benchmark harness for constrained private mechanisms
+//!
+//! This crate contains
+//!
+//! * one **binary per table/figure** of the paper (in `src/bin/`), each of which
+//!   recomputes the corresponding series with `cpm-eval` and prints it as a text
+//!   table (pass `--json` for machine-readable output, `--full` for the paper-scale
+//!   parameter grids instead of the quick defaults), and
+//! * **Criterion benches** (in `benches/`) measuring the cost of the underlying
+//!   operations: LP construction and solving, explicit mechanism construction,
+//!   sampling throughput, the pivot-rule ablation, and an end-to-end experiment.
+//!
+//! The shared [`cli`] module implements the tiny `--json` / `--full` flag parsing
+//! used by every figure binary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;

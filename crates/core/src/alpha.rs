@@ -1,0 +1,154 @@
+//! The privacy parameter α and its relationship to ε.
+//!
+//! The paper parameterises differential privacy by `α ∈ (0, 1]` where a mechanism is
+//! α-DP if `α ≤ Pr[i|j] / Pr[i|j+1] ≤ 1/α` for every output `i` and neighbouring
+//! inputs `j, j+1` (Definition 2).  This is the usual ε-DP with `α = exp(−ε)`:
+//! α close to 1 is *strong* privacy (tight ratio), α close to 0 is weak privacy.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreError;
+
+/// The multiplicative privacy parameter `α ∈ (0, 1]` of Definition 2.
+///
+/// Construct with [`Alpha::new`] (validating) or [`Alpha::from_epsilon`].
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Alpha(f64);
+
+impl Alpha {
+    /// Create a privacy parameter, validating `0 < α <= 1`.
+    pub fn new(value: f64) -> Result<Self, CoreError> {
+        if value.is_finite() && value > 0.0 && value <= 1.0 {
+            Ok(Alpha(value))
+        } else {
+            Err(CoreError::InvalidAlpha { value })
+        }
+    }
+
+    /// Convert from the additive privacy budget: `α = exp(−ε)`, requiring `ε >= 0`.
+    pub fn from_epsilon(epsilon: f64) -> Result<Self, CoreError> {
+        if !epsilon.is_finite() || epsilon < 0.0 {
+            return Err(CoreError::InvalidAlpha {
+                value: (-epsilon).exp(),
+            });
+        }
+        Alpha::new((-epsilon).exp())
+    }
+
+    /// The raw value of α.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The equivalent additive privacy budget `ε = −ln α`.
+    #[inline]
+    pub fn epsilon(self) -> f64 {
+        -self.0.ln()
+    }
+
+    /// The group-size threshold `2α / (1 − α)` of Lemma 2: the Geometric Mechanism
+    /// satisfies weak honesty iff `n` is at least this value.  Returns `+inf` for
+    /// `α = 1`.
+    pub fn weak_honesty_threshold(self) -> f64 {
+        if self.0 >= 1.0 {
+            f64::INFINITY
+        } else {
+            2.0 * self.0 / (1.0 - self.0)
+        }
+    }
+
+    /// Lemma 3: the Geometric Mechanism is column monotone iff `α <= 1/2`.
+    pub fn geometric_is_column_monotone(self) -> bool {
+        self.0 <= 0.5
+    }
+
+    /// The values of α used throughout the paper's experiments:
+    /// `{1/2, 2/3, 0.76, 0.9, 10/11, 0.91, 99/100}` (Sections IV–V).
+    pub fn paper_values() -> Vec<Alpha> {
+        [0.5, 2.0 / 3.0, 0.76, 0.9, 10.0 / 11.0, 0.91, 0.99]
+            .into_iter()
+            .map(|a| Alpha::new(a).expect("paper alpha values are valid"))
+            .collect()
+    }
+}
+
+impl std::fmt::Display for Alpha {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl TryFrom<f64> for Alpha {
+    type Error = CoreError;
+
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        Alpha::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_paper_values() {
+        for alpha in Alpha::paper_values() {
+            assert!(alpha.value() > 0.0 && alpha.value() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_values() {
+        assert!(Alpha::new(0.0).is_err());
+        assert!(Alpha::new(-0.1).is_err());
+        assert!(Alpha::new(1.1).is_err());
+        assert!(Alpha::new(f64::NAN).is_err());
+        assert!(Alpha::new(1.0).is_ok());
+        assert!(Alpha::new(1e-12).is_ok());
+    }
+
+    #[test]
+    fn epsilon_round_trip() {
+        let alpha = Alpha::new(0.62).unwrap();
+        let eps = alpha.epsilon();
+        let back = Alpha::from_epsilon(eps).unwrap();
+        assert!((alpha.value() - back.value()).abs() < 1e-12);
+        // alpha = exp(-eps) ≈ 1 - eps for small eps.
+        let strong = Alpha::from_epsilon(0.01).unwrap();
+        assert!((strong.value() - 0.99).abs() < 1e-3);
+    }
+
+    #[test]
+    fn from_epsilon_rejects_negative_budgets() {
+        assert!(Alpha::from_epsilon(-1.0).is_err());
+        assert!(Alpha::from_epsilon(f64::INFINITY).is_err());
+        assert_eq!(Alpha::from_epsilon(0.0).unwrap().value(), 1.0);
+    }
+
+    #[test]
+    fn weak_honesty_threshold_matches_lemma_2() {
+        // alpha = 0.76 -> threshold = 2*0.76/0.24 = 6.333... (used in Fig. 8a).
+        let alpha = Alpha::new(0.76).unwrap();
+        assert!((alpha.weak_honesty_threshold() - 6.333333333333333).abs() < 1e-9);
+        // alpha = 2/3 -> threshold 4 (Fig. 9a); alpha = 10/11 -> 20 (Fig. 9b).
+        assert!((Alpha::new(2.0 / 3.0).unwrap().weak_honesty_threshold() - 4.0).abs() < 1e-9);
+        assert!((Alpha::new(10.0 / 11.0).unwrap().weak_honesty_threshold() - 20.0).abs() < 1e-9);
+        assert!(Alpha::new(1.0).unwrap().weak_honesty_threshold().is_infinite());
+    }
+
+    #[test]
+    fn column_monotonicity_threshold_matches_lemma_3() {
+        assert!(Alpha::new(0.5).unwrap().geometric_is_column_monotone());
+        assert!(Alpha::new(0.3).unwrap().geometric_is_column_monotone());
+        assert!(!Alpha::new(0.51).unwrap().geometric_is_column_monotone());
+    }
+
+    #[test]
+    fn try_from_and_display() {
+        let alpha: Alpha = 0.9f64.try_into().unwrap();
+        assert_eq!(alpha.to_string(), "0.9");
+        assert!(Alpha::try_from(2.0).is_err());
+    }
+}

@@ -1,0 +1,127 @@
+//! The Gupte–Sundararajan derivability test (Section IV-D).
+//!
+//! Gupte and Sundararajan give a simple test for whether a mechanism `P` can be
+//! obtained from the Geometric Mechanism by post-processing (first run GM, then remap
+//! its output through a randomised function): every set of three adjacent entries in
+//! a row must satisfy
+//!
+//! ```text
+//! (Pr[i|j] − α·Pr[i|j−1])  ≥  α · (Pr[i|j+1] − α·Pr[i|j])
+//! ```
+//!
+//! The paper uses this test to show that the constrained mechanisms WM and EM are
+//! *not* trivial modifications of GM: the condition fails for them whenever `n > 1`.
+
+use crate::alpha::Alpha;
+use crate::matrix::Mechanism;
+
+/// A single violation of the derivability condition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DerivabilityViolation {
+    /// Output (row) index `i`.
+    pub output: usize,
+    /// The middle input (column) index `j` of the violating triple `(j−1, j, j+1)`.
+    pub input: usize,
+    /// Left-hand side of the condition.
+    pub lhs: f64,
+    /// Right-hand side of the condition.
+    pub rhs: f64,
+}
+
+/// Check the Gupte–Sundararajan condition on every adjacent triple of columns.
+/// Returns all violations (empty ⇒ the mechanism is derivable from GM by
+/// post-processing).
+pub fn derivability_violations(
+    mechanism: &Mechanism,
+    alpha: Alpha,
+    tolerance: f64,
+) -> Vec<DerivabilityViolation> {
+    let a = alpha.value();
+    let n = mechanism.group_size();
+    let mut violations = Vec::new();
+    for i in 0..mechanism.dim() {
+        for j in 1..n {
+            let lhs = mechanism.prob(i, j) - a * mechanism.prob(i, j - 1);
+            let rhs = a * (mechanism.prob(i, j + 1) - a * mechanism.prob(i, j));
+            if lhs + tolerance < rhs {
+                violations.push(DerivabilityViolation {
+                    output: i,
+                    input: j,
+                    lhs,
+                    rhs,
+                });
+            }
+        }
+    }
+    violations
+}
+
+/// Whether the mechanism can be derived from the Geometric Mechanism by
+/// post-processing (no violations of the Gupte–Sundararajan condition).
+pub fn is_derivable_from_geometric(mechanism: &Mechanism, alpha: Alpha, tolerance: f64) -> bool {
+    derivability_violations(mechanism, alpha, tolerance).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanisms::{ExplicitFairMechanism, GeometricMechanism, UniformMechanism};
+
+    fn a(v: f64) -> Alpha {
+        Alpha::new(v).unwrap()
+    }
+
+    #[test]
+    fn gm_is_trivially_derivable_from_itself() {
+        for n in [2usize, 5, 9] {
+            for alpha in [0.5, 0.9] {
+                let gm = GeometricMechanism::new(n, a(alpha)).unwrap();
+                assert!(
+                    is_derivable_from_geometric(gm.matrix(), a(alpha), 1e-9),
+                    "n={n} alpha={alpha}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn em_is_not_derivable_for_n_above_one() {
+        // Section IV-D: for EM, Pr[2|0] = Pr[2|1] = y*alpha while Pr[2|2] = y, and the
+        // condition reduces to 1 >= 1 + alpha, which is false for alpha > 0.
+        for n in [2usize, 3, 7, 10] {
+            for alpha in [0.5, 0.62, 0.9] {
+                let em = ExplicitFairMechanism::new(n, a(alpha)).unwrap();
+                let violations = derivability_violations(em.matrix(), a(alpha), 1e-9);
+                assert!(!violations.is_empty(), "n={n} alpha={alpha}");
+            }
+        }
+    }
+
+    #[test]
+    fn em_is_derivable_for_n_equal_one() {
+        // For n = 1 there are no interior triples, so the condition is vacuous (and
+        // indeed EM equals GM equals randomized response).
+        let em = ExplicitFairMechanism::new(1, a(0.8)).unwrap();
+        assert!(is_derivable_from_geometric(em.matrix(), a(0.8), 1e-9));
+    }
+
+    #[test]
+    fn uniform_mechanism_is_not_derivable_for_alpha_below_one() {
+        // UM has all entries equal; lhs = (1-alpha)/(n+1), rhs = alpha(1-alpha)/(n+1),
+        // so the condition *holds* (lhs >= rhs).  UM is indeed derivable from GM: just
+        // ignore GM's output and sample uniformly.
+        let um = UniformMechanism::new(4).unwrap();
+        assert!(is_derivable_from_geometric(um.matrix(), a(0.7), 1e-9));
+    }
+
+    #[test]
+    fn violation_report_carries_the_witness_triple() {
+        let em = ExplicitFairMechanism::new(4, a(0.9)).unwrap();
+        let violations = derivability_violations(em.matrix(), a(0.9), 1e-9);
+        let witness = violations
+            .iter()
+            .find(|v| v.output == 2 && v.input == 1)
+            .expect("the paper's witness triple (row 2, columns 0..2) must violate");
+        assert!(witness.lhs < witness.rhs);
+    }
+}

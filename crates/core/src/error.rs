@@ -1,0 +1,125 @@
+//! Error type for mechanism construction and constrained mechanism design.
+
+use std::fmt;
+
+use cpm_simplex::SimplexError;
+
+/// Errors returned by the `cpm-core` public API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The privacy parameter α must lie in `(0, 1]`.
+    InvalidAlpha {
+        /// The offending value.
+        value: f64,
+    },
+    /// The group size `n` must be at least 1 (a mechanism acts on counts `0..=n`).
+    InvalidGroupSize {
+        /// The offending value.
+        value: usize,
+    },
+    /// A probability matrix was rejected because a column does not sum to one or an
+    /// entry is negative.
+    NotColumnStochastic {
+        /// Index of the offending column.
+        column: usize,
+        /// Sum of that column.
+        sum: f64,
+    },
+    /// The supplied entries do not form a square `(n+1) × (n+1)` matrix.
+    DimensionMismatch {
+        /// Number of entries supplied.
+        entries: usize,
+        /// Expected number of entries.
+        expected: usize,
+    },
+    /// Prior weights must be non-negative and sum to one.
+    InvalidWeights {
+        /// Explanation of the failure.
+        reason: &'static str,
+    },
+    /// The `L0,d` threshold `d` must be at most `n`.
+    InvalidDistanceThreshold {
+        /// The offending threshold.
+        d: usize,
+        /// The group size.
+        n: usize,
+    },
+    /// The underlying LP solver failed (infeasible, unbounded, or iteration limit).
+    Solver(SimplexError),
+    /// The LP produced a solution that is not a valid mechanism even after cleanup
+    /// (should not happen; indicates a numerical breakdown worth reporting).
+    DegenerateSolution {
+        /// Explanation of the failure.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidAlpha { value } => {
+                write!(f, "privacy parameter alpha must be in (0, 1], got {value}")
+            }
+            CoreError::InvalidGroupSize { value } => {
+                write!(f, "group size n must be >= 1, got {value}")
+            }
+            CoreError::NotColumnStochastic { column, sum } => write!(
+                f,
+                "column {column} of the mechanism is not a probability distribution (sum = {sum})"
+            ),
+            CoreError::DimensionMismatch { entries, expected } => write!(
+                f,
+                "expected {expected} matrix entries for a square mechanism, got {entries}"
+            ),
+            CoreError::InvalidWeights { reason } => write!(f, "invalid prior weights: {reason}"),
+            CoreError::InvalidDistanceThreshold { d, n } => {
+                write!(f, "distance threshold d = {d} exceeds group size n = {n}")
+            }
+            CoreError::Solver(err) => write!(f, "LP solver error: {err}"),
+            CoreError::DegenerateSolution { reason } => {
+                write!(f, "LP returned a degenerate mechanism: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Solver(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimplexError> for CoreError {
+    fn from(err: SimplexError) -> Self {
+        CoreError::Solver(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = CoreError::InvalidAlpha { value: 1.5 };
+        assert!(err.to_string().contains("1.5"));
+        let err = CoreError::NotColumnStochastic {
+            column: 3,
+            sum: 0.9,
+        };
+        assert!(err.to_string().contains("column 3"));
+        let err: CoreError = SimplexError::Infeasible.into();
+        assert!(err.to_string().contains("infeasible"));
+    }
+
+    #[test]
+    fn solver_errors_carry_a_source() {
+        use std::error::Error;
+        let err = CoreError::Solver(SimplexError::Unbounded);
+        assert!(err.source().is_some());
+        assert!(CoreError::InvalidGroupSize { value: 0 }.source().is_none());
+    }
+}

@@ -1,0 +1,106 @@
+//! # cpm-core — Constrained Private Mechanisms for Count Data
+//!
+//! This crate implements the core contribution of *"Constrained Private Mechanisms
+//! for Count Data"* (Cormode, Kulkarni, Srivastava — ICDE 2018): the design of
+//! α-differentially-private mechanisms for releasing the count of a group of `n`
+//! individuals, with structural constraints that rule out the pathologies (output
+//! gaps and spikes) of plain loss-minimising designs.
+//!
+//! ## What's here
+//!
+//! * [`Mechanism`] — the `(n+1) × (n+1)` column-stochastic matrix representation of a
+//!   count mechanism (Definition 1), with DP verification (Definition 2).
+//! * [`Alpha`] — the privacy parameter `α = exp(−ε)`.
+//! * [`Property`] / [`PropertySet`] — the seven structural properties of Section IV-A
+//!   (row/column honesty and monotonicity, fairness, weak honesty, symmetry) with
+//!   their implication lattice.
+//! * [`Objective`], [`rescaled_l0`], [`rescaled_l0_d`] — the loss functions of
+//!   Definition 3 and the rescaled `L0` / `L0,d` scores of Eq. (1).
+//! * [`mechanisms`] — explicit constructions: the truncated Geometric Mechanism
+//!   ([`GeometricMechanism`], Definition 4), the paper's new Explicit Fair Mechanism
+//!   ([`ExplicitFairMechanism`], Eq. 16), the Uniform baseline, randomized response,
+//!   the Exponential Mechanism, and a discretised Laplace mechanism.
+//! * [`lp`] — the BASICDP linear program (Eqs. 3–6) plus any subset of the structural
+//!   properties (Theorem 2), solved with the workspace's own simplex solver; includes
+//!   the paper's WM ([`lp::weak_honest_mechanism`]).
+//! * [`selection`] — the Figure 5 flowchart collapsing the 128 property combinations
+//!   to at most four distinct mechanisms.
+//! * [`symmetrize`] — the Theorem 1 symmetrisation construction.
+//! * [`derivability`] — the Gupte–Sundararajan "derivable from GM" test.
+//! * [`sampling`] — drawing private outputs from a mechanism (and directly from GM).
+//! * [`closed_form`] — analytic scores used as oracles and fast paths.
+//!
+//! ## Example: designing a constrained mechanism
+//!
+//! ```
+//! use cpm_core::prelude::*;
+//!
+//! let alpha = Alpha::new(0.9).unwrap();
+//! let n = 4;
+//!
+//! // The unconstrained L0-optimal mechanism is the Geometric Mechanism ...
+//! let gm = GeometricMechanism::new(n, alpha).unwrap();
+//! // ... but it is not even weakly honest at this privacy level (Lemma 2).
+//! assert!(!Property::WeakHonesty.holds(gm.matrix(), 1e-9));
+//!
+//! // Ask the Figure-5 flowchart for a fair mechanism instead.
+//! let requested = PropertySet::empty().with(Property::Fairness);
+//! let (choice, fair) = selection::design_for_properties(requested, n, alpha).unwrap();
+//! assert_eq!(choice, selection::MechanismChoice::ExplicitFair);
+//! assert!(PropertySet::all().all_hold(&fair, 1e-9));
+//!
+//! // The price of all seven properties is tiny (Figure 6).
+//! let loss_gm = rescaled_l0(gm.matrix());
+//! let loss_fair = rescaled_l0(&fair);
+//! assert!(loss_fair <= loss_gm * (1.0 + 1.0 / n as f64) + 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alpha;
+pub mod closed_form;
+pub mod derivability;
+pub mod error;
+pub mod lp;
+pub mod matrix;
+pub mod mechanisms;
+pub mod objective;
+pub mod properties;
+pub mod sampling;
+pub mod selection;
+pub mod symmetrize;
+
+pub use alpha::Alpha;
+pub use error::CoreError;
+pub use matrix::{Mechanism, DEFAULT_TOLERANCE};
+pub use mechanisms::{
+    BinaryRandomizedResponse, ExplicitFairMechanism, ExponentialMechanism, GeometricMechanism,
+    LaplaceMechanism, NaryRandomizedResponse, UniformMechanism,
+};
+pub use objective::{rescaled_l0, rescaled_l0_d, Aggregator, LossKind, Objective, Prior};
+pub use properties::{Property, PropertyReport, PropertySet};
+
+/// Commonly used items, re-exported for `use cpm_core::prelude::*`.
+pub mod prelude {
+    pub use crate::alpha::Alpha;
+    pub use crate::closed_form;
+    pub use crate::derivability::{derivability_violations, is_derivable_from_geometric};
+    pub use crate::error::CoreError;
+    pub use crate::lp::{
+        optimal_constrained, optimal_unconstrained, weak_honest_mechanism, DesignProblem,
+        DesignSolution,
+    };
+    pub use crate::matrix::{Mechanism, DEFAULT_TOLERANCE};
+    pub use crate::mechanisms::{
+        BinaryRandomizedResponse, ExplicitFairMechanism, ExponentialMechanism,
+        GeometricMechanism, LaplaceMechanism, NaryRandomizedResponse, UniformMechanism,
+    };
+    pub use crate::objective::{
+        rescaled_l0, rescaled_l0_d, Aggregator, LossKind, Objective, Prior,
+    };
+    pub use crate::properties::{Property, PropertyReport, PropertySet};
+    pub use crate::sampling::{sample_geometric_direct, MechanismSampler};
+    pub use crate::selection::{self, design_for_properties, select_mechanism, MechanismChoice};
+    pub use crate::symmetrize::{reflect, symmetrize};
+}

@@ -1,0 +1,446 @@
+//! The mechanism matrix representation (Definition 1).
+//!
+//! A randomised mechanism for count queries over a group of `n` individuals maps a
+//! true count `j ∈ {0, …, n}` to a reported count `i ∈ {0, …, n}`.  It is fully
+//! described by the `(n+1) × (n+1)` **column-stochastic** matrix `P` with
+//! `P[i][j] = Pr[M(j) = i]` — column `j` is the output distribution for input `j`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::alpha::Alpha;
+use crate::error::CoreError;
+
+/// Default absolute tolerance for stochasticity / DP / property checks.
+pub const DEFAULT_TOLERANCE: f64 = 1e-9;
+
+/// A randomised mechanism for count queries, stored as a dense column-stochastic
+/// matrix (Definition 1 of the paper).
+///
+/// `P[i][j] = Pr[output = i | input = j]`, with both `i` and `j` ranging over
+/// `0..=n`.  The struct does not enforce differential privacy by itself; use
+/// [`Mechanism::satisfies_dp`] to check Definition 2 for a given [`Alpha`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mechanism {
+    /// Group size `n`; the matrix is `(n+1) × (n+1)`.
+    n: usize,
+    /// Row-major entries: `entries[i * (n+1) + j] = Pr[i | j]`.
+    entries: Vec<f64>,
+}
+
+impl Mechanism {
+    /// Build a mechanism from a probability function `prob(i, j) = Pr[i | j]`.
+    ///
+    /// Returns an error if the resulting matrix is not column-stochastic within
+    /// [`DEFAULT_TOLERANCE`].
+    pub fn from_fn(n: usize, prob: impl Fn(usize, usize) -> f64) -> Result<Self, CoreError> {
+        if n == 0 {
+            return Err(CoreError::InvalidGroupSize { value: n });
+        }
+        let dim = n + 1;
+        let mut entries = vec![0.0; dim * dim];
+        for i in 0..dim {
+            for j in 0..dim {
+                entries[i * dim + j] = prob(i, j);
+            }
+        }
+        let mechanism = Mechanism { n, entries };
+        mechanism.validate(DEFAULT_TOLERANCE)?;
+        Ok(mechanism)
+    }
+
+    /// Build a mechanism from row-major entries (`entries[i * (n+1) + j] = Pr[i|j]`).
+    pub fn from_row_major(n: usize, entries: Vec<f64>) -> Result<Self, CoreError> {
+        if n == 0 {
+            return Err(CoreError::InvalidGroupSize { value: n });
+        }
+        let dim = n + 1;
+        if entries.len() != dim * dim {
+            return Err(CoreError::DimensionMismatch {
+                entries: entries.len(),
+                expected: dim * dim,
+            });
+        }
+        let mechanism = Mechanism { n, entries };
+        mechanism.validate(DEFAULT_TOLERANCE)?;
+        Ok(mechanism)
+    }
+
+    /// Build a mechanism from per-input output distributions: `columns[j][i] = Pr[i|j]`.
+    pub fn from_columns(n: usize, columns: &[Vec<f64>]) -> Result<Self, CoreError> {
+        let dim = n + 1;
+        if columns.len() != dim || columns.iter().any(|c| c.len() != dim) {
+            return Err(CoreError::DimensionMismatch {
+                entries: columns.iter().map(Vec::len).sum(),
+                expected: dim * dim,
+            });
+        }
+        Mechanism::from_fn(n, |i, j| columns[j][i])
+    }
+
+    /// Build a mechanism without validating stochasticity.  Intended for internal
+    /// use where the construction guarantees validity (e.g. LP post-processing after
+    /// column renormalisation); exposed as `pub(crate)`.
+    pub(crate) fn from_row_major_unchecked(n: usize, entries: Vec<f64>) -> Self {
+        debug_assert_eq!(entries.len(), (n + 1) * (n + 1));
+        Mechanism { n, entries }
+    }
+
+    /// Group size `n` (inputs and outputs are `0..=n`).
+    #[inline]
+    pub fn group_size(&self) -> usize {
+        self.n
+    }
+
+    /// Matrix dimension `n + 1`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.n + 1
+    }
+
+    /// `Pr[output = i | input = j]`.
+    #[inline]
+    pub fn prob(&self, output: usize, input: usize) -> f64 {
+        self.entries[output * self.dim() + input]
+    }
+
+    /// The output distribution for a given input (column `j`), as a fresh vector.
+    pub fn column(&self, input: usize) -> Vec<f64> {
+        (0..self.dim()).map(|i| self.prob(i, input)).collect()
+    }
+
+    /// Row `i` of the matrix: `Pr[i | j]` for every input `j`.
+    pub fn row(&self, output: usize) -> &[f64] {
+        &self.entries[output * self.dim()..(output + 1) * self.dim()]
+    }
+
+    /// Row-major view of all entries.
+    pub fn entries(&self) -> &[f64] {
+        &self.entries
+    }
+
+    /// The diagonal `Pr[i | i]` — the per-input probability of reporting the truth.
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.dim()).map(|i| self.prob(i, i)).collect()
+    }
+
+    /// Trace of the matrix (sum of truthful-report probabilities).
+    pub fn trace(&self) -> f64 {
+        (0..self.dim()).map(|i| self.prob(i, i)).sum()
+    }
+
+    /// The smallest entry of the matrix.
+    pub fn min_entry(&self) -> f64 {
+        self.entries.iter().cloned().fold(f64::INFINITY, f64::min)
+    }
+
+    /// The largest entry of the matrix.
+    pub fn max_entry(&self) -> f64 {
+        self.entries.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Indices of outputs that are never reported for any input (zero rows) — the
+    /// "gaps" pathology of unconstrained optimal mechanisms (Figure 1).
+    pub fn zero_rows(&self, tolerance: f64) -> Vec<usize> {
+        (0..self.dim())
+            .filter(|&i| self.row(i).iter().all(|&p| p <= tolerance))
+            .collect()
+    }
+
+    /// Marginal probability of each output under a prior over inputs
+    /// (`weights[j]` = prior mass of input `j`).  The "spikes" of Figure 1 are
+    /// outputs whose marginal probability is disproportionately large.
+    pub fn output_marginals(&self, weights: &[f64]) -> Vec<f64> {
+        assert_eq!(weights.len(), self.dim(), "prior length must be n + 1");
+        (0..self.dim())
+            .map(|i| {
+                (0..self.dim())
+                    .map(|j| weights[j] * self.prob(i, j))
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Expected reported value for a given true input.
+    pub fn expected_output(&self, input: usize) -> f64 {
+        (0..self.dim())
+            .map(|i| i as f64 * self.prob(i, input))
+            .sum()
+    }
+
+    /// Expected absolute error `E[|output − input|]` for a given true input.
+    pub fn expected_absolute_error(&self, input: usize) -> f64 {
+        (0..self.dim())
+            .map(|i| (i as f64 - input as f64).abs() * self.prob(i, input))
+            .sum()
+    }
+
+    /// Expected squared error `E[(output − input)²]` for a given true input.
+    pub fn expected_squared_error(&self, input: usize) -> f64 {
+        (0..self.dim())
+            .map(|i| (i as f64 - input as f64).powi(2) * self.prob(i, input))
+            .sum()
+    }
+
+    /// Probability of reporting a value farther than `d` steps from the truth, for a
+    /// given true input.
+    pub fn tail_probability(&self, input: usize, d: usize) -> f64 {
+        (0..self.dim())
+            .filter(|&i| i.abs_diff(input) > d)
+            .map(|i| self.prob(i, input))
+            .sum()
+    }
+
+    /// Check column-stochasticity and non-negativity within `tolerance`.
+    pub fn validate(&self, tolerance: f64) -> Result<(), CoreError> {
+        for j in 0..self.dim() {
+            let mut sum = 0.0;
+            for i in 0..self.dim() {
+                let p = self.prob(i, j);
+                if !p.is_finite() || p < -tolerance {
+                    return Err(CoreError::NotColumnStochastic { column: j, sum: p });
+                }
+                sum += p;
+            }
+            if (sum - 1.0).abs() > tolerance.max(1e-12) * 10.0 {
+                return Err(CoreError::NotColumnStochastic { column: j, sum });
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether every column is a probability distribution within `tolerance`.
+    pub fn is_column_stochastic(&self, tolerance: f64) -> bool {
+        self.validate(tolerance).is_ok()
+    }
+
+    /// Definition 2: `α ≤ Pr[i|j] / Pr[i|j+1] ≤ 1/α` for every output `i` and every
+    /// pair of neighbouring inputs, checked as the equivalent pair of products
+    /// `Pr[i|j] ≥ α·Pr[i|j+1]` and `Pr[i|j+1] ≥ α·Pr[i|j]` (which also handles zero
+    /// entries correctly: a zero forces its neighbours to zero).
+    pub fn satisfies_dp(&self, alpha: Alpha, tolerance: f64) -> bool {
+        let a = alpha.value();
+        for i in 0..self.dim() {
+            for j in 0..self.n {
+                let left = self.prob(i, j);
+                let right = self.prob(i, j + 1);
+                if left + tolerance < a * right || right + tolerance < a * left {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The *output-side* analogue of Definition 2, suggested as future work in the
+    /// paper's conclusion: `α ≤ Pr[i|j] / Pr[i+1|j] ≤ 1/α` for every input `j` and
+    /// every pair of neighbouring outputs.  This bounds how sharply the output
+    /// distribution can change between adjacent reported values.
+    pub fn satisfies_output_dp(&self, alpha: Alpha, tolerance: f64) -> bool {
+        let a = alpha.value();
+        for j in 0..self.dim() {
+            for i in 0..self.n {
+                let lower = self.prob(i, j);
+                let upper = self.prob(i + 1, j);
+                if lower + tolerance < a * upper || upper + tolerance < a * lower {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The largest `α` for which this mechanism satisfies α-DP (0 if some ratio is
+    /// unbounded, i.e. a zero entry is adjacent to a non-zero one).
+    pub fn max_alpha(&self) -> f64 {
+        let mut best: f64 = 1.0;
+        for i in 0..self.dim() {
+            for j in 0..self.n {
+                let left = self.prob(i, j);
+                let right = self.prob(i, j + 1);
+                if left <= 0.0 || right <= 0.0 {
+                    if left != right {
+                        return 0.0;
+                    }
+                    continue;
+                }
+                let ratio = (left / right).min(right / left);
+                best = best.min(ratio);
+            }
+        }
+        best
+    }
+
+    /// Render the matrix as a textual heat map (used by the figure binaries to echo
+    /// the paper's Figures 1, 2, and 7).  Each cell shows `Pr[i|j]` with two decimal
+    /// digits; rows are outputs `i` (top = 0), columns are inputs `j`.
+    pub fn heatmap(&self) -> String {
+        let mut out = String::new();
+        out.push_str("      ");
+        for j in 0..self.dim() {
+            out.push_str(&format!(" j={j:<4}"));
+        }
+        out.push('\n');
+        for i in 0..self.dim() {
+            out.push_str(&format!("i={i:<4}"));
+            for j in 0..self.dim() {
+                out.push_str(&format!(" {:5.2} ", self.prob(i, j)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Mechanism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.heatmap())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(n: usize) -> Mechanism {
+        Mechanism::from_fn(n, |_, _| 1.0 / (n as f64 + 1.0)).unwrap()
+    }
+
+    #[test]
+    fn from_fn_builds_and_validates() {
+        let m = uniform(4);
+        assert_eq!(m.group_size(), 4);
+        assert_eq!(m.dim(), 5);
+        assert!((m.prob(2, 3) - 0.2).abs() < 1e-12);
+        assert!(m.is_column_stochastic(1e-9));
+    }
+
+    #[test]
+    fn zero_group_size_is_rejected() {
+        assert!(matches!(
+            Mechanism::from_fn(0, |_, _| 1.0),
+            Err(CoreError::InvalidGroupSize { value: 0 })
+        ));
+    }
+
+    #[test]
+    fn non_stochastic_matrices_are_rejected() {
+        let err = Mechanism::from_fn(2, |_, _| 0.5).unwrap_err();
+        assert!(matches!(err, CoreError::NotColumnStochastic { .. }));
+        let err = Mechanism::from_fn(2, |i, _| if i == 0 { -0.5 } else { 0.75 }).unwrap_err();
+        assert!(matches!(err, CoreError::NotColumnStochastic { .. }));
+    }
+
+    #[test]
+    fn from_row_major_checks_dimensions() {
+        let err = Mechanism::from_row_major(2, vec![1.0; 4]).unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::DimensionMismatch {
+                entries: 4,
+                expected: 9
+            }
+        ));
+    }
+
+    #[test]
+    fn from_columns_round_trips() {
+        let columns = vec![
+            vec![0.7, 0.2, 0.1],
+            vec![0.2, 0.6, 0.2],
+            vec![0.1, 0.2, 0.7],
+        ];
+        let m = Mechanism::from_columns(2, &columns).unwrap();
+        assert!((m.prob(0, 0) - 0.7).abs() < 1e-12);
+        assert!((m.prob(2, 1) - 0.2).abs() < 1e-12);
+        assert_eq!(m.column(1), columns[1]);
+    }
+
+    #[test]
+    fn trace_diagonal_and_rows() {
+        let m = uniform(3);
+        assert!((m.trace() - 1.0).abs() < 1e-12);
+        assert_eq!(m.diagonal().len(), 4);
+        assert_eq!(m.row(2).len(), 4);
+        assert_eq!(m.entries().len(), 16);
+    }
+
+    #[test]
+    fn expected_values_and_tails() {
+        // Deterministic identity-like mechanism: always reports the truth.
+        let m = Mechanism::from_fn(3, |i, j| if i == j { 1.0 } else { 0.0 }).unwrap();
+        assert_eq!(m.expected_output(2), 2.0);
+        assert_eq!(m.expected_absolute_error(2), 0.0);
+        assert_eq!(m.expected_squared_error(1), 0.0);
+        assert_eq!(m.tail_probability(1, 0), 0.0);
+
+        let u = uniform(3);
+        assert!((u.expected_output(0) - 1.5).abs() < 1e-12);
+        assert!((u.tail_probability(0, 1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_rows_detect_gaps() {
+        // A mechanism that never outputs 1 (a "gap" as in Figure 1).
+        let m = Mechanism::from_fn(2, |i, _| match i {
+            0 => 0.5,
+            1 => 0.0,
+            _ => 0.5,
+        })
+        .unwrap();
+        assert_eq!(m.zero_rows(1e-12), vec![1]);
+        assert!(uniform(2).zero_rows(1e-12).is_empty());
+    }
+
+    #[test]
+    fn output_marginals_use_prior() {
+        let m = Mechanism::from_fn(1, |i, j| if i == j { 0.8 } else { 0.2 }).unwrap();
+        let marginals = m.output_marginals(&[1.0, 0.0]);
+        assert!((marginals[0] - 0.8).abs() < 1e-12);
+        assert!((marginals[1] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dp_check_identity_fails_uniform_passes() {
+        let alpha = Alpha::new(0.9).unwrap();
+        let identity = Mechanism::from_fn(3, |i, j| if i == j { 1.0 } else { 0.0 }).unwrap();
+        assert!(!identity.satisfies_dp(alpha, 1e-9));
+        assert_eq!(identity.max_alpha(), 0.0);
+        let u = uniform(3);
+        assert!(u.satisfies_dp(alpha, 1e-9));
+        assert!((u.max_alpha() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn output_dp_detects_sharp_output_jumps() {
+        let alpha = Alpha::new(0.9).unwrap();
+        // Uniform: all ratios are 1, satisfies both input- and output-side DP.
+        assert!(uniform(3).satisfies_output_dp(alpha, 1e-9));
+        // A column with a sharp step between adjacent outputs violates output DP.
+        let steep = Mechanism::from_fn(2, |i, _| match i {
+            0 => 0.9,
+            1 => 0.05,
+            _ => 0.05,
+        })
+        .unwrap();
+        assert!(steep.satisfies_dp(alpha, 1e-9));
+        assert!(!steep.satisfies_output_dp(alpha, 1e-9));
+    }
+
+    #[test]
+    fn heatmap_contains_all_cells() {
+        let m = uniform(2);
+        let text = m.heatmap();
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.contains("j=2"));
+        assert!(text.contains("0.33"));
+        assert_eq!(m.to_string(), text);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = uniform(3);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Mechanism = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,120 @@
+//! The Exponential Mechanism with the distance quality function (Section II-B, Eq. 2).
+//!
+//! McSherry–Talwar's generic construction samples output `r` with probability
+//! proportional to `exp(ε·Q(d, r) / (2s))`.  With the natural quality function
+//! `Q(j, i) = −|i − j|` (sensitivity `s = 1`) and `ε = −ln α`, the weights become
+//! `α^{|i−j|/2}`, i.e. a column-normalised geometric with parameter `√α`.  The paper
+//! uses this to motivate EM: the factor 2 in the exponent means the Exponential
+//! Mechanism effectively halves the privacy budget, so its utility is strictly worse
+//! than EM's explicit construction at the same privacy level.
+
+use crate::alpha::Alpha;
+use crate::error::CoreError;
+use crate::matrix::Mechanism;
+
+/// The Exponential Mechanism instantiated with quality `Q(j, i) = −|i − j|`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExponentialMechanism {
+    n: usize,
+    alpha: Alpha,
+    matrix: Mechanism,
+}
+
+impl ExponentialMechanism {
+    /// Construct the Exponential Mechanism for group size `n ≥ 1` at privacy level α.
+    pub fn new(n: usize, alpha: Alpha) -> Result<Self, CoreError> {
+        if n == 0 {
+            return Err(CoreError::InvalidGroupSize { value: n });
+        }
+        // Weight of output i for input j: alpha^{|i-j|/2}; normalise per column.
+        let sqrt_alpha = alpha.value().sqrt();
+        let mut columns = Vec::with_capacity(n + 1);
+        for j in 0..=n {
+            let weights: Vec<f64> = (0..=n)
+                .map(|i| sqrt_alpha.powi(i.abs_diff(j) as i32))
+                .collect();
+            let total: f64 = weights.iter().sum();
+            columns.push(weights.into_iter().map(|w| w / total).collect::<Vec<_>>());
+        }
+        let matrix = Mechanism::from_columns(n, &columns)?;
+        Ok(ExponentialMechanism { n, alpha, matrix })
+    }
+
+    /// Group size `n`.
+    pub fn group_size(&self) -> usize {
+        self.n
+    }
+
+    /// Privacy parameter α (the overall guarantee; the construction internally uses
+    /// `√α` per step, which is where its utility loss comes from).
+    pub fn alpha(&self) -> Alpha {
+        self.alpha
+    }
+
+    /// Borrow the mechanism matrix.
+    pub fn matrix(&self) -> &Mechanism {
+        &self.matrix
+    }
+
+    /// Consume the builder and return the matrix.
+    pub fn into_matrix(self) -> Mechanism {
+        self.matrix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanisms::ExplicitFairMechanism;
+    use crate::objective::rescaled_l0;
+    use crate::properties::Property;
+
+    fn a(v: f64) -> Alpha {
+        Alpha::new(v).unwrap()
+    }
+
+    #[test]
+    fn is_stochastic_and_satisfies_dp() {
+        for n in [1usize, 3, 7, 12] {
+            for alpha in [0.3, 0.62, 0.9, 1.0] {
+                let em = ExponentialMechanism::new(n, a(alpha)).unwrap();
+                assert!(em.matrix().is_column_stochastic(1e-9), "n={n} alpha={alpha}");
+                // The ratio of adjacent-column entries is at most
+                // (1/sqrt(alpha)) * (normaliser ratio <= 1/sqrt(alpha)) = 1/alpha.
+                assert!(em.matrix().satisfies_dp(a(alpha), 1e-9), "n={n} alpha={alpha}");
+            }
+        }
+    }
+
+    #[test]
+    fn is_column_honest_and_monotone_but_not_fair() {
+        let em = ExponentialMechanism::new(6, a(0.8)).unwrap();
+        assert!(Property::ColumnHonesty.holds(em.matrix(), 1e-12));
+        assert!(Property::ColumnMonotonicity.holds(em.matrix(), 1e-12));
+        assert!(Property::Symmetry.holds(em.matrix(), 1e-12));
+        // Column normalisers differ between the centre and the edges, so the diagonal
+        // is not constant.
+        assert!(!Property::Fairness.holds(em.matrix(), 1e-9));
+    }
+
+    #[test]
+    fn worse_than_explicit_fair_mechanism_at_the_same_privacy_level() {
+        // Section IV-C: the factor 2 in Eq. (2) makes the exponential mechanism
+        // equivalent to halving epsilon, so its L0 is strictly worse than EM's.
+        for n in [3usize, 7, 12] {
+            for alpha in [0.5, 0.8, 0.95] {
+                let exp = ExponentialMechanism::new(n, a(alpha)).unwrap();
+                let em = ExplicitFairMechanism::new(n, a(alpha)).unwrap();
+                assert!(
+                    rescaled_l0(exp.matrix()) > rescaled_l0(em.matrix()) - 1e-12,
+                    "n={n} alpha={alpha}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_zero_group_size() {
+        assert!(ExponentialMechanism::new(0, a(0.5)).is_err());
+    }
+}

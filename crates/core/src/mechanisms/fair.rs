@@ -1,0 +1,206 @@
+//! The Explicit Fair Mechanism EM (Section IV-C, Eq. 16, Figure 4).
+//!
+//! EM is the paper's new construction: a mechanism that is simultaneously fair,
+//! weakly honest, row/column honest and monotone, and symmetric, while paying only a
+//! `≈ (1 + 1/n)` factor over the Geometric Mechanism's optimal `L0` score
+//! (Theorem 4).  The entries are powers of α times a common diagonal value `y`; the
+//! exponent grows by 1 per step near the diagonal and by 1 per *two* steps once the
+//! distance exceeds `min(j, n−j)`, which is exactly what makes every column contain
+//! the same multiset of powers (so a single `y` normalises all columns at once).
+
+use crate::alpha::Alpha;
+use crate::closed_form;
+use crate::error::CoreError;
+use crate::matrix::Mechanism;
+
+/// The Explicit Fair Mechanism for a group of size `n` at privacy level α.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplicitFairMechanism {
+    n: usize,
+    alpha: Alpha,
+    matrix: Mechanism,
+}
+
+impl ExplicitFairMechanism {
+    /// Construct EM for group size `n ≥ 1` and privacy parameter α.
+    pub fn new(n: usize, alpha: Alpha) -> Result<Self, CoreError> {
+        let y = closed_form::em_diagonal(n, alpha);
+        let matrix = Mechanism::from_fn(n, |i, j| y * alpha.value().powi(Self::exponent(n, i, j)))?;
+        Ok(ExplicitFairMechanism { n, alpha, matrix })
+    }
+
+    /// The exponent of α in cell `(i, j)` of Eq. (16):
+    /// `|i−j|` while `|i−j| < min(j, n−j)`, and `⌈(|i−j| + min(j, n−j)) / 2⌉` beyond.
+    pub fn exponent(n: usize, output: usize, input: usize) -> i32 {
+        let d = output.abs_diff(input);
+        let edge = input.min(n - input);
+        if d < edge {
+            d as i32
+        } else {
+            ((d + edge).div_ceil(2)) as i32
+        }
+    }
+
+    /// The diagonal value `y` of this instance (Eq. 15 / [`closed_form::em_diagonal`]).
+    pub fn diagonal_value(&self) -> f64 {
+        closed_form::em_diagonal(self.n, self.alpha)
+    }
+
+    /// Group size `n`.
+    pub fn group_size(&self) -> usize {
+        self.n
+    }
+
+    /// Privacy parameter α.
+    pub fn alpha(&self) -> Alpha {
+        self.alpha
+    }
+
+    /// Borrow the mechanism matrix.
+    pub fn matrix(&self) -> &Mechanism {
+        &self.matrix
+    }
+
+    /// Consume the builder and return the matrix.
+    pub fn into_matrix(self) -> Mechanism {
+        self.matrix
+    }
+
+    /// The closed-form rescaled `L0` score, `(n+1)/n · (1 − y)` (Section IV-C).
+    pub fn l0_score(&self) -> f64 {
+        closed_form::em_l0(self.n, self.alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::rescaled_l0;
+    use crate::properties::{Property, PropertySet};
+
+    fn a(v: f64) -> Alpha {
+        Alpha::new(v).unwrap()
+    }
+
+    #[test]
+    fn matrix_is_stochastic_and_dp_across_parameters() {
+        for n in [1usize, 2, 3, 4, 7, 8, 15, 16, 31] {
+            for alpha in [0.1, 0.5, 0.62, 0.9, 0.99, 1.0] {
+                let em = ExplicitFairMechanism::new(n, a(alpha)).unwrap();
+                let m = em.matrix();
+                assert!(m.is_column_stochastic(1e-9), "n={n} alpha={alpha}");
+                assert!(m.satisfies_dp(a(alpha), 1e-9), "n={n} alpha={alpha}");
+            }
+        }
+    }
+
+    #[test]
+    fn figure_4_structure_for_n_7() {
+        // Spot-check the exponent pattern of Figure 4 (n = 7).
+        let n = 7;
+        // Row 0: 0 1 2 3 4 4 4 4.
+        let expected_row0 = [0, 1, 2, 3, 4, 4, 4, 4];
+        for (j, &e) in expected_row0.iter().enumerate() {
+            assert_eq!(ExplicitFairMechanism::exponent(n, 0, j), e, "row 0 col {j}");
+        }
+        // Row 3: 2 2 1 0 1 2 2 2.
+        let expected_row3 = [2, 2, 1, 0, 1, 2, 2, 2];
+        for (j, &e) in expected_row3.iter().enumerate() {
+            assert_eq!(ExplicitFairMechanism::exponent(n, 3, j), e, "row 3 col {j}");
+        }
+        // Row 7: 4 4 4 4 3 2 1 0.
+        let expected_row7 = [4, 4, 4, 4, 3, 2, 1, 0];
+        for (j, &e) in expected_row7.iter().enumerate() {
+            assert_eq!(ExplicitFairMechanism::exponent(n, 7, j), e, "row 7 col {j}");
+        }
+    }
+
+    #[test]
+    fn satisfies_all_seven_properties() {
+        // Theorem 4: EM satisfies every structural property, for every n and alpha.
+        for n in [1usize, 2, 3, 4, 5, 7, 8, 12, 16, 25] {
+            for alpha in [0.3, 0.5, 2.0 / 3.0, 0.9, 0.91, 0.99] {
+                let em = ExplicitFairMechanism::new(n, a(alpha)).unwrap();
+                let violations = PropertySet::all().violations(em.matrix(), 1e-9);
+                assert!(
+                    violations.is_empty(),
+                    "n={n} alpha={alpha}: violations {violations:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_equals_closed_form_y() {
+        for n in [2usize, 5, 8, 13] {
+            for alpha in [0.5, 0.9] {
+                let em = ExplicitFairMechanism::new(n, a(alpha)).unwrap();
+                let y = em.diagonal_value();
+                for i in 0..=n {
+                    assert!((em.matrix().prob(i, i) - y).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn l0_matches_closed_form_and_dominates_gm() {
+        use crate::mechanisms::geometric::GeometricMechanism;
+        for n in [2usize, 4, 7, 12] {
+            for alpha in [0.5, 0.67, 0.9] {
+                let em = ExplicitFairMechanism::new(n, a(alpha)).unwrap();
+                let measured = rescaled_l0(em.matrix());
+                assert!((measured - em.l0_score()).abs() < 1e-9, "n={n} alpha={alpha}");
+                let gm = GeometricMechanism::new(n, a(alpha)).unwrap();
+                assert!(
+                    em.l0_score() + 1e-12 >= gm.l0_score(),
+                    "EM cannot beat the unconstrained optimum (n={n} alpha={alpha})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn n_4_alpha_09_diagonal_mass_matches_section_iv_d() {
+        // Section IV-D / Figure 7: for n = 4 and alpha "0.9" (the quoted values 0.238
+        // and 0.224 correspond to alpha = 10/11 ≈ 0.909), under a uniform input prior
+        // EM reports the true input with probability 0.224 (GM: 0.238).
+        let em = ExplicitFairMechanism::new(4, a(10.0 / 11.0)).unwrap();
+        let truth_probability = em.matrix().trace() / 5.0;
+        assert!(
+            (truth_probability - 0.224).abs() < 5e-4,
+            "got {truth_probability}"
+        );
+        let gm = crate::mechanisms::geometric::GeometricMechanism::new(4, a(10.0 / 11.0)).unwrap();
+        let gm_truth = gm.matrix().trace() / 5.0;
+        assert!((gm_truth - 0.238).abs() < 5e-4, "got {gm_truth}");
+        assert!(gm_truth > truth_probability);
+    }
+
+    #[test]
+    fn n_1_reduces_to_randomized_response() {
+        let em = ExplicitFairMechanism::new(1, a(0.5)).unwrap();
+        let m = em.matrix();
+        assert!((m.prob(0, 0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.prob(1, 0) - 1.0 / 3.0).abs() < 1e-12);
+        assert!(Property::Fairness.holds(m, 1e-12));
+    }
+
+    #[test]
+    fn em_is_not_fully_determined_by_tight_dp_constraints() {
+        // Section IV-C: a fair mechanism cannot have all DP inequalities tight.  In EM
+        // at least one adjacent pair in some row has equal entries (ratio 1 != alpha).
+        let em = ExplicitFairMechanism::new(7, a(0.62)).unwrap();
+        let m = em.matrix();
+        let mut found_slack_pair = false;
+        for i in 0..=7usize {
+            for j in 0..7usize {
+                let ratio = m.prob(i, j) / m.prob(i, j + 1);
+                if (ratio - 1.0).abs() < 1e-12 {
+                    found_slack_pair = true;
+                }
+            }
+        }
+        assert!(found_slack_pair);
+    }
+}

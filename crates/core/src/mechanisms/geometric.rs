@@ -1,0 +1,207 @@
+//! The range-restricted (truncated) Geometric Mechanism GM (Definition 4, Figure 3).
+//!
+//! GM adds two-sided geometric noise `Pr[X = δ] = (1−α)/(1+α) · α^{|δ|}` to the true
+//! count and clamps the result to `[0, n]`.  The resulting matrix has interior rows
+//! `y·α^{|i−j|}` with `y = (1−α)/(1+α)` and boundary rows (outputs 0 and n)
+//! `x·α^{distance}` with `x = 1/(1+α)`, where all the clamped mass piles up.
+//!
+//! GM is the unique `L0`-optimal mechanism under BASICDP alone (Theorem 3), but it
+//! is not fair, is column monotone only for `α ≤ 1/2` (Lemma 3), and is weakly honest
+//! only for `n ≥ 2α/(1−α)` (Lemma 2) — the pathologies that motivate the paper.
+
+use crate::alpha::Alpha;
+use crate::closed_form;
+use crate::error::CoreError;
+use crate::matrix::Mechanism;
+
+/// The truncated Geometric Mechanism for a group of size `n` at privacy level α.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeometricMechanism {
+    n: usize,
+    alpha: Alpha,
+    matrix: Mechanism,
+}
+
+impl GeometricMechanism {
+    /// Construct GM for group size `n ≥ 1` and privacy parameter α.
+    pub fn new(n: usize, alpha: Alpha) -> Result<Self, CoreError> {
+        let matrix = Mechanism::from_fn(n, |i, j| Self::probability(n, alpha, i, j))?;
+        Ok(GeometricMechanism { n, alpha, matrix })
+    }
+
+    /// The closed-form entry `Pr[i | j]` of Figure 3.
+    pub fn probability(n: usize, alpha: Alpha, output: usize, input: usize) -> f64 {
+        let a = alpha.value();
+        let distance = output.abs_diff(input) as i32;
+        if output == 0 || output == n {
+            // Boundary rows absorb the clamped tail: x * alpha^{distance}.
+            closed_form::gm_boundary_coefficient(alpha) * a.powi(distance)
+        } else {
+            closed_form::gm_interior_coefficient(alpha) * a.powi(distance)
+        }
+    }
+
+    /// Group size `n`.
+    pub fn group_size(&self) -> usize {
+        self.n
+    }
+
+    /// Privacy parameter α.
+    pub fn alpha(&self) -> Alpha {
+        self.alpha
+    }
+
+    /// Borrow the mechanism matrix.
+    pub fn matrix(&self) -> &Mechanism {
+        &self.matrix
+    }
+
+    /// Consume the builder and return the matrix.
+    pub fn into_matrix(self) -> Mechanism {
+        self.matrix
+    }
+
+    /// The closed-form rescaled `L0` score, `2α/(1+α)` (Section IV-B).
+    pub fn l0_score(&self) -> f64 {
+        closed_form::gm_l0(self.alpha)
+    }
+
+    /// Lemma 2: whether this instance satisfies weak honesty.
+    pub fn satisfies_weak_honesty(&self) -> bool {
+        closed_form::gm_satisfies_weak_honesty(self.n, self.alpha)
+    }
+
+    /// Lemma 3: whether this instance satisfies column monotonicity.
+    pub fn satisfies_column_monotonicity(&self) -> bool {
+        closed_form::gm_satisfies_column_monotonicity(self.alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::rescaled_l0;
+    use crate::properties::Property;
+
+    fn a(v: f64) -> Alpha {
+        Alpha::new(v).unwrap()
+    }
+
+    #[test]
+    fn matrix_is_stochastic_and_dp_across_parameters() {
+        for n in [1usize, 2, 3, 7, 8, 20] {
+            for alpha in [0.1, 0.5, 0.62, 0.9, 0.99, 1.0] {
+                let gm = GeometricMechanism::new(n, a(alpha)).unwrap();
+                let m = gm.matrix();
+                assert!(m.is_column_stochastic(1e-9), "n={n} alpha={alpha}");
+                assert!(m.satisfies_dp(a(alpha), 1e-9), "n={n} alpha={alpha}");
+            }
+        }
+    }
+
+    #[test]
+    fn example_1_probabilities() {
+        // Example 1: n = 2, alpha = 0.9.  Pr[0|1] ≈ 0.47, Pr[1|1] ≈ 0.05, Pr[0|0] ≈ 0.53.
+        let gm = GeometricMechanism::new(2, a(0.9)).unwrap();
+        let m = gm.matrix();
+        assert!((m.prob(0, 1) - 0.47368421052631576).abs() < 1e-9);
+        assert!((m.prob(2, 1) - 0.47368421052631576).abs() < 1e-9);
+        assert!((m.prob(1, 1) - 0.05263157894736842).abs() < 1e-9);
+        assert!((m.prob(0, 0) - 0.5263157894736842).abs() < 1e-9);
+        // The chance of the true answer on input 1 is eighteen times lower than an
+        // incorrect answer (0.47*2 / 0.052 ≈ 18).
+        let wrong = m.prob(0, 1) + m.prob(2, 1);
+        assert!((wrong / m.prob(1, 1) - 18.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn structure_matches_figure_3() {
+        let n = 5;
+        let alpha = a(0.62);
+        let gm = GeometricMechanism::new(n, alpha).unwrap();
+        let m = gm.matrix();
+        let x = closed_form::gm_boundary_coefficient(alpha);
+        let y = closed_form::gm_interior_coefficient(alpha);
+        // Top row: x, x*alpha, ..., x*alpha^n.
+        for j in 0..=n {
+            assert!((m.prob(0, j) - x * alpha.value().powi(j as i32)).abs() < 1e-12);
+        }
+        // Interior rows: y * alpha^{|i-j|}.
+        for i in 1..n {
+            for j in 0..=n {
+                let expected = y * alpha.value().powi(i.abs_diff(j) as i32);
+                assert!((m.prob(i, j) - expected).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn l0_matches_closed_form() {
+        for n in [2usize, 4, 9, 16] {
+            for alpha in [0.5, 0.62, 0.9] {
+                let gm = GeometricMechanism::new(n, a(alpha)).unwrap();
+                let measured = rescaled_l0(gm.matrix());
+                assert!(
+                    (measured - gm.l0_score()).abs() < 1e-9,
+                    "n={n} alpha={alpha}: {measured} vs {}",
+                    gm.l0_score()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn row_properties_always_hold_column_properties_depend_on_parameters() {
+        // GM is always symmetric, row monotone, and row honest.
+        for (n, alpha) in [(4usize, 0.9), (7, 0.5), (10, 0.67)] {
+            let gm = GeometricMechanism::new(n, a(alpha)).unwrap();
+            let m = gm.matrix();
+            assert!(Property::Symmetry.holds(m, 1e-9));
+            assert!(Property::RowMonotonicity.holds(m, 1e-9));
+            assert!(Property::RowHonesty.holds(m, 1e-9));
+        }
+        // Lemma 3: column monotonicity iff alpha <= 1/2.
+        let cm_ok = GeometricMechanism::new(6, a(0.5)).unwrap();
+        assert!(Property::ColumnMonotonicity.holds(cm_ok.matrix(), 1e-9));
+        assert!(cm_ok.satisfies_column_monotonicity());
+        let cm_bad = GeometricMechanism::new(6, a(0.9)).unwrap();
+        assert!(!Property::ColumnMonotonicity.holds(cm_bad.matrix(), 1e-9));
+        assert!(!cm_bad.satisfies_column_monotonicity());
+    }
+
+    #[test]
+    fn weak_honesty_threshold_matches_lemma_2() {
+        // alpha = 2/3 -> threshold n >= 4 (n = 1 is the randomized-response special
+        // case, which is always weakly honest).
+        let alpha = a(2.0 / 3.0);
+        for n in 1..=10usize {
+            let gm = GeometricMechanism::new(n, alpha).unwrap();
+            let predicted = gm.satisfies_weak_honesty();
+            let actual = Property::WeakHonesty.holds(gm.matrix(), 1e-9);
+            assert_eq!(predicted, actual, "n={n}");
+            assert_eq!(actual, n == 1 || n >= 4, "n={n}");
+        }
+    }
+
+    #[test]
+    fn gm_is_never_fair_for_n_above_one() {
+        for n in 2..=8usize {
+            let gm = GeometricMechanism::new(n, a(0.8)).unwrap();
+            assert!(!Property::Fairness.holds(gm.matrix(), 1e-9), "n={n}");
+        }
+        // n = 1 GM degenerates to randomized response, which is fair.
+        let rr = GeometricMechanism::new(1, a(0.8)).unwrap();
+        assert!(Property::Fairness.holds(rr.matrix(), 1e-9));
+    }
+
+    #[test]
+    fn alpha_one_degenerates_to_a_valid_mechanism() {
+        // At alpha = 1 the interior rows vanish and all mass sits on outputs 0 and n.
+        let gm = GeometricMechanism::new(4, a(1.0)).unwrap();
+        let m = gm.matrix();
+        assert!(m.is_column_stochastic(1e-9));
+        assert!((m.prob(0, 2) - 0.5).abs() < 1e-12);
+        assert!((m.prob(4, 2) - 0.5).abs() < 1e-12);
+        assert_eq!(m.zero_rows(1e-12), vec![1, 2, 3]);
+    }
+}

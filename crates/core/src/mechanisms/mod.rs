@@ -1,0 +1,28 @@
+//! Explicit mechanism constructions.
+//!
+//! * [`geometric`] — the truncated Geometric Mechanism GM of Ghosh et al.
+//!   (Definition 4 / Figure 3), optimal for `L0` under BASICDP alone (Theorem 3).
+//! * [`fair`] — the Explicit Fair Mechanism EM introduced by the paper
+//!   (Eq. 16 / Figure 4), optimal for `L0` among mechanisms with *all* structural
+//!   properties (Theorem 4).
+//! * [`uniform`] — the trivial Uniform Mechanism UM (Definition 5), the feasibility
+//!   witness for every property combination and the `L0 = 1` baseline.
+//! * [`randomized_response`] — binary and n-ary randomized response (Section II-B).
+//! * [`exponential`] — the Exponential Mechanism with the distance quality function
+//!   (Section II-B, Eq. 2).
+//! * [`laplace`] — the rounded-and-truncated Laplace mechanism, discretised to the
+//!   matrix form for comparison.
+
+pub mod exponential;
+pub mod fair;
+pub mod geometric;
+pub mod laplace;
+pub mod randomized_response;
+pub mod uniform;
+
+pub use exponential::ExponentialMechanism;
+pub use fair::ExplicitFairMechanism;
+pub use geometric::GeometricMechanism;
+pub use laplace::LaplaceMechanism;
+pub use randomized_response::{BinaryRandomizedResponse, NaryRandomizedResponse};
+pub use uniform::UniformMechanism;

@@ -1,0 +1,171 @@
+//! Randomized response mechanisms (Section II-B).
+//!
+//! * [`BinaryRandomizedResponse`] — the canonical single-bit mechanism: report the
+//!   truth with probability `p`, the negation with probability `1 − p`.  It is
+//!   α-differentially private for `α = (1−p)/p`, i.e. the honest choice at level α is
+//!   `p = 1/(1+α)`.  It coincides with both GM and EM for `n = 1`.
+//! * [`NaryRandomizedResponse`] — Geng et al.'s extension to an `(n+1)`-valued
+//!   answer: report the truth with probability `p`, otherwise pick one of the other
+//!   `n` outputs uniformly.  Taking the largest `p` allowed by α-DP gives
+//!   `p = 1/(1 + nα)`.  As the paper notes, this gives low utility for count queries
+//!   because it ignores the metric structure of the output space — a useful foil for
+//!   GM/EM in the experiments.
+
+use crate::alpha::Alpha;
+use crate::closed_form;
+use crate::error::CoreError;
+use crate::matrix::Mechanism;
+
+/// Single-bit randomized response at privacy level α (`n = 1`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinaryRandomizedResponse {
+    alpha: Alpha,
+    matrix: Mechanism,
+}
+
+impl BinaryRandomizedResponse {
+    /// Construct the binary randomized-response mechanism with the largest truthful
+    /// probability allowed at privacy level α.
+    pub fn new(alpha: Alpha) -> Result<Self, CoreError> {
+        let p = closed_form::randomized_response_truth_probability(alpha);
+        let matrix = Mechanism::from_fn(1, |i, j| if i == j { p } else { 1.0 - p })?;
+        Ok(BinaryRandomizedResponse { alpha, matrix })
+    }
+
+    /// The probability of reporting the true bit.
+    pub fn truth_probability(&self) -> f64 {
+        closed_form::randomized_response_truth_probability(self.alpha)
+    }
+
+    /// Privacy parameter α.
+    pub fn alpha(&self) -> Alpha {
+        self.alpha
+    }
+
+    /// Borrow the mechanism matrix.
+    pub fn matrix(&self) -> &Mechanism {
+        &self.matrix
+    }
+
+    /// Consume the builder and return the matrix.
+    pub fn into_matrix(self) -> Mechanism {
+        self.matrix
+    }
+}
+
+/// Geng et al.'s n-ary randomized response over outputs `{0, …, n}`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NaryRandomizedResponse {
+    n: usize,
+    alpha: Alpha,
+    matrix: Mechanism,
+}
+
+impl NaryRandomizedResponse {
+    /// Construct the n-ary randomized-response mechanism for group size `n ≥ 1` at
+    /// privacy level α.
+    pub fn new(n: usize, alpha: Alpha) -> Result<Self, CoreError> {
+        if n == 0 {
+            return Err(CoreError::InvalidGroupSize { value: n });
+        }
+        let p = closed_form::nary_randomized_response_truth_probability(n, alpha);
+        let off = (1.0 - p) / n as f64;
+        let matrix = Mechanism::from_fn(n, |i, j| if i == j { p } else { off })?;
+        Ok(NaryRandomizedResponse { n, alpha, matrix })
+    }
+
+    /// The probability of reporting the true count.
+    pub fn truth_probability(&self) -> f64 {
+        closed_form::nary_randomized_response_truth_probability(self.n, self.alpha)
+    }
+
+    /// Group size `n`.
+    pub fn group_size(&self) -> usize {
+        self.n
+    }
+
+    /// Privacy parameter α.
+    pub fn alpha(&self) -> Alpha {
+        self.alpha
+    }
+
+    /// Borrow the mechanism matrix.
+    pub fn matrix(&self) -> &Mechanism {
+        &self.matrix
+    }
+
+    /// Consume the builder and return the matrix.
+    pub fn into_matrix(self) -> Mechanism {
+        self.matrix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanisms::{ExplicitFairMechanism, GeometricMechanism};
+    use crate::objective::rescaled_l0;
+    use crate::properties::PropertySet;
+
+    fn a(v: f64) -> Alpha {
+        Alpha::new(v).unwrap()
+    }
+
+    #[test]
+    fn binary_rr_is_dp_and_fair() {
+        for alpha in [0.25, 0.5, 0.9, 1.0] {
+            let rr = BinaryRandomizedResponse::new(a(alpha)).unwrap();
+            assert!(rr.matrix().satisfies_dp(a(alpha), 1e-12));
+            assert!(PropertySet::all().all_hold(rr.matrix(), 1e-12));
+            // The DP constraint is tight: ratio of off/diag equals alpha exactly.
+            let ratio = rr.matrix().prob(0, 1) / rr.matrix().prob(0, 0);
+            assert!((ratio - alpha).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn binary_rr_coincides_with_gm_and_em_for_n_1() {
+        // Section IV-A: for n = 1, randomized response is the unique optimal mechanism,
+        // so GM, EM, and RR all coincide.
+        let alpha = a(0.7);
+        let rr = BinaryRandomizedResponse::new(alpha).unwrap();
+        let gm = GeometricMechanism::new(1, alpha).unwrap();
+        let em = ExplicitFairMechanism::new(1, alpha).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((rr.matrix().prob(i, j) - gm.matrix().prob(i, j)).abs() < 1e-12);
+                assert!((rr.matrix().prob(i, j) - em.matrix().prob(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn nary_rr_is_dp_but_weak_for_counts() {
+        let alpha = a(0.9);
+        for n in [2usize, 4, 8] {
+            let rr = NaryRandomizedResponse::new(n, alpha).unwrap();
+            assert!(rr.matrix().satisfies_dp(alpha, 1e-12), "n={n}");
+            assert!(PropertySet::all().all_hold(rr.matrix(), 1e-12), "n={n}");
+            // Low utility: its L0 is worse than EM's (it wastes budget protecting
+            // against far-away outputs equally).
+            let em = ExplicitFairMechanism::new(n, alpha).unwrap();
+            assert!(rescaled_l0(rr.matrix()) >= rescaled_l0(em.matrix()) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn nary_rr_truth_probability_formula() {
+        let rr = NaryRandomizedResponse::new(4, a(0.5)).unwrap();
+        assert!((rr.truth_probability() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((rr.matrix().prob(0, 0) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((rr.matrix().prob(1, 0) - 1.0 / 6.0).abs() < 1e-12);
+        assert!(NaryRandomizedResponse::new(0, a(0.5)).is_err());
+    }
+
+    #[test]
+    fn binary_truth_probability_accessor() {
+        let rr = BinaryRandomizedResponse::new(a(0.5)).unwrap();
+        assert!((rr.truth_probability() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(rr.alpha().value(), 0.5);
+    }
+}

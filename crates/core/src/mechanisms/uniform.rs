@@ -1,0 +1,83 @@
+//! The Uniform Mechanism UM (Definition 5).
+//!
+//! UM ignores its input and reports an output drawn uniformly from `{0, …, n}`.  It
+//! satisfies every structural property and every privacy level trivially, and its
+//! rescaled `L0` score is exactly 1 — the baseline against which the paper's plots
+//! are normalised.
+
+use crate::error::CoreError;
+use crate::matrix::Mechanism;
+
+/// The trivial uniform mechanism for a group of size `n`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UniformMechanism {
+    n: usize,
+    matrix: Mechanism,
+}
+
+impl UniformMechanism {
+    /// Construct UM for group size `n ≥ 1`.
+    pub fn new(n: usize) -> Result<Self, CoreError> {
+        let p = 1.0 / (n as f64 + 1.0);
+        let matrix = Mechanism::from_fn(n, |_, _| p)?;
+        Ok(UniformMechanism { n, matrix })
+    }
+
+    /// Group size `n`.
+    pub fn group_size(&self) -> usize {
+        self.n
+    }
+
+    /// Borrow the mechanism matrix.
+    pub fn matrix(&self) -> &Mechanism {
+        &self.matrix
+    }
+
+    /// Consume the builder and return the matrix.
+    pub fn into_matrix(self) -> Mechanism {
+        self.matrix
+    }
+
+    /// The rescaled `L0` score of UM, which is 1 by construction of the rescaling.
+    pub fn l0_score(&self) -> f64 {
+        1.0
+    }
+
+    /// The unrescaled expected-error objective `O_{0,Σ}(UM) = n/(n+1)` (Section IV-A).
+    pub fn unrescaled_l0(&self) -> f64 {
+        self.n as f64 / (self.n as f64 + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alpha::Alpha;
+    use crate::objective::{rescaled_l0, Objective};
+    use crate::properties::PropertySet;
+
+    #[test]
+    fn satisfies_everything_at_every_privacy_level() {
+        for n in [1usize, 3, 10] {
+            let um = UniformMechanism::new(n).unwrap();
+            assert!(PropertySet::all().all_hold(um.matrix(), 1e-12));
+            for alpha in [0.1, 0.5, 1.0] {
+                assert!(um.matrix().satisfies_dp(Alpha::new(alpha).unwrap(), 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn scores_match_section_iv_a() {
+        for n in [2usize, 5, 9] {
+            let um = UniformMechanism::new(n).unwrap();
+            assert!((rescaled_l0(um.matrix()) - um.l0_score()).abs() < 1e-12);
+            assert!((Objective::l0().value(um.matrix()).unwrap() - um.unrescaled_l0()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_zero_group() {
+        assert!(UniformMechanism::new(0).is_err());
+    }
+}

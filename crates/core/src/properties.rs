@@ -1,0 +1,442 @@
+//! The seven structural properties of Section IV-A and their implication lattice.
+//!
+//! Each property is a set of linear inequalities (or equalities) over the entries of
+//! the mechanism matrix, so any subset can be added to the design LP (Theorem 2).
+//! The checkers here evaluate a property on a concrete [`Mechanism`] with an absolute
+//! tolerance; the implication lattice mirrors the reductions used in Section IV-D to
+//! collapse the 128 possible property combinations to a handful of behaviours.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::Mechanism;
+
+/// One of the seven structural properties of Section IV-A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Property {
+    /// RH (Eq. 7): `Pr[i|i] >= Pr[i|j]` — row `i` peaks at the diagonal.
+    RowHonesty,
+    /// RM (Eq. 8): entries of row `i` are non-increasing moving away from the diagonal.
+    RowMonotonicity,
+    /// CH (Eq. 9): `Pr[j|j] >= Pr[i|j]` — the truth is the most likely single output.
+    ColumnHonesty,
+    /// CM (Eq. 10): entries of column `j` are non-increasing moving away from the diagonal.
+    ColumnMonotonicity,
+    /// F (Eq. 11): the probability of reporting the truth is the same for every input.
+    Fairness,
+    /// WH (Eq. 13): `Pr[i|i] >= 1/(n+1)` — at least as honest as uniform guessing.
+    WeakHonesty,
+    /// S (Eq. 14): centro-symmetry, `Pr[i|j] = Pr[n−i|n−j]`.
+    Symmetry,
+}
+
+impl Property {
+    /// All seven properties, in the paper's presentation order.
+    pub const ALL: [Property; 7] = [
+        Property::RowHonesty,
+        Property::RowMonotonicity,
+        Property::ColumnHonesty,
+        Property::ColumnMonotonicity,
+        Property::Fairness,
+        Property::WeakHonesty,
+        Property::Symmetry,
+    ];
+
+    /// The short name used in the paper (RH, RM, CH, CM, F, WH, S).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Property::RowHonesty => "RH",
+            Property::RowMonotonicity => "RM",
+            Property::ColumnHonesty => "CH",
+            Property::ColumnMonotonicity => "CM",
+            Property::Fairness => "F",
+            Property::WeakHonesty => "WH",
+            Property::Symmetry => "S",
+        }
+    }
+
+    /// Parse a short name (case-insensitive).
+    pub fn from_short_name(name: &str) -> Option<Property> {
+        match name.to_ascii_uppercase().as_str() {
+            "RH" => Some(Property::RowHonesty),
+            "RM" => Some(Property::RowMonotonicity),
+            "CH" => Some(Property::ColumnHonesty),
+            "CM" => Some(Property::ColumnMonotonicity),
+            "F" => Some(Property::Fairness),
+            "WH" => Some(Property::WeakHonesty),
+            "S" => Some(Property::Symmetry),
+            _ => None,
+        }
+    }
+
+    /// Check whether the property holds for `mechanism` within an absolute `tolerance`.
+    pub fn holds(self, mechanism: &Mechanism, tolerance: f64) -> bool {
+        let dim = mechanism.dim();
+        let n = mechanism.group_size();
+        match self {
+            Property::RowHonesty => (0..dim).all(|i| {
+                let diag = mechanism.prob(i, i);
+                (0..dim).all(|j| mechanism.prob(i, j) <= diag + tolerance)
+            }),
+            Property::RowMonotonicity => (0..dim).all(|i| {
+                // Towards smaller inputs: Pr[i|j-1] <= Pr[i|j] for 1 <= j <= i.
+                (1..=i).all(|j| mechanism.prob(i, j - 1) <= mechanism.prob(i, j) + tolerance)
+                    // Away from the diagonal on the right: Pr[i|j+1] <= Pr[i|j] for i <= j < n.
+                    && (i..n).all(|j| mechanism.prob(i, j + 1) <= mechanism.prob(i, j) + tolerance)
+            }),
+            Property::ColumnHonesty => (0..dim).all(|j| {
+                let diag = mechanism.prob(j, j);
+                (0..dim).all(|i| mechanism.prob(i, j) <= diag + tolerance)
+            }),
+            Property::ColumnMonotonicity => (0..dim).all(|j| {
+                (1..=j).all(|i| mechanism.prob(i - 1, j) <= mechanism.prob(i, j) + tolerance)
+                    && (j..n).all(|i| mechanism.prob(i + 1, j) <= mechanism.prob(i, j) + tolerance)
+            }),
+            Property::Fairness => {
+                let y = mechanism.prob(0, 0);
+                (1..dim).all(|i| (mechanism.prob(i, i) - y).abs() <= tolerance)
+            }
+            Property::WeakHonesty => {
+                let bound = 1.0 / dim as f64;
+                (0..dim).all(|i| mechanism.prob(i, i) + tolerance >= bound)
+            }
+            Property::Symmetry => (0..dim).all(|i| {
+                (0..dim).all(|j| {
+                    (mechanism.prob(i, j) - mechanism.prob(n - i, n - j)).abs() <= tolerance
+                })
+            }),
+        }
+    }
+
+    /// Properties directly implied by this one (Section IV-A / IV-D):
+    /// RM ⇒ RH, CM ⇒ CH, CH ⇒ WH.
+    pub fn direct_implications(self) -> &'static [Property] {
+        match self {
+            Property::RowMonotonicity => &[Property::RowHonesty],
+            Property::ColumnMonotonicity => &[Property::ColumnHonesty],
+            Property::ColumnHonesty => &[Property::WeakHonesty],
+            _ => &[],
+        }
+    }
+}
+
+impl fmt::Display for Property {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.short_name())
+    }
+}
+
+/// A set of requested structural properties.
+///
+/// Backed by a bitmask so sets are cheap to copy and compare; iteration follows the
+/// paper's presentation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct PropertySet(u8);
+
+impl PropertySet {
+    /// The empty set (plain BASICDP design, Section III).
+    pub const fn empty() -> Self {
+        PropertySet(0)
+    }
+
+    /// The set of all seven properties.
+    pub fn all() -> Self {
+        Property::ALL.iter().copied().collect()
+    }
+
+    fn bit(property: Property) -> u8 {
+        match property {
+            Property::RowHonesty => 1,
+            Property::RowMonotonicity => 1 << 1,
+            Property::ColumnHonesty => 1 << 2,
+            Property::ColumnMonotonicity => 1 << 3,
+            Property::Fairness => 1 << 4,
+            Property::WeakHonesty => 1 << 5,
+            Property::Symmetry => 1 << 6,
+        }
+    }
+
+    /// Insert a property, returning the updated set (builder style).
+    #[must_use]
+    pub fn with(mut self, property: Property) -> Self {
+        self.insert(property);
+        self
+    }
+
+    /// Insert a property in place.
+    pub fn insert(&mut self, property: Property) {
+        self.0 |= Self::bit(property);
+    }
+
+    /// Remove a property in place.
+    pub fn remove(&mut self, property: Property) {
+        self.0 &= !Self::bit(property);
+    }
+
+    /// Whether the set contains a property.
+    pub fn contains(self, property: Property) -> bool {
+        self.0 & Self::bit(property) != 0
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of properties in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Iterate over the members in presentation order.
+    pub fn iter(self) -> impl Iterator<Item = Property> {
+        Property::ALL.into_iter().filter(move |&p| self.contains(p))
+    }
+
+    /// The implication closure of the set: repeatedly add every property directly
+    /// implied by a member (RM ⇒ RH, CM ⇒ CH ⇒ WH).  Fairness combined with a row
+    /// (column) honesty property implies the corresponding column (row) honesty
+    /// property, as argued below Eq. (11).
+    #[must_use]
+    pub fn closure(self) -> Self {
+        let mut closed = self;
+        loop {
+            let mut next = closed;
+            for property in closed.iter() {
+                for &implied in property.direct_implications() {
+                    next.insert(implied);
+                }
+            }
+            if next.contains(Property::Fairness) {
+                if next.contains(Property::RowHonesty) {
+                    next.insert(Property::ColumnHonesty);
+                }
+                if next.contains(Property::ColumnHonesty) {
+                    next.insert(Property::RowHonesty);
+                }
+            }
+            if next == closed {
+                return closed;
+            }
+            closed = next;
+        }
+    }
+
+    /// Whether every property in the set holds for `mechanism` within `tolerance`.
+    pub fn all_hold(self, mechanism: &Mechanism, tolerance: f64) -> bool {
+        self.iter().all(|p| p.holds(mechanism, tolerance))
+    }
+
+    /// The subset of properties in this set that *fail* for `mechanism`.
+    pub fn violations(self, mechanism: &Mechanism, tolerance: f64) -> Vec<Property> {
+        self.iter()
+            .filter(|p| !p.holds(mechanism, tolerance))
+            .collect()
+    }
+
+    /// All 128 possible property subsets (used by the design-space collapse experiment).
+    pub fn power_set() -> Vec<PropertySet> {
+        (0u8..128).map(PropertySet).collect()
+    }
+}
+
+impl FromIterator<Property> for PropertySet {
+    fn from_iter<T: IntoIterator<Item = Property>>(iter: T) -> Self {
+        let mut set = PropertySet::empty();
+        for property in iter {
+            set.insert(property);
+        }
+        set
+    }
+}
+
+impl fmt::Display for PropertySet {
+    /// Prints `{RH, CM}`-style sets using the paper's short names.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for property in self.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", property.short_name())?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Report on which of the seven properties a mechanism satisfies (used by the
+/// Figure 6 table binary).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PropertyReport {
+    /// Whether each of the seven properties holds, in [`Property::ALL`] order.
+    pub satisfied: Vec<(String, bool)>,
+}
+
+impl PropertyReport {
+    /// Evaluate all seven properties for a mechanism.
+    pub fn evaluate(mechanism: &Mechanism, tolerance: f64) -> Self {
+        PropertyReport {
+            satisfied: Property::ALL
+                .iter()
+                .map(|p| (p.short_name().to_string(), p.holds(mechanism, tolerance)))
+                .collect(),
+        }
+    }
+
+    /// Whether a property holds according to this report.
+    pub fn holds(&self, property: Property) -> bool {
+        self.satisfied
+            .iter()
+            .find(|(name, _)| name == property.short_name())
+            .map(|(_, ok)| *ok)
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Mechanism;
+
+    fn uniform(n: usize) -> Mechanism {
+        Mechanism::from_fn(n, |_, _| 1.0 / (n as f64 + 1.0)).unwrap()
+    }
+
+    /// The n = 2 Geometric Mechanism from Example 1 (alpha = 0.9), built explicitly.
+    fn gm_like_n2() -> Mechanism {
+        let alpha: f64 = 0.9;
+        let x = 1.0 / (1.0 + alpha);
+        let y = (1.0 - alpha) / (1.0 + alpha);
+        Mechanism::from_fn(2, |i, j| {
+            let d = i.abs_diff(j) as u32;
+            if i == 0 || i == 2 {
+                x * alpha.powi(d as i32)
+            } else {
+                y * alpha.powi(d as i32)
+            }
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn uniform_satisfies_everything() {
+        let m = uniform(4);
+        for property in Property::ALL {
+            assert!(property.holds(&m, 1e-9), "{property} should hold for UM");
+        }
+        assert!(PropertySet::all().all_hold(&m, 1e-9));
+    }
+
+    #[test]
+    fn geometric_mechanism_example_1_fails_column_honesty_and_fairness() {
+        // Example 1 of the paper: for n = 2 and alpha = 0.9 GM reports 0 or 2 with
+        // probability ~0.47 each on input 1, so it is neither column honest nor fair
+        // nor weakly honest, but it is row monotone and symmetric.
+        let m = gm_like_n2();
+        assert!(Property::RowHonesty.holds(&m, 1e-9));
+        assert!(Property::RowMonotonicity.holds(&m, 1e-9));
+        assert!(Property::Symmetry.holds(&m, 1e-9));
+        assert!(!Property::ColumnHonesty.holds(&m, 1e-9));
+        assert!(!Property::ColumnMonotonicity.holds(&m, 1e-9));
+        assert!(!Property::Fairness.holds(&m, 1e-9));
+        assert!(!Property::WeakHonesty.holds(&m, 1e-9));
+    }
+
+    #[test]
+    fn asymmetric_mechanism_fails_symmetry() {
+        let m = Mechanism::from_fn(2, |i, j| match (i, j) {
+            (0, 0) => 0.6,
+            (1, 0) => 0.3,
+            (2, 0) => 0.1,
+            (0, 1) => 0.3,
+            (1, 1) => 0.4,
+            (2, 1) => 0.3,
+            (0, 2) => 0.2,
+            (1, 2) => 0.3,
+            (2, 2) => 0.5,
+            _ => unreachable!(),
+        })
+        .unwrap();
+        assert!(!Property::Symmetry.holds(&m, 1e-9));
+        assert!(Property::ColumnHonesty.holds(&m, 1e-9));
+        assert!(!Property::Fairness.holds(&m, 1e-9));
+    }
+
+    #[test]
+    fn property_set_operations() {
+        let mut set = PropertySet::empty();
+        assert!(set.is_empty());
+        set.insert(Property::Fairness);
+        set.insert(Property::WeakHonesty);
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(Property::Fairness));
+        assert!(!set.contains(Property::Symmetry));
+        set.remove(Property::Fairness);
+        assert!(!set.contains(Property::Fairness));
+        let built = PropertySet::empty()
+            .with(Property::RowHonesty)
+            .with(Property::ColumnMonotonicity);
+        assert_eq!(built.iter().count(), 2);
+        assert_eq!(built.to_string(), "{RH, CM}");
+    }
+
+    #[test]
+    fn closure_follows_the_implication_lattice() {
+        // CM ⇒ CH ⇒ WH.
+        let set = PropertySet::empty().with(Property::ColumnMonotonicity);
+        let closed = set.closure();
+        assert!(closed.contains(Property::ColumnHonesty));
+        assert!(closed.contains(Property::WeakHonesty));
+        // RM ⇒ RH.
+        let set = PropertySet::empty().with(Property::RowMonotonicity);
+        assert!(set.closure().contains(Property::RowHonesty));
+        // F + RH ⇒ CH (and then WH).
+        let set = PropertySet::empty()
+            .with(Property::Fairness)
+            .with(Property::RowHonesty);
+        let closed = set.closure();
+        assert!(closed.contains(Property::ColumnHonesty));
+        assert!(closed.contains(Property::WeakHonesty));
+        // F + CH ⇒ RH.
+        let set = PropertySet::empty()
+            .with(Property::Fairness)
+            .with(Property::ColumnHonesty);
+        assert!(set.closure().contains(Property::RowHonesty));
+    }
+
+    #[test]
+    fn power_set_has_128_members() {
+        let sets = PropertySet::power_set();
+        assert_eq!(sets.len(), 128);
+        assert_eq!(sets[0], PropertySet::empty());
+        assert_eq!(sets[127], PropertySet::all());
+    }
+
+    #[test]
+    fn short_names_round_trip() {
+        for property in Property::ALL {
+            assert_eq!(
+                Property::from_short_name(property.short_name()),
+                Some(property)
+            );
+        }
+        assert_eq!(Property::from_short_name("wh"), Some(Property::WeakHonesty));
+        assert_eq!(Property::from_short_name("xx"), None);
+    }
+
+    #[test]
+    fn violations_and_report() {
+        let m = gm_like_n2();
+        let violations = PropertySet::all().violations(&m, 1e-9);
+        assert!(violations.contains(&Property::Fairness));
+        assert!(violations.contains(&Property::WeakHonesty));
+        assert!(!violations.contains(&Property::Symmetry));
+
+        let report = PropertyReport::evaluate(&m, 1e-9);
+        assert!(report.holds(Property::Symmetry));
+        assert!(!report.holds(Property::ColumnHonesty));
+    }
+}

@@ -1,0 +1,184 @@
+//! Sampling outputs from mechanisms.
+//!
+//! The experiments of Section V repeatedly privatise group counts: given a mechanism
+//! matrix and a true count `j`, draw an output from column `j`.  [`MechanismSampler`]
+//! precomputes cumulative distributions per column for `O(log n)` sampling, and
+//! [`sample_geometric_direct`] draws from the truncated Geometric Mechanism directly
+//! via two-sided geometric noise (Definition 4) without materialising the matrix —
+//! the two are verified against each other in the tests.
+
+use rand::Rng;
+
+use crate::alpha::Alpha;
+use crate::matrix::Mechanism;
+
+/// A sampler for a fixed mechanism, with per-column cumulative distributions
+/// precomputed.
+#[derive(Debug, Clone)]
+pub struct MechanismSampler {
+    dim: usize,
+    /// `cdf[j]` is the cumulative distribution of column `j`.
+    cdf: Vec<Vec<f64>>,
+}
+
+impl MechanismSampler {
+    /// Precompute the sampler for `mechanism`.
+    pub fn new(mechanism: &Mechanism) -> Self {
+        let dim = mechanism.dim();
+        let mut cdf = Vec::with_capacity(dim);
+        for j in 0..dim {
+            let mut running = 0.0;
+            let mut column = Vec::with_capacity(dim);
+            for i in 0..dim {
+                running += mechanism.prob(i, j);
+                column.push(running);
+            }
+            // Guard against round-off: the last entry must cover u ~ Uniform[0,1).
+            if let Some(last) = column.last_mut() {
+                *last = f64::max(*last, 1.0);
+            }
+            cdf.push(column);
+        }
+        MechanismSampler { dim, cdf }
+    }
+
+    /// Number of possible outputs (`n + 1`).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Draw one output for the true count `input`.
+    pub fn sample<R: Rng + ?Sized>(&self, input: usize, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        let column = &self.cdf[input];
+        match column.binary_search_by(|probe| probe.partial_cmp(&u).expect("cdf is finite")) {
+            Ok(index) => (index + 1).min(self.dim - 1),
+            Err(index) => index.min(self.dim - 1),
+        }
+    }
+
+    /// Privatise a slice of true counts, drawing one output per count.
+    pub fn privatize<R: Rng + ?Sized>(&self, counts: &[usize], rng: &mut R) -> Vec<usize> {
+        counts.iter().map(|&c| self.sample(c, rng)).collect()
+    }
+}
+
+/// Sample from the truncated Geometric Mechanism directly (Definition 4): add
+/// two-sided geometric noise with parameter α to `input` and clamp to `[0, n]`.
+pub fn sample_geometric_direct<R: Rng + ?Sized>(
+    n: usize,
+    alpha: Alpha,
+    input: usize,
+    rng: &mut R,
+) -> usize {
+    let a = alpha.value();
+    if a >= 1.0 {
+        // Degenerate case: the noise distribution is improper; all mass escapes to the
+        // clamped endpoints, each with probability 1/2 (matching the matrix limit).
+        return if rng.gen_bool(0.5) { 0 } else { n };
+    }
+    // Two-sided geometric: magnitude |delta| has Pr[|delta| = k] proportional to
+    // alpha^k (k >= 1), Pr[delta = 0] = (1 - alpha)/(1 + alpha); signs are symmetric.
+    let p_zero = (1.0 - a) / (1.0 + a);
+    let u: f64 = rng.gen();
+    let delta: i64 = if u < p_zero {
+        0
+    } else {
+        // Draw the magnitude from a geometric distribution with success probability
+        // (1 - alpha), shifted to start at 1, then a fair sign.
+        let magnitude = 1 + sample_geometric_trials(a, rng);
+        if rng.gen_bool(0.5) {
+            magnitude as i64
+        } else {
+            -(magnitude as i64)
+        }
+    };
+    (input as i64 + delta).clamp(0, n as i64) as usize
+}
+
+/// Number of failures before the first success of a Bernoulli(1 − α) process.
+fn sample_geometric_trials<R: Rng + ?Sized>(alpha: f64, rng: &mut R) -> u64 {
+    // Inverse-CDF sampling: k = floor(ln(u) / ln(alpha)).
+    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    (u.ln() / alpha.ln()).floor() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanisms::{ExplicitFairMechanism, GeometricMechanism};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn a(v: f64) -> Alpha {
+        Alpha::new(v).unwrap()
+    }
+
+    #[test]
+    fn samples_follow_the_column_distribution() {
+        let em = ExplicitFairMechanism::new(4, a(0.8)).unwrap();
+        let sampler = MechanismSampler::new(em.matrix());
+        let mut rng = StdRng::seed_from_u64(7);
+        let trials = 200_000;
+        let input = 2;
+        let mut counts = [0usize; 5];
+        for _ in 0..trials {
+            counts[sampler.sample(input, &mut rng)] += 1;
+        }
+        for (i, &count) in counts.iter().enumerate() {
+            let empirical = count as f64 / trials as f64;
+            let expected = em.matrix().prob(i, input);
+            assert!(
+                (empirical - expected).abs() < 0.01,
+                "output {i}: {empirical} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn direct_geometric_sampler_matches_the_matrix() {
+        let n = 5;
+        let alpha = a(0.7);
+        let gm = GeometricMechanism::new(n, alpha).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let trials = 200_000;
+        let input = 1;
+        let mut counts = vec![0usize; n + 1];
+        for _ in 0..trials {
+            counts[sample_geometric_direct(n, alpha, input, &mut rng)] += 1;
+        }
+        for (i, &count) in counts.iter().enumerate() {
+            let empirical = count as f64 / trials as f64;
+            let expected = gm.matrix().prob(i, input);
+            assert!(
+                (empirical - expected).abs() < 0.01,
+                "output {i}: {empirical} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn privatize_maps_each_count() {
+        let em = ExplicitFairMechanism::new(3, a(0.6)).unwrap();
+        let sampler = MechanismSampler::new(em.matrix());
+        let mut rng = StdRng::seed_from_u64(3);
+        let outputs = sampler.privatize(&[0, 1, 2, 3, 3, 0], &mut rng);
+        assert_eq!(outputs.len(), 6);
+        assert!(outputs.iter().all(|&o| o <= 3));
+    }
+
+    #[test]
+    fn sampler_dim_matches_mechanism() {
+        let em = ExplicitFairMechanism::new(6, a(0.5)).unwrap();
+        assert_eq!(MechanismSampler::new(em.matrix()).dim(), 7);
+    }
+
+    #[test]
+    fn alpha_one_direct_sampler_hits_the_endpoints() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let out = sample_geometric_direct(4, a(1.0), 2, &mut rng);
+            assert!(out == 0 || out == 4);
+        }
+    }
+}

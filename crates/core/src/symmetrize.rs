@@ -1,0 +1,126 @@
+//! The symmetrisation construction of Theorem 1.
+//!
+//! Given any mechanism `M`, the centro-symmetric reflection `M^S` defined by
+//! `(M^S)_{i,j} = M_{n−i,n−j}` satisfies exactly the same properties, and the average
+//! `M* = ½(M + M^S)` is symmetric, keeps every property of `M`, preserves
+//! differential privacy, and achieves exactly the same `L0` objective value (its
+//! trace is unchanged).  This is why symmetry is "free": it never costs anything to
+//! add to the requested property set.
+
+use crate::matrix::Mechanism;
+
+/// The centro-symmetric reflection `M^S` with `(M^S)[i][j] = M[n−i][n−j]`.
+pub fn reflect(mechanism: &Mechanism) -> Mechanism {
+    let n = mechanism.group_size();
+    let dim = mechanism.dim();
+    let mut entries = vec![0.0; dim * dim];
+    for i in 0..dim {
+        for j in 0..dim {
+            entries[i * dim + j] = mechanism.prob(n - i, n - j);
+        }
+    }
+    Mechanism::from_row_major_unchecked(n, entries)
+}
+
+/// Theorem 1: the symmetrised mechanism `M* = ½(M + M^S)`.
+pub fn symmetrize(mechanism: &Mechanism) -> Mechanism {
+    let n = mechanism.group_size();
+    let dim = mechanism.dim();
+    let reflected = reflect(mechanism);
+    let mut entries = vec![0.0; dim * dim];
+    for i in 0..dim {
+        for j in 0..dim {
+            entries[i * dim + j] = 0.5 * (mechanism.prob(i, j) + reflected.prob(i, j));
+        }
+    }
+    Mechanism::from_row_major_unchecked(n, entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alpha::Alpha;
+    use crate::matrix::Mechanism;
+    use crate::objective::rescaled_l0;
+    use crate::properties::Property;
+
+    /// An intentionally asymmetric DP mechanism for testing: an equal mixture of the
+    /// Geometric Mechanism and an input-oblivious mechanism with a skewed output
+    /// distribution.  Mixtures of α-DP mechanisms are α-DP (ratios of sums stay within
+    /// the per-term bounds), and the skewed component breaks centro-symmetry.
+    fn asymmetric_dp_mechanism() -> (Mechanism, Alpha) {
+        let alpha = Alpha::new(0.8).unwrap();
+        let n = 4;
+        let gm = crate::mechanisms::GeometricMechanism::new(n, alpha).unwrap();
+        let skew_total: f64 = (0..=n).map(|i| (i + 1) as f64).sum();
+        let m = Mechanism::from_fn(n, |i, j| {
+            0.5 * gm.matrix().prob(i, j) + 0.5 * (i + 1) as f64 / skew_total
+        })
+        .unwrap();
+        (m, alpha)
+    }
+
+    #[test]
+    fn reflection_is_an_involution() {
+        let (m, _) = asymmetric_dp_mechanism();
+        let twice = reflect(&reflect(&m));
+        for i in 0..m.dim() {
+            for j in 0..m.dim() {
+                assert!((m.prob(i, j) - twice.prob(i, j)).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn symmetrized_mechanism_is_symmetric_and_stochastic() {
+        let (m, alpha) = asymmetric_dp_mechanism();
+        assert!(!Property::Symmetry.holds(&m, 1e-9));
+        let sym = symmetrize(&m);
+        assert!(Property::Symmetry.holds(&sym, 1e-12));
+        assert!(sym.is_column_stochastic(1e-9));
+        // Theorem 1(i): differential privacy is preserved.
+        assert!(m.satisfies_dp(alpha, 1e-9));
+        assert!(sym.satisfies_dp(alpha, 1e-9));
+    }
+
+    #[test]
+    fn objective_value_is_unchanged() {
+        let (m, _) = asymmetric_dp_mechanism();
+        let sym = symmetrize(&m);
+        assert!((m.trace() - sym.trace()).abs() < 1e-12);
+        assert!((rescaled_l0(&m) - rescaled_l0(&sym)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_and_column_properties_are_preserved() {
+        let (m, _) = asymmetric_dp_mechanism();
+        let sym = symmetrize(&m);
+        for property in [
+            Property::RowHonesty,
+            Property::RowMonotonicity,
+            Property::ColumnHonesty,
+            Property::ColumnMonotonicity,
+            Property::WeakHonesty,
+        ] {
+            if property.holds(&m, 1e-9) {
+                assert!(
+                    property.holds(&sym, 1e-9),
+                    "{property} lost by symmetrisation"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn symmetrizing_a_symmetric_mechanism_is_a_no_op() {
+        let em = crate::mechanisms::ExplicitFairMechanism::new(5, Alpha::new(0.7).unwrap())
+            .unwrap()
+            .into_matrix();
+        let sym = symmetrize(&em);
+        for i in 0..em.dim() {
+            for j in 0..em.dim() {
+                assert!((em.prob(i, j) - sym.prob(i, j)).abs() < 1e-15);
+            }
+        }
+    }
+}

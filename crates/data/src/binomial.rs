@@ -1,0 +1,158 @@
+//! Synthetic Binomial populations (Section V-C).
+//!
+//! The paper's synthetic experiments generate a population of 10,000 individuals,
+//! each holding a private bit that is 1 with probability `p`, and divide them into
+//! groups of size `n`; the within-group count is then Binomial(n, p).  Varying `p`
+//! controls how skewed the group counts are (p near 0 or 1 concentrates counts at the
+//! extremes, where the Geometric Mechanism does well; p near 0.5 concentrates them in
+//! the middle, where it does not).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::groups::Population;
+
+/// Parameters of a synthetic Binomial population.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BinomialPopulationSpec {
+    /// Number of individuals in the population (the paper uses 10,000).
+    pub population_size: usize,
+    /// Probability that an individual's private bit is 1.
+    pub probability: f64,
+}
+
+impl BinomialPopulationSpec {
+    /// The paper's default population size of 10,000 individuals with bit probability `p`.
+    pub fn paper_default(probability: f64) -> Self {
+        BinomialPopulationSpec {
+            population_size: 10_000,
+            probability,
+        }
+    }
+
+    /// Generate a population using the provided random-number generator.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Population {
+        assert!(
+            (0.0..=1.0).contains(&self.probability),
+            "bit probability must lie in [0, 1]"
+        );
+        (0..self.population_size)
+            .map(|_| rng.gen_bool(self.probability))
+            .collect()
+    }
+}
+
+/// The grid of bit probabilities swept by the paper's synthetic experiments
+/// (Figures 11–13): from strongly skewed to balanced.
+pub fn paper_probability_grid() -> Vec<f64> {
+    vec![0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95]
+}
+
+/// Exact Binomial(n, p) probability mass function, used to compare empirical group
+/// count distributions against their expectation and as a skewed prior in tests.
+pub fn binomial_pmf(n: usize, p: f64, k: usize) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    // Compute the binomial coefficient in log space for numerical robustness.
+    let log_coefficient = ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k);
+    if p == 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    if p == 1.0 {
+        return if k == n { 1.0 } else { 0.0 };
+    }
+    (log_coefficient + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln()).exp()
+}
+
+/// The full Binomial(n, p) distribution over `0..=n`, normalised to sum exactly 1.
+pub fn binomial_distribution(n: usize, p: f64) -> Vec<f64> {
+    let mut pmf: Vec<f64> = (0..=n).map(|k| binomial_pmf(n, p, k)).collect();
+    let total: f64 = pmf.iter().sum();
+    for value in pmf.iter_mut() {
+        *value /= total;
+    }
+    pmf
+}
+
+fn ln_factorial(n: usize) -> f64 {
+    (2..=n).map(|i| (i as f64).ln()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_population_matches_the_spec_size_and_rate() {
+        let spec = BinomialPopulationSpec::paper_default(0.3);
+        let mut rng = StdRng::seed_from_u64(42);
+        let population = spec.generate(&mut rng);
+        assert_eq!(population.len(), 10_000);
+        let rate = population.total_count() as f64 / population.len() as f64;
+        assert!((rate - 0.3).abs() < 0.02, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn group_counts_follow_the_binomial_distribution() {
+        let spec = BinomialPopulationSpec {
+            population_size: 40_000,
+            probability: 0.4,
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let population = spec.generate(&mut rng);
+        let n = 8;
+        let empirical = population.count_distribution(n);
+        let expected = binomial_distribution(n, 0.4);
+        for k in 0..=n {
+            assert!(
+                (empirical[k] - expected[k]).abs() < 0.02,
+                "k={k}: {} vs {}",
+                empirical[k],
+                expected[k]
+            );
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one_and_handles_edges() {
+        for n in [1usize, 5, 12] {
+            for p in [0.0, 0.2, 0.5, 1.0] {
+                let total: f64 = (0..=n).map(|k| binomial_pmf(n, p, k)).sum();
+                assert!((total - 1.0).abs() < 1e-12, "n={n} p={p}");
+            }
+        }
+        assert_eq!(binomial_pmf(4, 0.5, 7), 0.0);
+        assert_eq!(binomial_pmf(4, 0.0, 0), 1.0);
+        assert_eq!(binomial_pmf(4, 1.0, 4), 1.0);
+        assert!((binomial_pmf(4, 0.5, 2) - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distribution_is_normalised() {
+        let d = binomial_distribution(12, 0.3);
+        assert_eq!(d.len(), 13);
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probability_grid_is_within_bounds() {
+        let grid = paper_probability_grid();
+        assert!(grid.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        assert!(grid.contains(&0.5));
+        assert!(grid.len() >= 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "bit probability")]
+    fn invalid_probability_panics() {
+        let spec = BinomialPopulationSpec {
+            population_size: 10,
+            probability: 1.5,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        spec.generate(&mut rng);
+    }
+}

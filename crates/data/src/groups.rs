@@ -1,0 +1,134 @@
+//! Grouping utilities: partition a population of private bits into small groups and
+//! compute each group's true count.
+//!
+//! The paper's experiments (Section V) always operate on groups of a fixed size `n`
+//! (2 up to a few tens): the population is partitioned, each group's true count
+//! `j ∈ {0..n}` is computed, and a mechanism is applied independently per group.
+
+use serde::{Deserialize, Serialize};
+
+/// A population of individuals, each holding one private bit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Population {
+    bits: Vec<bool>,
+}
+
+impl Population {
+    /// Wrap a vector of private bits.
+    pub fn new(bits: Vec<bool>) -> Self {
+        Population { bits }
+    }
+
+    /// Number of individuals.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// The private bits.
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Total number of ones (the full-population count).
+    pub fn total_count(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+
+    /// Partition into consecutive groups of exactly `group_size` individuals and
+    /// return each group's true count.  A trailing partial group (fewer than
+    /// `group_size` members) is dropped, mirroring the paper's setup where every
+    /// group has the same size so that all mechanisms share the same output range.
+    pub fn group_counts(&self, group_size: usize) -> Vec<usize> {
+        assert!(group_size >= 1, "group size must be at least 1");
+        self.bits
+            .chunks_exact(group_size)
+            .map(|chunk| chunk.iter().filter(|&&b| b).count())
+            .collect()
+    }
+
+    /// Histogram of group counts: `histogram[j]` = number of groups whose true count
+    /// is `j`, for `j in 0..=group_size`.
+    pub fn count_histogram(&self, group_size: usize) -> Vec<usize> {
+        let mut histogram = vec![0usize; group_size + 1];
+        for count in self.group_counts(group_size) {
+            histogram[count] += 1;
+        }
+        histogram
+    }
+
+    /// The empirical distribution of group counts (histogram normalised to sum 1),
+    /// usable directly as a prior over inputs for objective evaluation.
+    pub fn count_distribution(&self, group_size: usize) -> Vec<f64> {
+        let histogram = self.count_histogram(group_size);
+        let total: usize = histogram.iter().sum();
+        if total == 0 {
+            return vec![0.0; group_size + 1];
+        }
+        histogram
+            .into_iter()
+            .map(|c| c as f64 / total as f64)
+            .collect()
+    }
+}
+
+impl FromIterator<bool> for Population {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
+        Population::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_counts_partition_consecutively_and_drop_the_tail() {
+        let population = Population::new(vec![
+            true, false, true, // group 0: 2
+            false, false, false, // group 1: 0
+            true, true, true, // group 2: 3
+            true, false, // trailing partial group, dropped
+        ]);
+        assert_eq!(population.len(), 11);
+        assert_eq!(population.total_count(), 6);
+        assert_eq!(population.group_counts(3), vec![2, 0, 3]);
+    }
+
+    #[test]
+    fn histogram_and_distribution() {
+        let population = Population::new(vec![true, true, false, false, true, false, true, true]);
+        // Groups of 2: counts [2, 0, 1, 2].
+        assert_eq!(population.group_counts(2), vec![2, 0, 1, 2]);
+        assert_eq!(population.count_histogram(2), vec![1, 1, 2]);
+        let distribution = population.count_distribution(2);
+        assert!((distribution[0] - 0.25).abs() < 1e-12);
+        assert!((distribution[2] - 0.5).abs() < 1e-12);
+        assert!((distribution.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_population_edge_cases() {
+        let population = Population::new(vec![]);
+        assert!(population.is_empty());
+        assert!(population.group_counts(4).is_empty());
+        assert_eq!(population.count_distribution(2), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "group size")]
+    fn zero_group_size_panics() {
+        Population::new(vec![true]).group_counts(0);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let population: Population = (0..6).map(|i| i % 2 == 0).collect();
+        assert_eq!(population.total_count(), 3);
+        assert_eq!(population.bits().len(), 6);
+    }
+}

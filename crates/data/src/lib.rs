@@ -1,0 +1,33 @@
+//! # cpm-data — workload generators for constrained private mechanisms
+//!
+//! Synthetic data used by the experiments of *"Constrained Private Mechanisms for
+//! Count Data"* (ICDE 2018):
+//!
+//! * [`binomial`] — the Section V-C synthetic workload: a population of individuals
+//!   whose private bits are i.i.d. Bernoulli(p), partitioned into groups of size `n`
+//!   so that group counts are Binomial(n, p).
+//! * [`adult`] — a synthetic census table standing in for the UCI Adult dataset of
+//!   Section V-B (the raw file is not available offline); its three binary targets
+//!   (income, gender, young) match the published Adult marginals and correlations.
+//! * [`groups`] — partitioning a population into fixed-size groups and computing the
+//!   per-group true counts that mechanisms then privatise.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adult;
+pub mod binomial;
+pub mod groups;
+
+pub use adult::{AdultDataset, AdultDatasetSpec, AdultRecord, AdultTarget};
+pub use binomial::{binomial_distribution, binomial_pmf, BinomialPopulationSpec};
+pub use groups::Population;
+
+/// Commonly used items, re-exported for `use cpm_data::prelude::*`.
+pub mod prelude {
+    pub use crate::adult::{AdultDataset, AdultDatasetSpec, AdultRecord, AdultTarget};
+    pub use crate::binomial::{
+        binomial_distribution, binomial_pmf, paper_probability_grid, BinomialPopulationSpec,
+    };
+    pub use crate::groups::Population;
+}

@@ -1,0 +1,295 @@
+//! Figures 11, 12 and 13: synthetic Binomial workloads.
+//!
+//! A population of 10,000 individuals with i.i.d. Bernoulli(p) private bits is split
+//! into groups of size `n`; each group's true count is privatised with GM / WM / EM /
+//! UM and scored with
+//!
+//! * the empirical `L0,1` error (fraction of groups more than one step off) as `p`,
+//!   `n`, and α vary — Figure 11;
+//! * the empirical `L0,d` error as `d` varies for fixed `n = 8`, for a balanced and a
+//!   skewed input distribution — Figure 12;
+//! * the RMSE of the reported counts — Figure 13.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use cpm_core::prelude::*;
+use cpm_data::prelude::*;
+
+use crate::metrics::{
+    empirical_error_rate_beyond, root_mean_square_error, SummaryStats,
+};
+use crate::runner::{build_mechanism, evaluate_repeated, NamedMechanism};
+
+/// Shared configuration for the Binomial experiments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BinomialExperimentConfig {
+    /// Population size (the paper uses 10,000).
+    pub population_size: usize,
+    /// Repetitions per configuration (the paper uses 30).
+    pub repetitions: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BinomialExperimentConfig {
+    fn default() -> Self {
+        BinomialExperimentConfig {
+            population_size: 10_000,
+            repetitions: 30,
+            seed: 77,
+        }
+    }
+}
+
+impl BinomialExperimentConfig {
+    /// Reduced configuration for tests and smoke runs.
+    pub fn quick() -> Self {
+        BinomialExperimentConfig {
+            population_size: 2_000,
+            repetitions: 5,
+            seed: 77,
+        }
+    }
+}
+
+/// One measured point shared by all three figures.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BinomialPoint {
+    /// Bit probability `p` of the population.
+    pub p: f64,
+    /// Group size `n`.
+    pub n: usize,
+    /// Privacy parameter α.
+    pub alpha: f64,
+    /// Distance threshold `d` (only meaningful for the `L0,d` figures; 1 for Fig. 11).
+    pub d: usize,
+    /// Mechanism label.
+    pub mechanism: String,
+    /// The measured metric with error bars.
+    pub value: SummaryStats,
+}
+
+/// A generic sweep result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BinomialSweep {
+    /// Which metric the `value` field holds (`"L0,d"` or `"RMSE"`).
+    pub metric: String,
+    /// The configuration used.
+    pub config: BinomialExperimentConfig,
+    /// All measured points.
+    pub points: Vec<BinomialPoint>,
+}
+
+fn group_counts_for(
+    config: &BinomialExperimentConfig,
+    p: f64,
+    n: usize,
+    seed_offset: u64,
+) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(seed_offset));
+    let spec = BinomialPopulationSpec {
+        population_size: config.population_size,
+        probability: p,
+    };
+    spec.generate(&mut rng).group_counts(n)
+}
+
+fn mechanism_seed(which: NamedMechanism) -> u64 {
+    match which {
+        NamedMechanism::Geometric => 11,
+        NamedMechanism::WeakHonest => 12,
+        NamedMechanism::ExplicitFair => 13,
+        NamedMechanism::Uniform => 14,
+        NamedMechanism::Exponential => 15,
+        NamedMechanism::Laplace => 16,
+        NamedMechanism::NaryRandomizedResponse => 17,
+    }
+}
+
+/// Figure 11: the `L0,1` error as the input distribution `p` varies, for each
+/// `(n, α)` pair (the paper uses n ∈ {4, 8, 12} × α ∈ {0.91, 0.67}).
+pub fn l01_error_sweep(
+    config: &BinomialExperimentConfig,
+    group_sizes: &[usize],
+    alphas: &[f64],
+    probabilities: &[f64],
+) -> Result<BinomialSweep, CoreError> {
+    l0d_error_sweep(config, group_sizes, alphas, probabilities, &[1]).map(|mut sweep| {
+        sweep.metric = "L0,1".to_string();
+        sweep
+    })
+}
+
+/// Figure 12 (generalisation): the `L0,d` error for each threshold `d`.
+pub fn l0d_error_sweep(
+    config: &BinomialExperimentConfig,
+    group_sizes: &[usize],
+    alphas: &[f64],
+    probabilities: &[f64],
+    thresholds: &[usize],
+) -> Result<BinomialSweep, CoreError> {
+    let mut points = Vec::new();
+    for &alpha_value in alphas {
+        let alpha = Alpha::new(alpha_value)?;
+        for &n in group_sizes {
+            let mechanisms: Vec<(NamedMechanism, Mechanism)> = NamedMechanism::PAPER_SET
+                .iter()
+                .map(|&which| build_mechanism(which, n, alpha).map(|m| (which, m)))
+                .collect::<Result<_, _>>()?;
+            for &p in probabilities {
+                let counts = group_counts_for(config, p, n, (n as u64) << 32 ^ (p * 1000.0) as u64);
+                for &d in thresholds {
+                    for (which, matrix) in &mechanisms {
+                        let value = evaluate_repeated(
+                            matrix,
+                            &counts,
+                            config.repetitions,
+                            config.seed ^ mechanism_seed(*which) ^ ((d as u64) << 16),
+                            |truth, reported| empirical_error_rate_beyond(truth, reported, d),
+                        );
+                        points.push(BinomialPoint {
+                            p,
+                            n,
+                            alpha: alpha_value,
+                            d,
+                            mechanism: which.label().to_string(),
+                            value,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(BinomialSweep {
+        metric: "L0,d".to_string(),
+        config: config.clone(),
+        points,
+    })
+}
+
+/// Figure 13: the RMSE of reported counts as `p` varies, for each `(n, α)` pair.
+pub fn rmse_sweep(
+    config: &BinomialExperimentConfig,
+    group_sizes: &[usize],
+    alphas: &[f64],
+    probabilities: &[f64],
+) -> Result<BinomialSweep, CoreError> {
+    let mut points = Vec::new();
+    for &alpha_value in alphas {
+        let alpha = Alpha::new(alpha_value)?;
+        for &n in group_sizes {
+            let mechanisms: Vec<(NamedMechanism, Mechanism)> = NamedMechanism::PAPER_SET
+                .iter()
+                .map(|&which| build_mechanism(which, n, alpha).map(|m| (which, m)))
+                .collect::<Result<_, _>>()?;
+            for &p in probabilities {
+                let counts = group_counts_for(config, p, n, (n as u64) << 40 ^ (p * 1000.0) as u64);
+                for (which, matrix) in &mechanisms {
+                    let value = evaluate_repeated(
+                        matrix,
+                        &counts,
+                        config.repetitions,
+                        config.seed ^ mechanism_seed(*which).rotate_left(3),
+                        root_mean_square_error,
+                    );
+                    points.push(BinomialPoint {
+                        p,
+                        n,
+                        alpha: alpha_value,
+                        d: 0,
+                        mechanism: which.label().to_string(),
+                        value,
+                    });
+                }
+            }
+        }
+    }
+    Ok(BinomialSweep {
+        metric: "RMSE".to_string(),
+        config: config.clone(),
+        points,
+    })
+}
+
+/// The paper's Figure 11 parameter grid: n ∈ {4, 8, 12}, α ∈ {0.91, 0.67}.
+pub fn figure11_grid() -> (Vec<usize>, Vec<f64>) {
+    (vec![4, 8, 12], vec![0.91, 0.67])
+}
+
+/// The paper's Figure 12 setup: n = 8, a balanced (p = 0.5) and a skewed (p = 0.1)
+/// input distribution, d from 0 to 4.
+pub fn figure12_grid() -> (usize, Vec<f64>, Vec<usize>) {
+    (8, vec![0.5, 0.1], vec![0, 1, 2, 3, 4])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_of(sweep: &BinomialSweep, p: f64, mech: &str, d: usize) -> f64 {
+        sweep
+            .points
+            .iter()
+            .find(|pt| (pt.p - p).abs() < 1e-9 && pt.mechanism == mech && pt.d == d)
+            .map(|pt| pt.value.mean)
+            .unwrap()
+    }
+
+    #[test]
+    fn figure11_quick_run_shows_gm_weak_in_the_middle_and_strong_at_the_extremes() {
+        let config = BinomialExperimentConfig::quick();
+        let sweep = l01_error_sweep(&config, &[8], &[0.91], &[0.05, 0.5]).unwrap();
+        // Balanced input (p = 0.5): the constrained EM beats GM on L0,1.
+        let gm_mid = mean_of(&sweep, 0.5, "GM", 1);
+        let em_mid = mean_of(&sweep, 0.5, "EM", 1);
+        assert!(
+            em_mid < gm_mid + 0.02,
+            "balanced input: EM {em_mid} vs GM {gm_mid}"
+        );
+        // Extremely skewed input (p = 0.05): GM's preference for extreme outputs pays
+        // off and it beats (or at least matches) EM.
+        let gm_skew = mean_of(&sweep, 0.05, "GM", 1);
+        let em_skew = mean_of(&sweep, 0.05, "EM", 1);
+        assert!(
+            gm_skew < em_skew + 0.05,
+            "skewed input: GM {gm_skew} vs EM {em_skew}"
+        );
+        assert_eq!(sweep.metric, "L0,1");
+    }
+
+    #[test]
+    fn figure12_error_decreases_with_d() {
+        let config = BinomialExperimentConfig::quick();
+        let sweep = l0d_error_sweep(&config, &[8], &[0.91], &[0.5], &[0, 2, 4]).unwrap();
+        for mech in ["GM", "EM", "WM", "UM"] {
+            let d0 = mean_of(&sweep, 0.5, mech, 0);
+            let d2 = mean_of(&sweep, 0.5, mech, 2);
+            let d4 = mean_of(&sweep, 0.5, mech, 4);
+            assert!(d0 >= d2 - 1e-9 && d2 >= d4 - 1e-9, "{mech}: {d0} {d2} {d4}");
+        }
+    }
+
+    #[test]
+    fn figure13_rmse_is_positive_and_bounded_by_n() {
+        let config = BinomialExperimentConfig::quick();
+        let sweep = rmse_sweep(&config, &[4], &[0.67], &[0.3, 0.5]).unwrap();
+        assert_eq!(sweep.metric, "RMSE");
+        for point in &sweep.points {
+            assert!(point.value.mean > 0.0);
+            assert!(point.value.mean <= 4.0);
+        }
+    }
+
+    #[test]
+    fn parameter_grids_match_the_paper() {
+        let (sizes, alphas) = figure11_grid();
+        assert_eq!(sizes, vec![4, 8, 12]);
+        assert_eq!(alphas, vec![0.91, 0.67]);
+        let (n, ps, ds) = figure12_grid();
+        assert_eq!(n, 8);
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ds.len(), 5);
+    }
+}

@@ -1,0 +1,273 @@
+//! Mechanism heat maps: Figures 1, 2, 3, 4, 7 and Example 1.
+//!
+//! Figure 1 shows LP-optimal *unconstrained* mechanisms for four objective/size
+//! combinations at α = 0.62, exhibiting output gaps and spikes; Figure 2 shows the
+//! same instances with all seven structural properties enforced, which removes the
+//! pathologies.  Figure 7 contrasts GM, EM, and WM for n = 4 at strong privacy.
+
+use serde::{Deserialize, Serialize};
+
+use cpm_core::prelude::*;
+
+use crate::runner::{build_mechanism, NamedMechanism};
+
+/// The objective/size combinations displayed in Figures 1 and 2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PanelSpec {
+    /// Group size of the panel.
+    pub n: usize,
+    /// Loss function minimised by the LP.
+    pub loss: LossKind,
+}
+
+/// Default panels matching the paper's Figure 1/2 captions (α = 0.62): minimise the
+/// absolute error and squared error for n = 7, the probability of a wrong answer for
+/// n = 7, and the probability of being more than one step off for n = 5.
+pub fn default_panels() -> Vec<PanelSpec> {
+    vec![
+        PanelSpec {
+            n: 7,
+            loss: LossKind::Absolute,
+        },
+        PanelSpec {
+            n: 7,
+            loss: LossKind::Squared,
+        },
+        PanelSpec {
+            n: 7,
+            loss: LossKind::ZeroOne,
+        },
+        PanelSpec {
+            n: 5,
+            loss: LossKind::ZeroOneBeyond(1),
+        },
+    ]
+}
+
+/// One rendered heat-map panel with its pathology diagnostics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeatmapPanel {
+    /// Short description, e.g. `"L2, n = 7"`.
+    pub title: String,
+    /// Whether the structural constraints were enforced.
+    pub constrained: bool,
+    /// The mechanism matrix.
+    pub mechanism: Mechanism,
+    /// Output values that are never reported (gaps, Figure 1's pathology).
+    pub gap_outputs: Vec<usize>,
+    /// Largest marginal output probability under a uniform prior (spike severity).
+    pub max_output_marginal: f64,
+    /// The optimal objective value reported by the LP.
+    pub objective_value: f64,
+}
+
+/// Data behind Figure 1 (unconstrained) or Figure 2 (constrained).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeatmapFigure {
+    /// Privacy parameter used for every panel.
+    pub alpha: f64,
+    /// The panels, in the order of [`default_panels`].
+    pub panels: Vec<HeatmapPanel>,
+}
+
+/// Run the Figure 1 / Figure 2 experiment: solve the design LP for each panel with
+/// (`constrained = true`) or without (`false`) the full property set.
+pub fn lp_heatmaps(
+    alpha: Alpha,
+    panels: &[PanelSpec],
+    constrained: bool,
+) -> Result<HeatmapFigure, CoreError> {
+    let mut results = Vec::with_capacity(panels.len());
+    for panel in panels {
+        let properties = if constrained {
+            PropertySet::all()
+        } else {
+            PropertySet::empty()
+        };
+        let objective = Objective {
+            loss: panel.loss,
+            prior: Prior::Uniform,
+            aggregator: Aggregator::Sum,
+        };
+        let solution = DesignProblem::constrained(panel.n, alpha, objective, properties).solve()?;
+        let uniform_prior = vec![1.0 / (panel.n as f64 + 1.0); panel.n + 1];
+        let marginals = solution.mechanism.output_marginals(&uniform_prior);
+        results.push(HeatmapPanel {
+            title: format!("{}, n = {}", panel.loss.name(), panel.n),
+            constrained,
+            gap_outputs: solution.mechanism.zero_rows(1e-7),
+            max_output_marginal: marginals.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            objective_value: solution.objective_value,
+            mechanism: solution.mechanism,
+        });
+    }
+    Ok(HeatmapFigure {
+        alpha: alpha.value(),
+        panels: results,
+    })
+}
+
+/// Data behind Figure 7: GM, EM, and WM side by side for a small group.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NamedHeatmaps {
+    /// Group size.
+    pub n: usize,
+    /// Privacy parameter.
+    pub alpha: f64,
+    /// `(label, mechanism, truthful-report probability under a uniform prior)`.
+    pub mechanisms: Vec<(String, Mechanism, f64)>,
+}
+
+/// Run the Figure 7 experiment (the paper uses n = 4, α = 10/11 ≈ 0.9).
+pub fn named_heatmaps(n: usize, alpha: Alpha) -> Result<NamedHeatmaps, CoreError> {
+    let mut mechanisms = Vec::new();
+    for which in [
+        NamedMechanism::Geometric,
+        NamedMechanism::ExplicitFair,
+        NamedMechanism::WeakHonest,
+    ] {
+        let matrix = build_mechanism(which, n, alpha)?;
+        let truth_probability = matrix.trace() / (n as f64 + 1.0);
+        mechanisms.push((which.label().to_string(), matrix, truth_probability));
+    }
+    Ok(NamedHeatmaps {
+        n,
+        alpha: alpha.value(),
+        mechanisms,
+    })
+}
+
+/// Data behind Figures 3 and 4: the closed-form structure of GM and EM.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StructureFigure {
+    /// Group size.
+    pub n: usize,
+    /// Privacy parameter.
+    pub alpha: f64,
+    /// GM's boundary coefficient `x = 1/(1+α)`.
+    pub gm_x: f64,
+    /// GM's interior coefficient `y = (1−α)/(1+α)`.
+    pub gm_y: f64,
+    /// EM's diagonal value `y` (Eq. 15).
+    pub em_y: f64,
+    /// The Geometric Mechanism matrix.
+    pub gm: Mechanism,
+    /// The Explicit Fair Mechanism matrix.
+    pub em: Mechanism,
+}
+
+/// Produce the Figure 3 / Figure 4 structures (the paper prints n = 7).
+pub fn structures(n: usize, alpha: Alpha) -> Result<StructureFigure, CoreError> {
+    Ok(StructureFigure {
+        n,
+        alpha: alpha.value(),
+        gm_x: closed_form::gm_boundary_coefficient(alpha),
+        gm_y: closed_form::gm_interior_coefficient(alpha),
+        em_y: closed_form::em_diagonal(n, alpha),
+        gm: GeometricMechanism::new(n, alpha)?.into_matrix(),
+        em: ExplicitFairMechanism::new(n, alpha)?.into_matrix(),
+    })
+}
+
+/// Example 1 of the paper: the salient GM probabilities for n = 2, α = 0.9.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExampleOne {
+    /// `Pr[0 | 1]` (≈ 0.47 in the paper).
+    pub p_zero_given_one: f64,
+    /// `Pr[1 | 1]` (≈ 0.05).
+    pub p_one_given_one: f64,
+    /// `Pr[0 | 0]` (≈ 0.53).
+    pub p_zero_given_zero: f64,
+    /// Ratio of wrong-answer probability to true-answer probability on input 1
+    /// ("eighteen times lower").
+    pub wrong_to_right_ratio: f64,
+}
+
+/// Compute Example 1's numbers.
+pub fn example_one(alpha: Alpha) -> Result<ExampleOne, CoreError> {
+    let gm = GeometricMechanism::new(2, alpha)?;
+    let m = gm.matrix();
+    Ok(ExampleOne {
+        p_zero_given_one: m.prob(0, 1),
+        p_one_given_one: m.prob(1, 1),
+        p_zero_given_zero: m.prob(0, 0),
+        wrong_to_right_ratio: (m.prob(0, 1) + m.prob(2, 1)) / m.prob(1, 1),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(v: f64) -> Alpha {
+        Alpha::new(v).unwrap()
+    }
+
+    #[test]
+    fn unconstrained_panels_show_pathologies_constrained_do_not() {
+        // Use smaller panels than the paper's defaults to keep the test quick, but
+        // keep the qualitative claim: gaps before, no gaps after.
+        let panels = vec![
+            PanelSpec {
+                n: 5,
+                loss: LossKind::Squared,
+            },
+            PanelSpec {
+                n: 5,
+                loss: LossKind::ZeroOneBeyond(1),
+            },
+        ];
+        let alpha = a(0.62);
+        let unconstrained = lp_heatmaps(alpha, &panels, false).unwrap();
+        let constrained = lp_heatmaps(alpha, &panels, true).unwrap();
+        assert!(unconstrained
+            .panels
+            .iter()
+            .any(|p| !p.gap_outputs.is_empty()));
+        assert!(constrained.panels.iter().all(|p| p.gap_outputs.is_empty()));
+        // Constrained optima can only be (weakly) worse in objective value.
+        for (u, c) in unconstrained.panels.iter().zip(&constrained.panels) {
+            assert!(c.objective_value + 1e-7 >= u.objective_value, "{}", u.title);
+        }
+    }
+
+    #[test]
+    fn named_heatmaps_reproduce_the_figure_7_ordering() {
+        let figure = named_heatmaps(4, a(10.0 / 11.0)).unwrap();
+        assert_eq!(figure.mechanisms.len(), 3);
+        let truth: std::collections::HashMap<&str, f64> = figure
+            .mechanisms
+            .iter()
+            .map(|(label, _, t)| (label.as_str(), *t))
+            .collect();
+        // GM maximises the diagonal mass; EM is slightly below; WM in between or equal.
+        assert!(truth["GM"] >= truth["EM"] - 1e-9);
+        assert!((truth["GM"] - 0.238).abs() < 5e-3);
+        assert!((truth["EM"] - 0.224).abs() < 5e-3);
+    }
+
+    #[test]
+    fn structures_expose_closed_form_coefficients() {
+        let s = structures(7, a(0.62)).unwrap();
+        assert!((s.gm.prob(0, 0) - s.gm_x).abs() < 1e-12);
+        assert!((s.gm.prob(3, 3) - s.gm_y).abs() < 1e-12);
+        assert!((s.em.prob(3, 3) - s.em_y).abs() < 1e-12);
+    }
+
+    #[test]
+    fn example_one_matches_the_paper() {
+        let e = example_one(a(0.9)).unwrap();
+        assert!((e.p_zero_given_one - 0.47).abs() < 0.01);
+        assert!((e.p_one_given_one - 0.05).abs() < 0.01);
+        assert!((e.p_zero_given_zero - 0.53).abs() < 0.01);
+        assert!((e.wrong_to_right_ratio - 18.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn default_panels_match_the_figure_captions() {
+        let panels = default_panels();
+        assert_eq!(panels.len(), 4);
+        assert_eq!(panels[0].n, 7);
+        assert_eq!(panels[3].loss, LossKind::ZeroOneBeyond(1));
+    }
+}

@@ -1,0 +1,17 @@
+//! Per-figure experiment drivers (Section V of the paper).
+//!
+//! Each module produces the data behind one or more of the paper's figures as plain
+//! serialisable structs plus a text rendering, so the `cpm-bench` binaries can print
+//! the same rows/series the paper reports (and dump JSON for EXPERIMENTS.md).
+//!
+//! | Module | Paper artefacts |
+//! |--------|-----------------|
+//! | [`heatmaps`] | Figures 1, 2, 3, 4, 7 and Example 1 |
+//! | [`score_sweeps`] | Figures 6, 8, 9 (analytic / LP `L0` scores, no sampling) |
+//! | [`adult_experiment`] | Figure 10 (synthetic Adult data, empirical error) |
+//! | [`binomial_experiments`] | Figures 11, 12, 13 (Binomial data: `L0,1`, `L0,d`, RMSE) |
+
+pub mod adult_experiment;
+pub mod binomial_experiments;
+pub mod heatmaps;
+pub mod score_sweeps;

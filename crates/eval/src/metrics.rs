@@ -1,0 +1,168 @@
+//! Empirical accuracy metrics over privatised group counts (Section V).
+//!
+//! The experiments privatise each group's true count and then score the batch of
+//! reports with one of three metrics:
+//!
+//! * the empirical error probability — the fraction of groups whose report differs
+//!   from the truth (the empirical analogue of `L0`, Figure 10),
+//! * the empirical `L0,d` — the fraction of groups whose report is more than `d`
+//!   steps from the truth (Figures 11 and 12),
+//! * the root-mean-square error of the reports (Figure 13).
+
+use serde::{Deserialize, Serialize};
+
+/// Fraction of groups whose reported count differs from the true count.
+pub fn empirical_error_rate(true_counts: &[usize], reported: &[usize]) -> f64 {
+    empirical_error_rate_beyond(true_counts, reported, 0)
+}
+
+/// Fraction of groups whose reported count is **more than** `d` steps away from the
+/// true count (so `d = 0` recovers [`empirical_error_rate`]).
+pub fn empirical_error_rate_beyond(true_counts: &[usize], reported: &[usize], d: usize) -> f64 {
+    assert_eq!(
+        true_counts.len(),
+        reported.len(),
+        "true and reported count slices must have equal length"
+    );
+    if true_counts.is_empty() {
+        return 0.0;
+    }
+    let wrong = true_counts
+        .iter()
+        .zip(reported)
+        .filter(|(&t, &r)| t.abs_diff(r) > d)
+        .count();
+    wrong as f64 / true_counts.len() as f64
+}
+
+/// Root-mean-square error of the reported counts.
+pub fn root_mean_square_error(true_counts: &[usize], reported: &[usize]) -> f64 {
+    assert_eq!(
+        true_counts.len(),
+        reported.len(),
+        "true and reported count slices must have equal length"
+    );
+    if true_counts.is_empty() {
+        return 0.0;
+    }
+    let sum_squares: f64 = true_counts
+        .iter()
+        .zip(reported)
+        .map(|(&t, &r)| {
+            let diff = t as f64 - r as f64;
+            diff * diff
+        })
+        .sum();
+    (sum_squares / true_counts.len() as f64).sqrt()
+}
+
+/// Mean absolute error of the reported counts.
+pub fn mean_absolute_error(true_counts: &[usize], reported: &[usize]) -> f64 {
+    assert_eq!(
+        true_counts.len(),
+        reported.len(),
+        "true and reported count slices must have equal length"
+    );
+    if true_counts.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = true_counts
+        .iter()
+        .zip(reported)
+        .map(|(&t, &r)| t.abs_diff(r) as f64)
+        .sum();
+    total / true_counts.len() as f64
+}
+
+/// Mean, standard deviation, and standard error of a set of repeated measurements
+/// (the error bars of Figures 10 and 13).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SummaryStats {
+    /// Number of repetitions.
+    pub count: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (unbiased, n − 1 denominator).
+    pub std_dev: f64,
+    /// Standard error of the mean.
+    pub std_error: f64,
+}
+
+impl SummaryStats {
+    /// Summarise a slice of repeated measurements.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        let count = samples.len();
+        if count == 0 {
+            return SummaryStats {
+                count: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                std_error: 0.0,
+            };
+        }
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        if count == 1 {
+            return SummaryStats {
+                count,
+                mean,
+                std_dev: 0.0,
+                std_error: 0.0,
+            };
+        }
+        let variance =
+            samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (count as f64 - 1.0);
+        let std_dev = variance.sqrt();
+        SummaryStats {
+            count,
+            mean,
+            std_dev,
+            std_error: std_dev / (count as f64).sqrt(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_rates_count_mismatches() {
+        let truth = [1, 2, 3, 4];
+        let reported = [1, 3, 3, 0];
+        assert!((empirical_error_rate(&truth, &reported) - 0.5).abs() < 1e-12);
+        // Only the last group (|4-0| = 4 > 1) is farther than one step away.
+        assert!((empirical_error_rate_beyond(&truth, &reported, 1) - 0.25).abs() < 1e-12);
+        assert_eq!(empirical_error_rate(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn rmse_and_mae() {
+        let truth = [0, 2, 4];
+        let reported = [0, 4, 1];
+        // Squared errors 0, 4, 9 -> mean 13/3.
+        assert!((root_mean_square_error(&truth, &reported) - (13.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!((mean_absolute_error(&truth, &reported) - (0.0 + 2.0 + 3.0) / 3.0).abs() < 1e-12);
+        assert_eq!(root_mean_square_error(&[], &[]), 0.0);
+        assert_eq!(mean_absolute_error(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        empirical_error_rate(&[1, 2], &[1]);
+    }
+
+    #[test]
+    fn summary_stats() {
+        let stats = SummaryStats::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(stats.count, 4);
+        assert!((stats.mean - 2.5).abs() < 1e-12);
+        assert!((stats.std_dev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!((stats.std_error - stats.std_dev / 2.0).abs() < 1e-12);
+
+        let single = SummaryStats::from_samples(&[7.0]);
+        assert_eq!(single.std_dev, 0.0);
+        let empty = SummaryStats::from_samples(&[]);
+        assert_eq!(empty.count, 0);
+    }
+}

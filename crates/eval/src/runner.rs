@@ -1,0 +1,195 @@
+//! Named mechanisms and the repeated-trial experiment runner.
+//!
+//! The figures of Section V compare the same small set of named mechanisms — GM, WM,
+//! EM, UM (and occasionally others) — across workloads.  [`NamedMechanism`]
+//! enumerates them, [`build_mechanism`] materialises a matrix (solving the WM LP when
+//! needed), and [`evaluate_repeated`] applies a mechanism to a batch of true counts
+//! over many repetitions, summarising any per-batch metric with mean / standard
+//! error, exactly as the paper's error bars are produced.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use cpm_core::prelude::*;
+
+use crate::metrics::SummaryStats;
+
+/// The named mechanisms compared throughout the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NamedMechanism {
+    /// The truncated Geometric Mechanism (unconstrained `L0` optimum).
+    Geometric,
+    /// The LP-designed mechanism with weak honesty, row and column monotonicity (WM).
+    WeakHonest,
+    /// The Explicit Fair Mechanism.
+    ExplicitFair,
+    /// The uniform baseline.
+    Uniform,
+    /// The Exponential Mechanism with the distance quality function (extended
+    /// comparisons only).
+    Exponential,
+    /// The rounded/truncated Laplace mechanism (extended comparisons only).
+    Laplace,
+    /// Geng et al.'s n-ary randomized response (extended comparisons only).
+    NaryRandomizedResponse,
+}
+
+impl NamedMechanism {
+    /// The four mechanisms of Figures 6–13.
+    pub const PAPER_SET: [NamedMechanism; 4] = [
+        NamedMechanism::Geometric,
+        NamedMechanism::WeakHonest,
+        NamedMechanism::ExplicitFair,
+        NamedMechanism::Uniform,
+    ];
+
+    /// Display label matching the paper (GM / WM / EM / UM).
+    pub fn label(self) -> &'static str {
+        match self {
+            NamedMechanism::Geometric => "GM",
+            NamedMechanism::WeakHonest => "WM",
+            NamedMechanism::ExplicitFair => "EM",
+            NamedMechanism::Uniform => "UM",
+            NamedMechanism::Exponential => "EXP",
+            NamedMechanism::Laplace => "LAP",
+            NamedMechanism::NaryRandomizedResponse => "RR",
+        }
+    }
+}
+
+/// Build the matrix of a named mechanism for group size `n` at privacy level α.
+///
+/// WM is obtained by solving its LP (weak honesty + row/column monotonicity) and
+/// symmetrising the result (Theorem 1 guarantees this costs nothing).
+pub fn build_mechanism(
+    which: NamedMechanism,
+    n: usize,
+    alpha: Alpha,
+) -> Result<Mechanism, CoreError> {
+    match which {
+        NamedMechanism::Geometric => Ok(GeometricMechanism::new(n, alpha)?.into_matrix()),
+        NamedMechanism::ExplicitFair => Ok(ExplicitFairMechanism::new(n, alpha)?.into_matrix()),
+        NamedMechanism::Uniform => Ok(UniformMechanism::new(n)?.into_matrix()),
+        NamedMechanism::WeakHonest => {
+            let solution = weak_honest_mechanism(n, alpha)?;
+            Ok(symmetrize(&solution.mechanism))
+        }
+        NamedMechanism::Exponential => Ok(ExponentialMechanism::new(n, alpha)?.into_matrix()),
+        NamedMechanism::Laplace => Ok(LaplaceMechanism::new(n, alpha)?.into_matrix()),
+        NamedMechanism::NaryRandomizedResponse => {
+            Ok(NaryRandomizedResponse::new(n, alpha)?.into_matrix())
+        }
+    }
+}
+
+/// The rescaled `L0` score of a named mechanism, using closed forms where available
+/// and the LP otherwise (used by the score-sweep figures, which need no sampling).
+pub fn l0_score(which: NamedMechanism, n: usize, alpha: Alpha) -> Result<f64, CoreError> {
+    match which {
+        NamedMechanism::Geometric => Ok(closed_form::gm_l0(alpha)),
+        NamedMechanism::ExplicitFair => Ok(closed_form::em_l0(n, alpha)),
+        NamedMechanism::Uniform => Ok(closed_form::um_l0()),
+        other => {
+            let mechanism = build_mechanism(other, n, alpha)?;
+            Ok(rescaled_l0(&mechanism))
+        }
+    }
+}
+
+/// Apply `mechanism` to `true_counts` once per repetition and summarise
+/// `metric(true_counts, reported)` across repetitions.
+pub fn evaluate_repeated(
+    mechanism: &Mechanism,
+    true_counts: &[usize],
+    repetitions: usize,
+    seed: u64,
+    metric: impl Fn(&[usize], &[usize]) -> f64,
+) -> SummaryStats {
+    let sampler = MechanismSampler::new(mechanism);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let samples: Vec<f64> = (0..repetitions)
+        .map(|_| {
+            let reported = sampler.privatize(true_counts, &mut rng);
+            metric(true_counts, &reported)
+        })
+        .collect();
+    SummaryStats::from_samples(&samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::empirical_error_rate;
+
+    fn a(v: f64) -> Alpha {
+        Alpha::new(v).unwrap()
+    }
+
+    #[test]
+    fn all_named_mechanisms_build_valid_dp_matrices() {
+        let alpha = a(0.8);
+        for which in [
+            NamedMechanism::Geometric,
+            NamedMechanism::WeakHonest,
+            NamedMechanism::ExplicitFair,
+            NamedMechanism::Uniform,
+            NamedMechanism::Exponential,
+            NamedMechanism::Laplace,
+            NamedMechanism::NaryRandomizedResponse,
+        ] {
+            let mechanism = build_mechanism(which, 4, alpha).unwrap();
+            assert!(mechanism.is_column_stochastic(1e-7), "{}", which.label());
+            assert!(mechanism.satisfies_dp(alpha, 1e-6), "{}", which.label());
+        }
+    }
+
+    #[test]
+    fn wm_satisfies_its_defining_properties() {
+        let alpha = a(0.9);
+        let wm = build_mechanism(NamedMechanism::WeakHonest, 5, alpha).unwrap();
+        for property in [
+            Property::WeakHonesty,
+            Property::RowMonotonicity,
+            Property::ColumnMonotonicity,
+            Property::Symmetry,
+        ] {
+            assert!(property.holds(&wm, 1e-6), "{property}");
+        }
+    }
+
+    #[test]
+    fn l0_scores_are_ordered_gm_wm_em_um() {
+        // Figure 6 / Figure 9: L0(GM) <= L0(WM) <= L0(EM) <= L0(UM) = 1.
+        for (n, alpha) in [(4usize, 0.9), (6, 0.76), (8, 10.0 / 11.0)] {
+            let gm = l0_score(NamedMechanism::Geometric, n, a(alpha)).unwrap();
+            let wm = l0_score(NamedMechanism::WeakHonest, n, a(alpha)).unwrap();
+            let em = l0_score(NamedMechanism::ExplicitFair, n, a(alpha)).unwrap();
+            let um = l0_score(NamedMechanism::Uniform, n, a(alpha)).unwrap();
+            assert!(gm <= wm + 1e-6, "n={n} alpha={alpha}");
+            assert!(wm <= em + 1e-6, "n={n} alpha={alpha}");
+            assert!(em <= um + 1e-6, "n={n} alpha={alpha}");
+            assert_eq!(um, 1.0);
+        }
+    }
+
+    #[test]
+    fn evaluate_repeated_is_deterministic_given_a_seed() {
+        let mechanism = build_mechanism(NamedMechanism::ExplicitFair, 4, a(0.8)).unwrap();
+        let counts = vec![2usize; 200];
+        let one = evaluate_repeated(&mechanism, &counts, 5, 99, empirical_error_rate);
+        let two = evaluate_repeated(&mechanism, &counts, 5, 99, empirical_error_rate);
+        assert_eq!(one, two);
+        assert_eq!(one.count, 5);
+        assert!(one.mean > 0.0 && one.mean < 1.0);
+    }
+
+    #[test]
+    fn labels_match_the_paper() {
+        assert_eq!(NamedMechanism::Geometric.label(), "GM");
+        assert_eq!(NamedMechanism::WeakHonest.label(), "WM");
+        assert_eq!(NamedMechanism::ExplicitFair.label(), "EM");
+        assert_eq!(NamedMechanism::Uniform.label(), "UM");
+        assert_eq!(NamedMechanism::PAPER_SET.len(), 4);
+    }
+}

@@ -1,0 +1,66 @@
+//! Minimal fixed-width text-table rendering for the figure binaries.
+
+/// Render a table with a header row and data rows as fixed-width text.
+///
+/// Column widths are computed from the longest cell in each column; all cells are
+/// left-aligned.  Intended for the stdout output of the per-figure bench binaries.
+pub fn render_table(header: &[String], rows: &[Vec<String>]) -> String {
+    let columns = header.len();
+    let mut widths: Vec<usize> = header.iter().map(String::len).collect();
+    for row in rows {
+        for (c, cell) in row.iter().enumerate().take(columns) {
+            if cell.len() > widths[c] {
+                widths[c] = cell.len();
+            }
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (c, cell) in cells.iter().enumerate().take(widths.len()) {
+            line.push_str(&format!("{:<width$}  ", cell, width = widths[c]));
+        }
+        line.trim_end().to_string()
+    };
+    out.push_str(&render_row(header, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format a float with a fixed number of decimal places (convenience for tables).
+pub fn fmt(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_separator_and_rows() {
+        let table = render_table(
+            &["n".to_string(), "GM".to_string()],
+            &[
+                vec!["2".to_string(), "0.947".to_string()],
+                vec!["16".to_string(), "0.947".to_string()],
+            ],
+        );
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with('n'));
+        assert!(lines[1].starts_with('-'));
+        assert!(lines[3].contains("16"));
+    }
+
+    #[test]
+    fn fmt_controls_decimals() {
+        assert_eq!(fmt(0.94736, 3), "0.947");
+        assert_eq!(fmt(1.0, 1), "1.0");
+    }
+}

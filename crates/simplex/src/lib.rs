@@ -1,0 +1,63 @@
+//! # cpm-simplex
+//!
+//! A small, dependency-free dense linear-programming solver used by
+//! [`cpm-core`](https://example.org) to solve the constrained mechanism-design LPs of
+//! *"Constrained Private Mechanisms for Count Data"* (ICDE 2018).
+//!
+//! The paper solves all constrained designs with an off-the-shelf LP solver
+//! (PyLPSolve / lp_solve).  No LP solver crate is part of the allowed offline
+//! dependency set for this reproduction, so this crate implements the classic
+//! **two-phase primal simplex** method on a dense tableau:
+//!
+//! * a [`LinearProgram`] model-builder API (named variables, bounds, `<=`/`>=`/`=`
+//!   constraints, minimisation or maximisation objectives),
+//! * conversion to standard form with slack / surplus / artificial variables,
+//! * Phase 1 (minimise the sum of artificials) to find a basic feasible solution,
+//! * Phase 2 with the user objective,
+//! * Dantzig (most-negative reduced cost) pivoting with an automatic switch to
+//!   Bland's rule when degeneracy stalls progress, guaranteeing termination.
+//!
+//! The mechanism-design LPs are small (a few hundred to a few thousand variables and
+//! constraints) and heavily degenerate; the hybrid pivot rule handles them in well
+//! under a second for the group sizes studied in the paper.
+//!
+//! ## Example
+//!
+//! ```
+//! use cpm_simplex::{LinearProgram, Relation, SolveStatus};
+//!
+//! // minimise  -3x - 5y
+//! // subject to x      <= 4
+//! //                 2y <= 12
+//! //            3x + 2y <= 18
+//! //            x, y >= 0
+//! let mut lp = LinearProgram::minimize();
+//! let x = lp.add_variable("x");
+//! let y = lp.add_variable("y");
+//! lp.set_objective_coefficient(x, -3.0);
+//! lp.set_objective_coefficient(y, -5.0);
+//! lp.add_constraint(vec![(x, 1.0)], Relation::LessEq, 4.0);
+//! lp.add_constraint(vec![(y, 2.0)], Relation::LessEq, 12.0);
+//! lp.add_constraint(vec![(x, 3.0), (y, 2.0)], Relation::LessEq, 18.0);
+//!
+//! let solution = lp.solve().unwrap();
+//! assert_eq!(solution.status, SolveStatus::Optimal);
+//! assert!((solution.objective_value - (-36.0)).abs() < 1e-9);
+//! assert!((solution.value(x) - 2.0).abs() < 1e-9);
+//! assert!((solution.value(y) - 6.0).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod model;
+mod solution;
+mod solver;
+mod standard;
+mod tableau;
+
+pub use error::SimplexError;
+pub use model::{Constraint, LinearProgram, Objective, Relation, VariableId};
+pub use solution::{Solution, SolveStatus};
+pub use solver::{PivotRule, SolveOptions, SolveStats};

@@ -1,0 +1,62 @@
+//! Solution representation returned by the solver.
+
+use crate::model::VariableId;
+use crate::solver::SolveStats;
+
+/// Status of a completed solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveStatus {
+    /// An optimal basic feasible solution was found.
+    Optimal,
+}
+
+/// The result of successfully solving a [`crate::LinearProgram`].
+///
+/// Infeasibility, unboundedness, and iteration-limit failures are reported through
+/// [`crate::SimplexError`] instead, so a `Solution` always carries an optimal point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Status of the solve (always [`SolveStatus::Optimal`] at present; kept as an
+    /// enum so that callers match on it and future relaxations stay source-compatible).
+    pub status: SolveStatus,
+    /// Optimal objective value in the *user's* orientation (i.e. already negated back
+    /// for maximisation problems).
+    pub objective_value: f64,
+    /// Value of each structural variable, indexed by [`VariableId::index`].
+    pub values: Vec<f64>,
+    /// Iteration counts and pivot-rule statistics.
+    pub stats: SolveStats,
+}
+
+impl Solution {
+    /// Value of a single variable.
+    #[inline]
+    pub fn value(&self, var: VariableId) -> f64 {
+        self.values[var.index()]
+    }
+
+    /// Values of a slice of variables, in order.
+    pub fn values_of(&self, vars: &[VariableId]) -> Vec<f64> {
+        vars.iter().map(|&v| self.value(v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_accessors() {
+        let solution = Solution {
+            status: SolveStatus::Optimal,
+            objective_value: 1.5,
+            values: vec![0.25, 0.75],
+            stats: SolveStats::default(),
+        };
+        assert_eq!(solution.value(VariableId(0)), 0.25);
+        assert_eq!(
+            solution.values_of(&[VariableId(1), VariableId(0)]),
+            vec![0.75, 0.25]
+        );
+    }
+}

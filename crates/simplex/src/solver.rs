@@ -1,0 +1,518 @@
+//! Two-phase primal simplex driver.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SimplexError;
+use crate::model::LinearProgram;
+use crate::solution::{Solution, SolveStatus};
+use crate::standard::{standardize, StandardForm};
+use crate::tableau::Tableau;
+
+/// Rule used to choose the entering column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PivotRule {
+    /// Most negative reduced cost (classic Dantzig rule).  Fast in practice but can
+    /// cycle on degenerate problems.
+    Dantzig,
+    /// Smallest-index rule (Bland).  Slow but guaranteed to terminate.
+    Bland,
+    /// Dantzig by default, switching to Bland after a run of consecutive degenerate
+    /// pivots and back after the next improving pivot.  This is the default and the
+    /// rule used for all experiments; the ablation bench compares the three.
+    Hybrid {
+        /// Number of consecutive degenerate pivots tolerated before switching to Bland.
+        degenerate_threshold: usize,
+    },
+}
+
+impl Default for PivotRule {
+    fn default() -> Self {
+        PivotRule::Hybrid {
+            degenerate_threshold: 64,
+        }
+    }
+}
+
+/// Options controlling a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SolveOptions {
+    /// Hard cap on the total number of pivots across both phases.
+    pub max_iterations: usize,
+    /// Absolute tolerance used for reduced costs, ratio tests, and feasibility checks.
+    pub tolerance: f64,
+    /// Entering-column rule.
+    pub pivot_rule: PivotRule,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            max_iterations: 500_000,
+            tolerance: 1e-9,
+            pivot_rule: PivotRule::default(),
+        }
+    }
+}
+
+/// Statistics about a completed solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SolveStats {
+    /// Pivots performed in Phase 1 (finding a feasible basis).
+    pub phase1_iterations: usize,
+    /// Pivots performed in Phase 2 (optimising the user objective).
+    pub phase2_iterations: usize,
+    /// Number of pivots that were degenerate (did not change the objective).
+    pub degenerate_pivots: usize,
+    /// Number of times the hybrid rule fell back to Bland's rule.
+    pub bland_activations: usize,
+    /// Number of artificial variables that were required.
+    pub artificial_variables: usize,
+}
+
+/// Outcome of running simplex iterations to optimality on one phase.
+enum PhaseOutcome {
+    Optimal,
+    Unbounded,
+}
+
+struct PhaseState {
+    iterations_left: usize,
+    stats: SolveStats,
+}
+
+/// Solve an already-validated program.  Called by [`LinearProgram::solve_with`].
+pub(crate) fn solve_prepared(
+    lp: &LinearProgram,
+    options: &SolveOptions,
+) -> Result<Solution, SimplexError> {
+    let sf = standardize(lp);
+    let eps = options.tolerance;
+
+    if sf.num_rows() == 0 {
+        // No constraints: the optimum of a non-negative-variable LP is attained at the
+        // lower bounds unless some cost is negative, in which case it is unbounded.
+        return solve_unconstrained(lp, &sf);
+    }
+
+    // Append artificial columns for rows without a basic slack.
+    let num_core_columns = sf.num_columns();
+    let num_artificials = sf.basis_hint.iter().filter(|h| h.is_none()).count();
+    let total_columns = num_core_columns + num_artificials;
+
+    let mut rows = sf.rows.clone();
+    for row in rows.iter_mut() {
+        row.resize(total_columns, 0.0);
+    }
+    // Insert artificial basics in row order so that `basis[r]` lines up with row `r`.
+    let mut basis = vec![usize::MAX; sf.num_rows()];
+    let mut artificial_index = 0;
+    for (r, hint) in sf.basis_hint.iter().enumerate() {
+        match hint {
+            Some(col) => basis[r] = *col,
+            None => {
+                let col = num_core_columns + artificial_index;
+                rows[r][col] = 1.0;
+                basis[r] = col;
+                artificial_index += 1;
+            }
+        }
+    }
+
+    let mut tableau = Tableau::new(rows, sf.rhs.clone(), basis);
+    let mut state = PhaseState {
+        iterations_left: options.max_iterations,
+        stats: SolveStats {
+            artificial_variables: num_artificials,
+            ..SolveStats::default()
+        },
+    };
+
+    // ------------------------------- Phase 1 -------------------------------
+    if num_artificials > 0 {
+        let mut phase1_costs = vec![0.0; total_columns];
+        for cost in phase1_costs.iter_mut().skip(num_core_columns) {
+            *cost = 1.0;
+        }
+        tableau.set_costs(&phase1_costs);
+        let before = state.iterations_left;
+        let outcome = run_phase(&mut tableau, options, eps, num_core_columns, &mut state, true)?;
+        state.stats.phase1_iterations = before - state.iterations_left;
+        if matches!(outcome, PhaseOutcome::Unbounded) {
+            // Phase 1 objective is bounded below by zero; unboundedness indicates a
+            // numerical breakdown, which we surface as an iteration-limit style error.
+            return Err(SimplexError::IterationLimit {
+                limit: options.max_iterations,
+            });
+        }
+        if tableau.objective() > 1e-6 {
+            return Err(SimplexError::Infeasible);
+        }
+        drive_out_artificials(&mut tableau, num_core_columns, eps);
+    }
+
+    // ------------------------------- Phase 2 -------------------------------
+    let mut phase2_costs = sf.costs.clone();
+    phase2_costs.resize(total_columns, 0.0);
+    tableau.set_costs(&phase2_costs);
+    let before = state.iterations_left;
+    let outcome = run_phase(&mut tableau, options, eps, num_core_columns, &mut state, false)?;
+    state.stats.phase2_iterations = before - state.iterations_left;
+    if matches!(outcome, PhaseOutcome::Unbounded) {
+        return Err(SimplexError::Unbounded);
+    }
+
+    let z = tableau.basic_solution();
+    let values = sf.recover_values(&z[..num_core_columns]);
+    let mut objective_value = tableau.objective() + sf.objective_constant;
+    if sf.maximize {
+        objective_value = -objective_value;
+    }
+    Ok(Solution {
+        status: SolveStatus::Optimal,
+        objective_value,
+        values,
+        stats: state.stats,
+    })
+}
+
+/// Handle the degenerate "no constraints" case directly.
+fn solve_unconstrained(lp: &LinearProgram, sf: &StandardForm) -> Result<Solution, SimplexError> {
+    // Any column with a negative cost can grow without bound.
+    if sf.costs.iter().any(|&c| c < 0.0) {
+        return Err(SimplexError::Unbounded);
+    }
+    let z = vec![0.0; sf.num_columns()];
+    let values = sf.recover_values(&z);
+    let mut objective_value = sf.objective_constant;
+    if sf.maximize {
+        objective_value = -objective_value;
+    }
+    let _ = lp;
+    Ok(Solution {
+        status: SolveStatus::Optimal,
+        objective_value,
+        values,
+        stats: SolveStats::default(),
+    })
+}
+
+/// Run simplex pivots until optimality or unboundedness for the current cost row.
+///
+/// `restrict_to_core` (Phase 2 and the artificial-exclusion rule of Phase 1's
+/// aftermath) prevents artificial columns from re-entering the basis.
+fn run_phase(
+    tableau: &mut Tableau,
+    options: &SolveOptions,
+    eps: f64,
+    num_core_columns: usize,
+    state: &mut PhaseState,
+    is_phase1: bool,
+) -> Result<PhaseOutcome, SimplexError> {
+    // In Phase 1 artificial columns may appear in the basis (they start there) but
+    // must never *re-enter* once they have left; in Phase 2 they must never enter.
+    let entering_limit = if is_phase1 {
+        tableau.num_cols()
+    } else {
+        num_core_columns
+    };
+    let mut degenerate_streak = 0usize;
+    let mut using_bland = matches!(options.pivot_rule, PivotRule::Bland);
+
+    loop {
+        if state.iterations_left == 0 {
+            return Err(SimplexError::IterationLimit {
+                limit: options.max_iterations,
+            });
+        }
+
+        let entering = choose_entering(tableau, entering_limit, num_core_columns, eps, using_bland, is_phase1);
+        let Some(col) = entering else {
+            return Ok(PhaseOutcome::Optimal);
+        };
+        let Some(row) = tableau.ratio_test(col, eps) else {
+            return Ok(PhaseOutcome::Unbounded);
+        };
+
+        let nondegenerate = tableau.pivot(row, col);
+        state.iterations_left -= 1;
+        if nondegenerate {
+            degenerate_streak = 0;
+            if let PivotRule::Hybrid { .. } = options.pivot_rule {
+                using_bland = false;
+            }
+        } else {
+            state.stats.degenerate_pivots += 1;
+            degenerate_streak += 1;
+            if let PivotRule::Hybrid {
+                degenerate_threshold,
+            } = options.pivot_rule
+            {
+                if !using_bland && degenerate_streak >= degenerate_threshold {
+                    using_bland = true;
+                    state.stats.bland_activations += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Choose the entering column according to the active rule.
+///
+/// Artificial columns (indices `>= num_core_columns`) are never allowed to enter:
+/// in Phase 1 they start basic and only ever leave, and in Phase 2 `entering_limit`
+/// already excludes them.
+fn choose_entering(
+    tableau: &Tableau,
+    entering_limit: usize,
+    num_core_columns: usize,
+    eps: f64,
+    use_bland: bool,
+    is_phase1: bool,
+) -> Option<usize> {
+    let limit = entering_limit.min(tableau.num_cols());
+    let excluded_from = if is_phase1 { num_core_columns } else { limit };
+    if use_bland {
+        (0..limit)
+            .filter(|&j| j < excluded_from)
+            .find(|&j| tableau.reduced_cost(j) < -eps)
+    } else {
+        let mut best: Option<(usize, f64)> = None;
+        for j in 0..limit {
+            if j >= excluded_from {
+                continue;
+            }
+            let rc = tableau.reduced_cost(j);
+            if rc < -eps {
+                match best {
+                    None => best = Some((j, rc)),
+                    Some((_, best_rc)) if rc < best_rc => best = Some((j, rc)),
+                    _ => {}
+                }
+            }
+        }
+        best.map(|(j, _)| j)
+    }
+}
+
+/// After Phase 1, pivot any artificial variables that are still basic (at value zero)
+/// out of the basis.  Rows where this is impossible are redundant constraints; their
+/// artificial stays basic at zero and is harmless because the entire row is zero on
+/// the structural columns.
+fn drive_out_artificials(tableau: &mut Tableau, num_core_columns: usize, eps: f64) {
+    for row in 0..tableau.num_rows() {
+        let basic = tableau.basis()[row];
+        if basic >= num_core_columns {
+            if let Some(col) = tableau.first_nonzero_in_row(row, num_core_columns, eps) {
+                tableau.pivot(row, col);
+            } else {
+                debug_assert!(tableau.row_is_zero_up_to(row, num_core_columns, eps));
+                debug_assert!(tableau.rhs(row).abs() <= 1e-6);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LinearProgram, Relation};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-7, "{a} != {b}");
+    }
+
+    #[test]
+    fn classic_textbook_maximisation() {
+        // max 3x + 5y subject to x <= 4, 2y <= 12, 3x + 2y <= 18.
+        let mut lp = LinearProgram::maximize();
+        let x = lp.add_variable("x");
+        let y = lp.add_variable("y");
+        lp.set_objective_coefficient(x, 3.0);
+        lp.set_objective_coefficient(y, 5.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::LessEq, 4.0);
+        lp.add_constraint(vec![(y, 2.0)], Relation::LessEq, 12.0);
+        lp.add_constraint(vec![(x, 3.0), (y, 2.0)], Relation::LessEq, 18.0);
+        let solution = lp.solve().unwrap();
+        assert_close(solution.objective_value, 36.0);
+        assert_close(solution.value(x), 2.0);
+        assert_close(solution.value(y), 6.0);
+    }
+
+    #[test]
+    fn equality_constraints_need_phase_one() {
+        // min x + 2y subject to x + y = 10, x - y >= 2.
+        let mut lp = LinearProgram::minimize();
+        let x = lp.add_variable("x");
+        let y = lp.add_variable("y");
+        lp.set_objective_coefficient(x, 1.0);
+        lp.set_objective_coefficient(y, 2.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Equal, 10.0);
+        lp.add_constraint(vec![(x, 1.0), (y, -1.0)], Relation::GreaterEq, 2.0);
+        let solution = lp.solve().unwrap();
+        // Optimal at y = 0, x = 10 -> objective 10.
+        assert_close(solution.objective_value, 10.0);
+        assert_close(solution.value(x), 10.0);
+        assert_close(solution.value(y), 0.0);
+        assert!(solution.stats.artificial_variables >= 1);
+    }
+
+    #[test]
+    fn infeasible_program_is_detected() {
+        let mut lp = LinearProgram::minimize();
+        let x = lp.add_variable("x");
+        lp.add_constraint(vec![(x, 1.0)], Relation::LessEq, 1.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::GreaterEq, 2.0);
+        assert_eq!(lp.solve().unwrap_err(), SimplexError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_program_is_detected() {
+        let mut lp = LinearProgram::maximize();
+        let x = lp.add_variable("x");
+        lp.set_objective_coefficient(x, 1.0);
+        lp.add_constraint(vec![(x, -1.0)], Relation::LessEq, 1.0);
+        assert_eq!(lp.solve().unwrap_err(), SimplexError::Unbounded);
+    }
+
+    #[test]
+    fn unconstrained_minimisation_sits_at_lower_bounds() {
+        let mut lp = LinearProgram::minimize();
+        let x = lp.add_variable_with_bounds("x", 2.0, f64::INFINITY);
+        lp.set_objective_coefficient(x, 3.0);
+        let solution = lp.solve().unwrap();
+        assert_close(solution.objective_value, 6.0);
+        assert_close(solution.value(x), 2.0);
+    }
+
+    #[test]
+    fn unconstrained_with_negative_cost_is_unbounded() {
+        let mut lp = LinearProgram::minimize();
+        let x = lp.add_variable("x");
+        lp.set_objective_coefficient(x, -1.0);
+        assert_eq!(lp.solve().unwrap_err(), SimplexError::Unbounded);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates_with_anticycling_rules() {
+        // Beale's classic cycling example.  The pure Dantzig rule cycles forever on
+        // this instance (that is the point of the example, and why the hybrid rule is
+        // the default); Bland and the hybrid rule must terminate with objective -0.05.
+        for rule in [
+            PivotRule::Bland,
+            PivotRule::Hybrid {
+                degenerate_threshold: 4,
+            },
+        ] {
+            let mut lp = LinearProgram::minimize();
+            let x1 = lp.add_variable("x1");
+            let x2 = lp.add_variable("x2");
+            let x3 = lp.add_variable("x3");
+            let x4 = lp.add_variable("x4");
+            lp.set_objective_coefficient(x1, -0.75);
+            lp.set_objective_coefficient(x2, 150.0);
+            lp.set_objective_coefficient(x3, -0.02);
+            lp.set_objective_coefficient(x4, 6.0);
+            lp.add_constraint(
+                vec![(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)],
+                Relation::LessEq,
+                0.0,
+            );
+            lp.add_constraint(
+                vec![(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)],
+                Relation::LessEq,
+                0.0,
+            );
+            lp.add_constraint(vec![(x3, 1.0)], Relation::LessEq, 1.0);
+            let options = SolveOptions {
+                pivot_rule: rule,
+                ..SolveOptions::default()
+            };
+            let solution = lp.solve_with(&options).unwrap();
+            assert_close(solution.objective_value, -0.05);
+        }
+    }
+
+    #[test]
+    fn dantzig_rule_cycles_on_beale_and_hits_the_iteration_limit() {
+        // Companion to the test above: document that the pure Dantzig rule does cycle
+        // on Beale's example, which is why it is not the default.
+        let mut lp = LinearProgram::minimize();
+        let x1 = lp.add_variable("x1");
+        let x2 = lp.add_variable("x2");
+        let x3 = lp.add_variable("x3");
+        let x4 = lp.add_variable("x4");
+        lp.set_objective_coefficient(x1, -0.75);
+        lp.set_objective_coefficient(x2, 150.0);
+        lp.set_objective_coefficient(x3, -0.02);
+        lp.set_objective_coefficient(x4, 6.0);
+        lp.add_constraint(
+            vec![(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)],
+            Relation::LessEq,
+            0.0,
+        );
+        lp.add_constraint(
+            vec![(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)],
+            Relation::LessEq,
+            0.0,
+        );
+        lp.add_constraint(vec![(x3, 1.0)], Relation::LessEq, 1.0);
+        let options = SolveOptions {
+            pivot_rule: PivotRule::Dantzig,
+            max_iterations: 10_000,
+            ..SolveOptions::default()
+        };
+        match lp.solve_with(&options) {
+            Err(SimplexError::IterationLimit { .. }) => {}
+            Ok(solution) => assert_close(solution.objective_value, -0.05),
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn redundant_equalities_are_tolerated() {
+        // x + y = 4 stated twice; the second row becomes redundant after Phase 1.
+        let mut lp = LinearProgram::minimize();
+        let x = lp.add_variable("x");
+        let y = lp.add_variable("y");
+        lp.set_objective_coefficient(x, 1.0);
+        lp.set_objective_coefficient(y, 3.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Equal, 4.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Equal, 4.0);
+        let solution = lp.solve().unwrap();
+        assert_close(solution.objective_value, 4.0);
+        assert_close(solution.value(x), 4.0);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let mut lp = LinearProgram::minimize();
+        let x = lp.add_variable("x");
+        let y = lp.add_variable("y");
+        lp.set_objective_coefficient(x, 1.0);
+        lp.set_objective_coefficient(y, 1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Equal, 2.0);
+        let solution = lp.solve().unwrap();
+        assert!(solution.stats.phase1_iterations + solution.stats.phase2_iterations >= 1);
+        assert_eq!(solution.stats.artificial_variables, 1);
+    }
+
+    #[test]
+    fn iteration_limit_is_enforced() {
+        let mut lp = LinearProgram::maximize();
+        let x = lp.add_variable("x");
+        let y = lp.add_variable("y");
+        lp.set_objective_coefficient(x, 3.0);
+        lp.set_objective_coefficient(y, 5.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::LessEq, 4.0);
+        lp.add_constraint(vec![(y, 2.0)], Relation::LessEq, 12.0);
+        lp.add_constraint(vec![(x, 3.0), (y, 2.0)], Relation::LessEq, 18.0);
+        let options = SolveOptions {
+            max_iterations: 1,
+            ..SolveOptions::default()
+        };
+        assert!(matches!(
+            lp.solve_with(&options).unwrap_err(),
+            SimplexError::IterationLimit { limit: 1 }
+        ));
+    }
+}

@@ -1,0 +1,57 @@
+//! Adult survey: privately estimating small-group statistics from census microdata.
+//!
+//! This mirrors the paper's Section V-B motivation: an analyst wants per-group counts
+//! (how many of each group of 10 people are high earners / male / young) without
+//! exposing any individual's attribute.  We generate the synthetic Adult-like table,
+//! privatise every group's count with GM, WM, EM, and UM, and compare both the
+//! per-group error rate and the aggregate (city-wide) estimate each mechanism yields.
+//!
+//! Run with `cargo run --release --example adult_survey`.
+
+use constrained_private_mechanisms::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), CoreError> {
+    let alpha = Alpha::new(0.9)?;
+    let group_size = 10;
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // 16k synthetic census records (a quarter of the full Adult size, for speed).
+    let dataset = AdultDataset::generate(AdultDatasetSpec { size: 16_000 }, &mut rng);
+    println!("generated {} census records", dataset.len());
+
+    for target in AdultTarget::ALL {
+        let population = dataset.target_population(target);
+        let counts = population.group_counts(group_size);
+        let true_total: usize = counts.iter().sum();
+        println!(
+            "\n== {} (marginal rate {:.3}, {} groups of {group_size}) ==",
+            target.label(),
+            dataset.target_rate(target),
+            counts.len()
+        );
+
+        for which in NamedMechanism::PAPER_SET {
+            let matrix = build_mechanism(which, group_size, alpha)?;
+            let sampler = MechanismSampler::new(&matrix);
+            let reported = sampler.privatize(&counts, &mut rng);
+            let noisy_total: usize = reported.iter().sum();
+            println!(
+                "  {:<3} wrong-count rate {:.3}   RMSE {:.3}   total estimate {} (true {})",
+                which.label(),
+                empirical_error_rate(&counts, &reported),
+                root_mean_square_error(&counts, &reported),
+                noisy_total,
+                true_total
+            );
+        }
+    }
+
+    println!(
+        "\nOn this middle-heavy data the constrained mechanisms (EM, WM) report the exact\n\
+         group count more often than GM, which wastes probability mass on the extreme\n\
+         outputs 0 and {group_size} — the paper's Figure 10 finding."
+    );
+    Ok(())
+}

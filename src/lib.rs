@@ -1,0 +1,47 @@
+//! # Constrained Private Mechanisms for Count Data
+//!
+//! Umbrella crate re-exporting the workspace members that implement the ICDE 2018
+//! paper *"Constrained Private Mechanisms for Count Data"* (Cormode, Kulkarni,
+//! Srivastava).
+//!
+//! The interesting code lives in the member crates:
+//!
+//! * [`core`] (`cpm-core`) — mechanism matrices, the seven structural properties,
+//!   objective functions, the explicit Geometric / Explicit-Fair / Uniform mechanisms,
+//!   LP formulations for constrained mechanism design, the selection flowchart,
+//!   sampling, and analytic closed forms.
+//! * [`simplex`] (`cpm-simplex`) — the dense two-phase primal simplex solver the LP
+//!   formulations are solved with.
+//! * [`data`] (`cpm-data`) — synthetic workloads: Binomial group populations and an
+//!   Adult-like census table.
+//! * [`eval`] (`cpm-eval`) — empirical metrics and the per-figure experiment drivers.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use constrained_private_mechanisms::core::prelude::*;
+//!
+//! // A group of n = 7 people, privacy parameter alpha = 0.62 (epsilon ≈ 0.48).
+//! let alpha = Alpha::new(0.62).unwrap();
+//! let gm = GeometricMechanism::new(7, alpha).unwrap().into_matrix();
+//! let em = ExplicitFairMechanism::new(7, alpha).unwrap().into_matrix();
+//!
+//! assert!(gm.satisfies_dp(alpha, 1e-9));
+//! assert!(em.satisfies_dp(alpha, 1e-9));
+//! // EM is fair; GM in general is not.
+//! assert!(Property::Fairness.holds(&em, 1e-9));
+//! assert!(!Property::Fairness.holds(&gm, 1e-9));
+//! ```
+
+pub use cpm_core as core;
+pub use cpm_data as data;
+pub use cpm_eval as eval;
+pub use cpm_simplex as simplex;
+
+/// Convenience prelude re-exporting the most commonly used items across the workspace.
+pub mod prelude {
+    pub use cpm_core::prelude::*;
+    pub use cpm_data::prelude::*;
+    pub use cpm_eval::prelude::*;
+    pub use cpm_simplex::{LinearProgram, Solution, SolveStatus};
+}

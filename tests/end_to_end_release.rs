@@ -1,0 +1,135 @@
+//! End-to-end pipeline tests: generate data, design a mechanism, privatise group
+//! counts, and check that the released statistics behave as the theory predicts.
+
+use constrained_private_mechanisms::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn a(v: f64) -> Alpha {
+    Alpha::new(v).unwrap()
+}
+
+/// Privatising Binomial group counts with EM yields an empirical truth rate close to
+/// the diagonal value y, and the aggregate estimate stays close to the truth.
+#[test]
+fn binomial_release_matches_the_mechanism_diagonal() {
+    let alpha = a(0.8);
+    let n = 6;
+    let mut rng = StdRng::seed_from_u64(11);
+    // p = 0.5 keeps the group-count distribution symmetric about n/2, so the
+    // truncation bias of the (symmetric) mechanism cancels in the aggregate.
+    let population = BinomialPopulationSpec {
+        population_size: 30_000,
+        probability: 0.5,
+    }
+    .generate(&mut rng);
+    let counts = population.group_counts(n);
+
+    let em = ExplicitFairMechanism::new(n, alpha).unwrap();
+    let sampler = MechanismSampler::new(em.matrix());
+    let reported = sampler.privatize(&counts, &mut rng);
+
+    // Fairness: the probability of reporting the truth is exactly y for every input,
+    // so the empirical truth rate must concentrate around y regardless of the data.
+    let truth_rate = counts
+        .iter()
+        .zip(&reported)
+        .filter(|(t, r)| t == r)
+        .count() as f64
+        / counts.len() as f64;
+    let y = em.diagonal_value();
+    assert!(
+        (truth_rate - y).abs() < 0.02,
+        "empirical truth rate {truth_rate} vs diagonal {y}"
+    );
+
+    // The total estimate over all groups should be within a few percent of the truth
+    // (EM is symmetric, so its per-group bias is small away from the boundary).
+    let true_total: usize = counts.iter().sum();
+    let noisy_total: usize = reported.iter().sum();
+    let relative_error = (noisy_total as f64 - true_total as f64).abs() / true_total as f64;
+    assert!(relative_error < 0.06, "relative error {relative_error}");
+}
+
+/// The direct geometric-noise sampler and the GM matrix describe the same
+/// distribution: privatising the same counts both ways gives statistically
+/// indistinguishable error rates.
+#[test]
+fn direct_and_matrix_geometric_sampling_agree() {
+    let alpha = a(0.7);
+    let n = 5;
+    let mut rng = StdRng::seed_from_u64(23);
+    let counts: Vec<usize> = (0..20_000).map(|i| i % (n + 1)).collect();
+
+    let gm = GeometricMechanism::new(n, alpha).unwrap();
+    let sampler = MechanismSampler::new(gm.matrix());
+    let via_matrix = sampler.privatize(&counts, &mut rng);
+    let via_noise: Vec<usize> = counts
+        .iter()
+        .map(|&c| sample_geometric_direct(n, alpha, c, &mut rng))
+        .collect();
+
+    let rate_matrix = counts
+        .iter()
+        .zip(&via_matrix)
+        .filter(|(t, r)| t != r)
+        .count() as f64
+        / counts.len() as f64;
+    let rate_noise = counts
+        .iter()
+        .zip(&via_noise)
+        .filter(|(t, r)| t != r)
+        .count() as f64
+        / counts.len() as f64;
+    assert!(
+        (rate_matrix - rate_noise).abs() < 0.02,
+        "{rate_matrix} vs {rate_noise}"
+    );
+}
+
+/// Full Adult-style pipeline through the umbrella crate: the qualitative Figure 10
+/// ordering (EM at least as honest as GM on middle-heavy data; UM data-independent)
+/// emerges from generated data + designed mechanisms + sampling + metrics.
+#[test]
+fn adult_pipeline_reproduces_the_figure_10_ordering() {
+    let alpha = a(0.9);
+    let n = 8;
+    let mut rng = StdRng::seed_from_u64(5);
+    let dataset = AdultDataset::generate(AdultDatasetSpec { size: 12_000 }, &mut rng);
+    let counts = dataset
+        .target_population(AdultTarget::Male)
+        .group_counts(n);
+
+    let mut error_rates = std::collections::HashMap::new();
+    for which in NamedMechanism::PAPER_SET {
+        let matrix = build_mechanism(which, n, alpha).unwrap();
+        let stats = evaluate_repeated(&matrix, &counts, 10, 17, empirical_error_rate);
+        error_rates.insert(which.label(), stats.mean);
+    }
+    let um_expected = 1.0 - 1.0 / (n as f64 + 1.0);
+    assert!((error_rates["UM"] - um_expected).abs() < 0.05);
+    assert!(error_rates["EM"] <= error_rates["GM"] + 0.03);
+    // Everything is a probability.
+    for (&label, &rate) in &error_rates {
+        assert!((0.0..=1.0).contains(&rate), "{label}: {rate}");
+    }
+}
+
+/// The mechanism returned by the Figure 5 flowchart always satisfies the request,
+/// whatever combination is asked for (spot-checked over the full power set on a tiny
+/// instance, using the LP only when the flowchart says so).
+#[test]
+fn flowchart_designs_satisfy_every_requested_subset() {
+    let n = 3;
+    let alpha = a(0.85);
+    for subset in PropertySet::power_set() {
+        let (choice, mechanism) = design_for_properties(subset, n, alpha)
+            .unwrap_or_else(|e| panic!("subset {subset}: {e}"));
+        assert!(
+            subset.all_hold(&mechanism, 1e-6),
+            "subset {subset} not satisfied by {}",
+            choice.short_name()
+        );
+        assert!(mechanism.satisfies_dp(alpha, 1e-6), "subset {subset}");
+    }
+}

@@ -1,0 +1,134 @@
+//! Smoke tests for the per-figure experiment drivers, run at reduced scale.
+//!
+//! These exercise the same code paths as the `cpm-bench` figure binaries and check
+//! the qualitative claims recorded in EXPERIMENTS.md, so a regression in any crate
+//! shows up as a failed figure rather than only as a unit-test failure.
+
+use constrained_private_mechanisms::eval::experiments::{
+    adult_experiment, binomial_experiments, heatmaps, score_sweeps,
+};
+use constrained_private_mechanisms::prelude::*;
+
+fn a(v: f64) -> Alpha {
+    Alpha::new(v).unwrap()
+}
+
+#[test]
+fn figure_1_and_2_pathologies_appear_and_disappear() {
+    // One small panel is enough for the smoke test.
+    let panels = vec![heatmaps::PanelSpec {
+        n: 5,
+        loss: LossKind::Absolute,
+    }];
+    let unconstrained = heatmaps::lp_heatmaps(a(0.62), &panels, false).unwrap();
+    let constrained = heatmaps::lp_heatmaps(a(0.62), &panels, true).unwrap();
+    assert!(!unconstrained.panels[0].gap_outputs.is_empty());
+    assert!(constrained.panels[0].gap_outputs.is_empty());
+    // The constrained mechanism satisfies everything it was asked for.
+    assert!(PropertySet::all().all_hold(&constrained.panels[0].mechanism, 1e-6));
+}
+
+#[test]
+fn figure_6_and_7_tables_are_consistent_with_each_other() {
+    let alpha = a(10.0 / 11.0);
+    let table = score_sweeps::named_mechanism_table(4, alpha).unwrap();
+    let heatmaps = heatmaps::named_heatmaps(4, alpha).unwrap();
+    // The diagonal mass of each heat map must equal (n+1 - n*L0)/(n+1) from the table.
+    for (label, _, truth_probability) in &heatmaps.mechanisms {
+        let row = table.rows.iter().find(|r| &r.mechanism == label).unwrap();
+        let implied = (5.0 - 4.0 * row.l0) / 5.0;
+        assert!(
+            (truth_probability - implied).abs() < 1e-6,
+            "{label}: {truth_probability} vs {implied}"
+        );
+    }
+}
+
+#[test]
+fn figure_8_exhibits_exactly_two_cost_levels_above_the_threshold() {
+    let alpha = a(0.76);
+    let sweep = score_sweeps::combinations_vs_group_size(alpha, &[8]).unwrap();
+    let mut costs: Vec<f64> = sweep.points[0].scores.iter().map(|(_, s)| *s).collect();
+    costs.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    let mut levels = vec![costs[0]];
+    for &cost in &costs[1..] {
+        if cost - levels.last().unwrap() > 1e-4 {
+            levels.push(cost);
+        }
+    }
+    assert_eq!(levels.len(), 2, "levels: {levels:?}");
+    assert!((levels[0] - closed_form::gm_l0(alpha)).abs() < 1e-5);
+}
+
+#[test]
+fn figure_9_series_are_ordered_and_bracketed() {
+    for alpha in score_sweeps::figure9_alphas() {
+        let sweep = score_sweeps::l0_versus_group_size(alpha, &[2, 4, 8]).unwrap();
+        for point in &sweep.points {
+            let get = |label: &str| {
+                point
+                    .scores
+                    .iter()
+                    .find(|(l, _)| l == label)
+                    .map(|(_, s)| *s)
+                    .unwrap()
+            };
+            assert!(get("GM") <= get("WH") + 1e-6);
+            assert!(get("WH") <= get("WM") + 1e-6);
+            assert!(get("WM") <= get("EM") + 1e-6);
+            assert!(get("EM") <= get("UM") + 1e-6);
+            assert!((get("GM") - closed_form::gm_l0(alpha)).abs() < 1e-9);
+            assert!((get("UM") - 1.0).abs() < 1e-12);
+        }
+    }
+}
+
+#[test]
+fn figure_10_quick_finds_gm_no_better_than_uniform_on_adult_like_data() {
+    let result = adult_experiment::run(&adult_experiment::AdultExperimentConfig::quick()).unwrap();
+    for point in &result.points {
+        assert!(point.error.mean >= 0.0 && point.error.mean <= 1.0);
+    }
+    // Averaged over targets and group sizes, GM must not beat UM on this data
+    // (the paper's headline Figure 10 inversion).
+    let mean_of = |mech: &str| -> f64 {
+        let values: Vec<f64> = result
+            .points
+            .iter()
+            .filter(|p| p.mechanism == mech)
+            .map(|p| p.error.mean)
+            .collect();
+        values.iter().sum::<f64>() / values.len() as f64
+    };
+    assert!(mean_of("GM") + 1e-9 >= mean_of("UM") - 0.02);
+    assert!(mean_of("EM") <= mean_of("GM") + 0.02);
+}
+
+#[test]
+fn figures_11_to_13_quick_runs_have_the_right_crossovers() {
+    let config = binomial_experiments::BinomialExperimentConfig::quick();
+    // Figure 11 crossover: GM wins at p = 0.05, loses at p = 0.5 (alpha = 0.91, n = 8).
+    let sweep =
+        binomial_experiments::l01_error_sweep(&config, &[8], &[0.91], &[0.05, 0.5]).unwrap();
+    let value = |p: f64, mech: &str| {
+        sweep
+            .points
+            .iter()
+            .find(|pt| (pt.p - p).abs() < 1e-9 && pt.mechanism == mech)
+            .map(|pt| pt.value.mean)
+            .unwrap()
+    };
+    assert!(value(0.05, "GM") < value(0.05, "EM"));
+    assert!(value(0.5, "GM") > value(0.5, "EM"));
+
+    // Figure 13: at alpha = 0.91 and balanced input, EM's RMSE is no worse than GM's.
+    let rmse = binomial_experiments::rmse_sweep(&config, &[8], &[0.91], &[0.5]).unwrap();
+    let rmse_of = |mech: &str| {
+        rmse.points
+            .iter()
+            .find(|pt| pt.mechanism == mech)
+            .map(|pt| pt.value.mean)
+            .unwrap()
+    };
+    assert!(rmse_of("EM") <= rmse_of("GM") + 0.05);
+}

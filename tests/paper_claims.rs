@@ -1,0 +1,147 @@
+//! Cross-crate integration tests checking the paper's headline analytic claims
+//! end-to-end: the LP machinery (cpm-simplex + cpm-core) must reproduce the explicit
+//! constructions and the design-space collapse of Section IV.
+
+use constrained_private_mechanisms::prelude::*;
+
+fn a(v: f64) -> Alpha {
+    Alpha::new(v).unwrap()
+}
+
+/// Theorem 3 end-to-end: the unconstrained L0 LP optimum equals the closed-form GM
+/// cost, for both weak and strong privacy.
+#[test]
+fn theorem_3_geometric_mechanism_is_the_unconstrained_l0_optimum() {
+    for (n, alpha) in [(3usize, 0.5), (5, 0.62), (4, 0.9)] {
+        let solution = optimal_unconstrained(n, a(alpha), Objective::l0()).unwrap();
+        let expected = closed_form::gm_l0(a(alpha));
+        assert!(
+            (rescaled_l0(&solution.mechanism) - expected).abs() < 1e-6,
+            "n={n} alpha={alpha}"
+        );
+    }
+}
+
+/// Theorem 4 end-to-end: the fully constrained L0 LP optimum equals EM's closed-form
+/// cost and satisfies every property.
+#[test]
+fn theorem_4_explicit_fair_mechanism_is_the_fully_constrained_optimum() {
+    for (n, alpha) in [(3usize, 0.9), (4, 0.62), (5, 0.76)] {
+        let solution =
+            optimal_constrained(n, a(alpha), Objective::l0(), PropertySet::all()).unwrap();
+        assert!(PropertySet::all().all_hold(&solution.mechanism, 1e-6));
+        let expected = closed_form::em_l0(n, a(alpha));
+        assert!(
+            (rescaled_l0(&solution.mechanism) - expected).abs() < 1e-6,
+            "n={n} alpha={alpha}"
+        );
+    }
+}
+
+/// Section IV-D: the 128 property combinations collapse onto at most four distinct
+/// L0 behaviours.  We solve the LP for every subset of the seven properties on a
+/// small instance and count the distinct optimal costs.
+#[test]
+fn design_space_collapses_to_at_most_four_distinct_costs() {
+    let n = 3;
+    let alpha = a(0.9);
+    let mut costs: Vec<f64> = Vec::new();
+    for subset in PropertySet::power_set() {
+        let solution = optimal_constrained(n, alpha, Objective::l0(), subset)
+            .unwrap_or_else(|e| panic!("subset {subset} failed: {e}"));
+        costs.push(rescaled_l0(&solution.mechanism));
+    }
+    costs.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    let mut distinct: Vec<f64> = Vec::new();
+    for cost in costs {
+        if distinct.last().is_none_or(|&last| cost - last > 1e-5) {
+            distinct.push(cost);
+        }
+    }
+    assert!(
+        distinct.len() <= 4,
+        "expected at most 4 distinct behaviours, found {}: {distinct:?}",
+        distinct.len()
+    );
+    // The extremes are the GM cost (no properties) and the EM cost (all properties).
+    assert!((distinct.first().unwrap() - closed_form::gm_l0(alpha)).abs() < 1e-5);
+    assert!((distinct.last().unwrap() - closed_form::em_l0(n, alpha)).abs() < 1e-5);
+}
+
+/// Lemma 1 end-to-end: for fair mechanisms the optimal L0 design is independent of
+/// the prior weights — the LP optimum under a skewed prior has the same cost as under
+/// the uniform prior.
+#[test]
+fn lemma_1_fair_designs_are_prior_independent() {
+    let n = 4;
+    let alpha = a(0.8);
+    let fair = PropertySet::empty().with(Property::Fairness);
+    let uniform = optimal_constrained(n, alpha, Objective::l0(), fair).unwrap();
+    let skewed_objective = Objective {
+        loss: LossKind::ZeroOne,
+        prior: Prior::Weights(vec![0.5, 0.3, 0.1, 0.05, 0.05]),
+        aggregator: Aggregator::Sum,
+    };
+    let skewed = optimal_constrained(n, alpha, skewed_objective, fair).unwrap();
+    assert!(
+        (rescaled_l0(&uniform.mechanism) - rescaled_l0(&skewed.mechanism)).abs() < 1e-6,
+        "{} vs {}",
+        rescaled_l0(&uniform.mechanism),
+        rescaled_l0(&skewed.mechanism)
+    );
+}
+
+/// Theorem 1 end-to-end: symmetrising any LP solution never changes its objective
+/// value and always yields a symmetric DP mechanism with the same requested
+/// properties.
+#[test]
+fn theorem_1_symmetrisation_is_free() {
+    let n = 5;
+    let alpha = a(0.76);
+    let properties = PropertySet::empty()
+        .with(Property::WeakHonesty)
+        .with(Property::ColumnMonotonicity);
+    let solution = optimal_constrained(n, alpha, Objective::l0(), properties).unwrap();
+    let symmetric = symmetrize(&solution.mechanism);
+    assert!(Property::Symmetry.holds(&symmetric, 1e-9));
+    assert!(symmetric.satisfies_dp(alpha, 1e-6));
+    assert!(properties.all_hold(&symmetric, 1e-6));
+    assert!(
+        (rescaled_l0(&solution.mechanism) - rescaled_l0(&symmetric)).abs() < 1e-9,
+        "symmetrisation changed the objective"
+    );
+}
+
+/// Section IV-D: neither EM nor WM is derivable from GM by post-processing
+/// (Gupte–Sundararajan test), so constrained design is not a trivial re-mapping.
+#[test]
+fn constrained_mechanisms_are_not_post_processings_of_gm() {
+    let alpha = a(0.9);
+    for n in [2usize, 3, 4, 6] {
+        // EM breaks the condition for every n > 1 (the paper gives the witness triple).
+        let em = ExplicitFairMechanism::new(n, alpha).unwrap().into_matrix();
+        assert!(!is_derivable_from_geometric(&em, alpha, 1e-9), "EM n={n}");
+    }
+    // The WM LP can have multiple optimal vertices; the paper's claim is about the
+    // solution its solver returned.  For n >= 3 the vertex our simplex finds also
+    // violates the condition (for n = 2 it happens to be derivable).
+    for n in [3usize, 4, 6] {
+        let wm = weak_honest_mechanism(n, alpha).unwrap().mechanism;
+        assert!(!is_derivable_from_geometric(&wm, alpha, 1e-9), "WM n={n}");
+    }
+}
+
+/// Figure 6 ordering via the public umbrella crate: GM <= WM <= EM <= UM under L0,
+/// with the gap between EM and GM bounded by the (1 + 1/n) factor.
+#[test]
+fn figure_6_cost_ordering_and_gap() {
+    use constrained_private_mechanisms::eval::runner::{l0_score, NamedMechanism};
+    for (n, alpha) in [(4usize, 0.9), (8, 0.76)] {
+        let gm = l0_score(NamedMechanism::Geometric, n, a(alpha)).unwrap();
+        let wm = l0_score(NamedMechanism::WeakHonest, n, a(alpha)).unwrap();
+        let em = l0_score(NamedMechanism::ExplicitFair, n, a(alpha)).unwrap();
+        let um = l0_score(NamedMechanism::Uniform, n, a(alpha)).unwrap();
+        assert!(gm <= wm + 1e-6 && wm <= em + 1e-6 && em <= um + 1e-6);
+        assert!(em <= gm * (1.0 + 1.0 / n as f64) + 1e-9);
+    }
+}

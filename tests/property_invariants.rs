@@ -1,0 +1,185 @@
+//! Property-based integration tests (proptest) over the public API: invariants that
+//! must hold for *every* valid parameter choice, not just the paper's grid.
+
+use constrained_private_mechanisms::prelude::*;
+use proptest::prelude::*;
+
+fn alpha_strategy() -> impl Strategy<Value = f64> {
+    // Stay away from 0 to keep epsilon finite, and include 1.0 explicitly elsewhere.
+    0.05f64..=0.995
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// GM and EM are always column-stochastic, α-DP, and ordered GM <= EM in L0,
+    /// with EM fair and GM symmetric, for every (n, α).
+    #[test]
+    fn explicit_constructions_are_always_valid(n in 1usize..24, alpha in alpha_strategy()) {
+        let alpha = Alpha::new(alpha).unwrap();
+        let gm = GeometricMechanism::new(n, alpha).unwrap();
+        let em = ExplicitFairMechanism::new(n, alpha).unwrap();
+        prop_assert!(gm.matrix().is_column_stochastic(1e-9));
+        prop_assert!(em.matrix().is_column_stochastic(1e-9));
+        prop_assert!(gm.matrix().satisfies_dp(alpha, 1e-9));
+        prop_assert!(em.matrix().satisfies_dp(alpha, 1e-9));
+        prop_assert!(Property::Symmetry.holds(gm.matrix(), 1e-9));
+        prop_assert!(Property::Fairness.holds(em.matrix(), 1e-9));
+        prop_assert!(Property::WeakHonesty.holds(em.matrix(), 1e-9));
+        prop_assert!(rescaled_l0(em.matrix()) + 1e-9 >= rescaled_l0(gm.matrix()));
+        // And the closed forms agree with the matrices.
+        prop_assert!((rescaled_l0(gm.matrix()) - closed_form::gm_l0(alpha)).abs() < 1e-9);
+        prop_assert!((rescaled_l0(em.matrix()) - closed_form::em_l0(n, alpha)).abs() < 1e-9);
+    }
+
+    /// The Lemma 2 predicate agrees with the actual weak-honesty check of the GM
+    /// matrix for every (n, α).
+    #[test]
+    fn lemma_2_predicate_matches_reality(n in 1usize..32, alpha in alpha_strategy()) {
+        let alpha = Alpha::new(alpha).unwrap();
+        let gm = GeometricMechanism::new(n, alpha).unwrap();
+        prop_assert_eq!(
+            closed_form::gm_satisfies_weak_honesty(n, alpha),
+            Property::WeakHonesty.holds(gm.matrix(), 1e-9)
+        );
+    }
+
+    /// Symmetrisation (Theorem 1) preserves stochasticity, DP, and the trace for any
+    /// mixture-built DP mechanism.
+    #[test]
+    fn symmetrisation_preserves_invariants(
+        n in 1usize..12,
+        alpha in alpha_strategy(),
+        mix in 0.0f64..=1.0,
+        skew in 1usize..5,
+    ) {
+        let alpha = Alpha::new(alpha).unwrap();
+        let gm = GeometricMechanism::new(n, alpha).unwrap();
+        // Mix GM with an input-oblivious skewed mechanism (both are alpha-DP, so the
+        // mixture is too) to get an asymmetric test subject.
+        let total: f64 = (0..=n).map(|i| ((i % skew) + 1) as f64).sum();
+        let mixture = Mechanism::from_fn(n, |i, j| {
+            mix * gm.matrix().prob(i, j) + (1.0 - mix) * ((i % skew) + 1) as f64 / total
+        })
+        .unwrap();
+        let symmetric = symmetrize(&mixture);
+        prop_assert!(symmetric.is_column_stochastic(1e-9));
+        prop_assert!(symmetric.satisfies_dp(alpha, 1e-9));
+        prop_assert!(Property::Symmetry.holds(&symmetric, 1e-9));
+        prop_assert!((symmetric.trace() - mixture.trace()).abs() < 1e-9);
+    }
+
+    /// Sampling never produces an output outside 0..=n, and the empirical truth rate
+    /// of EM stays within a loose band of the diagonal value.
+    #[test]
+    fn sampling_respects_the_output_range(
+        n in 1usize..16,
+        alpha in alpha_strategy(),
+        input_seed in 0u64..1000,
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let alpha = Alpha::new(alpha).unwrap();
+        let em = ExplicitFairMechanism::new(n, alpha).unwrap();
+        let sampler = MechanismSampler::new(em.matrix());
+        let mut rng = StdRng::seed_from_u64(input_seed);
+        for input in 0..=n {
+            for _ in 0..50 {
+                let output = sampler.sample(input, &mut rng);
+                prop_assert!(output <= n);
+            }
+        }
+    }
+
+    /// The empirical metrics are consistent: error-beyond-d is non-increasing in d
+    /// and bounded by the plain error rate; RMSE is zero iff all reports are exact.
+    #[test]
+    fn metrics_are_internally_consistent(
+        truth in proptest::collection::vec(0usize..9, 1..60),
+        noise in proptest::collection::vec(0usize..9, 1..60),
+    ) {
+        let len = truth.len().min(noise.len());
+        let truth = &truth[..len];
+        let reported = &noise[..len];
+        let e0 = empirical_error_rate(truth, reported);
+        let e1 = empirical_error_rate_beyond(truth, reported, 1);
+        let e3 = empirical_error_rate_beyond(truth, reported, 3);
+        prop_assert!(e1 <= e0 + 1e-12);
+        prop_assert!(e3 <= e1 + 1e-12);
+        let rmse = root_mean_square_error(truth, reported);
+        if e0 == 0.0 {
+            prop_assert!(rmse == 0.0);
+        } else {
+            prop_assert!(rmse > 0.0);
+        }
+        prop_assert!(mean_absolute_error(truth, reported) <= rmse + 1e-12);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For a random subset of the structural properties on a small instance, the LP
+    /// design (i) satisfies everything in the subset's implication closure, (ii) is
+    /// α-DP, and (iii) costs between GM's and EM's closed-form L0 scores.
+    #[test]
+    fn lp_designs_satisfy_random_property_subsets(
+        mask in 0u8..128,
+        n in 2usize..=3,
+        alpha in 0.55f64..0.95,
+    ) {
+        let alpha = Alpha::new(alpha).unwrap();
+        let subset: PropertySet = Property::ALL
+            .iter()
+            .enumerate()
+            .filter(|(bit, _)| mask & (1 << bit) != 0)
+            .map(|(_, p)| *p)
+            .collect();
+        let solution = optimal_constrained(n, alpha, Objective::l0(), subset).unwrap();
+        prop_assert!(subset.all_hold(&solution.mechanism, 1e-6), "{subset}");
+        prop_assert!(subset.closure().all_hold(&solution.mechanism, 1e-6), "closure of {subset}");
+        prop_assert!(solution.mechanism.satisfies_dp(alpha, 1e-6));
+        let l0 = rescaled_l0(&solution.mechanism);
+        prop_assert!(l0 + 1e-6 >= closed_form::gm_l0(alpha));
+        prop_assert!(l0 <= closed_form::em_l0(n, alpha) + 1e-6);
+    }
+
+    /// Designing against a (valid) non-uniform prior never does worse *under that
+    /// prior* than the uniform-prior design — the LP really is optimising the
+    /// weighted objective of Definition 3.
+    #[test]
+    fn prior_aware_designs_beat_uniform_designs_under_their_prior(
+        raw in proptest::collection::vec(0.05f64..1.0, 4),
+        alpha in 0.6f64..0.95,
+    ) {
+        let n = 3;
+        let alpha = Alpha::new(alpha).unwrap();
+        let total: f64 = raw.iter().sum();
+        let weights: Vec<f64> = raw.iter().map(|w| w / total).collect();
+        let skewed = Objective {
+            loss: LossKind::ZeroOne,
+            prior: Prior::Weights(weights.clone()),
+            aggregator: Aggregator::Sum,
+        };
+        let aware = optimal_constrained(n, alpha, skewed.clone(), PropertySet::empty()).unwrap();
+        let oblivious = optimal_constrained(n, alpha, Objective::l0(), PropertySet::empty()).unwrap();
+        let aware_cost = skewed.value(&aware.mechanism).unwrap();
+        let oblivious_cost = skewed.value(&oblivious.mechanism).unwrap();
+        prop_assert!(aware_cost <= oblivious_cost + 1e-6,
+            "prior-aware {aware_cost} vs uniform-designed {oblivious_cost}");
+    }
+}
+
+/// Non-proptest sanity check: α = 1 (the strongest privacy) is handled everywhere.
+#[test]
+fn alpha_equal_one_is_supported_end_to_end() {
+    let alpha = Alpha::new(1.0).unwrap();
+    for n in [1usize, 4, 9] {
+        let gm = GeometricMechanism::new(n, alpha).unwrap();
+        let em = ExplicitFairMechanism::new(n, alpha).unwrap();
+        assert!(gm.matrix().satisfies_dp(alpha, 1e-9));
+        assert!(em.matrix().satisfies_dp(alpha, 1e-9));
+        // At alpha = 1 every mechanism scores L0 = 1 (no utility is possible).
+        assert!((closed_form::gm_l0(alpha) - 1.0).abs() < 1e-12);
+        assert!((rescaled_l0(em.matrix()) - 1.0).abs() < 1e-12);
+    }
+}
