@@ -1,37 +1,70 @@
-//! Criterion bench (ablation): simplex pivot rules on the paper's mechanism-design
-//! LPs.  The design LPs are heavily degenerate, so the entering-column rule matters:
-//! Dantzig is fastest per pivot but risks stalling, Bland is safe but slow, and the
-//! hybrid default (Dantzig with a Bland fallback) is what the library ships.
+//! Criterion bench (ablation): simplex pivot rules × solver backends on the
+//! paper's mechanism-design LPs.  The design LPs are heavily degenerate, so the
+//! entering-column rule matters: Dantzig is fastest per pivot but risks stalling,
+//! Bland is safe but slow, and the hybrid default (Dantzig with a Bland fallback)
+//! is what the library ships.  Crossing the rules with both backends shows that
+//! the rule ordering is backend-independent while the sparse backend shifts the
+//! whole curve down.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use cpm_core::prelude::*;
-use cpm_simplex::{PivotRule, SolveOptions};
+use cpm_simplex::{PivotRule, SolveOptions, SolverBackend};
 
-fn bench_pivot_rules(c: &mut Criterion) {
+const RULES: [(&str, PivotRule); 3] = [
+    ("dantzig", PivotRule::Dantzig),
+    ("bland", PivotRule::Bland),
+    (
+        "hybrid_default",
+        PivotRule::Hybrid {
+            degenerate_threshold: 64,
+        },
+    ),
+];
+
+fn wm_problem(n: usize) -> DesignProblem {
     let alpha = Alpha::new(0.9).unwrap();
-    let n = 8;
     let properties = PropertySet::empty()
         .with(Property::WeakHonesty)
         .with(Property::RowMonotonicity)
         .with(Property::ColumnMonotonicity);
-    let problem = DesignProblem::constrained(n, alpha, Objective::l0(), properties);
+    DesignProblem::constrained(n, alpha, Objective::l0(), properties)
+}
 
+fn bench_pivot_rules_by_backend(c: &mut Criterion) {
+    let n = 8;
+    let problem = wm_problem(n);
     let mut group = c.benchmark_group("pivot_rule_ablation");
     group.sample_size(10);
-    for (label, rule) in [
-        ("dantzig", PivotRule::Dantzig),
-        ("bland", PivotRule::Bland),
-        (
-            "hybrid_default",
-            PivotRule::Hybrid {
-                degenerate_threshold: 64,
-            },
-        ),
-    ] {
-        group.bench_with_input(BenchmarkId::new("wm_lp_n8", label), &rule, |b, &rule| {
+    for backend in [SolverBackend::SparseRevised, SolverBackend::DenseTableau] {
+        for (label, rule) in RULES {
+            group.bench_with_input(
+                BenchmarkId::new(format!("wm_lp_n8/{backend}"), label),
+                &rule,
+                |b, &rule| {
+                    let options = SolveOptions {
+                        pivot_rule: rule,
+                        backend,
+                        max_iterations: 2_000_000,
+                        ..SolveOptions::default()
+                    };
+                    b.iter(|| problem.solve_with(&options).unwrap())
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_hybrid_scaling(c: &mut Criterion) {
+    // The shipped rule on the sparse backend across growing group sizes — the
+    // configuration every experiment binary actually runs.
+    let mut group = c.benchmark_group("pivot_rule_scaling");
+    group.sample_size(10);
+    for &n in &[8usize, 16, 32] {
+        let problem = wm_problem(n);
+        group.bench_with_input(BenchmarkId::new("hybrid_sparse", n), &n, |b, _| {
             let options = SolveOptions {
-                pivot_rule: rule,
                 max_iterations: 2_000_000,
                 ..SolveOptions::default()
             };
@@ -41,5 +74,5 @@ fn bench_pivot_rules(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pivot_rules);
+criterion_group!(benches, bench_pivot_rules_by_backend, bench_hybrid_scaling);
 criterion_main!(benches);

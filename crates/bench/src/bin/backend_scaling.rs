@@ -1,0 +1,72 @@
+//! Scaling probe: time one BASICDP solve per backend and group size, printing the
+//! wall-clock, pivot counts, and LP dimensions.  Quicker and more informative for
+//! tuning than the statistical Criterion bench; `--full` extends the sweep to
+//! n = 128 (sparse backend only — a dense solve at that size would take hours).
+//!
+//! The refactorisation cadence can be overridden with the `CPM_REFACTOR`
+//! environment variable for tuning experiments.
+
+use std::time::Instant;
+
+use cpm_bench::cli::FigureOptions;
+use cpm_core::prelude::*;
+use cpm_simplex::{SolveOptions, SolverBackend};
+
+/// Largest group size the dense tableau is asked to solve.
+const DENSE_MAX_N: usize = 32;
+
+fn main() {
+    let options = FigureOptions::from_env();
+    let alpha = Alpha::new(0.9).unwrap();
+    let sweep: &[usize] = if options.full {
+        &[8, 16, 32, 64, 128]
+    } else {
+        &[8, 16, 32]
+    };
+    let refactor_interval = std::env::var("CPM_REFACTOR")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    println!(
+        "n | backend | rows x cols | terms | solve | phase1+phase2 pivots | refactors | objective"
+    );
+    for &n in sweep {
+        let problem = DesignProblem::unconstrained(n, alpha, Objective::l0());
+        let (lp, _) = problem.build_lp().unwrap();
+        for backend in [SolverBackend::SparseRevised, SolverBackend::DenseTableau] {
+            if backend == SolverBackend::DenseTableau && n > DENSE_MAX_N {
+                continue;
+            }
+            let mut solve_options = SolveOptions {
+                backend,
+                max_iterations: 5_000_000,
+                ..SolveOptions::default()
+            };
+            if let Some(interval) = refactor_interval {
+                solve_options.refactor_interval = interval;
+            }
+            let start = Instant::now();
+            match problem.solve_with(&solve_options) {
+                Ok(solution) => {
+                    let elapsed = start.elapsed();
+                    let stats = solution.solver_stats;
+                    println!(
+                        "{n:4} | {backend} | {}x{} | {} | {elapsed:10.2?} | {}+{} | {} | {:.9}",
+                        lp.num_constraints(),
+                        lp.num_variables(),
+                        lp.num_terms(),
+                        stats.phase1_iterations,
+                        stats.phase2_iterations,
+                        stats.refactorizations,
+                        solution.objective_value,
+                    );
+                }
+                Err(error) => {
+                    println!(
+                        "{n:4} | {backend} | solve failed after {:.2?}: {error}",
+                        start.elapsed()
+                    );
+                }
+            }
+        }
+    }
+}

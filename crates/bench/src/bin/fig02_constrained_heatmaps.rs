@@ -11,9 +11,15 @@ fn main() {
     let figure = heatmaps::lp_heatmaps(alpha, &heatmaps::default_panels(), true)
         .expect("constrained design LPs must solve");
 
-    println!("Figure 2 — fully constrained optimal mechanisms, alpha = {}", figure.alpha);
+    println!(
+        "Figure 2 — fully constrained optimal mechanisms, alpha = {}",
+        figure.alpha
+    );
     for panel in &figure.panels {
-        println!("\n== {} (objective value {:.4}) ==", panel.title, panel.objective_value);
+        println!(
+            "\n== {} (objective value {:.4}) ==",
+            panel.title, panel.objective_value
+        );
         println!("{}", panel.mechanism.heatmap());
         println!(
             "gaps (never-reported outputs): {:?}    largest output marginal: {:.3}",

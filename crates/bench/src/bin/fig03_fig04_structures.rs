@@ -10,11 +10,20 @@ fn main() {
     let alpha = Alpha::new(0.62).unwrap();
     let figure = heatmaps::structures(7, alpha).expect("explicit constructions are valid");
 
-    println!("Figure 3 — Geometric Mechanism, n = {}, alpha = {}", figure.n, figure.alpha);
-    println!("x = 1/(1+a) = {:.4},  y = (1-a)/(1+a) = {:.4}", figure.gm_x, figure.gm_y);
+    println!(
+        "Figure 3 — Geometric Mechanism, n = {}, alpha = {}",
+        figure.n, figure.alpha
+    );
+    println!(
+        "x = 1/(1+a) = {:.4},  y = (1-a)/(1+a) = {:.4}",
+        figure.gm_x, figure.gm_y
+    );
     println!("{}", figure.gm.heatmap());
 
-    println!("Figure 4 — Explicit Fair Mechanism, n = {}, alpha = {}", figure.n, figure.alpha);
+    println!(
+        "Figure 4 — Explicit Fair Mechanism, n = {}, alpha = {}",
+        figure.n, figure.alpha
+    );
     println!("y (Eq. 15) = {:.4}", figure.em_y);
     println!("{}", figure.em.heatmap());
 

@@ -37,8 +37,16 @@ fn main() {
             groups.len()
         );
         for (mechanism, subsets) in &groups {
-            println!("  {:6} <- {:3} combinations (e.g. {})", mechanism, subsets.len(), subsets[0]);
+            println!(
+                "  {:6} <- {:3} combinations (e.g. {})",
+                mechanism,
+                subsets.len(),
+                subsets[0]
+            );
         }
-        assert!(groups.len() <= 4, "the flowchart must never need more than 4 mechanisms");
+        assert!(
+            groups.len() <= 4,
+            "the flowchart must never need more than 4 mechanisms"
+        );
     }
 }

@@ -15,8 +15,8 @@ fn main() {
 
     for (n, alpha_value) in instances {
         let alpha = Alpha::new(alpha_value).unwrap();
-        let table = score_sweeps::named_mechanism_table(n, alpha)
-            .expect("named mechanisms must build");
+        let table =
+            score_sweeps::named_mechanism_table(n, alpha).expect("named mechanisms must build");
         println!("\nFigure 6 — named mechanisms at n = {n}, alpha = {alpha_value:.3}");
         let mut header: Vec<String> = vec!["Mechanism".to_string()];
         if let Some(first) = table.rows.first() {
@@ -28,11 +28,13 @@ fn main() {
             .iter()
             .map(|row| {
                 let mut cells = vec![row.mechanism.clone()];
-                cells.extend(
-                    row.properties
-                        .iter()
-                        .map(|(_, ok)| if *ok { "Y".to_string() } else { "N".to_string() }),
-                );
+                cells.extend(row.properties.iter().map(|(_, ok)| {
+                    if *ok {
+                        "Y".to_string()
+                    } else {
+                        "N".to_string()
+                    }
+                }));
                 cells.push(fmt(row.l0, 4));
                 cells
             })

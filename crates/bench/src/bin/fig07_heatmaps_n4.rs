@@ -10,7 +10,10 @@ fn main() {
     let alpha = Alpha::new(10.0 / 11.0).unwrap();
     let figure = heatmaps::named_heatmaps(4, alpha).expect("mechanisms must build");
 
-    println!("Figure 7 — GM / EM / WM for n = {}, alpha = {:.3}", figure.n, figure.alpha);
+    println!(
+        "Figure 7 — GM / EM / WM for n = {}, alpha = {:.3}",
+        figure.n, figure.alpha
+    );
     for (label, matrix, truth_probability) in &figure.mechanisms {
         println!("\n== {label} ==");
         println!("{}", matrix.heatmap());

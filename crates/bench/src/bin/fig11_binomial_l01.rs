@@ -24,8 +24,9 @@ fn main() {
         vec![0.1, 0.3, 0.5, 0.7, 0.9]
     };
 
-    let sweep = binomial_experiments::l01_error_sweep(&config, &group_sizes, &alphas, &probabilities)
-        .expect("binomial experiment must run");
+    let sweep =
+        binomial_experiments::l01_error_sweep(&config, &group_sizes, &alphas, &probabilities)
+            .expect("binomial experiment must run");
 
     println!(
         "Figure 11 — L0,1 error on Binomial data ({} individuals, {} repetitions)",

@@ -16,15 +16,24 @@ fn main() {
         }
     };
     let (n, probabilities, thresholds) = binomial_experiments::figure12_grid();
-    let alphas = if options.full { vec![0.91, 0.67] } else { vec![0.91] };
+    let alphas = if options.full {
+        vec![0.91, 0.67]
+    } else {
+        vec![0.91]
+    };
 
-    let sweep = binomial_experiments::l0d_error_sweep(&config, &[n], &alphas, &probabilities, &thresholds)
-        .expect("binomial experiment must run");
+    let sweep =
+        binomial_experiments::l0d_error_sweep(&config, &[n], &alphas, &probabilities, &thresholds)
+            .expect("binomial experiment must run");
 
     println!("Figure 12 — L0,d error histograms on Binomial data, n = {n}");
     for &alpha in &alphas {
         for &p in &probabilities {
-            let shape = if (p - 0.5).abs() < 0.2 { "proportionate" } else { "skewed" };
+            let shape = if (p - 0.5).abs() < 0.2 {
+                "proportionate"
+            } else {
+                "skewed"
+            };
             println!("\n== alpha = {alpha}, p = {p} ({shape} input) ==");
             let header = vec![
                 "d".to_string(),

@@ -16,8 +16,16 @@ fn main() {
             ..binomial_experiments::BinomialExperimentConfig::default()
         }
     };
-    let group_sizes = if options.full { vec![4, 8, 12] } else { vec![4, 8] };
-    let alphas = if options.full { vec![0.91, 0.67] } else { vec![0.91] };
+    let group_sizes = if options.full {
+        vec![4, 8, 12]
+    } else {
+        vec![4, 8]
+    };
+    let alphas = if options.full {
+        vec![0.91, 0.67]
+    } else {
+        vec![0.91]
+    };
     let probabilities = if options.full {
         paper_probability_grid()
     } else {

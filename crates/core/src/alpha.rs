@@ -135,7 +135,10 @@ mod tests {
         // alpha = 2/3 -> threshold 4 (Fig. 9a); alpha = 10/11 -> 20 (Fig. 9b).
         assert!((Alpha::new(2.0 / 3.0).unwrap().weak_honesty_threshold() - 4.0).abs() < 1e-9);
         assert!((Alpha::new(10.0 / 11.0).unwrap().weak_honesty_threshold() - 20.0).abs() < 1e-9);
-        assert!(Alpha::new(1.0).unwrap().weak_honesty_threshold().is_infinite());
+        assert!(Alpha::new(1.0)
+            .unwrap()
+            .weak_honesty_threshold()
+            .is_infinite());
     }
 
     #[test]

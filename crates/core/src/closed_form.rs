@@ -217,10 +217,12 @@ mod tests {
     fn randomized_response_probabilities() {
         assert!((randomized_response_truth_probability(a(1.0)) - 0.5).abs() < 1e-12);
         assert!((randomized_response_truth_probability(a(0.5)) - 2.0 / 3.0).abs() < 1e-12);
-        assert!((nary_randomized_response_truth_probability(1, a(0.5))
-            - randomized_response_truth_probability(a(0.5)))
-        .abs()
-            < 1e-12);
+        assert!(
+            (nary_randomized_response_truth_probability(1, a(0.5))
+                - randomized_response_truth_probability(a(0.5)))
+            .abs()
+                < 1e-12
+        );
         assert!((nary_randomized_response_truth_probability(4, a(0.5)) - 1.0 / 3.0).abs() < 1e-12);
     }
 }

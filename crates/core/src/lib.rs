@@ -93,8 +93,8 @@ pub mod prelude {
     };
     pub use crate::matrix::{Mechanism, DEFAULT_TOLERANCE};
     pub use crate::mechanisms::{
-        BinaryRandomizedResponse, ExplicitFairMechanism, ExponentialMechanism,
-        GeometricMechanism, LaplaceMechanism, NaryRandomizedResponse, UniformMechanism,
+        BinaryRandomizedResponse, ExplicitFairMechanism, ExponentialMechanism, GeometricMechanism,
+        LaplaceMechanism, NaryRandomizedResponse, UniformMechanism,
     };
     pub use crate::objective::{
         rescaled_l0, rescaled_l0_d, Aggregator, LossKind, Objective, Prior,

@@ -18,7 +18,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use cpm_simplex::{LinearProgram, Relation, SolveOptions, SolveStats, VariableId};
+use cpm_simplex::{LinearProgram, Relation, SolveOptions, SolveStats, SolverBackend, VariableId};
 
 use crate::alpha::Alpha;
 use crate::error::CoreError;
@@ -42,6 +42,11 @@ pub struct DesignProblem {
     /// within each column by `[β, 1/β]`.  `None` disables it (the paper's setting).
     #[serde(default)]
     pub output_dp: Option<Alpha>,
+    /// Which simplex backend [`DesignProblem::solve`] runs.  Defaults to the sparse
+    /// revised simplex; the dense tableau remains selectable for differential
+    /// testing and ablations.
+    #[serde(default)]
+    pub backend: SolverBackend,
 }
 
 /// The result of solving a [`DesignProblem`].
@@ -51,7 +56,8 @@ pub struct DesignSolution {
     pub mechanism: Mechanism,
     /// The optimal objective value reported by the LP (unrescaled, Definition 3).
     pub objective_value: f64,
-    /// Solver statistics (iteration counts, artificial variables, ...).
+    /// Solver statistics (iteration counts, artificial variables, ...),
+    /// including which [`SolverBackend`] produced the solution.
     pub solver_stats: SolveStats,
 }
 
@@ -64,6 +70,7 @@ impl DesignProblem {
             objective,
             properties: PropertySet::empty(),
             output_dp: None,
+            backend: SolverBackend::default(),
         }
     }
 
@@ -80,6 +87,7 @@ impl DesignProblem {
             objective,
             properties,
             output_dp: None,
+            backend: SolverBackend::default(),
         }
     }
 
@@ -89,6 +97,13 @@ impl DesignProblem {
     #[must_use]
     pub fn with_output_dp(mut self, beta: Alpha) -> Self {
         self.output_dp = Some(beta);
+        self
+    }
+
+    /// Select the simplex backend used by [`DesignProblem::solve`].
+    #[must_use]
+    pub fn with_backend(mut self, backend: SolverBackend) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -146,22 +161,22 @@ impl DesignProblem {
         }
 
         // Column stochasticity (Eq. 5).  Non-negativity (Eq. 4) is the default
-        // variable bound.
+        // variable bound.  Rows are streamed straight into the LP's term arena —
+        // no per-row `Vec` is materialised anywhere in this builder.
         for j in 0..dim {
-            let terms: Vec<_> = (0..dim).map(|i| (vars[i][j], 1.0)).collect();
-            lp.add_constraint(terms, Relation::Equal, 1.0);
+            lp.add_constraint((0..dim).map(|i| (vars[i][j], 1.0)), Relation::Equal, 1.0);
         }
 
         // Differential privacy (Eq. 6): rho_{i,j} >= alpha * rho_{i,j+1} and vice versa.
         for i in 0..dim {
             for j in 0..n {
                 lp.add_constraint(
-                    vec![(vars[i][j], 1.0), (vars[i][j + 1], -alpha)],
+                    [(vars[i][j], 1.0), (vars[i][j + 1], -alpha)],
                     Relation::GreaterEq,
                     0.0,
                 );
                 lp.add_constraint(
-                    vec![(vars[i][j + 1], 1.0), (vars[i][j], -alpha)],
+                    [(vars[i][j + 1], 1.0), (vars[i][j], -alpha)],
                     Relation::GreaterEq,
                     0.0,
                 );
@@ -180,12 +195,12 @@ impl DesignProblem {
             for j in 0..dim {
                 for i in 0..n {
                     lp.add_constraint(
-                        vec![(vars[i][j], 1.0), (vars[i + 1][j], -b)],
+                        [(vars[i][j], 1.0), (vars[i + 1][j], -b)],
                         Relation::GreaterEq,
                         0.0,
                     );
                     lp.add_constraint(
-                        vec![(vars[i + 1][j], 1.0), (vars[i][j], -b)],
+                        [(vars[i + 1][j], 1.0), (vars[i][j], -b)],
                         Relation::GreaterEq,
                         0.0,
                     );
@@ -196,9 +211,13 @@ impl DesignProblem {
         Ok((lp, vars))
     }
 
-    /// Solve the design problem with default solver options.
+    /// Solve the design problem with default solver options (honouring the
+    /// problem's [`DesignProblem::backend`] choice).
     pub fn solve(&self) -> Result<DesignSolution, CoreError> {
-        self.solve_with(&SolveOptions::default())
+        self.solve_with(&SolveOptions {
+            backend: self.backend,
+            ..SolveOptions::default()
+        })
     }
 
     /// Solve the design problem with explicit solver options.
@@ -252,7 +271,7 @@ fn add_property_constraints(
                 for j in 0..dim {
                     if i != j {
                         lp.add_constraint(
-                            vec![(vars[i][i], 1.0), (vars[i][j], -1.0)],
+                            [(vars[i][i], 1.0), (vars[i][j], -1.0)],
                             Relation::GreaterEq,
                             0.0,
                         );
@@ -267,14 +286,14 @@ fn add_property_constraints(
             for i in 0..dim {
                 for j in 1..=i {
                     lp.add_constraint(
-                        vec![(vars[i][j], 1.0), (vars[i][j - 1], -1.0)],
+                        [(vars[i][j], 1.0), (vars[i][j - 1], -1.0)],
                         Relation::GreaterEq,
                         0.0,
                     );
                 }
                 for j in i..n {
                     lp.add_constraint(
-                        vec![(vars[i][j], 1.0), (vars[i][j + 1], -1.0)],
+                        [(vars[i][j], 1.0), (vars[i][j + 1], -1.0)],
                         Relation::GreaterEq,
                         0.0,
                     );
@@ -287,7 +306,7 @@ fn add_property_constraints(
                 for i in 0..dim {
                     if i != j {
                         lp.add_constraint(
-                            vec![(vars[j][j], 1.0), (vars[i][j], -1.0)],
+                            [(vars[j][j], 1.0), (vars[i][j], -1.0)],
                             Relation::GreaterEq,
                             0.0,
                         );
@@ -301,14 +320,14 @@ fn add_property_constraints(
             for j in 0..dim {
                 for i in 1..=j {
                     lp.add_constraint(
-                        vec![(vars[i][j], 1.0), (vars[i - 1][j], -1.0)],
+                        [(vars[i][j], 1.0), (vars[i - 1][j], -1.0)],
                         Relation::GreaterEq,
                         0.0,
                     );
                 }
                 for i in j..n {
                     lp.add_constraint(
-                        vec![(vars[i][j], 1.0), (vars[i + 1][j], -1.0)],
+                        [(vars[i][j], 1.0), (vars[i + 1][j], -1.0)],
                         Relation::GreaterEq,
                         0.0,
                     );
@@ -319,7 +338,7 @@ fn add_property_constraints(
         Property::Fairness => {
             for i in 1..dim {
                 lp.add_constraint(
-                    vec![(vars[i][i], 1.0), (vars[0][0], -1.0)],
+                    [(vars[i][i], 1.0), (vars[0][0], -1.0)],
                     Relation::Equal,
                     0.0,
                 );
@@ -329,7 +348,7 @@ fn add_property_constraints(
         Property::WeakHonesty => {
             let bound = 1.0 / dim as f64;
             for i in 0..dim {
-                lp.add_constraint(vec![(vars[i][i], 1.0)], Relation::GreaterEq, bound);
+                lp.add_constraint([(vars[i][i], 1.0)], Relation::GreaterEq, bound);
             }
         }
         // S (Eq. 14): rho_{i,j} = rho_{n-i,n-j}; only half the pairs are needed.
@@ -339,7 +358,7 @@ fn add_property_constraints(
                     let (oi, oj) = (n - i, n - j);
                     if (i, j) < (oi, oj) {
                         lp.add_constraint(
-                            vec![(vars[i][j], 1.0), (vars[oi][oj], -1.0)],
+                            [(vars[i][j], 1.0), (vars[oi][oj], -1.0)],
                             Relation::Equal,
                             0.0,
                         );
@@ -527,6 +546,7 @@ mod tests {
             },
             properties: PropertySet::empty().with(Property::Symmetry),
             output_dp: None,
+            backend: SolverBackend::default(),
         };
         let solution = problem.solve().expect("solve ok");
         // The minimax L0 loss of any DP mechanism is at least the uniform-column
@@ -544,7 +564,9 @@ mod tests {
         let alpha = a(0.9);
         let n = 4;
         let problem = DesignProblem::unconstrained(n, alpha, Objective::l0()).with_output_dp(alpha);
-        let solution = problem.solve().expect("output-DP LP must solve (UM is feasible)");
+        let solution = problem
+            .solve()
+            .expect("output-DP LP must solve (UM is feasible)");
         assert!(solution.mechanism.satisfies_dp(alpha, 1e-6));
         assert!(solution.mechanism.satisfies_output_dp(alpha, 1e-6));
         let gm = GeometricMechanism::new(n, alpha).unwrap();

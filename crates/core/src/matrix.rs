@@ -135,7 +135,10 @@ impl Mechanism {
 
     /// The largest entry of the matrix.
     pub fn max_entry(&self) -> f64 {
-        self.entries.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        self.entries
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Indices of outputs that are never reported for any input (zero rows) — the
@@ -152,11 +155,7 @@ impl Mechanism {
     pub fn output_marginals(&self, weights: &[f64]) -> Vec<f64> {
         assert_eq!(weights.len(), self.dim(), "prior length must be n + 1");
         (0..self.dim())
-            .map(|i| {
-                (0..self.dim())
-                    .map(|j| weights[j] * self.prob(i, j))
-                    .sum()
-            })
+            .map(|i| (0..self.dim()).map(|j| weights[j] * self.prob(i, j)).sum())
             .collect()
     }
 

@@ -78,10 +78,16 @@ mod tests {
         for n in [1usize, 3, 7, 12] {
             for alpha in [0.3, 0.62, 0.9, 1.0] {
                 let em = ExponentialMechanism::new(n, a(alpha)).unwrap();
-                assert!(em.matrix().is_column_stochastic(1e-9), "n={n} alpha={alpha}");
+                assert!(
+                    em.matrix().is_column_stochastic(1e-9),
+                    "n={n} alpha={alpha}"
+                );
                 // The ratio of adjacent-column entries is at most
                 // (1/sqrt(alpha)) * (normaliser ratio <= 1/sqrt(alpha)) = 1/alpha.
-                assert!(em.matrix().satisfies_dp(a(alpha), 1e-9), "n={n} alpha={alpha}");
+                assert!(
+                    em.matrix().satisfies_dp(a(alpha), 1e-9),
+                    "n={n} alpha={alpha}"
+                );
             }
         }
     }

@@ -150,7 +150,10 @@ mod tests {
             for alpha in [0.5, 0.67, 0.9] {
                 let em = ExplicitFairMechanism::new(n, a(alpha)).unwrap();
                 let measured = rescaled_l0(em.matrix());
-                assert!((measured - em.l0_score()).abs() < 1e-9, "n={n} alpha={alpha}");
+                assert!(
+                    (measured - em.l0_score()).abs() < 1e-9,
+                    "n={n} alpha={alpha}"
+                );
                 let gm = GeometricMechanism::new(n, a(alpha)).unwrap();
                 assert!(
                     em.l0_score() + 1e-12 >= gm.l0_score(),

@@ -42,11 +42,7 @@ impl LaplaceMechanism {
             // the mechanism degenerates to "uniformly spread by the clamping".  We
             // treat it as the uniform-noise limit: every output equally likely.
             let matrix = Mechanism::from_fn(n, |_, _| 1.0 / (n as f64 + 1.0))?;
-            return Ok(LaplaceMechanism {
-                n,
-                alpha,
-                matrix,
-            });
+            return Ok(LaplaceMechanism { n, alpha, matrix });
         }
         let scale = 1.0 / epsilon;
         let matrix = Mechanism::from_fn(n, |i, j| {
@@ -119,9 +115,15 @@ mod tests {
         for n in [2usize, 5, 9] {
             for alpha in [0.3, 0.62, 0.9] {
                 let lap = LaplaceMechanism::new(n, a(alpha)).unwrap();
-                assert!(lap.matrix().is_column_stochastic(1e-9), "n={n} alpha={alpha}");
+                assert!(
+                    lap.matrix().is_column_stochastic(1e-9),
+                    "n={n} alpha={alpha}"
+                );
                 // Rounding + clamping are post-processing of an epsilon-DP output.
-                assert!(lap.matrix().satisfies_dp(a(alpha), 1e-9), "n={n} alpha={alpha}");
+                assert!(
+                    lap.matrix().satisfies_dp(a(alpha), 1e-9),
+                    "n={n} alpha={alpha}"
+                );
             }
         }
     }

@@ -72,7 +72,9 @@ mod tests {
         for n in [2usize, 5, 9] {
             let um = UniformMechanism::new(n).unwrap();
             assert!((rescaled_l0(um.matrix()) - um.l0_score()).abs() < 1e-12);
-            assert!((Objective::l0().value(um.matrix()).unwrap() - um.unrescaled_l0()).abs() < 1e-12);
+            assert!(
+                (Objective::l0().value(um.matrix()).unwrap() - um.unrescaled_l0()).abs() < 1e-12
+            );
         }
     }
 

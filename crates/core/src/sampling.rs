@@ -14,30 +14,33 @@ use crate::matrix::Mechanism;
 
 /// A sampler for a fixed mechanism, with per-column cumulative distributions
 /// precomputed.
+///
+/// The CDFs live in **one contiguous `dim`-strided buffer** (column `j` occupies
+/// `cdf[j * dim .. (j + 1) * dim]`) rather than a `Vec<Vec<f64>>`: `privatize`
+/// walks one column per input, and keeping all columns in a single allocation
+/// avoids a pointer chase per sample and keeps neighbouring columns on the same
+/// cache lines when inputs repeat.
 #[derive(Debug, Clone)]
 pub struct MechanismSampler {
     dim: usize,
-    /// `cdf[j]` is the cumulative distribution of column `j`.
-    cdf: Vec<Vec<f64>>,
+    /// Flattened column-major CDFs: `cdf[input * dim + i] = Pr[output <= i | input]`.
+    cdf: Vec<f64>,
 }
 
 impl MechanismSampler {
     /// Precompute the sampler for `mechanism`.
     pub fn new(mechanism: &Mechanism) -> Self {
         let dim = mechanism.dim();
-        let mut cdf = Vec::with_capacity(dim);
+        let mut cdf = Vec::with_capacity(dim * dim);
         for j in 0..dim {
             let mut running = 0.0;
-            let mut column = Vec::with_capacity(dim);
             for i in 0..dim {
                 running += mechanism.prob(i, j);
-                column.push(running);
+                cdf.push(running);
             }
             // Guard against round-off: the last entry must cover u ~ Uniform[0,1).
-            if let Some(last) = column.last_mut() {
-                *last = f64::max(*last, 1.0);
-            }
-            cdf.push(column);
+            let last = cdf.last_mut().expect("dim > 0");
+            *last = f64::max(*last, 1.0);
         }
         MechanismSampler { dim, cdf }
     }
@@ -50,11 +53,10 @@ impl MechanismSampler {
     /// Draw one output for the true count `input`.
     pub fn sample<R: Rng + ?Sized>(&self, input: usize, rng: &mut R) -> usize {
         let u: f64 = rng.gen();
-        let column = &self.cdf[input];
-        match column.binary_search_by(|probe| probe.partial_cmp(&u).expect("cdf is finite")) {
-            Ok(index) => (index + 1).min(self.dim - 1),
-            Err(index) => index.min(self.dim - 1),
-        }
+        let column = &self.cdf[input * self.dim..(input + 1) * self.dim];
+        // First index whose cumulative mass exceeds u (the last entry is >= 1 > u,
+        // so the partition point is always a valid output).
+        column.partition_point(|&mass| mass <= u).min(self.dim - 1)
     }
 
     /// Privatise a slice of true counts, drawing one output per count.

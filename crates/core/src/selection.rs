@@ -111,8 +111,9 @@ pub fn realize(
                 .with(Property::WeakHonesty)
                 .with(Property::RowMonotonicity)
                 .with(Property::Symmetry);
-            let solution = crate::lp::DesignProblem::constrained(n, alpha, Objective::l0(), properties)
-                .solve_with(options)?;
+            let solution =
+                crate::lp::DesignProblem::constrained(n, alpha, Objective::l0(), properties)
+                    .solve_with(options)?;
             Ok(crate::symmetrize::symmetrize(&solution.mechanism))
         }
         MechanismChoice::WeakHonestColumnMonotoneLp => {
@@ -121,8 +122,9 @@ pub fn realize(
                 .with(Property::RowMonotonicity)
                 .with(Property::ColumnMonotonicity)
                 .with(Property::Symmetry);
-            let solution = crate::lp::DesignProblem::constrained(n, alpha, Objective::l0(), properties)
-                .solve_with(options)?;
+            let solution =
+                crate::lp::DesignProblem::constrained(n, alpha, Objective::l0(), properties)
+                    .solve_with(options)?;
             Ok(crate::symmetrize::symmetrize(&solution.mechanism))
         }
     }
@@ -158,7 +160,11 @@ mod tests {
         for extra in [
             vec![Property::Fairness],
             vec![Property::Fairness, Property::ColumnMonotonicity],
-            vec![Property::Fairness, Property::Symmetry, Property::WeakHonesty],
+            vec![
+                Property::Fairness,
+                Property::Symmetry,
+                Property::WeakHonesty,
+            ],
         ] {
             assert_eq!(
                 select_mechanism(set(&extra), 8, a(0.9)),
@@ -274,7 +280,10 @@ mod tests {
     fn short_names_match_the_paper() {
         assert_eq!(MechanismChoice::Geometric.short_name(), "GM");
         assert_eq!(MechanismChoice::ExplicitFair.short_name(), "EM");
-        assert_eq!(MechanismChoice::WeakHonestColumnMonotoneLp.short_name(), "WM");
+        assert_eq!(
+            MechanismChoice::WeakHonestColumnMonotoneLp.short_name(),
+            "WM"
+        );
         assert_eq!(MechanismChoice::Uniform.short_name(), "UM");
     }
 }

@@ -78,7 +78,11 @@ pub enum AdultTarget {
 
 impl AdultTarget {
     /// All three targets, in the order of Figure 10's panels.
-    pub const ALL: [AdultTarget; 3] = [AdultTarget::Young, AdultTarget::Male, AdultTarget::HighIncome];
+    pub const ALL: [AdultTarget; 3] = [
+        AdultTarget::Young,
+        AdultTarget::Male,
+        AdultTarget::HighIncome,
+    ];
 
     /// Human-readable label matching the figure captions.
     pub fn label(self) -> &'static str {
@@ -283,10 +287,16 @@ mod tests {
         };
         let male_rate = rate(&|r| r.male);
         let female_rate = rate(&|r| !r.male);
-        assert!(male_rate > female_rate + 0.1, "{male_rate} vs {female_rate}");
+        assert!(
+            male_rate > female_rate + 0.1,
+            "{male_rate} vs {female_rate}"
+        );
         let young_rate = rate(&|r| r.age < 30);
         let middle_rate = rate(&|r| (30..=55).contains(&r.age));
-        assert!(middle_rate > young_rate + 0.1, "{middle_rate} vs {young_rate}");
+        assert!(
+            middle_rate > young_rate + 0.1,
+            "{middle_rate} vs {young_rate}"
+        );
         let married_rate = rate(&|r| r.marital_status == MaritalStatus::Married);
         let never_rate = rate(&|r| r.marital_status == MaritalStatus::NeverMarried);
         assert!(married_rate > never_rate, "{married_rate} vs {never_rate}");
@@ -311,8 +321,8 @@ mod tests {
         let n = 8;
         for target in [AdultTarget::Male, AdultTarget::Young] {
             let counts = data.target_population(target).group_counts(n);
-            let extreme = counts.iter().filter(|&&c| c == 0 || c == n).count() as f64
-                / counts.len() as f64;
+            let extreme =
+                counts.iter().filter(|&&c| c == 0 || c == n).count() as f64 / counts.len() as f64;
             assert!(
                 extreme < 0.30,
                 "{}: {extreme} of groups are at the extremes",

@@ -17,9 +17,7 @@ use serde::{Deserialize, Serialize};
 use cpm_core::prelude::*;
 use cpm_data::prelude::*;
 
-use crate::metrics::{
-    empirical_error_rate_beyond, root_mean_square_error, SummaryStats,
-};
+use crate::metrics::{empirical_error_rate_beyond, root_mean_square_error, SummaryStats};
 use crate::runner::{build_mechanism, evaluate_repeated, NamedMechanism};
 
 /// Shared configuration for the Binomial experiments.

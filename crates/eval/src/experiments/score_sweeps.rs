@@ -124,7 +124,10 @@ pub fn combinations_vs_group_size(
             let solution = optimal_constrained(n, alpha, Objective::l0(), properties)?;
             scores.push((label, rescaled_l0(&solution.mechanism)));
         }
-        points.push(CombinationPoint { x: n as f64, scores });
+        points.push(CombinationPoint {
+            x: n as f64,
+            scores,
+        });
     }
     Ok(CombinationSweep {
         swept: "n".to_string(),
@@ -354,7 +357,11 @@ mod tests {
                 point.n
             );
             if point.n >= 4 {
-                assert!((wh - gm).abs() < 1e-6, "n={} should have converged", point.n);
+                assert!(
+                    (wh - gm).abs() < 1e-6,
+                    "n={} should have converged",
+                    point.n
+                );
             } else {
                 assert!(wh > gm + 1e-6, "n={} should not have converged", point.n);
             }

@@ -24,16 +24,14 @@ pub mod runner;
 pub mod table;
 
 pub use metrics::{
-    empirical_error_rate, empirical_error_rate_beyond, mean_absolute_error,
-    root_mean_square_error, SummaryStats,
+    empirical_error_rate, empirical_error_rate_beyond, mean_absolute_error, root_mean_square_error,
+    SummaryStats,
 };
 pub use runner::{build_mechanism, evaluate_repeated, l0_score, NamedMechanism};
 
 /// Commonly used items, re-exported for `use cpm_eval::prelude::*`.
 pub mod prelude {
-    pub use crate::experiments::{
-        adult_experiment, binomial_experiments, heatmaps, score_sweeps,
-    };
+    pub use crate::experiments::{adult_experiment, binomial_experiments, heatmaps, score_sweeps};
     pub use crate::metrics::{
         empirical_error_rate, empirical_error_rate_beyond, mean_absolute_error,
         root_mean_square_error, SummaryStats,

@@ -28,6 +28,13 @@ pub enum SimplexError {
     },
     /// The model has no variables.
     EmptyModel,
+    /// The solver met a numerically singular or inconsistent state (e.g. a basis
+    /// refactorisation found no acceptable pivot).  Usually indicates an extremely
+    /// ill-conditioned model.
+    NumericalBreakdown {
+        /// Human-readable location of the breakdown.
+        context: &'static str,
+    },
     /// Variable bounds are contradictory (lower bound greater than upper bound).
     InconsistentBounds {
         /// Index of the offending variable.
@@ -58,6 +65,9 @@ impl fmt::Display for SimplexError {
                 write!(f, "non-finite value encountered in {context}")
             }
             SimplexError::EmptyModel => write!(f, "linear program has no variables"),
+            SimplexError::NumericalBreakdown { context } => {
+                write!(f, "numerical breakdown in {context}")
+            }
             SimplexError::InconsistentBounds {
                 index,
                 lower,
@@ -94,7 +104,14 @@ mod tests {
         }
         .to_string()
         .contains("objective"));
-        assert!(SimplexError::EmptyModel.to_string().contains("no variables"));
+        assert!(SimplexError::EmptyModel
+            .to_string()
+            .contains("no variables"));
+        assert!(SimplexError::NumericalBreakdown {
+            context: "refactorisation"
+        }
+        .to_string()
+        .contains("refactorisation"));
         assert!(SimplexError::InconsistentBounds {
             index: 1,
             lower: 2.0,

@@ -1,25 +1,30 @@
 //! # cpm-simplex
 //!
-//! A small, dependency-free dense linear-programming solver used by
+//! A small, dependency-free **sparse** linear-programming solver used by
 //! [`cpm-core`](https://example.org) to solve the constrained mechanism-design LPs of
 //! *"Constrained Private Mechanisms for Count Data"* (ICDE 2018).
 //!
 //! The paper solves all constrained designs with an off-the-shelf LP solver
 //! (PyLPSolve / lp_solve).  No LP solver crate is part of the allowed offline
 //! dependency set for this reproduction, so this crate implements the classic
-//! **two-phase primal simplex** method on a dense tableau:
+//! **two-phase primal simplex** method with two interchangeable backends:
 //!
 //! * a [`LinearProgram`] model-builder API (named variables, bounds, `<=`/`>=`/`=`
-//!   constraints, minimisation or maximisation objectives),
-//! * conversion to standard form with slack / surplus / artificial variables,
+//!   constraints, minimisation or maximisation objectives) storing constraints
+//!   sparsely in a term arena,
+//! * conversion to sparse (CSC) standard form with slack / surplus / artificial
+//!   variables — see [`SparseMatrix`],
 //! * Phase 1 (minimise the sum of artificials) to find a basic feasible solution,
 //! * Phase 2 with the user objective,
 //! * Dantzig (most-negative reduced cost) pivoting with an automatic switch to
-//!   Bland's rule when degeneracy stalls progress, guaranteeing termination.
-//!
-//! The mechanism-design LPs are small (a few hundred to a few thousand variables and
-//! constraints) and heavily degenerate; the hybrid pivot rule handles them in well
-//! under a second for the group sizes studied in the paper.
+//!   Bland's rule when degeneracy stalls progress, guaranteeing termination,
+//! * the **revised simplex** default backend ([`SolverBackend::SparseRevised`]):
+//!   the basis inverse is an eta file with periodic refactorisation, so a pivot
+//!   costs `O(nnz)` instead of the dense tableau's `O(rows · cols)` — the
+//!   mechanism-design LPs have only 2 to `n+1` nonzeros per row, so this is the
+//!   difference between toy and production group sizes,
+//! * the dense full tableau retained as [`SolverBackend::DenseTableau`], selectable
+//!   through [`SolveOptions::backend`] and used as a differential-testing oracle.
 //!
 //! ## Example
 //!
@@ -52,12 +57,15 @@
 
 mod error;
 mod model;
+mod revised;
 mod solution;
 mod solver;
+pub mod sparse;
 mod standard;
 mod tableau;
 
 pub use error::SimplexError;
 pub use model::{Constraint, LinearProgram, Objective, Relation, VariableId};
 pub use solution::{Solution, SolveStatus};
-pub use solver::{PivotRule, SolveOptions, SolveStats};
+pub use solver::{PivotRule, SolveOptions, SolveStats, SolverBackend};
+pub use sparse::SparseMatrix;

@@ -4,6 +4,12 @@
 //! receiving a [`VariableId`]), then objective coefficients, bounds, and linear
 //! constraints.  The builder performs eager validation so that malformed models are
 //! rejected at construction time rather than deep inside the solver.
+//!
+//! Constraints are stored **sparsely in a single arena**: one flat `(variable,
+//! coefficient)` term pool plus per-constraint offsets, rather than one heap
+//! allocation per row.  The mechanism-design LPs add tens of thousands of two-term
+//! rows, so the arena keeps model construction `O(nnz)` with two amortised
+//! allocations total, and hands the standardiser contiguous slices to scan.
 
 use crate::error::SimplexError;
 use crate::solution::Solution;
@@ -44,12 +50,15 @@ pub enum Relation {
     Equal,
 }
 
-/// A single linear constraint `sum_i coeff_i * x_i  (<=|>=|=)  rhs`.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Constraint {
-    /// Sparse list of `(variable, coefficient)` terms.  A variable may appear more
-    /// than once; coefficients are summed during standardisation.
-    pub terms: Vec<(VariableId, f64)>,
+/// A borrowed view of one constraint `sum_i coeff_i * x_i  (<=|>=|=)  rhs`.
+///
+/// Views index into the program's term arena; they are produced by
+/// [`LinearProgram::constraint`] and [`LinearProgram::constraints`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constraint<'a> {
+    /// Sparse `(variable, coefficient)` terms.  A variable may appear more than
+    /// once; coefficients are summed during standardisation.
+    pub terms: &'a [(VariableId, f64)],
     /// The relation between the expression and the right-hand side.
     pub relation: Relation,
     /// The right-hand side constant.
@@ -74,7 +83,12 @@ pub struct LinearProgram {
     pub(crate) objective: Objective,
     pub(crate) objective_coefficients: Vec<f64>,
     pub(crate) variables: Vec<Variable>,
-    pub(crate) constraints: Vec<Constraint>,
+    /// Flat term pool; constraint `i` owns `terms[term_ptr[i] .. term_ptr[i + 1]]`.
+    pub(crate) terms: Vec<(VariableId, f64)>,
+    /// Arena offsets, one more entry than there are constraints.
+    pub(crate) term_ptr: Vec<usize>,
+    pub(crate) relations: Vec<Relation>,
+    pub(crate) rhs_values: Vec<f64>,
 }
 
 impl LinearProgram {
@@ -94,7 +108,10 @@ impl LinearProgram {
             objective,
             objective_coefficients: Vec::new(),
             variables: Vec::new(),
-            constraints: Vec::new(),
+            terms: Vec::new(),
+            term_ptr: vec![0],
+            relations: Vec::new(),
+            rhs_values: Vec::new(),
         }
     }
 
@@ -110,7 +127,13 @@ impl LinearProgram {
 
     /// Number of constraints added so far.
     pub fn num_constraints(&self) -> usize {
-        self.constraints.len()
+        self.relations.len()
+    }
+
+    /// Total number of constraint terms (the model's nonzero count before
+    /// standardisation).
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
     }
 
     /// Add a non-negative variable with the given (diagnostic) name.
@@ -174,24 +197,35 @@ impl LinearProgram {
         &self.variables[var.0].name
     }
 
-    /// Add a linear constraint.  Returns the constraint's index.
+    /// Add a linear constraint from any source of sparse terms (a `vec![...]`, an
+    /// array, or a lazily-computed iterator — the terms are written straight into
+    /// the constraint arena without an intermediate allocation).  Returns the
+    /// constraint's index.
     pub fn add_constraint(
         &mut self,
-        terms: Vec<(VariableId, f64)>,
+        terms: impl IntoIterator<Item = (VariableId, f64)>,
         relation: Relation,
         rhs: f64,
     ) -> usize {
-        self.constraints.push(Constraint {
-            terms,
-            relation,
-            rhs,
-        });
-        self.constraints.len() - 1
+        self.terms.extend(terms);
+        self.term_ptr.push(self.terms.len());
+        self.relations.push(relation);
+        self.rhs_values.push(rhs);
+        self.relations.len() - 1
     }
 
-    /// The constraints added so far.
-    pub fn constraints(&self) -> &[Constraint] {
-        &self.constraints
+    /// A borrowed view of constraint `index`.
+    pub fn constraint(&self, index: usize) -> Constraint<'_> {
+        Constraint {
+            terms: &self.terms[self.term_ptr[index]..self.term_ptr[index + 1]],
+            relation: self.relations[index],
+            rhs: self.rhs_values[index],
+        }
+    }
+
+    /// Iterate over all constraints in insertion order.
+    pub fn constraints(&self) -> impl ExactSizeIterator<Item = Constraint<'_>> {
+        (0..self.num_constraints()).map(|i| self.constraint(i))
     }
 
     /// Validate the model: all referenced variables exist, all numbers are finite
@@ -221,24 +255,24 @@ impl LinearProgram {
                 });
             }
         }
-        for constraint in &self.constraints {
-            if !constraint.rhs.is_finite() {
+        for &rhs in &self.rhs_values {
+            if !rhs.is_finite() {
                 return Err(SimplexError::NonFiniteValue {
                     context: "constraint right-hand side",
                 });
             }
-            for &(var, coeff) in &constraint.terms {
-                if var.0 >= self.variables.len() {
-                    return Err(SimplexError::UnknownVariable {
-                        index: var.0,
-                        num_variables: self.variables.len(),
-                    });
-                }
-                if !coeff.is_finite() {
-                    return Err(SimplexError::NonFiniteValue {
-                        context: "constraint coefficients",
-                    });
-                }
+        }
+        for &(var, coeff) in &self.terms {
+            if var.0 >= self.variables.len() {
+                return Err(SimplexError::UnknownVariable {
+                    index: var.0,
+                    num_variables: self.variables.len(),
+                });
+            }
+            if !coeff.is_finite() {
+                return Err(SimplexError::NonFiniteValue {
+                    context: "constraint coefficients",
+                });
             }
         }
         Ok(())
@@ -249,7 +283,8 @@ impl LinearProgram {
         self.solve_with(&SolveOptions::default())
     }
 
-    /// Solve with explicit options (iteration limit, tolerance, pivot rule).
+    /// Solve with explicit options (iteration limit, tolerance, pivot rule,
+    /// backend).
     pub fn solve_with(&self, options: &SolveOptions) -> Result<Solution, SimplexError> {
         self.validate()?;
         solve_prepared(self, options)
@@ -278,7 +313,22 @@ mod tests {
         let idx = lp.add_constraint(vec![(x, 1.0), (y, -1.0)], Relation::LessEq, 3.0);
         assert_eq!(idx, 0);
         assert_eq!(lp.num_constraints(), 1);
-        assert_eq!(lp.constraints()[0].relation, Relation::LessEq);
+        assert_eq!(lp.constraint(0).relation, Relation::LessEq);
+        assert_eq!(lp.constraint(0).terms, &[(x, 1.0), (y, -1.0)]);
+    }
+
+    #[test]
+    fn constraints_can_come_from_iterators_without_a_vec() {
+        let mut lp = LinearProgram::minimize();
+        let vars = lp.add_variables("p", 4);
+        lp.add_constraint(vars.iter().map(|&v| (v, 1.0)), Relation::Equal, 1.0);
+        lp.add_constraint([(vars[0], 2.0), (vars[3], -1.0)], Relation::GreaterEq, 0.0);
+        assert_eq!(lp.num_constraints(), 2);
+        assert_eq!(lp.num_terms(), 6);
+        assert_eq!(lp.constraint(0).terms.len(), 4);
+        assert_eq!(lp.constraint(1).rhs, 0.0);
+        let collected: Vec<usize> = lp.constraints().map(|c| c.terms.len()).collect();
+        assert_eq!(collected, vec![4, 2]);
     }
 
     #[test]

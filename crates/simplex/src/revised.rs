@@ -1,0 +1,733 @@
+//! Revised simplex over the sparse standard form.
+//!
+//! The dense tableau updates every entry of an `m × n` matrix per pivot —
+//! `O(m · n)` — even though the mechanism-design LPs have only 2 to `n+1` nonzeros
+//! per row.  The revised method never materialises the tableau: it keeps the
+//! original CSC matrix `A` untouched and represents the basis inverse implicitly,
+//! so one pivot costs `O(nnz(A) + eta work)`.
+//!
+//! ## Basis representation: eta file (product form of the inverse)
+//!
+//! The initial basis consists of slack and artificial unit columns, so `B₀ = I`.
+//! Each pivot multiplies the inverse by an elementary *eta matrix* `E` that differs
+//! from the identity only in the pivot column; storing just that column (the
+//! [`Eta`]) gives
+//!
+//! ```text
+//! B⁻¹ = E_k · E_{k-1} · … · E_1
+//! ```
+//!
+//! * **FTRAN** (`B⁻¹ a`, needed for the entering column and the basic solution)
+//!   applies the etas oldest → newest; an eta whose pivot row holds a zero is
+//!   skipped entirely, which is what keeps FTRAN cheap for sparse columns.
+//! * **BTRAN** (`c_B' B⁻¹`, needed to price reduced costs) applies them
+//!   newest → oldest; each eta only rewrites its own pivot-row component.
+//!
+//! ## Periodic refactorisation
+//!
+//! The eta file grows by one per pivot, and rounding errors accumulate through it.
+//! Every [`SolveOptions::refactor_interval`] pivots the file is rebuilt from
+//! scratch by re-eliminating the current basis columns against the identity and
+//! the basic solution is recomputed as `B⁻¹ b`.  LP bases are almost
+//! permutable-triangular, so the rebuild peels row singletons first (zero fill;
+//! see [`RevisedState::refactorize`]) and only the small residual bump pays for
+//! general elimination, with threshold pivoting biased towards sparse rows.  This
+//! bounds both the FTRAN/BTRAN cost and the numerical drift; the refactorisation
+//! count is reported in [`cpm_simplex::SolveStats`](crate::SolveStats).
+
+use crate::error::SimplexError;
+use crate::solver::{PhaseOutcome, PivotState, SolveOptions, SolvedPoint};
+use crate::standard::StandardForm;
+
+/// One elementary transformation of the basis inverse: the pivot column of an eta
+/// matrix, split into the inverted pivot element and the off-pivot entries.
+struct Eta {
+    pivot_row: usize,
+    pivot_inv: f64,
+    /// `(row, value)` pairs of the pre-pivot column, excluding the pivot row.
+    entries: Vec<(usize, f64)>,
+}
+
+/// The revised-simplex working state: basis bookkeeping, the eta file, and the
+/// current basic solution.
+struct RevisedState<'a> {
+    sf: &'a StandardForm,
+    /// Structural + slack column count; columns `>= num_core` are artificials.
+    num_core: usize,
+    /// Unit row of each artificial column (`col = num_core + i`).
+    artificial_rows: Vec<usize>,
+    /// Basic column of each row.
+    basis: Vec<usize>,
+    /// Whether each column (core + artificial) is currently basic.
+    in_basis: Vec<bool>,
+    etas: Vec<Eta>,
+    /// Pivot-generated etas appended since the last refactorisation.  This — not
+    /// the total file length — drives the refactorisation trigger: a rebuilt file
+    /// legitimately holds one eta per non-singleton basic column.
+    updates_since_refactor: usize,
+    /// Current basic solution `x_B = B⁻¹ b`, indexed by row.
+    xb: Vec<f64>,
+    refactorizations: usize,
+}
+
+impl<'a> RevisedState<'a> {
+    fn new(sf: &'a StandardForm) -> Self {
+        let num_rows = sf.num_rows();
+        let num_core = sf.num_columns();
+        let mut artificial_rows = Vec::new();
+        let mut basis = vec![usize::MAX; num_rows];
+        for (r, hint) in sf.basis_hint.iter().enumerate() {
+            match hint {
+                Some(col) => basis[r] = *col,
+                None => {
+                    basis[r] = num_core + artificial_rows.len();
+                    artificial_rows.push(r);
+                }
+            }
+        }
+        let mut in_basis = vec![false; num_core + artificial_rows.len()];
+        for &col in &basis {
+            in_basis[col] = true;
+        }
+        RevisedState {
+            sf,
+            num_core,
+            artificial_rows,
+            basis,
+            in_basis,
+            etas: Vec::new(),
+            updates_since_refactor: 0,
+            xb: sf.rhs.clone(),
+            refactorizations: 0,
+        }
+    }
+
+    fn num_rows(&self) -> usize {
+        self.sf.num_rows()
+    }
+
+    fn num_artificials(&self) -> usize {
+        self.artificial_rows.len()
+    }
+
+    /// Scatter column `j` of the (core + artificial) constraint matrix into `out`.
+    fn scatter_column(&self, j: usize, out: &mut [f64]) {
+        out.fill(0.0);
+        if j < self.num_core {
+            for (r, v) in self.sf.matrix.column(j) {
+                out[r] = v;
+            }
+        } else {
+            out[self.artificial_rows[j - self.num_core]] = 1.0;
+        }
+    }
+
+    /// The `(row, value)` entries of column `j`, covering artificials as unit
+    /// columns.
+    fn column_rows(&self, j: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let (rows, values, unit) = if j < self.num_core {
+            let (rows, values) = self.sf.matrix.column_slices(j);
+            (rows, values, None)
+        } else {
+            (
+                &[][..],
+                &[][..],
+                Some(self.artificial_rows[j - self.num_core]),
+            )
+        };
+        rows.iter()
+            .copied()
+            .zip(values.iter().copied())
+            .chain(unit.map(|r| (r, 1.0)))
+    }
+
+    /// Dot product of column `j` with a dense row vector.
+    fn column_dot(&self, j: usize, dense: &[f64]) -> f64 {
+        if j < self.num_core {
+            self.sf.matrix.column_dot(j, dense)
+        } else {
+            dense[self.artificial_rows[j - self.num_core]]
+        }
+    }
+
+    /// FTRAN: overwrite `v` with `B⁻¹ v` by applying the eta file oldest → newest.
+    fn ftran(&self, v: &mut [f64]) {
+        for eta in &self.etas {
+            let pivot_value = v[eta.pivot_row];
+            if pivot_value == 0.0 {
+                continue;
+            }
+            let t = pivot_value * eta.pivot_inv;
+            for &(row, value) in &eta.entries {
+                v[row] -= value * t;
+            }
+            v[eta.pivot_row] = t;
+        }
+    }
+
+    /// BTRAN: overwrite `y` with `y B⁻¹` by applying the eta file newest → oldest.
+    fn btran(&self, y: &mut [f64]) {
+        for eta in self.etas.iter().rev() {
+            let mut total = y[eta.pivot_row];
+            for &(row, value) in &eta.entries {
+                total -= y[row] * value;
+            }
+            y[eta.pivot_row] = total * eta.pivot_inv;
+        }
+    }
+
+    /// `w = B⁻¹ a_j` for an entering candidate.
+    fn ftran_column(&self, j: usize, w: &mut [f64]) {
+        self.scatter_column(j, w);
+        self.ftran(w);
+    }
+
+    /// Ratio test.  `None` means the column is unbounded.
+    ///
+    /// Two variants, matching the entering rule in force:
+    ///
+    /// * **Bland mode** (`use_bland`): the textbook rule — exact minimum ratio,
+    ///   ties broken by the smallest basic-variable index.  This is what Bland's
+    ///   termination guarantee requires of the *leaving* choice, so the
+    ///   anti-cycling fallback keeps its guarantee on this backend too.
+    /// * **Harris mode** (default): pass 1 computes the largest step `θ` that
+    ///   keeps every basic variable above `−feas_tol` (a slightly relaxed
+    ///   bound); pass 2 picks, among the rows whose exact ratio fits under that
+    ///   bound, the one with the **largest pivot element**.  Preferring large
+    ///   pivots is what keeps the basis numerically honest over thousands of
+    ///   degenerate pivots — the naive min-ratio rule happily pivots on
+    ///   `1e-9`-sized elements until the basis is effectively singular; the tiny
+    ///   transient infeasibility (≤ `feas_tol`) is absorbed by the clamping in
+    ///   [`RevisedState::pivot`] and by the exact `x_B` recomputation at every
+    ///   refactorisation.
+    fn ratio_test(&self, w: &[f64], eps: f64, use_bland: bool) -> Option<usize> {
+        if use_bland {
+            let mut best: Option<(usize, f64)> = None;
+            for (r, &wr) in w.iter().enumerate() {
+                if wr > eps {
+                    let ratio = self.xb[r] / wr;
+                    match best {
+                        None => best = Some((r, ratio)),
+                        Some((best_row, best_ratio)) => {
+                            if ratio < best_ratio - eps
+                                || (ratio < best_ratio + eps
+                                    && self.basis[r] < self.basis[best_row])
+                            {
+                                best = Some((r, ratio));
+                            }
+                        }
+                    }
+                }
+            }
+            return best.map(|(r, _)| r);
+        }
+        let feas_tol = eps.max(1e-10);
+        let mut theta_bound = f64::INFINITY;
+        for (r, &wr) in w.iter().enumerate() {
+            if wr > eps {
+                theta_bound = theta_bound.min((self.xb[r] + feas_tol) / wr);
+            }
+        }
+        if theta_bound.is_infinite() {
+            return None;
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for (r, &wr) in w.iter().enumerate() {
+            if wr > eps && self.xb[r] / wr <= theta_bound {
+                match best {
+                    None => best = Some((r, wr)),
+                    Some((_, best_wr)) if wr > best_wr => best = Some((r, wr)),
+                    _ => {}
+                }
+            }
+        }
+        best.map(|(r, _)| r)
+    }
+
+    /// Execute the basis change `col` enters / row `row` leaves, given the already
+    /// FTRANed entering column `w`.  Returns `true` for a non-degenerate pivot.
+    fn pivot(&mut self, row: usize, col: usize, w: &[f64]) -> bool {
+        let pivot_value = w[row];
+        debug_assert!(pivot_value.abs() > 0.0, "pivot on a zero element");
+        let nondegenerate = self.xb[row] > 0.0;
+
+        // Update the basic solution: the entering variable moves to θ, every other
+        // basic variable retreats along the column.
+        let theta = self.xb[row] / pivot_value;
+        for (r, &wr) in w.iter().enumerate() {
+            if r != row && wr != 0.0 {
+                self.xb[r] -= wr * theta;
+                if self.xb[r] < 0.0 && self.xb[r] > -1e-11 {
+                    self.xb[r] = 0.0;
+                }
+            }
+        }
+        self.xb[row] = theta;
+
+        // Record the eta and swap the basis books.  Entries below the drop
+        // tolerance are round-off noise relative to the pivot scale; keeping them
+        // would only bloat every later FTRAN/BTRAN (the periodic refactorisation
+        // rebuilds from the exact matrix, so dropped noise cannot accumulate).
+        let drop_tolerance = 1e-12 * pivot_value.abs().max(1.0);
+        let entries: Vec<(usize, f64)> = w
+            .iter()
+            .enumerate()
+            .filter(|&(r, &v)| r != row && v.abs() > drop_tolerance)
+            .map(|(r, &v)| (r, v))
+            .collect();
+        self.etas.push(Eta {
+            pivot_row: row,
+            pivot_inv: 1.0 / pivot_value,
+            entries,
+        });
+        self.updates_since_refactor += 1;
+        self.in_basis[self.basis[row]] = false;
+        self.in_basis[col] = true;
+        self.basis[row] = col;
+        nondegenerate
+    }
+
+    /// Rebuild the eta file from the current basis (Gaussian elimination against
+    /// the identity) and recompute `x_B = B⁻¹ b` from scratch.
+    ///
+    /// The elimination order matters enormously for fill-in, and LP bases are
+    /// almost permutable-triangular, so the rebuild runs in two stages:
+    ///
+    /// 1. **Row-singleton peeling** (Suhl–Suhl style): repeatedly take a row
+    ///    touched by exactly one remaining basic column and pivot that column
+    ///    there.  By construction the peeled column has no entries in earlier
+    ///    pivot rows, so its FTRAN is the identity — the eta is just the original
+    ///    column and the peel contributes **zero fill**.  On the mechanism LPs
+    ///    this absorbs the slack columns and nearly all structural columns.
+    /// 2. **Bump elimination**: whatever cannot be peeled (usually a small
+    ///    kernel) is processed by ascending column count with partial pivoting
+    ///    over the still-unassigned rows.
+    fn refactorize(&mut self) -> Result<(), SimplexError> {
+        // A basis reached by exact pivoting is nonsingular, so an unacceptable
+        // pivot during the rebuild means numerical drift, not a hopeless model:
+        // retry once with a relaxed threshold (a badly conditioned but exact
+        // representation beats none) before reporting breakdown.
+        let saved_basis = self.basis.clone();
+        let outcome = self.try_refactorize(1e-11).or_else(|_| {
+            self.basis = saved_basis;
+            self.try_refactorize(1e-13)
+        });
+        if outcome.is_ok() {
+            self.refactorizations += 1;
+        }
+        outcome
+    }
+
+    fn try_refactorize(&mut self, pivot_threshold: f64) -> Result<(), SimplexError> {
+        self.updates_since_refactor = 0;
+        let num_rows = self.num_rows();
+        let old_basis = std::mem::take(&mut self.basis);
+        self.etas.clear();
+
+        // Row -> basic-columns adjacency (CSR over the basis submatrix).
+        let mut row_count = vec![0usize; num_rows];
+        for &col in &old_basis {
+            for (r, _) in self.column_rows(col) {
+                row_count[r] += 1;
+            }
+        }
+        let mut row_start = vec![0usize; num_rows + 1];
+        for r in 0..num_rows {
+            row_start[r + 1] = row_start[r] + row_count[r];
+        }
+        let mut row_cols = vec![0usize; row_start[num_rows]];
+        {
+            let mut cursor = row_start.clone();
+            for (slot, &col) in old_basis.iter().enumerate() {
+                for (r, _) in self.column_rows(col) {
+                    row_cols[cursor[r]] = slot;
+                    cursor[r] += 1;
+                }
+            }
+        }
+
+        let mut assigned = vec![false; num_rows];
+        let mut new_basis = vec![usize::MAX; num_rows];
+        let mut removed = vec![false; old_basis.len()];
+        let mut singleton_rows: Vec<usize> = (0..num_rows).filter(|&r| row_count[r] == 1).collect();
+
+        // Stage 1: peel row singletons — zero-fill etas copied from the matrix.
+        while let Some(row) = singleton_rows.pop() {
+            if assigned[row] || row_count[row] != 1 {
+                continue;
+            }
+            let slot = row_cols[row_start[row]..row_start[row + 1]]
+                .iter()
+                .copied()
+                .find(|&s| !removed[s])
+                .expect("row_count said one column remains");
+            let col = old_basis[slot];
+            removed[slot] = true;
+            assigned[row] = true;
+            new_basis[row] = col;
+            let mut pivot_value = 0.0;
+            let mut entries = Vec::new();
+            for (r, v) in self.column_rows(col) {
+                if r == row {
+                    pivot_value = v;
+                } else {
+                    entries.push((r, v));
+                }
+                row_count[r] -= 1;
+                if row_count[r] == 1 && !assigned[r] {
+                    singleton_rows.push(r);
+                }
+            }
+            if pivot_value.abs() < pivot_threshold {
+                return Err(SimplexError::NumericalBreakdown {
+                    context: "refactorisation met a numerically singular basis",
+                });
+            }
+            if pivot_value != 1.0 || !entries.is_empty() {
+                self.etas.push(Eta {
+                    pivot_row: row,
+                    pivot_inv: 1.0 / pivot_value,
+                    entries,
+                });
+            }
+        }
+
+        // Stage 2: eliminate the bump.  Pivot rows are chosen by threshold
+        // pivoting: among the numerically acceptable rows (within a factor of the
+        // column maximum) prefer the sparsest row of the remaining submatrix — a
+        // cheap Markowitz-style bias that keeps the fill-in of the rebuilt file
+        // close to the basis's own nonzero count.
+        let mut bump: Vec<usize> = (0..old_basis.len()).filter(|&s| !removed[s]).collect();
+        bump.sort_by_key(|&slot| self.column_len(old_basis[slot]));
+        let mut w = vec![0.0; num_rows];
+        for &slot in &bump {
+            let col = old_basis[slot];
+            self.ftran_column(col, &mut w);
+            let mut max_magnitude = 0.0f64;
+            for (r, &wr) in w.iter().enumerate() {
+                if !assigned[r] {
+                    max_magnitude = max_magnitude.max(wr.abs());
+                }
+            }
+            if max_magnitude < pivot_threshold {
+                return Err(SimplexError::NumericalBreakdown {
+                    context: "refactorisation met a numerically singular basis",
+                });
+            }
+            let acceptable = max_magnitude * 0.01;
+            let mut best: Option<(usize, usize)> = None;
+            for (r, &wr) in w.iter().enumerate() {
+                if !assigned[r] && wr.abs() >= acceptable {
+                    let degree = row_count[r];
+                    if best.is_none_or(|(_, d)| degree < d) {
+                        best = Some((r, degree));
+                    }
+                }
+            }
+            let Some((row, _)) = best else {
+                return Err(SimplexError::NumericalBreakdown {
+                    context: "refactorisation ran out of pivot rows",
+                });
+            };
+            assigned[row] = true;
+            new_basis[row] = col;
+            for (r, _) in self.column_rows(col) {
+                row_count[r] = row_count[r].saturating_sub(1);
+            }
+            let drop_tolerance = 1e-12 * w[row].abs().max(1.0);
+            let entries: Vec<(usize, f64)> = w
+                .iter()
+                .enumerate()
+                .filter(|&(r, &v)| r != row && v.abs() > drop_tolerance)
+                .map(|(r, &v)| (r, v))
+                .collect();
+            self.etas.push(Eta {
+                pivot_row: row,
+                pivot_inv: 1.0 / w[row],
+                entries,
+            });
+        }
+
+        self.basis = new_basis;
+        // Fresh basic solution; clamp the usual tiny negative round-off.
+        self.xb.copy_from_slice(&self.sf.rhs);
+        let mut xb = std::mem::take(&mut self.xb);
+        self.ftran(&mut xb);
+        for value in xb.iter_mut() {
+            if *value < 0.0 && *value > -1e-9 {
+                *value = 0.0;
+            }
+        }
+        self.xb = xb;
+        Ok(())
+    }
+
+    fn column_len(&self, j: usize) -> usize {
+        if j < self.num_core {
+            self.sf.matrix.column_nnz(j)
+        } else {
+            1
+        }
+    }
+
+    /// The current objective `c_B' x_B` under the given cost vector.
+    fn objective(&self, costs: &[f64]) -> f64 {
+        self.basis
+            .iter()
+            .zip(self.xb.iter())
+            .map(|(&col, &value)| costs[col] * value)
+            .sum()
+    }
+}
+
+/// Solve the standard form with the sparse revised simplex.
+pub(crate) fn solve(
+    sf: &StandardForm,
+    options: &SolveOptions,
+) -> Result<SolvedPoint, SimplexError> {
+    let eps = options.tolerance;
+    let num_rows = sf.num_rows();
+    let num_core = sf.num_columns();
+
+    let mut basis = RevisedState::new(sf);
+    let total_columns = num_core + basis.num_artificials();
+
+    let mut state = PivotState::new(options);
+    state.stats.artificial_variables = basis.num_artificials();
+
+    // Reusable dense work vectors.
+    let mut y = vec![0.0; num_rows];
+    let mut w = vec![0.0; num_rows];
+
+    // ------------------------------- Phase 1 -------------------------------
+    if basis.num_artificials() > 0 {
+        let mut phase1_costs = vec![0.0; total_columns];
+        for cost in phase1_costs.iter_mut().skip(num_core) {
+            *cost = 1.0;
+        }
+        let before = state.iterations_left;
+        let outcome = run_phase(
+            &mut basis,
+            &phase1_costs,
+            options,
+            &mut state,
+            &mut y,
+            &mut w,
+        )?;
+        state.stats.phase1_iterations = before - state.iterations_left;
+        if matches!(outcome, PhaseOutcome::Unbounded) {
+            // Phase 1 is bounded below by zero; unboundedness is numerical.
+            return Err(SimplexError::NumericalBreakdown {
+                context: "phase 1 of the revised simplex became unbounded",
+            });
+        }
+        if basis.objective(&phase1_costs) > 1e-6 {
+            return Err(SimplexError::Infeasible);
+        }
+        drive_out_artificials(&mut basis, eps, &mut y, &mut w);
+    }
+
+    // ------------------------------- Phase 2 -------------------------------
+    let mut phase2_costs = sf.costs.clone();
+    phase2_costs.resize(total_columns, 0.0);
+    state.start_phase(options);
+    let before = state.iterations_left;
+    let outcome = run_phase(
+        &mut basis,
+        &phase2_costs,
+        options,
+        &mut state,
+        &mut y,
+        &mut w,
+    )?;
+    state.stats.phase2_iterations = before - state.iterations_left;
+    if matches!(outcome, PhaseOutcome::Unbounded) {
+        return Err(SimplexError::Unbounded);
+    }
+
+    let mut z = vec![0.0; num_core];
+    for (r, &col) in basis.basis.iter().enumerate() {
+        if col < num_core {
+            z[col] = basis.xb[r];
+        }
+    }
+    state.stats.refactorizations = basis.refactorizations;
+    Ok(SolvedPoint {
+        objective: basis.objective(&phase2_costs),
+        z,
+        stats: state.stats,
+    })
+}
+
+/// Run revised-simplex pivots until the current costs are optimal or unbounded.
+fn run_phase(
+    basis: &mut RevisedState<'_>,
+    costs: &[f64],
+    options: &SolveOptions,
+    state: &mut PivotState,
+    y: &mut [f64],
+    w: &mut [f64],
+) -> Result<PhaseOutcome, SimplexError> {
+    let eps = options.tolerance;
+    loop {
+        if state.iterations_left == 0 {
+            return Err(SimplexError::IterationLimit {
+                limit: options.max_iterations,
+            });
+        }
+        // The configured interval is a floor: for tall problems a longer eta
+        // file amortises the rebuild better (measured optimum tracks rows/16 on
+        // the mechanism LPs), so stretch the cadence with the row count.
+        let interval = options.refactor_interval.max(basis.num_rows() / 16).max(1);
+        if basis.updates_since_refactor >= interval {
+            basis.refactorize()?;
+        }
+
+        let entering = price(basis, costs, eps, state.using_bland, y);
+        let Some(col) = entering else {
+            return Ok(PhaseOutcome::Optimal);
+        };
+        basis.ftran_column(col, w);
+        let Some(row) = basis.ratio_test(w, eps, state.using_bland) else {
+            return Ok(PhaseOutcome::Unbounded);
+        };
+        let nondegenerate = basis.pivot(row, col, w);
+        state.record_pivot(options, nondegenerate);
+    }
+}
+
+/// Price the nonbasic columns under the current basis: compute the simplex
+/// multipliers `y = c_B' B⁻¹` by BTRAN, then reduced costs `d_j = c_j − y' a_j`
+/// by sparse dot products.  Returns the entering column per the active rule, or
+/// `None` at optimality.
+///
+/// Artificial columns are never allowed to enter — the scan stops at the core
+/// columns in both phases (they start basic in Phase 1 and only ever leave).
+fn price(
+    basis: &RevisedState<'_>,
+    costs: &[f64],
+    eps: f64,
+    use_bland: bool,
+    y: &mut [f64],
+) -> Option<usize> {
+    for (r, slot) in y.iter_mut().enumerate() {
+        *slot = costs[basis.basis[r]];
+    }
+    basis.btran(y);
+
+    let limit = basis.num_core;
+    if use_bland {
+        (0..limit).find(|&j| !basis.in_basis[j] && costs[j] - basis.column_dot(j, y) < -eps)
+    } else {
+        let mut best: Option<(usize, f64)> = None;
+        for (j, &cost) in costs[..limit].iter().enumerate() {
+            if basis.in_basis[j] {
+                continue;
+            }
+            let rc = cost - basis.column_dot(j, y);
+            if rc < -eps {
+                match best {
+                    None => best = Some((j, rc)),
+                    Some((_, best_rc)) if rc < best_rc => best = Some((j, rc)),
+                    _ => {}
+                }
+            }
+        }
+        best.map(|(j, _)| j)
+    }
+}
+
+/// After Phase 1, pivot any artificial variables that are still basic (at value
+/// zero) out of the basis.  For each such row `r` the structural coefficients of
+/// the transformed row are `ρ' a_j` with `ρ = (B⁻¹)' e_r` (one BTRAN of a unit
+/// vector); rows where every structural coefficient vanishes are redundant
+/// constraints, and their artificial stays harmlessly basic at zero.
+fn drive_out_artificials(basis: &mut RevisedState<'_>, eps: f64, rho: &mut [f64], w: &mut [f64]) {
+    for row in 0..basis.num_rows() {
+        if basis.basis[row] < basis.num_core {
+            continue;
+        }
+        rho.fill(0.0);
+        rho[row] = 1.0;
+        basis.btran(rho);
+        let replacement = (0..basis.num_core)
+            .find(|&j| !basis.in_basis[j] && basis.column_dot(j, rho).abs() > eps);
+        if let Some(col) = replacement {
+            basis.ftran_column(col, w);
+            debug_assert!(w[row].abs() > eps * 0.5);
+            basis.pivot(row, col, w);
+        } else {
+            debug_assert!(basis.xb[row].abs() <= 1e-6);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LinearProgram, Relation};
+    use crate::standard::standardize;
+
+    /// FTRAN then BTRAN against a hand-checked eta file.
+    #[test]
+    fn eta_transforms_match_matrix_algebra() {
+        // B = [[2, 1], [0, 1]]: pivot col0 at row0 (w = [2, 0]), then col1 at row1.
+        let mut lp = LinearProgram::minimize();
+        let x = lp.add_variable("x");
+        let y = lp.add_variable("y");
+        lp.add_constraint(vec![(x, 2.0), (y, 1.0)], Relation::Equal, 4.0);
+        lp.add_constraint(vec![(y, 1.0)], Relation::Equal, 1.0);
+        let sf = standardize(&lp);
+        let mut state = RevisedState::new(&sf);
+
+        let mut w = vec![0.0; 2];
+        state.ftran_column(0, &mut w);
+        state.pivot(0, 0, &w.clone());
+        state.ftran_column(1, &mut w);
+        state.pivot(1, 1, &w.clone());
+
+        // B^{-1} = [[0.5, -0.5], [0, 1]]; check on a probe vector.
+        let mut v = vec![4.0, 1.0];
+        state.ftran(&mut v);
+        assert!((v[0] - 1.5).abs() < 1e-12);
+        assert!((v[1] - 1.0).abs() < 1e-12);
+
+        // y' B^{-1} for y = [1, 0] is the first row of B^{-1}.
+        let mut row = vec![1.0, 0.0];
+        state.btran(&mut row);
+        assert!((row[0] - 0.5).abs() < 1e-12);
+        assert!((row[1] - (-0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refactorisation_preserves_the_basic_solution() {
+        let mut lp = LinearProgram::minimize();
+        let vars = lp.add_variables("x", 4);
+        for (i, v) in vars.iter().enumerate() {
+            lp.set_objective_coefficient(*v, (i + 1) as f64);
+        }
+        lp.add_constraint(vars.iter().map(|&v| (v, 1.0)), Relation::Equal, 2.0);
+        for w in vars.windows(2) {
+            lp.add_constraint(vec![(w[0], 1.0), (w[1], -0.8)], Relation::GreaterEq, 0.0);
+        }
+        let sf = standardize(&lp);
+        let options = SolveOptions::default();
+        let mut state = PivotState::new(&options);
+        let mut basis = RevisedState::new(&sf);
+        let mut y = vec![0.0; sf.num_rows()];
+        let mut w = vec![0.0; sf.num_rows()];
+
+        // Run a few pivots of phase 1 manually, then refactorise and compare xb.
+        let total = sf.num_columns() + basis.num_artificials();
+        let mut phase1 = vec![0.0; total];
+        for cost in phase1.iter_mut().skip(sf.num_columns()) {
+            *cost = 1.0;
+        }
+        let _ = run_phase(&mut basis, &phase1, &options, &mut state, &mut y, &mut w);
+        let before = basis.xb.clone();
+        basis.refactorize().unwrap();
+        for (a, b) in before.iter().zip(basis.xb.iter()) {
+            assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+    }
+}

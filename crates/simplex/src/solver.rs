@@ -1,9 +1,24 @@
-//! Two-phase primal simplex driver.
+//! Two-phase primal simplex drivers and the options shared between them.
+//!
+//! Two interchangeable backends sit behind [`LinearProgram::solve_with`]:
+//!
+//! * [`SolverBackend::SparseRevised`] (the default) — the revised simplex method
+//!   over the CSC constraint matrix, with the basis inverse kept as an eta file
+//!   (product form) and refactorised periodically; per-pivot cost is `O(nnz)`
+//!   (see [`crate::revised`]).
+//! * [`SolverBackend::DenseTableau`] — the classic dense full-tableau method;
+//!   per-pivot cost is `O(rows · cols)`.  Kept as a fallback and as the oracle the
+//!   sparse backend is tested against.
+//!
+//! Both backends share standardisation, pivot rules, and termination behaviour, so
+//! they report the same optima (the backend-agreement integration tests assert
+//! this), differing only in asymptotics.
 
 use serde::{Deserialize, Serialize};
 
 use crate::error::SimplexError;
 use crate::model::LinearProgram;
+use crate::revised;
 use crate::solution::{Solution, SolveStatus};
 use crate::standard::{standardize, StandardForm};
 use crate::tableau::Tableau;
@@ -33,6 +48,28 @@ impl Default for PivotRule {
     }
 }
 
+/// Which simplex implementation executes the pivots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SolverBackend {
+    /// Revised simplex over the sparse (CSC) matrix with an eta-file basis inverse.
+    /// Per-pivot cost scales with the number of nonzeros — the right asymptotics
+    /// for the mechanism-design LPs, whose rows have 2 to `n+1` nonzeros.
+    #[default]
+    SparseRevised,
+    /// Dense full-tableau simplex.  Per-pivot cost scales with `rows · cols`;
+    /// retained as a fallback and as a differential-testing oracle.
+    DenseTableau,
+}
+
+impl std::fmt::Display for SolverBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolverBackend::SparseRevised => write!(f, "sparse-revised"),
+            SolverBackend::DenseTableau => write!(f, "dense-tableau"),
+        }
+    }
+}
+
 /// Options controlling a solve.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SolveOptions {
@@ -42,6 +79,14 @@ pub struct SolveOptions {
     pub tolerance: f64,
     /// Entering-column rule.
     pub pivot_rule: PivotRule,
+    /// Which simplex implementation to run.
+    pub backend: SolverBackend,
+    /// Sparse backend only: refactorise the basis after this many eta updates.
+    /// Lower values cost more refactorisations but keep FTRAN/BTRAN cheaper and
+    /// the basis numerically fresher.  Treated as a floor — for tall problems the
+    /// solver stretches the cadence to `rows / 16`, which tracks the measured
+    /// optimum on the mechanism LPs.
+    pub refactor_interval: usize,
 }
 
 impl Default for SolveOptions {
@@ -50,6 +95,8 @@ impl Default for SolveOptions {
             max_iterations: 500_000,
             tolerance: 1e-9,
             pivot_rule: PivotRule::default(),
+            backend: SolverBackend::default(),
+            refactor_interval: 64,
         }
     }
 }
@@ -67,17 +114,78 @@ pub struct SolveStats {
     pub bland_activations: usize,
     /// Number of artificial variables that were required.
     pub artificial_variables: usize,
+    /// Sparse backend only: how many times the basis was refactorised.
+    pub refactorizations: usize,
+    /// Which backend produced this solve.
+    pub backend: SolverBackend,
 }
 
 /// Outcome of running simplex iterations to optimality on one phase.
-enum PhaseOutcome {
+pub(crate) enum PhaseOutcome {
+    /// No improving column remains.
     Optimal,
+    /// An improving column has no blocking row.
     Unbounded,
 }
 
-struct PhaseState {
-    iterations_left: usize,
-    stats: SolveStats,
+/// Book-keeping shared by both backends: remaining pivot budget, statistics, and
+/// the Dantzig-to-Bland fallback state of the hybrid rule.
+pub(crate) struct PivotState {
+    pub iterations_left: usize,
+    pub stats: SolveStats,
+    pub using_bland: bool,
+    degenerate_streak: usize,
+}
+
+impl PivotState {
+    pub fn new(options: &SolveOptions) -> Self {
+        PivotState {
+            iterations_left: options.max_iterations,
+            stats: SolveStats {
+                backend: options.backend,
+                ..SolveStats::default()
+            },
+            using_bland: matches!(options.pivot_rule, PivotRule::Bland),
+            degenerate_streak: 0,
+        }
+    }
+
+    /// Reset the per-phase Bland fallback (each phase starts from the configured rule).
+    pub fn start_phase(&mut self, options: &SolveOptions) {
+        self.using_bland = matches!(options.pivot_rule, PivotRule::Bland);
+        self.degenerate_streak = 0;
+    }
+
+    /// Record one pivot and update the hybrid-rule state.
+    pub fn record_pivot(&mut self, options: &SolveOptions, nondegenerate: bool) {
+        self.iterations_left -= 1;
+        if nondegenerate {
+            self.degenerate_streak = 0;
+            if let PivotRule::Hybrid { .. } = options.pivot_rule {
+                self.using_bland = false;
+            }
+        } else {
+            self.stats.degenerate_pivots += 1;
+            self.degenerate_streak += 1;
+            if let PivotRule::Hybrid {
+                degenerate_threshold,
+            } = options.pivot_rule
+            {
+                if !self.using_bland && self.degenerate_streak >= degenerate_threshold {
+                    self.using_bland = true;
+                    self.stats.bland_activations += 1;
+                }
+            }
+        }
+    }
+}
+
+/// A standard-form optimum as produced by a backend: the point over the core
+/// (structural + slack) columns plus the minimisation objective value.
+pub(crate) struct SolvedPoint {
+    pub z: Vec<f64>,
+    pub objective: f64,
+    pub stats: SolveStats,
 }
 
 /// Solve an already-validated program.  Called by [`LinearProgram::solve_with`].
@@ -86,20 +194,71 @@ pub(crate) fn solve_prepared(
     options: &SolveOptions,
 ) -> Result<Solution, SimplexError> {
     let sf = standardize(lp);
-    let eps = options.tolerance;
 
     if sf.num_rows() == 0 {
         // No constraints: the optimum of a non-negative-variable LP is attained at the
         // lower bounds unless some cost is negative, in which case it is unbounded.
-        return solve_unconstrained(lp, &sf);
+        return solve_unconstrained(&sf, options);
     }
 
-    // Append artificial columns for rows without a basic slack.
+    let point = match options.backend {
+        SolverBackend::SparseRevised => revised::solve(&sf, options)?,
+        SolverBackend::DenseTableau => solve_dense(&sf, options)?,
+    };
+
+    let values = sf.recover_values(&point.z);
+    let mut objective_value = point.objective + sf.objective_constant;
+    if sf.maximize {
+        objective_value = -objective_value;
+    }
+    Ok(Solution {
+        status: SolveStatus::Optimal,
+        objective_value,
+        values,
+        stats: point.stats,
+    })
+}
+
+/// Handle the degenerate "no constraints" case directly.
+fn solve_unconstrained(
+    sf: &StandardForm,
+    options: &SolveOptions,
+) -> Result<Solution, SimplexError> {
+    // Any column with a negative cost can grow without bound.
+    if sf.costs.iter().any(|&c| c < 0.0) {
+        return Err(SimplexError::Unbounded);
+    }
+    let z = vec![0.0; sf.num_columns()];
+    let values = sf.recover_values(&z);
+    let mut objective_value = sf.objective_constant;
+    if sf.maximize {
+        objective_value = -objective_value;
+    }
+    Ok(Solution {
+        status: SolveStatus::Optimal,
+        objective_value,
+        values,
+        stats: SolveStats {
+            backend: options.backend,
+            ..SolveStats::default()
+        },
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Dense tableau backend.
+// ---------------------------------------------------------------------------
+
+fn solve_dense(sf: &StandardForm, options: &SolveOptions) -> Result<SolvedPoint, SimplexError> {
+    let eps = options.tolerance;
+
+    // Densify the CSC matrix and append artificial columns for rows without a
+    // basic slack.
     let num_core_columns = sf.num_columns();
     let num_artificials = sf.basis_hint.iter().filter(|h| h.is_none()).count();
     let total_columns = num_core_columns + num_artificials;
 
-    let mut rows = sf.rows.clone();
+    let mut rows = sf.matrix.to_dense_rows();
     for row in rows.iter_mut() {
         row.resize(total_columns, 0.0);
     }
@@ -119,13 +278,8 @@ pub(crate) fn solve_prepared(
     }
 
     let mut tableau = Tableau::new(rows, sf.rhs.clone(), basis);
-    let mut state = PhaseState {
-        iterations_left: options.max_iterations,
-        stats: SolveStats {
-            artificial_variables: num_artificials,
-            ..SolveStats::default()
-        },
-    };
+    let mut state = PivotState::new(options);
+    state.stats.artificial_variables = num_artificials;
 
     // ------------------------------- Phase 1 -------------------------------
     if num_artificials > 0 {
@@ -135,13 +289,20 @@ pub(crate) fn solve_prepared(
         }
         tableau.set_costs(&phase1_costs);
         let before = state.iterations_left;
-        let outcome = run_phase(&mut tableau, options, eps, num_core_columns, &mut state, true)?;
+        let outcome = run_phase(
+            &mut tableau,
+            options,
+            eps,
+            num_core_columns,
+            &mut state,
+            true,
+        )?;
         state.stats.phase1_iterations = before - state.iterations_left;
         if matches!(outcome, PhaseOutcome::Unbounded) {
             // Phase 1 objective is bounded below by zero; unboundedness indicates a
-            // numerical breakdown, which we surface as an iteration-limit style error.
-            return Err(SimplexError::IterationLimit {
-                limit: options.max_iterations,
+            // numerical breakdown.
+            return Err(SimplexError::NumericalBreakdown {
+                context: "phase 1 of the dense tableau became unbounded",
             });
         }
         if tableau.objective() > 1e-6 {
@@ -154,58 +315,36 @@ pub(crate) fn solve_prepared(
     let mut phase2_costs = sf.costs.clone();
     phase2_costs.resize(total_columns, 0.0);
     tableau.set_costs(&phase2_costs);
+    state.start_phase(options);
     let before = state.iterations_left;
-    let outcome = run_phase(&mut tableau, options, eps, num_core_columns, &mut state, false)?;
+    let outcome = run_phase(
+        &mut tableau,
+        options,
+        eps,
+        num_core_columns,
+        &mut state,
+        false,
+    )?;
     state.stats.phase2_iterations = before - state.iterations_left;
     if matches!(outcome, PhaseOutcome::Unbounded) {
         return Err(SimplexError::Unbounded);
     }
 
     let z = tableau.basic_solution();
-    let values = sf.recover_values(&z[..num_core_columns]);
-    let mut objective_value = tableau.objective() + sf.objective_constant;
-    if sf.maximize {
-        objective_value = -objective_value;
-    }
-    Ok(Solution {
-        status: SolveStatus::Optimal,
-        objective_value,
-        values,
+    Ok(SolvedPoint {
+        z: z[..num_core_columns].to_vec(),
+        objective: tableau.objective(),
         stats: state.stats,
     })
 }
 
-/// Handle the degenerate "no constraints" case directly.
-fn solve_unconstrained(lp: &LinearProgram, sf: &StandardForm) -> Result<Solution, SimplexError> {
-    // Any column with a negative cost can grow without bound.
-    if sf.costs.iter().any(|&c| c < 0.0) {
-        return Err(SimplexError::Unbounded);
-    }
-    let z = vec![0.0; sf.num_columns()];
-    let values = sf.recover_values(&z);
-    let mut objective_value = sf.objective_constant;
-    if sf.maximize {
-        objective_value = -objective_value;
-    }
-    let _ = lp;
-    Ok(Solution {
-        status: SolveStatus::Optimal,
-        objective_value,
-        values,
-        stats: SolveStats::default(),
-    })
-}
-
 /// Run simplex pivots until optimality or unboundedness for the current cost row.
-///
-/// `restrict_to_core` (Phase 2 and the artificial-exclusion rule of Phase 1's
-/// aftermath) prevents artificial columns from re-entering the basis.
 fn run_phase(
     tableau: &mut Tableau,
     options: &SolveOptions,
     eps: f64,
     num_core_columns: usize,
-    state: &mut PhaseState,
+    state: &mut PivotState,
     is_phase1: bool,
 ) -> Result<PhaseOutcome, SimplexError> {
     // In Phase 1 artificial columns may appear in the basis (they start there) but
@@ -215,8 +354,6 @@ fn run_phase(
     } else {
         num_core_columns
     };
-    let mut degenerate_streak = 0usize;
-    let mut using_bland = matches!(options.pivot_rule, PivotRule::Bland);
 
     loop {
         if state.iterations_left == 0 {
@@ -225,7 +362,14 @@ fn run_phase(
             });
         }
 
-        let entering = choose_entering(tableau, entering_limit, num_core_columns, eps, using_bland, is_phase1);
+        let entering = choose_entering(
+            tableau,
+            entering_limit,
+            num_core_columns,
+            eps,
+            state.using_bland,
+            is_phase1,
+        );
         let Some(col) = entering else {
             return Ok(PhaseOutcome::Optimal);
         };
@@ -234,25 +378,7 @@ fn run_phase(
         };
 
         let nondegenerate = tableau.pivot(row, col);
-        state.iterations_left -= 1;
-        if nondegenerate {
-            degenerate_streak = 0;
-            if let PivotRule::Hybrid { .. } = options.pivot_rule {
-                using_bland = false;
-            }
-        } else {
-            state.stats.degenerate_pivots += 1;
-            degenerate_streak += 1;
-            if let PivotRule::Hybrid {
-                degenerate_threshold,
-            } = options.pivot_rule
-            {
-                if !using_bland && degenerate_streak >= degenerate_threshold {
-                    using_bland = true;
-                    state.stats.bland_activations += 1;
-                }
-            }
-        }
+        state.record_pivot(options, nondegenerate);
     }
 }
 
@@ -321,57 +447,83 @@ mod tests {
         assert!((a - b).abs() < 1e-7, "{a} != {b}");
     }
 
+    /// Both backends, so every shared driver test exercises each implementation.
+    const BACKENDS: [SolverBackend; 2] =
+        [SolverBackend::SparseRevised, SolverBackend::DenseTableau];
+
+    fn options_for(backend: SolverBackend) -> SolveOptions {
+        SolveOptions {
+            backend,
+            ..SolveOptions::default()
+        }
+    }
+
     #[test]
     fn classic_textbook_maximisation() {
         // max 3x + 5y subject to x <= 4, 2y <= 12, 3x + 2y <= 18.
-        let mut lp = LinearProgram::maximize();
-        let x = lp.add_variable("x");
-        let y = lp.add_variable("y");
-        lp.set_objective_coefficient(x, 3.0);
-        lp.set_objective_coefficient(y, 5.0);
-        lp.add_constraint(vec![(x, 1.0)], Relation::LessEq, 4.0);
-        lp.add_constraint(vec![(y, 2.0)], Relation::LessEq, 12.0);
-        lp.add_constraint(vec![(x, 3.0), (y, 2.0)], Relation::LessEq, 18.0);
-        let solution = lp.solve().unwrap();
-        assert_close(solution.objective_value, 36.0);
-        assert_close(solution.value(x), 2.0);
-        assert_close(solution.value(y), 6.0);
+        for backend in BACKENDS {
+            let mut lp = LinearProgram::maximize();
+            let x = lp.add_variable("x");
+            let y = lp.add_variable("y");
+            lp.set_objective_coefficient(x, 3.0);
+            lp.set_objective_coefficient(y, 5.0);
+            lp.add_constraint(vec![(x, 1.0)], Relation::LessEq, 4.0);
+            lp.add_constraint(vec![(y, 2.0)], Relation::LessEq, 12.0);
+            lp.add_constraint(vec![(x, 3.0), (y, 2.0)], Relation::LessEq, 18.0);
+            let solution = lp.solve_with(&options_for(backend)).unwrap();
+            assert_close(solution.objective_value, 36.0);
+            assert_close(solution.value(x), 2.0);
+            assert_close(solution.value(y), 6.0);
+            assert_eq!(solution.stats.backend, backend);
+        }
     }
 
     #[test]
     fn equality_constraints_need_phase_one() {
         // min x + 2y subject to x + y = 10, x - y >= 2.
-        let mut lp = LinearProgram::minimize();
-        let x = lp.add_variable("x");
-        let y = lp.add_variable("y");
-        lp.set_objective_coefficient(x, 1.0);
-        lp.set_objective_coefficient(y, 2.0);
-        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Equal, 10.0);
-        lp.add_constraint(vec![(x, 1.0), (y, -1.0)], Relation::GreaterEq, 2.0);
-        let solution = lp.solve().unwrap();
-        // Optimal at y = 0, x = 10 -> objective 10.
-        assert_close(solution.objective_value, 10.0);
-        assert_close(solution.value(x), 10.0);
-        assert_close(solution.value(y), 0.0);
-        assert!(solution.stats.artificial_variables >= 1);
+        for backend in BACKENDS {
+            let mut lp = LinearProgram::minimize();
+            let x = lp.add_variable("x");
+            let y = lp.add_variable("y");
+            lp.set_objective_coefficient(x, 1.0);
+            lp.set_objective_coefficient(y, 2.0);
+            lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Equal, 10.0);
+            lp.add_constraint(vec![(x, 1.0), (y, -1.0)], Relation::GreaterEq, 2.0);
+            let solution = lp.solve_with(&options_for(backend)).unwrap();
+            // Optimal at y = 0, x = 10 -> objective 10.
+            assert_close(solution.objective_value, 10.0);
+            assert_close(solution.value(x), 10.0);
+            assert_close(solution.value(y), 0.0);
+            assert!(solution.stats.artificial_variables >= 1);
+        }
     }
 
     #[test]
     fn infeasible_program_is_detected() {
-        let mut lp = LinearProgram::minimize();
-        let x = lp.add_variable("x");
-        lp.add_constraint(vec![(x, 1.0)], Relation::LessEq, 1.0);
-        lp.add_constraint(vec![(x, 1.0)], Relation::GreaterEq, 2.0);
-        assert_eq!(lp.solve().unwrap_err(), SimplexError::Infeasible);
+        for backend in BACKENDS {
+            let mut lp = LinearProgram::minimize();
+            let x = lp.add_variable("x");
+            lp.add_constraint(vec![(x, 1.0)], Relation::LessEq, 1.0);
+            lp.add_constraint(vec![(x, 1.0)], Relation::GreaterEq, 2.0);
+            assert_eq!(
+                lp.solve_with(&options_for(backend)).unwrap_err(),
+                SimplexError::Infeasible
+            );
+        }
     }
 
     #[test]
     fn unbounded_program_is_detected() {
-        let mut lp = LinearProgram::maximize();
-        let x = lp.add_variable("x");
-        lp.set_objective_coefficient(x, 1.0);
-        lp.add_constraint(vec![(x, -1.0)], Relation::LessEq, 1.0);
-        assert_eq!(lp.solve().unwrap_err(), SimplexError::Unbounded);
+        for backend in BACKENDS {
+            let mut lp = LinearProgram::maximize();
+            let x = lp.add_variable("x");
+            lp.set_objective_coefficient(x, 1.0);
+            lp.add_constraint(vec![(x, -1.0)], Relation::LessEq, 1.0);
+            assert_eq!(
+                lp.solve_with(&options_for(backend)).unwrap_err(),
+                SimplexError::Unbounded
+            );
+        }
     }
 
     #[test]
@@ -397,12 +549,49 @@ mod tests {
         // Beale's classic cycling example.  The pure Dantzig rule cycles forever on
         // this instance (that is the point of the example, and why the hybrid rule is
         // the default); Bland and the hybrid rule must terminate with objective -0.05.
-        for rule in [
-            PivotRule::Bland,
-            PivotRule::Hybrid {
-                degenerate_threshold: 4,
-            },
-        ] {
+        for backend in BACKENDS {
+            for rule in [
+                PivotRule::Bland,
+                PivotRule::Hybrid {
+                    degenerate_threshold: 4,
+                },
+            ] {
+                let mut lp = LinearProgram::minimize();
+                let x1 = lp.add_variable("x1");
+                let x2 = lp.add_variable("x2");
+                let x3 = lp.add_variable("x3");
+                let x4 = lp.add_variable("x4");
+                lp.set_objective_coefficient(x1, -0.75);
+                lp.set_objective_coefficient(x2, 150.0);
+                lp.set_objective_coefficient(x3, -0.02);
+                lp.set_objective_coefficient(x4, 6.0);
+                lp.add_constraint(
+                    vec![(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)],
+                    Relation::LessEq,
+                    0.0,
+                );
+                lp.add_constraint(
+                    vec![(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)],
+                    Relation::LessEq,
+                    0.0,
+                );
+                lp.add_constraint(vec![(x3, 1.0)], Relation::LessEq, 1.0);
+                let options = SolveOptions {
+                    pivot_rule: rule,
+                    backend,
+                    ..SolveOptions::default()
+                };
+                let solution = lp.solve_with(&options).unwrap();
+                assert_close(solution.objective_value, -0.05);
+            }
+        }
+    }
+
+    #[test]
+    fn dantzig_rule_cycles_on_beale_and_hits_the_iteration_limit() {
+        // Companion to the test above: document that the pure Dantzig rule does cycle
+        // on Beale's example, which is why it is not the default.
+        for backend in BACKENDS {
             let mut lp = LinearProgram::minimize();
             let x1 = lp.add_variable("x1");
             let x2 = lp.add_variable("x2");
@@ -424,63 +613,34 @@ mod tests {
             );
             lp.add_constraint(vec![(x3, 1.0)], Relation::LessEq, 1.0);
             let options = SolveOptions {
-                pivot_rule: rule,
+                pivot_rule: PivotRule::Dantzig,
+                max_iterations: 10_000,
+                backend,
                 ..SolveOptions::default()
             };
-            let solution = lp.solve_with(&options).unwrap();
-            assert_close(solution.objective_value, -0.05);
-        }
-    }
-
-    #[test]
-    fn dantzig_rule_cycles_on_beale_and_hits_the_iteration_limit() {
-        // Companion to the test above: document that the pure Dantzig rule does cycle
-        // on Beale's example, which is why it is not the default.
-        let mut lp = LinearProgram::minimize();
-        let x1 = lp.add_variable("x1");
-        let x2 = lp.add_variable("x2");
-        let x3 = lp.add_variable("x3");
-        let x4 = lp.add_variable("x4");
-        lp.set_objective_coefficient(x1, -0.75);
-        lp.set_objective_coefficient(x2, 150.0);
-        lp.set_objective_coefficient(x3, -0.02);
-        lp.set_objective_coefficient(x4, 6.0);
-        lp.add_constraint(
-            vec![(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)],
-            Relation::LessEq,
-            0.0,
-        );
-        lp.add_constraint(
-            vec![(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)],
-            Relation::LessEq,
-            0.0,
-        );
-        lp.add_constraint(vec![(x3, 1.0)], Relation::LessEq, 1.0);
-        let options = SolveOptions {
-            pivot_rule: PivotRule::Dantzig,
-            max_iterations: 10_000,
-            ..SolveOptions::default()
-        };
-        match lp.solve_with(&options) {
-            Err(SimplexError::IterationLimit { .. }) => {}
-            Ok(solution) => assert_close(solution.objective_value, -0.05),
-            Err(other) => panic!("unexpected error: {other}"),
+            match lp.solve_with(&options) {
+                Err(SimplexError::IterationLimit { .. }) => {}
+                Ok(solution) => assert_close(solution.objective_value, -0.05),
+                Err(other) => panic!("unexpected error: {other}"),
+            }
         }
     }
 
     #[test]
     fn redundant_equalities_are_tolerated() {
         // x + y = 4 stated twice; the second row becomes redundant after Phase 1.
-        let mut lp = LinearProgram::minimize();
-        let x = lp.add_variable("x");
-        let y = lp.add_variable("y");
-        lp.set_objective_coefficient(x, 1.0);
-        lp.set_objective_coefficient(y, 3.0);
-        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Equal, 4.0);
-        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Equal, 4.0);
-        let solution = lp.solve().unwrap();
-        assert_close(solution.objective_value, 4.0);
-        assert_close(solution.value(x), 4.0);
+        for backend in BACKENDS {
+            let mut lp = LinearProgram::minimize();
+            let x = lp.add_variable("x");
+            let y = lp.add_variable("y");
+            lp.set_objective_coefficient(x, 1.0);
+            lp.set_objective_coefficient(y, 3.0);
+            lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Equal, 4.0);
+            lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Equal, 4.0);
+            let solution = lp.solve_with(&options_for(backend)).unwrap();
+            assert_close(solution.objective_value, 4.0);
+            assert_close(solution.value(x), 4.0);
+        }
     }
 
     #[test]
@@ -494,25 +654,53 @@ mod tests {
         let solution = lp.solve().unwrap();
         assert!(solution.stats.phase1_iterations + solution.stats.phase2_iterations >= 1);
         assert_eq!(solution.stats.artificial_variables, 1);
+        assert_eq!(solution.stats.backend, SolverBackend::SparseRevised);
     }
 
     #[test]
     fn iteration_limit_is_enforced() {
-        let mut lp = LinearProgram::maximize();
-        let x = lp.add_variable("x");
-        let y = lp.add_variable("y");
-        lp.set_objective_coefficient(x, 3.0);
-        lp.set_objective_coefficient(y, 5.0);
-        lp.add_constraint(vec![(x, 1.0)], Relation::LessEq, 4.0);
-        lp.add_constraint(vec![(y, 2.0)], Relation::LessEq, 12.0);
-        lp.add_constraint(vec![(x, 3.0), (y, 2.0)], Relation::LessEq, 18.0);
-        let options = SolveOptions {
-            max_iterations: 1,
-            ..SolveOptions::default()
-        };
-        assert!(matches!(
-            lp.solve_with(&options).unwrap_err(),
-            SimplexError::IterationLimit { limit: 1 }
-        ));
+        for backend in BACKENDS {
+            let mut lp = LinearProgram::maximize();
+            let x = lp.add_variable("x");
+            let y = lp.add_variable("y");
+            lp.set_objective_coefficient(x, 3.0);
+            lp.set_objective_coefficient(y, 5.0);
+            lp.add_constraint(vec![(x, 1.0)], Relation::LessEq, 4.0);
+            lp.add_constraint(vec![(y, 2.0)], Relation::LessEq, 12.0);
+            lp.add_constraint(vec![(x, 3.0), (y, 2.0)], Relation::LessEq, 18.0);
+            let options = SolveOptions {
+                max_iterations: 1,
+                backend,
+                ..SolveOptions::default()
+            };
+            assert!(matches!(
+                lp.solve_with(&options).unwrap_err(),
+                SimplexError::IterationLimit { limit: 1 }
+            ));
+        }
+    }
+
+    #[test]
+    fn aggressive_refactorisation_still_solves() {
+        // refactor_interval = 1 forces a rebuild after every pivot; the answer must
+        // not change, only the refactorisation count.
+        let mut lp = LinearProgram::minimize();
+        let vars = lp.add_variables("p", 6);
+        for (i, v) in vars.iter().enumerate() {
+            lp.set_objective_coefficient(*v, 1.0 + i as f64);
+        }
+        lp.add_constraint(vars.iter().map(|&v| (v, 1.0)), Relation::Equal, 1.0);
+        for w in vars.windows(2) {
+            lp.add_constraint(vec![(w[0], 1.0), (w[1], -0.5)], Relation::GreaterEq, 0.0);
+        }
+        let baseline = lp.solve().unwrap();
+        let aggressive = lp
+            .solve_with(&SolveOptions {
+                refactor_interval: 1,
+                ..SolveOptions::default()
+            })
+            .unwrap();
+        assert_close(baseline.objective_value, aggressive.objective_value);
+        assert!(aggressive.stats.refactorizations >= baseline.stats.refactorizations);
     }
 }

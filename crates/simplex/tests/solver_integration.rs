@@ -61,7 +61,7 @@ fn probability_simplex_minimisation_picks_cheapest_vertex() {
     for (v, c) in vars.iter().zip(costs.iter()) {
         lp.set_objective_coefficient(*v, *c);
     }
-    lp.add_constraint(vars.iter().map(|&v| (v, 1.0)).collect(), Relation::Equal, 1.0);
+    lp.add_constraint(vars.iter().map(|&v| (v, 1.0)), Relation::Equal, 1.0);
     let solution = lp.solve().unwrap();
     assert_close(solution.objective_value, 0.25, 1e-9);
     assert_close(solution.value(vars[3]), 1.0, 1e-9);
@@ -75,7 +75,7 @@ fn all_pivot_rules_agree_on_objective() {
         for (i, v) in vars.iter().enumerate() {
             lp.set_objective_coefficient(*v, (i as f64) - 2.5);
         }
-        lp.add_constraint(vars.iter().map(|&v| (v, 1.0)).collect(), Relation::Equal, 3.0);
+        lp.add_constraint(vars.iter().map(|&v| (v, 1.0)), Relation::Equal, 3.0);
         for w in vars.windows(2) {
             lp.add_constraint(vec![(w[0], 1.0), (w[1], -1.0)], Relation::LessEq, 1.0);
             lp.add_constraint(vec![(w[1], 1.0), (w[0], -1.0)], Relation::LessEq, 1.0);
@@ -149,7 +149,7 @@ proptest! {
         for (v, c) in vars.iter().zip(costs.iter()) {
             lp.set_objective_coefficient(*v, *c);
         }
-        lp.add_constraint(vars.iter().map(|&v| (v, 1.0)).collect(), Relation::Equal, 1.0);
+        lp.add_constraint(vars.iter().map(|&v| (v, 1.0)), Relation::Equal, 1.0);
         let solution = lp.solve().unwrap();
         let best = costs.iter().cloned().fold(f64::INFINITY, f64::min);
         prop_assert!((solution.objective_value - best).abs() < 1e-7);

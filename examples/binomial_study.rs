@@ -22,7 +22,10 @@ fn main() -> Result<(), CoreError> {
          ({} repetitions per cell)\n",
         alpha, repetitions
     );
-    println!("{:<6} {:>8} {:>8} {:>8} {:>8}   best", "p", "GM", "WM", "EM", "UM");
+    println!(
+        "{:<6} {:>8} {:>8} {:>8} {:>8}   best",
+        "p", "GM", "WM", "EM", "UM"
+    );
 
     for &p in &[0.02, 0.1, 0.25, 0.5, 0.75, 0.9, 0.98] {
         let mut rng = StdRng::seed_from_u64((p * 1000.0) as u64);

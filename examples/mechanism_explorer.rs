@@ -48,7 +48,10 @@ fn main() -> Result<(), CoreError> {
         println!("  flowchart choice : {}", choice.short_name());
         println!("  L0 score         : {:.4}", rescaled_l0(&mechanism));
         println!("  satisfies        : {satisfied:?}");
-        println!("  alpha-DP         : {}", mechanism.satisfies_dp(alpha, 1e-6));
+        println!(
+            "  alpha-DP         : {}",
+            mechanism.satisfies_dp(alpha, 1e-6)
+        );
         println!("  derivable from GM: {derivable}");
         println!();
         assert!(requested.all_hold(&mechanism, 1e-6));

@@ -23,7 +23,10 @@ fn main() -> Result<(), CoreError> {
     let em = ExplicitFairMechanism::new(group_size, alpha)?;
 
     println!("Geometric Mechanism (GM), L0 score {:.4}", gm.l0_score());
-    println!("Explicit Fair Mechanism (EM), L0 score {:.4}", em.l0_score());
+    println!(
+        "Explicit Fair Mechanism (EM), L0 score {:.4}",
+        em.l0_score()
+    );
     println!();
 
     // Both satisfy alpha-DP, but only EM satisfies all seven structural properties.
@@ -35,7 +38,10 @@ fn main() -> Result<(), CoreError> {
         gm_violations.len(),
         gm_violations
     );
-    println!("EM violates none: {:?}", PropertySet::all().violations(em.matrix(), 1e-9));
+    println!(
+        "EM violates none: {:?}",
+        PropertySet::all().violations(em.matrix(), 1e-9)
+    );
     println!();
 
     // Release a private count with each mechanism.

@@ -31,12 +31,8 @@ fn binomial_release_matches_the_mechanism_diagonal() {
 
     // Fairness: the probability of reporting the truth is exactly y for every input,
     // so the empirical truth rate must concentrate around y regardless of the data.
-    let truth_rate = counts
-        .iter()
-        .zip(&reported)
-        .filter(|(t, r)| t == r)
-        .count() as f64
-        / counts.len() as f64;
+    let truth_rate =
+        counts.iter().zip(&reported).filter(|(t, r)| t == r).count() as f64 / counts.len() as f64;
     let y = em.diagonal_value();
     assert!(
         (truth_rate - y).abs() < 0.02,
@@ -96,9 +92,7 @@ fn adult_pipeline_reproduces_the_figure_10_ordering() {
     let n = 8;
     let mut rng = StdRng::seed_from_u64(5);
     let dataset = AdultDataset::generate(AdultDatasetSpec { size: 12_000 }, &mut rng);
-    let counts = dataset
-        .target_population(AdultTarget::Male)
-        .group_counts(n);
+    let counts = dataset.target_population(AdultTarget::Male).group_counts(n);
 
     let mut error_rates = std::collections::HashMap::new();
     for which in NamedMechanism::PAPER_SET {

@@ -1,0 +1,260 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! bench harness.
+//!
+//! Implements the API subset this workspace's benches use — benchmark groups,
+//! [`BenchmarkId`], `bench_with_input` / `bench_function`, `Bencher::iter`,
+//! [`black_box`], and the `criterion_group!` / `criterion_main!` macros — backed by
+//! a simple wall-clock sampler: after an automatic warm-up that also sizes the
+//! per-sample batch, each benchmark collects `sample_size` samples and prints the
+//! min / median / mean time per iteration.  No statistics beyond that, no HTML
+//! reports, no comparison to previous runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimiser from deleting a computed value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// The top-level harness handle (one per bench binary).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\ngroup {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Identify a benchmark by function name and input parameter.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Identify a benchmark by parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(2);
+        self
+    }
+
+    /// Set the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Benchmark a closure that receives an explicit input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::default();
+        routine(&mut bencher, input);
+        self.report(&id.label, &bencher);
+        self
+    }
+
+    /// Benchmark a closure with no explicit input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::default();
+        routine(&mut bencher);
+        self.report(&id.into().label, &bencher);
+        self
+    }
+
+    /// Finish the group (prints nothing extra; provided for API compatibility).
+    pub fn finish(self) {}
+
+    fn report(&self, label: &str, bencher: &Bencher) {
+        let mut samples = bencher.samples.clone();
+        if samples.is_empty() {
+            println!("  {}/{label:<40} (no measurements)", self.name);
+            return;
+        }
+        samples.sort();
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        println!(
+            "  {}/{label:<40} min {:>12} | median {:>12} | mean {:>12} ({} samples)",
+            self.name,
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(mean),
+            samples.len(),
+        );
+    }
+}
+
+/// Accepted argument types for [`BenchmarkGroup::bench_function`].
+pub struct BenchId {
+    label: String,
+}
+
+impl From<&str> for BenchId {
+    fn from(label: &str) -> Self {
+        BenchId {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchId {
+    fn from(label: String) -> Self {
+        BenchId { label }
+    }
+}
+
+impl From<BenchmarkId> for BenchId {
+    fn from(id: BenchmarkId) -> Self {
+        BenchId { label: id.label }
+    }
+}
+
+/// Collects timing samples for one benchmark.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measure a routine: warm up, choose a batch size targeting ~10ms per sample,
+    /// then record per-iteration times.  The harness configuration comes from the
+    /// surrounding group ([`BenchmarkGroup::sample_size`]); the overall budget is
+    /// capped so very slow routines still finish (one sample minimum).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up + calibration: run once to estimate the cost.
+        let start = Instant::now();
+        black_box(routine());
+        let first = start.elapsed().max(Duration::from_nanos(1));
+
+        let target_sample = Duration::from_millis(10);
+        let batch = if first >= target_sample {
+            1
+        } else {
+            (target_sample.as_nanos() / first.as_nanos()).clamp(1, 1_000_000) as u32
+        };
+
+        // Budget: aim for 20 samples but never spend more than ~3 s or fewer than 1.
+        let budget = Duration::from_secs(3);
+        let per_sample = first * batch;
+        let max_samples = (budget.as_nanos() / per_sample.as_nanos().max(1)).clamp(1, 20) as usize;
+
+        self.samples.clear();
+        for _ in 0..max_samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / batch);
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Group benchmark functions into a callable that the bench `main` runs.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut bencher = Bencher::default();
+        bencher.iter(|| black_box(21u64) * 2);
+        assert!(!bencher.samples.is_empty());
+    }
+
+    #[test]
+    fn groups_run_their_routines() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("demo");
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::new("square", 4), &4u64, |b, &n| {
+            ran = true;
+            b.iter(|| n * n)
+        });
+        group.bench_function("plain", |b| b.iter(|| 1 + 1));
+        group.finish();
+        assert!(ran);
+    }
+}

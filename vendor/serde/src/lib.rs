@@ -1,0 +1,328 @@
+//! Offline stand-in for the [`serde`](https://serde.rs) crate.
+//!
+//! The build environment has no registry access, so this vendored crate provides the
+//! subset of serde this workspace relies on: `#[derive(Serialize, Deserialize)]`
+//! (including `#[serde(transparent)]` and `#[serde(default)]`) and enough trait
+//! machinery for `serde_json` round-trips.  Instead of serde's visitor
+//! architecture, both traits go through a single self-describing [`Value`] tree —
+//! dramatically simpler, and exactly as capable for the JSON-only use here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// A self-describing data tree (the mini-serde data model; JSON-shaped).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// Any number (kept as `f64`, which is exact for the integers used here).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// Key–value pairs in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+/// Error produced by mini-serde conversions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Build an error from any message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+
+    /// A required field was absent while deserialising `owner`.
+    pub fn missing_field(owner: &str, field: &str) -> Self {
+        Error::custom(format!("missing field `{field}` while reading `{owner}`"))
+    }
+
+    /// An enum tag did not match any variant of `owner`.
+    pub fn unknown_variant(owner: &str, tag: &str) -> Self {
+        Error::custom(format!("unknown variant `{tag}` for `{owner}`"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be converted into a [`Value`] tree.
+pub trait Serialize {
+    /// Convert `self` into the mini-serde data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuild `Self` from the mini-serde data model.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Helpers used by the generated derive code.
+// ---------------------------------------------------------------------------
+
+/// View a value as an object, with a typed error naming the expecting type.
+pub fn as_object<'v>(value: &'v Value, owner: &str) -> Result<&'v [(String, Value)], Error> {
+    match value {
+        Value::Object(pairs) => Ok(pairs),
+        other => Err(Error::custom(format!(
+            "expected object for `{owner}`, found {}",
+            kind_name(other)
+        ))),
+    }
+}
+
+/// View a value as an array, with a typed error naming the expecting type.
+pub fn as_array<'v>(value: &'v Value, owner: &str) -> Result<&'v [Value], Error> {
+    match value {
+        Value::Array(items) => Ok(items),
+        other => Err(Error::custom(format!(
+            "expected array for `{owner}`, found {}",
+            kind_name(other)
+        ))),
+    }
+}
+
+/// Look up a field in an object's pair list.
+pub fn object_get<'v>(pairs: &'v [(String, Value)], key: &str) -> Option<&'v Value> {
+    pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Index into an array with a bounds-checked error.
+pub fn array_get<'v>(items: &'v [Value], index: usize, owner: &str) -> Result<&'v Value, Error> {
+    items.get(index).ok_or_else(|| {
+        Error::custom(format!(
+            "tuple for `{owner}` is too short (missing index {index})"
+        ))
+    })
+}
+
+fn kind_name(value: &Value) -> &'static str {
+    match value {
+        Value::Null => "null",
+        Value::Bool(_) => "bool",
+        Value::Number(_) => "number",
+        Value::String(_) => "string",
+        Value::Array(_) => "array",
+        Value::Object(_) => "object",
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Implementations for primitives and standard containers.
+// ---------------------------------------------------------------------------
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!(
+                "expected bool, found {}",
+                kind_name(other)
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_number {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Number(n) => Ok(*n as $t),
+                    other => Err(Error::custom(format!(
+                        "expected number, found {}",
+                        kind_name(other)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_number!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!(
+                "expected string, found {}",
+                kind_name(other)
+            ))),
+        }
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::String((*self).to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(inner) => inner.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        as_array(value, "Vec")?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))+) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let items = as_array(value, "tuple")?;
+                Ok(($($name::from_value(array_get(items, $idx, "tuple")?)?,)+))
+            }
+        }
+    )+};
+}
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Sort keys so the output is deterministic.
+        let mut pairs: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(pairs)
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(3usize.to_value(), Value::Number(3.0));
+        assert_eq!(usize::from_value(&Value::Number(3.0)).unwrap(), 3);
+        assert_eq!(Option::<f64>::from_value(&Value::Null).unwrap(), None);
+        let v = vec![1.5f64, 2.5];
+        assert_eq!(Vec::<f64>::from_value(&v.to_value()).unwrap(), v);
+    }
+
+    #[test]
+    fn tuples_round_trip() {
+        let t = ("label".to_string(), 0.25f64);
+        let back: (String, f64) = Deserialize::from_value(&t.to_value()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        assert!(bool::from_value(&Value::Number(1.0)).is_err());
+        assert!(String::from_value(&Value::Null).is_err());
+    }
+}

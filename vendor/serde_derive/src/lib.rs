@@ -1,0 +1,454 @@
+//! Derive macros for the vendored mini-`serde` (see `vendor/serde`).
+//!
+//! The build environment has no registry access, so `syn`/`quote` are unavailable;
+//! this crate parses the derive input token stream by hand.  It supports exactly the
+//! shapes this workspace uses:
+//!
+//! * structs with named fields (with optional `#[serde(default)]` per field and
+//!   `#[serde(transparent)]` on the container),
+//! * tuple structs (single-field newtypes serialise transparently, like real serde),
+//! * enums with unit, tuple, and struct variants (externally tagged, like real
+//!   serde's default representation).
+//!
+//! Generics are intentionally unsupported — the workspace only derives on concrete
+//! types — and the macro panics with a clear message if it meets them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Parsed shape of the derive input.
+// ---------------------------------------------------------------------------
+
+struct Input {
+    name: String,
+    transparent: bool,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing helpers.
+// ---------------------------------------------------------------------------
+
+/// Attribute scan result: which `serde(...)` markers were present.
+#[derive(Default)]
+struct SerdeMarks {
+    transparent: bool,
+    default: bool,
+}
+
+/// Consume leading `#[...]` attributes starting at `i`, recording serde markers.
+fn skip_attributes(tokens: &[TokenTree], mut i: usize, marks: &mut SerdeMarks) -> usize {
+    while i + 1 < tokens.len() {
+        let TokenTree::Punct(p) = &tokens[i] else {
+            break;
+        };
+        if p.as_char() != '#' {
+            break;
+        }
+        let TokenTree::Group(g) = &tokens[i + 1] else {
+            break;
+        };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(name)) = inner.first() {
+            if name.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    let text = args.stream().to_string();
+                    if text.contains("transparent") {
+                        marks.transparent = true;
+                    }
+                    if text.split(',').any(|part| part.trim() == "default") {
+                        marks.default = true;
+                    }
+                }
+            }
+        }
+        i += 2;
+    }
+    i
+}
+
+/// Consume a visibility qualifier (`pub`, `pub(...)`) starting at `i`.
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(word)) = tokens.get(i) {
+        if word.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Skip a type (or any token run) until a top-level `,`, tracking `<`/`>` depth.
+/// Returns the index just past the terminating comma (or the end).
+fn skip_past_comma(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle_depth = 0usize;
+    while i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[i] {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => return i + 1,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parse `name: Type, ...` named-field lists (struct bodies and struct variants).
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut marks = SerdeMarks::default();
+        i = skip_attributes(&tokens, i, &mut marks);
+        i = skip_visibility(&tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                panic!("mini-serde derive: expected `:` after field `{name}`, found {other:?}")
+            }
+        }
+        i = skip_past_comma(&tokens, i);
+        fields.push(Field {
+            name,
+            default: marks.default,
+        });
+    }
+    fields
+}
+
+/// Count the top-level comma-separated entries of a tuple-struct/variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_past_comma(&tokens, i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut marks = SerdeMarks::default();
+        i = skip_attributes(&tokens, i, &mut marks);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let parsed = parse_named_fields(g.stream());
+                i += 1;
+                VariantFields::Named(parsed)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let count = count_tuple_fields(g.stream());
+                i += 1;
+                VariantFields::Tuple(count)
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip to the next variant (past discriminants and the separating comma).
+        i = skip_past_comma(&tokens, i);
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut marks = SerdeMarks::default();
+    let mut i = skip_attributes(&tokens, 0, &mut marks);
+    i = skip_visibility(&tokens, i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(word)) => word.to_string(),
+        other => panic!("mini-serde derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(word)) => word.to_string(),
+        other => panic!("mini-serde derive: expected a type name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("mini-serde derive does not support generic type `{name}`");
+        }
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => Kind::UnitStruct,
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("mini-serde derive: expected enum body, found {other:?}"),
+        },
+        other => panic!("mini-serde derive: cannot derive for `{other}` items"),
+    };
+
+    Input {
+        name,
+        transparent: marks.transparent,
+        kind,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation.
+// ---------------------------------------------------------------------------
+
+fn render(code: String) -> TokenStream {
+    code.parse()
+        .expect("mini-serde derive generated invalid Rust")
+}
+
+/// Derive `serde::Serialize` (mini-serde: `fn to_value(&self) -> serde::Value`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            if input.transparent {
+                let field = &fields[0].name;
+                format!("serde::Serialize::to_value(&self.{field})")
+            } else {
+                let pairs: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{0}\"), serde::Serialize::to_value(&self.{0}))",
+                            f.name
+                        )
+                    })
+                    .collect();
+                format!("serde::Value::Object(::std::vec![{}])", pairs.join(", "))
+            }
+        }
+        Kind::TupleStruct(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(count) => {
+            let items: Vec<String> = (0..*count)
+                .map(|idx| format!("serde::Serialize::to_value(&self.{idx})"))
+                .collect();
+            format!("serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Kind::UnitStruct => "serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|variant| {
+                    let vname = &variant.name;
+                    match &variant.fields {
+                        VariantFields::Unit => format!(
+                            "{name}::{vname} => serde::Value::String(::std::string::String::from(\"{vname}\")),"
+                        ),
+                        VariantFields::Tuple(count) => {
+                            let binders: Vec<String> =
+                                (0..*count).map(|idx| format!("f{idx}")).collect();
+                            let inner = if *count == 1 {
+                                "serde::Serialize::to_value(f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binders
+                                    .iter()
+                                    .map(|b| format!("serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("serde::Value::Array(::std::vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{name}::{vname}({binds}) => serde::Value::Object(::std::vec![(::std::string::String::from(\"{vname}\"), {inner})]),",
+                                binds = binders.join(", ")
+                            )
+                        }
+                        VariantFields::Named(fields) => {
+                            let binders: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let pairs: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{0}\"), serde::Serialize::to_value({0}))",
+                                        f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => serde::Value::Object(::std::vec![(::std::string::String::from(\"{vname}\"), serde::Value::Object(::std::vec![{pairs}]))]),",
+                                binds = binders.join(", "),
+                                pairs = pairs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    render(format!(
+        "impl serde::Serialize for {name} {{ fn to_value(&self) -> serde::Value {{ {body} }} }}"
+    ))
+}
+
+fn named_field_initialisers(fields: &[Field], owner: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            let fname = &f.name;
+            let missing = if f.default {
+                "::std::default::Default::default()".to_string()
+            } else {
+                format!(
+                    "return ::std::result::Result::Err(serde::Error::missing_field(\"{owner}\", \"{fname}\"))"
+                )
+            };
+            format!(
+                "{fname}: match serde::object_get(fields, \"{fname}\") {{ ::std::option::Option::Some(v) => serde::Deserialize::from_value(v)?, ::std::option::Option::None => {missing} }},"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Derive `serde::Deserialize` (mini-serde: `fn from_value(&Value) -> Result<Self>`).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) if input.transparent => {
+            let field = &fields[0].name;
+            format!(
+                "::std::result::Result::Ok({name} {{ {field}: serde::Deserialize::from_value(value)? }})"
+            )
+        }
+        Kind::NamedStruct(fields) => {
+            let inits = named_field_initialisers(fields, name);
+            format!(
+                "let fields = serde::as_object(value, \"{name}\")?; ::std::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        Kind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(serde::Deserialize::from_value(value)?))")
+        }
+        Kind::TupleStruct(count) => {
+            let items: Vec<String> = (0..*count)
+                .map(|idx| format!("serde::Deserialize::from_value(serde::array_get(items, {idx}, \"{name}\")?)?"))
+                .collect();
+            format!(
+                "let items = serde::as_array(value, \"{name}\")?; ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Kind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, VariantFields::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),",
+                        vname = v.name
+                    )
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|variant| {
+                    let vname = &variant.name;
+                    match &variant.fields {
+                        VariantFields::Unit => None,
+                        VariantFields::Tuple(1) => Some(format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(serde::Deserialize::from_value(inner)?)),"
+                        )),
+                        VariantFields::Tuple(count) => {
+                            let items: Vec<String> = (0..*count)
+                                .map(|idx| format!("serde::Deserialize::from_value(serde::array_get(items, {idx}, \"{name}\")?)?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{ let items = serde::as_array(inner, \"{name}\")?; ::std::result::Result::Ok({name}::{vname}({})) }},",
+                                items.join(", ")
+                            ))
+                        }
+                        VariantFields::Named(fields) => {
+                            let inits = named_field_initialisers(fields, name);
+                            Some(format!(
+                                "\"{vname}\" => {{ let fields = serde::as_object(inner, \"{name}\")?; ::std::result::Result::Ok({name}::{vname} {{ {inits} }}) }},"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match value {{ \
+                   serde::Value::String(tag) => match tag.as_str() {{ {unit} _ => ::std::result::Result::Err(serde::Error::unknown_variant(\"{name}\", tag)) }}, \
+                   serde::Value::Object(pairs) if pairs.len() == 1 => {{ \
+                       let (tag, inner) = &pairs[0]; \
+                       match tag.as_str() {{ {tagged} _ => ::std::result::Result::Err(serde::Error::unknown_variant(\"{name}\", tag)) }} \
+                   }}, \
+                   _ => ::std::result::Result::Err(serde::Error::custom(\"expected an externally tagged `{name}` variant\")) \
+                 }}",
+                unit = unit_arms.join(" "),
+                tagged = tagged_arms.join(" ")
+            )
+        }
+    };
+    render(format!(
+        "impl serde::Deserialize for {name} {{ fn from_value(value: &serde::Value) -> ::std::result::Result<Self, serde::Error> {{ {body} }} }}"
+    ))
+}
