@@ -56,6 +56,35 @@ fn bench_pivot_rules_by_backend(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_pricing_rules(c: &mut Criterion) {
+    // Devex reference pricing versus Dantzig on the sparse LU backend — the
+    // ablation behind the shipped Devex default.
+    use cpm_simplex::PricingRule;
+    let mut group = c.benchmark_group("pricing_rule_ablation");
+    group.sample_size(10);
+    for &n in &[8usize, 16] {
+        let problem = wm_problem(n);
+        for (label, pricing) in [
+            ("devex", PricingRule::Devex),
+            ("dantzig", PricingRule::Dantzig),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("wm_lp/{label}"), n),
+                &pricing,
+                |b, &pricing| {
+                    let options = SolveOptions {
+                        pricing,
+                        max_iterations: 2_000_000,
+                        ..SolveOptions::default()
+                    };
+                    b.iter(|| problem.solve_with(&options).unwrap())
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 fn bench_hybrid_scaling(c: &mut Criterion) {
     // The shipped rule on the sparse backend across growing group sizes — the
     // configuration every experiment binary actually runs.
@@ -74,5 +103,10 @@ fn bench_hybrid_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pivot_rules_by_backend, bench_hybrid_scaling);
+criterion_group!(
+    benches,
+    bench_pivot_rules_by_backend,
+    bench_pricing_rules,
+    bench_hybrid_scaling
+);
 criterion_main!(benches);

@@ -1,16 +1,22 @@
 //! Scaling probe: time one BASICDP solve per backend and group size, printing the
-//! wall-clock, pivot counts, and LP dimensions.  Quicker and more informative for
-//! tuning than the statistical Criterion bench; `--full` extends the sweep to
-//! n = 128 (sparse backend only — a dense solve at that size would take hours).
+//! wall-clock, pivot counts, factorisation/update/repair counts, and LP
+//! dimensions.  Quicker and more informative for tuning than the statistical
+//! Criterion bench; `--full` extends the sweep to n = 128 (sparse backend only —
+//! a dense solve at that size would take hours).
 //!
-//! The refactorisation cadence can be overridden with the `CPM_REFACTOR`
-//! environment variable for tuning experiments.
+//! The independent `(n, backend)` solves run on the [`cpm_eval::par`] worker
+//! pool; per-solve wall-clocks are still measured inside each task, so set
+//! `CPM_THREADS=1` for contention-free timings when comparing runs.  The
+//! refactorisation cadence can be overridden with the `CPM_REFACTOR`
+//! environment variable, the pricing rule with `CPM_PRICING=dantzig|devex`,
+//! and the sweep itself with `CPM_SWEEP=64,128` (comma-separated group sizes).
 
 use std::time::Instant;
 
 use cpm_bench::cli::FigureOptions;
 use cpm_core::prelude::*;
-use cpm_simplex::{SolveOptions, SolverBackend};
+use cpm_eval::par::parallel_map;
+use cpm_simplex::{PricingRule, SolveOptions, SolverBackend};
 
 /// Largest group size the dense tableau is asked to solve.
 const DENSE_MAX_N: usize = 32;
@@ -18,55 +24,102 @@ const DENSE_MAX_N: usize = 32;
 fn main() {
     let options = FigureOptions::from_env();
     let alpha = Alpha::new(0.9).unwrap();
-    let sweep: &[usize] = if options.full {
-        &[8, 16, 32, 64, 128]
-    } else {
-        &[8, 16, 32]
+    let default_sweep = || {
+        if options.full {
+            vec![8, 16, 32, 64, 128]
+        } else {
+            vec![8, 16, 32]
+        }
+    };
+    let sweep: Vec<usize> = match std::env::var("CPM_SWEEP") {
+        Ok(list) => {
+            let parsed: Vec<usize> = list
+                .split(',')
+                .filter_map(|v| v.trim().parse().ok())
+                .collect();
+            if parsed.is_empty() {
+                eprintln!(
+                    "warning: CPM_SWEEP={list:?} has no parsable group sizes \
+                     (expected e.g. CPM_SWEEP=64,128); using the default sweep"
+                );
+                default_sweep()
+            } else {
+                parsed
+            }
+        }
+        Err(_) => default_sweep(),
     };
     let refactor_interval = std::env::var("CPM_REFACTOR")
         .ok()
         .and_then(|v| v.parse().ok());
+    let pricing = match std::env::var("CPM_PRICING").as_deref() {
+        Ok("dantzig") => Some(PricingRule::Dantzig),
+        Ok("devex") => Some(PricingRule::Devex),
+        _ => None,
+    };
+
+    let tasks: Vec<(usize, SolverBackend)> = sweep
+        .iter()
+        .flat_map(|&n| {
+            [SolverBackend::SparseRevised, SolverBackend::DenseTableau]
+                .into_iter()
+                .filter(move |&backend| backend == SolverBackend::SparseRevised || n <= DENSE_MAX_N)
+                .map(move |backend| (n, backend))
+        })
+        .collect();
+
+    let workers = cpm_eval::par::worker_count(tasks.len());
+    if workers > 1 {
+        eprintln!(
+            "note: running {} solves on {workers} workers — per-solve timings are \
+             contended; set CPM_THREADS=1 for clean comparisons",
+            tasks.len()
+        );
+    }
     println!(
-        "n | backend | rows x cols | terms | solve | phase1+phase2 pivots | refactors | objective"
+        "n | backend | rows x cols | terms | solve | phase1+phase2 pivots | factors | updates | repairs | objective"
     );
-    for &n in sweep {
+    let rows = parallel_map(tasks, |(n, backend)| {
         let problem = DesignProblem::unconstrained(n, alpha, Objective::l0());
         let (lp, _) = problem.build_lp().unwrap();
-        for backend in [SolverBackend::SparseRevised, SolverBackend::DenseTableau] {
-            if backend == SolverBackend::DenseTableau && n > DENSE_MAX_N {
-                continue;
+        let mut solve_options = SolveOptions {
+            backend,
+            max_iterations: 5_000_000,
+            ..SolveOptions::default()
+        };
+        if let Some(interval) = refactor_interval {
+            solve_options.refactor_interval = interval;
+        }
+        if let Some(rule) = pricing {
+            solve_options.pricing = rule;
+        }
+        let start = Instant::now();
+        match problem.solve_with(&solve_options) {
+            Ok(solution) => {
+                let elapsed = start.elapsed();
+                let stats = solution.solver_stats;
+                format!(
+                    "{n:4} | {backend} | {}x{} | {} | {elapsed:10.2?} | {}+{} | {} | {} | {} | {:.9}",
+                    lp.num_constraints(),
+                    lp.num_variables(),
+                    lp.num_terms(),
+                    stats.phase1_iterations,
+                    stats.phase2_iterations,
+                    stats.refactorizations,
+                    stats.basis_updates,
+                    stats.basis_repairs,
+                    solution.objective_value,
+                )
             }
-            let mut solve_options = SolveOptions {
-                backend,
-                max_iterations: 5_000_000,
-                ..SolveOptions::default()
-            };
-            if let Some(interval) = refactor_interval {
-                solve_options.refactor_interval = interval;
-            }
-            let start = Instant::now();
-            match problem.solve_with(&solve_options) {
-                Ok(solution) => {
-                    let elapsed = start.elapsed();
-                    let stats = solution.solver_stats;
-                    println!(
-                        "{n:4} | {backend} | {}x{} | {} | {elapsed:10.2?} | {}+{} | {} | {:.9}",
-                        lp.num_constraints(),
-                        lp.num_variables(),
-                        lp.num_terms(),
-                        stats.phase1_iterations,
-                        stats.phase2_iterations,
-                        stats.refactorizations,
-                        solution.objective_value,
-                    );
-                }
-                Err(error) => {
-                    println!(
-                        "{n:4} | {backend} | solve failed after {:.2?}: {error}",
-                        start.elapsed()
-                    );
-                }
+            Err(error) => {
+                format!(
+                    "{n:4} | {backend} | solve failed after {:.2?}: {error}",
+                    start.elapsed()
+                )
             }
         }
+    });
+    for row in rows {
+        println!("{row}");
     }
 }

@@ -1,0 +1,64 @@
+//! Release-mode scaling smoke test: the n = 64 unconstrained-L0 design LP must
+//! solve well within a generous wall-clock bound, and n = 128 must at least
+//! build and solve without numerical breakdown.
+//!
+//! These are `#[ignore]`d so the ordinary (debug) `cargo test` stays fast; CI
+//! runs them explicitly with
+//! `cargo test --release -p cpm-bench --test scaling_smoke -- --ignored`.
+//! The bound is deliberately loose (the LU backend solves n = 64 in a few
+//! seconds in release mode) — the test exists to catch order-of-magnitude
+//! regressions of the solver hot path, not millisecond drift.
+
+use std::time::{Duration, Instant};
+
+use cpm_core::prelude::*;
+use cpm_simplex::SolverBackend;
+
+/// Generous ceiling for one n = 64 unconstrained-L0 solve in release mode.
+/// The eta-file baseline needed ~22 s; the LU backend is several times faster,
+/// so 60 s only trips on a genuine architectural regression.
+const N64_BUDGET: Duration = Duration::from_secs(60);
+
+#[test]
+#[ignore = "release-mode scaling smoke test; run explicitly (see CI workflow)"]
+fn n64_unconstrained_l0_solves_within_budget() {
+    let alpha = Alpha::new(0.9).unwrap();
+    let problem = DesignProblem::unconstrained(64, alpha, Objective::l0());
+    let start = Instant::now();
+    let solution = problem.solve().expect("n = 64 BASICDP must solve");
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < N64_BUDGET,
+        "n = 64 unconstrained L0 took {elapsed:?} (budget {N64_BUDGET:?})"
+    );
+    assert_eq!(solution.solver_stats.backend, SolverBackend::SparseRevised);
+    // Theorem 3 closed form for the BASICDP L0 optimum.
+    let n = 64.0f64;
+    let a = alpha.value();
+    let trace = (n - 1.0) * (1.0 - a) / (1.0 + a) + 2.0 / (1.0 + a);
+    let expected = 1.0 - trace / (n + 1.0);
+    assert!(
+        (solution.objective_value - expected).abs() < 1e-6,
+        "objective {} vs closed form {expected}",
+        solution.objective_value
+    );
+}
+
+#[test]
+#[ignore = "release-mode scaling smoke test; run explicitly (see CI workflow)"]
+fn n128_unconstrained_l0_completes_without_breakdown() {
+    let alpha = Alpha::new(0.9).unwrap();
+    let problem = DesignProblem::unconstrained(128, alpha, Objective::l0());
+    let solution = problem
+        .solve()
+        .expect("n = 128 BASICDP must complete without NumericalBreakdown");
+    let n = 128.0f64;
+    let a = alpha.value();
+    let trace = (n - 1.0) * (1.0 - a) / (1.0 + a) + 2.0 / (1.0 + a);
+    let expected = 1.0 - trace / (n + 1.0);
+    assert!(
+        (solution.objective_value - expected).abs() < 1e-6,
+        "objective {} vs closed form {expected}",
+        solution.objective_value
+    );
+}

@@ -211,13 +211,28 @@ impl DesignProblem {
         Ok((lp, vars))
     }
 
-    /// Solve the design problem with default solver options (honouring the
-    /// problem's [`DesignProblem::backend`] choice).
-    pub fn solve(&self) -> Result<DesignSolution, CoreError> {
-        self.solve_with(&SolveOptions {
+    /// Solver options tuned for this problem instance: the problem's
+    /// [`DesignProblem::backend`] choice plus a pivot budget that scales with
+    /// the `(n+1)²`-variable LP, so large group sizes (n = 128 and beyond)
+    /// never trip the generic iteration limit.  The sparse backend's LU
+    /// refactorisation cadence, Devex pricing, and basis-repair budget all
+    /// come from [`SolveOptions::default`].
+    pub fn recommended_options(&self) -> SolveOptions {
+        let dim = self.n + 1;
+        SolveOptions {
             backend: self.backend,
+            // ~60 pivots per LP variable comfortably covers the observed
+            // worst case (degenerate constrained designs pivot ≈ 3x columns).
+            max_iterations: 500_000usize.max(60 * dim * dim),
             ..SolveOptions::default()
-        })
+        }
+    }
+
+    /// Solve the design problem with recommended solver options (honouring the
+    /// problem's [`DesignProblem::backend`] choice; see
+    /// [`DesignProblem::recommended_options`]).
+    pub fn solve(&self) -> Result<DesignSolution, CoreError> {
+        self.solve_with(&self.recommended_options())
     }
 
     /// Solve the design problem with explicit solver options.
@@ -586,6 +601,15 @@ mod tests {
         .expect("fair + output-DP LP must solve");
         assert!(Property::Fairness.holds(&fair.mechanism, 1e-6));
         assert!(fair.mechanism.satisfies_output_dp(alpha, 1e-6));
+    }
+
+    #[test]
+    fn recommended_options_scale_the_pivot_budget_with_n() {
+        let small = DesignProblem::unconstrained(4, a(0.62), Objective::l0());
+        assert_eq!(small.recommended_options().max_iterations, 500_000);
+        assert_eq!(small.recommended_options().backend, small.backend);
+        let large = DesignProblem::unconstrained(128, a(0.62), Objective::l0());
+        assert_eq!(large.recommended_options().max_iterations, 60 * 129 * 129);
     }
 
     #[test]

@@ -128,38 +128,45 @@ pub fn l0d_error_sweep(
     probabilities: &[f64],
     thresholds: &[usize],
 ) -> Result<BinomialSweep, CoreError> {
-    let mut points = Vec::new();
-    for &alpha_value in alphas {
+    // Each (α, n) cell is independent (one WM LP solve plus sampling); fan the
+    // grid out and concatenate the per-cell points in grid order, so the
+    // result is byte-identical to the serial sweep (all seeds are explicit).
+    let grid: Vec<(f64, usize)> = alphas
+        .iter()
+        .flat_map(|&alpha| group_sizes.iter().map(move |&n| (alpha, n)))
+        .collect();
+    let chunks = crate::par::try_parallel_map(grid, |(alpha_value, n)| {
         let alpha = Alpha::new(alpha_value)?;
-        for &n in group_sizes {
-            let mechanisms: Vec<(NamedMechanism, Mechanism)> = NamedMechanism::PAPER_SET
-                .iter()
-                .map(|&which| build_mechanism(which, n, alpha).map(|m| (which, m)))
-                .collect::<Result<_, _>>()?;
-            for &p in probabilities {
-                let counts = group_counts_for(config, p, n, (n as u64) << 32 ^ (p * 1000.0) as u64);
-                for &d in thresholds {
-                    for (which, matrix) in &mechanisms {
-                        let value = evaluate_repeated(
-                            matrix,
-                            &counts,
-                            config.repetitions,
-                            config.seed ^ mechanism_seed(*which) ^ ((d as u64) << 16),
-                            |truth, reported| empirical_error_rate_beyond(truth, reported, d),
-                        );
-                        points.push(BinomialPoint {
-                            p,
-                            n,
-                            alpha: alpha_value,
-                            d,
-                            mechanism: which.label().to_string(),
-                            value,
-                        });
-                    }
+        let mechanisms: Vec<(NamedMechanism, Mechanism)> = NamedMechanism::PAPER_SET
+            .iter()
+            .map(|&which| build_mechanism(which, n, alpha).map(|m| (which, m)))
+            .collect::<Result<_, _>>()?;
+        let mut points = Vec::new();
+        for &p in probabilities {
+            let counts = group_counts_for(config, p, n, (n as u64) << 32 ^ (p * 1000.0) as u64);
+            for &d in thresholds {
+                for (which, matrix) in &mechanisms {
+                    let value = evaluate_repeated(
+                        matrix,
+                        &counts,
+                        config.repetitions,
+                        config.seed ^ mechanism_seed(*which) ^ ((d as u64) << 16),
+                        |truth, reported| empirical_error_rate_beyond(truth, reported, d),
+                    );
+                    points.push(BinomialPoint {
+                        p,
+                        n,
+                        alpha: alpha_value,
+                        d,
+                        mechanism: which.label().to_string(),
+                        value,
+                    });
                 }
             }
         }
-    }
+        Ok::<_, CoreError>(points)
+    })?;
+    let points: Vec<BinomialPoint> = chunks.into_iter().flatten().collect();
     Ok(BinomialSweep {
         metric: "L0,d".to_string(),
         config: config.clone(),
@@ -174,36 +181,40 @@ pub fn rmse_sweep(
     alphas: &[f64],
     probabilities: &[f64],
 ) -> Result<BinomialSweep, CoreError> {
-    let mut points = Vec::new();
-    for &alpha_value in alphas {
+    let grid: Vec<(f64, usize)> = alphas
+        .iter()
+        .flat_map(|&alpha| group_sizes.iter().map(move |&n| (alpha, n)))
+        .collect();
+    let chunks = crate::par::try_parallel_map(grid, |(alpha_value, n)| {
         let alpha = Alpha::new(alpha_value)?;
-        for &n in group_sizes {
-            let mechanisms: Vec<(NamedMechanism, Mechanism)> = NamedMechanism::PAPER_SET
-                .iter()
-                .map(|&which| build_mechanism(which, n, alpha).map(|m| (which, m)))
-                .collect::<Result<_, _>>()?;
-            for &p in probabilities {
-                let counts = group_counts_for(config, p, n, (n as u64) << 40 ^ (p * 1000.0) as u64);
-                for (which, matrix) in &mechanisms {
-                    let value = evaluate_repeated(
-                        matrix,
-                        &counts,
-                        config.repetitions,
-                        config.seed ^ mechanism_seed(*which).rotate_left(3),
-                        root_mean_square_error,
-                    );
-                    points.push(BinomialPoint {
-                        p,
-                        n,
-                        alpha: alpha_value,
-                        d: 0,
-                        mechanism: which.label().to_string(),
-                        value,
-                    });
-                }
+        let mechanisms: Vec<(NamedMechanism, Mechanism)> = NamedMechanism::PAPER_SET
+            .iter()
+            .map(|&which| build_mechanism(which, n, alpha).map(|m| (which, m)))
+            .collect::<Result<_, _>>()?;
+        let mut points = Vec::new();
+        for &p in probabilities {
+            let counts = group_counts_for(config, p, n, (n as u64) << 40 ^ (p * 1000.0) as u64);
+            for (which, matrix) in &mechanisms {
+                let value = evaluate_repeated(
+                    matrix,
+                    &counts,
+                    config.repetitions,
+                    config.seed ^ mechanism_seed(*which).rotate_left(3),
+                    root_mean_square_error,
+                );
+                points.push(BinomialPoint {
+                    p,
+                    n,
+                    alpha: alpha_value,
+                    d: 0,
+                    mechanism: which.label().to_string(),
+                    value,
+                });
             }
         }
-    }
+        Ok::<_, CoreError>(points)
+    })?;
+    let points: Vec<BinomialPoint> = chunks.into_iter().flatten().collect();
     Ok(BinomialSweep {
         metric: "RMSE".to_string(),
         config: config.clone(),

@@ -77,8 +77,8 @@ pub fn lp_heatmaps(
     panels: &[PanelSpec],
     constrained: bool,
 ) -> Result<HeatmapFigure, CoreError> {
-    let mut results = Vec::with_capacity(panels.len());
-    for panel in panels {
+    // The panels are independent design LPs — fan them out over the pool.
+    let results = crate::par::try_parallel_map(panels.to_vec(), |panel| {
         let properties = if constrained {
             PropertySet::all()
         } else {
@@ -92,15 +92,15 @@ pub fn lp_heatmaps(
         let solution = DesignProblem::constrained(panel.n, alpha, objective, properties).solve()?;
         let uniform_prior = vec![1.0 / (panel.n as f64 + 1.0); panel.n + 1];
         let marginals = solution.mechanism.output_marginals(&uniform_prior);
-        results.push(HeatmapPanel {
+        Ok::<_, CoreError>(HeatmapPanel {
             title: format!("{}, n = {}", panel.loss.name(), panel.n),
             constrained,
             gap_outputs: solution.mechanism.zero_rows(1e-7),
             max_output_marginal: marginals.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
             objective_value: solution.objective_value,
             mechanism: solution.mechanism,
-        });
-    }
+        })
+    })?;
     Ok(HeatmapFigure {
         alpha: alpha.value(),
         panels: results,

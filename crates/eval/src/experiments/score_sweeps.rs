@@ -117,18 +117,20 @@ pub fn combinations_vs_group_size(
     alpha: Alpha,
     group_sizes: &[usize],
 ) -> Result<CombinationSweep, CoreError> {
-    let mut points = Vec::new();
-    for &n in group_sizes {
-        let mut scores = Vec::new();
-        for (label, properties) in weak_honesty_combinations() {
-            let solution = optimal_constrained(n, alpha, Objective::l0(), properties)?;
-            scores.push((label, rescaled_l0(&solution.mechanism)));
-        }
-        points.push(CombinationPoint {
+    // One task per sweep point; each task solves its nine property-set LPs.
+    let points = crate::par::try_parallel_map(group_sizes.to_vec(), |n| {
+        let scores = weak_honesty_combinations()
+            .into_iter()
+            .map(|(label, properties)| {
+                let solution = optimal_constrained(n, alpha, Objective::l0(), properties)?;
+                Ok((label, rescaled_l0(&solution.mechanism)))
+            })
+            .collect::<Result<Vec<_>, CoreError>>()?;
+        Ok::<_, CoreError>(CombinationPoint {
             x: n as f64,
             scores,
-        });
-    }
+        })
+    })?;
     Ok(CombinationSweep {
         swept: "n".to_string(),
         fixed: alpha.value(),
@@ -138,18 +140,19 @@ pub fn combinations_vs_group_size(
 
 /// Figure 8(b): the same combinations as a function of α at fixed group size.
 pub fn combinations_vs_alpha(n: usize, alphas: &[Alpha]) -> Result<CombinationSweep, CoreError> {
-    let mut points = Vec::new();
-    for &alpha in alphas {
-        let mut scores = Vec::new();
-        for (label, properties) in weak_honesty_combinations() {
-            let solution = optimal_constrained(n, alpha, Objective::l0(), properties)?;
-            scores.push((label, rescaled_l0(&solution.mechanism)));
-        }
-        points.push(CombinationPoint {
+    let points = crate::par::try_parallel_map(alphas.to_vec(), |alpha| {
+        let scores = weak_honesty_combinations()
+            .into_iter()
+            .map(|(label, properties)| {
+                let solution = optimal_constrained(n, alpha, Objective::l0(), properties)?;
+                Ok((label, rescaled_l0(&solution.mechanism)))
+            })
+            .collect::<Result<Vec<_>, CoreError>>()?;
+        Ok::<_, CoreError>(CombinationPoint {
             x: alpha.value(),
             scores,
-        });
-    }
+        })
+    })?;
     Ok(CombinationSweep {
         swept: "alpha".to_string(),
         fixed: n as f64,
@@ -215,8 +218,8 @@ pub fn weak_honesty_only_l0(n: usize, alpha: Alpha) -> Result<f64, CoreError> {
 /// in the paper's empirical comparisons — slightly above GM for α > 1/2 because GM is
 /// not column monotone there, Lemma 3), EM, and UM.
 pub fn l0_versus_group_size(alpha: Alpha, group_sizes: &[usize]) -> Result<ScoreSweep, CoreError> {
-    let mut points = Vec::new();
-    for &n in group_sizes {
+    // Each point needs two LP solves (WH and WM); fan the points out.
+    let points = crate::par::try_parallel_map(group_sizes.to_vec(), |n| {
         let scores = vec![
             (
                 "GM".to_string(),
@@ -236,8 +239,8 @@ pub fn l0_versus_group_size(alpha: Alpha, group_sizes: &[usize]) -> Result<Score
                 l0_score(NamedMechanism::Uniform, n, alpha)?,
             ),
         ];
-        points.push(ScorePoint { n, scores });
-    }
+        Ok::<_, CoreError>(ScorePoint { n, scores })
+    })?;
     Ok(ScoreSweep {
         alpha: alpha.value(),
         convergence_threshold: alpha.weak_honesty_threshold(),

@@ -11,6 +11,9 @@
 //!   printouts (Figs. 3–4), score sweeps (Figs. 6, 8, 9), the Adult experiment
 //!   (Fig. 10), and the Binomial experiments (Figs. 11–13).
 //! * [`table`] — fixed-width text tables for the figure binaries.
+//! * [`par`] — a small `std::thread` worker pool; the figure sweeps fan their
+//!   independent `(n, α, property-set)` LP solves across it (`CPM_THREADS`
+//!   pins the pool size, `CPM_THREADS=1` recovers serial execution).
 //!
 //! The `cpm-bench` crate contains one binary per figure that calls into this crate
 //! and prints the corresponding series (plus optional JSON output).
@@ -20,6 +23,7 @@
 
 pub mod experiments;
 pub mod metrics;
+pub mod par;
 pub mod runner;
 pub mod table;
 
@@ -36,6 +40,7 @@ pub mod prelude {
         empirical_error_rate, empirical_error_rate_beyond, mean_absolute_error,
         root_mean_square_error, SummaryStats,
     };
+    pub use crate::par::parallel_map;
     pub use crate::runner::{build_mechanism, evaluate_repeated, l0_score, NamedMechanism};
     pub use crate::table::{fmt, render_table};
 }

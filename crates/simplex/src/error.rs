@@ -29,11 +29,18 @@ pub enum SimplexError {
     /// The model has no variables.
     EmptyModel,
     /// The solver met a numerically singular or inconsistent state (e.g. a basis
-    /// refactorisation found no acceptable pivot).  Usually indicates an extremely
-    /// ill-conditioned model.
+    /// factorisation found no acceptable pivot) and could not recover.  The
+    /// sparse backend only reports this after exhausting its basis-repair
+    /// budget ([`SolveOptions::max_repairs`](crate::SolveOptions::max_repairs)):
+    /// every breakdown first triggers a fresh LU factorisation, falling back to
+    /// the last good basis.  Usually indicates an extremely ill-conditioned
+    /// model.
     NumericalBreakdown {
         /// Human-readable location of the breakdown.
         context: &'static str,
+        /// How many basis repairs were attempted before giving up (always zero
+        /// for the dense backend, which has no repair path).
+        repairs: usize,
     },
     /// Variable bounds are contradictory (lower bound greater than upper bound).
     InconsistentBounds {
@@ -65,8 +72,12 @@ impl fmt::Display for SimplexError {
                 write!(f, "non-finite value encountered in {context}")
             }
             SimplexError::EmptyModel => write!(f, "linear program has no variables"),
-            SimplexError::NumericalBreakdown { context } => {
-                write!(f, "numerical breakdown in {context}")
+            SimplexError::NumericalBreakdown { context, repairs } => {
+                write!(f, "numerical breakdown in {context}")?;
+                if *repairs > 0 {
+                    write!(f, " (after {repairs} basis repair attempts)")?;
+                }
+                Ok(())
             }
             SimplexError::InconsistentBounds {
                 index,
@@ -108,10 +119,17 @@ mod tests {
             .to_string()
             .contains("no variables"));
         assert!(SimplexError::NumericalBreakdown {
-            context: "refactorisation"
+            context: "refactorisation",
+            repairs: 0
         }
         .to_string()
         .contains("refactorisation"));
+        let repaired = SimplexError::NumericalBreakdown {
+            context: "basis update",
+            repairs: 2,
+        }
+        .to_string();
+        assert!(repaired.contains("2 basis repair"), "{repaired}");
         assert!(SimplexError::InconsistentBounds {
             index: 1,
             lower: 2.0,

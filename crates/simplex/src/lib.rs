@@ -16,15 +16,45 @@
 //!   variables — see [`SparseMatrix`],
 //! * Phase 1 (minimise the sum of artificials) to find a basic feasible solution,
 //! * Phase 2 with the user objective,
-//! * Dantzig (most-negative reduced cost) pivoting with an automatic switch to
-//!   Bland's rule when degeneracy stalls progress, guaranteeing termination,
+//! * **Devex reference-framework pricing** ([`PricingRule::Devex`], the default)
+//!   with an automatic switch to Bland's rule when degeneracy stalls progress,
+//!   guaranteeing termination,
 //! * the **revised simplex** default backend ([`SolverBackend::SparseRevised`]):
-//!   the basis inverse is an eta file with periodic refactorisation, so a pivot
-//!   costs `O(nnz)` instead of the dense tableau's `O(rows · cols)` — the
-//!   mechanism-design LPs have only 2 to `n+1` nonzeros per row, so this is the
-//!   difference between toy and production group sizes,
+//!   the basis inverse is a **sparse LU factorisation** maintained by
+//!   Forrest–Tomlin rank-one updates, so a pivot costs `O(nnz)` instead of the
+//!   dense tableau's `O(rows · cols)` — the mechanism-design LPs have only 2 to
+//!   `n+1` nonzeros per row, so this is the difference between toy and
+//!   production group sizes,
 //! * the dense full tableau retained as [`SolverBackend::DenseTableau`], selectable
 //!   through [`SolveOptions::backend`] and used as a differential-testing oracle.
+//!
+//! ## Architecture: the solve pipeline
+//!
+//! A call to [`LinearProgram::solve`] flows through four layers:
+//!
+//! ```text
+//! LinearProgram          model.rs      named variables, bounds, constraint arena
+//!       │ standardize
+//!       ▼
+//! StandardForm           standard.rs   min c'z, Az = b, z ≥ 0, b ≥ 0; CSC matrix
+//!       │                sparse.rs     (SparseMatrix + RowMajor mirror + SPA utils)
+//!       ▼
+//! revised simplex        revised.rs    two-phase driver, Harris ratio test,
+//!       │                              Devex / Dantzig / Bland pricing,
+//!       │                              incremental reduced costs, basis repair
+//!       ▼
+//! LU basis inverse       lu.rs         Markowitz factorisation (singleton peeling
+//!                                      + threshold pivoting), sparse triangular
+//!                                      FTRAN/BTRAN, Forrest–Tomlin updates
+//! ```
+//!
+//! The LU factors are rebuilt every [`SolveOptions::refactor_interval`]
+//! Forrest–Tomlin updates (and whenever an update signals numerical trouble —
+//! the *basis repair* path, bounded by [`SolveOptions::max_repairs`]).  Pricing
+//! behaviour is controlled by [`SolveOptions::pricing`] (Devex or Dantzig
+//! scoring) and [`SolveOptions::partial_pricing`] (cyclic section scans);
+//! [`SolveStats`] reports factorisations, rank-one updates, repairs, and Devex
+//! framework resets separately.
 //!
 //! ## Example
 //!
@@ -56,6 +86,7 @@
 #![warn(missing_docs)]
 
 mod error;
+mod lu;
 mod model;
 mod revised;
 mod solution;
@@ -67,5 +98,5 @@ mod tableau;
 pub use error::SimplexError;
 pub use model::{Constraint, LinearProgram, Objective, Relation, VariableId};
 pub use solution::{Solution, SolveStatus};
-pub use solver::{PivotRule, SolveOptions, SolveStats, SolverBackend};
+pub use solver::{PivotRule, PricingRule, SolveOptions, SolveStats, SolverBackend};
 pub use sparse::SparseMatrix;

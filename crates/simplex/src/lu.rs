@@ -1,0 +1,945 @@
+//! Sparse LU factorisation of the simplex basis with Forrest–Tomlin updates.
+//!
+//! This module replaces the eta-file (product-form) basis inverse that the
+//! revised simplex used through PR 1.  The product form has two asymptotic
+//! problems on the mechanism-design LPs:
+//!
+//! 1. every pivot appends an eta holding the **fully FTRANed** entering column,
+//!    which grows denser as the eta file grows — FTRAN/BTRAN cost compounds;
+//! 2. refactorisation re-eliminates the basis *through the partially rebuilt
+//!    file*, so the residual "bump" columns pay a dense `O(m)` transform each —
+//!    at `n ≥ 64` this bump elimination dominated total solve time.
+//!
+//! The fix is the architecture every production LP code uses (see HiGHS, glpk,
+//! or pywr-next's solver layer): factorise the basis as `B = L·U` with
+//! Markowitz-style pivoting, and *update* the factors after each basis change
+//! with a Forrest–Tomlin rank-one update instead of appending product-form
+//! etas.
+//!
+//! ## Factorisation
+//!
+//! [`LuFactors::factor`] runs right-looking Gaussian elimination over a copy of
+//! the basis columns:
+//!
+//! * **Singleton peeling**: rows or columns with a single active nonzero pivot
+//!   immediately and contribute **zero fill**.  LP bases are almost
+//!   permutable-triangular — on the mechanism LPs peeling absorbs essentially
+//!   every slack and structural column.
+//! * **Markowitz bump pivoting**: the residual bump picks pivots minimising
+//!   `(row_count − 1) · (col_count − 1)` among entries passing a threshold test
+//!   (`|a_ij| ≥ 0.1 · max|column|`), the standard fill/stability compromise.
+//!
+//! The result is stored as a sequence of **L operators** (unit column etas) plus
+//! sparse **U columns** ordered by a doubly-linked pivot list.  FTRAN is a
+//! forward pass through the L operators followed by a backward sparse
+//! triangular solve with U; BTRAN is the transposed pair.
+//!
+//! ## Forrest–Tomlin update
+//!
+//! When column `q` enters the basis in pivot row `p`, the spike `v = L⁻¹ a_q`
+//! replaces U's column for row `p`, and that column is moved to the **end** of
+//! the pivot order.  The move leaves a single non-triangular row — row `p`,
+//! whose remaining entries in later columns are eliminated by row operations
+//! recorded as one **row eta** appended to the L side.  Crucially the row
+//! operations touch only row `p` (held in a sparse accumulator during the
+//! update), so the stored U columns only ever *lose* entries — U never fills in
+//! between refactorisations, which is what keeps FTRAN/BTRAN flat over long
+//! pivot runs.  A too-small updated diagonal reports [`LuError::Singular`] and
+//! the caller refactorises from scratch (the basis-repair path).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::sparse::SparseAccumulator;
+
+/// Sentinel for "no link" in the pivot-order list.
+const NONE: usize = usize::MAX;
+
+/// Entries with magnitude at or below this are treated as round-off and dropped
+/// during elimination (the periodic refactorisation rebuilds from the exact
+/// matrix, so dropped noise cannot accumulate).
+const DROP_TOL: f64 = 1e-12;
+
+/// Relative threshold of the Markowitz pivot test: a bump pivot must be at
+/// least this fraction of the largest magnitude in its column.
+const MARKOWITZ_THRESHOLD: f64 = 0.1;
+
+/// The factorisation or update met a numerically singular basis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LuError {
+    /// No acceptable pivot remained (structurally or numerically singular).
+    Singular,
+}
+
+/// One operator of the "L side" of the factorisation, applied left-to-right in
+/// FTRAN.  Column etas come from the factorisation; row etas are appended by
+/// Forrest–Tomlin updates.
+enum LOp {
+    /// `v[r] -= l · v[pivot_row]` for each `(r, l)` — a unit-diagonal column of L.
+    Col {
+        pivot_row: usize,
+        entries: Vec<(usize, f64)>,
+    },
+    /// `v[pivot_row] -= m · v[r]` for each `(r, m)` — a Forrest–Tomlin row eta.
+    Row {
+        pivot_row: usize,
+        entries: Vec<(usize, f64)>,
+    },
+}
+
+/// One column of the sparse upper-triangular factor.  `rows`/`vals` hold the
+/// above-diagonal entries (rows whose pivot columns come earlier in the order);
+/// the diagonal is stored separately as `pivot_value` at `pivot_row`.
+struct UCol {
+    pivot_row: usize,
+    pivot_value: f64,
+    rows: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl UCol {
+    /// Value stored at `row`, if any (linear scan — U columns are short).
+    fn get(&self, row: usize) -> Option<f64> {
+        self.rows
+            .iter()
+            .position(|&r| r == row)
+            .map(|k| self.vals[k])
+    }
+
+    /// Remove the entry at `row`, if present.
+    fn remove(&mut self, row: usize) {
+        if let Some(k) = self.rows.iter().position(|&r| r == row) {
+            self.rows.swap_remove(k);
+            self.vals.swap_remove(k);
+        }
+    }
+}
+
+/// A sparse LU factorisation of an `m × m` basis, with Forrest–Tomlin updates.
+///
+/// `B⁻¹ = U⁻¹ · (L-ops)` where the L-ops are applied in sequence.  U columns
+/// carry stable ids (their slot in `ucols`); the elimination *order* is the
+/// doubly-linked list `order_next`/`order_prev`, and relative position queries
+/// use the monotone stamps in `ord` (a column moved to the end of the order by
+/// an update simply receives a fresh, larger stamp).
+pub(crate) struct LuFactors {
+    lops: Vec<LOp>,
+    ucols: Vec<UCol>,
+    order_next: Vec<usize>,
+    order_prev: Vec<usize>,
+    head: usize,
+    tail: usize,
+    ord: Vec<u64>,
+    next_ord: u64,
+    /// `row → ids of U columns holding an above-diagonal entry at that row`.
+    row_adj: Vec<Vec<usize>>,
+    /// `row → id of the U column pivoted on that row`.
+    pivot_col_of_row: Vec<usize>,
+    /// Forrest–Tomlin updates applied since the factorisation was built.
+    updates: usize,
+    /// Reusable scratch for [`LuFactors::update`] (one update per simplex
+    /// pivot — allocating these per call would put two `O(m)` zero-fills on
+    /// the hottest loop of the solver).
+    scratch_acc: SparseAccumulator,
+    scratch_heap: BinaryHeap<Reverse<(u64, usize)>>,
+    scratch_seen: Vec<usize>,
+}
+
+impl LuFactors {
+    /// Factorise the basis given as `columns` (each a sparse `(row, value)`
+    /// list; all `num_rows` columns together must form a nonsingular matrix).
+    ///
+    /// Returns the factorisation and, for every input column slot, the pivot
+    /// row it was assigned to — the caller uses this to re-key its
+    /// row-indexed basis bookkeeping.
+    ///
+    /// `abs_pivot_tol` is the absolute magnitude below which a forced pivot
+    /// (row/column singleton, or the best bump candidate) is declared singular.
+    pub fn factor(
+        num_rows: usize,
+        columns: &[Vec<(usize, f64)>],
+        abs_pivot_tol: f64,
+    ) -> Result<(Self, Vec<usize>), LuError> {
+        assert_eq!(columns.len(), num_rows, "basis must be square");
+        let m = num_rows;
+
+        // Active submatrix state.
+        let mut active: Vec<Vec<(usize, f64)>> = columns.to_vec();
+        let mut ufrozen: Vec<Vec<(usize, f64)>> = vec![Vec::new(); m];
+        let mut row_cols: Vec<Vec<usize>> = vec![Vec::new(); m];
+        let mut row_count = vec![0usize; m];
+        let mut col_count = vec![0usize; m];
+        for (j, col) in active.iter().enumerate() {
+            col_count[j] = col.len();
+            for &(r, _) in col {
+                row_cols[r].push(j);
+                row_count[r] += 1;
+            }
+        }
+
+        let mut assigned_row = vec![false; m];
+        let mut pivoted_col = vec![false; m];
+        // Unpivoted column ids, swap-removed as pivots are chosen, so the bump
+        // search scans only what is left.
+        let mut remaining: Vec<usize> = (0..m).collect();
+        let mut remaining_pos: Vec<usize> = (0..m).collect();
+        let mut row_singletons: Vec<usize> = (0..m).filter(|&r| row_count[r] == 1).collect();
+        let mut col_singletons: Vec<usize> = (0..m).filter(|&j| col_count[j] == 1).collect();
+
+        // Per-pivot outputs, in elimination order.
+        let mut pivot_rows: Vec<usize> = Vec::with_capacity(m);
+        let mut pivot_cols: Vec<usize> = Vec::with_capacity(m);
+        let mut lops: Vec<LOp> = Vec::with_capacity(m);
+        let mut pivot_values: Vec<f64> = Vec::with_capacity(m);
+
+        // Dense workspace for the Schur updates.
+        let mut spa = SparseAccumulator::with_len(m);
+
+        while pivot_rows.len() < m {
+            // 1. Row singletons: the row forces its only remaining column.
+            let (row, col) = if let Some(r) = pop_valid(&mut row_singletons, |&r| {
+                !assigned_row[r] && row_count[r] == 1
+            }) {
+                let col = row_cols[r]
+                    .iter()
+                    .copied()
+                    .find(|&j| !pivoted_col[j] && active[j].iter().any(|&(rr, _)| rr == r))
+                    .expect("row_count said one active column remains");
+                (r, col)
+            // 2. Column singletons: the column forces its only remaining row.
+            } else if let Some(j) = pop_valid(&mut col_singletons, |&j| {
+                !pivoted_col[j] && col_count[j] == 1
+            }) {
+                let row = active[j][0].0;
+                (row, j)
+            // 3. Markowitz bump pivot with threshold stability test.
+            } else {
+                let Some((row, col)) =
+                    markowitz_pivot(&remaining, &active, &row_count, &col_count, abs_pivot_tol)
+                else {
+                    return Err(LuError::Singular);
+                };
+                (row, col)
+            };
+
+            let pivot_value = active[col]
+                .iter()
+                .find(|&&(r, _)| r == row)
+                .map(|&(_, v)| v)
+                .expect("pivot entry must be active");
+            if pivot_value.abs() < abs_pivot_tol {
+                return Err(LuError::Singular);
+            }
+
+            // Retire the pivot row and column from the active submatrix.
+            assigned_row[row] = true;
+            pivoted_col[col] = true;
+            let pos = remaining_pos[col];
+            let last = *remaining.last().expect("remaining nonempty");
+            remaining.swap_remove(pos);
+            if pos < remaining.len() {
+                remaining_pos[last] = pos;
+            }
+
+            // L entries: the pivot column's remaining active rows, scaled.
+            let c_entries: Vec<(usize, f64)> = active[col]
+                .iter()
+                .copied()
+                .filter(|&(r, _)| r != row)
+                .collect();
+            for &(r, _) in &c_entries {
+                row_count[r] -= 1;
+                if row_count[r] == 1 && !assigned_row[r] {
+                    row_singletons.push(r);
+                }
+            }
+            row_count[row] = 0;
+
+            // Schur update: eliminate row `row` from every other active column
+            // that holds it, freezing the eliminated entry as that column's U
+            // contribution.
+            let holders: Vec<usize> = row_cols[row]
+                .iter()
+                .copied()
+                .filter(|&j| j != col && !pivoted_col[j])
+                .collect();
+            for j in holders {
+                let Some(k) = active[j].iter().position(|&(r, _)| r == row) else {
+                    continue; // stale adjacency entry (value cancelled earlier)
+                };
+                let u = active[j][k].1;
+                active[j].swap_remove(k);
+                ufrozen[j].push((row, u));
+                let factor = u / pivot_value;
+
+                // active[j] -= factor * c_entries, via the accumulator.
+                spa.clear();
+                for &(r, v) in &active[j] {
+                    spa.add(r, v);
+                }
+                for &(r, v) in &c_entries {
+                    spa.add(r, -factor * v);
+                }
+                let mut rebuilt: Vec<(usize, f64)> = Vec::with_capacity(spa.pattern().len());
+                for &r in spa.pattern() {
+                    let v = spa.get(r);
+                    let was_present = active[j].iter().any(|&(rr, _)| rr == r);
+                    if v.abs() > DROP_TOL {
+                        rebuilt.push((r, v));
+                        if !was_present {
+                            // Fill-in.
+                            row_cols[r].push(j);
+                            row_count[r] += 1;
+                        }
+                    } else if was_present {
+                        // Cancellation.
+                        row_count[r] -= 1;
+                        if row_count[r] == 1 && !assigned_row[r] {
+                            row_singletons.push(r);
+                        }
+                    }
+                }
+                active[j] = rebuilt;
+                col_count[j] = active[j].len();
+                if col_count[j] == 0 {
+                    return Err(LuError::Singular);
+                }
+                if col_count[j] == 1 {
+                    col_singletons.push(j);
+                }
+            }
+            row_cols[row].clear();
+
+            pivot_rows.push(row);
+            pivot_cols.push(col);
+            pivot_values.push(pivot_value);
+            lops.push(LOp::Col {
+                pivot_row: row,
+                entries: c_entries
+                    .iter()
+                    .map(|&(r, v)| (r, v / pivot_value))
+                    .collect(),
+            });
+        }
+
+        // Assemble the U columns in elimination order (id = elimination step).
+        let mut ucols: Vec<UCol> = Vec::with_capacity(m);
+        let mut row_adj: Vec<Vec<usize>> = vec![Vec::new(); m];
+        let mut pivot_col_of_row = vec![NONE; m];
+        let mut row_of_slot = vec![NONE; m];
+        for k in 0..m {
+            let col_slot = pivot_cols[k];
+            let frozen = std::mem::take(&mut ufrozen[col_slot]);
+            for &(r, _) in &frozen {
+                row_adj[r].push(k);
+            }
+            let (rows, vals) = frozen.into_iter().unzip();
+            ucols.push(UCol {
+                pivot_row: pivot_rows[k],
+                pivot_value: pivot_values[k],
+                rows,
+                vals,
+            });
+            pivot_col_of_row[pivot_rows[k]] = k;
+            row_of_slot[col_slot] = pivot_rows[k];
+        }
+
+        let (order_next, order_prev): (Vec<usize>, Vec<usize>) = (0..m)
+            .map(|k| {
+                (
+                    if k + 1 < m { k + 1 } else { NONE },
+                    if k > 0 { k - 1 } else { NONE },
+                )
+            })
+            .unzip();
+        let factors = LuFactors {
+            lops,
+            ucols,
+            order_next,
+            order_prev,
+            head: if m > 0 { 0 } else { NONE },
+            tail: if m > 0 { m - 1 } else { NONE },
+            ord: (0..m as u64).collect(),
+            next_ord: m as u64,
+            row_adj,
+            pivot_col_of_row,
+            updates: 0,
+            scratch_acc: SparseAccumulator::with_len(m),
+            scratch_heap: BinaryHeap::new(),
+            scratch_seen: Vec::new(),
+        };
+        Ok((factors, row_of_slot))
+    }
+
+    /// Number of Forrest–Tomlin updates applied since [`LuFactors::factor`].
+    pub fn updates(&self) -> usize {
+        self.updates
+    }
+
+    /// Apply the L-side operators: `v ← (L-ops) v`.  After this, `v` is the
+    /// "spike" a Forrest–Tomlin update consumes.
+    pub fn solve_l(&self, v: &mut [f64]) {
+        for op in &self.lops {
+            match op {
+                LOp::Col { pivot_row, entries } => {
+                    let t = v[*pivot_row];
+                    if t != 0.0 {
+                        for &(r, l) in entries {
+                            v[r] -= l * t;
+                        }
+                    }
+                }
+                LOp::Row { pivot_row, entries } => {
+                    let mut total = v[*pivot_row];
+                    for &(r, mult) in entries {
+                        total -= mult * v[r];
+                    }
+                    v[*pivot_row] = total;
+                }
+            }
+        }
+    }
+
+    /// Backward sparse triangular solve: `v ← U⁻¹ v`.
+    pub fn solve_u(&self, v: &mut [f64]) {
+        let mut id = self.tail;
+        while id != NONE {
+            let c = &self.ucols[id];
+            let t = v[c.pivot_row];
+            if t != 0.0 {
+                let t = t / c.pivot_value;
+                v[c.pivot_row] = t;
+                for (&r, &val) in c.rows.iter().zip(&c.vals) {
+                    v[r] -= val * t;
+                }
+            }
+            id = self.order_prev[id];
+        }
+    }
+
+    /// FTRAN: `v ← B⁻¹ v`.
+    pub fn ftran(&self, v: &mut [f64]) {
+        self.solve_l(v);
+        self.solve_u(v);
+    }
+
+    /// BTRAN: `v ← (B⁻¹)ᵀ v` (equivalently `v' B⁻¹` for a row vector).
+    pub fn btran(&self, v: &mut [f64]) {
+        // Uᵀ is lower triangular in pivot order: forward substitution.
+        let mut id = self.head;
+        while id != NONE {
+            let c = &self.ucols[id];
+            let mut total = v[c.pivot_row];
+            for (&r, &val) in c.rows.iter().zip(&c.vals) {
+                total -= val * v[r];
+            }
+            v[c.pivot_row] = total / c.pivot_value;
+            id = self.order_next[id];
+        }
+        // Transposed L-ops, newest first.
+        for op in self.lops.iter().rev() {
+            match op {
+                LOp::Col { pivot_row, entries } => {
+                    let mut t = v[*pivot_row];
+                    for &(r, l) in entries {
+                        t -= l * v[r];
+                    }
+                    v[*pivot_row] = t;
+                }
+                LOp::Row { pivot_row, entries } => {
+                    let t = v[*pivot_row];
+                    if t != 0.0 {
+                        for &(r, mult) in entries {
+                            v[r] -= mult * t;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Forrest–Tomlin update: the basis column pivoted on `leaving_row` is
+    /// replaced by the entering column whose **partial FTRAN** (through
+    /// [`LuFactors::solve_l`] only) is `spike`.
+    ///
+    /// On `Err(Singular)` the factors are left in an inconsistent state and the
+    /// caller **must** refactorise from scratch before using them again — this
+    /// is the trigger of the basis-repair path.
+    pub fn update(&mut self, leaving_row: usize, spike: &[f64]) -> Result<(), LuError> {
+        let p_id = self.pivot_col_of_row[leaving_row];
+        debug_assert_ne!(p_id, NONE, "leaving row has no pivot column");
+
+        // Eliminate row `leaving_row` from every U column ordered after the
+        // leaving column, processing in ascending order so fill generated into
+        // the row by one elimination is seen by the later ones.  All work is
+        // confined to the row itself, held in the (reused) accumulator keyed
+        // by column id.
+        let mut acc = std::mem::replace(&mut self.scratch_acc, SparseAccumulator::with_len(0));
+        let mut heap = std::mem::take(&mut self.scratch_heap);
+        let mut seen = std::mem::take(&mut self.scratch_seen);
+        acc.clear();
+        heap.clear();
+        seen.clear();
+        for &cid in &self.row_adj[leaving_row] {
+            debug_assert!(self.ord[cid] > self.ord[p_id]);
+            let val = self.ucols[cid]
+                .get(leaving_row)
+                .expect("row adjacency out of sync with U column");
+            acc.add(cid, val);
+            heap.push(Reverse((self.ord[cid], cid)));
+        }
+        self.row_adj[leaving_row].clear();
+
+        let mut eta: Vec<(usize, f64)> = Vec::new();
+        while let Some(Reverse((_, cid))) = heap.pop() {
+            if seen.contains(&cid) {
+                continue; // duplicate heap entry
+            }
+            seen.push(cid);
+            let val = acc.get(cid);
+            self.ucols[cid].remove(leaving_row);
+            if val.abs() <= DROP_TOL {
+                continue;
+            }
+            let pivot_row = self.ucols[cid].pivot_row;
+            let pivot_value = self.ucols[cid].pivot_value;
+            let mult = val / pivot_value;
+            eta.push((pivot_row, mult));
+            // Fill from row `pivot_row` of U into row `leaving_row`.
+            for idx in 0..self.row_adj[pivot_row].len() {
+                let nid = self.row_adj[pivot_row][idx];
+                let u_val = self.ucols[nid]
+                    .get(pivot_row)
+                    .expect("row adjacency out of sync with U column");
+                if !acc.is_marked(nid) {
+                    heap.push(Reverse((self.ord[nid], nid)));
+                }
+                acc.add(nid, -mult * u_val);
+            }
+        }
+        self.scratch_acc = acc;
+        self.scratch_heap = heap;
+        self.scratch_seen = seen;
+
+        // New diagonal: the spike entry at the leaving row, transformed by the
+        // row eta just built.
+        let mut diag = spike[leaving_row];
+        let mut spike_max = diag.abs();
+        for &(r, mult) in &eta {
+            diag -= mult * spike[r];
+        }
+
+        // Replace the leaving column (reusing its id) with the spike and move
+        // it to the end of the pivot order.
+        let old_rows = std::mem::take(&mut self.ucols[p_id].rows);
+        for &r in &old_rows {
+            remove_from(&mut self.row_adj[r], p_id);
+        }
+        self.ucols[p_id].vals.clear();
+        let mut rows = Vec::new();
+        let mut vals = Vec::new();
+        for (r, &v) in spike.iter().enumerate() {
+            if r != leaving_row && v.abs() > DROP_TOL {
+                rows.push(r);
+                vals.push(v);
+                self.row_adj[r].push(p_id);
+                spike_max = spike_max.max(v.abs());
+            }
+        }
+        self.ucols[p_id].rows = rows;
+        self.ucols[p_id].vals = vals;
+        self.ucols[p_id].pivot_value = diag;
+        debug_assert_eq!(self.ucols[p_id].pivot_row, leaving_row);
+
+        self.unlink(p_id);
+        self.link_tail(p_id);
+        self.ord[p_id] = self.next_ord;
+        self.next_ord += 1;
+
+        if !eta.is_empty() {
+            self.lops.push(LOp::Row {
+                pivot_row: leaving_row,
+                entries: eta,
+            });
+        }
+        self.updates += 1;
+
+        // Stability: a vanishing diagonal relative to the spike scale means the
+        // new basis is (numerically) singular.
+        if diag.abs() < 1e-11 * spike_max.max(1.0) {
+            return Err(LuError::Singular);
+        }
+        Ok(())
+    }
+
+    /// Total stored nonzeros across the L operators (diagnostic).
+    #[cfg(test)]
+    fn l_nnz(&self) -> usize {
+        self.lops
+            .iter()
+            .map(|op| match op {
+                LOp::Col { entries, .. } | LOp::Row { entries, .. } => entries.len(),
+            })
+            .sum()
+    }
+
+    fn unlink(&mut self, id: usize) {
+        let (prev, next) = (self.order_prev[id], self.order_next[id]);
+        if prev != NONE {
+            self.order_next[prev] = next;
+        } else {
+            self.head = next;
+        }
+        if next != NONE {
+            self.order_prev[next] = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn link_tail(&mut self, id: usize) {
+        self.order_prev[id] = self.tail;
+        self.order_next[id] = NONE;
+        if self.tail != NONE {
+            self.order_next[self.tail] = id;
+        } else {
+            self.head = id;
+        }
+        self.tail = id;
+    }
+}
+
+/// Pop entries until one satisfies `valid` (lazy deletion for singleton queues).
+fn pop_valid<T: Copy>(stack: &mut Vec<T>, valid: impl Fn(&T) -> bool) -> Option<T> {
+    while let Some(x) = stack.pop() {
+        if valid(&x) {
+            return Some(x);
+        }
+    }
+    None
+}
+
+/// Best Markowitz pivot among the remaining active columns: minimise
+/// `(row_count − 1)(col_count − 1)` over entries with `|v| ≥ 0.1 · max|col|`
+/// and `|v| ≥ abs_pivot_tol`, breaking ties towards larger magnitude.
+fn markowitz_pivot(
+    remaining: &[usize],
+    active: &[Vec<(usize, f64)>],
+    row_count: &[usize],
+    col_count: &[usize],
+    abs_pivot_tol: f64,
+) -> Option<(usize, usize)> {
+    let mut best: Option<(usize, usize, usize, f64)> = None; // (row, col, cost, |v|)
+    for &j in remaining {
+        let col_max = active[j]
+            .iter()
+            .fold(0.0f64, |acc, &(_, v)| acc.max(v.abs()));
+        if col_max < abs_pivot_tol {
+            continue;
+        }
+        let acceptable = col_max * MARKOWITZ_THRESHOLD;
+        for &(r, v) in &active[j] {
+            if v.abs() < acceptable || v.abs() < abs_pivot_tol {
+                continue;
+            }
+            let cost = (row_count[r] - 1) * (col_count[j] - 1);
+            let better = match best {
+                None => true,
+                Some((_, _, best_cost, best_mag)) => {
+                    cost < best_cost || (cost == best_cost && v.abs() > best_mag)
+                }
+            };
+            if better {
+                best = Some((r, j, cost, v.abs()));
+            }
+        }
+    }
+    best.map(|(r, j, _, _)| (r, j))
+}
+
+fn remove_from(list: &mut Vec<usize>, id: usize) {
+    if let Some(k) = list.iter().position(|&x| x == id) {
+        list.swap_remove(k);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic xorshift for reproducible random bases.
+    struct Rng(u64);
+    impl Rng {
+        fn next_f64(&mut self) -> f64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            (self.0 >> 11) as f64 / (1u64 << 53) as f64
+        }
+        fn below(&mut self, n: usize) -> usize {
+            (self.next_f64() * n as f64) as usize % n
+        }
+    }
+
+    /// A random sparse nonsingular basis: a permuted diagonally-dominant matrix
+    /// with `extra` random off-diagonal entries.
+    fn random_basis(m: usize, extra: usize, rng: &mut Rng) -> Vec<Vec<(usize, f64)>> {
+        // Random permutation for the dominant diagonal.
+        let mut perm: Vec<usize> = (0..m).collect();
+        for i in (1..m).rev() {
+            perm.swap(i, rng.below(i + 1));
+        }
+        let mut cols: Vec<Vec<(usize, f64)>> = (0..m)
+            .map(|j| vec![(perm[j], 4.0 + rng.next_f64())])
+            .collect();
+        for _ in 0..extra {
+            let j = rng.below(m);
+            let r = rng.below(m);
+            if cols[j].iter().all(|&(rr, _)| rr != r) {
+                cols[j].push((r, rng.next_f64() * 2.0 - 1.0));
+            }
+        }
+        cols
+    }
+
+    fn densify(cols: &[Vec<(usize, f64)>]) -> Vec<Vec<f64>> {
+        let m = cols.len();
+        let mut dense = vec![vec![0.0; m]; m];
+        for (j, col) in cols.iter().enumerate() {
+            for &(r, v) in col {
+                dense[r][j] = v;
+            }
+        }
+        dense
+    }
+
+    /// Dense Gaussian elimination with partial pivoting — the oracle.
+    fn dense_solve(a: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
+        let m = a.len();
+        let mut aug: Vec<Vec<f64>> = a
+            .iter()
+            .zip(b)
+            .map(|(row, &bi)| {
+                let mut r = row.clone();
+                r.push(bi);
+                r
+            })
+            .collect();
+        for k in 0..m {
+            let piv = (k..m)
+                .max_by(|&i, &j| aug[i][k].abs().partial_cmp(&aug[j][k].abs()).unwrap())
+                .unwrap();
+            aug.swap(k, piv);
+            assert!(aug[k][k].abs() > 1e-12, "oracle met a singular matrix");
+            for i in 0..m {
+                if i != k && aug[i][k] != 0.0 {
+                    let f = aug[i][k] / aug[k][k];
+                    let (pivot_row, target_row) = if i < k {
+                        let (lo, hi) = aug.split_at_mut(k);
+                        (&hi[0], &mut lo[i])
+                    } else {
+                        let (lo, hi) = aug.split_at_mut(i);
+                        (&lo[k], &mut hi[0])
+                    };
+                    for (t, &p) in target_row[k..=m].iter_mut().zip(&pivot_row[k..=m]) {
+                        *t -= f * p;
+                    }
+                }
+            }
+        }
+        (0..m).map(|k| aug[k][m] / aug[k][k]).collect()
+    }
+
+    fn transpose(a: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let m = a.len();
+        (0..m).map(|i| (0..m).map(|j| a[j][i]).collect()).collect()
+    }
+
+    fn assert_vec_close(a: &[f64], b: &[f64], tol: f64) {
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn factors_the_identity_trivially() {
+        let cols: Vec<Vec<(usize, f64)>> = (0..5).map(|j| vec![(j, 1.0)]).collect();
+        let (lu, assignment) = LuFactors::factor(5, &cols, 1e-11).unwrap();
+        assert_eq!(assignment, vec![0, 1, 2, 3, 4]);
+        let mut v = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        lu.ftran(&mut v);
+        assert_vec_close(&v, &[1.0, 2.0, 3.0, 4.0, 5.0], 1e-14);
+        lu.btran(&mut v);
+        assert_vec_close(&v, &[1.0, 2.0, 3.0, 4.0, 5.0], 1e-14);
+        assert_eq!(lu.l_nnz(), 0, "identity factors with zero fill");
+    }
+
+    #[test]
+    fn ftran_and_btran_match_the_dense_oracle_on_random_bases() {
+        let mut rng = Rng(0x5eed);
+        for m in [3usize, 7, 15, 40] {
+            for round in 0..4 {
+                let cols = random_basis(m, m * 2, &mut rng);
+                let dense = densify(&cols);
+                let (lu, assignment) = LuFactors::factor(m, &cols, 1e-11)
+                    .unwrap_or_else(|_| panic!("m={m} round={round}: factorisation failed"));
+                // Assignment must be a permutation of the rows.
+                let mut sorted = assignment.clone();
+                sorted.sort_unstable();
+                assert_eq!(sorted, (0..m).collect::<Vec<_>>());
+
+                let b: Vec<f64> = (0..m).map(|_| rng.next_f64() * 10.0 - 5.0).collect();
+
+                // ftran solves B x = b with x keyed by assigned pivot row.
+                let mut x = b.clone();
+                lu.ftran(&mut x);
+                let oracle = dense_solve(&dense, &b);
+                // oracle is keyed by column slot; re-key via the assignment.
+                let mut expected = vec![0.0; m];
+                for (slot, &row) in assignment.iter().enumerate() {
+                    expected[row] = oracle[slot];
+                }
+                assert_vec_close(&x, &expected, 1e-8);
+
+                // btran solves Bᵀ y = c (with the same keying on the input).
+                let c: Vec<f64> = (0..m).map(|_| rng.next_f64() * 4.0 - 2.0).collect();
+                let mut y = c.clone();
+                lu.btran(&mut y);
+                let mut c_slot = vec![0.0; m];
+                for (slot, &row) in assignment.iter().enumerate() {
+                    c_slot[slot] = c[row];
+                }
+                let oracle_t = dense_solve(&transpose(&dense), &c_slot);
+                assert_vec_close(&y, &oracle_t, 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn forrest_tomlin_update_matches_a_fresh_factorisation() {
+        let mut rng = Rng(0xfeed);
+        for m in [5usize, 12, 30] {
+            let mut cols = random_basis(m, m * 2, &mut rng);
+            let (mut lu, assignment) = LuFactors::factor(m, &cols, 1e-11).unwrap();
+
+            // Replace a sequence of random columns Forrest–Tomlin style.
+            for step in 0..6 {
+                // New entering column: dense-ish random with a strong anchor on
+                // the leaving row so the update is well conditioned.
+                // The slot→pivot-row assignment survives FT updates because the
+                // entering column inherits the leaving column's pivot row.
+                let leaving_row = rng.below(m);
+                let slot = assignment.iter().position(|&r| r == leaving_row).unwrap();
+                let mut entering: Vec<(usize, f64)> = vec![(leaving_row, 3.0 + rng.next_f64())];
+                for _ in 0..4 {
+                    let r = rng.below(m);
+                    if entering.iter().all(|&(rr, _)| rr != r) {
+                        entering.push((r, rng.next_f64() * 2.0 - 1.0));
+                    }
+                }
+
+                // Spike = L⁻¹ a_q, then update.
+                let mut spike = vec![0.0; m];
+                for &(r, v) in &entering {
+                    spike[r] = v;
+                }
+                lu.solve_l(&mut spike);
+                lu.update(leaving_row, &spike)
+                    .unwrap_or_else(|_| panic!("m={m} step={step}: update declared singular"));
+
+                // The updated factors must agree with factoring the modified
+                // basis from scratch on a probe solve.
+                cols[slot] = entering;
+                let dense = densify(&cols);
+                let b: Vec<f64> = (0..m).map(|_| rng.next_f64() * 10.0 - 5.0).collect();
+                let mut x = b.clone();
+                lu.ftran(&mut x);
+                let oracle = dense_solve(&dense, &b);
+                // Keying: position slots keep their pivot rows across FT
+                // updates (the entering column inherits `leaving_row`).
+                let mut expected = vec![0.0; m];
+                for (s, &row) in assignment.iter().enumerate() {
+                    expected[row] = oracle[s];
+                }
+                assert_vec_close(&x, &expected, 1e-7);
+
+                let c: Vec<f64> = (0..m).map(|_| rng.next_f64() * 4.0 - 2.0).collect();
+                let mut y = c.clone();
+                lu.btran(&mut y);
+                let mut c_slot = vec![0.0; m];
+                for (s, &row) in assignment.iter().enumerate() {
+                    c_slot[s] = c[row];
+                }
+                let oracle_t = dense_solve(&transpose(&dense), &c_slot);
+                assert_vec_close(&y, &oracle_t, 1e-7);
+            }
+            assert_eq!(lu.updates(), 6);
+        }
+    }
+
+    #[test]
+    fn structurally_singular_bases_are_rejected() {
+        // Two identical columns.
+        let cols = vec![
+            vec![(0, 1.0), (1, 2.0)],
+            vec![(0, 1.0), (1, 2.0)],
+            vec![(2, 1.0)],
+        ];
+        assert_eq!(
+            LuFactors::factor(3, &cols, 1e-11).err(),
+            Some(LuError::Singular)
+        );
+        // A numerically vanishing forced pivot.
+        let cols = vec![vec![(0, 1e-14)], vec![(1, 1.0)]];
+        assert_eq!(
+            LuFactors::factor(2, &cols, 1e-11).err(),
+            Some(LuError::Singular)
+        );
+    }
+
+    #[test]
+    fn update_reports_singularity_for_a_dependent_entering_column() {
+        // B = I; replace column 0 by a column with no component on row 0 —
+        // the new basis is singular and the update must say so.
+        let cols: Vec<Vec<(usize, f64)>> = (0..3).map(|j| vec![(j, 1.0)]).collect();
+        let (mut lu, _) = LuFactors::factor(3, &cols, 1e-11).unwrap();
+        let mut spike = vec![0.0, 1.0, 0.0];
+        lu.solve_l(&mut spike);
+        assert_eq!(lu.update(0, &spike).err(), Some(LuError::Singular));
+    }
+
+    #[test]
+    fn u_never_gains_entries_across_updates() {
+        // The Forrest–Tomlin elimination only deletes stored U entries (all new
+        // mass lands in the replacement spike column), so U's nonzero count is
+        // bounded by the pre-update count plus the spike length.
+        let mut rng = Rng(0xabcd);
+        let m = 20;
+        let cols = random_basis(m, m * 3, &mut rng);
+        let (mut lu, _) = LuFactors::factor(m, &cols, 1e-11).unwrap();
+        for _ in 0..10 {
+            let before: usize = lu.ucols.iter().map(|c| c.rows.len()).sum();
+            let leaving_row = rng.below(m);
+            let mut spike = vec![0.0; m];
+            spike[leaving_row] = 5.0;
+            for _ in 0..3 {
+                let r = rng.below(m);
+                if spike[r] == 0.0 {
+                    spike[r] = rng.next_f64() - 0.5;
+                }
+            }
+            lu.solve_l(&mut spike);
+            let spike_nnz = spike
+                .iter()
+                .enumerate()
+                .filter(|&(r, v)| r != leaving_row && v.abs() > 1e-12)
+                .count();
+            lu.update(leaving_row, &spike).unwrap();
+            let after: usize = lu.ucols.iter().map(|c| c.rows.len()).sum();
+            assert!(
+                after <= before + spike_nnz,
+                "U gained entries beyond the spike: {before} -> {after} (spike {spike_nnz})"
+            );
+        }
+    }
+}

@@ -278,13 +278,14 @@ impl LinearProgram {
         Ok(())
     }
 
-    /// Solve with default [`SolveOptions`].
+    /// Solve with default [`SolveOptions`] (sparse LU revised simplex, Devex
+    /// phase-2 pricing, periodic refactorisation with basis repair).
     pub fn solve(&self) -> Result<Solution, SimplexError> {
         self.solve_with(&SolveOptions::default())
     }
 
-    /// Solve with explicit options (iteration limit, tolerance, pivot rule,
-    /// backend).
+    /// Solve with explicit options (iteration limit, tolerance, pivot and
+    /// pricing rules, backend, refactorisation cadence, repair budget).
     pub fn solve_with(&self, options: &SolveOptions) -> Result<Solution, SimplexError> {
         self.validate()?;
         solve_prepared(self, options)

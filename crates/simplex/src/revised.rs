@@ -3,53 +3,56 @@
 //! The dense tableau updates every entry of an `m × n` matrix per pivot —
 //! `O(m · n)` — even though the mechanism-design LPs have only 2 to `n+1` nonzeros
 //! per row.  The revised method never materialises the tableau: it keeps the
-//! original CSC matrix `A` untouched and represents the basis inverse implicitly,
-//! so one pivot costs `O(nnz(A) + eta work)`.
+//! original CSC matrix `A` untouched and represents the basis inverse implicitly
+//! through a **sparse LU factorisation** (see [`crate::lu`]), so one pivot costs
+//! `O(nnz)`.
 //!
-//! ## Basis representation: eta file (product form of the inverse)
+//! ## Basis representation: LU factors with Forrest–Tomlin updates
 //!
-//! The initial basis consists of slack and artificial unit columns, so `B₀ = I`.
-//! Each pivot multiplies the inverse by an elementary *eta matrix* `E` that differs
-//! from the identity only in the pivot column; storing just that column (the
-//! [`Eta`]) gives
+//! The basis matrix is factorised as `B = L·U` with Markowitz pivoting
+//! (row/column-singleton peeling plus threshold pivoting on the residual bump).
+//! Each simplex pivot then applies a Forrest–Tomlin rank-one **update** to the
+//! factors instead of appending a product-form eta: U only ever *loses* stored
+//! entries between factorisations, so FTRAN/BTRAN stay flat over long runs —
+//! the property the old eta file lacked.  Every
+//! [`SolveOptions::refactor_interval`] updates the factors are rebuilt from the
+//! exact basis columns, which also bounds numerical drift.
 //!
-//! ```text
-//! B⁻¹ = E_k · E_{k-1} · … · E_1
-//! ```
+//! * **FTRAN** (`B⁻¹ a`) is a forward pass through the L operators followed by
+//!   a backward sparse triangular solve with U.
+//! * **BTRAN** (`y' B⁻¹`) is the transposed pair in reverse.
 //!
-//! * **FTRAN** (`B⁻¹ a`, needed for the entering column and the basic solution)
-//!   applies the etas oldest → newest; an eta whose pivot row holds a zero is
-//!   skipped entirely, which is what keeps FTRAN cheap for sparse columns.
-//! * **BTRAN** (`c_B' B⁻¹`, needed to price reduced costs) applies them
-//!   newest → oldest; each eta only rewrites its own pivot-row component.
+//! ## Pricing: Devex with incremental reduced costs
 //!
-//! ## Periodic refactorisation
+//! Outside the anti-cycling Bland fallback, the driver maintains the reduced
+//! costs `d` incrementally from the pivot row of each iteration (one extra
+//! BTRAN of a unit vector plus a sparse row-wise pass over `A`), and scores
+//! entering candidates with Devex reference weights — `d_j² / γ_j` — updated
+//! from the same pivot row ([`PricingRule::Devex`]).  The weights reset when
+//! they overflow their trust bound, and `d` is recomputed exactly at every
+//! refactorisation and before optimality is declared.  Partial pricing
+//! ([`SolveOptions::partial_pricing`]) optionally scans cyclic column sections
+//! instead of the full range.
 //!
-//! The eta file grows by one per pivot, and rounding errors accumulate through it.
-//! Every [`SolveOptions::refactor_interval`] pivots the file is rebuilt from
-//! scratch by re-eliminating the current basis columns against the identity and
-//! the basic solution is recomputed as `B⁻¹ b`.  LP bases are almost
-//! permutable-triangular, so the rebuild peels row singletons first (zero fill;
-//! see [`RevisedState::refactorize`]) and only the small residual bump pays for
-//! general elimination, with threshold pivoting biased towards sparse rows.  This
-//! bounds both the FTRAN/BTRAN cost and the numerical drift; the refactorisation
-//! count is reported in [`cpm_simplex::SolveStats`](crate::SolveStats).
+//! ## Basis repair
+//!
+//! A numerical breakdown during an update or a factorisation no longer aborts
+//! the solve: the driver refactorises from scratch, falling back to the last
+//! good basis if the current one is singular, up to
+//! [`SolveOptions::max_repairs`] times ([`SolveStats::basis_repairs`] reports
+//! how often this fired).
 
 use crate::error::SimplexError;
-use crate::solver::{PhaseOutcome, PivotState, SolveOptions, SolvedPoint};
+use crate::lu::LuFactors;
+use crate::solver::{PhaseOutcome, PivotState, PricingRule, SolveOptions, SolvedPoint};
+use crate::sparse::{RowMajor, SparseAccumulator};
 use crate::standard::StandardForm;
 
-/// One elementary transformation of the basis inverse: the pivot column of an eta
-/// matrix, split into the inverted pivot element and the off-pivot entries.
-struct Eta {
-    pivot_row: usize,
-    pivot_inv: f64,
-    /// `(row, value)` pairs of the pre-pivot column, excluding the pivot row.
-    entries: Vec<(usize, f64)>,
-}
+/// Devex weights above this bound trigger a reference-framework reset.
+const DEVEX_WEIGHT_LIMIT: f64 = 1e7;
 
-/// The revised-simplex working state: basis bookkeeping, the eta file, and the
-/// current basic solution.
+/// The revised-simplex working state: basis bookkeeping, the LU factors, and
+/// the current basic solution.
 struct RevisedState<'a> {
     sf: &'a StandardForm,
     /// Structural + slack column count; columns `>= num_core` are artificials.
@@ -60,18 +63,36 @@ struct RevisedState<'a> {
     basis: Vec<usize>,
     /// Whether each column (core + artificial) is currently basic.
     in_basis: Vec<bool>,
-    etas: Vec<Eta>,
-    /// Pivot-generated etas appended since the last refactorisation.  This — not
-    /// the total file length — drives the refactorisation trigger: a rebuilt file
-    /// legitimately holds one eta per non-singleton basic column.
-    updates_since_refactor: usize,
+    /// The LU factorisation of the current basis.
+    lu: LuFactors,
+    /// CSR mirror of the core constraint matrix, for the pivot-row pass.
+    row_major: RowMajor,
     /// Current basic solution `x_B = B⁻¹ b`, indexed by row.
     xb: Vec<f64>,
-    refactorizations: usize,
+    /// Basis snapshot taken at the last successful factorisation — the
+    /// fallback point of the repair path.
+    last_good_basis: Vec<usize>,
+    /// Partial FTRAN (through the L operators only) of the last entering
+    /// column — the spike consumed by the Forrest–Tomlin update.
+    spike: Vec<f64>,
+    factorizations: usize,
+    total_updates: usize,
+    /// Total repairs across the solve (reported in the stats).
+    repairs: usize,
+    /// Repairs since the last successful Forrest–Tomlin update — the value
+    /// checked against [`SolveOptions::max_repairs`], so isolated breakdowns
+    /// over a long run never exhaust the budget, while breakdowns that recur
+    /// without any progress in between still terminate the solve.
+    repair_streak: usize,
+    /// Set when the factorisation was rebuilt: reduced costs must be
+    /// recomputed before the next pricing decision.
+    dirty_reduced_costs: bool,
+    /// Set when a repair rolled the basis back: Devex weights must reset.
+    dirty_weights: bool,
 }
 
 impl<'a> RevisedState<'a> {
-    fn new(sf: &'a StandardForm) -> Self {
+    fn new(sf: &'a StandardForm) -> Result<Self, SimplexError> {
         let num_rows = sf.num_rows();
         let num_core = sf.num_columns();
         let mut artificial_rows = Vec::new();
@@ -89,17 +110,31 @@ impl<'a> RevisedState<'a> {
         for &col in &basis {
             in_basis[col] = true;
         }
-        RevisedState {
+        let mut state = RevisedState {
             sf,
             num_core,
             artificial_rows,
-            basis,
+            basis: basis.clone(),
             in_basis,
-            etas: Vec::new(),
-            updates_since_refactor: 0,
+            // Placeholder; replaced by the initial factorisation below (the
+            // initial basis is all slacks/artificials, i.e. the identity, so
+            // this cannot fail for want of pivots).
+            lu: LuFactors::factor(0, &[], 1e-11)
+                .expect("empty factorisation")
+                .0,
+            row_major: sf.matrix.to_row_major(),
             xb: sf.rhs.clone(),
-            refactorizations: 0,
-        }
+            last_good_basis: basis,
+            spike: vec![0.0; num_rows],
+            factorizations: 0,
+            total_updates: 0,
+            repairs: 0,
+            repair_streak: 0,
+            dirty_reduced_costs: false,
+            dirty_weights: false,
+        };
+        state.refactorize()?;
+        Ok(state)
     }
 
     fn num_rows(&self) -> usize {
@@ -150,36 +185,18 @@ impl<'a> RevisedState<'a> {
         }
     }
 
-    /// FTRAN: overwrite `v` with `B⁻¹ v` by applying the eta file oldest → newest.
-    fn ftran(&self, v: &mut [f64]) {
-        for eta in &self.etas {
-            let pivot_value = v[eta.pivot_row];
-            if pivot_value == 0.0 {
-                continue;
-            }
-            let t = pivot_value * eta.pivot_inv;
-            for &(row, value) in &eta.entries {
-                v[row] -= value * t;
-            }
-            v[eta.pivot_row] = t;
-        }
-    }
-
-    /// BTRAN: overwrite `y` with `y B⁻¹` by applying the eta file newest → oldest.
-    fn btran(&self, y: &mut [f64]) {
-        for eta in self.etas.iter().rev() {
-            let mut total = y[eta.pivot_row];
-            for &(row, value) in &eta.entries {
-                total -= y[row] * value;
-            }
-            y[eta.pivot_row] = total * eta.pivot_inv;
-        }
-    }
-
-    /// `w = B⁻¹ a_j` for an entering candidate.
-    fn ftran_column(&self, j: usize, w: &mut [f64]) {
+    /// FTRAN the entering column `j` into `w` (`w = B⁻¹ a_j`), saving the
+    /// partial result after the L pass as the Forrest–Tomlin spike.
+    fn ftran_column(&mut self, j: usize, w: &mut [f64]) {
         self.scatter_column(j, w);
-        self.ftran(w);
+        self.lu.solve_l(w);
+        self.spike.copy_from_slice(w);
+        self.lu.solve_u(w);
+    }
+
+    /// BTRAN: overwrite `y` with `y B⁻¹`.
+    fn btran(&self, y: &mut [f64]) {
+        self.lu.btran(y);
     }
 
     /// Ratio test.  `None` means the column is unbounded.
@@ -195,11 +212,9 @@ impl<'a> RevisedState<'a> {
     ///   bound); pass 2 picks, among the rows whose exact ratio fits under that
     ///   bound, the one with the **largest pivot element**.  Preferring large
     ///   pivots is what keeps the basis numerically honest over thousands of
-    ///   degenerate pivots — the naive min-ratio rule happily pivots on
-    ///   `1e-9`-sized elements until the basis is effectively singular; the tiny
-    ///   transient infeasibility (≤ `feas_tol`) is absorbed by the clamping in
-    ///   [`RevisedState::pivot`] and by the exact `x_B` recomputation at every
-    ///   refactorisation.
+    ///   degenerate pivots; the tiny transient infeasibility (≤ `feas_tol`) is
+    ///   absorbed by the clamping in [`RevisedState::apply_pivot`] and by the
+    ///   exact `x_B` recomputation at every refactorisation.
     fn ratio_test(&self, w: &[f64], eps: f64, use_bland: bool) -> Option<usize> {
         if use_bland {
             let mut best: Option<(usize, f64)> = None;
@@ -244,15 +259,24 @@ impl<'a> RevisedState<'a> {
         best.map(|(r, _)| r)
     }
 
-    /// Execute the basis change `col` enters / row `row` leaves, given the already
-    /// FTRANed entering column `w`.  Returns `true` for a non-degenerate pivot.
-    fn pivot(&mut self, row: usize, col: usize, w: &[f64]) -> bool {
+    /// Execute the basis change `col` enters / row `row` leaves, given the
+    /// already FTRANed entering column `w` (whose L-stage spike is still saved
+    /// from [`RevisedState::ftran_column`]).  Updates the basic solution, the
+    /// basis books, and the LU factors (repairing on breakdown).  Returns
+    /// `true` for a non-degenerate pivot.
+    fn apply_pivot(
+        &mut self,
+        row: usize,
+        col: usize,
+        w: &[f64],
+        options: &SolveOptions,
+    ) -> Result<bool, SimplexError> {
         let pivot_value = w[row];
         debug_assert!(pivot_value.abs() > 0.0, "pivot on a zero element");
         let nondegenerate = self.xb[row] > 0.0;
 
-        // Update the basic solution: the entering variable moves to θ, every other
-        // basic variable retreats along the column.
+        // Update the basic solution: the entering variable moves to θ, every
+        // other basic variable retreats along the column.
         let theta = self.xb[row] / pivot_value;
         for (r, &wr) in w.iter().enumerate() {
             if r != row && wr != 0.0 {
@@ -264,195 +288,54 @@ impl<'a> RevisedState<'a> {
         }
         self.xb[row] = theta;
 
-        // Record the eta and swap the basis books.  Entries below the drop
-        // tolerance are round-off noise relative to the pivot scale; keeping them
-        // would only bloat every later FTRAN/BTRAN (the periodic refactorisation
-        // rebuilds from the exact matrix, so dropped noise cannot accumulate).
-        let drop_tolerance = 1e-12 * pivot_value.abs().max(1.0);
-        let entries: Vec<(usize, f64)> = w
-            .iter()
-            .enumerate()
-            .filter(|&(r, &v)| r != row && v.abs() > drop_tolerance)
-            .map(|(r, &v)| (r, v))
-            .collect();
-        self.etas.push(Eta {
-            pivot_row: row,
-            pivot_inv: 1.0 / pivot_value,
-            entries,
-        });
-        self.updates_since_refactor += 1;
         self.in_basis[self.basis[row]] = false;
         self.in_basis[col] = true;
         self.basis[row] = col;
-        nondegenerate
+        self.total_updates += 1;
+
+        if self.lu.update(row, &self.spike).is_err() {
+            // The update left the factors unusable; rebuild from scratch (this
+            // recomputes x_B exactly from the repaired basis).
+            self.repair(options, "Forrest–Tomlin update met a singular basis", false)?;
+        } else {
+            self.repair_streak = 0;
+        }
+        Ok(nondegenerate)
     }
 
-    /// Rebuild the eta file from the current basis (Gaussian elimination against
-    /// the identity) and recompute `x_B = B⁻¹ b` from scratch.
-    ///
-    /// The elimination order matters enormously for fill-in, and LP bases are
-    /// almost permutable-triangular, so the rebuild runs in two stages:
-    ///
-    /// 1. **Row-singleton peeling** (Suhl–Suhl style): repeatedly take a row
-    ///    touched by exactly one remaining basic column and pivot that column
-    ///    there.  By construction the peeled column has no entries in earlier
-    ///    pivot rows, so its FTRAN is the identity — the eta is just the original
-    ///    column and the peel contributes **zero fill**.  On the mechanism LPs
-    ///    this absorbs the slack columns and nearly all structural columns.
-    /// 2. **Bump elimination**: whatever cannot be peeled (usually a small
-    ///    kernel) is processed by ascending column count with partial pivoting
-    ///    over the still-unassigned rows.
+    /// Rebuild the LU factors from the current basis columns and recompute
+    /// `x_B = B⁻¹ b` from scratch.  Retries once with a relaxed pivot
+    /// threshold before reporting the basis singular — a basis reached by
+    /// exact pivoting is nonsingular, so a rejected pivot usually means drift,
+    /// and a badly conditioned exact representation beats none.
     fn refactorize(&mut self) -> Result<(), SimplexError> {
-        // A basis reached by exact pivoting is nonsingular, so an unacceptable
-        // pivot during the rebuild means numerical drift, not a hopeless model:
-        // retry once with a relaxed threshold (a badly conditioned but exact
-        // representation beats none) before reporting breakdown.
-        let saved_basis = self.basis.clone();
-        let outcome = self.try_refactorize(1e-11).or_else(|_| {
-            self.basis = saved_basis;
-            self.try_refactorize(1e-13)
-        });
-        if outcome.is_ok() {
-            self.refactorizations += 1;
-        }
-        outcome
-    }
-
-    fn try_refactorize(&mut self, pivot_threshold: f64) -> Result<(), SimplexError> {
-        self.updates_since_refactor = 0;
         let num_rows = self.num_rows();
-        let old_basis = std::mem::take(&mut self.basis);
-        self.etas.clear();
+        let columns: Vec<Vec<(usize, f64)>> = self
+            .basis
+            .iter()
+            .map(|&col| self.column_rows(col).collect())
+            .collect();
+        let (lu, row_of_slot) = LuFactors::factor(num_rows, &columns, 1e-11)
+            .or_else(|_| LuFactors::factor(num_rows, &columns, 1e-13))
+            .map_err(|_| SimplexError::NumericalBreakdown {
+                context: "LU factorisation met a numerically singular basis",
+                repairs: self.repairs,
+            })?;
 
-        // Row -> basic-columns adjacency (CSR over the basis submatrix).
-        let mut row_count = vec![0usize; num_rows];
-        for &col in &old_basis {
-            for (r, _) in self.column_rows(col) {
-                row_count[r] += 1;
-            }
+        // The factorisation may re-key which row each basic column pivots on.
+        let old_basis = self.basis.clone();
+        for (slot, &new_row) in row_of_slot.iter().enumerate() {
+            self.basis[new_row] = old_basis[slot];
         }
-        let mut row_start = vec![0usize; num_rows + 1];
-        for r in 0..num_rows {
-            row_start[r + 1] = row_start[r] + row_count[r];
-        }
-        let mut row_cols = vec![0usize; row_start[num_rows]];
-        {
-            let mut cursor = row_start.clone();
-            for (slot, &col) in old_basis.iter().enumerate() {
-                for (r, _) in self.column_rows(col) {
-                    row_cols[cursor[r]] = slot;
-                    cursor[r] += 1;
-                }
-            }
-        }
+        self.lu = lu;
+        self.factorizations += 1;
+        self.last_good_basis.clone_from(&self.basis);
+        self.dirty_reduced_costs = true;
 
-        let mut assigned = vec![false; num_rows];
-        let mut new_basis = vec![usize::MAX; num_rows];
-        let mut removed = vec![false; old_basis.len()];
-        let mut singleton_rows: Vec<usize> = (0..num_rows).filter(|&r| row_count[r] == 1).collect();
-
-        // Stage 1: peel row singletons — zero-fill etas copied from the matrix.
-        while let Some(row) = singleton_rows.pop() {
-            if assigned[row] || row_count[row] != 1 {
-                continue;
-            }
-            let slot = row_cols[row_start[row]..row_start[row + 1]]
-                .iter()
-                .copied()
-                .find(|&s| !removed[s])
-                .expect("row_count said one column remains");
-            let col = old_basis[slot];
-            removed[slot] = true;
-            assigned[row] = true;
-            new_basis[row] = col;
-            let mut pivot_value = 0.0;
-            let mut entries = Vec::new();
-            for (r, v) in self.column_rows(col) {
-                if r == row {
-                    pivot_value = v;
-                } else {
-                    entries.push((r, v));
-                }
-                row_count[r] -= 1;
-                if row_count[r] == 1 && !assigned[r] {
-                    singleton_rows.push(r);
-                }
-            }
-            if pivot_value.abs() < pivot_threshold {
-                return Err(SimplexError::NumericalBreakdown {
-                    context: "refactorisation met a numerically singular basis",
-                });
-            }
-            if pivot_value != 1.0 || !entries.is_empty() {
-                self.etas.push(Eta {
-                    pivot_row: row,
-                    pivot_inv: 1.0 / pivot_value,
-                    entries,
-                });
-            }
-        }
-
-        // Stage 2: eliminate the bump.  Pivot rows are chosen by threshold
-        // pivoting: among the numerically acceptable rows (within a factor of the
-        // column maximum) prefer the sparsest row of the remaining submatrix — a
-        // cheap Markowitz-style bias that keeps the fill-in of the rebuilt file
-        // close to the basis's own nonzero count.
-        let mut bump: Vec<usize> = (0..old_basis.len()).filter(|&s| !removed[s]).collect();
-        bump.sort_by_key(|&slot| self.column_len(old_basis[slot]));
-        let mut w = vec![0.0; num_rows];
-        for &slot in &bump {
-            let col = old_basis[slot];
-            self.ftran_column(col, &mut w);
-            let mut max_magnitude = 0.0f64;
-            for (r, &wr) in w.iter().enumerate() {
-                if !assigned[r] {
-                    max_magnitude = max_magnitude.max(wr.abs());
-                }
-            }
-            if max_magnitude < pivot_threshold {
-                return Err(SimplexError::NumericalBreakdown {
-                    context: "refactorisation met a numerically singular basis",
-                });
-            }
-            let acceptable = max_magnitude * 0.01;
-            let mut best: Option<(usize, usize)> = None;
-            for (r, &wr) in w.iter().enumerate() {
-                if !assigned[r] && wr.abs() >= acceptable {
-                    let degree = row_count[r];
-                    if best.is_none_or(|(_, d)| degree < d) {
-                        best = Some((r, degree));
-                    }
-                }
-            }
-            let Some((row, _)) = best else {
-                return Err(SimplexError::NumericalBreakdown {
-                    context: "refactorisation ran out of pivot rows",
-                });
-            };
-            assigned[row] = true;
-            new_basis[row] = col;
-            for (r, _) in self.column_rows(col) {
-                row_count[r] = row_count[r].saturating_sub(1);
-            }
-            let drop_tolerance = 1e-12 * w[row].abs().max(1.0);
-            let entries: Vec<(usize, f64)> = w
-                .iter()
-                .enumerate()
-                .filter(|&(r, &v)| r != row && v.abs() > drop_tolerance)
-                .map(|(r, &v)| (r, v))
-                .collect();
-            self.etas.push(Eta {
-                pivot_row: row,
-                pivot_inv: 1.0 / w[row],
-                entries,
-            });
-        }
-
-        self.basis = new_basis;
         // Fresh basic solution; clamp the usual tiny negative round-off.
         self.xb.copy_from_slice(&self.sf.rhs);
         let mut xb = std::mem::take(&mut self.xb);
-        self.ftran(&mut xb);
+        self.lu.ftran(&mut xb);
         for value in xb.iter_mut() {
             if *value < 0.0 && *value > -1e-9 {
                 *value = 0.0;
@@ -462,11 +345,52 @@ impl<'a> RevisedState<'a> {
         Ok(())
     }
 
-    fn column_len(&self, j: usize) -> usize {
-        if j < self.num_core {
-            self.sf.matrix.column_nnz(j)
-        } else {
-            1
+    /// Basis-repair recovery: refactorise from scratch after a breakdown,
+    /// rolling back to the last good basis when the current one is singular.
+    /// Each attempt (one factorisation, preceded by a rollback where needed)
+    /// consumes one unit of [`SolveOptions::max_repairs`].
+    ///
+    /// `current_basis_failed` tells the repair that a factorisation of the
+    /// *current* basis was just attempted and failed (the refactorisation call
+    /// sites), so re-running the identical deterministic factorisation would
+    /// waste a budget unit — roll back first instead.  Breakdowns during a
+    /// Forrest–Tomlin update pass `false`: there the current basis has not
+    /// been factorised yet and usually is fine.
+    fn repair(
+        &mut self,
+        options: &SolveOptions,
+        context: &'static str,
+        current_basis_failed: bool,
+    ) -> Result<(), SimplexError> {
+        let mut roll_back_first = current_basis_failed;
+        loop {
+            if self.repair_streak >= options.max_repairs {
+                return Err(SimplexError::NumericalBreakdown {
+                    context,
+                    repairs: self.repairs,
+                });
+            }
+            self.repairs += 1;
+            self.repair_streak += 1;
+            self.dirty_weights = true;
+            if roll_back_first {
+                if self.basis == self.last_good_basis {
+                    // Nothing left to roll back to.
+                    return Err(SimplexError::NumericalBreakdown {
+                        context,
+                        repairs: self.repairs,
+                    });
+                }
+                self.basis.clone_from(&self.last_good_basis);
+                self.in_basis.fill(false);
+                for &col in &self.basis {
+                    self.in_basis[col] = true;
+                }
+            }
+            if self.refactorize().is_ok() {
+                return Ok(());
+            }
+            roll_back_first = true;
         }
     }
 
@@ -480,6 +404,187 @@ impl<'a> RevisedState<'a> {
     }
 }
 
+/// Entering-column pricing state shared across a phase: reduced costs over the
+/// core columns (maintained incrementally from the pivot row) and the Devex
+/// reference weights.
+struct Pricing {
+    rule: PricingRule,
+    /// Reduced costs of the core columns (meaningless for basic columns).
+    d: Vec<f64>,
+    /// Devex reference-framework weights.
+    weights: Vec<f64>,
+    weight_max: f64,
+    /// `d` must be recomputed from scratch before the next use.
+    dirty: bool,
+    /// `d` is exact (recomputed and not yet drifted by incremental updates), so
+    /// entering candidates need no FTRAN-side verification and an empty scan
+    /// proves optimality.
+    exact: bool,
+    /// Partial-pricing cursor (start of the section scanned first).
+    cursor: usize,
+    resets: usize,
+}
+
+impl Pricing {
+    fn new(num_core: usize, rule: PricingRule) -> Self {
+        Pricing {
+            rule,
+            d: vec![0.0; num_core],
+            weights: vec![1.0; num_core],
+            weight_max: 1.0,
+            dirty: true,
+            exact: false,
+            cursor: 0,
+            resets: 0,
+        }
+    }
+
+    /// Reset the Devex reference framework (all weights back to one).
+    fn reset_weights(&mut self) {
+        self.weights.fill(1.0);
+        self.weight_max = 1.0;
+        self.resets += 1;
+    }
+
+    /// Recompute the reduced costs exactly: `y = c_B' B⁻¹`, then
+    /// `d_j = c_j − y' a_j` per nonbasic core column.
+    fn recompute(&mut self, basis: &RevisedState<'_>, costs: &[f64], y: &mut [f64]) {
+        for (r, slot) in y.iter_mut().enumerate() {
+            *slot = costs[basis.basis[r]];
+        }
+        basis.btran(y);
+        for (j, d) in self.d.iter_mut().enumerate() {
+            *d = if basis.in_basis[j] {
+                0.0
+            } else {
+                costs[j] - basis.column_dot(j, y)
+            };
+        }
+        self.dirty = false;
+        self.exact = true;
+    }
+
+    /// Pick the entering column per the active rule, or `None` when no
+    /// candidate prices favourably.  With partial pricing the scan walks
+    /// cyclic sections and stops at the first section holding a candidate.
+    fn select(&mut self, eps: f64, partial: usize, in_basis: &[bool]) -> Option<usize> {
+        let n = self.d.len();
+        if n == 0 {
+            return None;
+        }
+        if partial == 0 || partial >= n {
+            return self.select_range(eps, in_basis, 0, n);
+        }
+        let sections = n.div_ceil(partial);
+        for s in 0..sections {
+            let start = (self.cursor + s * partial) % n;
+            let end = (start + partial).min(n);
+            if let Some(j) = self.select_range(eps, in_basis, start, end) {
+                self.cursor = start;
+                return Some(j);
+            }
+            // Wrap the tail section around to keep sections aligned to the
+            // cursor rather than to zero.
+            if start + partial > n {
+                if let Some(j) = self.select_range(eps, in_basis, 0, start + partial - n) {
+                    self.cursor = start;
+                    return Some(j);
+                }
+            }
+        }
+        None
+    }
+
+    fn select_range(&self, eps: f64, in_basis: &[bool], start: usize, end: usize) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        #[allow(clippy::needless_range_loop)] // three parallel arrays indexed by j
+        for j in start..end {
+            if in_basis[j] {
+                continue;
+            }
+            let d = self.d[j];
+            if d < -eps {
+                let score = match self.rule {
+                    PricingRule::Dantzig => -d,
+                    PricingRule::Devex => d * d / self.weights[j],
+                };
+                match best {
+                    None => best = Some((j, score)),
+                    Some((_, best_score)) if score > best_score => best = Some((j, score)),
+                    _ => {}
+                }
+            }
+        }
+        best.map(|(j, _)| j)
+    }
+
+    /// Incrementally update `d` and the Devex weights from the pivot row.
+    ///
+    /// `alpha` holds the pivot row `e_r' B⁻¹ A` over the core columns,
+    /// `alpha_rq = w[row]` is the pivot element, `d_q` the entering column's
+    /// (verified) reduced cost, and `leaving` the column leaving the basis.
+    fn update_from_pivot_row(
+        &mut self,
+        alpha: &SparseAccumulator,
+        alpha_rq: f64,
+        entering: usize,
+        d_q: f64,
+        leaving: usize,
+        in_basis: &[bool],
+    ) {
+        let theta_d = d_q / alpha_rq;
+        let gamma_q = self.weights[entering].max(1.0);
+        for &j in alpha.pattern() {
+            if j == entering || in_basis[j] {
+                continue;
+            }
+            let a = alpha.get(j);
+            if a == 0.0 {
+                continue;
+            }
+            self.d[j] -= theta_d * a;
+            let ratio = a / alpha_rq;
+            let candidate = ratio * ratio * gamma_q;
+            if candidate > self.weights[j] {
+                self.weights[j] = candidate;
+                self.weight_max = self.weight_max.max(candidate);
+            }
+        }
+        // The leaving column re-enters the nonbasic set: its pivot-row entry is
+        // exactly one (B⁻¹ a_leaving = e_r), so its new reduced cost is −θ_d.
+        if leaving < self.d.len() {
+            self.d[leaving] = -theta_d;
+            let w = (gamma_q / (alpha_rq * alpha_rq)).max(1.0);
+            self.weights[leaving] = w;
+            self.weight_max = self.weight_max.max(w);
+        }
+        self.d[entering] = 0.0;
+        self.exact = false;
+        if self.weight_max > DEVEX_WEIGHT_LIMIT {
+            self.reset_weights();
+        }
+    }
+}
+
+/// Dense work vectors shared across phases.
+struct Workspace {
+    y: Vec<f64>,
+    w: Vec<f64>,
+    rho: Vec<f64>,
+    alpha: SparseAccumulator,
+}
+
+impl Workspace {
+    fn new(num_rows: usize, num_core: usize) -> Self {
+        Workspace {
+            y: vec![0.0; num_rows],
+            w: vec![0.0; num_rows],
+            rho: vec![0.0; num_rows],
+            alpha: SparseAccumulator::with_len(num_core),
+        }
+    }
+}
+
 /// Solve the standard form with the sparse revised simplex.
 pub(crate) fn solve(
     sf: &StandardForm,
@@ -489,15 +594,14 @@ pub(crate) fn solve(
     let num_rows = sf.num_rows();
     let num_core = sf.num_columns();
 
-    let mut basis = RevisedState::new(sf);
+    let mut basis = RevisedState::new(sf)?;
     let total_columns = num_core + basis.num_artificials();
 
     let mut state = PivotState::new(options);
     state.stats.artificial_variables = basis.num_artificials();
 
-    // Reusable dense work vectors.
-    let mut y = vec![0.0; num_rows];
-    let mut w = vec![0.0; num_rows];
+    let mut ws = Workspace::new(num_rows, num_core);
+    let mut pricing = Pricing::new(num_core, pricing_rule(options));
 
     // ------------------------------- Phase 1 -------------------------------
     if basis.num_artificials() > 0 {
@@ -505,40 +609,51 @@ pub(crate) fn solve(
         for cost in phase1_costs.iter_mut().skip(num_core) {
             *cost = 1.0;
         }
+        // Phase 1 always prices with Dantzig scoring: on the artificial-sum
+        // objective Devex's norm estimates systematically prefer small-pivot
+        // columns and inflate the pivot count ~10x (measured on the mechanism
+        // LPs), while Dantzig drives the artificials out in near-minimal
+        // pivots.  The configured rule applies to Phase 2.
+        pricing.rule = PricingRule::Dantzig;
         let before = state.iterations_left;
         let outcome = run_phase(
             &mut basis,
             &phase1_costs,
             options,
             &mut state,
-            &mut y,
-            &mut w,
+            &mut pricing,
+            &mut ws,
         )?;
         state.stats.phase1_iterations = before - state.iterations_left;
         if matches!(outcome, PhaseOutcome::Unbounded) {
             // Phase 1 is bounded below by zero; unboundedness is numerical.
             return Err(SimplexError::NumericalBreakdown {
                 context: "phase 1 of the revised simplex became unbounded",
+                repairs: basis.repairs,
             });
         }
         if basis.objective(&phase1_costs) > 1e-6 {
             return Err(SimplexError::Infeasible);
         }
-        drive_out_artificials(&mut basis, eps, &mut y, &mut w);
+        drive_out_artificials(&mut basis, eps, options, &mut ws)?;
     }
 
     // ------------------------------- Phase 2 -------------------------------
     let mut phase2_costs = sf.costs.clone();
     phase2_costs.resize(total_columns, 0.0);
     state.start_phase(options);
+    pricing.rule = pricing_rule(options);
+    pricing.dirty = true;
+    pricing.reset_weights();
+    pricing.resets -= 1; // the phase boundary is not a mid-run framework reset
     let before = state.iterations_left;
     let outcome = run_phase(
         &mut basis,
         &phase2_costs,
         options,
         &mut state,
-        &mut y,
-        &mut w,
+        &mut pricing,
+        &mut ws,
     )?;
     state.stats.phase2_iterations = before - state.iterations_left;
     if matches!(outcome, PhaseOutcome::Unbounded) {
@@ -551,12 +666,25 @@ pub(crate) fn solve(
             z[col] = basis.xb[r];
         }
     }
-    state.stats.refactorizations = basis.refactorizations;
+    state.stats.refactorizations = basis.factorizations;
+    state.stats.basis_updates = basis.total_updates;
+    state.stats.basis_repairs = basis.repairs;
+    state.stats.devex_resets = pricing.resets;
     Ok(SolvedPoint {
         objective: basis.objective(&phase2_costs),
         z,
         stats: state.stats,
     })
+}
+
+/// The pricing rule in force when Bland mode is off: the legacy
+/// [`PivotRule::Dantzig`](crate::PivotRule::Dantzig) forces Dantzig scoring,
+/// otherwise [`SolveOptions::pricing`] decides.
+fn pricing_rule(options: &SolveOptions) -> PricingRule {
+    match options.pivot_rule {
+        crate::solver::PivotRule::Dantzig => PricingRule::Dantzig,
+        _ => options.pricing,
+    }
 }
 
 /// Run revised-simplex pivots until the current costs are optimal or unbounded.
@@ -565,8 +693,8 @@ fn run_phase(
     costs: &[f64],
     options: &SolveOptions,
     state: &mut PivotState,
-    y: &mut [f64],
-    w: &mut [f64],
+    pricing: &mut Pricing,
+    ws: &mut Workspace,
 ) -> Result<PhaseOutcome, SimplexError> {
     let eps = options.tolerance;
     loop {
@@ -575,66 +703,121 @@ fn run_phase(
                 limit: options.max_iterations,
             });
         }
-        // The configured interval is a floor: for tall problems a longer eta
-        // file amortises the rebuild better (measured optimum tracks rows/16 on
-        // the mechanism LPs), so stretch the cadence with the row count.
-        let interval = options.refactor_interval.max(basis.num_rows() / 16).max(1);
-        if basis.updates_since_refactor >= interval {
-            basis.refactorize()?;
+        // The configured interval is a floor: for tall problems a longer update
+        // run amortises the factorisation cost better (the measured optimum
+        // tracks rows/32 on the mechanism LPs), so stretch the cadence with
+        // the row count.
+        let interval = options.refactor_interval.max(basis.num_rows() / 32).max(1);
+        if basis.lu.updates() >= interval && basis.refactorize().is_err() {
+            basis.repair(options, "periodic refactorisation", true)?;
+        }
+        if basis.dirty_reduced_costs {
+            pricing.dirty = true;
+            basis.dirty_reduced_costs = false;
+        }
+        if basis.dirty_weights {
+            pricing.reset_weights();
+            basis.dirty_weights = false;
         }
 
-        let entering = price(basis, costs, eps, state.using_bland, y);
+        // ---- entering column -------------------------------------------------
+        let entering = loop {
+            if state.using_bland {
+                break price_bland(basis, costs, eps, &mut ws.y);
+            }
+            if pricing.dirty {
+                pricing.recompute(basis, costs, &mut ws.y);
+            }
+            match pricing.select(eps, options.partial_pricing, &basis.in_basis) {
+                Some(j) => break Some(j),
+                None if !pricing.exact => {
+                    // The incremental reduced costs may have drifted; prove
+                    // optimality (or find a survivor) from exact ones.
+                    pricing.dirty = true;
+                }
+                None => break None,
+            }
+        };
         let Some(col) = entering else {
+            // Confirm optimality on *fresh* factors: the reduced costs above
+            // are exact with respect to the current factorisation, but the
+            // factorisation itself accumulates Forrest–Tomlin round-off, so a
+            // long update run can fake convergence.  One rebuild per phase end
+            // is cheap insurance; after it `updates() == 0`, so a clean second
+            // pass terminates.
+            if !state.using_bland && basis.lu.updates() > 0 {
+                if basis.refactorize().is_err() {
+                    basis.repair(options, "optimality confirmation refactorisation", true)?;
+                }
+                continue;
+            }
             return Ok(PhaseOutcome::Optimal);
         };
-        basis.ftran_column(col, w);
-        let Some(row) = basis.ratio_test(w, eps, state.using_bland) else {
+
+        basis.ftran_column(col, &mut ws.w);
+
+        // Verify a candidate priced from drifted reduced costs against the
+        // FTRANed column before pivoting on it.
+        let d_actual = costs[col]
+            - basis
+                .basis
+                .iter()
+                .zip(ws.w.iter())
+                .map(|(&b, &wr)| costs[b] * wr)
+                .sum::<f64>();
+        if !state.using_bland && !pricing.exact && d_actual >= -eps * 0.5 {
+            pricing.d[col] = d_actual;
+            pricing.dirty = true;
+            continue;
+        }
+
+        let Some(row) = basis.ratio_test(&ws.w, eps, state.using_bland) else {
             return Ok(PhaseOutcome::Unbounded);
         };
-        let nondegenerate = basis.pivot(row, col, w);
+
+        // ---- pricing update from the pivot row (before the basis changes) ----
+        if !state.using_bland {
+            ws.rho.fill(0.0);
+            ws.rho[row] = 1.0;
+            basis.btran(&mut ws.rho);
+            ws.alpha.clear();
+            for (r, &rho_r) in ws.rho.iter().enumerate() {
+                if rho_r != 0.0 {
+                    for (j, v) in basis.row_major.row(r) {
+                        ws.alpha.add(j, v * rho_r);
+                    }
+                }
+            }
+            let leaving = basis.basis[row];
+            pricing.update_from_pivot_row(
+                &ws.alpha,
+                ws.w[row],
+                col,
+                d_actual,
+                leaving,
+                &basis.in_basis,
+            );
+        } else {
+            // Bland mode prices exactly each iteration; the incremental state
+            // is stale once we leave it.
+            pricing.dirty = true;
+        }
+
+        let nondegenerate = basis.apply_pivot(row, col, &ws.w, options)?;
         state.record_pivot(options, nondegenerate);
     }
 }
 
-/// Price the nonbasic columns under the current basis: compute the simplex
-/// multipliers `y = c_B' B⁻¹` by BTRAN, then reduced costs `d_j = c_j − y' a_j`
-/// by sparse dot products.  Returns the entering column per the active rule, or
-/// `None` at optimality.
-///
-/// Artificial columns are never allowed to enter — the scan stops at the core
-/// columns in both phases (they start basic in Phase 1 and only ever leave).
-fn price(
-    basis: &RevisedState<'_>,
-    costs: &[f64],
-    eps: f64,
-    use_bland: bool,
-    y: &mut [f64],
-) -> Option<usize> {
+/// Bland's rule pricing: the smallest-index nonbasic column with a negative
+/// exact reduced cost (recomputed every iteration, as the termination
+/// guarantee requires).  Artificial columns are never allowed to enter — the
+/// scan stops at the core columns (they start basic and only ever leave).
+fn price_bland(basis: &RevisedState<'_>, costs: &[f64], eps: f64, y: &mut [f64]) -> Option<usize> {
     for (r, slot) in y.iter_mut().enumerate() {
         *slot = costs[basis.basis[r]];
     }
     basis.btran(y);
-
-    let limit = basis.num_core;
-    if use_bland {
-        (0..limit).find(|&j| !basis.in_basis[j] && costs[j] - basis.column_dot(j, y) < -eps)
-    } else {
-        let mut best: Option<(usize, f64)> = None;
-        for (j, &cost) in costs[..limit].iter().enumerate() {
-            if basis.in_basis[j] {
-                continue;
-            }
-            let rc = cost - basis.column_dot(j, y);
-            if rc < -eps {
-                match best {
-                    None => best = Some((j, rc)),
-                    Some((_, best_rc)) if rc < best_rc => best = Some((j, rc)),
-                    _ => {}
-                }
-            }
-        }
-        best.map(|(j, _)| j)
-    }
+    (0..basis.num_core).find(|&j| !basis.in_basis[j] && costs[j] - basis.column_dot(j, y) < -eps)
 }
 
 /// After Phase 1, pivot any artificial variables that are still basic (at value
@@ -642,23 +825,42 @@ fn price(
 /// the transformed row are `ρ' a_j` with `ρ = (B⁻¹)' e_r` (one BTRAN of a unit
 /// vector); rows where every structural coefficient vanishes are redundant
 /// constraints, and their artificial stays harmlessly basic at zero.
-fn drive_out_artificials(basis: &mut RevisedState<'_>, eps: f64, rho: &mut [f64], w: &mut [f64]) {
-    for row in 0..basis.num_rows() {
-        if basis.basis[row] < basis.num_core {
-            continue;
+fn drive_out_artificials(
+    basis: &mut RevisedState<'_>,
+    eps: f64,
+    options: &SolveOptions,
+    ws: &mut Workspace,
+) -> Result<(), SimplexError> {
+    // A repair inside apply_pivot refactorises, which can re-key (permute)
+    // which row each basic column lives on — a fixed front-to-back scan would
+    // then skip an artificial that moved to an already-visited row.  Restart
+    // the scan whenever a repair fired; the restart budget is generous (each
+    // restart requires a fresh breakdown, and redundant rows pivot nothing).
+    let mut restarts = 0usize;
+    'scan: loop {
+        for row in 0..basis.num_rows() {
+            if basis.basis[row] < basis.num_core {
+                continue;
+            }
+            ws.rho.fill(0.0);
+            ws.rho[row] = 1.0;
+            basis.btran(&mut ws.rho);
+            let replacement = (0..basis.num_core)
+                .find(|&j| !basis.in_basis[j] && basis.column_dot(j, &ws.rho).abs() > eps);
+            if let Some(col) = replacement {
+                basis.ftran_column(col, &mut ws.w);
+                debug_assert!(ws.w[row].abs() > eps * 0.5);
+                let repairs_before = basis.repairs;
+                basis.apply_pivot(row, col, &ws.w, options)?;
+                if basis.repairs != repairs_before && restarts < basis.num_rows() {
+                    restarts += 1;
+                    continue 'scan;
+                }
+            } else {
+                debug_assert!(basis.xb[row].abs() <= 1e-6);
+            }
         }
-        rho.fill(0.0);
-        rho[row] = 1.0;
-        basis.btran(rho);
-        let replacement = (0..basis.num_core)
-            .find(|&j| !basis.in_basis[j] && basis.column_dot(j, rho).abs() > eps);
-        if let Some(col) = replacement {
-            basis.ftran_column(col, w);
-            debug_assert!(w[row].abs() > eps * 0.5);
-            basis.pivot(row, col, w);
-        } else {
-            debug_assert!(basis.xb[row].abs() <= 1e-6);
-        }
+        return Ok(());
     }
 }
 
@@ -668,9 +870,9 @@ mod tests {
     use crate::model::{LinearProgram, Relation};
     use crate::standard::standardize;
 
-    /// FTRAN then BTRAN against a hand-checked eta file.
+    /// FTRAN then BTRAN against hand-checked basis algebra.
     #[test]
-    fn eta_transforms_match_matrix_algebra() {
+    fn lu_transforms_match_matrix_algebra() {
         // B = [[2, 1], [0, 1]]: pivot col0 at row0 (w = [2, 0]), then col1 at row1.
         let mut lp = LinearProgram::minimize();
         let x = lp.add_variable("x");
@@ -678,17 +880,20 @@ mod tests {
         lp.add_constraint(vec![(x, 2.0), (y, 1.0)], Relation::Equal, 4.0);
         lp.add_constraint(vec![(y, 1.0)], Relation::Equal, 1.0);
         let sf = standardize(&lp);
-        let mut state = RevisedState::new(&sf);
+        let options = SolveOptions::default();
+        let mut state = RevisedState::new(&sf).unwrap();
 
         let mut w = vec![0.0; 2];
         state.ftran_column(0, &mut w);
-        state.pivot(0, 0, &w.clone());
+        let w0 = w.clone();
+        state.apply_pivot(0, 0, &w0, &options).unwrap();
         state.ftran_column(1, &mut w);
-        state.pivot(1, 1, &w.clone());
+        let w1 = w.clone();
+        state.apply_pivot(1, 1, &w1, &options).unwrap();
 
         // B^{-1} = [[0.5, -0.5], [0, 1]]; check on a probe vector.
         let mut v = vec![4.0, 1.0];
-        state.ftran(&mut v);
+        state.lu.ftran(&mut v);
         assert!((v[0] - 1.5).abs() < 1e-12);
         assert!((v[1] - 1.0).abs() < 1e-12);
 
@@ -713,21 +918,93 @@ mod tests {
         let sf = standardize(&lp);
         let options = SolveOptions::default();
         let mut state = PivotState::new(&options);
-        let mut basis = RevisedState::new(&sf);
-        let mut y = vec![0.0; sf.num_rows()];
-        let mut w = vec![0.0; sf.num_rows()];
+        let mut basis = RevisedState::new(&sf).unwrap();
+        let mut ws = Workspace::new(sf.num_rows(), sf.num_columns());
+        let mut pricing = Pricing::new(sf.num_columns(), PricingRule::Devex);
 
-        // Run a few pivots of phase 1 manually, then refactorise and compare xb.
+        // Run phase 1 to completion, then refactorise and compare xb.
         let total = sf.num_columns() + basis.num_artificials();
         let mut phase1 = vec![0.0; total];
         for cost in phase1.iter_mut().skip(sf.num_columns()) {
             *cost = 1.0;
         }
-        let _ = run_phase(&mut basis, &phase1, &options, &mut state, &mut y, &mut w);
+        let _ = run_phase(
+            &mut basis,
+            &phase1,
+            &options,
+            &mut state,
+            &mut pricing,
+            &mut ws,
+        );
         let before = basis.xb.clone();
+        // The factorisation may re-key rows, so compare as multisets of
+        // (basic column, value) pairs.
+        let mut pairs_before: Vec<(usize, i64)> = basis
+            .basis
+            .iter()
+            .zip(before.iter())
+            .map(|(&c, &v)| (c, (v * 1e8).round() as i64))
+            .collect();
         basis.refactorize().unwrap();
-        for (a, b) in before.iter().zip(basis.xb.iter()) {
-            assert!((a - b).abs() < 1e-8, "{a} vs {b}");
-        }
+        let mut pairs_after: Vec<(usize, i64)> = basis
+            .basis
+            .iter()
+            .zip(basis.xb.iter())
+            .map(|(&c, &v)| (c, (v * 1e8).round() as i64))
+            .collect();
+        pairs_before.sort_unstable();
+        pairs_after.sort_unstable();
+        assert_eq!(pairs_before, pairs_after);
+    }
+
+    #[test]
+    fn repair_rolls_back_to_the_last_good_basis() {
+        let mut lp = LinearProgram::minimize();
+        let x = lp.add_variable("x");
+        let y = lp.add_variable("y");
+        lp.add_constraint(vec![(x, 1.0)], Relation::LessEq, 3.0);
+        lp.add_constraint(vec![(y, 1.0)], Relation::LessEq, 4.0);
+        let sf = standardize(&lp);
+        let options = SolveOptions::default();
+        let mut basis = RevisedState::new(&sf).unwrap();
+        let good = {
+            let mut sorted = basis.basis.clone();
+            sorted.sort_unstable();
+            sorted
+        };
+
+        // Corrupt the books into a structurally singular basis (one column
+        // basic in both rows): refactorisation must fail, and repair must
+        // fall back to the last good snapshot.
+        basis.basis[1] = basis.basis[0];
+        assert!(basis.refactorize().is_err());
+        basis.repair(&options, "test corruption", true).unwrap();
+        let mut restored = basis.basis.clone();
+        restored.sort_unstable();
+        assert_eq!(restored, good);
+        assert!(basis.repairs >= 1, "repair count must be recorded");
+        assert!(basis.dirty_weights, "a rollback must reset Devex weights");
+
+        // With the budget exhausted the same corruption reports breakdown.
+        basis.repair_streak = options.max_repairs;
+        basis.basis[1] = basis.basis[0];
+        assert!(matches!(
+            basis.repair(&options, "test corruption", true),
+            Err(SimplexError::NumericalBreakdown { .. })
+        ));
+    }
+
+    #[test]
+    fn partial_pricing_sections_cover_all_columns() {
+        let mut pricing = Pricing::new(10, PricingRule::Devex);
+        pricing.d.fill(1.0);
+        pricing.d[7] = -1.0;
+        pricing.dirty = false;
+        pricing.exact = true;
+        let in_basis = vec![false; 10];
+        // A 3-wide section scan must still find the single candidate at 7.
+        assert_eq!(pricing.select(1e-9, 3, &in_basis), Some(7));
+        // And remember where it found it.
+        assert_eq!(pricing.cursor % 10, 6);
     }
 }

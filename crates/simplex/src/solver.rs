@@ -3,16 +3,18 @@
 //! Two interchangeable backends sit behind [`LinearProgram::solve_with`]:
 //!
 //! * [`SolverBackend::SparseRevised`] (the default) — the revised simplex method
-//!   over the CSC constraint matrix, with the basis inverse kept as an eta file
-//!   (product form) and refactorised periodically; per-pivot cost is `O(nnz)`
-//!   (see [`crate::revised`]).
+//!   over the CSC constraint matrix, with the basis inverse held as a sparse LU
+//!   factorisation updated in place by Forrest–Tomlin rank-one updates and
+//!   refactorised periodically; per-pivot cost is `O(nnz)` (see
+//!   [`crate::revised`] and [`crate::lu`]).
 //! * [`SolverBackend::DenseTableau`] — the classic dense full-tableau method;
 //!   per-pivot cost is `O(rows · cols)`.  Kept as a fallback and as the oracle the
-//!   sparse backend is tested against.
+//!   sparse backend is tested against.  It always prices with the Dantzig rule —
+//!   [`SolveOptions::pricing`] applies to the sparse backend only.
 //!
-//! Both backends share standardisation, pivot rules, and termination behaviour, so
-//! they report the same optima (the backend-agreement integration tests assert
-//! this), differing only in asymptotics.
+//! Both backends share standardisation, anti-cycling rules, and termination
+//! behaviour, so they report the same optima (the backend-agreement integration
+//! tests assert this), differing only in asymptotics.
 
 use serde::{Deserialize, Serialize};
 
@@ -48,6 +50,34 @@ impl Default for PivotRule {
     }
 }
 
+/// Pricing rule used by the sparse revised backend to score entering
+/// candidates while the anti-cycling machinery of [`PivotRule`] is *not* in
+/// Bland mode.  (With `PivotRule::Dantzig` or `PivotRule::Bland` the classic
+/// rule is forced and this option is ignored.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PricingRule {
+    /// Most negative reduced cost.  Cheap per iteration but blind to column
+    /// scaling, which costs many extra pivots on the heavily degenerate
+    /// mechanism LPs.
+    Dantzig,
+    /// Devex reference-framework pricing (Forrest & Goldfarb): score
+    /// `d_j² / γ_j` with resettable reference weights `γ` updated from the
+    /// pivot row each iteration.  Approximates steepest-edge at a fraction of
+    /// its cost and substantially cuts pivot counts on degenerate problems;
+    /// the default.
+    #[default]
+    Devex,
+}
+
+impl std::fmt::Display for PricingRule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PricingRule::Dantzig => write!(f, "dantzig"),
+            PricingRule::Devex => write!(f, "devex"),
+        }
+    }
+}
+
 /// Which simplex implementation executes the pivots.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum SolverBackend {
@@ -77,16 +107,31 @@ pub struct SolveOptions {
     pub max_iterations: usize,
     /// Absolute tolerance used for reduced costs, ratio tests, and feasibility checks.
     pub tolerance: f64,
-    /// Entering-column rule.
+    /// Anti-cycling entering rule (Dantzig / Bland / the hybrid fallback).
     pub pivot_rule: PivotRule,
     /// Which simplex implementation to run.
     pub backend: SolverBackend,
-    /// Sparse backend only: refactorise the basis after this many eta updates.
-    /// Lower values cost more refactorisations but keep FTRAN/BTRAN cheaper and
-    /// the basis numerically fresher.  Treated as a floor — for tall problems the
-    /// solver stretches the cadence to `rows / 16`, which tracks the measured
-    /// optimum on the mechanism LPs.
+    /// Sparse backend only: refactorise the basis after this many
+    /// Forrest–Tomlin updates.  Lower values cost more factorisations but keep
+    /// the factors sparser and numerically fresher.  Treated as a floor — for
+    /// tall problems the solver stretches the cadence to `rows / 32`, which
+    /// tracks the measured optimum on the mechanism LPs.
     pub refactor_interval: usize,
+    /// Sparse backend only: how entering candidates are scored outside Bland
+    /// mode (see [`PricingRule`]).
+    pub pricing: PricingRule,
+    /// Sparse backend only: when nonzero, price in cyclic sections of this many
+    /// columns, entering from the first section containing a candidate instead
+    /// of always scanning every column (classic partial pricing).  `0` scans
+    /// the full column range every iteration.
+    pub partial_pricing: usize,
+    /// Sparse backend only: how many *consecutive* numerical breakdowns (with
+    /// no successful basis update in between) may be repaired — by
+    /// refactorising from scratch, falling back to the last good basis —
+    /// before the solve gives up with [`SimplexError::NumericalBreakdown`].
+    /// Isolated breakdowns over a long run each get a fresh budget;
+    /// [`SolveStats::basis_repairs`] reports the total.
+    pub max_repairs: usize,
 }
 
 impl Default for SolveOptions {
@@ -97,6 +142,9 @@ impl Default for SolveOptions {
             pivot_rule: PivotRule::default(),
             backend: SolverBackend::default(),
             refactor_interval: 64,
+            pricing: PricingRule::default(),
+            partial_pricing: 0,
+            max_repairs: 2,
         }
     }
 }
@@ -114,8 +162,23 @@ pub struct SolveStats {
     pub bland_activations: usize,
     /// Number of artificial variables that were required.
     pub artificial_variables: usize,
-    /// Sparse backend only: how many times the basis was refactorised.
+    /// Sparse backend only: how many full LU factorisations of the basis were
+    /// performed (the initial one, the periodic rebuilds, and any repairs).
+    /// This is deliberately **not** the pivot count — each pivot between
+    /// factorisations is a rank-one update, reported separately in
+    /// [`SolveStats::basis_updates`].
     pub refactorizations: usize,
+    /// Sparse backend only: total Forrest–Tomlin rank-one basis updates
+    /// applied across the solve (one per pivot that did not trigger a
+    /// refactorisation).
+    pub basis_updates: usize,
+    /// Sparse backend only: how many numerical breakdowns were repaired by
+    /// rebuilding the factorisation (possibly from the last good basis)
+    /// instead of aborting the solve.
+    pub basis_repairs: usize,
+    /// Sparse backend only: how many times the Devex reference framework was
+    /// reset because its weights overflowed their trust bound.
+    pub devex_resets: usize,
     /// Which backend produced this solve.
     pub backend: SolverBackend,
 }
@@ -303,6 +366,7 @@ fn solve_dense(sf: &StandardForm, options: &SolveOptions) -> Result<SolvedPoint,
             // numerical breakdown.
             return Err(SimplexError::NumericalBreakdown {
                 context: "phase 1 of the dense tableau became unbounded",
+                repairs: 0,
             });
         }
         if tableau.objective() > 1e-6 {
@@ -655,6 +719,17 @@ mod tests {
         assert!(solution.stats.phase1_iterations + solution.stats.phase2_iterations >= 1);
         assert_eq!(solution.stats.artificial_variables, 1);
         assert_eq!(solution.stats.backend, SolverBackend::SparseRevised);
+        // LU accounting: the initial factorisation always runs, every pivot is
+        // a rank-one update, and a clean solve needs no repairs.
+        assert!(solution.stats.refactorizations >= 1);
+        assert!(solution.stats.basis_updates >= 1);
+        // Every recorded pivot is a rank-one update (driving residual
+        // artificials out after Phase 1 may add a few more).
+        assert!(
+            solution.stats.basis_updates
+                >= solution.stats.phase1_iterations + solution.stats.phase2_iterations
+        );
+        assert_eq!(solution.stats.basis_repairs, 0);
     }
 
     #[test]

@@ -205,6 +205,134 @@ impl SparseMatrix {
         }
         self.nnz() as f64 / (self.num_rows as f64 * self.num_cols as f64)
     }
+
+    /// Build the compressed sparse **row** mirror of this matrix.
+    ///
+    /// The revised simplex is column-oriented almost everywhere, but two hot
+    /// kernels want rows: Devex pricing multiplies the (sparse) pivot row of
+    /// `B⁻¹` against *every* nonbasic column, which is `O(nnz(A))` column-wise
+    /// but only `O(Σ_{r ∈ supp} row_nnz(r))` row-wise, and the LU
+    /// factorisation's pivot search wants row counts.  Built once per solve.
+    pub fn to_row_major(&self) -> RowMajor {
+        let mut row_ptr = vec![0usize; self.num_rows + 1];
+        for &r in &self.row_idx {
+            row_ptr[r + 1] += 1;
+        }
+        for r in 0..self.num_rows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        let mut cursor = row_ptr.clone();
+        let mut col_idx = vec![0usize; self.nnz()];
+        let mut values = vec![0.0f64; self.nnz()];
+        for j in 0..self.num_cols {
+            for (r, v) in self.column(j) {
+                let slot = cursor[r];
+                cursor[r] += 1;
+                col_idx[slot] = j;
+                values[slot] = v;
+            }
+        }
+        RowMajor {
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+}
+
+/// A compressed sparse **row** view of a [`SparseMatrix`] (columns ascending
+/// within each row), produced by [`SparseMatrix::to_row_major`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowMajor {
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl RowMajor {
+    /// The `(col, value)` entries of row `r`, columns ascending.
+    #[inline]
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let range = self.row_ptr[r]..self.row_ptr[r + 1];
+        self.col_idx[range.clone()]
+            .iter()
+            .copied()
+            .zip(self.values[range].iter().copied())
+    }
+
+    /// Number of stored entries in row `r`.
+    #[inline]
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.row_ptr[r + 1] - self.row_ptr[r]
+    }
+}
+
+/// A dense-backed sparse accumulator (the classic "SPA" of sparse-matrix codes):
+/// a dense value array plus an explicit pattern of touched indices, so a sparse
+/// linear combination costs `O(nnz)` to build and `O(pattern)` to reset — no
+/// `O(n)` clears between uses.
+///
+/// Used by the LU factorisation's Schur updates, the Forrest–Tomlin row
+/// elimination, and the Devex pivot-row accumulation.
+#[derive(Debug, Clone)]
+pub struct SparseAccumulator {
+    values: Vec<f64>,
+    marked: Vec<bool>,
+    pattern: Vec<usize>,
+}
+
+impl SparseAccumulator {
+    /// An accumulator over indices `0..len`, initially empty.
+    pub fn with_len(len: usize) -> Self {
+        SparseAccumulator {
+            values: vec![0.0; len],
+            marked: vec![false; len],
+            pattern: Vec::new(),
+        }
+    }
+
+    /// Add `v` at index `i`, extending the pattern if `i` is untouched.
+    #[inline]
+    pub fn add(&mut self, i: usize, v: f64) {
+        if self.marked[i] {
+            self.values[i] += v;
+        } else {
+            self.marked[i] = true;
+            self.values[i] = v;
+            self.pattern.push(i);
+        }
+    }
+
+    /// The current value at index `i` (zero when untouched).
+    #[inline]
+    pub fn get(&self, i: usize) -> f64 {
+        if self.marked[i] {
+            self.values[i]
+        } else {
+            0.0
+        }
+    }
+
+    /// Whether index `i` is in the pattern.
+    #[inline]
+    pub fn is_marked(&self, i: usize) -> bool {
+        self.marked[i]
+    }
+
+    /// The touched indices, in insertion order.
+    #[inline]
+    pub fn pattern(&self) -> &[usize] {
+        &self.pattern
+    }
+
+    /// Reset to empty in `O(pattern)`.
+    pub fn clear(&mut self) {
+        for &i in &self.pattern {
+            self.marked[i] = false;
+            self.values[i] = 0.0;
+        }
+        self.pattern.clear();
+    }
 }
 
 #[cfg(test)]
@@ -269,5 +397,49 @@ mod tests {
     #[should_panic(expected = "outside")]
     fn out_of_bounds_triplets_panic() {
         SparseMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]);
+    }
+
+    #[test]
+    fn row_major_mirror_matches_columns() {
+        let m = SparseMatrix::from_triplets(
+            3,
+            4,
+            &[
+                (2, 1, 5.0),
+                (0, 0, 1.0),
+                (1, 1, -2.0),
+                (0, 3, 4.0),
+                (2, 0, 3.0),
+            ],
+        );
+        let rm = m.to_row_major();
+        assert_eq!(rm.row(0).collect::<Vec<_>>(), vec![(0, 1.0), (3, 4.0)]);
+        assert_eq!(rm.row(1).collect::<Vec<_>>(), vec![(1, -2.0)]);
+        assert_eq!(rm.row(2).collect::<Vec<_>>(), vec![(0, 3.0), (1, 5.0)]);
+        assert_eq!(rm.row_nnz(2), 2);
+        // Round-trip: every stored entry is found through the row view.
+        for j in 0..m.num_cols() {
+            for (r, v) in m.column(j) {
+                assert!(rm.row(r).any(|(c, value)| c == j && value == v));
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_accumulator_tracks_pattern_and_resets_cheaply() {
+        let mut spa = SparseAccumulator::with_len(5);
+        spa.add(3, 1.5);
+        spa.add(1, 2.0);
+        spa.add(3, -0.5);
+        assert_eq!(spa.get(3), 1.0);
+        assert_eq!(spa.get(1), 2.0);
+        assert_eq!(spa.get(0), 0.0);
+        assert!(spa.is_marked(1) && !spa.is_marked(2));
+        assert_eq!(spa.pattern(), &[3, 1]);
+        spa.clear();
+        assert_eq!(spa.pattern(), &[] as &[usize]);
+        assert_eq!(spa.get(3), 0.0);
+        spa.add(3, 7.0);
+        assert_eq!(spa.get(3), 7.0, "cleared slot must start from zero again");
     }
 }

@@ -163,6 +163,31 @@ fn backends_agree_on_all_pivot_rules() {
 }
 
 #[test]
+fn pricing_rules_and_partial_pricing_agree_with_the_oracle() {
+    use cpm_simplex::PricingRule;
+    let (lp, _) = basic_dp_lp(6, 0.9);
+    let dense = lp
+        .solve_with(&options(SolverBackend::DenseTableau))
+        .unwrap()
+        .objective_value;
+    for pricing in [PricingRule::Devex, PricingRule::Dantzig] {
+        for partial in [0usize, 7, 64] {
+            let solve_options = SolveOptions {
+                pricing,
+                partial_pricing: partial,
+                ..options(SolverBackend::SparseRevised)
+            };
+            let solution = lp.solve_with(&solve_options).unwrap();
+            assert!(
+                (solution.objective_value - dense).abs() < AGREEMENT_TOLERANCE,
+                "pricing {pricing} partial {partial}: {} vs {dense}",
+                solution.objective_value
+            );
+        }
+    }
+}
+
+#[test]
 fn backends_agree_on_degenerate_beale() {
     // Beale's cycling example — maximally degenerate; the hybrid rule must reach
     // the same optimum through either backend.
@@ -270,6 +295,59 @@ proptest! {
             (sparse.objective_value - dense.objective_value).abs() < AGREEMENT_TOLERANCE,
             "sparse {} vs dense {}", sparse.objective_value, dense.objective_value
         );
+    }
+
+    /// Heavily degenerate random programs — many zero right-hand sides, so
+    /// nearly every vertex is degenerate and the LU-backed revised simplex
+    /// leans hard on its anti-cycling and basis-update machinery.  The dense
+    /// tableau is the oracle.
+    #[test]
+    fn prop_backends_agree_on_degenerate_programs(
+        signs in proptest::collection::vec(0.0f64..1.0, 36),
+        costs in proptest::collection::vec(-2.0f64..2.0, 6),
+    ) {
+        let mut lp = LinearProgram::minimize();
+        let vars = lp.add_variables("x", 6);
+        for (v, c) in vars.iter().zip(costs.iter()) {
+            lp.set_objective_coefficient(*v, *c);
+        }
+        // Six ternary-coefficient rows with rhs 0 (maximum degeneracy), one
+        // normalising row, and unit caps to keep the program bounded.
+        for row in 0..6 {
+            let terms: Vec<_> = vars
+                .iter()
+                .enumerate()
+                .map(|(k, &v)| {
+                    let s = signs[row * 6 + k];
+                    let coefficient = if s < 1.0 / 3.0 {
+                        -1.0
+                    } else if s < 2.0 / 3.0 {
+                        0.0
+                    } else {
+                        1.0
+                    };
+                    (v, coefficient)
+                })
+                .filter(|&(_, c)| c != 0.0)
+                .collect();
+            if !terms.is_empty() {
+                lp.add_constraint(terms, Relation::GreaterEq, 0.0);
+            }
+        }
+        lp.add_constraint(vars.iter().map(|&v| (v, 1.0)), Relation::Equal, 1.0);
+        for &v in &vars {
+            lp.add_constraint([(v, 1.0)], Relation::LessEq, 1.0);
+        }
+        let sparse = lp.solve_with(&options(SolverBackend::SparseRevised));
+        let dense = lp.solve_with(&options(SolverBackend::DenseTableau));
+        match (sparse, dense) {
+            (Ok(s), Ok(d)) => prop_assert!(
+                (s.objective_value - d.objective_value).abs() < AGREEMENT_TOLERANCE,
+                "sparse {} vs dense {}", s.objective_value, d.objective_value
+            ),
+            (Err(se), Err(de)) => prop_assert_eq!(se, de),
+            (s, d) => prop_assert!(false, "status disagreement: sparse {s:?} vs dense {d:?}"),
+        }
     }
 
     /// Random DP-shaped instances: agreement plus the Theorem-3 closed form.
