@@ -1,0 +1,59 @@
+//! Criterion bench: serving throughput — raw alias-vs-CDF draws, hot-key batch
+//! privatization through the engine, and a Zipf key mix with all designs
+//! resident.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use cpm_core::prelude::*;
+use cpm_serve::prelude::*;
+use cpm_serve::workload;
+
+fn bench_raw_draws(c: &mut Criterion) {
+    let alpha = Alpha::new(0.9).unwrap();
+    let mut group = c.benchmark_group("serving_raw_draws");
+    for &n in &[8usize, 32, 128] {
+        let gm = GeometricMechanism::new(n, alpha).unwrap().into_matrix();
+        let cdf = MechanismSampler::new(&gm);
+        let alias = AliasSampler::new(&gm);
+        let counts: Vec<usize> = (0..10_000).map(|i| i % (n + 1)).collect();
+
+        group.bench_with_input(BenchmarkId::new("cdf_log_n", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| cdf.privatize(&counts, &mut rng))
+        });
+        group.bench_with_input(BenchmarkId::new("alias_o1", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| alias.privatize(&counts, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_batches(c: &mut Criterion) {
+    let alpha = Alpha::new(0.9).unwrap();
+    let mut group = c.benchmark_group("serving_engine");
+
+    let engine = Engine::with_defaults();
+    let hot = MechanismKey::new(32, alpha, PropertySet::empty());
+    engine.warm(&[hot]).expect("GM warms instantly");
+    let hot_batch = workload::hot_key_requests(hot, 100_000, 5);
+    group.bench_function("hot_key_100k", |b| {
+        b.iter(|| engine.privatize_batch(&hot_batch).unwrap())
+    });
+
+    let keys: Vec<MechanismKey> = [8usize, 12, 16, 20, 24, 28, 32, 64]
+        .into_iter()
+        .map(|n| MechanismKey::new(n, alpha, PropertySet::empty()))
+        .collect();
+    engine.warm(&keys).expect("GM keys warm instantly");
+    let zipf_batch = workload::zipf_requests(&keys, 1.1, 100_000, 5);
+    group.bench_function("zipf_mix_100k", |b| {
+        b.iter(|| engine.privatize_batch(&zipf_batch).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_raw_draws, bench_engine_batches);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Serving probe: sweep batch size × thread count × key diversity through the
+//! `cpm-serve` engine and print draws/sec per cell — the serving counterpart of
+//! `backend_scaling`.  Quicker and more informative for tuning than the
+//! statistical Criterion bench.
+//!
+//! Three key-diversity scenarios per (batch, threads) cell:
+//!
+//! * `hot`   — one resident GM key (pure sampling throughput);
+//! * `zipf`  — a Zipf(1.1) mix over 16 keys, all resident (cache-hit path under
+//!   realistic skew);
+//! * `storm` — the cache is cleared first, so the batch pays its own design
+//!   cost, LP keys included (cold-start amortisation + single flight).
+//!
+//! Overrides: `CPM_SERVE_BATCHES=10000,100000` (batch sizes),
+//! `CPM_SERVE_THREAD_SWEEP=1,2,8` (thread counts), `--full` widens both sweeps.
+//! Thread counts are applied by setting `CPM_THREADS` before each cell, so set
+//! nothing else that reads it while the probe runs.
+
+use std::time::Instant;
+
+use cpm_bench::cli::FigureOptions;
+use cpm_core::{Alpha, Property, PropertySet};
+use cpm_serve::prelude::*;
+use cpm_serve::workload;
+
+fn env_list(name: &str) -> Option<Vec<usize>> {
+    let list = std::env::var(name).ok()?;
+    let parsed: Vec<usize> = list
+        .split(',')
+        .filter_map(|v| v.trim().parse().ok())
+        .collect();
+    if parsed.is_empty() {
+        eprintln!("warning: {name}={list:?} has no parsable entries; using the default sweep");
+        None
+    } else {
+        Some(parsed)
+    }
+}
+
+/// The key mix: rank 0 is a hot unconstrained GM; deeper ranks alternate
+/// closed-form and LP-designed (WH / CM) keys over several group sizes.
+fn key_mix(count: usize) -> Vec<MechanismKey> {
+    let alpha = Alpha::new(0.9).unwrap();
+    let properties = [
+        PropertySet::empty(),
+        PropertySet::empty().with(Property::WeakHonesty),
+        PropertySet::empty().with(Property::ColumnMonotonicity),
+        PropertySet::empty().with(Property::Fairness),
+    ];
+    (0..count)
+        .map(|rank| {
+            let n = [32, 16, 24, 8, 12][rank % 5];
+            MechanismKey::new(n, alpha, properties[rank % properties.len()])
+        })
+        .collect()
+}
+
+fn main() {
+    let options = FigureOptions::from_env();
+    let batches = env_list("CPM_SERVE_BATCHES").unwrap_or_else(|| {
+        if options.full {
+            vec![1_000, 10_000, 100_000, 1_000_000]
+        } else {
+            vec![10_000, 100_000]
+        }
+    });
+    let available = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let threads = env_list("CPM_SERVE_THREAD_SWEEP").unwrap_or_else(|| {
+        let mut sweep = vec![1, 2, 4, 8, available];
+        sweep.retain(|&t| t <= available);
+        sweep.dedup();
+        sweep
+    });
+
+    let keys = key_mix(16);
+    println!(
+        "batch | threads | scenario | unique keys | design | sample | draws/sec | hits/misses"
+    );
+    for &batch_size in &batches {
+        for &thread_count in &threads {
+            std::env::set_var("CPM_THREADS", thread_count.to_string());
+            for scenario in ["hot", "zipf", "storm"] {
+                let engine = Engine::new(EngineConfig::default());
+                let requests = match scenario {
+                    "hot" => workload::hot_key_requests(keys[0], batch_size, 1),
+                    _ => workload::zipf_requests(&keys, 1.1, batch_size, 1),
+                };
+                if scenario != "storm" {
+                    // Resident designs: the batch measures pure serving.
+                    let unique: Vec<MechanismKey> = if scenario == "hot" {
+                        vec![keys[0]]
+                    } else {
+                        keys.clone()
+                    };
+                    engine.warm(&unique).expect("warm-up designs must succeed");
+                }
+                let start = Instant::now();
+                match engine.privatize_batch(&requests) {
+                    Ok(outcome) => {
+                        let total = start.elapsed();
+                        let stats = outcome.stats;
+                        println!(
+                            "{batch_size:7} | {thread_count:2} | {scenario:5} | {:2} | {:9.2?} | {:9.2?} | {:10.0} | {}/{}",
+                            stats.unique_keys,
+                            stats.design_time,
+                            stats.sample_time,
+                            batch_size as f64 / total.as_secs_f64(),
+                            stats.cache_hits,
+                            stats.cache_misses,
+                        );
+                    }
+                    Err(error) => {
+                        println!(
+                            "{batch_size:7} | {thread_count:2} | {scenario:5} | failed after {:.2?}: {error}",
+                            start.elapsed()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -42,6 +42,23 @@ impl Alpha {
         self.0
     }
 
+    /// The IEEE-754 bit pattern of α, suitable as a hash-map key component.
+    ///
+    /// [`Alpha::new`] guarantees the value is finite and strictly positive, so the
+    /// bit pattern is canonical: there is no NaN (whose payload bits would make
+    /// equal-comparing values hash differently) and no `-0.0` / `+0.0` split.  Two
+    /// α values key the same cache slot iff they are the same `f64`.
+    #[inline]
+    pub fn key_bits(self) -> u64 {
+        self.0.to_bits()
+    }
+
+    /// This α as a bit-exact, hashable cache key.
+    #[inline]
+    pub fn key(self) -> AlphaKey {
+        AlphaKey(self.key_bits())
+    }
+
     /// The equivalent additive privacy budget `ε = −ln α`.
     #[inline]
     pub fn epsilon(self) -> f64 {
@@ -77,6 +94,43 @@ impl Alpha {
 impl std::fmt::Display for Alpha {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{}", self.0)
+    }
+}
+
+/// A bit-exact, hashable key for an [`Alpha`].
+///
+/// `Alpha` itself is only `PartialEq` (it wraps an `f64`), which rules it out as a
+/// `HashMap` key.  `AlphaKey` wraps the IEEE-754 bit pattern instead, giving `Eq` and
+/// `Hash` without epsilon-comparison bugs: `0.9` written two ways collides, while a
+/// value one ulp away keys a different slot — exactly the contract a design cache
+/// wants (float α values arriving over the wire are either byte-identical or they
+/// denote a different design request).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AlphaKey(u64);
+
+impl AlphaKey {
+    /// The raw bit pattern (identical to [`Alpha::key_bits`]).
+    #[inline]
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Recover the α this key was built from.
+    #[inline]
+    pub fn alpha(self) -> Alpha {
+        Alpha(f64::from_bits(self.0))
+    }
+}
+
+impl From<Alpha> for AlphaKey {
+    fn from(alpha: Alpha) -> Self {
+        alpha.key()
+    }
+}
+
+impl std::fmt::Display for AlphaKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.alpha())
     }
 }
 
@@ -146,6 +200,41 @@ mod tests {
         assert!(Alpha::new(0.5).unwrap().geometric_is_column_monotone());
         assert!(Alpha::new(0.3).unwrap().geometric_is_column_monotone());
         assert!(!Alpha::new(0.51).unwrap().geometric_is_column_monotone());
+    }
+
+    #[test]
+    fn key_bits_collide_for_the_same_float_parsed_two_ways() {
+        // The same mathematical value reached through different front doors — a
+        // literal, a string parse, and `from_epsilon(-ln 0.9)` rounded back — must
+        // share one cache slot whenever they round to the same f64.
+        let literal = Alpha::new(0.9).unwrap();
+        let parsed = Alpha::new("0.9".parse::<f64>().unwrap()).unwrap();
+        assert_eq!(literal.key(), parsed.key());
+        assert_eq!(literal.key_bits(), parsed.key_bits());
+
+        // 0.9 + 1e-17 is below half an ulp of 0.9 (~5.5e-17), so IEEE-754 rounds the
+        // sum back to exactly 0.9: per bit equality the two MUST collide.
+        let nudged = Alpha::new(0.9 + 1e-17).unwrap();
+        assert_eq!(nudged.value().to_bits(), 0.9f64.to_bits());
+        assert_eq!(literal.key(), nudged.key());
+
+        // One whole ulp away is a genuinely different f64 and keys a different slot.
+        let next_up = Alpha::new(f64::from_bits(0.9f64.to_bits() + 1)).unwrap();
+        assert_ne!(literal.key(), next_up.key());
+        assert_ne!(literal.key_bits(), next_up.key_bits());
+    }
+
+    #[test]
+    fn alpha_key_round_trips_and_is_usable_in_a_hash_map() {
+        use std::collections::HashMap;
+        let mut cache: HashMap<AlphaKey, &'static str> = HashMap::new();
+        for alpha in Alpha::paper_values() {
+            cache.insert(alpha.key(), "design");
+            assert_eq!(alpha.key().alpha().value(), alpha.value());
+            assert_eq!(AlphaKey::from(alpha), alpha.key());
+        }
+        assert_eq!(cache.len(), Alpha::paper_values().len());
+        assert_eq!(cache.get(&Alpha::new(0.9).unwrap().key()), Some(&"design"));
     }
 
     #[test]

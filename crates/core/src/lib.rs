@@ -71,7 +71,7 @@ pub mod sampling;
 pub mod selection;
 pub mod symmetrize;
 
-pub use alpha::Alpha;
+pub use alpha::{Alpha, AlphaKey};
 pub use error::CoreError;
 pub use matrix::{Mechanism, DEFAULT_TOLERANCE};
 pub use mechanisms::{
@@ -80,10 +80,11 @@ pub use mechanisms::{
 };
 pub use objective::{rescaled_l0, rescaled_l0_d, Aggregator, LossKind, Objective, Prior};
 pub use properties::{Property, PropertyReport, PropertySet};
+pub use sampling::{AliasSampler, MechanismSampler};
 
 /// Commonly used items, re-exported for `use cpm_core::prelude::*`.
 pub mod prelude {
-    pub use crate::alpha::Alpha;
+    pub use crate::alpha::{Alpha, AlphaKey};
     pub use crate::closed_form;
     pub use crate::derivability::{derivability_violations, is_derivable_from_geometric};
     pub use crate::error::CoreError;
@@ -100,7 +101,9 @@ pub mod prelude {
         rescaled_l0, rescaled_l0_d, Aggregator, LossKind, Objective, Prior,
     };
     pub use crate::properties::{Property, PropertyReport, PropertySet};
-    pub use crate::sampling::{sample_geometric_direct, MechanismSampler};
-    pub use crate::selection::{self, design_for_properties, select_mechanism, MechanismChoice};
+    pub use crate::sampling::{sample_geometric_direct, AliasSampler, MechanismSampler};
+    pub use crate::selection::{
+        self, design_for_properties, realize_with_stats, select_mechanism, MechanismChoice,
+    };
     pub use crate::symmetrize::{reflect, symmetrize};
 }

@@ -17,7 +17,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use cpm_simplex::SolveOptions;
+use cpm_simplex::{SolveOptions, SolveStats};
 
 use crate::alpha::Alpha;
 use crate::closed_form;
@@ -102,31 +102,52 @@ pub fn realize(
     alpha: Alpha,
     options: &SolveOptions,
 ) -> Result<Mechanism, CoreError> {
+    realize_with_stats(choice, n, alpha, Some(options)).map(|(mechanism, _)| mechanism)
+}
+
+/// [`realize`], additionally reporting the simplex statistics when the choice
+/// required an LP solve (`None` for the closed-form constructions).
+///
+/// `options: None` lets each LP pick its own size-scaled
+/// [`crate::lp::DesignProblem::recommended_options`] — the right default for
+/// callers (such as a design cache) that serve arbitrary `(n, α)` pairs rather
+/// than one known problem size.
+pub fn realize_with_stats(
+    choice: MechanismChoice,
+    n: usize,
+    alpha: Alpha,
+    options: Option<&SolveOptions>,
+) -> Result<(Mechanism, Option<SolveStats>), CoreError> {
+    let solve_lp = |properties: PropertySet| -> Result<(Mechanism, Option<SolveStats>), CoreError> {
+        let problem = crate::lp::DesignProblem::constrained(n, alpha, Objective::l0(), properties);
+        let solution = match options {
+            Some(options) => problem.solve_with(options)?,
+            None => problem.solve()?,
+        };
+        Ok((
+            crate::symmetrize::symmetrize(&solution.mechanism),
+            Some(solution.solver_stats),
+        ))
+    };
     match choice {
-        MechanismChoice::Geometric => Ok(GeometricMechanism::new(n, alpha)?.into_matrix()),
-        MechanismChoice::ExplicitFair => Ok(ExplicitFairMechanism::new(n, alpha)?.into_matrix()),
-        MechanismChoice::Uniform => Ok(UniformMechanism::new(n)?.into_matrix()),
-        MechanismChoice::WeakHonestLp => {
-            let properties = PropertySet::empty()
+        MechanismChoice::Geometric => Ok((GeometricMechanism::new(n, alpha)?.into_matrix(), None)),
+        MechanismChoice::ExplicitFair => {
+            Ok((ExplicitFairMechanism::new(n, alpha)?.into_matrix(), None))
+        }
+        MechanismChoice::Uniform => Ok((UniformMechanism::new(n)?.into_matrix(), None)),
+        MechanismChoice::WeakHonestLp => solve_lp(
+            PropertySet::empty()
                 .with(Property::WeakHonesty)
                 .with(Property::RowMonotonicity)
-                .with(Property::Symmetry);
-            let solution =
-                crate::lp::DesignProblem::constrained(n, alpha, Objective::l0(), properties)
-                    .solve_with(options)?;
-            Ok(crate::symmetrize::symmetrize(&solution.mechanism))
-        }
-        MechanismChoice::WeakHonestColumnMonotoneLp => {
-            let properties = PropertySet::empty()
+                .with(Property::Symmetry),
+        ),
+        MechanismChoice::WeakHonestColumnMonotoneLp => solve_lp(
+            PropertySet::empty()
                 .with(Property::WeakHonesty)
                 .with(Property::RowMonotonicity)
                 .with(Property::ColumnMonotonicity)
-                .with(Property::Symmetry);
-            let solution =
-                crate::lp::DesignProblem::constrained(n, alpha, Objective::l0(), properties)
-                    .solve_with(options)?;
-            Ok(crate::symmetrize::symmetrize(&solution.mechanism))
-        }
+                .with(Property::Symmetry),
+        ),
     }
 }
 
@@ -273,6 +294,34 @@ mod tests {
                 rescaled_l0(&shortcut) <= rescaled_l0(&direct.mechanism) + 1e-6,
                 "{props}"
             );
+        }
+    }
+
+    #[test]
+    fn realize_with_stats_reports_lp_statistics_only_for_lp_choices() {
+        let alpha = a(0.9);
+        let (gm, stats) = realize_with_stats(MechanismChoice::Geometric, 6, alpha, None).unwrap();
+        assert!(stats.is_none(), "GM is closed-form, no LP solve");
+        assert!(gm.satisfies_dp(alpha, 1e-9));
+
+        let (wm, stats) =
+            realize_with_stats(MechanismChoice::WeakHonestColumnMonotoneLp, 4, alpha, None)
+                .unwrap();
+        let stats = stats.expect("WM requires an LP solve");
+        assert!(stats.phase1_iterations + stats.phase2_iterations > 0);
+        assert!(wm.satisfies_dp(alpha, 1e-6));
+        // The stats-carrying path must build the same mechanism as `realize`.
+        let direct = realize(
+            MechanismChoice::WeakHonestColumnMonotoneLp,
+            4,
+            alpha,
+            &SolveOptions::default(),
+        )
+        .unwrap();
+        for i in 0..wm.dim() {
+            for j in 0..wm.dim() {
+                assert!((wm.prob(i, j) - direct.prob(i, j)).abs() < 1e-9);
+            }
         }
     }
 

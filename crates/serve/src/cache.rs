@@ -1,0 +1,556 @@
+//! The design cache: a sharded, lock-striped, single-flight registry of finished
+//! mechanism designs.
+//!
+//! Design is the expensive step of the request path — an LP solve can take
+//! seconds while a draw takes nanoseconds — and it is perfectly amortizable:
+//! real deployments ask for the same `(n, α, properties, objective)` design
+//! millions of times.  The cache guarantees:
+//!
+//! * **lock striping** — keys hash to one of `shards` independent mutexes, so
+//!   concurrent lookups of *different* hot keys never contend on one lock;
+//! * **single flight** — concurrent requests for the same cold key trigger
+//!   exactly one design; every other requester blocks on the in-flight entry
+//!   (a condvar) and receives the shared result, success or failure;
+//! * **bounded capacity** — each shard evicts its least-recently-used *ready*
+//!   entry beyond its share of the capacity (in-flight entries are never
+//!   evicted);
+//! * **warm-up** — [`DesignCache::warm`] precomputes a declared key set on the
+//!   [`cpm_eval::par`] worker pool before traffic arrives.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use cpm_core::lp::DesignProblem;
+use cpm_core::sampling::AliasSampler;
+use cpm_core::selection::{self, MechanismChoice};
+use cpm_core::Mechanism;
+use cpm_simplex::SolveStats;
+
+use crate::error::ServeError;
+use crate::key::{MechanismKey, ObjectiveKey};
+
+/// One finished design: everything a draw needs, immutable and shared.
+#[derive(Debug, Clone)]
+pub struct Design {
+    /// The key this design answers.
+    pub key: MechanismKey,
+    /// Which Figure-5 mechanism the design resolved to (`None` for non-`L0`
+    /// objectives, which bypass the flowchart and solve the LP directly).
+    pub choice: Option<MechanismChoice>,
+    /// The designed column-stochastic matrix.
+    pub mechanism: Mechanism,
+    /// O(1) per-draw alias tables over the matrix columns.
+    pub sampler: AliasSampler,
+    /// Wall-clock time the design took (closed form or LP).
+    pub design_time: Duration,
+    /// Simplex statistics when the design required an LP solve; `None` for the
+    /// closed-form constructions (GM, EM, UM).
+    pub solver_stats: Option<SolveStats>,
+}
+
+/// How a lookup was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// The design was already resident.
+    Hit,
+    /// Another thread was already designing this key; we waited for its result.
+    Coalesced,
+    /// This thread performed the design (a cold miss).
+    Designed,
+}
+
+/// A point-in-time snapshot of the cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups satisfied by a resident design.
+    pub hits: u64,
+    /// Lookups that waited on another thread's in-flight design.
+    pub coalesced: u64,
+    /// Lookups that found nothing and started a design.
+    pub misses: u64,
+    /// Designs completed successfully (closed form or LP).
+    pub design_solves: u64,
+    /// The subset of `design_solves` that ran the simplex.
+    pub lp_solves: u64,
+    /// Ready entries evicted to stay within capacity.
+    pub evictions: u64,
+    /// Total wall-clock nanoseconds spent designing.
+    pub design_nanos: u64,
+    /// Ready entries currently resident.
+    pub entries: usize,
+}
+
+enum Entry {
+    Ready { design: Arc<Design>, last_used: u64 },
+    InFlight(Arc<Flight>),
+}
+
+enum FlightState {
+    Pending,
+    Done(Result<Arc<Design>, ServeError>),
+}
+
+struct Flight {
+    state: Mutex<FlightState>,
+    done: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight {
+            state: Mutex::new(FlightState::Pending),
+            done: Condvar::new(),
+        }
+    }
+
+    fn finish(&self, result: Result<Arc<Design>, ServeError>) {
+        let mut state = self.state.lock().expect("flight state poisoned");
+        *state = FlightState::Done(result);
+        self.done.notify_all();
+    }
+
+    fn wait(&self) -> Result<Arc<Design>, ServeError> {
+        let mut state = self.state.lock().expect("flight state poisoned");
+        loop {
+            match &*state {
+                FlightState::Pending => {
+                    state = self.done.wait(state).expect("flight state poisoned");
+                }
+                FlightState::Done(result) => return result.clone(),
+            }
+        }
+    }
+}
+
+/// Releases waiters and clears the in-flight entry if the designing thread dies
+/// before publishing a result — without this, a panic inside the LP would leave
+/// every coalesced requester blocked forever and the key permanently wedged.
+struct FlightGuard<'a> {
+    cache: &'a DesignCache,
+    shard: usize,
+    key: MechanismKey,
+    flight: Arc<Flight>,
+    armed: bool,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.cache.remove_in_flight(self.shard, &self.key);
+            self.flight
+                .finish(Err(ServeError::DesignPanicked { key: self.key }));
+        }
+    }
+}
+
+struct Shard {
+    entries: HashMap<MechanismKey, Entry>,
+}
+
+impl Shard {
+    fn ready_len(&self) -> usize {
+        self.entries
+            .values()
+            .filter(|e| matches!(e, Entry::Ready { .. }))
+            .count()
+    }
+}
+
+/// The sharded, single-flight, LRU-bounded design registry.
+pub struct DesignCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    coalesced: AtomicU64,
+    misses: AtomicU64,
+    design_solves: AtomicU64,
+    lp_solves: AtomicU64,
+    evictions: AtomicU64,
+    design_nanos: AtomicU64,
+}
+
+impl DesignCache {
+    /// Default number of lock stripes.
+    pub const DEFAULT_SHARDS: usize = 16;
+
+    /// A cache holding at most `capacity` designs across [`Self::DEFAULT_SHARDS`]
+    /// lock stripes.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_shards(capacity, Self::DEFAULT_SHARDS)
+    }
+
+    /// A cache with an explicit stripe count (rounded up to at least 1).  The
+    /// capacity is split evenly across stripes, each keeping at least one entry.
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard_capacity = capacity.div_ceil(shards).max(1);
+        DesignCache {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        entries: HashMap::new(),
+                    })
+                })
+                .collect(),
+            per_shard_capacity,
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            design_solves: AtomicU64::new(0),
+            lp_solves: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            design_nanos: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &MechanismKey) -> usize {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() as usize) % self.shards.len()
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Fetch the design for `key`, computing it (once, globally) on a miss.
+    pub fn get(&self, key: &MechanismKey) -> Result<Arc<Design>, ServeError> {
+        self.get_with_outcome(key).map(|(design, _)| design)
+    }
+
+    /// The lock-and-look fast path: return the design if it is already resident,
+    /// bumping its LRU tick and the hit counter.  Never waits and never designs
+    /// — a cold or in-flight key returns `None`, and the caller decides whether
+    /// to block on [`DesignCache::get`].  Warm batches resolve entirely through
+    /// this path, without touching the worker pool.
+    pub fn peek(&self, key: &MechanismKey) -> Option<Arc<Design>> {
+        let shard_index = self.shard_of(key);
+        let mut shard = self.shards[shard_index].lock().expect("shard poisoned");
+        match shard.entries.get_mut(key) {
+            Some(Entry::Ready { design, last_used }) => {
+                *last_used = self.next_tick();
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(design))
+            }
+            _ => None,
+        }
+    }
+
+    /// [`DesignCache::get`], additionally reporting how the lookup was satisfied.
+    pub fn get_with_outcome(
+        &self,
+        key: &MechanismKey,
+    ) -> Result<(Arc<Design>, Lookup), ServeError> {
+        enum Action {
+            Wait(Arc<Flight>),
+            Design(Arc<Flight>),
+        }
+        let shard_index = self.shard_of(key);
+        // Decide under the stripe lock, but design/wait outside it.
+        let action = {
+            let mut shard = self.shards[shard_index].lock().expect("shard poisoned");
+            match shard.entries.get_mut(key) {
+                Some(Entry::Ready { design, last_used }) => {
+                    *last_used = self.next_tick();
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok((Arc::clone(design), Lookup::Hit));
+                }
+                Some(Entry::InFlight(flight)) => {
+                    // Single flight: somebody else is already designing this key.
+                    self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    Action::Wait(Arc::clone(flight))
+                }
+                None => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    let flight = Arc::new(Flight::new());
+                    shard
+                        .entries
+                        .insert(*key, Entry::InFlight(Arc::clone(&flight)));
+                    Action::Design(flight)
+                }
+            }
+        };
+        match action {
+            Action::Wait(flight) => flight.wait().map(|design| (design, Lookup::Coalesced)),
+            Action::Design(flight) => self
+                .design_and_publish(shard_index, key, flight)
+                .map(|design| (design, Lookup::Designed)),
+        }
+    }
+
+    /// Run the design for `key` outside any shard lock, then publish the result
+    /// to the map and to every coalesced waiter.
+    fn design_and_publish(
+        &self,
+        shard_index: usize,
+        key: &MechanismKey,
+        flight: Arc<Flight>,
+    ) -> Result<Arc<Design>, ServeError> {
+        let mut guard = FlightGuard {
+            cache: self,
+            shard: shard_index,
+            key: *key,
+            flight: Arc::clone(&flight),
+            armed: true,
+        };
+        let result = design(key);
+        guard.armed = false;
+        drop(guard);
+        match result {
+            Ok(design) => {
+                let design = Arc::new(design);
+                self.design_solves.fetch_add(1, Ordering::Relaxed);
+                if design.solver_stats.is_some() {
+                    self.lp_solves.fetch_add(1, Ordering::Relaxed);
+                }
+                self.design_nanos
+                    .fetch_add(design.design_time.as_nanos() as u64, Ordering::Relaxed);
+                {
+                    let mut shard = self.shards[shard_index].lock().expect("shard poisoned");
+                    shard.entries.insert(
+                        *key,
+                        Entry::Ready {
+                            design: Arc::clone(&design),
+                            last_used: self.next_tick(),
+                        },
+                    );
+                    self.evict_over_capacity(&mut shard);
+                }
+                flight.finish(Ok(Arc::clone(&design)));
+                Ok(design)
+            }
+            Err(error) => {
+                // Clear the key so a later request retries, then release waiters.
+                self.remove_in_flight(shard_index, key);
+                flight.finish(Err(error.clone()));
+                Err(error)
+            }
+        }
+    }
+
+    fn remove_in_flight(&self, shard_index: usize, key: &MechanismKey) {
+        let mut shard = self.shards[shard_index].lock().expect("shard poisoned");
+        if matches!(shard.entries.get(key), Some(Entry::InFlight(_))) {
+            shard.entries.remove(key);
+        }
+    }
+
+    /// Evict least-recently-used ready entries until the shard fits its share of
+    /// the capacity.  In-flight entries are never evicted, and the entry just
+    /// touched carries the freshest tick, so it survives.
+    fn evict_over_capacity(&self, shard: &mut Shard) {
+        while shard.ready_len() > self.per_shard_capacity {
+            let victim = shard
+                .entries
+                .iter()
+                .filter_map(|(key, entry)| match entry {
+                    Entry::Ready { last_used, .. } => Some((*key, *last_used)),
+                    Entry::InFlight(_) => None,
+                })
+                .min_by_key(|&(_, last_used)| last_used)
+                .map(|(key, _)| key);
+            match victim {
+                Some(key) => {
+                    shard.entries.remove(&key);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Precompute the designs for a declared key set, fanning the cold solves out
+    /// across the [`cpm_eval::par`] worker pool.  Returns the designs in key
+    /// order; the first design failure aborts the warm-up.
+    pub fn warm(&self, keys: &[MechanismKey]) -> Result<Vec<Arc<Design>>, ServeError> {
+        cpm_eval::par::try_parallel_map(keys.to_vec(), |key| self.get(&key))
+    }
+
+    /// Number of ready designs currently resident.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard poisoned").ready_len())
+            .sum()
+    }
+
+    /// Whether no designs are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total capacity (summed over stripes).
+    pub fn capacity(&self) -> usize {
+        self.per_shard_capacity * self.shards.len()
+    }
+
+    /// Drop every ready entry (in-flight designs are left to finish).  Used by
+    /// probes to reproduce cold-start behaviour within one process.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("shard poisoned");
+            shard
+                .entries
+                .retain(|_, entry| matches!(entry, Entry::InFlight(_)));
+        }
+    }
+
+    /// A point-in-time snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            design_solves: self.design_solves.load(Ordering::Relaxed),
+            lp_solves: self.lp_solves.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            design_nanos: self.design_nanos.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+}
+
+impl std::fmt::Debug for DesignCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DesignCache")
+            .field("shards", &self.shards.len())
+            .field("per_shard_capacity", &self.per_shard_capacity)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// Perform one design: route `L0` requests through the Figure-5 flowchart (which
+/// short-circuits to closed forms whenever it can) and other objectives through
+/// the constrained LP directly.
+fn design(key: &MechanismKey) -> Result<Design, ServeError> {
+    let alpha = key.alpha_value();
+    let start = Instant::now();
+    let built: Result<_, cpm_core::CoreError> = (|| match key.objective {
+        ObjectiveKey::L0 => {
+            let choice = selection::select_mechanism(key.properties, key.n, alpha);
+            let (mechanism, stats) = selection::realize_with_stats(choice, key.n, alpha, None)?;
+            Ok((Some(choice), mechanism, stats))
+        }
+        objective => {
+            let problem = DesignProblem::constrained(
+                key.n,
+                alpha,
+                objective.to_objective(),
+                key.properties.closure(),
+            );
+            let solution = problem.solve()?;
+            Ok((None, solution.mechanism, Some(solution.solver_stats)))
+        }
+    })();
+    let (choice, mechanism, solver_stats) =
+        built.map_err(|source| ServeError::Design { key: *key, source })?;
+    let sampler = AliasSampler::new(&mechanism);
+    Ok(Design {
+        key: *key,
+        choice,
+        mechanism,
+        sampler,
+        design_time: start.elapsed(),
+        solver_stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpm_core::{Alpha, Property, PropertySet};
+
+    fn gm_key(n: usize) -> MechanismKey {
+        MechanismKey::new(n, Alpha::new(0.5).unwrap(), PropertySet::empty())
+    }
+
+    #[test]
+    fn hit_after_miss_returns_the_same_design() {
+        let cache = DesignCache::new(8);
+        let key = gm_key(6);
+        let (first, outcome) = cache.get_with_outcome(&key).unwrap();
+        assert_eq!(outcome, Lookup::Designed);
+        let (second, outcome) = cache.get_with_outcome(&key).unwrap();
+        assert_eq!(outcome, Lookup::Hit);
+        assert!(Arc::ptr_eq(&first, &second));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.design_solves), (1, 1, 1));
+        assert_eq!(stats.lp_solves, 0, "GM at alpha=0.5 is closed form");
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn lru_eviction_keeps_the_most_recent_keys() {
+        // One stripe so the LRU order is global and observable.
+        let cache = DesignCache::with_shards(2, 1);
+        let keys: Vec<MechanismKey> = (2..6).map(gm_key).collect();
+        for key in &keys {
+            cache.get(key).unwrap();
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 2);
+        // The two most recent keys are hits; the two oldest were evicted.
+        cache.get(&keys[3]).unwrap();
+        cache.get(&keys[2]).unwrap();
+        assert_eq!(cache.stats().misses, 4, "recent keys are still resident");
+        cache.get(&keys[0]).unwrap();
+        assert_eq!(cache.stats().misses, 5, "oldest key was evicted");
+    }
+
+    #[test]
+    fn design_errors_are_returned_and_the_key_is_retryable() {
+        let cache = DesignCache::new(4);
+        // Group size 0 is invalid, so the design fails.
+        let bad = MechanismKey::new(0, Alpha::new(0.9).unwrap(), PropertySet::empty());
+        let error = cache.get(&bad).unwrap_err();
+        assert!(matches!(error, ServeError::Design { .. }));
+        assert_eq!(cache.len(), 0, "failed design leaves nothing resident");
+        // The key is retryable (still a miss, still the same error).
+        assert!(cache.get(&bad).is_err());
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn warm_precomputes_the_declared_key_set() {
+        let cache = DesignCache::new(16);
+        let alpha = Alpha::new(0.9).unwrap();
+        let keys = vec![
+            MechanismKey::new(4, alpha, PropertySet::empty()),
+            MechanismKey::new(4, alpha, PropertySet::empty().with(Property::Fairness)),
+            MechanismKey::new(6, alpha, PropertySet::empty().with(Property::WeakHonesty)),
+        ];
+        let designs = cache.warm(&keys).unwrap();
+        assert_eq!(designs.len(), 3);
+        assert_eq!(cache.len(), 3);
+        // Warm again: all hits, no new designs.
+        cache.warm(&keys).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.design_solves, 3);
+        assert_eq!(stats.hits, 3);
+    }
+
+    #[test]
+    fn non_l0_objectives_solve_the_lp_directly() {
+        let cache = DesignCache::new(4);
+        let key = MechanismKey::with_objective(
+            4,
+            Alpha::new(0.9).unwrap(),
+            PropertySet::empty(),
+            ObjectiveKey::L1,
+        );
+        let design = cache.get(&key).unwrap();
+        assert!(design.choice.is_none());
+        assert!(design.solver_stats.is_some());
+        assert_eq!(cache.stats().lp_solves, 1);
+        assert!(design
+            .mechanism
+            .satisfies_dp(Alpha::new(0.9).unwrap(), 1e-6));
+    }
+}

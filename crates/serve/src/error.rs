@@ -1,0 +1,70 @@
+//! Errors surfaced by the serving layer.
+
+use std::fmt;
+
+use cpm_core::CoreError;
+
+use crate::key::MechanismKey;
+
+/// Everything that can go wrong between a request arriving and a draw leaving.
+///
+/// `Clone` matters here: a failed design must be broadcast to every request that
+/// coalesced onto the in-flight solve, so the error is stored once in the flight
+/// slot and cloned out to each waiter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// Designing the mechanism for `key` failed (invalid parameters, LP failure).
+    Design {
+        /// The cache key whose design failed.
+        key: MechanismKey,
+        /// The underlying core error.
+        source: CoreError,
+    },
+    /// The thread designing `key` panicked; waiters are released with this error
+    /// and the key is cleared so a later request can retry.
+    DesignPanicked {
+        /// The cache key whose designer died.
+        key: MechanismKey,
+    },
+    /// A request's true count exceeds the group size of its key.
+    InvalidInput {
+        /// Position of the offending request within the batch.
+        index: usize,
+        /// The out-of-range true count.
+        input: usize,
+        /// The group size the key allows (valid counts are `0..=n`).
+        n: usize,
+    },
+    /// A malformed wire request (unknown op, bad α, unparsable properties...).
+    Protocol(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Design { key, source } => {
+                write!(f, "designing mechanism for {key} failed: {source}")
+            }
+            ServeError::DesignPanicked { key } => {
+                write!(
+                    f,
+                    "the thread designing {key} panicked; key cleared for retry"
+                )
+            }
+            ServeError::InvalidInput { index, input, n } => write!(
+                f,
+                "request #{index}: true count {input} exceeds group size {n}"
+            ),
+            ServeError::Protocol(message) => write!(f, "protocol error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Design { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,407 @@
+//! The wire front end: a length-prefixed request/response loop over any
+//! `Read`/`Write` pair (the `serve_stdio` binary wires it to stdin/stdout; tests
+//! drive it over in-memory buffers).
+//!
+//! ## Framing
+//!
+//! Each message is a 4-byte little-endian length followed by that many bytes of
+//! UTF-8 JSON.  Frames above [`MAX_FRAME_LEN`] are rejected (a corrupt length
+//! prefix must not trigger a giant allocation).  A clean EOF between frames ends
+//! the connection.
+//!
+//! ## Requests
+//!
+//! ```json
+//! {"op": "privatize", "n": 32, "alpha": 0.9, "properties": "WH+CM",
+//!  "objective": "L0", "inputs": [3, 17, 0]}
+//! ```
+//!
+//! `op` is one of `privatize` (default when empty), `warm`, `stats`, `shutdown`.
+//! `properties` lists the paper's short names separated by `+`, `,`, or spaces.
+//! The response mirrors the request frame format:
+//!
+//! ```json
+//! {"ok": true, "outputs": [2, 18, 1], "cache_hits": 1, ...}
+//! ```
+
+use std::io::{self, Read, Write};
+
+use serde::{Deserialize, Serialize};
+
+use cpm_core::{Alpha, Property, PropertySet};
+
+use crate::engine::{Engine, Request};
+use crate::key::{MechanismKey, ObjectiveKey};
+
+/// Upper bound on one frame's payload (16 MiB) — a corrupt or hostile length
+/// prefix fails fast instead of allocating unbounded memory.
+pub const MAX_FRAME_LEN: usize = 1 << 24;
+
+/// One request frame, as decoded from JSON.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct WireRequest {
+    /// `privatize` (default when empty), `warm`, `stats`, or `shutdown`.
+    #[serde(default)]
+    pub op: String,
+    /// Group size of the requested mechanism.
+    #[serde(default)]
+    pub n: usize,
+    /// Privacy parameter α ∈ (0, 1].
+    #[serde(default)]
+    pub alpha: f64,
+    /// Requested structural properties: short names separated by `+`/`,`/space
+    /// (e.g. `"WH+CM"`); empty for the unconstrained design.
+    #[serde(default)]
+    pub properties: String,
+    /// Objective: `L0` (default), `L1`, `L2`, or `L0,d`.
+    #[serde(default)]
+    pub objective: String,
+    /// True counts to privatise (one draw per entry; `privatize` only).
+    #[serde(default)]
+    pub inputs: Vec<usize>,
+}
+
+/// One response frame, encoded to JSON.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct WireResponse {
+    /// Whether the request succeeded; on failure only `error` is meaningful.
+    pub ok: bool,
+    /// Human-readable failure reason (empty on success).
+    #[serde(default)]
+    pub error: String,
+    /// Privatised outputs, in input order (`privatize` only).
+    #[serde(default)]
+    pub outputs: Vec<usize>,
+    /// Cumulative cache hits (`stats`) or this batch's key hits (`privatize`).
+    #[serde(default)]
+    pub cache_hits: u64,
+    /// Cumulative or per-batch cold misses, as above.
+    #[serde(default)]
+    pub cache_misses: u64,
+    /// Designs performed (cumulative for `stats`; this batch for `privatize`).
+    #[serde(default)]
+    pub design_solves: u64,
+    /// Resident designs after the request.
+    #[serde(default)]
+    pub entries: u64,
+    /// Microseconds spent designing (this batch, or cumulative for `stats`).
+    #[serde(default)]
+    pub design_micros: u64,
+    /// Microseconds spent sampling (this batch; 0 for `stats`).
+    #[serde(default)]
+    pub sample_micros: u64,
+}
+
+/// Totals for one served connection.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnectionSummary {
+    /// Frames processed (including failed ones).
+    pub frames: u64,
+    /// Privatised draws returned.
+    pub draws: u64,
+}
+
+/// Write one length-prefixed frame.
+pub fn write_frame<W: Write>(writer: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {} bytes exceeds MAX_FRAME_LEN", payload.len()),
+        ));
+    }
+    writer.write_all(&(payload.len() as u32).to_le_bytes())?;
+    writer.write_all(payload)?;
+    writer.flush()
+}
+
+/// Read one length-prefixed frame; `Ok(None)` on clean EOF before a length
+/// prefix, an `UnexpectedEof` error on EOF mid-frame.
+pub fn read_frame<R: Read>(reader: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        let got = reader.read(&mut len_bytes[filled..])?;
+        if got == 0 {
+            if filled == 0 {
+                return Ok(None); // clean EOF between frames
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "EOF inside a frame length prefix",
+            ));
+        }
+        filled += got;
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME_LEN"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    let mut filled = 0;
+    while filled < len {
+        let got = reader.read(&mut payload[filled..])?;
+        if got == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "EOF inside a frame payload",
+            ));
+        }
+        filled += got;
+    }
+    Ok(Some(payload))
+}
+
+/// Parse a property list as it appears on the wire (and in `CPM_SERVE_WARM`
+/// specs): the paper's short names split on `+`, `,`, or whitespace.
+pub fn parse_properties(text: &str) -> Result<PropertySet, String> {
+    let mut set = PropertySet::empty();
+    for token in text
+        .split(|c: char| c == '+' || c == ',' || c.is_whitespace())
+        .filter(|t| !t.is_empty())
+    {
+        match Property::from_short_name(token) {
+            Some(property) => set.insert(property),
+            None => return Err(format!("unknown property {token:?}")),
+        }
+    }
+    Ok(set)
+}
+
+/// Build the mechanism key a wire request denotes.
+fn parse_key(request: &WireRequest) -> Result<MechanismKey, String> {
+    let alpha = Alpha::new(request.alpha).map_err(|e| e.to_string())?;
+    let properties = parse_properties(&request.properties)?;
+    let objective = ObjectiveKey::parse(&request.objective)
+        .ok_or_else(|| format!("unknown objective {:?}", request.objective))?;
+    Ok(MechanismKey::with_objective(
+        request.n, alpha, properties, objective,
+    ))
+}
+
+fn failure(message: String) -> WireResponse {
+    WireResponse {
+        ok: false,
+        error: message,
+        ..WireResponse::default()
+    }
+}
+
+/// Process one decoded request against the engine.  Returns the response and
+/// whether the connection should close (`shutdown`).
+pub fn dispatch(engine: &Engine, request: &WireRequest) -> (WireResponse, bool) {
+    match request.op.as_str() {
+        "" | "privatize" => match parse_key(request) {
+            Ok(key) => {
+                let batch: Vec<Request> = request
+                    .inputs
+                    .iter()
+                    .map(|&input| Request::new(key, input))
+                    .collect();
+                match engine.privatize_batch(&batch) {
+                    Ok(outcome) => (
+                        WireResponse {
+                            ok: true,
+                            outputs: outcome.outputs,
+                            cache_hits: outcome.stats.cache_hits,
+                            cache_misses: outcome.stats.cache_misses,
+                            design_solves: outcome.stats.cache_misses,
+                            entries: engine.cache().len() as u64,
+                            design_micros: outcome.stats.design_time.as_micros() as u64,
+                            sample_micros: outcome.stats.sample_time.as_micros() as u64,
+                            ..WireResponse::default()
+                        },
+                        false,
+                    ),
+                    Err(error) => (failure(error.to_string()), false),
+                }
+            }
+            Err(message) => (failure(message), false),
+        },
+        "warm" => match parse_key(request) {
+            Ok(key) => match engine.warm(&[key]) {
+                Ok(()) => (
+                    WireResponse {
+                        ok: true,
+                        entries: engine.cache().len() as u64,
+                        ..WireResponse::default()
+                    },
+                    false,
+                ),
+                Err(error) => (failure(error.to_string()), false),
+            },
+            Err(message) => (failure(message), false),
+        },
+        "stats" => {
+            let stats = engine.cache_stats();
+            (
+                WireResponse {
+                    ok: true,
+                    cache_hits: stats.hits,
+                    cache_misses: stats.misses,
+                    design_solves: stats.design_solves,
+                    entries: stats.entries as u64,
+                    design_micros: stats.design_nanos / 1_000,
+                    ..WireResponse::default()
+                },
+                false,
+            )
+        }
+        "shutdown" => (
+            WireResponse {
+                ok: true,
+                ..WireResponse::default()
+            },
+            true,
+        ),
+        other => (failure(format!("unknown op {other:?}")), false),
+    }
+}
+
+/// Serve frames until EOF or a `shutdown` op.  One bad frame (malformed JSON,
+/// unknown op, invalid α) yields an `ok: false` response and the loop continues;
+/// only I/O failures end the connection with an error.
+pub fn serve_connection<R: Read, W: Write>(
+    engine: &Engine,
+    reader: &mut R,
+    writer: &mut W,
+) -> io::Result<ConnectionSummary> {
+    let mut summary = ConnectionSummary::default();
+    while let Some(payload) = read_frame(reader)? {
+        summary.frames += 1;
+        let (response, close) = match std::str::from_utf8(&payload)
+            .map_err(|e| e.to_string())
+            .and_then(|text| serde_json::from_str::<WireRequest>(text).map_err(|e| e.to_string()))
+        {
+            Ok(request) => dispatch(engine, &request),
+            Err(message) => (failure(format!("malformed request: {message}")), false),
+        };
+        summary.draws += response.outputs.len() as u64;
+        let encoded = serde_json::to_string(&response)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        write_frame(writer, encoded.as_bytes())?;
+        if close {
+            break;
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use std::io::Cursor;
+
+    fn frame(json: &str) -> Vec<u8> {
+        let mut bytes = (json.len() as u32).to_le_bytes().to_vec();
+        bytes.extend_from_slice(json.as_bytes());
+        bytes
+    }
+
+    fn run(engine: &Engine, frames: &[&str]) -> (Vec<WireResponse>, ConnectionSummary) {
+        let mut input = Vec::new();
+        for f in frames {
+            input.extend_from_slice(&frame(f));
+        }
+        let mut reader = Cursor::new(input);
+        let mut output = Vec::new();
+        let summary = serve_connection(engine, &mut reader, &mut output).unwrap();
+        let mut responses = Vec::new();
+        let mut cursor = Cursor::new(output);
+        while let Some(payload) = read_frame(&mut cursor).unwrap() {
+            let text = String::from_utf8(payload).unwrap();
+            responses.push(serde_json::from_str(&text).unwrap());
+        }
+        (responses, summary)
+    }
+
+    #[test]
+    fn privatize_round_trip_over_the_wire() {
+        let engine = Engine::with_defaults();
+        let (responses, summary) = run(
+            &engine,
+            &[r#"{"op": "privatize", "n": 8, "alpha": 0.5, "inputs": [0, 4, 8]}"#],
+        );
+        assert_eq!(summary.frames, 1);
+        assert_eq!(summary.draws, 3);
+        let response = &responses[0];
+        assert!(response.ok, "error: {}", response.error);
+        assert_eq!(response.outputs.len(), 3);
+        assert!(response.outputs.iter().all(|&o| o <= 8));
+        assert_eq!(response.cache_misses, 1);
+    }
+
+    #[test]
+    fn warm_then_privatize_hits_the_cache() {
+        let engine = Engine::with_defaults();
+        let (responses, _) = run(
+            &engine,
+            &[
+                r#"{"op": "warm", "n": 6, "alpha": 0.9, "properties": "WH"}"#,
+                r#"{"op": "privatize", "n": 6, "alpha": 0.9, "properties": "WH", "inputs": [1, 2]}"#,
+                r#"{"op": "stats"}"#,
+            ],
+        );
+        assert!(responses.iter().all(|r| r.ok));
+        assert_eq!(responses[0].entries, 1);
+        assert_eq!(responses[1].cache_hits, 1);
+        assert_eq!(responses[1].cache_misses, 0);
+        assert_eq!(responses[2].design_solves, 1);
+    }
+
+    #[test]
+    fn bad_frames_fail_soft_and_shutdown_closes() {
+        let engine = Engine::with_defaults();
+        let (responses, summary) = run(
+            &engine,
+            &[
+                r#"{"op": "privatize", "n": 4, "alpha": 2.0, "inputs": [1]}"#,
+                r#"{"op": "nonsense"}"#,
+                "not json at all",
+                r#"{"op": "shutdown"}"#,
+                r#"{"op": "stats"}"#,
+            ],
+        );
+        // The post-shutdown frame is never processed.
+        assert_eq!(summary.frames, 4);
+        assert!(!responses[0].ok, "alpha = 2.0 must be rejected");
+        assert!(!responses[1].ok);
+        assert!(!responses[2].ok);
+        assert!(responses[3].ok, "shutdown acks before closing");
+    }
+
+    #[test]
+    fn oversized_and_truncated_frames_are_io_errors() {
+        let engine = Engine::with_defaults();
+        // A length prefix far beyond MAX_FRAME_LEN.
+        let mut reader = Cursor::new(((MAX_FRAME_LEN + 1) as u32).to_le_bytes().to_vec());
+        let mut output = Vec::new();
+        assert!(serve_connection(&engine, &mut reader, &mut output).is_err());
+        // EOF mid-payload.
+        let mut truncated = 10u32.to_le_bytes().to_vec();
+        truncated.extend_from_slice(b"abc");
+        let mut reader = Cursor::new(truncated);
+        assert!(serve_connection(&engine, &mut reader, &mut output).is_err());
+    }
+
+    #[test]
+    fn property_parsing_accepts_the_paper_separators() {
+        assert_eq!(
+            parse_properties("WH+CM").unwrap(),
+            PropertySet::empty()
+                .with(Property::WeakHonesty)
+                .with(Property::ColumnMonotonicity)
+        );
+        assert_eq!(
+            parse_properties("rh, s").unwrap(),
+            PropertySet::empty()
+                .with(Property::RowHonesty)
+                .with(Property::Symmetry)
+        );
+        assert_eq!(parse_properties("").unwrap(), PropertySet::empty());
+        assert!(parse_properties("XX").is_err());
+    }
+}

@@ -1,0 +1,81 @@
+//! # cpm-serve — the mechanism-serving subsystem
+//!
+//! The paper's deliverable is a *mechanism*: a column-stochastic matrix that,
+//! once designed (via LP or closed form), privatizes group counts one draw at a
+//! time.  The rest of the workspace designs matrices and runs offline
+//! experiments; this crate serves draws under load.  Design is expensive
+//! (seconds of simplex) but perfectly amortizable — real deployments ask for the
+//! same `(n, α, properties, objective)` design millions of times — while a draw
+//! through an alias table costs `O(1)`.
+//!
+//! ## Request path
+//!
+//! ```text
+//!            ┌────────────────────────── cpm-serve ──────────────────────────┐
+//!            │                                                               │
+//!  request   │  ┌───────────────┐      ┌──────────────────┐                  │
+//!  (n, α,  ──┼─▶│ MechanismKey  │─────▶│   DesignCache    │── miss ──┐       │
+//!  props,    │  │ (bit-exact α  │      │ sharded stripes, │          ▼       │
+//!  obj,      │  │  via AlphaKey)│      │ single-flight,   │   ┌─────────────┐│
+//!  count j)  │  └───────────────┘      │ LRU, warm()      │   │ Figure-5    ││
+//!            │                         └────────┬─────────┘   │ selection / ││
+//!            │                                  │ hit         │ WM LP solve ││
+//!            │                                  ▼             │ (cpm-core + ││
+//!            │                         ┌──────────────────┐   │ cpm-simplex)││
+//!            │                         │   Arc<Design>    │◀──┴─────────────┘│
+//!            │                         │ matrix + alias   │                  │
+//!            │                         │ tables + stats   │                  │
+//!            │                         └────────┬─────────┘                  │
+//!            │                                  │                            │
+//!            │                                  ▼                            │
+//!            │                         ┌──────────────────┐                  │
+//!  output  ◀─┼─────────────────────────│ AliasSampler     │                  │
+//!  (draw i)  │                         │ O(1) Walker/Vose │                  │
+//!            │                         │ draw, column j   │                  │
+//!            │                         └──────────────────┘                  │
+//!            └───────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Batches take the same path in bulk: [`Engine::privatize_batch`] groups
+//! requests by key, resolves every distinct key through the cache (cold LP
+//! solves run concurrently on the [`cpm_eval::par`] pool; concurrent requests
+//! for the *same* cold key coalesce onto one solve), then shards the draws
+//! across the pool with one seeded, reproducible RNG stream per shard.
+//!
+//! ## Pieces
+//!
+//! * [`key`] — [`MechanismKey`]: `(n, bit-exact α, PropertySet, ObjectiveKey)`.
+//! * [`cache`] — [`DesignCache`]: lock-striped, single-flight, LRU-bounded,
+//!   with [`DesignCache::warm`] precomputation and hit/miss/solve counters.
+//! * [`engine`] — [`Engine`]: batched privatization with per-batch
+//!   [`BatchStats`] (hits, misses, design time, sample time).
+//! * [`frontend`] — a length-prefixed JSON request/response loop over any
+//!   `Read`/`Write` (the `serve_stdio` binary serves stdin/stdout).
+//! * [`workload`] — hot-key / Zipf-mix / cold-storm request generators shared
+//!   by the `serve_probe` bin, the `serving_throughput` bench, and the demo.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod engine;
+pub mod error;
+pub mod frontend;
+pub mod key;
+pub mod workload;
+
+pub use cache::{CacheStats, Design, DesignCache, Lookup};
+pub use engine::{BatchOutcome, BatchStats, Engine, EngineConfig, Request};
+pub use error::ServeError;
+pub use frontend::{serve_connection, ConnectionSummary, WireRequest, WireResponse};
+pub use key::{MechanismKey, ObjectiveKey};
+
+/// Commonly used items, re-exported for `use cpm_serve::prelude::*`.
+pub mod prelude {
+    pub use crate::cache::{CacheStats, Design, DesignCache, Lookup};
+    pub use crate::engine::{BatchOutcome, BatchStats, Engine, EngineConfig, Request};
+    pub use crate::error::ServeError;
+    pub use crate::frontend::{serve_connection, ConnectionSummary};
+    pub use crate::key::{MechanismKey, ObjectiveKey};
+    pub use crate::workload::{hot_key_requests, zipf_requests};
+}

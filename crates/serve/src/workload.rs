@@ -1,0 +1,100 @@
+//! Serving-workload generators: the request mixes every perf probe, bench, and
+//! demo replays.
+//!
+//! Three scenarios cover the serving design space:
+//!
+//! * **hot key** — every request hits one resident design (pure sampling
+//!   throughput);
+//! * **Zipf mix** — requests spread over `k` keys with rank-`s` popularity
+//!   (cache-hit path under realistic skew);
+//! * **cold-start storm** — many concurrent requesters race disjoint-or-shared
+//!   cold keys (single-flight and LP amortisation under worst-case arrival).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::engine::Request;
+use crate::key::MechanismKey;
+
+/// The CDF of a Zipf(`exponent`) distribution over ranks `0..k`:
+/// `Pr[rank = r] ∝ 1 / (r + 1)^exponent`.
+pub fn zipf_cdf(k: usize, exponent: f64) -> Vec<f64> {
+    assert!(k > 0, "a Zipf mix needs at least one rank");
+    let mut cdf: Vec<f64> = Vec::with_capacity(k);
+    let mut running = 0.0;
+    for rank in 0..k {
+        running += 1.0 / ((rank + 1) as f64).powf(exponent);
+        cdf.push(running);
+    }
+    let total = running;
+    for mass in cdf.iter_mut() {
+        *mass /= total;
+    }
+    // Exact tail so u ~ Uniform[0,1) always resolves (same contract as the
+    // mechanism samplers).
+    cdf[k - 1] = 1.0;
+    cdf
+}
+
+/// Draw one rank from a CDF built by [`zipf_cdf`].
+pub fn sample_rank<R: Rng + ?Sized>(cdf: &[f64], rng: &mut R) -> usize {
+    let u: f64 = rng.gen();
+    cdf.partition_point(|&mass| mass <= u).min(cdf.len() - 1)
+}
+
+/// Generate `count` requests over `keys` with Zipf(`exponent`) key popularity and
+/// uniform true counts, deterministically from `seed`.
+pub fn zipf_requests(
+    keys: &[MechanismKey],
+    exponent: f64,
+    count: usize,
+    seed: u64,
+) -> Vec<Request> {
+    assert!(!keys.is_empty(), "a request mix needs at least one key");
+    let cdf = zipf_cdf(keys.len(), exponent);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let key = keys[sample_rank(&cdf, &mut rng)];
+            let input = rng.gen_range(0..=key.n);
+            Request::new(key, input)
+        })
+        .collect()
+}
+
+/// Generate `count` hot-key requests (a single key, uniform true counts).
+pub fn hot_key_requests(key: MechanismKey, count: usize, seed: u64) -> Vec<Request> {
+    zipf_requests(&[key], 1.0, count, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpm_core::{Alpha, PropertySet};
+
+    #[test]
+    fn zipf_cdf_is_monotone_and_ends_at_one() {
+        let cdf = zipf_cdf(10, 1.1);
+        assert_eq!(cdf.len(), 10);
+        assert!(cdf.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(cdf[9], 1.0);
+        // Rank 0 dominates under a skewed exponent.
+        assert!(cdf[0] > 0.3);
+    }
+
+    #[test]
+    fn zipf_requests_cover_keys_with_rank_skew() {
+        let alpha = Alpha::new(0.9).unwrap();
+        let keys: Vec<MechanismKey> = (4..12)
+            .map(|n| MechanismKey::new(n, alpha, PropertySet::empty()))
+            .collect();
+        let requests = zipf_requests(&keys, 1.2, 20_000, 3);
+        assert_eq!(requests.len(), 20_000);
+        assert!(requests.iter().all(|r| r.input <= r.key.n));
+        let head = requests.iter().filter(|r| r.key == keys[0]).count();
+        let tail = requests.iter().filter(|r| r.key == keys[7]).count();
+        assert!(head > tail, "rank 0 ({head}) must beat rank 7 ({tail})");
+        // Deterministic given the seed.
+        assert_eq!(requests, zipf_requests(&keys, 1.2, 20_000, 3));
+    }
+}

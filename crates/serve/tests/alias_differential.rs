@@ -1,0 +1,158 @@
+//! Differential test: the O(1) alias sampler against the O(log n) CDF sampler,
+//! for every column of GM / WM / Fair at several `(n, α)`.
+//!
+//! Two layers of evidence, both deterministic:
+//!
+//! 1. **Measure equivalence** — `AliasSampler::implied_pmf` reconstructs the
+//!    exact probability each table assigns to each output; it must match the
+//!    mechanism column to within a few ulps (1e-12).
+//! 2. **Count agreement over a shared uniform stream** — the same `u` values are
+//!    replayed through both samplers via `sample_from_uniform`.  On an
+//!    equally-spaced grid both samplers partition `[0, 1)` into regions of
+//!    identical total measure, so per-output counts must agree to within the
+//!    number of region boundaries (`dim + 4`), *independent of the grid size*.
+//!    A seeded random stream is replayed as well, with the statistical bound
+//!    that coupling implies.
+
+use cpm_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn a(v: f64) -> Alpha {
+    Alpha::new(v).unwrap()
+}
+
+/// The mechanisms of the paper's Figure 6 that serving traffic asks for: the
+/// closed-form GM and EM (Fair) plus the LP-designed WM.
+fn mechanisms(n: usize, alpha: Alpha) -> Vec<(&'static str, Mechanism)> {
+    let (gm, _) =
+        realize_with_stats(MechanismChoice::Geometric, n, alpha, None).expect("GM builds");
+    let (fair, _) =
+        realize_with_stats(MechanismChoice::ExplicitFair, n, alpha, None).expect("EM builds");
+    let (wm, stats) =
+        realize_with_stats(MechanismChoice::WeakHonestColumnMonotoneLp, n, alpha, None)
+            .expect("WM solves");
+    assert!(stats.is_some(), "WM is LP-designed");
+    vec![("GM", gm), ("Fair", fair), ("WM", wm)]
+}
+
+const CASES: [(usize, f64); 3] = [(4, 0.9), (6, 2.0 / 3.0), (9, 0.76)];
+
+#[test]
+fn implied_pmf_matches_every_column() {
+    for (n, alpha) in CASES {
+        for (name, mechanism) in mechanisms(n, a(alpha)) {
+            let alias = AliasSampler::new(&mechanism);
+            for j in 0..mechanism.dim() {
+                let pmf = alias.implied_pmf(j);
+                for (i, &mass) in pmf.iter().enumerate() {
+                    assert!(
+                        (mass - mechanism.prob(i, j)).abs() < 1e-12,
+                        "{name} n={n} α={alpha} column {j} output {i}: \
+                         alias mass {mass} vs matrix {}",
+                        mechanism.prob(i, j)
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn grid_stream_counts_agree_within_boundary_slack() {
+    // 2^16 equally spaced uniforms per column: both samplers realise regions of
+    // equal measure, so counts can only disagree where a grid point straddles a
+    // region boundary — at most (dim + 4) points, independent of the grid size.
+    let grid: usize = 1 << 16;
+    for (n, alpha) in CASES {
+        for (name, mechanism) in mechanisms(n, a(alpha)) {
+            let dim = mechanism.dim();
+            let cdf = MechanismSampler::new(&mechanism);
+            let alias = AliasSampler::new(&mechanism);
+            for j in 0..dim {
+                let mut counts_cdf = vec![0i64; dim];
+                let mut counts_alias = vec![0i64; dim];
+                for k in 0..grid {
+                    let u = (2 * k + 1) as f64 / (2 * grid) as f64;
+                    counts_cdf[cdf.sample_from_uniform(j, u)] += 1;
+                    counts_alias[alias.sample_from_uniform(j, u)] += 1;
+                }
+                let slack = (dim + 4) as i64;
+                for i in 0..dim {
+                    assert!(
+                        (counts_cdf[i] - counts_alias[i]).abs() <= slack,
+                        "{name} n={n} α={alpha} column {j} output {i}: \
+                         cdf {} vs alias {} (slack {slack})",
+                        counts_cdf[i],
+                        counts_alias[i]
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn seeded_random_stream_counts_agree_for_every_column() {
+    // The same seeded uniform stream replayed through both samplers.  The
+    // samplers partition the unit interval differently (the alias table
+    // rearranges mass), so per-draw outputs differ; the per-output counts are
+    // coupled binomials whose difference concentrates within a few standard
+    // deviations.  The seed is pinned, so this is a deterministic regression
+    // test, not a flaky statistical one.
+    let draws: usize = 40_000;
+    for (n, alpha) in CASES {
+        for (name, mechanism) in mechanisms(n, a(alpha)) {
+            let dim = mechanism.dim();
+            let cdf = MechanismSampler::new(&mechanism);
+            let alias = AliasSampler::new(&mechanism);
+            for j in 0..dim {
+                let mut rng = StdRng::seed_from_u64(0xA11A5 ^ (j as u64) << 8 ^ n as u64);
+                let mut counts_cdf = vec![0i64; dim];
+                let mut counts_alias = vec![0i64; dim];
+                for _ in 0..draws {
+                    let u: f64 = rng.gen();
+                    counts_cdf[cdf.sample_from_uniform(j, u)] += 1;
+                    counts_alias[alias.sample_from_uniform(j, u)] += 1;
+                }
+                for i in 0..dim {
+                    let p = mechanism.prob(i, j);
+                    let sigma = (draws as f64 * p * (1.0 - p)).sqrt();
+                    let bound = (8.0 * sigma).max(48.0);
+                    let diff = (counts_cdf[i] - counts_alias[i]).abs() as f64;
+                    assert!(
+                        diff <= bound,
+                        "{name} n={n} α={alpha} column {j} output {i}: \
+                         |{} - {}| = {diff} > {bound}",
+                        counts_cdf[i],
+                        counts_alias[i]
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn cache_designs_draw_from_the_designed_matrix() {
+    // End-to-end through cpm-serve: the cached design's alias tables realise the
+    // cached mechanism, for an LP-designed key.
+    use cpm_serve::prelude::*;
+    let cache = DesignCache::new(4);
+    let key = MechanismKey::new(
+        6,
+        a(0.9),
+        PropertySet::empty().with(Property::ColumnMonotonicity),
+    );
+    let design = cache.get(&key).unwrap();
+    assert_eq!(
+        design.choice,
+        Some(MechanismChoice::WeakHonestColumnMonotoneLp)
+    );
+    for j in 0..design.mechanism.dim() {
+        let pmf = design.sampler.implied_pmf(j);
+        for (i, &mass) in pmf.iter().enumerate() {
+            assert!((mass - design.mechanism.prob(i, j)).abs() < 1e-12);
+        }
+    }
+}

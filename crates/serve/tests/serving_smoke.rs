@@ -1,0 +1,100 @@
+//! Release-mode serving smoke tests: a hot key must sustain a minimum
+//! draws/sec floor, and a cold-start storm (many threads, several LP keys at
+//! once) must complete without deadlock and with exactly one solve per key.
+//!
+//! These are `#[ignore]`d so the ordinary (debug) `cargo test` stays fast; CI
+//! runs them explicitly with
+//! `cargo test --release -p cpm-serve --test serving_smoke -- --ignored`.
+//! The floors are deliberately loose — they exist to catch order-of-magnitude
+//! regressions of the serving hot path (a draw regressing from O(1) to O(n),
+//! a lock on the per-draw path), not millisecond drift.
+
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use cpm_core::{Alpha, Property, PropertySet};
+use cpm_serve::prelude::*;
+
+/// Floor for hot-key batch privatization.  A release-mode alias draw costs tens
+/// of nanoseconds, so real throughput is tens of millions of draws/sec; half a
+/// million only trips on an architectural regression.
+const HOT_KEY_FLOOR_DRAWS_PER_SEC: f64 = 500_000.0;
+
+/// Generous ceiling for the whole cold-start storm (16 threads × 3 LP keys at
+/// n = 16; one WM solve at that size takes well under a second in release).
+const STORM_BUDGET: Duration = Duration::from_secs(120);
+
+#[test]
+#[ignore = "release-mode serving smoke test; run explicitly (see CI workflow)"]
+fn hot_key_sustains_the_throughput_floor() {
+    let engine = Engine::with_defaults();
+    let key = MechanismKey::new(32, Alpha::new(0.9).unwrap(), PropertySet::empty());
+    engine.warm(&[key]).expect("GM warms instantly");
+
+    let requests = hot_key_requests(key, 500_000, 11);
+    let outcome = engine.privatize_batch(&requests).unwrap();
+    assert_eq!(outcome.stats.cache_hits, 1, "the key must be resident");
+    let rate = outcome.stats.draws_per_sec();
+    assert!(
+        rate > HOT_KEY_FLOOR_DRAWS_PER_SEC,
+        "hot-key throughput {rate:.0} draws/sec under the {HOT_KEY_FLOOR_DRAWS_PER_SEC:.0} floor \
+         (sample phase took {:?})",
+        outcome.stats.sample_time
+    );
+    assert!(outcome.outputs.iter().all(|&o| o <= 32));
+}
+
+#[test]
+#[ignore = "release-mode serving smoke test; run explicitly (see CI workflow)"]
+fn cold_start_storm_completes_without_deadlock() {
+    let engine = Arc::new(Engine::with_defaults());
+    let alpha = Alpha::new(0.9).unwrap();
+    // Three genuinely LP-designed keys (WH or CM at strong privacy).
+    let keys: Vec<MechanismKey> = vec![
+        MechanismKey::new(
+            16,
+            alpha,
+            PropertySet::empty().with(Property::ColumnMonotonicity),
+        ),
+        MechanismKey::new(16, alpha, PropertySet::empty().with(Property::WeakHonesty)),
+        MechanismKey::new(
+            12,
+            alpha,
+            PropertySet::empty().with(Property::ColumnHonesty),
+        ),
+    ];
+
+    let threads = 16;
+    let barrier = Arc::new(Barrier::new(threads));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let engine = Arc::clone(&engine);
+            let barrier = Arc::clone(&barrier);
+            let keys = keys.clone();
+            scope.spawn(move || {
+                // Every thread asks for every key at once, worst-case arrival.
+                let requests: Vec<Request> = (0..300)
+                    .map(|i| {
+                        let key = keys[(i + t) % keys.len()];
+                        Request::new(key, (i * 7 + t) % (key.n + 1))
+                    })
+                    .collect();
+                barrier.wait();
+                let outcome = engine.privatize_batch(&requests).unwrap();
+                assert_eq!(outcome.outputs.len(), 300);
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < STORM_BUDGET,
+        "cold-start storm took {elapsed:?} (budget {STORM_BUDGET:?})"
+    );
+
+    // Single flight held under the storm: one design per key, all of them LP.
+    let stats = engine.cache_stats();
+    assert_eq!(stats.design_solves, 3, "stats: {stats:?}");
+    assert_eq!(stats.lp_solves, 3);
+    assert_eq!(stats.entries, 3);
+}

@@ -1,0 +1,85 @@
+//! Serving demo: spin up the `cpm-serve` engine, warm two keys, stream a
+//! Zipf-distributed request mix, and print cache and latency statistics.
+//!
+//! ```sh
+//! cargo run --release --example serving_demo
+//! ```
+
+use cpm_core::{Alpha, Property, PropertySet};
+use cpm_serve::prelude::*;
+use cpm_serve::workload;
+
+fn main() {
+    let engine = Engine::with_defaults();
+    let alpha = Alpha::new(0.9).unwrap();
+
+    // Two keys a deployment would declare up front: a hot unconstrained GM and
+    // the paper's WM (weak honesty + column monotonicity, LP-designed).
+    let gm_key = MechanismKey::new(64, alpha, PropertySet::empty());
+    let wm_key = MechanismKey::new(
+        16,
+        alpha,
+        PropertySet::empty()
+            .with(Property::WeakHonesty)
+            .with(Property::ColumnMonotonicity),
+    );
+    println!("warming 2 keys: {gm_key} and {wm_key} ...");
+    engine
+        .warm(&[gm_key, wm_key])
+        .expect("warm-up must succeed");
+    for key in [&gm_key, &wm_key] {
+        let design = engine.design(key).expect("already warmed");
+        println!(
+            "  {key}: {} designed in {:?}{}",
+            design
+                .choice
+                .map(|c| c.short_name())
+                .unwrap_or("LP mechanism"),
+            design.design_time,
+            design
+                .solver_stats
+                .as_ref()
+                .map(|s| format!(
+                    " ({} + {} simplex pivots)",
+                    s.phase1_iterations, s.phase2_iterations
+                ))
+                .unwrap_or_else(|| " (closed form)".to_string()),
+        );
+    }
+
+    // A Zipf(1.1) mix over the two keys: the GM key dominates, the WM key rides
+    // along — both resident, so every batch is pure sampling.
+    let requests = workload::zipf_requests(&[gm_key, wm_key], 1.1, 2_000_000, 7);
+    println!("\nstreaming {} requests in 10 batches ...", requests.len());
+    let mut total_draws = 0usize;
+    let mut total_sample = std::time::Duration::ZERO;
+    for (index, batch) in requests.chunks(200_000).enumerate() {
+        let outcome = engine.privatize_batch(batch).expect("batch must succeed");
+        total_draws += outcome.outputs.len();
+        total_sample += outcome.stats.sample_time;
+        println!(
+            "  batch {index:2}: {} draws, {} unique keys, {} hit(s), design {:?}, sample {:?} ({:.1}M draws/sec)",
+            outcome.stats.requests,
+            outcome.stats.unique_keys,
+            outcome.stats.cache_hits,
+            outcome.stats.design_time,
+            outcome.stats.sample_time,
+            outcome.stats.draws_per_sec() / 1e6,
+        );
+    }
+
+    let stats = engine.cache_stats();
+    println!(
+        "\ntotals: {total_draws} draws in {total_sample:?} ({:.1}M draws/sec sampling)",
+        total_draws as f64 / total_sample.as_secs_f64() / 1e6,
+    );
+    println!(
+        "cache: {} hits, {} misses, {} designs ({} LP), {:.1} ms designing, {} resident",
+        stats.hits,
+        stats.misses,
+        stats.design_solves,
+        stats.lp_solves,
+        stats.design_nanos as f64 / 1e6,
+        stats.entries,
+    );
+}
