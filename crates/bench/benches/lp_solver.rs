@@ -71,7 +71,7 @@ fn bench_constrained_solves(c: &mut Criterion) {
     group.sample_size(10);
     for &n in &[8usize, 16, 32] {
         group.bench_with_input(BenchmarkId::new("wm_wh_rm_cm", n), &n, |b, &n| {
-            b.iter(|| weak_honest_mechanism(n, alpha).unwrap())
+            b.iter(|| optimal_constrained(n, alpha, Objective::l0(), wm_properties()).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("all_properties", n), &n, |b, &n| {
             b.iter(|| optimal_constrained(n, alpha, Objective::l0(), PropertySet::all()).unwrap())

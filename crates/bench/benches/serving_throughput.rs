@@ -36,16 +36,16 @@ fn bench_engine_batches(c: &mut Criterion) {
     let mut group = c.benchmark_group("serving_engine");
 
     let engine = Engine::with_defaults();
-    let hot = MechanismKey::new(32, alpha, PropertySet::empty());
+    let hot = SpecKey::new(32, alpha, PropertySet::empty());
     engine.warm(&[hot]).expect("GM warms instantly");
     let hot_batch = workload::hot_key_requests(hot, 100_000, 5);
     group.bench_function("hot_key_100k", |b| {
         b.iter(|| engine.privatize_batch(&hot_batch).unwrap())
     });
 
-    let keys: Vec<MechanismKey> = [8usize, 12, 16, 20, 24, 28, 32, 64]
+    let keys: Vec<SpecKey> = [8usize, 12, 16, 20, 24, 28, 32, 64]
         .into_iter()
-        .map(|n| MechanismKey::new(n, alpha, PropertySet::empty()))
+        .map(|n| SpecKey::new(n, alpha, PropertySet::empty()))
         .collect();
     engine.warm(&keys).expect("GM keys warm instantly");
     let zipf_batch = workload::zipf_requests(&keys, 1.1, 100_000, 5);

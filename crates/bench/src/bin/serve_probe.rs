@@ -39,7 +39,7 @@ fn env_list(name: &str) -> Option<Vec<usize>> {
 
 /// The key mix: rank 0 is a hot unconstrained GM; deeper ranks alternate
 /// closed-form and LP-designed (WH / CM) keys over several group sizes.
-fn key_mix(count: usize) -> Vec<MechanismKey> {
+fn key_mix(count: usize) -> Vec<SpecKey> {
     let alpha = Alpha::new(0.9).unwrap();
     let properties = [
         PropertySet::empty(),
@@ -50,7 +50,7 @@ fn key_mix(count: usize) -> Vec<MechanismKey> {
     (0..count)
         .map(|rank| {
             let n = [32, 16, 24, 8, 12][rank % 5];
-            MechanismKey::new(n, alpha, properties[rank % properties.len()])
+            SpecKey::new(n, alpha, properties[rank % properties.len()])
         })
         .collect()
 }
@@ -89,7 +89,7 @@ fn main() {
                 };
                 if scenario != "storm" {
                     // Resident designs: the batch measures pure serving.
-                    let unique: Vec<MechanismKey> = if scenario == "hot" {
+                    let unique: Vec<SpecKey> = if scenario == "hot" {
                         vec![keys[0]]
                     } else {
                         keys.clone()

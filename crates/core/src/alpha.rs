@@ -128,6 +128,24 @@ impl From<Alpha> for AlphaKey {
     }
 }
 
+impl Serialize for AlphaKey {
+    /// Serialises as the α value itself.  The vendored JSON layer prints `f64`s
+    /// with shortest round-trippable formatting, so the bit pattern survives a
+    /// serialise → parse cycle exactly — the same contract the key itself makes.
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Number(self.alpha().value())
+    }
+}
+
+impl Deserialize for AlphaKey {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let raw = f64::from_value(value)?;
+        Alpha::new(raw)
+            .map(Alpha::key)
+            .map_err(|e| serde::Error::custom(e.to_string()))
+    }
+}
+
 impl std::fmt::Display for AlphaKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{}", self.alpha())
@@ -235,6 +253,19 @@ mod tests {
         }
         assert_eq!(cache.len(), Alpha::paper_values().len());
         assert_eq!(cache.get(&Alpha::new(0.9).unwrap().key()), Some(&"design"));
+    }
+
+    #[test]
+    fn alpha_key_serde_is_bit_exact_and_validating() {
+        use serde::{Deserialize, Serialize};
+        for alpha in Alpha::paper_values() {
+            let key = alpha.key();
+            let back = AlphaKey::from_value(&key.to_value()).unwrap();
+            assert_eq!(back, key, "bit-exact round trip for α = {alpha}");
+        }
+        // Out-of-range values are rejected at deserialisation time.
+        assert!(AlphaKey::from_value(&serde::Value::Number(1.5)).is_err());
+        assert!(AlphaKey::from_value(&serde::Value::Number(0.0)).is_err());
     }
 
     #[test]

@@ -44,6 +44,21 @@ pub enum CoreError {
         /// The group size.
         n: usize,
     },
+    /// A property short name (RH, RM, CH, CM, F, WH, S) failed to parse.
+    UnknownProperty {
+        /// The unrecognised token.
+        token: String,
+    },
+    /// An objective name (`L0`, `L0,d`, `L1`, `L2`) failed to parse.
+    UnknownObjective {
+        /// The unrecognised text.
+        text: String,
+    },
+    /// A [`crate::design::MechanismSpec`] failed validation at `build()`.
+    InvalidSpec {
+        /// Explanation of the failure.
+        reason: String,
+    },
     /// The underlying LP solver failed (infeasible, unbounded, or iteration limit).
     Solver(SimplexError),
     /// The LP produced a solution that is not a valid mechanism even after cleanup
@@ -75,6 +90,19 @@ impl fmt::Display for CoreError {
             CoreError::InvalidDistanceThreshold { d, n } => {
                 write!(f, "distance threshold d = {d} exceeds group size n = {n}")
             }
+            CoreError::UnknownProperty { token } => {
+                write!(
+                    f,
+                    "unknown property {token:?} (expected RH, RM, CH, CM, F, WH, or S)"
+                )
+            }
+            CoreError::UnknownObjective { text } => {
+                write!(
+                    f,
+                    "unknown objective {text:?} (expected L0, L0,d, L1, or L2)"
+                )
+            }
+            CoreError::InvalidSpec { reason } => write!(f, "invalid mechanism spec: {reason}"),
             CoreError::Solver(err) => write!(f, "LP solver error: {err}"),
             CoreError::DegenerateSolution { reason } => {
                 write!(f, "LP returned a degenerate mechanism: {reason}")

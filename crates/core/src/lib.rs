@@ -20,9 +20,14 @@
 //!   ([`GeometricMechanism`], Definition 4), the paper's new Explicit Fair Mechanism
 //!   ([`ExplicitFairMechanism`], Eq. 16), the Uniform baseline, randomized response,
 //!   the Exponential Mechanism, and a discretised Laplace mechanism.
+//! * [`design`] — **the design entry point**: [`MechanismSpec`] (a validated builder
+//!   with a canonical serde form and a bit-exact [`SpecKey`]) and the
+//!   [`DesignedMechanism`] artifact it produces (matrix + provenance + solver stats +
+//!   achieved-property report + lazily-built samplers, serde round-trippable).
 //! * [`lp`] — the BASICDP linear program (Eqs. 3–6) plus any subset of the structural
-//!   properties (Theorem 2), solved with the workspace's own simplex solver; includes
-//!   the paper's WM ([`lp::weak_honest_mechanism`]).
+//!   properties (Theorem 2), solved with the workspace's own simplex solver.  This is
+//!   the low-level escape hatch for objectives outside the [`ObjectiveKey`] family
+//!   (explicit priors, the minimax aggregator).
 //! * [`selection`] — the Figure 5 flowchart collapsing the 128 property combinations
 //!   to at most four distinct mechanisms.
 //! * [`symmetrize`] — the Theorem 1 symmetrisation construction.
@@ -31,6 +36,10 @@
 //! * [`closed_form`] — analytic scores used as oracles and fast paths.
 //!
 //! ## Example: designing a constrained mechanism
+//!
+//! Every design goes through one typed entry point: a [`MechanismSpec`] is
+//! validated at `build()` and produces a [`DesignedMechanism`] carrying the
+//! matrix together with its provenance.
 //!
 //! ```
 //! use cpm_core::prelude::*;
@@ -43,16 +52,29 @@
 //! // ... but it is not even weakly honest at this privacy level (Lemma 2).
 //! assert!(!Property::WeakHonesty.holds(gm.matrix(), 1e-9));
 //!
-//! // Ask the Figure-5 flowchart for a fair mechanism instead.
-//! let requested = PropertySet::empty().with(Property::Fairness);
-//! let (choice, fair) = selection::design_for_properties(requested, n, alpha).unwrap();
-//! assert_eq!(choice, selection::MechanismChoice::ExplicitFair);
-//! assert!(PropertySet::all().all_hold(&fair, 1e-9));
+//! // Ask the design path for a fair mechanism instead: the Figure-5 flowchart
+//! // picks the Explicit Fair Mechanism, no LP required.
+//! let designed = MechanismSpec::new(n, alpha)
+//!     .properties(PropertySet::empty().with(Property::Fairness))
+//!     .build()
+//!     .unwrap()
+//!     .design()
+//!     .unwrap();
+//! assert_eq!(designed.choice(), Some(MechanismChoice::ExplicitFair));
+//! assert!(!designed.used_lp());
+//! assert!(designed.requested_satisfied());
+//! assert!(PropertySet::all().all_hold(designed.mechanism(), 1e-9));
 //!
-//! // The price of all seven properties is tiny (Figure 6).
+//! // The artifact knows its own price: the rescaled-L0 cost of all seven
+//! // properties is tiny relative to GM's optimum (Figure 6).
 //! let loss_gm = rescaled_l0(gm.matrix());
-//! let loss_fair = rescaled_l0(&fair);
-//! assert!(loss_fair <= loss_gm * (1.0 + 1.0 / n as f64) + 1e-9);
+//! assert!(designed.score() <= loss_gm * (1.0 + 1.0 / n as f64) + 1e-9);
+//!
+//! // The spec round-trips through JSON with a bit-exact cache key — the basis
+//! // of the serving cache's snapshot files.
+//! let text = serde_json::to_string(designed.spec()).unwrap();
+//! let back: MechanismSpec = serde_json::from_str(&text).unwrap();
+//! assert_eq!(back.key(), designed.key());
 //! ```
 
 #![forbid(unsafe_code)]
@@ -61,6 +83,7 @@
 pub mod alpha;
 pub mod closed_form;
 pub mod derivability;
+pub mod design;
 pub mod error;
 pub mod lp;
 pub mod matrix;
@@ -72,25 +95,33 @@ pub mod selection;
 pub mod symmetrize;
 
 pub use alpha::{Alpha, AlphaKey};
+pub use design::{DesignedMechanism, MechanismSpec, SpecKey, DEFAULT_PROPERTY_TOLERANCE};
 pub use error::CoreError;
 pub use matrix::{Mechanism, DEFAULT_TOLERANCE};
 pub use mechanisms::{
     BinaryRandomizedResponse, ExplicitFairMechanism, ExponentialMechanism, GeometricMechanism,
     LaplaceMechanism, NaryRandomizedResponse, UniformMechanism,
 };
-pub use objective::{rescaled_l0, rescaled_l0_d, Aggregator, LossKind, Objective, Prior};
+pub use objective::{
+    rescaled_l0, rescaled_l0_d, Aggregator, LossKind, Objective, ObjectiveKey, Prior,
+};
 pub use properties::{Property, PropertyReport, PropertySet};
 pub use sampling::{AliasSampler, MechanismSampler};
+pub use selection::MechanismChoice;
 
 /// Commonly used items, re-exported for `use cpm_core::prelude::*`.
 pub mod prelude {
     pub use crate::alpha::{Alpha, AlphaKey};
     pub use crate::closed_form;
     pub use crate::derivability::{derivability_violations, is_derivable_from_geometric};
+    pub use crate::design::{
+        DesignedMechanism, MechanismSpec, SpecKey, DEFAULT_PROPERTY_TOLERANCE,
+    };
     pub use crate::error::CoreError;
+    #[allow(deprecated)]
+    pub use crate::lp::weak_honest_mechanism;
     pub use crate::lp::{
-        optimal_constrained, optimal_unconstrained, weak_honest_mechanism, DesignProblem,
-        DesignSolution,
+        optimal_constrained, optimal_unconstrained, wm_properties, DesignProblem, DesignSolution,
     };
     pub use crate::matrix::{Mechanism, DEFAULT_TOLERANCE};
     pub use crate::mechanisms::{
@@ -98,12 +129,12 @@ pub mod prelude {
         LaplaceMechanism, NaryRandomizedResponse, UniformMechanism,
     };
     pub use crate::objective::{
-        rescaled_l0, rescaled_l0_d, Aggregator, LossKind, Objective, Prior,
+        rescaled_l0, rescaled_l0_d, Aggregator, LossKind, Objective, ObjectiveKey, Prior,
     };
     pub use crate::properties::{Property, PropertyReport, PropertySet};
     pub use crate::sampling::{sample_geometric_direct, AliasSampler, MechanismSampler};
-    pub use crate::selection::{
-        self, design_for_properties, realize_with_stats, select_mechanism, MechanismChoice,
-    };
+    pub use crate::selection::{self, select_mechanism, MechanismChoice};
+    #[allow(deprecated)]
+    pub use crate::selection::{design_for_properties, realize_with_stats};
     pub use crate::symmetrize::{reflect, symmetrize};
 }

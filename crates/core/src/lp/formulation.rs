@@ -406,15 +406,24 @@ pub fn optimal_constrained(
     DesignProblem::constrained(n, alpha, objective, properties).solve()
 }
 
-/// The paper's WM: the `L0`-optimal mechanism with weak honesty, row monotonicity,
-/// and column monotonicity (Section V-A: "From now on, we use WM to refer to the
-/// mechanism with WH, RM and CM properties").
-pub fn weak_honest_mechanism(n: usize, alpha: Alpha) -> Result<DesignSolution, CoreError> {
-    let properties = PropertySet::empty()
+/// The property set defining the paper's WM (Section V-A: "From now on, we use
+/// WM to refer to the mechanism with WH, RM and CM properties").
+pub fn wm_properties() -> PropertySet {
+    PropertySet::empty()
         .with(Property::WeakHonesty)
         .with(Property::RowMonotonicity)
-        .with(Property::ColumnMonotonicity);
-    optimal_constrained(n, alpha, Objective::l0(), properties)
+        .with(Property::ColumnMonotonicity)
+}
+
+/// The paper's WM as a raw LP solution.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `MechanismSpec::new(n, alpha).properties(wm_properties()).build()?.design()?` \
+            for the designed artifact, or `optimal_constrained(n, alpha, Objective::l0(), \
+            wm_properties())` for the raw LP solution"
+)]
+pub fn weak_honest_mechanism(n: usize, alpha: Alpha) -> Result<DesignSolution, CoreError> {
+    optimal_constrained(n, alpha, Objective::l0(), wm_properties())
 }
 
 /// Convenience alias for [`LossKind`] users: build the standard `L0` design problem
@@ -517,7 +526,8 @@ mod tests {
         // Section IV-D: L0(GM) <= L0(WM) <= L0(EM).
         for n in [3usize, 5, 7] {
             for alpha in [0.76, 0.9] {
-                let wm = weak_honest_mechanism(n, a(alpha)).expect("solve ok");
+                let wm = optimal_constrained(n, a(alpha), Objective::l0(), wm_properties())
+                    .expect("solve ok");
                 let wm_l0 = rescaled_l0(&wm.mechanism);
                 let gm_l0 = closed_form::gm_l0(a(alpha));
                 let em_l0 = closed_form::em_l0(n, a(alpha));

@@ -7,7 +7,8 @@
 
 pub mod formulation;
 
+#[allow(deprecated)]
+pub use formulation::weak_honest_mechanism;
 pub use formulation::{
-    optimal_constrained, optimal_unconstrained, weak_honest_mechanism, DesignProblem,
-    DesignSolution,
+    optimal_constrained, optimal_unconstrained, wm_properties, DesignProblem, DesignSolution,
 };

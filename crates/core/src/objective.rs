@@ -185,6 +185,80 @@ impl Objective {
     }
 }
 
+/// The closed, enumerable family of objectives the design path keys on.
+///
+/// [`Objective`] is deliberately open-ended (arbitrary priors are `Vec<f64>`),
+/// which makes it a poor hash key.  The typed design entry point
+/// ([`crate::design::MechanismSpec`]) keys the family actually used by the
+/// paper's designs — uniform prior, sum-aggregated losses — and converts to a
+/// full [`Objective`] on demand.  Designs outside this family (explicit priors,
+/// the minimax aggregator) go through [`crate::lp::DesignProblem`] directly.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum ObjectiveKey {
+    /// The paper's headline `L0` (probability of any wrong answer).
+    #[default]
+    L0,
+    /// `L0,d`: probability of an answer more than `d` steps from the truth.
+    L0Beyond(usize),
+    /// Expected absolute error `L1`.
+    L1,
+    /// Expected squared error `L2`.
+    L2,
+}
+
+impl ObjectiveKey {
+    /// The full [`Objective`] this key denotes.
+    pub fn to_objective(self) -> Objective {
+        match self {
+            ObjectiveKey::L0 => Objective::l0(),
+            ObjectiveKey::L0Beyond(d) => Objective::l0_beyond(d),
+            ObjectiveKey::L1 => Objective::l1(),
+            ObjectiveKey::L2 => Objective::l2(),
+        }
+    }
+
+    /// Parse the paper's notation: `L0`, `L1`, `L2`, or `L0,d` (e.g. `L0,2`).
+    /// Case-insensitive; an empty string means the default `L0`.
+    pub fn parse(text: &str) -> Option<ObjectiveKey> {
+        let trimmed = text.trim();
+        if trimmed.is_empty() {
+            return Some(ObjectiveKey::L0);
+        }
+        match trimmed.to_ascii_uppercase().as_str() {
+            "L0" => Some(ObjectiveKey::L0),
+            "L1" => Some(ObjectiveKey::L1),
+            "L2" => Some(ObjectiveKey::L2),
+            upper => {
+                let d = upper.strip_prefix("L0,")?.trim().parse().ok()?;
+                Some(ObjectiveKey::L0Beyond(d))
+            }
+        }
+    }
+
+    /// The paper's name for the objective (`L0`, `L0,d`, `L1`, `L2`).
+    pub fn name(self) -> String {
+        self.to_objective().loss.name()
+    }
+}
+
+impl std::str::FromStr for ObjectiveKey {
+    type Err = CoreError;
+
+    fn from_str(text: &str) -> Result<Self, Self::Err> {
+        ObjectiveKey::parse(text).ok_or_else(|| CoreError::UnknownObjective {
+            text: text.to_string(),
+        })
+    }
+}
+
+impl std::fmt::Display for ObjectiveKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
 /// The rescaled `L0` score of Eq. (1): `(n+1)/n − trace(P)/n`.
 ///
 /// Equals `(n+1)/n` times the probability (under a uniform prior) of reporting a
@@ -346,6 +420,37 @@ mod tests {
             aggregator: Aggregator::Sum,
         };
         assert!((objective.value(&m).unwrap() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn objective_key_parses_the_paper_notation() {
+        assert_eq!(ObjectiveKey::parse(""), Some(ObjectiveKey::L0));
+        assert_eq!(ObjectiveKey::parse("l0"), Some(ObjectiveKey::L0));
+        assert_eq!(ObjectiveKey::parse("L1"), Some(ObjectiveKey::L1));
+        assert_eq!(ObjectiveKey::parse("L2"), Some(ObjectiveKey::L2));
+        assert_eq!(ObjectiveKey::parse("L0,2"), Some(ObjectiveKey::L0Beyond(2)));
+        assert_eq!(ObjectiveKey::parse("nope"), None);
+        assert_eq!(ObjectiveKey::L0Beyond(3).name(), "L0,3");
+        assert_eq!(
+            "L0,3".parse::<ObjectiveKey>(),
+            Ok(ObjectiveKey::L0Beyond(3))
+        );
+        assert!(matches!(
+            "bogus".parse::<ObjectiveKey>(),
+            Err(CoreError::UnknownObjective { .. })
+        ));
+        assert_eq!(ObjectiveKey::default(), ObjectiveKey::L0);
+    }
+
+    #[test]
+    fn objective_key_denotes_the_right_objective() {
+        assert_eq!(ObjectiveKey::L0.to_objective(), Objective::l0());
+        assert_eq!(ObjectiveKey::L1.to_objective(), Objective::l1());
+        assert_eq!(ObjectiveKey::L2.to_objective(), Objective::l2());
+        assert_eq!(
+            ObjectiveKey::L0Beyond(2).to_objective(),
+            Objective::l0_beyond(2)
+        );
     }
 
     #[test]

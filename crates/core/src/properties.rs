@@ -131,7 +131,9 @@ impl fmt::Display for Property {
 ///
 /// Backed by a bitmask so sets are cheap to copy and compare; iteration follows the
 /// paper's presentation order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
 pub struct PropertySet(u8);
 
 impl PropertySet {
@@ -248,6 +250,37 @@ impl FromIterator<Property> for PropertySet {
             set.insert(property);
         }
         set
+    }
+}
+
+impl std::str::FromStr for PropertySet {
+    type Err = crate::error::CoreError;
+
+    /// Parse a property list: the paper's short names separated by `+`, `,`, or
+    /// whitespace, case-insensitive, with optional surrounding braces — so both
+    /// the wire form `"WH+CM"` and the [`fmt::Display`] form `"{WH, CM}"` round
+    /// trip.  The empty string is the empty set.
+    fn from_str(text: &str) -> Result<Self, Self::Err> {
+        let trimmed = text.trim();
+        let trimmed = trimmed
+            .strip_prefix('{')
+            .and_then(|rest| rest.strip_suffix('}'))
+            .unwrap_or(trimmed);
+        let mut set = PropertySet::empty();
+        for token in trimmed
+            .split(|c: char| c == '+' || c == ',' || c.is_whitespace())
+            .filter(|t| !t.is_empty())
+        {
+            match Property::from_short_name(token) {
+                Some(property) => set.insert(property),
+                None => {
+                    return Err(crate::error::CoreError::UnknownProperty {
+                        token: token.to_string(),
+                    })
+                }
+            }
+        }
+        Ok(set)
     }
 }
 
@@ -425,6 +458,25 @@ mod tests {
         }
         assert_eq!(Property::from_short_name("wh"), Some(Property::WeakHonesty));
         assert_eq!(Property::from_short_name("xx"), None);
+    }
+
+    #[test]
+    fn property_sets_parse_the_wire_and_display_forms() {
+        let expected = PropertySet::empty()
+            .with(Property::WeakHonesty)
+            .with(Property::ColumnMonotonicity);
+        assert_eq!("WH+CM".parse::<PropertySet>().unwrap(), expected);
+        assert_eq!("wh, cm".parse::<PropertySet>().unwrap(), expected);
+        assert_eq!("WH CM".parse::<PropertySet>().unwrap(), expected);
+        assert_eq!("".parse::<PropertySet>().unwrap(), PropertySet::empty());
+        assert!(matches!(
+            "WH+XX".parse::<PropertySet>(),
+            Err(crate::error::CoreError::UnknownProperty { token }) if token == "XX"
+        ));
+        // Display → FromStr round trips for every subset.
+        for set in PropertySet::power_set() {
+            assert_eq!(set.to_string().parse::<PropertySet>().unwrap(), set);
+        }
     }
 
     #[test]

@@ -12,8 +12,12 @@
 //! 3. The **WH LP** (weak honesty alone) otherwise, when no column property is needed.
 //! 4. The **WH + CM LP** (the paper's WM) when a column property is needed.
 //!
-//! [`select_mechanism`] reproduces this decision procedure; [`realize`] actually
-//! builds the chosen mechanism (solving an LP when required).
+//! [`select_mechanism`] reproduces this decision procedure.  Building the chosen
+//! mechanism is the job of the typed design path —
+//! [`crate::design::MechanismSpec::design`] — which selects here and realises
+//! the choice (solving an LP when required).  The free functions [`realize`],
+//! [`realize_with_stats`], and [`design_for_properties`] are deprecated shims
+//! over that path.
 
 use serde::{Deserialize, Serialize};
 
@@ -96,23 +100,46 @@ pub fn select_mechanism(requested: PropertySet, n: usize, alpha: Alpha) -> Mecha
 
 /// Build the actual mechanism for a [`MechanismChoice`], solving the relevant LP when
 /// the choice is one of the two LP-defined mechanisms.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `MechanismSpec::new(n, alpha).properties(…).build()?.design()?` \
+            (see `cpm_core::design`); `realize_choice` semantics live on behind \
+            `MechanismSpec::design`"
+)]
 pub fn realize(
     choice: MechanismChoice,
     n: usize,
     alpha: Alpha,
     options: &SolveOptions,
 ) -> Result<Mechanism, CoreError> {
-    realize_with_stats(choice, n, alpha, Some(options)).map(|(mechanism, _)| mechanism)
+    realize_choice(choice, n, alpha, Some(options)).map(|(mechanism, _)| mechanism)
 }
 
 /// [`realize`], additionally reporting the simplex statistics when the choice
 /// required an LP solve (`None` for the closed-form constructions).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `MechanismSpec::…design()?`, which returns a `DesignedMechanism` \
+            carrying the mechanism, the choice, and the solver statistics together"
+)]
+pub fn realize_with_stats(
+    choice: MechanismChoice,
+    n: usize,
+    alpha: Alpha,
+    options: Option<&SolveOptions>,
+) -> Result<(Mechanism, Option<SolveStats>), CoreError> {
+    realize_choice(choice, n, alpha, options)
+}
+
+/// Materialise one [`MechanismChoice`]: closed forms for GM/EM/UM, the
+/// (symmetrised) LP optimum for the two LP-defined choices.
 ///
 /// `options: None` lets each LP pick its own size-scaled
 /// [`crate::lp::DesignProblem::recommended_options`] — the right default for
 /// callers (such as a design cache) that serve arbitrary `(n, α)` pairs rather
-/// than one known problem size.
-pub fn realize_with_stats(
+/// than one known problem size.  This is the single realisation routine behind
+/// [`crate::design::MechanismSpec::design`] and the deprecated free functions.
+pub(crate) fn realize_choice(
     choice: MechanismChoice,
     n: usize,
     alpha: Alpha,
@@ -152,19 +179,30 @@ pub fn realize_with_stats(
 }
 
 /// Convenience wrapper: select per Figure 5 and build the mechanism in one call.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `MechanismSpec::new(n, alpha).properties(requested).build()?.design()?`, \
+            whose `DesignedMechanism` carries the choice, matrix, stats, and report"
+)]
 pub fn design_for_properties(
     requested: PropertySet,
     n: usize,
     alpha: Alpha,
 ) -> Result<(MechanismChoice, Mechanism), CoreError> {
-    let choice = select_mechanism(requested, n, alpha);
-    let mechanism = realize(choice, n, alpha, &SolveOptions::default())?;
-    Ok((choice, mechanism))
+    let designed = crate::design::MechanismSpec::new(n, alpha)
+        .properties(requested)
+        .build()?
+        .design()?;
+    let choice = designed
+        .choice()
+        .expect("L0 designs always route through the flowchart");
+    Ok((choice, designed.into_mechanism()))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::design::MechanismSpec;
     use crate::lp::formulation::optimal_constrained;
     use crate::objective::rescaled_l0;
 
@@ -174,6 +212,17 @@ mod tests {
 
     fn set(props: &[Property]) -> PropertySet {
         props.iter().copied().collect()
+    }
+
+    fn design(requested: PropertySet, n: usize, alpha: Alpha) -> (MechanismChoice, Mechanism) {
+        let designed = MechanismSpec::new(n, alpha)
+            .properties(requested)
+            .build()
+            .unwrap()
+            .design()
+            .unwrap();
+        let choice = designed.choice().expect("L0 designs carry a choice");
+        (choice, designed.into_mechanism())
     }
 
     #[test]
@@ -267,7 +316,7 @@ mod tests {
         ];
         for (props, n, alpha) in cases {
             let requested = set(&props);
-            let (choice, mechanism) = design_for_properties(requested, n, a(alpha)).unwrap();
+            let (choice, mechanism) = design(requested, n, a(alpha));
             assert!(
                 requested.all_hold(&mechanism, 1e-6),
                 "{requested} not satisfied by {}",
@@ -288,7 +337,7 @@ mod tests {
             set(&[Property::ColumnHonesty]),
             set(&[Property::RowMonotonicity]),
         ] {
-            let (_, shortcut) = design_for_properties(props, n, alpha).unwrap();
+            let (_, shortcut) = design(props, n, alpha);
             let direct = optimal_constrained(n, alpha, Objective::l0(), props).unwrap();
             assert!(
                 rescaled_l0(&shortcut) <= rescaled_l0(&direct.mechanism) + 1e-6,
@@ -298,19 +347,24 @@ mod tests {
     }
 
     #[test]
-    fn realize_with_stats_reports_lp_statistics_only_for_lp_choices() {
+    fn realize_choice_reports_lp_statistics_only_for_lp_choices() {
         let alpha = a(0.9);
-        let (gm, stats) = realize_with_stats(MechanismChoice::Geometric, 6, alpha, None).unwrap();
+        let (gm, stats) = realize_choice(MechanismChoice::Geometric, 6, alpha, None).unwrap();
         assert!(stats.is_none(), "GM is closed-form, no LP solve");
         assert!(gm.satisfies_dp(alpha, 1e-9));
 
         let (wm, stats) =
-            realize_with_stats(MechanismChoice::WeakHonestColumnMonotoneLp, 4, alpha, None)
-                .unwrap();
+            realize_choice(MechanismChoice::WeakHonestColumnMonotoneLp, 4, alpha, None).unwrap();
         let stats = stats.expect("WM requires an LP solve");
         assert!(stats.phase1_iterations + stats.phase2_iterations > 0);
         assert!(wm.satisfies_dp(alpha, 1e-6));
-        // The stats-carrying path must build the same mechanism as `realize`.
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_delegate_to_the_typed_design_path() {
+        let alpha = a(0.9);
+        // realize / realize_with_stats produce the same matrix as realize_choice.
         let direct = realize(
             MechanismChoice::WeakHonestColumnMonotoneLp,
             4,
@@ -318,11 +372,21 @@ mod tests {
             &SolveOptions::default(),
         )
         .unwrap();
+        let (wm, stats) =
+            realize_with_stats(MechanismChoice::WeakHonestColumnMonotoneLp, 4, alpha, None)
+                .unwrap();
+        assert!(stats.is_some());
         for i in 0..wm.dim() {
             for j in 0..wm.dim() {
                 assert!((wm.prob(i, j) - direct.prob(i, j)).abs() < 1e-9);
             }
         }
+        // design_for_properties is now a shim over MechanismSpec: bit-for-bit equal.
+        let requested = set(&[Property::ColumnMonotonicity]);
+        let (old_choice, old) = design_for_properties(requested, 4, alpha).unwrap();
+        let (new_choice, new) = design(requested, 4, alpha);
+        assert_eq!(old_choice, new_choice);
+        assert_eq!(old.entries(), new.entries());
     }
 
     #[test]

@@ -60,8 +60,11 @@ impl NamedMechanism {
 
 /// Build the matrix of a named mechanism for group size `n` at privacy level α.
 ///
-/// WM is obtained by solving its LP (weak honesty + row/column monotonicity) and
-/// symmetrising the result (Theorem 1 guarantees this costs nothing).
+/// WM goes through the typed design path ([`MechanismSpec`]): requesting the
+/// WM property set (weak honesty + row/column monotonicity) routes the Figure-5
+/// flowchart to the WM LP in the strong-privacy regime and straight to GM's
+/// closed form once GM already satisfies the request (Lemmas 2–3); LP results
+/// are symmetrised (Theorem 1 guarantees this costs nothing).
 pub fn build_mechanism(
     which: NamedMechanism,
     n: usize,
@@ -72,8 +75,11 @@ pub fn build_mechanism(
         NamedMechanism::ExplicitFair => Ok(ExplicitFairMechanism::new(n, alpha)?.into_matrix()),
         NamedMechanism::Uniform => Ok(UniformMechanism::new(n)?.into_matrix()),
         NamedMechanism::WeakHonest => {
-            let solution = weak_honest_mechanism(n, alpha)?;
-            Ok(symmetrize(&solution.mechanism))
+            let designed = MechanismSpec::new(n, alpha)
+                .properties(wm_properties())
+                .build()?
+                .design()?;
+            Ok(designed.into_mechanism())
         }
         NamedMechanism::Exponential => Ok(ExponentialMechanism::new(n, alpha)?.into_matrix()),
         NamedMechanism::Laplace => Ok(LaplaceMechanism::new(n, alpha)?.into_matrix()),

@@ -4,65 +4,27 @@
 //! Configuration comes from the environment (`CPM_SERVE_CAPACITY`,
 //! `CPM_SERVE_SHARDS`, `CPM_SERVE_SEED`, `CPM_SERVE_MIN_CHUNK`, plus
 //! `CPM_THREADS` for the sampling pool).  Keys listed in `CPM_SERVE_WARM`
-//! (semicolon-separated `n:alpha:properties` triples, e.g.
-//! `32:0.9:WH+CM;64:0.9:`) are designed before the first frame is read.
+//! (semicolon-separated `n:alpha:properties[:objective]` specs, e.g.
+//! `32:0.9:WH+CM;64:0.9:`) are designed before the first frame is read, and a
+//! `CPM_WARM_FILE` snapshot is loaded before / written after warming (see
+//! [`cpm_serve::boot`]), so restarts pay deploy-time I/O instead of
+//! first-request LP solves.
 
 use std::io;
 
-use cpm_core::{Alpha, PropertySet};
-use cpm_serve::frontend::parse_properties;
 use cpm_serve::prelude::*;
-
-/// Parse one `n:alpha:properties` warm-up triple (the properties field uses
-/// the same syntax as the wire protocol's `properties`).
-fn parse_warm_key(spec: &str) -> Result<MechanismKey, String> {
-    let mut parts = spec.splitn(3, ':');
-    let n: usize = parts
-        .next()
-        .and_then(|p| p.trim().parse().ok())
-        .ok_or_else(|| format!("bad group size in warm spec {spec:?}"))?;
-    let alpha: f64 = parts
-        .next()
-        .and_then(|p| p.trim().parse().ok())
-        .ok_or_else(|| format!("bad alpha in warm spec {spec:?}"))?;
-    let alpha = Alpha::new(alpha).map_err(|e| e.to_string())?;
-    let properties = match parts.next() {
-        Some(list) => parse_properties(list).map_err(|e| format!("{e} in warm spec {spec:?}"))?,
-        None => PropertySet::empty(),
-    };
-    Ok(MechanismKey::new(n, alpha, properties))
-}
 
 fn main() -> io::Result<()> {
     let engine = Engine::new(EngineConfig::from_env());
-
-    if let Ok(warm_spec) = std::env::var("CPM_SERVE_WARM") {
-        let keys: Result<Vec<MechanismKey>, String> = warm_spec
-            .split(';')
-            .filter(|s| !s.trim().is_empty())
-            .map(parse_warm_key)
-            .collect();
-        let keys = keys.map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
-        eprintln!("cpm-serve: warming {} key(s)...", keys.len());
-        engine
-            .warm(&keys)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
-        let stats = engine.cache_stats();
-        eprintln!(
-            "cpm-serve: warm complete ({} designs, {} LP solves, {:.1} ms designing)",
-            stats.design_solves,
-            stats.lp_solves,
-            stats.design_nanos as f64 / 1e6,
-        );
-    }
+    bootstrap(&engine)?;
 
     let stdin = io::stdin();
     let stdout = io::stdout();
     let summary = serve_connection(&engine, &mut stdin.lock(), &mut stdout.lock())?;
     let stats = engine.cache_stats();
     eprintln!(
-        "cpm-serve: connection closed after {} frame(s), {} draw(s); cache: {} hits, {} misses, {} designs",
-        summary.frames, summary.draws, stats.hits, stats.misses, stats.design_solves,
+        "cpm-serve: connection closed after {} frame(s), {} draw(s); cache: {} hits, {} misses, {} designs, {} preloaded",
+        summary.frames, summary.draws, stats.hits, stats.misses, stats.design_solves, stats.preloaded,
     );
     Ok(())
 }

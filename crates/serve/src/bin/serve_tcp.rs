@@ -1,0 +1,53 @@
+//! The socket mechanism server: one engine, N blocking connection threads, the
+//! same length-prefixed JSON protocol as `serve_stdio` (see
+//! [`cpm_serve::frontend`]).
+//!
+//! `CPM_SERVE_ADDR` picks the listener: a `host:port` TCP address (default
+//! `127.0.0.1:4700`) or `unix:/path/to.sock` for a unix-domain socket.  The
+//! cache/engine knobs (`CPM_SERVE_CAPACITY`, `CPM_SERVE_SHARDS`,
+//! `CPM_SERVE_SEED`, `CPM_SERVE_MIN_CHUNK`, `CPM_THREADS`) and the warm-start
+//! variables (`CPM_SERVE_WARM`, `CPM_WARM_FILE`) work exactly as they do for
+//! `serve_stdio` — see [`cpm_serve::boot`].
+//!
+//! A client's `shutdown` op closes that client's connection only; the listener
+//! keeps accepting until the process is killed.
+
+use std::io;
+use std::net::TcpListener;
+use std::sync::Arc;
+
+use cpm_serve::prelude::*;
+
+/// Default TCP listen address.
+const DEFAULT_ADDR: &str = "127.0.0.1:4700";
+
+fn main() -> io::Result<()> {
+    let engine = Arc::new(Engine::new(EngineConfig::from_env()));
+    bootstrap(&engine)?;
+
+    let addr = std::env::var("CPM_SERVE_ADDR").unwrap_or_else(|_| DEFAULT_ADDR.to_string());
+    let server = if let Some(path) = addr.strip_prefix("unix:") {
+        #[cfg(unix)]
+        {
+            let path = std::path::PathBuf::from(path);
+            let _ = std::fs::remove_file(&path);
+            let listener = std::os::unix::net::UnixListener::bind(&path)?;
+            eprintln!("cpm-serve: listening on unix socket {}", path.display());
+            Server::unix(Arc::clone(&engine), listener)?
+        }
+        #[cfg(not(unix))]
+        {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                format!("unix sockets are not available on this platform: {path}"),
+            ));
+        }
+    } else {
+        let listener = TcpListener::bind(&addr)?;
+        eprintln!("cpm-serve: listening on {}", listener.local_addr()?);
+        Server::tcp(Arc::clone(&engine), listener)?
+    };
+
+    server.wait();
+    Ok(())
+}

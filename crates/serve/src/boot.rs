@@ -1,0 +1,179 @@
+//! Environment-driven start-up shared by the server binaries (`serve_stdio`,
+//! `serve_tcp`).
+//!
+//! Two variables control how a server comes up warm:
+//!
+//! * `CPM_SERVE_WARM` — semicolon-separated `n:alpha:properties[:objective]`
+//!   key specs (e.g. `32:0.9:WH+CM;64:0.9:;16:0.9:F:L1`) designed before the
+//!   first frame is read.
+//! * `CPM_WARM_FILE` — a snapshot file path.  If the file exists its designs
+//!   are loaded *before* warming (so previously-designed keys cost zero LP
+//!   solves); after warming, the cache contents are written back (atomically,
+//!   and only when they changed), so the next process start pays deploy-time
+//!   I/O instead of first-request LP latency.  An unusable snapshot degrades
+//!   to a cold start and is rewritten — never a failed start.
+
+use std::io;
+
+use cpm_core::{Alpha, ObjectiveKey, PropertySet, SpecKey};
+
+use crate::engine::Engine;
+
+/// Environment variable naming the warm-start snapshot file.
+pub const WARM_FILE_ENV: &str = "CPM_WARM_FILE";
+
+/// Environment variable listing the keys to design at start-up.
+pub const WARM_KEYS_ENV: &str = "CPM_SERVE_WARM";
+
+/// What [`bootstrap`] did, for start-up logging.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BootReport {
+    /// Designs restored from the snapshot file.
+    pub loaded: usize,
+    /// Keys listed in `CPM_SERVE_WARM` (resident or designed after warming).
+    pub warmed: usize,
+    /// Designs written back to the snapshot file (0 when no file is set).
+    pub saved: usize,
+}
+
+/// Parse one `n:alpha:properties[:objective]` warm-up spec.  The properties
+/// field uses the wire grammar ([`std::str::FromStr`] on [`PropertySet`]); the
+/// optional objective defaults to `L0`.
+pub fn parse_warm_key(spec: &str) -> Result<SpecKey, String> {
+    let mut parts = spec.splitn(4, ':');
+    let n: usize = parts
+        .next()
+        .and_then(|p| p.trim().parse().ok())
+        .ok_or_else(|| format!("bad group size in warm spec {spec:?}"))?;
+    let alpha: f64 = parts
+        .next()
+        .and_then(|p| p.trim().parse().ok())
+        .ok_or_else(|| format!("bad alpha in warm spec {spec:?}"))?;
+    let alpha = Alpha::new(alpha).map_err(|e| e.to_string())?;
+    let properties: PropertySet = match parts.next() {
+        Some(list) => list
+            .parse()
+            .map_err(|e| format!("{e} in warm spec {spec:?}"))?,
+        None => PropertySet::empty(),
+    };
+    let objective = match parts.next() {
+        Some(name) => ObjectiveKey::parse(name)
+            .ok_or_else(|| format!("bad objective {name:?} in warm spec {spec:?}"))?,
+        None => ObjectiveKey::L0,
+    };
+    Ok(SpecKey::with_objective(n, alpha, properties, objective))
+}
+
+/// Parse a semicolon-separated list of warm-up specs (empty entries skipped).
+pub fn parse_warm_keys(list: &str) -> Result<Vec<SpecKey>, String> {
+    list.split(';')
+        .filter(|s| !s.trim().is_empty())
+        .map(parse_warm_key)
+        .collect()
+}
+
+/// Bring an engine up warm from the environment: load `CPM_WARM_FILE` (if the
+/// file exists), design every `CPM_SERVE_WARM` key not already resident, and
+/// write the cache back to `CPM_WARM_FILE` (if set).  Progress goes to stderr.
+pub fn bootstrap(engine: &Engine) -> io::Result<BootReport> {
+    let mut report = BootReport::default();
+    let warm_file = std::env::var(WARM_FILE_ENV).ok().filter(|p| !p.is_empty());
+    // Whether an existing warm file was read back successfully; a missing or
+    // unusable file must be (re)written even if nothing new is designed.
+    let mut loaded_cleanly = false;
+
+    if let Some(path) = &warm_file {
+        if std::path::Path::new(path).exists() {
+            // A bad snapshot degrades to a cold start, never a failed start —
+            // the warm file is an optimisation, not a dependency.
+            match engine.load_snapshot(path) {
+                Ok(loaded) => {
+                    report.loaded = loaded;
+                    loaded_cleanly = true;
+                    eprintln!("cpm-serve: loaded {loaded} design(s) from {path}");
+                }
+                Err(error) => {
+                    eprintln!(
+                        "cpm-serve: ignoring unusable warm file {path} ({error}); \
+                         starting cold and rewriting it"
+                    );
+                }
+            }
+        }
+    }
+
+    if let Ok(warm_spec) = std::env::var(WARM_KEYS_ENV) {
+        let keys = parse_warm_keys(&warm_spec)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        if !keys.is_empty() {
+            eprintln!("cpm-serve: warming {} key(s)...", keys.len());
+            engine
+                .warm(&keys)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+            report.warmed = keys.len();
+            let stats = engine.cache_stats();
+            eprintln!(
+                "cpm-serve: warm complete ({} designs, {} LP solves, {:.1} ms designing)",
+                stats.design_solves,
+                stats.lp_solves,
+                stats.design_nanos as f64 / 1e6,
+            );
+        }
+    }
+
+    if let Some(path) = &warm_file {
+        // Rewrite only when the file's contents would actually change: a fresh
+        // design happened, or the file was absent/unusable.  A restart that
+        // merely reloads its own snapshot must not re-open the write window.
+        // The merging writer carries over on-disk designs that did not fit
+        // this process's cache capacity, and a failed save is a warning — the
+        // warm file is an optimisation, never a startup dependency.
+        if !loaded_cleanly || engine.cache_stats().design_solves > 0 {
+            match engine.cache().save_snapshot_file_merging(path) {
+                Ok(saved) => {
+                    report.saved = saved;
+                    eprintln!("cpm-serve: saved {saved} design(s) to {path}");
+                }
+                Err(error) => {
+                    eprintln!("cpm-serve: could not save warm file {path} ({error}); continuing");
+                }
+            }
+        }
+    }
+
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpm_core::Property;
+
+    #[test]
+    fn warm_specs_parse_the_documented_grammar() {
+        let key = parse_warm_key("32:0.9:WH+CM").unwrap();
+        assert_eq!(key.n, 32);
+        assert_eq!(key.alpha_value().value(), 0.9);
+        assert_eq!(
+            key.properties,
+            PropertySet::empty()
+                .with(Property::WeakHonesty)
+                .with(Property::ColumnMonotonicity)
+        );
+        assert_eq!(key.objective, ObjectiveKey::L0);
+
+        // Empty property list and explicit objective.
+        let key = parse_warm_key("64:0.9:").unwrap();
+        assert_eq!(key.properties, PropertySet::empty());
+        let key = parse_warm_key("16:0.9:F:L1").unwrap();
+        assert_eq!(key.objective, ObjectiveKey::L1);
+
+        assert!(parse_warm_key("x:0.9:").is_err());
+        assert!(parse_warm_key("8:2.0:").is_err());
+        assert!(parse_warm_key("8:0.9:XX").is_err());
+        assert!(parse_warm_key("8:0.9::nope").is_err());
+
+        let keys = parse_warm_keys("32:0.9:WH+CM; 64:0.9: ;").unwrap();
+        assert_eq!(keys.len(), 2);
+    }
+}

@@ -4,7 +4,8 @@
 //! Design is the expensive step of the request path — an LP solve can take
 //! seconds while a draw takes nanoseconds — and it is perfectly amortizable:
 //! real deployments ask for the same `(n, α, properties, objective)` design
-//! millions of times.  The cache guarantees:
+//! millions of times.  The cache stores [`Arc<DesignedMechanism>`] artifacts
+//! keyed by their bit-exact [`SpecKey`] and guarantees:
 //!
 //! * **lock striping** — keys hash to one of `shards` independent mutexes, so
 //!   concurrent lookups of *different* hot keys never contend on one lock;
@@ -15,42 +16,32 @@
 //!   entry beyond its share of the capacity (in-flight entries are never
 //!   evicted);
 //! * **warm-up** — [`DesignCache::warm`] precomputes a declared key set on the
-//!   [`cpm_eval::par`] worker pool before traffic arrives.
+//!   [`cpm_eval::par`] worker pool before traffic arrives;
+//! * **persistence** — [`DesignCache::save_snapshot`] serialises every resident
+//!   design (the [`DesignedMechanism`] serde form is exact) and
+//!   [`DesignCache::load_snapshot`] restores them in a fresh process, turning
+//!   cold-start storms into a deploy-time cost.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::io;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
 
-use cpm_core::lp::DesignProblem;
-use cpm_core::sampling::AliasSampler;
-use cpm_core::selection::{self, MechanismChoice};
-use cpm_core::Mechanism;
-use cpm_simplex::SolveStats;
+use cpm_core::{DesignedMechanism, SpecKey};
 
 use crate::error::ServeError;
-use crate::key::{MechanismKey, ObjectiveKey};
 
-/// One finished design: everything a draw needs, immutable and shared.
-#[derive(Debug, Clone)]
-pub struct Design {
-    /// The key this design answers.
-    pub key: MechanismKey,
-    /// Which Figure-5 mechanism the design resolved to (`None` for non-`L0`
-    /// objectives, which bypass the flowchart and solve the LP directly).
-    pub choice: Option<MechanismChoice>,
-    /// The designed column-stochastic matrix.
-    pub mechanism: Mechanism,
-    /// O(1) per-draw alias tables over the matrix columns.
-    pub sampler: AliasSampler,
-    /// Wall-clock time the design took (closed form or LP).
-    pub design_time: Duration,
-    /// Simplex statistics when the design required an LP solve; `None` for the
-    /// closed-form constructions (GM, EM, UM).
-    pub solver_stats: Option<SolveStats>,
-}
+/// The old name of the cached artifact.
+#[deprecated(
+    since = "0.1.0",
+    note = "the cache now stores `cpm_core::DesignedMechanism` (accessors instead \
+            of public fields: `mechanism()`, `choice()`, `solver_stats()`, \
+            `alias_sampler()`, `design_time()`)"
+)]
+pub type Design = DesignedMechanism;
 
 /// How a lookup was satisfied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,6 +69,8 @@ pub struct CacheStats {
     pub lp_solves: u64,
     /// Ready entries evicted to stay within capacity.
     pub evictions: u64,
+    /// Designs restored from a snapshot instead of being computed.
+    pub preloaded: u64,
     /// Total wall-clock nanoseconds spent designing.
     pub design_nanos: u64,
     /// Ready entries currently resident.
@@ -85,13 +78,16 @@ pub struct CacheStats {
 }
 
 enum Entry {
-    Ready { design: Arc<Design>, last_used: u64 },
+    Ready {
+        design: Arc<DesignedMechanism>,
+        last_used: u64,
+    },
     InFlight(Arc<Flight>),
 }
 
 enum FlightState {
     Pending,
-    Done(Result<Arc<Design>, ServeError>),
+    Done(Result<Arc<DesignedMechanism>, ServeError>),
 }
 
 struct Flight {
@@ -107,13 +103,13 @@ impl Flight {
         }
     }
 
-    fn finish(&self, result: Result<Arc<Design>, ServeError>) {
+    fn finish(&self, result: Result<Arc<DesignedMechanism>, ServeError>) {
         let mut state = self.state.lock().expect("flight state poisoned");
         *state = FlightState::Done(result);
         self.done.notify_all();
     }
 
-    fn wait(&self) -> Result<Arc<Design>, ServeError> {
+    fn wait(&self) -> Result<Arc<DesignedMechanism>, ServeError> {
         let mut state = self.state.lock().expect("flight state poisoned");
         loop {
             match &*state {
@@ -132,7 +128,7 @@ impl Flight {
 struct FlightGuard<'a> {
     cache: &'a DesignCache,
     shard: usize,
-    key: MechanismKey,
+    key: SpecKey,
     flight: Arc<Flight>,
     armed: bool,
 }
@@ -148,7 +144,7 @@ impl Drop for FlightGuard<'_> {
 }
 
 struct Shard {
-    entries: HashMap<MechanismKey, Entry>,
+    entries: HashMap<SpecKey, Entry>,
 }
 
 impl Shard {
@@ -171,6 +167,7 @@ pub struct DesignCache {
     design_solves: AtomicU64,
     lp_solves: AtomicU64,
     evictions: AtomicU64,
+    preloaded: AtomicU64,
     design_nanos: AtomicU64,
 }
 
@@ -178,14 +175,18 @@ impl DesignCache {
     /// Default number of lock stripes.
     pub const DEFAULT_SHARDS: usize = 16;
 
-    /// A cache holding at most `capacity` designs across [`Self::DEFAULT_SHARDS`]
-    /// lock stripes.
+    /// A cache bounded by `capacity` designs across [`Self::DEFAULT_SHARDS`]
+    /// lock stripes.  The bound is enforced per stripe as
+    /// `ceil(capacity / shards)` (at least 1), so the exact resident maximum is
+    /// what [`DesignCache::capacity`] reports — up to `shards − 1` above the
+    /// request when it does not divide evenly.
     pub fn new(capacity: usize) -> Self {
         Self::with_shards(capacity, Self::DEFAULT_SHARDS)
     }
 
     /// A cache with an explicit stripe count (rounded up to at least 1).  The
-    /// capacity is split evenly across stripes, each keeping at least one entry.
+    /// capacity is split evenly across stripes, each keeping at least one
+    /// entry; see [`DesignCache::new`] for the exact rounding of the bound.
     pub fn with_shards(capacity: usize, shards: usize) -> Self {
         let shards = shards.max(1);
         let per_shard_capacity = capacity.div_ceil(shards).max(1);
@@ -205,11 +206,12 @@ impl DesignCache {
             design_solves: AtomicU64::new(0),
             lp_solves: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            preloaded: AtomicU64::new(0),
             design_nanos: AtomicU64::new(0),
         }
     }
 
-    fn shard_of(&self, key: &MechanismKey) -> usize {
+    fn shard_of(&self, key: &SpecKey) -> usize {
         let mut hasher = DefaultHasher::new();
         key.hash(&mut hasher);
         (hasher.finish() as usize) % self.shards.len()
@@ -220,7 +222,7 @@ impl DesignCache {
     }
 
     /// Fetch the design for `key`, computing it (once, globally) on a miss.
-    pub fn get(&self, key: &MechanismKey) -> Result<Arc<Design>, ServeError> {
+    pub fn get(&self, key: &SpecKey) -> Result<Arc<DesignedMechanism>, ServeError> {
         self.get_with_outcome(key).map(|(design, _)| design)
     }
 
@@ -229,7 +231,7 @@ impl DesignCache {
     /// — a cold or in-flight key returns `None`, and the caller decides whether
     /// to block on [`DesignCache::get`].  Warm batches resolve entirely through
     /// this path, without touching the worker pool.
-    pub fn peek(&self, key: &MechanismKey) -> Option<Arc<Design>> {
+    pub fn peek(&self, key: &SpecKey) -> Option<Arc<DesignedMechanism>> {
         let shard_index = self.shard_of(key);
         let mut shard = self.shards[shard_index].lock().expect("shard poisoned");
         match shard.entries.get_mut(key) {
@@ -245,8 +247,8 @@ impl DesignCache {
     /// [`DesignCache::get`], additionally reporting how the lookup was satisfied.
     pub fn get_with_outcome(
         &self,
-        key: &MechanismKey,
-    ) -> Result<(Arc<Design>, Lookup), ServeError> {
+        key: &SpecKey,
+    ) -> Result<(Arc<DesignedMechanism>, Lookup), ServeError> {
         enum Action {
             Wait(Arc<Flight>),
             Design(Arc<Flight>),
@@ -289,9 +291,9 @@ impl DesignCache {
     fn design_and_publish(
         &self,
         shard_index: usize,
-        key: &MechanismKey,
+        key: &SpecKey,
         flight: Arc<Flight>,
-    ) -> Result<Arc<Design>, ServeError> {
+    ) -> Result<Arc<DesignedMechanism>, ServeError> {
         let mut guard = FlightGuard {
             cache: self,
             shard: shard_index,
@@ -306,22 +308,12 @@ impl DesignCache {
             Ok(design) => {
                 let design = Arc::new(design);
                 self.design_solves.fetch_add(1, Ordering::Relaxed);
-                if design.solver_stats.is_some() {
+                if design.used_lp() {
                     self.lp_solves.fetch_add(1, Ordering::Relaxed);
                 }
                 self.design_nanos
-                    .fetch_add(design.design_time.as_nanos() as u64, Ordering::Relaxed);
-                {
-                    let mut shard = self.shards[shard_index].lock().expect("shard poisoned");
-                    shard.entries.insert(
-                        *key,
-                        Entry::Ready {
-                            design: Arc::clone(&design),
-                            last_used: self.next_tick(),
-                        },
-                    );
-                    self.evict_over_capacity(&mut shard);
-                }
+                    .fetch_add(design.design_time().as_nanos() as u64, Ordering::Relaxed);
+                self.publish(shard_index, key, Arc::clone(&design));
                 flight.finish(Ok(Arc::clone(&design)));
                 Ok(design)
             }
@@ -334,7 +326,21 @@ impl DesignCache {
         }
     }
 
-    fn remove_in_flight(&self, shard_index: usize, key: &MechanismKey) {
+    /// Insert a ready design into its shard (used by both the design path and
+    /// the snapshot loader) and evict over capacity.
+    fn publish(&self, shard_index: usize, key: &SpecKey, design: Arc<DesignedMechanism>) {
+        let mut shard = self.shards[shard_index].lock().expect("shard poisoned");
+        shard.entries.insert(
+            *key,
+            Entry::Ready {
+                design,
+                last_used: self.next_tick(),
+            },
+        );
+        self.evict_over_capacity(&mut shard);
+    }
+
+    fn remove_in_flight(&self, shard_index: usize, key: &SpecKey) {
         let mut shard = self.shards[shard_index].lock().expect("shard poisoned");
         if matches!(shard.entries.get(key), Some(Entry::InFlight(_))) {
             shard.entries.remove(key);
@@ -367,9 +373,131 @@ impl DesignCache {
 
     /// Precompute the designs for a declared key set, fanning the cold solves out
     /// across the [`cpm_eval::par`] worker pool.  Returns the designs in key
-    /// order; the first design failure aborts the warm-up.
-    pub fn warm(&self, keys: &[MechanismKey]) -> Result<Vec<Arc<Design>>, ServeError> {
+    /// order.  On failure the *first* key's error is reported — after the whole
+    /// set has been attempted — and the keys that did design stay resident.
+    pub fn warm(&self, keys: &[SpecKey]) -> Result<Vec<Arc<DesignedMechanism>>, ServeError> {
         cpm_eval::par::try_parallel_map(keys.to_vec(), |key| self.get(&key))
+    }
+
+    /// Every resident design, sorted by key so the order (and any snapshot
+    /// written from it) is deterministic.
+    pub fn resident_designs(&self) -> Vec<Arc<DesignedMechanism>> {
+        let mut designs: Vec<Arc<DesignedMechanism>> = self
+            .shards
+            .iter()
+            .flat_map(|shard| {
+                let shard = shard.lock().expect("shard poisoned");
+                shard
+                    .entries
+                    .values()
+                    .filter_map(|entry| match entry {
+                        Entry::Ready { design, .. } => Some(Arc::clone(design)),
+                        Entry::InFlight(_) => None,
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        designs.sort_by_key(|design| design.key());
+        designs
+    }
+
+    /// Serialise every resident design as a JSON snapshot.  Returns how many
+    /// designs were written.  Reloading the snapshot with
+    /// [`DesignCache::load_snapshot`] restores them exactly (the
+    /// [`DesignedMechanism`] serde form is bit-exact).
+    pub fn save_snapshot<W: io::Write>(&self, writer: &mut W) -> io::Result<usize> {
+        let designs = self.resident_designs();
+        write_designs(writer, &designs)?;
+        Ok(designs.len())
+    }
+
+    /// Restore designs from a JSON snapshot written by
+    /// [`DesignCache::save_snapshot`].  Each design is validated on the way in
+    /// (matrix dimensions and column stochasticity) and inserted under its own
+    /// [`SpecKey`]; keys already resident or in flight are left untouched, and
+    /// a shard already at capacity skips further inserts rather than evicting
+    /// (a snapshot must never push out live entries, and a skipped design must
+    /// not be reported as restored).  Returns how many designs became
+    /// resident.  Loaded designs count as [`CacheStats::preloaded`], not as
+    /// hits, misses, or solves — so a cache serving its first request entirely
+    /// from a snapshot reports zero `lp_solves`.
+    pub fn load_snapshot<R: io::Read>(&self, reader: &mut R) -> Result<usize, ServeError> {
+        let mut text = String::new();
+        reader
+            .read_to_string(&mut text)
+            .map_err(|e| ServeError::Snapshot(format!("reading snapshot: {e}")))?;
+        let designs: Vec<DesignedMechanism> = serde_json::from_str(&text)
+            .map_err(|e| ServeError::Snapshot(format!("parsing snapshot: {e}")))?;
+        let total = designs.len();
+        let mut inserted: usize = 0;
+        for design in designs {
+            let key = design.key();
+            let shard_index = self.shard_of(&key);
+            let mut shard = self.shards[shard_index].lock().expect("shard poisoned");
+            if shard.entries.contains_key(&key) || shard.ready_len() >= self.per_shard_capacity {
+                continue;
+            }
+            shard.entries.insert(
+                key,
+                Entry::Ready {
+                    design: Arc::new(design),
+                    last_used: self.next_tick(),
+                },
+            );
+            inserted += 1;
+        }
+        if inserted < total {
+            eprintln!(
+                "cpm-serve: snapshot held {total} design(s) but only {inserted} fit the \
+                 cache capacity ({}); the rest will design on first request",
+                self.capacity()
+            );
+        }
+        self.preloaded.fetch_add(inserted as u64, Ordering::Relaxed);
+        Ok(inserted)
+    }
+
+    /// [`DesignCache::save_snapshot`] to a file path, written atomically: the
+    /// snapshot goes to a `.tmp` sibling first and is renamed into place, so a
+    /// crash mid-write can never leave a truncated file where a good snapshot
+    /// (or no file at all) used to be.
+    pub fn save_snapshot_file<P: AsRef<Path>>(&self, path: P) -> io::Result<usize> {
+        let designs = self.resident_designs();
+        write_designs_file(path.as_ref(), &designs)?;
+        Ok(designs.len())
+    }
+
+    /// [`DesignCache::save_snapshot_file`], but designs already in the file
+    /// that are *not* resident (evicted, or skipped at load because they did
+    /// not fit the capacity) are carried over instead of discarded — a smaller
+    /// cache must never shrink the snapshot it was warmed from.  Resident
+    /// designs win on key collisions; an unreadable existing file contributes
+    /// nothing.  Returns the number of designs in the merged snapshot.
+    pub fn save_snapshot_file_merging<P: AsRef<Path>>(&self, path: P) -> io::Result<usize> {
+        let path = path.as_ref();
+        let mut merged: Vec<Arc<DesignedMechanism>> = self.resident_designs();
+        let resident: std::collections::HashSet<SpecKey> =
+            merged.iter().map(|design| design.key()).collect();
+        if let Ok(text) = std::fs::read_to_string(path) {
+            if let Ok(existing) = serde_json::from_str::<Vec<DesignedMechanism>>(&text) {
+                merged.extend(
+                    existing
+                        .into_iter()
+                        .filter(|design| !resident.contains(&design.key()))
+                        .map(Arc::new),
+                );
+            }
+        }
+        merged.sort_by_key(|design| design.key());
+        write_designs_file(path, &merged)?;
+        Ok(merged.len())
+    }
+
+    /// [`DesignCache::load_snapshot`] from a file path.
+    pub fn load_snapshot_file<P: AsRef<Path>>(&self, path: P) -> Result<usize, ServeError> {
+        let mut file = std::fs::File::open(path)
+            .map_err(|e| ServeError::Snapshot(format!("opening snapshot: {e}")))?;
+        self.load_snapshot(&mut file)
     }
 
     /// Number of ready designs currently resident.
@@ -410,6 +538,7 @@ impl DesignCache {
             design_solves: self.design_solves.load(Ordering::Relaxed),
             lp_solves: self.lp_solves.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            preloaded: self.preloaded.load(Ordering::Relaxed),
             design_nanos: self.design_nanos.load(Ordering::Relaxed),
             entries: self.len(),
         }
@@ -426,49 +555,48 @@ impl std::fmt::Debug for DesignCache {
     }
 }
 
-/// Perform one design: route `L0` requests through the Figure-5 flowchart (which
-/// short-circuits to closed forms whenever it can) and other objectives through
-/// the constrained LP directly.
-fn design(key: &MechanismKey) -> Result<Design, ServeError> {
-    let alpha = key.alpha_value();
-    let start = Instant::now();
-    let built: Result<_, cpm_core::CoreError> = (|| match key.objective {
-        ObjectiveKey::L0 => {
-            let choice = selection::select_mechanism(key.properties, key.n, alpha);
-            let (mechanism, stats) = selection::realize_with_stats(choice, key.n, alpha, None)?;
-            Ok((Some(choice), mechanism, stats))
-        }
-        objective => {
-            let problem = DesignProblem::constrained(
-                key.n,
-                alpha,
-                objective.to_objective(),
-                key.properties.closure(),
-            );
-            let solution = problem.solve()?;
-            Ok((None, solution.mechanism, Some(solution.solver_stats)))
-        }
-    })();
-    let (choice, mechanism, solver_stats) =
-        built.map_err(|source| ServeError::Design { key: *key, source })?;
-    let sampler = AliasSampler::new(&mechanism);
-    Ok(Design {
-        key: *key,
-        choice,
-        mechanism,
-        sampler,
-        design_time: start.elapsed(),
-        solver_stats,
-    })
+/// Serialise a design list through references — no deep clones of the matrices.
+fn write_designs<W: io::Write>(
+    writer: &mut W,
+    designs: &[Arc<DesignedMechanism>],
+) -> io::Result<()> {
+    let by_ref: Vec<&DesignedMechanism> = designs.iter().map(|d| &**d).collect();
+    let text = serde_json::to_string(&by_ref)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    writer.write_all(text.as_bytes())?;
+    writer.flush()
+}
+
+/// Atomic file write: `.tmp` sibling + rename, so a crash mid-write can never
+/// leave a truncated snapshot behind.
+fn write_designs_file(path: &Path, designs: &[Arc<DesignedMechanism>]) -> io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    let mut file = std::fs::File::create(&tmp)?;
+    write_designs(&mut file, designs)?;
+    file.sync_all()?;
+    drop(file);
+    std::fs::rename(&tmp, path)
+}
+
+/// Perform one design through the typed core path: the key's default-tuned
+/// [`cpm_core::MechanismSpec`] routes `L0` requests through the Figure-5
+/// flowchart (which short-circuits to closed forms whenever it can) and other
+/// objectives through the constrained LP.
+fn design(key: &SpecKey) -> Result<DesignedMechanism, ServeError> {
+    key.spec()
+        .design()
+        .map_err(|source| ServeError::Design { key: *key, source })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cpm_core::{Alpha, Property, PropertySet};
+    use cpm_core::{Alpha, ObjectiveKey, Property, PropertySet};
 
-    fn gm_key(n: usize) -> MechanismKey {
-        MechanismKey::new(n, Alpha::new(0.5).unwrap(), PropertySet::empty())
+    fn gm_key(n: usize) -> SpecKey {
+        SpecKey::new(n, Alpha::new(0.5).unwrap(), PropertySet::empty())
     }
 
     #[test]
@@ -490,7 +618,7 @@ mod tests {
     fn lru_eviction_keeps_the_most_recent_keys() {
         // One stripe so the LRU order is global and observable.
         let cache = DesignCache::with_shards(2, 1);
-        let keys: Vec<MechanismKey> = (2..6).map(gm_key).collect();
+        let keys: Vec<SpecKey> = (2..6).map(gm_key).collect();
         for key in &keys {
             cache.get(key).unwrap();
         }
@@ -508,7 +636,7 @@ mod tests {
     fn design_errors_are_returned_and_the_key_is_retryable() {
         let cache = DesignCache::new(4);
         // Group size 0 is invalid, so the design fails.
-        let bad = MechanismKey::new(0, Alpha::new(0.9).unwrap(), PropertySet::empty());
+        let bad = SpecKey::new(0, Alpha::new(0.9).unwrap(), PropertySet::empty());
         let error = cache.get(&bad).unwrap_err();
         assert!(matches!(error, ServeError::Design { .. }));
         assert_eq!(cache.len(), 0, "failed design leaves nothing resident");
@@ -522,9 +650,9 @@ mod tests {
         let cache = DesignCache::new(16);
         let alpha = Alpha::new(0.9).unwrap();
         let keys = vec![
-            MechanismKey::new(4, alpha, PropertySet::empty()),
-            MechanismKey::new(4, alpha, PropertySet::empty().with(Property::Fairness)),
-            MechanismKey::new(6, alpha, PropertySet::empty().with(Property::WeakHonesty)),
+            SpecKey::new(4, alpha, PropertySet::empty()),
+            SpecKey::new(4, alpha, PropertySet::empty().with(Property::Fairness)),
+            SpecKey::new(6, alpha, PropertySet::empty().with(Property::WeakHonesty)),
         ];
         let designs = cache.warm(&keys).unwrap();
         assert_eq!(designs.len(), 3);
@@ -539,18 +667,131 @@ mod tests {
     #[test]
     fn non_l0_objectives_solve_the_lp_directly() {
         let cache = DesignCache::new(4);
-        let key = MechanismKey::with_objective(
+        let key = SpecKey::with_objective(
             4,
             Alpha::new(0.9).unwrap(),
             PropertySet::empty(),
             ObjectiveKey::L1,
         );
         let design = cache.get(&key).unwrap();
-        assert!(design.choice.is_none());
-        assert!(design.solver_stats.is_some());
+        assert!(design.choice().is_none());
+        assert!(design.used_lp());
         assert_eq!(cache.stats().lp_solves, 1);
         assert!(design
-            .mechanism
+            .mechanism()
             .satisfies_dp(Alpha::new(0.9).unwrap(), 1e-6));
+    }
+
+    #[test]
+    fn snapshots_round_trip_within_one_process() {
+        let cache = DesignCache::new(16);
+        let alpha = Alpha::new(0.9).unwrap();
+        let keys = vec![
+            gm_key(5),
+            SpecKey::new(4, alpha, PropertySet::empty().with(Property::Fairness)),
+        ];
+        cache.warm(&keys).unwrap();
+
+        let mut buffer = Vec::new();
+        assert_eq!(cache.save_snapshot(&mut buffer).unwrap(), 2);
+
+        let fresh = DesignCache::new(16);
+        assert_eq!(fresh.load_snapshot(&mut &buffer[..]).unwrap(), 2);
+        assert_eq!(fresh.stats().preloaded, 2);
+        assert_eq!(fresh.len(), 2);
+
+        // Every key is a pure hit in the fresh cache: zero design work.
+        for key in &keys {
+            let (restored, outcome) = fresh.get_with_outcome(key).unwrap();
+            assert_eq!(outcome, Lookup::Hit);
+            let original = cache.get(key).unwrap();
+            assert_eq!(
+                restored.mechanism().entries(),
+                original.mechanism().entries(),
+                "snapshot restores the matrix bit-for-bit"
+            );
+        }
+        let stats = fresh.stats();
+        assert_eq!(stats.design_solves, 0);
+        assert_eq!(stats.lp_solves, 0);
+        assert_eq!(stats.misses, 0);
+
+        // Reloading the same snapshot is a no-op (keys already resident).
+        assert_eq!(fresh.load_snapshot(&mut &buffer[..]).unwrap(), 0);
+    }
+
+    #[test]
+    fn oversized_snapshots_report_only_what_fits_and_never_evict() {
+        // Warm 5 designs into a roomy cache, snapshot them, then load into a
+        // single-stripe cache of capacity 2 that already holds one live entry.
+        let source = DesignCache::with_shards(16, 1);
+        let keys: Vec<SpecKey> = (2..7).map(gm_key).collect();
+        source.warm(&keys).unwrap();
+        let mut buffer = Vec::new();
+        assert_eq!(source.save_snapshot(&mut buffer).unwrap(), 5);
+
+        let small = DesignCache::with_shards(2, 1);
+        let live = gm_key(10);
+        small.get(&live).unwrap();
+        let inserted = small.load_snapshot(&mut &buffer[..]).unwrap();
+        assert_eq!(inserted, 1, "one free slot, one insert reported");
+        assert_eq!(small.len(), 2);
+        assert_eq!(small.stats().preloaded, 1);
+        assert_eq!(small.stats().evictions, 0, "snapshots never evict");
+        // The live entry survived the load.
+        assert!(small.peek(&live).is_some());
+    }
+
+    #[test]
+    fn merging_saves_never_shrink_the_snapshot() {
+        let path =
+            std::env::temp_dir().join(format!("cpm-cache-merge-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        // A roomy cache writes 4 designs.
+        let source = DesignCache::with_shards(16, 1);
+        let keys: Vec<SpecKey> = (2..6).map(gm_key).collect();
+        source.warm(&keys).unwrap();
+        assert_eq!(source.save_snapshot_file(&path).unwrap(), 4);
+
+        // A capacity-2 cache loads what fits, designs a fresh key, and saves
+        // with merging: the designs that never fit must survive on disk.
+        let small = DesignCache::with_shards(2, 1);
+        assert_eq!(small.load_snapshot_file(&path).unwrap(), 2);
+        small.get(&gm_key(9)).unwrap(); // evicts one resident entry
+        let merged = small.save_snapshot_file_merging(&path).unwrap();
+        assert_eq!(merged, 5, "4 originals + 1 fresh design");
+
+        let check = DesignCache::with_shards(16, 1);
+        assert_eq!(check.load_snapshot_file(&path).unwrap(), 5);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn snapshot_files_are_written_atomically() {
+        let cache = DesignCache::new(8);
+        cache.get(&gm_key(4)).unwrap();
+        let path =
+            std::env::temp_dir().join(format!("cpm-cache-snapshot-{}.json", std::process::id()));
+        assert_eq!(cache.save_snapshot_file(&path).unwrap(), 1);
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        assert!(
+            !std::path::PathBuf::from(tmp).exists(),
+            "temp file renamed away"
+        );
+        let fresh = DesignCache::new(8);
+        assert_eq!(fresh.load_snapshot_file(&path).unwrap(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_snapshots_are_rejected() {
+        let cache = DesignCache::new(4);
+        assert!(matches!(
+            cache.load_snapshot(&mut "not json".as_bytes()),
+            Err(ServeError::Snapshot(_))
+        ));
+        assert_eq!(cache.len(), 0);
     }
 }

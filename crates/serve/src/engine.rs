@@ -17,23 +17,24 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::cache::{CacheStats, Design, DesignCache, Lookup};
+use cpm_core::{DesignedMechanism, SpecKey};
+
+use crate::cache::{CacheStats, DesignCache, Lookup};
 use crate::error::ServeError;
-use crate::key::MechanismKey;
 
 /// One privatization request: draw one output from the design for `key`,
 /// conditioned on the true count `input`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Request {
     /// Which mechanism design to draw from.
-    pub key: MechanismKey,
+    pub key: SpecKey,
     /// The true count to privatise (`0..=key.n`).
     pub input: usize,
 }
 
 impl Request {
     /// Build a request.
-    pub fn new(key: MechanismKey, input: usize) -> Self {
+    pub fn new(key: SpecKey, input: usize) -> Self {
         Request { key, input }
     }
 }
@@ -170,13 +171,26 @@ impl Engine {
     }
 
     /// Resolve one design through the cache (designing on a cold miss).
-    pub fn design(&self, key: &MechanismKey) -> Result<Arc<Design>, ServeError> {
+    pub fn design(&self, key: &SpecKey) -> Result<Arc<DesignedMechanism>, ServeError> {
         self.cache.get(key)
     }
 
     /// Precompute the designs for a declared key set (see [`DesignCache::warm`]).
-    pub fn warm(&self, keys: &[MechanismKey]) -> Result<(), ServeError> {
+    pub fn warm(&self, keys: &[SpecKey]) -> Result<(), ServeError> {
         self.cache.warm(keys).map(|_| ())
+    }
+
+    /// Persist every resident design to `path` (see
+    /// [`DesignCache::save_snapshot`]).  Returns the number of designs written.
+    pub fn save_snapshot<P: AsRef<std::path::Path>>(&self, path: P) -> std::io::Result<usize> {
+        self.cache.save_snapshot_file(path)
+    }
+
+    /// Restore designs from a snapshot file written by
+    /// [`Engine::save_snapshot`].  Returns the number of designs inserted;
+    /// restored keys serve their first request with zero LP solves.
+    pub fn load_snapshot<P: AsRef<std::path::Path>>(&self, path: P) -> Result<usize, ServeError> {
+        self.cache.load_snapshot_file(path)
     }
 
     /// Privatise a batch, deriving this batch's RNG streams from the engine seed
@@ -214,8 +228,8 @@ impl Engine {
 
         // Group request indices by key, preserving first-appearance order so the
         // chunk layout (and with it every RNG stream) is deterministic.
-        let mut group_of: HashMap<MechanismKey, usize> = HashMap::new();
-        let mut groups: Vec<(MechanismKey, Vec<u32>)> = Vec::new();
+        let mut group_of: HashMap<SpecKey, usize> = HashMap::new();
+        let mut groups: Vec<(SpecKey, Vec<u32>)> = Vec::new();
         for (index, request) in requests.iter().enumerate() {
             let slot = *group_of.entry(request.key).or_insert_with(|| {
                 groups.push((request.key, Vec::new()));
@@ -228,11 +242,11 @@ impl Engine {
         // touching the worker pool (a warm batch is pure lock-and-look); only
         // keys that are cold — or must wait on an in-flight solve — fan out.
         let design_start = Instant::now();
-        let mut resolved: Vec<Option<(Arc<Design>, Lookup)>> = groups
+        let mut resolved: Vec<Option<(Arc<DesignedMechanism>, Lookup)>> = groups
             .iter()
             .map(|(key, _)| self.cache.peek(key).map(|design| (design, Lookup::Hit)))
             .collect();
-        let cold: Vec<(usize, MechanismKey)> = resolved
+        let cold: Vec<(usize, SpecKey)> = resolved
             .iter()
             .enumerate()
             .filter(|(_, entry)| entry.is_none())
@@ -247,7 +261,7 @@ impl Engine {
                 resolved[slot] = Some(outcome);
             }
         }
-        let resolved: Vec<(Arc<Design>, Lookup)> = resolved
+        let resolved: Vec<(Arc<DesignedMechanism>, Lookup)> = resolved
             .into_iter()
             .map(|entry| entry.expect("every distinct key is resolved by peek or get"))
             .collect();
@@ -265,7 +279,7 @@ impl Engine {
                 Lookup::Coalesced => stats.coalesced += 1,
                 Lookup::Designed => {
                     stats.cache_misses += 1;
-                    if design.solver_stats.is_some() {
+                    if design.used_lp() {
                         stats.lp_solves += 1;
                     }
                 }
@@ -277,7 +291,7 @@ impl Engine {
         // batch contents and `min_chunk` — NOT on the worker count — so outputs
         // are identical whether the pool has 1 thread or 64.
         let chunk_len = self.min_chunk;
-        let mut tasks: Vec<(Arc<Design>, Vec<u32>, u64)> = Vec::new();
+        let mut tasks: Vec<(Arc<DesignedMechanism>, Vec<u32>, u64)> = Vec::new();
         for ((_, indices), (design, _)) in groups.into_iter().zip(resolved) {
             for chunk in indices.chunks(chunk_len) {
                 let stream = tasks.len() as u64;
@@ -295,7 +309,7 @@ impl Engine {
                 .into_iter()
                 .map(|index| {
                     let drawn = design
-                        .sampler
+                        .alias_sampler()
                         .sample(requests[index as usize].input, &mut rng);
                     (index, drawn)
                 })
@@ -329,8 +343,8 @@ mod tests {
     use super::*;
     use cpm_core::{Alpha, Property, PropertySet};
 
-    fn key(n: usize, alpha: f64) -> MechanismKey {
-        MechanismKey::new(n, Alpha::new(alpha).unwrap(), PropertySet::empty())
+    fn key(n: usize, alpha: f64) -> SpecKey {
+        SpecKey::new(n, Alpha::new(alpha).unwrap(), PropertySet::empty())
     }
 
     #[test]
@@ -351,7 +365,7 @@ mod tests {
     fn mixed_key_batches_group_and_report_stats() {
         let engine = Engine::with_defaults();
         let hot = key(6, 0.5);
-        let cold = MechanismKey::new(
+        let cold = SpecKey::new(
             6,
             Alpha::new(0.9).unwrap(),
             PropertySet::empty().with(Property::WeakHonesty),
@@ -417,7 +431,7 @@ mod tests {
         }
         for (i, &count) in counts.iter().enumerate() {
             let empirical = count as f64 / requests.len() as f64;
-            let expected = design.mechanism.prob(i, input);
+            let expected = design.mechanism().prob(i, input);
             assert!(
                 (empirical - expected).abs() < 0.01,
                 "output {i}: {empirical} vs {expected}"

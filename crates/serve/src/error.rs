@@ -2,9 +2,7 @@
 
 use std::fmt;
 
-use cpm_core::CoreError;
-
-use crate::key::MechanismKey;
+use cpm_core::{CoreError, SpecKey};
 
 /// Everything that can go wrong between a request arriving and a draw leaving.
 ///
@@ -16,7 +14,7 @@ pub enum ServeError {
     /// Designing the mechanism for `key` failed (invalid parameters, LP failure).
     Design {
         /// The cache key whose design failed.
-        key: MechanismKey,
+        key: SpecKey,
         /// The underlying core error.
         source: CoreError,
     },
@@ -24,7 +22,7 @@ pub enum ServeError {
     /// and the key is cleared so a later request can retry.
     DesignPanicked {
         /// The cache key whose designer died.
-        key: MechanismKey,
+        key: SpecKey,
     },
     /// A request's true count exceeds the group size of its key.
     InvalidInput {
@@ -37,6 +35,8 @@ pub enum ServeError {
     },
     /// A malformed wire request (unknown op, bad α, unparsable properties...).
     Protocol(String),
+    /// A cache snapshot failed to parse or contained an invalid design.
+    Snapshot(String),
 }
 
 impl fmt::Display for ServeError {
@@ -56,6 +56,7 @@ impl fmt::Display for ServeError {
                 "request #{index}: true count {input} exceeds group size {n}"
             ),
             ServeError::Protocol(message) => write!(f, "protocol error: {message}"),
+            ServeError::Snapshot(message) => write!(f, "snapshot error: {message}"),
         }
     }
 }

@@ -28,10 +28,9 @@ use std::io::{self, Read, Write};
 
 use serde::{Deserialize, Serialize};
 
-use cpm_core::{Alpha, Property, PropertySet};
+use cpm_core::{Alpha, ObjectiveKey, PropertySet, SpecKey};
 
 use crate::engine::{Engine, Request};
-use crate::key::{MechanismKey, ObjectiveKey};
 
 /// Upper bound on one frame's payload (16 MiB) — a corrupt or hostile length
 /// prefix fails fast instead of allocating unbounded memory.
@@ -156,27 +155,25 @@ pub fn read_frame<R: Read>(reader: &mut R) -> io::Result<Option<Vec<u8>>> {
 
 /// Parse a property list as it appears on the wire (and in `CPM_SERVE_WARM`
 /// specs): the paper's short names split on `+`, `,`, or whitespace.
+#[deprecated(
+    since = "0.1.0",
+    note = "property-string parsing lives in the core crate now: \
+            use `text.parse::<cpm_core::PropertySet>()`"
+)]
 pub fn parse_properties(text: &str) -> Result<PropertySet, String> {
-    let mut set = PropertySet::empty();
-    for token in text
-        .split(|c: char| c == '+' || c == ',' || c.is_whitespace())
-        .filter(|t| !t.is_empty())
-    {
-        match Property::from_short_name(token) {
-            Some(property) => set.insert(property),
-            None => return Err(format!("unknown property {token:?}")),
-        }
-    }
-    Ok(set)
+    text.parse().map_err(|e: cpm_core::CoreError| e.to_string())
 }
 
 /// Build the mechanism key a wire request denotes.
-fn parse_key(request: &WireRequest) -> Result<MechanismKey, String> {
+fn parse_key(request: &WireRequest) -> Result<SpecKey, String> {
     let alpha = Alpha::new(request.alpha).map_err(|e| e.to_string())?;
-    let properties = parse_properties(&request.properties)?;
+    let properties: PropertySet = request
+        .properties
+        .parse()
+        .map_err(|e: cpm_core::CoreError| e.to_string())?;
     let objective = ObjectiveKey::parse(&request.objective)
         .ok_or_else(|| format!("unknown objective {:?}", request.objective))?;
-    Ok(MechanismKey::with_objective(
+    Ok(SpecKey::with_objective(
         request.n, alpha, properties, objective,
     ))
 }
@@ -389,19 +386,30 @@ mod tests {
 
     #[test]
     fn property_parsing_accepts_the_paper_separators() {
+        use cpm_core::Property;
+        // The wire grammar is core's `FromStr for PropertySet`; the deprecated
+        // shim must agree with it.
         assert_eq!(
-            parse_properties("WH+CM").unwrap(),
+            "WH+CM".parse::<PropertySet>().unwrap(),
             PropertySet::empty()
                 .with(Property::WeakHonesty)
                 .with(Property::ColumnMonotonicity)
         );
         assert_eq!(
-            parse_properties("rh, s").unwrap(),
+            "rh, s".parse::<PropertySet>().unwrap(),
             PropertySet::empty()
                 .with(Property::RowHonesty)
                 .with(Property::Symmetry)
         );
-        assert_eq!(parse_properties("").unwrap(), PropertySet::empty());
-        assert!(parse_properties("XX").is_err());
+        assert_eq!("".parse::<PropertySet>().unwrap(), PropertySet::empty());
+        assert!("XX".parse::<PropertySet>().is_err());
+        #[allow(deprecated)]
+        {
+            assert_eq!(
+                parse_properties("WH+CM").unwrap(),
+                "WH+CM".parse::<PropertySet>().unwrap()
+            );
+            assert!(parse_properties("XX").is_err());
+        }
     }
 }

@@ -1,178 +1,38 @@
 //! Cache keys identifying one mechanism design.
 //!
-//! A deployment asks for the same design over and over: the expensive LP solve is
-//! keyed by what went *into* it — the group size, the privacy level, the requested
-//! structural properties, and the objective.  [`MechanismKey`] packs those four
-//! into a hashable value.  Floating α is keyed **bit-exactly** through
-//! [`cpm_core::AlphaKey`] (see `Alpha::key_bits`): two requests share a design iff
-//! their α is the same `f64`, with no epsilon comparisons anywhere.
+//! The serving layer used to define its own `MechanismKey`; the key type now
+//! lives in the core crate as [`cpm_core::SpecKey`] — the bit-exact projection
+//! of a [`cpm_core::MechanismSpec`] — so the cache, the wire front end, and the
+//! offline design path all agree on what identifies a design.  This module
+//! re-exports it (plus [`cpm_core::ObjectiveKey`]) and keeps a deprecated alias
+//! for the old name.
 
-use std::fmt;
+pub use cpm_core::{ObjectiveKey, SpecKey};
 
-use cpm_core::{Alpha, AlphaKey, Objective, PropertySet};
-
-/// The objectives the serving layer designs for.
-///
-/// [`cpm_core::Objective`] is deliberately open-ended (arbitrary priors are
-/// `Vec<f64>`), which makes it a poor hash key.  The serving layer keys the
-/// closed, enumerable family actually used by the paper's designs — the uniform
-/// prior, sum-aggregated losses — and converts to a full [`Objective`] on demand.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub enum ObjectiveKey {
-    /// The paper's headline `L0` (probability of any wrong answer).
-    L0,
-    /// `L0,d`: probability of an answer more than `d` steps from the truth.
-    L0Beyond(usize),
-    /// Expected absolute error `L1`.
-    L1,
-    /// Expected squared error `L2`.
-    L2,
-}
-
-impl ObjectiveKey {
-    /// The full [`Objective`] this key denotes.
-    pub fn to_objective(self) -> Objective {
-        match self {
-            ObjectiveKey::L0 => Objective::l0(),
-            ObjectiveKey::L0Beyond(d) => Objective::l0_beyond(d),
-            ObjectiveKey::L1 => Objective::l1(),
-            ObjectiveKey::L2 => Objective::l2(),
-        }
-    }
-
-    /// Parse the paper's notation: `L0`, `L1`, `L2`, or `L0,d` (e.g. `L0,2`).
-    /// Case-insensitive; an empty string means the default `L0`.
-    pub fn parse(text: &str) -> Option<ObjectiveKey> {
-        let trimmed = text.trim();
-        if trimmed.is_empty() {
-            return Some(ObjectiveKey::L0);
-        }
-        match trimmed.to_ascii_uppercase().as_str() {
-            "L0" => Some(ObjectiveKey::L0),
-            "L1" => Some(ObjectiveKey::L1),
-            "L2" => Some(ObjectiveKey::L2),
-            upper => {
-                let d = upper.strip_prefix("L0,")?.trim().parse().ok()?;
-                Some(ObjectiveKey::L0Beyond(d))
-            }
-        }
-    }
-
-    /// The paper's name for the objective (`L0`, `L0,d`, `L1`, `L2`).
-    pub fn name(self) -> String {
-        self.to_objective().loss.name()
-    }
-}
-
-impl fmt::Display for ObjectiveKey {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.name())
-    }
-}
-
-/// Everything that determines one mechanism design, as a hashable cache key:
-/// `(n, bit-exact α, requested properties, objective)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct MechanismKey {
-    /// Group size `n` (the matrix is `(n+1) × (n+1)`).
-    pub n: usize,
-    /// The privacy parameter, keyed by its IEEE-754 bit pattern.
-    pub alpha: AlphaKey,
-    /// The requested structural properties (pre-closure; the design routine takes
-    /// the implication closure itself, so `{CM}` and `{CM, CH, WH}` are distinct
-    /// keys that map to the same mechanism — callers wanting maximal cache reuse
-    /// should normalise with [`PropertySet::closure`] before keying).
-    pub properties: PropertySet,
-    /// The design objective.
-    pub objective: ObjectiveKey,
-}
-
-impl MechanismKey {
-    /// Build a key for the paper's default `L0` objective.
-    pub fn new(n: usize, alpha: Alpha, properties: PropertySet) -> Self {
-        MechanismKey {
-            n,
-            alpha: alpha.key(),
-            properties,
-            objective: ObjectiveKey::L0,
-        }
-    }
-
-    /// Build a key with an explicit objective.
-    pub fn with_objective(
-        n: usize,
-        alpha: Alpha,
-        properties: PropertySet,
-        objective: ObjectiveKey,
-    ) -> Self {
-        MechanismKey {
-            n,
-            alpha: alpha.key(),
-            properties,
-            objective,
-        }
-    }
-
-    /// The α value this key denotes.
-    #[inline]
-    pub fn alpha_value(&self) -> Alpha {
-        self.alpha.alpha()
-    }
-}
-
-impl fmt::Display for MechanismKey {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "(n={}, α={}, {}, {})",
-            self.n, self.alpha, self.properties, self.objective
-        )
-    }
-}
+/// The old name of the serving cache key.
+#[deprecated(
+    since = "0.1.0",
+    note = "the key type moved to the core crate; use `cpm_core::SpecKey` \
+            (same fields, same constructors)"
+)]
+pub type MechanismKey = SpecKey;
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cpm_core::Property;
+    use cpm_core::{Alpha, Property, PropertySet};
 
     #[test]
-    fn objective_key_parses_the_paper_notation() {
-        assert_eq!(ObjectiveKey::parse(""), Some(ObjectiveKey::L0));
-        assert_eq!(ObjectiveKey::parse("l0"), Some(ObjectiveKey::L0));
-        assert_eq!(ObjectiveKey::parse("L1"), Some(ObjectiveKey::L1));
-        assert_eq!(ObjectiveKey::parse("L2"), Some(ObjectiveKey::L2));
-        assert_eq!(ObjectiveKey::parse("L0,2"), Some(ObjectiveKey::L0Beyond(2)));
-        assert_eq!(ObjectiveKey::parse("nope"), None);
-        assert_eq!(ObjectiveKey::L0Beyond(3).name(), "L0,3");
-    }
-
-    #[test]
-    fn keys_distinguish_every_component_and_collide_on_equal_floats() {
-        use std::collections::HashSet;
+    fn the_serve_key_is_the_core_spec_key() {
+        // One key type across the workspace: what `cpm-serve` hands the cache is
+        // exactly what `MechanismSpec::key()` produces.
         let alpha = Alpha::new(0.9).unwrap();
-        let base = MechanismKey::new(8, alpha, PropertySet::empty());
-        let mut set = HashSet::new();
-        set.insert(base);
-        // Same α parsed a second way collides (bit equality).
-        let reparsed = Alpha::new("0.9".parse::<f64>().unwrap()).unwrap();
-        assert!(!set.insert(MechanismKey::new(8, reparsed, PropertySet::empty())));
-        // Changing any component yields a fresh key.
-        assert!(set.insert(MechanismKey::new(9, alpha, PropertySet::empty())));
-        assert!(set.insert(MechanismKey::new(
-            8,
-            Alpha::new(0.91).unwrap(),
-            PropertySet::empty()
-        )));
-        assert!(set.insert(MechanismKey::new(
-            8,
-            alpha,
-            PropertySet::empty().with(Property::WeakHonesty)
-        )));
-        assert!(set.insert(MechanismKey::with_objective(
-            8,
-            alpha,
-            PropertySet::empty(),
-            ObjectiveKey::L1
-        )));
+        let properties = PropertySet::empty().with(Property::WeakHonesty);
+        let key = SpecKey::with_objective(8, alpha, properties, ObjectiveKey::L1);
+        let spec = key.spec().build().unwrap();
+        assert_eq!(spec.key(), key);
+        #[allow(deprecated)]
+        let legacy: MechanismKey = key;
+        assert_eq!(legacy, key);
     }
 }

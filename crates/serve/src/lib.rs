@@ -14,7 +14,7 @@
 //!            ┌────────────────────────── cpm-serve ──────────────────────────┐
 //!            │                                                               │
 //!  request   │  ┌───────────────┐      ┌──────────────────┐                  │
-//!  (n, α,  ──┼─▶│ MechanismKey  │─────▶│   DesignCache    │── miss ──┐       │
+//!  (n, α,  ──┼─▶│ SpecKey       │─────▶│   DesignCache    │── miss ──┐       │
 //!  props,    │  │ (bit-exact α  │      │ sharded stripes, │          ▼       │
 //!  obj,      │  │  via AlphaKey)│      │ single-flight,   │   ┌─────────────┐│
 //!  count j)  │  └───────────────┘      │ LRU, warm()      │   │ Figure-5    ││
@@ -22,9 +22,10 @@
 //!            │                                  │ hit         │ WM LP solve ││
 //!            │                                  ▼             │ (cpm-core + ││
 //!            │                         ┌──────────────────┐   │ cpm-simplex)││
-//!            │                         │   Arc<Design>    │◀──┴─────────────┘│
-//!            │                         │ matrix + alias   │                  │
-//!            │                         │ tables + stats   │                  │
+//!            │                         │ Arc<Designed-    │◀──┴─────────────┘│
+//!            │                         │   Mechanism>     │                  │
+//!            │                         │ matrix + stats + │                  │
+//!            │                         │ lazy samplers    │                  │
 //!            │                         └────────┬─────────┘                  │
 //!            │                                  │                            │
 //!            │                                  ▼                            │
@@ -44,38 +45,56 @@
 //!
 //! ## Pieces
 //!
-//! * [`key`] — [`MechanismKey`]: `(n, bit-exact α, PropertySet, ObjectiveKey)`.
+//! * [`key`] — re-exports the cache identity, [`cpm_core::SpecKey`]: the
+//!   bit-exact projection of a [`cpm_core::MechanismSpec`].  The serving layer
+//!   no longer defines its own key type.
 //! * [`cache`] — [`DesignCache`]: lock-striped, single-flight, LRU-bounded,
-//!   with [`DesignCache::warm`] precomputation and hit/miss/solve counters.
+//!   storing `Arc<DesignedMechanism>` artifacts, with [`DesignCache::warm`]
+//!   precomputation, hit/miss/solve counters, and snapshot
+//!   save/load persistence.
 //! * [`engine`] — [`Engine`]: batched privatization with per-batch
 //!   [`BatchStats`] (hits, misses, design time, sample time).
 //! * [`frontend`] — a length-prefixed JSON request/response loop over any
 //!   `Read`/`Write` (the `serve_stdio` binary serves stdin/stdout).
+//! * [`net`] — TCP / unix-socket listeners over the same protocol (the
+//!   `serve_tcp` binary; one engine, N blocking connection threads).
+//! * [`boot`] — environment-driven start-up: `CPM_SERVE_WARM` key specs and
+//!   `CPM_WARM_FILE` snapshot load/save shared by the binaries.
 //! * [`workload`] — hot-key / Zipf-mix / cold-storm request generators shared
 //!   by the `serve_probe` bin, the `serving_throughput` bench, and the demo.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod boot;
 pub mod cache;
 pub mod engine;
 pub mod error;
 pub mod frontend;
 pub mod key;
+pub mod net;
 pub mod workload;
 
-pub use cache::{CacheStats, Design, DesignCache, Lookup};
+#[allow(deprecated)]
+pub use cache::Design;
+pub use cache::{CacheStats, DesignCache, Lookup};
 pub use engine::{BatchOutcome, BatchStats, Engine, EngineConfig, Request};
 pub use error::ServeError;
 pub use frontend::{serve_connection, ConnectionSummary, WireRequest, WireResponse};
-pub use key::{MechanismKey, ObjectiveKey};
+#[allow(deprecated)]
+pub use key::MechanismKey;
+pub use key::{ObjectiveKey, SpecKey};
+pub use net::{Server, ServerSummary};
 
 /// Commonly used items, re-exported for `use cpm_serve::prelude::*`.
 pub mod prelude {
-    pub use crate::cache::{CacheStats, Design, DesignCache, Lookup};
+    pub use crate::boot::{bootstrap, BootReport};
+    pub use crate::cache::{CacheStats, DesignCache, Lookup};
     pub use crate::engine::{BatchOutcome, BatchStats, Engine, EngineConfig, Request};
     pub use crate::error::ServeError;
     pub use crate::frontend::{serve_connection, ConnectionSummary};
-    pub use crate::key::{MechanismKey, ObjectiveKey};
+    pub use crate::key::{ObjectiveKey, SpecKey};
+    pub use crate::net::{Server, ServerSummary};
     pub use crate::workload::{hot_key_requests, zipf_requests};
+    pub use cpm_core::{DesignedMechanism, MechanismSpec};
 }

@@ -1,0 +1,370 @@
+//! Socket front ends: a blocking accept loop serving the length-prefixed JSON
+//! protocol of [`crate::frontend`] over TCP or unix-domain sockets.
+//!
+//! One [`Engine`] serves any number of connections: the accept thread spawns a
+//! blocking connection thread per client, each running
+//! [`crate::frontend::serve_connection`] until the client disconnects or sends
+//! a `shutdown` op (which closes *that connection only* — the listener keeps
+//! accepting).  [`Server::stop`] shuts the listener down and joins every
+//! connection thread; [`Server::wait`] parks the caller on the accept loop
+//! forever (the `serve_tcp` binary's main thread does this).
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::engine::Engine;
+use crate::frontend::serve_connection;
+
+/// Cumulative totals across every connection a [`Server`] has finished serving.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerSummary {
+    /// Connections accepted and completed.
+    pub connections: u64,
+    /// Frames processed across all connections.
+    pub frames: u64,
+    /// Privatised draws returned across all connections.
+    pub draws: u64,
+}
+
+#[derive(Default)]
+struct Totals {
+    connections: AtomicU64,
+    frames: AtomicU64,
+    draws: AtomicU64,
+}
+
+impl Totals {
+    fn summary(&self) -> ServerSummary {
+        ServerSummary {
+            connections: self.connections.load(Ordering::Relaxed),
+            frames: self.frames.load(Ordering::Relaxed),
+            draws: self.draws.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A listener the generic accept loop can drive: TCP or unix-domain.
+trait Acceptor: Send + 'static {
+    type Conn: io::Read + io::Write + Send + 'static;
+    fn accept_conn(&self) -> io::Result<Self::Conn>;
+    fn clone_conn(conn: &Self::Conn) -> io::Result<Self::Conn>;
+    /// Close both directions so a thread blocked reading the stream unblocks.
+    fn shutdown_conn(conn: &Self::Conn);
+    /// Put the *listener* into non-blocking mode (the accept loop polls it so
+    /// a stop request is observed without any wake-up connection).
+    fn set_listener_nonblocking(&self) -> io::Result<()>;
+    /// Put an accepted *connection* back into blocking mode (whether accepted
+    /// sockets inherit the listener's non-blocking flag is platform-specific).
+    fn set_conn_blocking(conn: &Self::Conn) -> io::Result<()>;
+}
+
+/// A live connection's join handle plus a closure that shuts its socket down.
+/// The accept loop's final drain closes each socket *before* joining its
+/// thread, so an idle client can never block shutdown.
+type ConnRegistry = Mutex<Vec<(JoinHandle<()>, Box<dyn Fn() + Send>)>>;
+
+impl Acceptor for TcpListener {
+    type Conn = TcpStream;
+
+    fn accept_conn(&self) -> io::Result<TcpStream> {
+        self.accept().map(|(stream, _)| stream)
+    }
+
+    fn clone_conn(conn: &TcpStream) -> io::Result<TcpStream> {
+        conn.try_clone()
+    }
+
+    fn shutdown_conn(conn: &TcpStream) {
+        let _ = conn.shutdown(std::net::Shutdown::Both);
+    }
+
+    fn set_listener_nonblocking(&self) -> io::Result<()> {
+        self.set_nonblocking(true)
+    }
+
+    fn set_conn_blocking(conn: &TcpStream) -> io::Result<()> {
+        conn.set_nonblocking(false)
+    }
+}
+
+#[cfg(unix)]
+impl Acceptor for std::os::unix::net::UnixListener {
+    type Conn = std::os::unix::net::UnixStream;
+
+    fn accept_conn(&self) -> io::Result<Self::Conn> {
+        self.accept().map(|(stream, _)| stream)
+    }
+
+    fn clone_conn(conn: &Self::Conn) -> io::Result<Self::Conn> {
+        conn.try_clone()
+    }
+
+    fn shutdown_conn(conn: &Self::Conn) {
+        let _ = conn.shutdown(std::net::Shutdown::Both);
+    }
+
+    fn set_listener_nonblocking(&self) -> io::Result<()> {
+        self.set_nonblocking(true)
+    }
+
+    fn set_conn_blocking(conn: &Self::Conn) -> io::Result<()> {
+        conn.set_nonblocking(false)
+    }
+}
+
+/// A running socket server: one engine, one accept thread, N blocking
+/// connection threads.
+pub struct Server {
+    accept_handle: Option<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+    totals: Arc<Totals>,
+    tcp_addr: Option<SocketAddr>,
+}
+
+impl Server {
+    /// Serve the engine over a bound TCP listener.  Bind to port 0 to let the
+    /// OS pick (the chosen address is [`Server::local_addr`]).
+    pub fn tcp(engine: Arc<Engine>, listener: TcpListener) -> io::Result<Server> {
+        let addr = listener.local_addr()?;
+        Server::spawn(engine, listener, Some(addr))
+    }
+
+    /// Serve the engine over a bound unix-domain listener at `path`.
+    #[cfg(unix)]
+    pub fn unix(
+        engine: Arc<Engine>,
+        listener: std::os::unix::net::UnixListener,
+    ) -> io::Result<Server> {
+        Server::spawn(engine, listener, None)
+    }
+
+    fn spawn<A: Acceptor>(
+        engine: Arc<Engine>,
+        listener: A,
+        tcp_addr: Option<SocketAddr>,
+    ) -> io::Result<Server> {
+        // The accept loop polls a non-blocking listener: a stop request is
+        // observed within one poll interval, with no wake-up connection whose
+        // failure could leave the loop parked forever.
+        listener.set_listener_nonblocking()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let totals = Arc::new(Totals::default());
+        let accept_handle = {
+            let stop = Arc::clone(&stop);
+            let totals = Arc::clone(&totals);
+            std::thread::Builder::new()
+                .name("cpm-serve-accept".to_string())
+                .spawn(move || accept_loop(engine, listener, stop, totals))?
+        };
+        Ok(Server {
+            accept_handle: Some(accept_handle),
+            stop,
+            totals,
+            tcp_addr,
+        })
+    }
+
+    /// The TCP address the server is listening on (`None` for unix sockets).
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// Totals so far (connections still in flight are not counted).
+    pub fn summary(&self) -> ServerSummary {
+        self.totals.summary()
+    }
+
+    /// Stop accepting, join every connection thread, and return the totals.
+    pub fn stop(mut self) -> ServerSummary {
+        self.shutdown();
+        self.totals.summary()
+    }
+
+    /// Park the caller on the accept loop until the process dies — the main
+    /// thread of a server binary ends up here.
+    pub fn wait(mut self) {
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+    }
+
+    fn shutdown(&mut self) {
+        if let Some(handle) = self.accept_handle.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            // The accept thread observes the flag within one poll interval and
+            // its drain closes every live connection socket before joining the
+            // thread, so this join cannot block on an idle client.
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// How long the accept loop sleeps between polls when no client is waiting —
+/// also the worst-case latency for observing a stop request.
+const ACCEPT_POLL: std::time::Duration = std::time::Duration::from_millis(20);
+
+/// Ceiling on concurrently served connections (each costs one blocking OS
+/// thread); connections beyond it are closed at accept time.
+const MAX_CONNECTIONS: usize = 1024;
+
+fn accept_loop<A: Acceptor>(
+    engine: Arc<Engine>,
+    listener: A,
+    stop: Arc<AtomicBool>,
+    totals: Arc<Totals>,
+) {
+    let connections: ConnRegistry = Mutex::new(Vec::new());
+    while !stop.load(Ordering::SeqCst) {
+        let conn = match listener.accept_conn() {
+            Ok(conn) => conn,
+            Err(error) if error.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+                continue;
+            }
+            Err(error) => {
+                eprintln!("cpm-serve: accept failed: {error}");
+                // Persistent failures (e.g. fd exhaustion under load) would
+                // otherwise busy-spin this loop at full speed.
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                continue;
+            }
+        };
+        if let Err(error) = A::set_conn_blocking(&conn) {
+            eprintln!("cpm-serve: configuring connection failed: {error}");
+            continue;
+        }
+        // Backpressure: one OS thread per connection needs a ceiling, or a
+        // client farm holding idle connections exhausts threads/memory.  At
+        // the limit the connection is closed immediately (the client sees EOF
+        // and can retry) instead of queueing unboundedly.
+        {
+            let mut handles = connections.lock().expect("registry poisoned");
+            handles.retain(|(h, _)| !h.is_finished());
+            if handles.len() >= MAX_CONNECTIONS {
+                drop(handles);
+                eprintln!("cpm-serve: at the {MAX_CONNECTIONS}-connection limit; rejecting");
+                A::shutdown_conn(&conn);
+                continue;
+            }
+        }
+        let engine = Arc::clone(&engine);
+        let totals_for_conn = Arc::clone(&totals);
+        let closer = match A::clone_conn(&conn) {
+            Ok(clone) => clone,
+            Err(error) => {
+                eprintln!("cpm-serve: cloning connection failed: {error}");
+                continue;
+            }
+        };
+        let handle = std::thread::Builder::new()
+            .name("cpm-serve-conn".to_string())
+            .spawn(move || {
+                let mut writer = conn;
+                let mut reader = match A::clone_conn(&writer) {
+                    Ok(reader) => reader,
+                    Err(error) => {
+                        eprintln!("cpm-serve: cloning connection failed: {error}");
+                        return;
+                    }
+                };
+                match serve_connection(&engine, &mut reader, &mut writer) {
+                    Ok(summary) => {
+                        totals_for_conn.connections.fetch_add(1, Ordering::Relaxed);
+                        totals_for_conn
+                            .frames
+                            .fetch_add(summary.frames, Ordering::Relaxed);
+                        totals_for_conn
+                            .draws
+                            .fetch_add(summary.draws, Ordering::Relaxed);
+                    }
+                    Err(error) => eprintln!("cpm-serve: connection failed: {error}"),
+                }
+            });
+        match handle {
+            Ok(handle) => {
+                let mut handles = connections.lock().expect("registry poisoned");
+                // Reap finished threads so the list stays bounded under churn.
+                handles.retain(|(h, _)| !h.is_finished());
+                handles.push((handle, Box::new(move || A::shutdown_conn(&closer))));
+            }
+            Err(error) => eprintln!("cpm-serve: spawning connection thread failed: {error}"),
+        }
+    }
+    // Drain: shut every live connection's socket down first (unblocking its
+    // read), then join the thread.
+    let handles: Vec<_> = std::mem::take(&mut *connections.lock().expect("registry poisoned"));
+    for (handle, close) in handles {
+        close();
+        let _ = handle.join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::frontend::{read_frame, write_frame, WireResponse};
+    use std::io::{Read, Write};
+
+    fn roundtrip<S: Read + Write>(stream: &mut S, request: &str) -> WireResponse {
+        write_frame(stream, request.as_bytes()).unwrap();
+        let payload = read_frame(stream).unwrap().expect("a response frame");
+        serde_json::from_str(std::str::from_utf8(&payload).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn tcp_server_serves_and_stops() {
+        let engine = Arc::new(Engine::new(EngineConfig::default()));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let server = Server::tcp(Arc::clone(&engine), listener).unwrap();
+        let addr = server.local_addr().unwrap();
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let response = roundtrip(
+            &mut stream,
+            r#"{"op": "privatize", "n": 6, "alpha": 0.5, "inputs": [0, 3, 6]}"#,
+        );
+        assert!(response.ok, "error: {}", response.error);
+        assert_eq!(response.outputs.len(), 3);
+        roundtrip(&mut stream, r#"{"op": "shutdown"}"#);
+        drop(stream);
+
+        let summary = server.stop();
+        assert_eq!(summary.connections, 1);
+        assert_eq!(summary.frames, 2);
+        assert_eq!(summary.draws, 3);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_server_serves_over_a_socket_file() {
+        use std::os::unix::net::{UnixListener, UnixStream};
+        let path = std::env::temp_dir().join(format!("cpm-serve-test-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let engine = Arc::new(Engine::new(EngineConfig::default()));
+        let listener = UnixListener::bind(&path).unwrap();
+        let server = Server::unix(Arc::clone(&engine), listener).unwrap();
+
+        let mut stream = UnixStream::connect(&path).unwrap();
+        let response = roundtrip(
+            &mut stream,
+            r#"{"op": "privatize", "n": 4, "alpha": 0.5, "inputs": [2]}"#,
+        );
+        assert!(response.ok, "error: {}", response.error);
+        assert_eq!(response.outputs.len(), 1);
+        drop(stream);
+
+        let summary = server.stop();
+        assert_eq!(summary.connections, 1);
+        let _ = std::fs::remove_file(&path);
+    }
+}

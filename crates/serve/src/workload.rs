@@ -14,7 +14,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::engine::Request;
-use crate::key::MechanismKey;
+use cpm_core::SpecKey;
 
 /// The CDF of a Zipf(`exponent`) distribution over ranks `0..k`:
 /// `Pr[rank = r] ∝ 1 / (r + 1)^exponent`.
@@ -44,12 +44,7 @@ pub fn sample_rank<R: Rng + ?Sized>(cdf: &[f64], rng: &mut R) -> usize {
 
 /// Generate `count` requests over `keys` with Zipf(`exponent`) key popularity and
 /// uniform true counts, deterministically from `seed`.
-pub fn zipf_requests(
-    keys: &[MechanismKey],
-    exponent: f64,
-    count: usize,
-    seed: u64,
-) -> Vec<Request> {
+pub fn zipf_requests(keys: &[SpecKey], exponent: f64, count: usize, seed: u64) -> Vec<Request> {
     assert!(!keys.is_empty(), "a request mix needs at least one key");
     let cdf = zipf_cdf(keys.len(), exponent);
     let mut rng = StdRng::seed_from_u64(seed);
@@ -63,7 +58,7 @@ pub fn zipf_requests(
 }
 
 /// Generate `count` hot-key requests (a single key, uniform true counts).
-pub fn hot_key_requests(key: MechanismKey, count: usize, seed: u64) -> Vec<Request> {
+pub fn hot_key_requests(key: SpecKey, count: usize, seed: u64) -> Vec<Request> {
     zipf_requests(&[key], 1.0, count, seed)
 }
 
@@ -85,8 +80,8 @@ mod tests {
     #[test]
     fn zipf_requests_cover_keys_with_rank_skew() {
         let alpha = Alpha::new(0.9).unwrap();
-        let keys: Vec<MechanismKey> = (4..12)
-            .map(|n| MechanismKey::new(n, alpha, PropertySet::empty()))
+        let keys: Vec<SpecKey> = (4..12)
+            .map(|n| SpecKey::new(n, alpha, PropertySet::empty()))
             .collect();
         let requests = zipf_requests(&keys, 1.2, 20_000, 3);
         assert_eq!(requests.len(), 20_000);

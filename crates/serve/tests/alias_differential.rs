@@ -23,16 +23,31 @@ fn a(v: f64) -> Alpha {
 }
 
 /// The mechanisms of the paper's Figure 6 that serving traffic asks for: the
-/// closed-form GM and EM (Fair) plus the LP-designed WM.
+/// closed-form GM and EM (Fair) plus the LP-designed WM — all built through the
+/// typed design path, with the expected Figure-5 provenance asserted.
 fn mechanisms(n: usize, alpha: Alpha) -> Vec<(&'static str, Mechanism)> {
-    let (gm, _) =
-        realize_with_stats(MechanismChoice::Geometric, n, alpha, None).expect("GM builds");
-    let (fair, _) =
-        realize_with_stats(MechanismChoice::ExplicitFair, n, alpha, None).expect("EM builds");
-    let (wm, stats) =
-        realize_with_stats(MechanismChoice::WeakHonestColumnMonotoneLp, n, alpha, None)
-            .expect("WM solves");
-    assert!(stats.is_some(), "WM is LP-designed");
+    let design = |properties: PropertySet, expected: MechanismChoice, lp: bool| {
+        let designed = MechanismSpec::new(n, alpha)
+            .properties(properties)
+            .build()
+            .expect("spec is valid")
+            .design()
+            .expect("design succeeds");
+        assert_eq!(designed.choice(), Some(expected));
+        assert_eq!(designed.used_lp(), lp);
+        designed.into_mechanism()
+    };
+    let gm = design(PropertySet::empty(), MechanismChoice::Geometric, false);
+    let fair = design(
+        PropertySet::empty().with(Property::Fairness),
+        MechanismChoice::ExplicitFair,
+        false,
+    );
+    let wm = design(
+        PropertySet::empty().with(Property::ColumnMonotonicity),
+        MechanismChoice::WeakHonestColumnMonotoneLp,
+        true,
+    );
     vec![("GM", gm), ("Fair", fair), ("WM", wm)]
 }
 
@@ -139,20 +154,20 @@ fn cache_designs_draw_from_the_designed_matrix() {
     // cached mechanism, for an LP-designed key.
     use cpm_serve::prelude::*;
     let cache = DesignCache::new(4);
-    let key = MechanismKey::new(
+    let key = SpecKey::new(
         6,
         a(0.9),
         PropertySet::empty().with(Property::ColumnMonotonicity),
     );
     let design = cache.get(&key).unwrap();
     assert_eq!(
-        design.choice,
+        design.choice(),
         Some(MechanismChoice::WeakHonestColumnMonotoneLp)
     );
-    for j in 0..design.mechanism.dim() {
-        let pmf = design.sampler.implied_pmf(j);
+    for j in 0..design.mechanism().dim() {
+        let pmf = design.alias_sampler().implied_pmf(j);
         for (i, &mass) in pmf.iter().enumerate() {
-            assert!((mass - design.mechanism.prob(i, j)).abs() < 1e-12);
+            assert!((mass - design.mechanism().prob(i, j)).abs() < 1e-12);
         }
     }
 }

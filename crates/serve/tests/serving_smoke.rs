@@ -28,7 +28,7 @@ const STORM_BUDGET: Duration = Duration::from_secs(120);
 #[ignore = "release-mode serving smoke test; run explicitly (see CI workflow)"]
 fn hot_key_sustains_the_throughput_floor() {
     let engine = Engine::with_defaults();
-    let key = MechanismKey::new(32, Alpha::new(0.9).unwrap(), PropertySet::empty());
+    let key = SpecKey::new(32, Alpha::new(0.9).unwrap(), PropertySet::empty());
     engine.warm(&[key]).expect("GM warms instantly");
 
     let requests = hot_key_requests(key, 500_000, 11);
@@ -50,14 +50,14 @@ fn cold_start_storm_completes_without_deadlock() {
     let engine = Arc::new(Engine::with_defaults());
     let alpha = Alpha::new(0.9).unwrap();
     // Three genuinely LP-designed keys (WH or CM at strong privacy).
-    let keys: Vec<MechanismKey> = vec![
-        MechanismKey::new(
+    let keys: Vec<SpecKey> = vec![
+        SpecKey::new(
             16,
             alpha,
             PropertySet::empty().with(Property::ColumnMonotonicity),
         ),
-        MechanismKey::new(16, alpha, PropertySet::empty().with(Property::WeakHonesty)),
-        MechanismKey::new(
+        SpecKey::new(16, alpha, PropertySet::empty().with(Property::WeakHonesty)),
+        SpecKey::new(
             12,
             alpha,
             PropertySet::empty().with(Property::ColumnHonesty),

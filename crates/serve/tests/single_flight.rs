@@ -9,8 +9,8 @@ use cpm_serve::prelude::*;
 
 /// A key whose design requires a real LP solve (the paper's WM), so the race
 /// window is wide enough for every thread to arrive while the solve runs.
-fn cold_wm_key() -> MechanismKey {
-    MechanismKey::new(
+fn cold_wm_key() -> SpecKey {
+    SpecKey::new(
         8,
         Alpha::new(0.9).unwrap(),
         PropertySet::empty().with(Property::ColumnMonotonicity),
@@ -24,7 +24,7 @@ fn racing_threads_trigger_exactly_one_design_solve() {
     let key = cold_wm_key();
     let barrier = Arc::new(Barrier::new(threads));
 
-    let designs: Vec<Arc<Design>> = std::thread::scope(|scope| {
+    let designs: Vec<Arc<DesignedMechanism>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 let cache = Arc::clone(&cache);
@@ -56,8 +56,7 @@ fn racing_threads_trigger_exactly_one_design_solve() {
         assert!(Arc::ptr_eq(design, &designs[0]));
     }
     let solver_stats = designs[0]
-        .solver_stats
-        .as_ref()
+        .solver_stats()
         .expect("an LP-designed mechanism carries its SolveStats");
     assert!(solver_stats.phase1_iterations + solver_stats.phase2_iterations > 0);
 }

@@ -1,0 +1,149 @@
+//! Cache-snapshot persistence: a warmed cache written to a snapshot file and
+//! reloaded — in a fresh cache and in a genuinely fresh process — serves its
+//! first request with **zero LP solves**, asserted by the cache counters.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+use cpm_core::{Alpha, Property, PropertySet};
+use cpm_serve::frontend::{read_frame, write_frame, WireResponse};
+use cpm_serve::prelude::*;
+
+fn a(v: f64) -> Alpha {
+    Alpha::new(v).unwrap()
+}
+
+/// An LP-designed key (WM at strong privacy) plus a closed-form key.
+fn warm_keys() -> Vec<SpecKey> {
+    vec![
+        SpecKey::new(
+            8,
+            a(0.9),
+            PropertySet::empty()
+                .with(Property::WeakHonesty)
+                .with(Property::ColumnMonotonicity),
+        ),
+        SpecKey::new(12, a(0.9), PropertySet::empty()),
+    ]
+}
+
+#[test]
+fn reloaded_engine_serves_its_first_request_with_zero_lp_solves() {
+    let path =
+        std::env::temp_dir().join(format!("cpm-snapshot-engine-{}.json", std::process::id()));
+    let keys = warm_keys();
+
+    // Warm an engine (one LP solve for the WM key) and persist the cache.
+    let warm_engine = Engine::with_defaults();
+    warm_engine.warm(&keys).expect("warm-up succeeds");
+    assert_eq!(warm_engine.cache_stats().lp_solves, 1);
+    let saved = warm_engine.save_snapshot(&path).expect("snapshot saves");
+    assert_eq!(saved, 2);
+
+    // A fresh engine loads the snapshot and serves entirely from it.
+    let fresh = Engine::with_defaults();
+    let loaded = fresh.load_snapshot(&path).expect("snapshot loads");
+    assert_eq!(loaded, 2);
+    assert_eq!(fresh.cache_stats().preloaded, 2);
+
+    let requests: Vec<Request> = (0..100).map(|i| Request::new(keys[i % 2], i % 9)).collect();
+    let outcome = fresh.privatize_batch(&requests).expect("batch succeeds");
+    assert_eq!(outcome.outputs.len(), 100);
+    assert_eq!(outcome.stats.cache_hits, 2, "both keys restored from disk");
+    assert_eq!(outcome.stats.cache_misses, 0);
+
+    let stats = fresh.cache_stats();
+    assert_eq!(stats.lp_solves, 0, "zero LP solves after reload: {stats:?}");
+    assert_eq!(stats.design_solves, 0);
+    assert_eq!(stats.misses, 0);
+
+    // The restored design draws from the same matrix the warm engine designed.
+    let original = warm_engine.design(&keys[0]).unwrap();
+    let restored = fresh.design(&keys[0]).unwrap();
+    assert_eq!(
+        original.mechanism().entries(),
+        restored.mechanism().entries(),
+        "snapshot restores the designed matrix bit-for-bit"
+    );
+
+    let _ = std::fs::remove_file(&path);
+}
+
+fn frame(json: &str) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    write_frame(&mut bytes, json.as_bytes()).unwrap();
+    bytes
+}
+
+/// End-to-end across two real processes: process 1 warms from `CPM_SERVE_WARM`
+/// and writes `CPM_WARM_FILE`; process 2 starts with only the warm file and
+/// must answer a privatize + stats exchange with `design_solves == 0`.
+#[test]
+fn fresh_process_with_warm_file_reports_zero_design_solves() {
+    let bin = env!("CARGO_BIN_EXE_serve_stdio");
+    let path =
+        std::env::temp_dir().join(format!("cpm-snapshot-process-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    // Process 1: warm the WM key (one LP solve) and persist the snapshot.
+    let warm = Command::new(bin)
+        .env("CPM_SERVE_WARM", "8:0.9:WH+CM")
+        .env("CPM_WARM_FILE", &path)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("serve_stdio spawns");
+    warm.stdin
+        .as_ref()
+        .unwrap()
+        .write_all(&frame(r#"{"op": "shutdown"}"#))
+        .unwrap();
+    let status = warm.wait_with_output().expect("process 1 exits");
+    assert!(status.status.success(), "warm process failed");
+    assert!(path.exists(), "warm process wrote the snapshot file");
+
+    // Process 2: cold start from the snapshot only — no CPM_SERVE_WARM.
+    let mut serve = Command::new(bin)
+        .env("CPM_WARM_FILE", &path)
+        .env_remove("CPM_SERVE_WARM")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("serve_stdio spawns");
+    {
+        let stdin = serve.stdin.as_mut().unwrap();
+        stdin
+            .write_all(&frame(
+                r#"{"op": "privatize", "n": 8, "alpha": 0.9, "properties": "WH+CM",
+                    "inputs": [0, 4, 8]}"#,
+            ))
+            .unwrap();
+        stdin.write_all(&frame(r#"{"op": "stats"}"#)).unwrap();
+        stdin.write_all(&frame(r#"{"op": "shutdown"}"#)).unwrap();
+    }
+    let output = serve.wait_with_output().expect("process 2 exits");
+    assert!(output.status.success(), "serving process failed");
+
+    let mut cursor = std::io::Cursor::new(output.stdout);
+    let mut responses: Vec<WireResponse> = Vec::new();
+    while let Some(payload) = read_frame(&mut cursor).unwrap() {
+        let text = String::from_utf8(payload).unwrap();
+        responses.push(serde_json::from_str(&text).unwrap());
+    }
+    assert_eq!(responses.len(), 3, "privatize + stats + shutdown acks");
+    let privatize = &responses[0];
+    assert!(privatize.ok, "privatize failed: {}", privatize.error);
+    assert_eq!(privatize.outputs.len(), 3);
+    assert_eq!(privatize.cache_hits, 1, "the restored key is a pure hit");
+    assert_eq!(privatize.cache_misses, 0);
+    let stats = &responses[1];
+    assert!(stats.ok);
+    assert_eq!(
+        stats.design_solves, 0,
+        "a fresh process serving from the snapshot performs zero designs"
+    );
+
+    let _ = std::fs::remove_file(&path);
+}

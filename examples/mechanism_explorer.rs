@@ -36,25 +36,36 @@ fn main() -> Result<(), CoreError> {
     ];
 
     for (description, requested) in requests {
-        let (choice, mechanism) = design_for_properties(requested, n, alpha)?;
-        let report = PropertyReport::evaluate(&mechanism, 1e-6);
+        let designed = MechanismSpec::new(n, alpha)
+            .properties(requested)
+            .build()?
+            .design()?;
+        let choice = designed.choice().expect("L0 designs carry a choice");
         let satisfied: Vec<&str> = Property::ALL
             .iter()
-            .filter(|p| report.holds(**p))
+            .filter(|p| designed.report().holds(**p))
             .map(|p| p.short_name())
             .collect();
-        let derivable = is_derivable_from_geometric(&mechanism, alpha, 1e-9);
+        let derivable = is_derivable_from_geometric(designed.mechanism(), alpha, 1e-9);
         println!("request: {description} ({requested})");
         println!("  flowchart choice : {}", choice.short_name());
-        println!("  L0 score         : {:.4}", rescaled_l0(&mechanism));
+        println!("  L0 score         : {:.4}", designed.score());
+        println!(
+            "  designed via     : {}",
+            if designed.used_lp() {
+                "LP solve"
+            } else {
+                "closed form"
+            }
+        );
         println!("  satisfies        : {satisfied:?}");
         println!(
             "  alpha-DP         : {}",
-            mechanism.satisfies_dp(alpha, 1e-6)
+            designed.mechanism().satisfies_dp(alpha, 1e-6)
         );
         println!("  derivable from GM: {derivable}");
         println!();
-        assert!(requested.all_hold(&mechanism, 1e-6));
+        assert!(designed.requested_satisfied());
     }
 
     println!(

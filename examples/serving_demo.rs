@@ -15,8 +15,8 @@ fn main() {
 
     // Two keys a deployment would declare up front: a hot unconstrained GM and
     // the paper's WM (weak honesty + column monotonicity, LP-designed).
-    let gm_key = MechanismKey::new(64, alpha, PropertySet::empty());
-    let wm_key = MechanismKey::new(
+    let gm_key = SpecKey::new(64, alpha, PropertySet::empty());
+    let wm_key = SpecKey::new(
         16,
         alpha,
         PropertySet::empty()
@@ -32,13 +32,12 @@ fn main() {
         println!(
             "  {key}: {} designed in {:?}{}",
             design
-                .choice
+                .choice()
                 .map(|c| c.short_name())
                 .unwrap_or("LP mechanism"),
-            design.design_time,
+            design.design_time(),
             design
-                .solver_stats
-                .as_ref()
+                .solver_stats()
                 .map(|s| format!(
                     " ({} + {} simplex pivots)",
                     s.phase1_iterations, s.phase2_iterations

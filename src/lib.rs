@@ -15,6 +15,9 @@
 //! * [`data`] (`cpm-data`) — synthetic workloads: Binomial group populations and an
 //!   Adult-like census table.
 //! * [`eval`] (`cpm-eval`) — empirical metrics and the per-figure experiment drivers.
+//! * [`serve`] (`cpm-serve`) — the serving subsystem: a snapshot-persistable design
+//!   cache keyed by [`cpm_core::SpecKey`], batch privatization, and stdio/TCP/unix
+//!   front ends.
 //!
 //! ## Quickstart
 //!
@@ -31,11 +34,22 @@
 //! // EM is fair; GM in general is not.
 //! assert!(Property::Fairness.holds(&em, 1e-9));
 //! assert!(!Property::Fairness.holds(&gm, 1e-9));
+//!
+//! // Constrained design goes through one typed entry point.
+//! let designed = MechanismSpec::new(7, alpha)
+//!     .properties(PropertySet::empty().with(Property::Fairness))
+//!     .build()
+//!     .unwrap()
+//!     .design()
+//!     .unwrap();
+//! assert_eq!(designed.choice(), Some(MechanismChoice::ExplicitFair));
+//! assert_eq!(designed.mechanism().entries(), em.entries());
 //! ```
 
 pub use cpm_core as core;
 pub use cpm_data as data;
 pub use cpm_eval as eval;
+pub use cpm_serve as serve;
 pub use cpm_simplex as simplex;
 
 /// Convenience prelude re-exporting the most commonly used items across the workspace.

@@ -117,13 +117,21 @@ fn flowchart_designs_satisfy_every_requested_subset() {
     let n = 3;
     let alpha = a(0.85);
     for subset in PropertySet::power_set() {
-        let (choice, mechanism) = design_for_properties(subset, n, alpha)
+        let designed = MechanismSpec::new(n, alpha)
+            .properties(subset)
+            .build()
+            .unwrap()
+            .design()
             .unwrap_or_else(|e| panic!("subset {subset}: {e}"));
+        let choice = designed.choice().expect("L0 designs carry a choice");
         assert!(
-            subset.all_hold(&mechanism, 1e-6),
+            designed.requested_satisfied(),
             "subset {subset} not satisfied by {}",
             choice.short_name()
         );
-        assert!(mechanism.satisfies_dp(alpha, 1e-6), "subset {subset}");
+        assert!(
+            designed.mechanism().satisfies_dp(alpha, 1e-6),
+            "subset {subset}"
+        );
     }
 }

@@ -126,7 +126,9 @@ fn constrained_mechanisms_are_not_post_processings_of_gm() {
     // solution its solver returned.  For n >= 3 the vertex our simplex finds also
     // violates the condition (for n = 2 it happens to be derivable).
     for n in [3usize, 4, 6] {
-        let wm = weak_honest_mechanism(n, alpha).unwrap().mechanism;
+        let wm = optimal_constrained(n, alpha, Objective::l0(), wm_properties())
+            .unwrap()
+            .mechanism;
         assert!(!is_derivable_from_geometric(&wm, alpha, 1e-9), "WM n={n}");
     }
 }
