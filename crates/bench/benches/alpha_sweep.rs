@@ -1,0 +1,75 @@
+//! Criterion bench: α-sweep re-solves, cold two-phase primal vs dual-simplex
+//! warm starts seeded from an α-neighbour's optimal basis.
+//!
+//! The serving layer's dominant cold-start cost is re-solving one
+//! `(n, properties, objective)` family at many nearby α values (eval heatmaps,
+//! α sweeps in `CPM_SERVE_WARM`, cold-start storms).  A warm start converts
+//! each re-solve from "full Phase 1 + most of Phase 2" into a short dual
+//! cleanup; this bench measures both wall-clock and (printed once per size)
+//! the pivot counts behind the speed-up.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cpm_core::prelude::*;
+
+/// Group sizes swept by the bench (64+ belongs to the release smoke test and
+/// BENCHMARKS.md, not a statistical harness).
+const SWEEP: [usize; 2] = [16, 32];
+/// The donor α and the re-solve α — a typical heatmap grid step apart.
+const BASE_ALPHA: f64 = 0.90;
+const NEIGHBOUR_ALPHA: f64 = 0.905;
+
+fn wm_problem(n: usize, alpha: f64) -> DesignProblem {
+    DesignProblem::constrained(
+        n,
+        Alpha::new(alpha).unwrap(),
+        Objective::l0(),
+        wm_properties(),
+    )
+}
+
+fn bench_alpha_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alpha_sweep");
+    group.sample_size(10);
+    for &n in &SWEEP {
+        let donor = wm_problem(n, BASE_ALPHA).solve().expect("donor solve");
+        let seed = donor.optimal_basis.clone().expect("donor basis");
+
+        // Print the pivot accounting once per size, so a bench run documents
+        // the mechanism behind the wall-clock gap.
+        let cold = wm_problem(n, NEIGHBOUR_ALPHA).solve().expect("cold solve");
+        let warm = wm_problem(n, NEIGHBOUR_ALPHA)
+            .with_warm_basis(Some(seed.clone()))
+            .solve()
+            .expect("warm solve");
+        assert!(
+            warm.solver_stats.warm_started,
+            "seed must take the warm path"
+        );
+        eprintln!(
+            "alpha_sweep n={n}: cold {} + {} pivots | warm {} dual + {} primal \
+             (warm_started={})",
+            cold.solver_stats.phase1_iterations,
+            cold.solver_stats.phase2_iterations,
+            warm.solver_stats.dual_iterations,
+            warm.solver_stats.phase2_iterations,
+            warm.solver_stats.warm_started,
+        );
+
+        group.bench_with_input(BenchmarkId::new("cold_resolve", n), &n, |b, _| {
+            b.iter(|| wm_problem(n, NEIGHBOUR_ALPHA).solve().expect("cold solve"))
+        });
+        group.bench_with_input(BenchmarkId::new("warm_resolve", n), &n, |b, _| {
+            b.iter(|| {
+                wm_problem(n, NEIGHBOUR_ALPHA)
+                    .with_warm_basis(Some(seed.clone()))
+                    .solve()
+                    .expect("warm solve")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_alpha_sweep);
+criterion_main!(benches);

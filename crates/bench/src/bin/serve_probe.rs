@@ -11,8 +11,15 @@
 //! * `storm` — the cache is cleared first, so the batch pays its own design
 //!   cost, LP keys included (cold-start amortisation + single flight).
 //!
+//! After the grid, an **α-sweep storm** compares a cold start over one
+//! `(n, properties, objective)` family — the worst-case serving pattern —
+//! with the cache's family warm seeding on vs off: total LP design time and
+//! the `warm_seeded` counter show how much of the storm the dual-simplex
+//! warm starts absorb.
+//!
 //! Overrides: `CPM_SERVE_BATCHES=10000,100000` (batch sizes),
-//! `CPM_SERVE_THREAD_SWEEP=1,2,8` (thread counts), `--full` widens both sweeps.
+//! `CPM_SERVE_THREAD_SWEEP=1,2,8` (thread counts), `--full` widens both sweeps;
+//! `CPM_SERVE_SWEEP_N` (default 32) sizes the α-sweep storm.
 //! Thread counts are applied by setting `CPM_THREADS` before each cell, so set
 //! nothing else that reads it while the probe runs.
 
@@ -78,21 +85,26 @@ fn main() {
     println!(
         "batch | threads | scenario | unique keys | design | sample | draws/sec | hits/misses"
     );
-    for &batch_size in &batches {
-        for &thread_count in &threads {
+    run_grid(&batches, &threads, &keys);
+    alpha_sweep_storm();
+}
+
+fn run_grid(batches: &[usize], threads: &[usize], keys: &[SpecKey]) {
+    for &batch_size in batches {
+        for &thread_count in threads {
             std::env::set_var("CPM_THREADS", thread_count.to_string());
             for scenario in ["hot", "zipf", "storm"] {
                 let engine = Engine::new(EngineConfig::default());
                 let requests = match scenario {
                     "hot" => workload::hot_key_requests(keys[0], batch_size, 1),
-                    _ => workload::zipf_requests(&keys, 1.1, batch_size, 1),
+                    _ => workload::zipf_requests(keys, 1.1, batch_size, 1),
                 };
                 if scenario != "storm" {
                     // Resident designs: the batch measures pure serving.
                     let unique: Vec<SpecKey> = if scenario == "hot" {
                         vec![keys[0]]
                     } else {
-                        keys.clone()
+                        keys.to_vec()
                     };
                     engine.warm(&unique).expect("warm-up designs must succeed");
                 }
@@ -120,5 +132,45 @@ fn main() {
                 }
             }
         }
+    }
+}
+
+/// Cold-start storm over an α sweep of one LP family (the WM at strong
+/// privacy), with the cache's family warm seeding on vs off.  The entire gap
+/// is LP time: the seeded run pays one cold two-phase solve and chains
+/// dual-simplex cleanups for the rest of the sweep.
+fn alpha_sweep_storm() {
+    let n: usize = std::env::var("CPM_SERVE_SWEEP_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32);
+    let properties = PropertySet::empty()
+        .with(Property::WeakHonesty)
+        .with(Property::ColumnMonotonicity);
+    let sweep: Vec<SpecKey> = (0..8)
+        .map(|i| {
+            let alpha = 0.88 + 0.005 * i as f64;
+            SpecKey::new(n, Alpha::new(alpha).unwrap(), properties)
+        })
+        .collect();
+
+    println!();
+    println!(
+        "alpha-sweep storm (n = {n}, WH+CM, 8 α values) | design total | LP solves | warm-seeded"
+    );
+    for seeding in [false, true] {
+        let engine = Engine::new(EngineConfig::default());
+        engine.cache().set_family_seeding(seeding);
+        let start = Instant::now();
+        engine.warm(&sweep).expect("sweep designs must succeed");
+        let elapsed = start.elapsed();
+        let stats = engine.cache_stats();
+        println!(
+            "family seeding {} | {:>10.2?} | {:2} | {:2}",
+            if seeding { "on " } else { "off" },
+            elapsed,
+            stats.lp_solves,
+            stats.warm_seeded,
+        );
     }
 }

@@ -47,6 +47,16 @@ pub struct DesignProblem {
     /// testing and ablations.
     #[serde(default)]
     pub backend: SolverBackend,
+    /// Optional warm-start hint: the [`DesignSolution::optimal_basis`] of an
+    /// **identically shaped** problem (same `n`, properties, objective family —
+    /// only `alpha` may differ), used to seed a dual-simplex re-solve that
+    /// skips Phase 1 and most of Phase 2.  A hint that does not fit (or is
+    /// dual-infeasible under this problem's coefficients) silently falls back
+    /// to the cold primal path — a warm start can never change the answer,
+    /// only the pivot count.  Ignored when the caller's explicit
+    /// [`SolveOptions::warm_basis`] is already set.
+    #[serde(default)]
+    pub warm_basis: Option<Vec<usize>>,
 }
 
 /// The result of solving a [`DesignProblem`].
@@ -59,6 +69,10 @@ pub struct DesignSolution {
     /// Solver statistics (iteration counts, artificial variables, ...),
     /// including which [`SolverBackend`] produced the solution.
     pub solver_stats: SolveStats,
+    /// The optimal standard-form basis of the LP solve, when the solver could
+    /// report one — the seed for [`DesignProblem::warm_basis`] on a
+    /// perturbed re-solve (an α sweep within one problem family).
+    pub optimal_basis: Option<Vec<usize>>,
 }
 
 impl DesignProblem {
@@ -71,6 +85,7 @@ impl DesignProblem {
             properties: PropertySet::empty(),
             output_dp: None,
             backend: SolverBackend::default(),
+            warm_basis: None,
         }
     }
 
@@ -88,6 +103,7 @@ impl DesignProblem {
             properties,
             output_dp: None,
             backend: SolverBackend::default(),
+            warm_basis: None,
         }
     }
 
@@ -104,6 +120,14 @@ impl DesignProblem {
     #[must_use]
     pub fn with_backend(mut self, backend: SolverBackend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Seed the solve from a neighbouring problem's
+    /// [`DesignSolution::optimal_basis`] (see [`DesignProblem::warm_basis`]).
+    #[must_use]
+    pub fn with_warm_basis(mut self, basis: Option<Vec<usize>>) -> Self {
+        self.warm_basis = basis;
         self
     }
 
@@ -235,10 +259,18 @@ impl DesignProblem {
         self.solve_with(&self.recommended_options())
     }
 
-    /// Solve the design problem with explicit solver options.
+    /// Solve the design problem with explicit solver options.  The problem's
+    /// own [`DesignProblem::warm_basis`] hint is applied unless the options
+    /// already carry one.
     pub fn solve_with(&self, options: &SolveOptions) -> Result<DesignSolution, CoreError> {
         let (lp, vars) = self.build_lp()?;
-        let solution = lp.solve_with(options)?;
+        let solution = if options.warm_basis.is_none() && self.warm_basis.is_some() {
+            let mut seeded = options.clone();
+            seeded.warm_basis = self.warm_basis.clone();
+            lp.solve_with(&seeded)?
+        } else {
+            lp.solve_with(options)?
+        };
         let dim = self.n + 1;
 
         // Extract the matrix, clamping tiny negative round-off and renormalising each
@@ -267,6 +299,7 @@ impl DesignProblem {
             mechanism,
             objective_value: solution.objective_value,
             solver_stats: solution.stats,
+            optimal_basis: solution.optimal_basis,
         })
     }
 }
@@ -572,6 +605,7 @@ mod tests {
             properties: PropertySet::empty().with(Property::Symmetry),
             output_dp: None,
             backend: SolverBackend::default(),
+            warm_basis: None,
         };
         let solution = problem.solve().expect("solve ok");
         // The minimax L0 loss of any DP mechanism is at least the uniform-column

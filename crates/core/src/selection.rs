@@ -112,7 +112,7 @@ pub fn realize(
     alpha: Alpha,
     options: &SolveOptions,
 ) -> Result<Mechanism, CoreError> {
-    realize_choice(choice, n, alpha, Some(options)).map(|(mechanism, _)| mechanism)
+    realize_choice(choice, n, alpha, Some(options), None).map(|(mechanism, _, _)| mechanism)
 }
 
 /// [`realize`], additionally reporting the simplex statistics when the choice
@@ -128,8 +128,12 @@ pub fn realize_with_stats(
     alpha: Alpha,
     options: Option<&SolveOptions>,
 ) -> Result<(Mechanism, Option<SolveStats>), CoreError> {
-    realize_choice(choice, n, alpha, options)
+    realize_choice(choice, n, alpha, options, None).map(|(m, stats, _)| (m, stats))
 }
+
+/// A realised choice: the matrix, the LP statistics when the simplex ran, and
+/// the LP's optimal basis when one was reported.
+pub(crate) type Realized = (Mechanism, Option<SolveStats>, Option<Vec<usize>>);
 
 /// Materialise one [`MechanismChoice`]: closed forms for GM/EM/UM, the
 /// (symmetrised) LP optimum for the two LP-defined choices.
@@ -137,16 +141,22 @@ pub fn realize_with_stats(
 /// `options: None` lets each LP pick its own size-scaled
 /// [`crate::lp::DesignProblem::recommended_options`] — the right default for
 /// callers (such as a design cache) that serve arbitrary `(n, α)` pairs rather
-/// than one known problem size.  This is the single realisation routine behind
-/// [`crate::design::MechanismSpec::design`] and the deprecated free functions.
+/// than one known problem size.  `warm_basis` seeds the LP solve from an
+/// α-neighbour's optimal basis when the choice requires the simplex (closed
+/// forms ignore it; a seed that does not fit the chosen LP falls back to the
+/// cold path inside the solver).  This is the single realisation routine
+/// behind [`crate::design::MechanismSpec::design`] and the deprecated free
+/// functions.  The third return slot is the LP's optimal basis, when one ran.
 pub(crate) fn realize_choice(
     choice: MechanismChoice,
     n: usize,
     alpha: Alpha,
     options: Option<&SolveOptions>,
-) -> Result<(Mechanism, Option<SolveStats>), CoreError> {
-    let solve_lp = |properties: PropertySet| -> Result<(Mechanism, Option<SolveStats>), CoreError> {
-        let problem = crate::lp::DesignProblem::constrained(n, alpha, Objective::l0(), properties);
+    warm_basis: Option<&[usize]>,
+) -> Result<Realized, CoreError> {
+    let solve_lp = |properties: PropertySet| -> Result<Realized, CoreError> {
+        let problem = crate::lp::DesignProblem::constrained(n, alpha, Objective::l0(), properties)
+            .with_warm_basis(warm_basis.map(|b| b.to_vec()));
         let solution = match options {
             Some(options) => problem.solve_with(options)?,
             None => problem.solve()?,
@@ -154,14 +164,19 @@ pub(crate) fn realize_choice(
         Ok((
             crate::symmetrize::symmetrize(&solution.mechanism),
             Some(solution.solver_stats),
+            solution.optimal_basis,
         ))
     };
     match choice {
-        MechanismChoice::Geometric => Ok((GeometricMechanism::new(n, alpha)?.into_matrix(), None)),
-        MechanismChoice::ExplicitFair => {
-            Ok((ExplicitFairMechanism::new(n, alpha)?.into_matrix(), None))
+        MechanismChoice::Geometric => {
+            Ok((GeometricMechanism::new(n, alpha)?.into_matrix(), None, None))
         }
-        MechanismChoice::Uniform => Ok((UniformMechanism::new(n)?.into_matrix(), None)),
+        MechanismChoice::ExplicitFair => Ok((
+            ExplicitFairMechanism::new(n, alpha)?.into_matrix(),
+            None,
+            None,
+        )),
+        MechanismChoice::Uniform => Ok((UniformMechanism::new(n)?.into_matrix(), None, None)),
         MechanismChoice::WeakHonestLp => solve_lp(
             PropertySet::empty()
                 .with(Property::WeakHonesty)
@@ -349,14 +364,23 @@ mod tests {
     #[test]
     fn realize_choice_reports_lp_statistics_only_for_lp_choices() {
         let alpha = a(0.9);
-        let (gm, stats) = realize_choice(MechanismChoice::Geometric, 6, alpha, None).unwrap();
+        let (gm, stats, basis) =
+            realize_choice(MechanismChoice::Geometric, 6, alpha, None, None).unwrap();
         assert!(stats.is_none(), "GM is closed-form, no LP solve");
+        assert!(basis.is_none(), "no LP, no basis");
         assert!(gm.satisfies_dp(alpha, 1e-9));
 
-        let (wm, stats) =
-            realize_choice(MechanismChoice::WeakHonestColumnMonotoneLp, 4, alpha, None).unwrap();
+        let (wm, stats, basis) = realize_choice(
+            MechanismChoice::WeakHonestColumnMonotoneLp,
+            4,
+            alpha,
+            None,
+            None,
+        )
+        .unwrap();
         let stats = stats.expect("WM requires an LP solve");
         assert!(stats.phase1_iterations + stats.phase2_iterations > 0);
+        assert!(basis.is_some(), "an LP choice reports its optimal basis");
         assert!(wm.satisfies_dp(alpha, 1e-6));
     }
 

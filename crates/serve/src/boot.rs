@@ -75,6 +75,12 @@ pub fn parse_warm_keys(list: &str) -> Result<Vec<SpecKey>, String> {
 /// Bring an engine up warm from the environment: load `CPM_WARM_FILE` (if the
 /// file exists), design every `CPM_SERVE_WARM` key not already resident, and
 /// write the cache back to `CPM_WARM_FILE` (if set).  Progress goes to stderr.
+///
+/// α sweeps in the warm list are cheap: [`crate::cache::DesignCache::warm`]
+/// groups the keys by `(n, properties, objective)` family and solves each
+/// family in α order, chaining dual-simplex warm starts — and designs
+/// restored from the snapshot file carry their optimal bases, so even keys
+/// *near* (not equal to) a snapshotted α start warm.
 pub fn bootstrap(engine: &Engine) -> io::Result<BootReport> {
     let mut report = BootReport::default();
     let warm_file = std::env::var(WARM_FILE_ENV).ok().filter(|p| !p.is_empty());

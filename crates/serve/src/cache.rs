@@ -20,17 +20,23 @@
 //! * **persistence** — [`DesignCache::save_snapshot`] serialises every resident
 //!   design (the [`DesignedMechanism`] serde form is exact) and
 //!   [`DesignCache::load_snapshot`] restores them in a fresh process, turning
-//!   cold-start storms into a deploy-time cost.
+//!   cold-start storms into a deploy-time cost;
+//! * **family warm seeding** — resident keys are indexed by their
+//!   `(n, properties, objective)` family in α order, and a cold key's LP solve
+//!   is seeded from the nearest resident α-neighbour's optimal basis
+//!   ([`DesignedMechanism::optimal_basis`]), so an α sweep over one family
+//!   pays one cold two-phase solve plus a chain of short dual-simplex
+//!   cleanups ([`CacheStats::warm_seeded`] counts the seeded solves).
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
 use std::io;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
-use cpm_core::{DesignedMechanism, SpecKey};
+use cpm_core::{DesignedMechanism, ObjectiveKey, PropertySet, SpecKey};
 
 use crate::error::ServeError;
 
@@ -71,6 +77,11 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Designs restored from a snapshot instead of being computed.
     pub preloaded: u64,
+    /// Cold designs whose LP solve was seeded from the optimal basis of a
+    /// resident α-neighbour in the same `(n, properties, objective)` family
+    /// (the seed is a hint — the solver may still have fallen back to the
+    /// cold primal path if it did not fit).
+    pub warm_seeded: u64,
     /// Total wall-clock nanoseconds spent designing.
     pub design_nanos: u64,
     /// Ready entries currently resident.
@@ -156,10 +167,88 @@ impl Shard {
     }
 }
 
+/// The α-sweep family of a key: everything but α.  Keys in one family solve
+/// identically-shaped LPs, so any member's optimal basis can seed another's
+/// dual-simplex warm start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct FamilyKey {
+    n: usize,
+    properties: PropertySet,
+    objective: ObjectiveKey,
+}
+
+impl FamilyKey {
+    fn of(key: &SpecKey) -> Self {
+        FamilyKey {
+            n: key.n,
+            properties: key.properties,
+            objective: key.objective,
+        }
+    }
+}
+
+/// Index of resident designs grouped by family and ordered by α.  The inner
+/// map is keyed by the α bit pattern, which for the strictly-positive finite
+/// α values [`cpm_core::Alpha`] admits orders exactly like the value — so a
+/// range scan finds the nearest resident neighbour of a cold α.
+#[derive(Default)]
+struct FamilyIndex {
+    families: HashMap<FamilyKey, BTreeMap<u64, SpecKey>>,
+}
+
+impl FamilyIndex {
+    fn insert(&mut self, key: &SpecKey) {
+        self.families
+            .entry(FamilyKey::of(key))
+            .or_default()
+            .insert(key.alpha.bits(), *key);
+    }
+
+    fn remove(&mut self, key: &SpecKey) {
+        if let Some(family) = self.families.get_mut(&FamilyKey::of(key)) {
+            family.remove(&key.alpha.bits());
+            if family.is_empty() {
+                self.families.remove(&FamilyKey::of(key));
+            }
+        }
+    }
+
+    /// The resident family member whose α is closest to `key`'s (by value,
+    /// not bit distance), excluding `key` itself.
+    fn nearest_neighbour(&self, key: &SpecKey) -> Option<SpecKey> {
+        let family = self.families.get(&FamilyKey::of(key))?;
+        let bits = key.alpha.bits();
+        let below = family.range(..bits).next_back().map(|(_, k)| *k);
+        let above = family
+            .range(bits..)
+            .find(|(&b, _)| b != bits)
+            .map(|(_, k)| *k);
+        let alpha = key.alpha_value().value();
+        match (below, above) {
+            (Some(lo), Some(hi)) => {
+                let d_lo = (alpha - lo.alpha_value().value()).abs();
+                let d_hi = (hi.alpha_value().value() - alpha).abs();
+                Some(if d_lo <= d_hi { lo } else { hi })
+            }
+            (found, None) | (None, found) => found,
+        }
+    }
+}
+
 /// The sharded, single-flight, LRU-bounded design registry.
 pub struct DesignCache {
     shards: Vec<Mutex<Shard>>,
     per_shard_capacity: usize,
+    /// Resident keys grouped by `(n, properties, objective)` family and
+    /// ordered by α, so a cold key can seed its LP from the nearest resident
+    /// α-neighbour's optimal basis.  Lock ordering: taken alone or nested
+    /// *inside* a shard lock (every residency change updates the index under
+    /// the owning shard's lock); no thread ever takes a shard lock while
+    /// holding this one.
+    family_index: Mutex<FamilyIndex>,
+    /// Whether cold designs seed from family neighbours (on by default; the
+    /// `CPM_SERVE_FAMILY_SEED=0` escape hatch and A/B probes turn it off).
+    family_seeding: AtomicBool,
     tick: AtomicU64,
     hits: AtomicU64,
     coalesced: AtomicU64,
@@ -168,6 +257,7 @@ pub struct DesignCache {
     lp_solves: AtomicU64,
     evictions: AtomicU64,
     preloaded: AtomicU64,
+    warm_seeded: AtomicU64,
     design_nanos: AtomicU64,
 }
 
@@ -190,6 +280,9 @@ impl DesignCache {
     pub fn with_shards(capacity: usize, shards: usize) -> Self {
         let shards = shards.max(1);
         let per_shard_capacity = capacity.div_ceil(shards).max(1);
+        let seeding = std::env::var("CPM_SERVE_FAMILY_SEED")
+            .map(|v| v != "0" && !v.eq_ignore_ascii_case("off"))
+            .unwrap_or(true);
         DesignCache {
             shards: (0..shards)
                 .map(|_| {
@@ -199,6 +292,8 @@ impl DesignCache {
                 })
                 .collect(),
             per_shard_capacity,
+            family_index: Mutex::new(FamilyIndex::default()),
+            family_seeding: AtomicBool::new(seeding),
             tick: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
@@ -207,8 +302,15 @@ impl DesignCache {
             lp_solves: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             preloaded: AtomicU64::new(0),
+            warm_seeded: AtomicU64::new(0),
             design_nanos: AtomicU64::new(0),
         }
+    }
+
+    /// Enable or disable seeding cold designs from resident α-neighbours
+    /// (see [`CacheStats::warm_seeded`]).  On by default.
+    pub fn set_family_seeding(&self, enabled: bool) {
+        self.family_seeding.store(enabled, Ordering::Relaxed);
     }
 
     fn shard_of(&self, key: &SpecKey) -> usize {
@@ -301,7 +403,7 @@ impl DesignCache {
             flight: Arc::clone(&flight),
             armed: true,
         };
-        let result = design(key);
+        let result = self.design_seeded(key);
         guard.armed = false;
         drop(guard);
         match result {
@@ -328,6 +430,15 @@ impl DesignCache {
 
     /// Insert a ready design into its shard (used by both the design path and
     /// the snapshot loader) and evict over capacity.
+    ///
+    /// The family-index update nests *inside* the shard lock: every residency
+    /// change of a key happens under its own shard's lock (evictions are
+    /// per-shard), so the nesting keeps index and shard consistent — an
+    /// update applied after release could be interleaved with a concurrent
+    /// re-insert of an evicted key and strand a resident design outside the
+    /// index.  The ordering is deadlock-free because the index lock is only
+    /// ever taken alone or inside a shard lock, never the other way around
+    /// ([`DesignCache::family_seed`] releases it before touching a shard).
     fn publish(&self, shard_index: usize, key: &SpecKey, design: Arc<DesignedMechanism>) {
         let mut shard = self.shards[shard_index].lock().expect("shard poisoned");
         shard.entries.insert(
@@ -337,7 +448,12 @@ impl DesignCache {
                 last_used: self.next_tick(),
             },
         );
-        self.evict_over_capacity(&mut shard);
+        let evicted = self.evict_over_capacity(&mut shard);
+        let mut index = self.family_index.lock().expect("family index poisoned");
+        index.insert(key);
+        for victim in &evicted {
+            index.remove(victim);
+        }
     }
 
     fn remove_in_flight(&self, shard_index: usize, key: &SpecKey) {
@@ -349,8 +465,11 @@ impl DesignCache {
 
     /// Evict least-recently-used ready entries until the shard fits its share of
     /// the capacity.  In-flight entries are never evicted, and the entry just
-    /// touched carries the freshest tick, so it survives.
-    fn evict_over_capacity(&self, shard: &mut Shard) {
+    /// touched carries the freshest tick, so it survives.  Returns the evicted
+    /// keys so the caller can update the family index once the shard lock is
+    /// released.
+    fn evict_over_capacity(&self, shard: &mut Shard) -> Vec<SpecKey> {
+        let mut evicted = Vec::new();
         while shard.ready_len() > self.per_shard_capacity {
             let victim = shard
                 .entries
@@ -365,18 +484,57 @@ impl DesignCache {
                 Some(key) => {
                     shard.entries.remove(&key);
                     self.evictions.fetch_add(1, Ordering::Relaxed);
+                    evicted.push(key);
                 }
                 None => break,
             }
         }
+        evicted
     }
 
     /// Precompute the designs for a declared key set, fanning the cold solves out
     /// across the [`cpm_eval::par`] worker pool.  Returns the designs in key
     /// order.  On failure the *first* key's error is reported — after the whole
     /// set has been attempted — and the keys that did design stay resident.
+    ///
+    /// Keys are grouped by `(n, properties, objective)` family, each family is
+    /// sorted by α and designed **serially** (families still run concurrently):
+    /// within a family every solve after the first seeds its dual-simplex
+    /// warm start from the basis its predecessor just left in the cache, so an
+    /// α sweep pays one cold solve plus a chain of short dual cleanups.
     pub fn warm(&self, keys: &[SpecKey]) -> Result<Vec<Arc<DesignedMechanism>>, ServeError> {
-        cpm_eval::par::try_parallel_map(keys.to_vec(), |key| self.get(&key))
+        // Group the positions (not the keys) so the output order is restored.
+        let mut families: HashMap<FamilyKey, Vec<usize>> = HashMap::new();
+        for (position, key) in keys.iter().enumerate() {
+            families
+                .entry(FamilyKey::of(key))
+                .or_default()
+                .push(position);
+        }
+        let mut groups: Vec<Vec<usize>> = families.into_values().collect();
+        for group in &mut groups {
+            group.sort_by_key(|&position| keys[position].alpha.bits());
+        }
+        // Deterministic fan-out order regardless of the HashMap's iteration.
+        groups.sort_by_key(|group| keys[group[0]]);
+
+        type Designed = Vec<(usize, Result<Arc<DesignedMechanism>, ServeError>)>;
+        let outcomes: Vec<Designed> = cpm_eval::par::parallel_map(groups, |group| {
+            group
+                .into_iter()
+                .map(|position| (position, self.get(&keys[position])))
+                .collect()
+        });
+
+        let mut slots: Vec<Option<Result<Arc<DesignedMechanism>, ServeError>>> =
+            (0..keys.len()).map(|_| None).collect();
+        for (position, outcome) in outcomes.into_iter().flatten() {
+            slots[position] = Some(outcome);
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every key position is designed exactly once"))
+            .collect()
     }
 
     /// Every resident design, sorted by key so the order (and any snapshot
@@ -444,6 +602,11 @@ impl DesignCache {
                     last_used: self.next_tick(),
                 },
             );
+            // Nested inside the shard lock — see `publish` for the ordering.
+            self.family_index
+                .lock()
+                .expect("family index poisoned")
+                .insert(&key);
             inserted += 1;
         }
         if inserted < total {
@@ -473,8 +636,16 @@ impl DesignCache {
     /// cache must never shrink the snapshot it was warmed from.  Resident
     /// designs win on key collisions; an unreadable existing file contributes
     /// nothing.  Returns the number of designs in the merged snapshot.
+    ///
+    /// Concurrent savers (several processes sharing one `CPM_WARM_FILE`) are
+    /// serialised through an advisory `.lock` sibling file, closing the
+    /// read-modify-write race in which two merges interleave between
+    /// `read_to_string` and the tmp-rename and silently drop each other's
+    /// entries.  A lock left behind by a crashed process is broken after a
+    /// grace period, so the save can stall but never deadlock.
     pub fn save_snapshot_file_merging<P: AsRef<Path>>(&self, path: P) -> io::Result<usize> {
         let path = path.as_ref();
+        let _lock = SnapshotLock::acquire(path)?;
         let mut merged: Vec<Arc<DesignedMechanism>> = self.resident_designs();
         let resident: std::collections::HashSet<SpecKey> =
             merged.iter().map(|design| design.key()).collect();
@@ -523,6 +694,16 @@ impl DesignCache {
     pub fn clear(&self) {
         for shard in &self.shards {
             let mut shard = shard.lock().expect("shard poisoned");
+            // Index removal nests inside each shard's lock (see `publish`),
+            // so a design published concurrently to another shard keeps its
+            // index entry.
+            let mut index = self.family_index.lock().expect("family index poisoned");
+            for (key, entry) in shard.entries.iter() {
+                if matches!(entry, Entry::Ready { .. }) {
+                    index.remove(key);
+                }
+            }
+            drop(index);
             shard
                 .entries
                 .retain(|_, entry| matches!(entry, Entry::InFlight(_)));
@@ -539,9 +720,64 @@ impl DesignCache {
             lp_solves: self.lp_solves.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             preloaded: self.preloaded.load(Ordering::Relaxed),
+            warm_seeded: self.warm_seeded.load(Ordering::Relaxed),
             design_nanos: self.design_nanos.load(Ordering::Relaxed),
             entries: self.len(),
         }
+    }
+
+    /// A resident design looked up without touching the hit counters or the
+    /// LRU clock — the family-seeding path must not masquerade as traffic.
+    fn resident(&self, key: &SpecKey) -> Option<Arc<DesignedMechanism>> {
+        let shard = self.shards[self.shard_of(key)]
+            .lock()
+            .expect("shard poisoned");
+        match shard.entries.get(key) {
+            Some(Entry::Ready { design, .. }) => Some(Arc::clone(design)),
+            _ => None,
+        }
+    }
+
+    /// The optimal basis of the resident design nearest in α within `key`'s
+    /// family, if any carries one.
+    fn family_seed(&self, key: &SpecKey) -> Option<Vec<usize>> {
+        if !self.family_seeding.load(Ordering::Relaxed) {
+            return None;
+        }
+        let neighbour = self
+            .family_index
+            .lock()
+            .expect("family index poisoned")
+            .nearest_neighbour(key)?;
+        self.resident(&neighbour)?
+            .optimal_basis()
+            .map(|basis| basis.to_vec())
+    }
+
+    /// Perform one design through the typed core path: the key's default-tuned
+    /// [`cpm_core::MechanismSpec`] routes `L0` requests through the Figure-5
+    /// flowchart (which short-circuits to closed forms whenever it can) and
+    /// other objectives through the constrained LP.  When a same-family
+    /// α-neighbour is resident, its optimal basis seeds the LP's dual-simplex
+    /// warm start — converting a cold-start storm over an α sweep into one
+    /// cold solve plus short dual cleanups.  The seed is a hint: an unusable
+    /// one falls back to the cold primal path inside the solver.
+    ///
+    /// Note on determinism: degenerate mechanism LPs can have several optimal
+    /// vertices, and a warm-started solve may return a different optimal
+    /// matrix than a cold one (same objective value, same requested
+    /// properties).  Deployments that require bit-identical designs across
+    /// differently-warmed processes should disable seeding
+    /// ([`DesignCache::set_family_seeding`], `CPM_SERVE_FAMILY_SEED=0`) or
+    /// share snapshots rather than re-solving.
+    fn design_seeded(&self, key: &SpecKey) -> Result<DesignedMechanism, ServeError> {
+        let mut spec = key.spec();
+        if let Some(seed) = self.family_seed(key) {
+            self.warm_seeded.fetch_add(1, Ordering::Relaxed);
+            spec = spec.warm_start(Some(seed));
+        }
+        spec.design()
+            .map_err(|source| ServeError::Design { key: *key, source })
     }
 }
 
@@ -567,6 +803,85 @@ fn write_designs<W: io::Write>(
     writer.flush()
 }
 
+/// Advisory cross-process lock around a snapshot file: a `.lock` sibling
+/// created with `create_new` (atomic on every platform the workspace targets).
+/// Held for the duration of a read-merge-write; removed on drop.  If the lock
+/// cannot be acquired within [`SnapshotLock::STALE_AFTER`] it is presumed
+/// abandoned by a crashed process and broken — snapshot saves are an
+/// optimisation and must stall briefly at worst, never deadlock a server.
+struct SnapshotLock {
+    path: std::path::PathBuf,
+}
+
+impl SnapshotLock {
+    /// How long to wait on a contended lock before presuming its holder died.
+    /// Real merges take milliseconds; a multi-second hold is a crashed owner.
+    const STALE_AFTER: std::time::Duration = std::time::Duration::from_secs(10);
+
+    fn acquire(snapshot_path: &Path) -> io::Result<SnapshotLock> {
+        let mut lock_name = snapshot_path.as_os_str().to_owned();
+        lock_name.push(".lock");
+        let path = std::path::PathBuf::from(lock_name);
+        loop {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(_) => return Ok(SnapshotLock { path }),
+                Err(error) if error.kind() == io::ErrorKind::AlreadyExists => {
+                    // Staleness is judged by the lock *file's* age, not by how
+                    // long this waiter has been waiting: a per-waiter deadline
+                    // would let two waiters break (and then share) a lock a
+                    // third process just legitimately re-acquired.  A fresh
+                    // lock — including one created by another waiter a moment
+                    // ago — is always respected.
+                    let age = std::fs::metadata(&path)
+                        .and_then(|m| m.modified())
+                        .ok()
+                        .and_then(|modified| modified.elapsed().ok());
+                    match age {
+                        Some(age) if age >= Self::STALE_AFTER => {
+                            // Presumed abandoned by a crashed process.
+                            // Re-stat immediately before removing so a racing
+                            // breaker that already replaced the stale file
+                            // with its own fresh lock is (almost) never
+                            // robbed; the residual stat-to-remove window is
+                            // nanoseconds wide, needs a crashed holder plus
+                            // two breakers inside it, and even then degrades
+                            // to the pre-lock behaviour (a lost merge), not
+                            // corruption — the write itself stays atomic.
+                            let still_stale = std::fs::metadata(&path)
+                                .and_then(|m| m.modified())
+                                .ok()
+                                .and_then(|modified| modified.elapsed().ok())
+                                .is_some_and(|a| a >= Self::STALE_AFTER);
+                            if still_stale {
+                                let _ = std::fs::remove_file(&path);
+                                eprintln!(
+                                    "cpm-serve: broke stale snapshot lock {} (age {age:?})",
+                                    path.display(),
+                                );
+                            }
+                        }
+                        // Missing metadata means the holder just released (or
+                        // a breaker just removed it) — retry immediately.
+                        None => {}
+                        _ => std::thread::sleep(std::time::Duration::from_millis(5)),
+                    }
+                }
+                Err(error) => return Err(error),
+            }
+        }
+    }
+}
+
+impl Drop for SnapshotLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
 /// Atomic file write: `.tmp` sibling + rename, so a crash mid-write can never
 /// leave a truncated snapshot behind.
 fn write_designs_file(path: &Path, designs: &[Arc<DesignedMechanism>]) -> io::Result<()> {
@@ -578,16 +893,6 @@ fn write_designs_file(path: &Path, designs: &[Arc<DesignedMechanism>]) -> io::Re
     file.sync_all()?;
     drop(file);
     std::fs::rename(&tmp, path)
-}
-
-/// Perform one design through the typed core path: the key's default-tuned
-/// [`cpm_core::MechanismSpec`] routes `L0` requests through the Figure-5
-/// flowchart (which short-circuits to closed forms whenever it can) and other
-/// objectives through the constrained LP.
-fn design(key: &SpecKey) -> Result<DesignedMechanism, ServeError> {
-    key.spec()
-        .design()
-        .map_err(|source| ServeError::Design { key: *key, source })
 }
 
 #[cfg(test)]

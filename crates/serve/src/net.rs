@@ -216,6 +216,10 @@ const ACCEPT_POLL: std::time::Duration = std::time::Duration::from_millis(20);
 /// thread); connections beyond it are closed at accept time.
 const MAX_CONNECTIONS: usize = 1024;
 
+/// Minimum interval between "connection limit reached" log lines; rejections
+/// themselves are not limited, only the stderr noise they generate.
+const CEILING_LOG_INTERVAL: std::time::Duration = std::time::Duration::from_secs(1);
+
 fn accept_loop<A: Acceptor>(
     engine: Arc<Engine>,
     listener: A,
@@ -223,6 +227,7 @@ fn accept_loop<A: Acceptor>(
     totals: Arc<Totals>,
 ) {
     let connections: ConnRegistry = Mutex::new(Vec::new());
+    let mut last_ceiling_log: Option<std::time::Instant> = None;
     while !stop.load(Ordering::SeqCst) {
         let conn = match listener.accept_conn() {
             Ok(conn) => conn,
@@ -251,8 +256,20 @@ fn accept_loop<A: Acceptor>(
             handles.retain(|(h, _)| !h.is_finished());
             if handles.len() >= MAX_CONNECTIONS {
                 drop(handles);
-                eprintln!("cpm-serve: at the {MAX_CONNECTIONS}-connection limit; rejecting");
+                // Rate-limit the log line: a client farm retrying against a
+                // saturated listener would otherwise flood stderr.
+                let now = std::time::Instant::now();
+                if last_ceiling_log.is_none_or(|last| now - last >= CEILING_LOG_INTERVAL) {
+                    eprintln!("cpm-serve: at the {MAX_CONNECTIONS}-connection limit; rejecting");
+                    last_ceiling_log = Some(now);
+                }
                 A::shutdown_conn(&conn);
+                // Back off before re-polling: at the ceiling the next accept
+                // would almost certainly be rejected too, and rejecting in a
+                // tight loop spins this thread at full CPU while the farm
+                // hammers the listener.  The pause also gives the serving
+                // threads a chance to finish and free slots.
+                std::thread::sleep(ACCEPT_POLL);
                 continue;
             }
         }

@@ -1,0 +1,217 @@
+//! The serving side of dual-simplex warm starts:
+//!
+//! * family seeding — a cold key's LP is seeded from the nearest resident
+//!   α-neighbour, observable through `CacheStats::warm_seeded`;
+//! * `warm()` α-sweep chaining — one cold solve, the rest seeded;
+//! * snapshot compatibility — a pinned PR-4-era (pre-basis) snapshot still
+//!   loads, and a basis-bearing snapshot loads on builds that ignore the
+//!   field (unknown fields are skipped by the deserialiser);
+//! * concurrent merging savers — the advisory `.lock` closes the
+//!   read-modify-write race on a shared `CPM_WARM_FILE`.
+
+use std::sync::Arc;
+
+use cpm_core::{Alpha, DesignedMechanism, Property, PropertySet, SpecKey};
+use cpm_serve::cache::DesignCache;
+
+fn a(v: f64) -> Alpha {
+    Alpha::new(v).unwrap()
+}
+
+/// A key in the WM family (WH + CM at strong privacy forces the LP).
+fn wm_key(n: usize, alpha: f64) -> SpecKey {
+    SpecKey::new(
+        n,
+        a(alpha),
+        PropertySet::empty()
+            .with(Property::WeakHonesty)
+            .with(Property::ColumnMonotonicity),
+    )
+}
+
+#[test]
+fn cold_keys_seed_from_the_nearest_resident_alpha_neighbour() {
+    let cache = DesignCache::new(16);
+    let donor = wm_key(8, 0.90);
+    cache.get(&donor).unwrap();
+    assert_eq!(cache.stats().warm_seeded, 0, "first key has no neighbour");
+
+    let neighbour = wm_key(8, 0.905);
+    let design = cache.get(&neighbour).unwrap();
+    let stats = cache.stats();
+    assert_eq!(stats.warm_seeded, 1, "the α-neighbour seeds the solve");
+    assert!(design.used_lp());
+    assert!(design.mechanism().satisfies_dp(a(0.905), 1e-6));
+    assert!(design.requested_satisfied());
+
+    // A different family (same n, different properties) must not be seeded
+    // from the WM designs.
+    let other_family = SpecKey::new(8, a(0.902), PropertySet::empty().with(Property::Fairness));
+    cache.get(&other_family).unwrap();
+    assert_eq!(
+        cache.stats().warm_seeded,
+        1,
+        "cross-family keys never seed from each other"
+    );
+}
+
+#[test]
+fn seeded_designs_match_cold_designs_on_score_and_properties() {
+    let seeded = DesignCache::new(16);
+    seeded.get(&wm_key(8, 0.90)).unwrap();
+    let warm = seeded.get(&wm_key(8, 0.91)).unwrap();
+    assert_eq!(seeded.stats().warm_seeded, 1);
+
+    let cold_cache = DesignCache::new(16);
+    cold_cache.set_family_seeding(false);
+    cold_cache.get(&wm_key(8, 0.90)).unwrap();
+    let cold = cold_cache.get(&wm_key(8, 0.91)).unwrap();
+    assert_eq!(cold_cache.stats().warm_seeded, 0, "seeding disabled");
+
+    assert!((warm.score() - cold.score()).abs() < 1e-9);
+    assert!(warm.requested_satisfied() && cold.requested_satisfied());
+}
+
+#[test]
+fn warm_sweeps_chain_alpha_neighbours_within_a_family() {
+    let cache = DesignCache::new(32);
+    // Deliberately unsorted α sweep plus one foreign family member.
+    let keys = vec![
+        wm_key(8, 0.93),
+        wm_key(8, 0.90),
+        SpecKey::new(8, a(0.9), PropertySet::empty()),
+        wm_key(8, 0.92),
+        wm_key(8, 0.91),
+    ];
+    let designs = cache.warm(&keys).unwrap();
+    assert_eq!(designs.len(), keys.len());
+    // Results come back in key order regardless of the sweep's sort.
+    for (key, design) in keys.iter().zip(&designs) {
+        assert_eq!(design.key(), *key);
+    }
+    let stats = cache.stats();
+    assert_eq!(stats.design_solves, 5);
+    // The WM family pays one cold solve; its three other members are seeded
+    // (the GM key is closed-form and alone in its family).
+    assert_eq!(stats.warm_seeded, 3, "sweep chains warm starts: {stats:?}");
+}
+
+#[test]
+fn eviction_and_clear_prune_the_family_index() {
+    // Single stripe, capacity 1: designing a second family member evicts the
+    // first; the index must follow, so the evicted key cannot seed anyone.
+    let cache = DesignCache::with_shards(1, 1);
+    cache.get(&wm_key(8, 0.90)).unwrap();
+    cache.get(&wm_key(8, 0.905)).unwrap();
+    assert_eq!(cache.stats().warm_seeded, 1);
+    assert_eq!(cache.stats().evictions, 1);
+
+    cache.clear();
+    // With the index cleared, the next design has no neighbour to seed from.
+    cache.get(&wm_key(8, 0.907)).unwrap();
+    assert_eq!(
+        cache.stats().warm_seeded,
+        1,
+        "a cleared cache must not seed from evicted designs"
+    );
+}
+
+/// A PR-4-era snapshot entry, serialised before `DesignedMechanism` carried a
+/// `basis` field (and before `SolveStats` carried `dual_iterations` /
+/// `warm_started`): the WH-LP design for n = 2, α = 0.9.  Pinned as a literal
+/// so the compatibility contract survives serialiser refactors.
+const PRE_BASIS_FIXTURE: &str = r#"[{"spec":{"n":2,"alpha":0.9,"properties":"{WH}","objective":"L0","tolerance":0.000001,"solver":null},"choice":"WeakHonestLp","mechanism":{"n":2,"entries":[0.3703703703703704,0.33333333333333337,0.30000000000000004,0.3296296296296295,0.3333333333333333,0.3296296296296295,0.30000000000000004,0.33333333333333337,0.3703703703703704]},"solver_stats":{"phase1_iterations":15,"phase2_iterations":0,"degenerate_pivots":11,"bland_activations":0,"artificial_variables":10,"refactorizations":2,"basis_updates":15,"basis_repairs":0,"devex_resets":0,"backend":"SparseRevised"},"report":{"satisfied":[["RH",true],["RM",true],["CH",true],["CM",true],["F",false],["WH",true],["S",true]]},"score":0.9629629629629629,"design_nanos":511588}]"#;
+
+#[test]
+fn pre_basis_snapshots_still_load() {
+    // Directly as an artifact: the missing basis defaults to None.
+    let designs: Vec<DesignedMechanism> =
+        serde_json::from_str(PRE_BASIS_FIXTURE).expect("PR-4 snapshot parses");
+    assert_eq!(designs.len(), 1);
+    assert!(designs[0].optimal_basis().is_none());
+    assert!(designs[0].solver_stats().is_some());
+
+    // And through the cache loader: resident and servable.
+    let cache = DesignCache::new(8);
+    let loaded = cache
+        .load_snapshot(&mut PRE_BASIS_FIXTURE.as_bytes())
+        .expect("PR-4 snapshot loads");
+    assert_eq!(loaded, 1);
+    let key = SpecKey::new(2, a(0.9), PropertySet::empty().with(Property::WeakHonesty));
+    assert!(cache.peek(&key).is_some(), "restored design is resident");
+}
+
+#[test]
+fn basis_bearing_snapshots_load_on_builds_that_ignore_the_field() {
+    // A snapshot written by this build carries the basis; the deserialiser
+    // skips unknown fields, so a build that has never heard of `basis` (or of
+    // any future field) still loads it.  Simulate the future-field case by
+    // injecting one.
+    let cache = DesignCache::new(8);
+    cache.get(&wm_key(6, 0.9)).unwrap();
+    let mut snapshot = Vec::new();
+    cache.save_snapshot(&mut snapshot).unwrap();
+    let text = String::from_utf8(snapshot).unwrap();
+    assert!(
+        text.contains("\"basis\":["),
+        "new snapshots carry the basis"
+    );
+
+    let with_future_field = text.replacen("{\"spec\"", "{\"future_field\":42,\"spec\"", 1);
+    let fresh = DesignCache::new(8);
+    let loaded = fresh
+        .load_snapshot(&mut with_future_field.as_bytes())
+        .expect("unknown fields are ignored");
+    assert_eq!(loaded, 1);
+    let restored = fresh.peek(&wm_key(6, 0.9)).expect("resident");
+    assert!(
+        restored.optimal_basis().is_some(),
+        "the basis survives the round trip"
+    );
+}
+
+#[test]
+fn concurrent_merging_savers_do_not_drop_each_others_designs() {
+    let path =
+        std::env::temp_dir().join(format!("cpm-concurrent-merge-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    // Eight caches, each resident with a distinct key, all merging into one
+    // file concurrently.  Without the `.lock` serialisation two savers can
+    // interleave between read and rename and silently drop entries.
+    let savers = 8usize;
+    let caches: Vec<Arc<DesignCache>> = (0..savers)
+        .map(|i| {
+            let cache = Arc::new(DesignCache::new(4));
+            cache
+                .get(&SpecKey::new(2 + i, a(0.5), PropertySet::empty()))
+                .unwrap();
+            cache
+        })
+        .collect();
+    let handles: Vec<_> = caches
+        .iter()
+        .map(|cache| {
+            let cache = Arc::clone(cache);
+            let path = path.clone();
+            std::thread::spawn(move || cache.save_snapshot_file_merging(&path).unwrap())
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+
+    let check = DesignCache::new(64);
+    let loaded = check.load_snapshot_file(&path).unwrap();
+    assert_eq!(
+        loaded, savers,
+        "every saver's design survives the concurrent merge"
+    );
+    let mut lock_name = path.as_os_str().to_owned();
+    lock_name.push(".lock");
+    assert!(
+        !std::path::PathBuf::from(lock_name).exists(),
+        "the advisory lock is released"
+    );
+    let _ = std::fs::remove_file(&path);
+}

@@ -26,7 +26,17 @@
 //!   `n+1` nonzeros per row, so this is the difference between toy and
 //!   production group sizes,
 //! * the dense full tableau retained as [`SolverBackend::DenseTableau`], selectable
-//!   through [`SolveOptions::backend`] and used as a differential-testing oracle.
+//!   through [`SolveOptions::backend`] and used as a differential-testing oracle,
+//! * **dual-simplex warm starts** ([`SolveOptions::warm_basis`]): seeding a
+//!   solve with the [`Solution::optimal_basis`] of an identically shaped
+//!   program skips Phase 1 entirely and replaces most of Phase 2 with a short
+//!   dual cleanup (dual Devex row pricing + Harris-style dual ratio test),
+//!   then certifies optimality with the ordinary primal machinery — the
+//!   re-optimisation tool behind α sweeps, where one `(n, properties,
+//!   objective)` family is re-solved under small coefficient perturbations.
+//!   Any defective seed (wrong shape, singular, dual-infeasible) falls back
+//!   to the cold primal path silently; [`SolveStats::warm_started`] and
+//!   [`SolveStats::dual_iterations`] report which path ran.
 //!
 //! ## Architecture: the solve pipeline
 //!

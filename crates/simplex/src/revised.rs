@@ -137,6 +137,53 @@ impl<'a> RevisedState<'a> {
         Ok(state)
     }
 
+    /// A state seeded from an explicit (already validated: right length, core
+    /// entries distinct) basis — the warm-start entry point.  Seed entries
+    /// `>= num_core` mark rows the donor solve kept basic through an
+    /// artificial variable (redundant constraints); each such row receives a
+    /// fresh artificial column here.  Fails when the seeded basis is
+    /// numerically singular.
+    fn with_basis(sf: &'a StandardForm, seed: &[usize]) -> Result<Self, SimplexError> {
+        let num_rows = sf.num_rows();
+        let num_core = sf.num_columns();
+        let mut artificial_rows = Vec::new();
+        let mut basis = Vec::with_capacity(num_rows);
+        for (r, &col) in seed.iter().enumerate() {
+            if col < num_core {
+                basis.push(col);
+            } else {
+                basis.push(num_core + artificial_rows.len());
+                artificial_rows.push(r);
+            }
+        }
+        let mut in_basis = vec![false; num_core + artificial_rows.len()];
+        for &col in &basis {
+            in_basis[col] = true;
+        }
+        let mut state = RevisedState {
+            sf,
+            num_core,
+            artificial_rows,
+            basis: basis.clone(),
+            in_basis,
+            lu: LuFactors::factor(0, &[], 1e-11)
+                .expect("empty factorisation")
+                .0,
+            row_major: sf.matrix.to_row_major(),
+            xb: sf.rhs.clone(),
+            last_good_basis: basis,
+            spike: vec![0.0; num_rows],
+            factorizations: 0,
+            total_updates: 0,
+            repairs: 0,
+            repair_streak: 0,
+            dirty_reduced_costs: false,
+            dirty_weights: false,
+        };
+        state.refactorize()?;
+        Ok(state)
+    }
+
     fn num_rows(&self) -> usize {
         self.sf.num_rows()
     }
@@ -586,10 +633,27 @@ impl Workspace {
 }
 
 /// Solve the standard form with the sparse revised simplex.
+///
+/// When [`SolveOptions::warm_basis`] carries a usable seed (right shape,
+/// nonsingular, dual feasible), the solve runs the **dual simplex** warm-start
+/// path instead of the two-phase primal method; any defect in the seed falls
+/// back to the cold path silently ([`crate::SolveStats::warm_started`] reports
+/// which path produced the answer).
 pub(crate) fn solve(
     sf: &StandardForm,
     options: &SolveOptions,
 ) -> Result<SolvedPoint, SimplexError> {
+    if let Some(seed) = options.warm_basis.as_deref() {
+        if let Some(point) = warm_solve(sf, options, seed) {
+            return Ok(point);
+        }
+    }
+    cold_solve(sf, options)
+}
+
+/// The original two-phase primal path (Phase 1 over artificials, Phase 2 with
+/// the user costs).
+fn cold_solve(sf: &StandardForm, options: &SolveOptions) -> Result<SolvedPoint, SimplexError> {
     let eps = options.tolerance;
     let num_rows = sf.num_rows();
     let num_core = sf.num_columns();
@@ -674,6 +738,7 @@ pub(crate) fn solve(
         objective: basis.objective(&phase2_costs),
         z,
         stats: state.stats,
+        basis: Some(basis.basis.clone()),
     })
 }
 
@@ -684,6 +749,330 @@ fn pricing_rule(options: &SolveOptions) -> PricingRule {
     match options.pivot_rule {
         crate::solver::PivotRule::Dantzig => PricingRule::Dantzig,
         _ => options.pricing,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dual-simplex warm starts.
+// ---------------------------------------------------------------------------
+
+/// How a dual-simplex cleanup ended.
+enum DualOutcome {
+    /// Every basic variable is (within tolerance) non-negative — hand over to
+    /// the primal Phase-2 machinery for certification.
+    PrimalFeasible,
+    /// The cleanup cannot make progress (no entering candidate, a numerical
+    /// breakdown beyond the repair budget, or the pivot budget ran out).  The
+    /// caller falls back to the cold primal path, which is always correct.
+    Stalled,
+}
+
+/// Exact reduced costs of every core column under the current basis:
+/// `y = c_B' B⁻¹`, then `d_j = c_j − y' a_j` (zero for basic columns).
+fn exact_reduced_costs(basis: &RevisedState<'_>, costs: &[f64], y: &mut [f64], d: &mut [f64]) {
+    for (r, slot) in y.iter_mut().enumerate() {
+        *slot = costs[basis.basis[r]];
+    }
+    basis.btran(y);
+    for (j, dj) in d.iter_mut().enumerate() {
+        *dj = if basis.in_basis[j] {
+            0.0
+        } else {
+            costs[j] - basis.column_dot(j, y)
+        };
+    }
+}
+
+/// Attempt the warm-started solve: factor the seeded basis, verify dual
+/// feasibility of the Phase-2 costs, run the dual simplex to primal
+/// feasibility, and certify with a primal cleanup.  `None` means "fall back to
+/// the cold path" — a malformed/singular/dual-infeasible seed, a stalled dual
+/// phase, or anything numerically suspicious.
+fn warm_solve(sf: &StandardForm, options: &SolveOptions, seed: &[usize]) -> Option<SolvedPoint> {
+    let num_rows = sf.num_rows();
+    let num_core = sf.num_columns();
+
+    // Shape check: one column per row, core entries distinct.  Entries beyond
+    // the core columns mark rows the donor kept basic through an artificial
+    // (redundant constraints) — those need no distinctness, each receives a
+    // fresh artificial in `with_basis`.
+    if seed.len() != num_rows || num_rows == 0 {
+        return None;
+    }
+    let mut seen = vec![false; num_core];
+    for &col in seed {
+        if col < num_core {
+            if seen[col] {
+                return None;
+            }
+            seen[col] = true;
+        }
+    }
+
+    let mut basis = RevisedState::with_basis(sf, seed).ok()?;
+    let mut state = PivotState::new(options);
+    state.stats.artificial_variables = basis.num_artificials();
+    let mut ws = Workspace::new(num_rows, num_core);
+    // Phase-2 costs; residual artificials cost zero, exactly as in the cold
+    // path's Phase 2 (they can only leave the basis, never enter — neither
+    // the dual ratio test nor the primal pricing scans beyond the core).
+    let mut costs = sf.costs.clone();
+    costs.resize(num_core + basis.num_artificials(), 0.0);
+    let costs = &costs[..];
+
+    // Dual feasibility at the seed.  The tolerance is deliberately looser than
+    // the pivot tolerance: an α-neighbour's optimal basis is typically a few
+    // ulps dual-infeasible under the perturbed matrix, and the primal cleanup
+    // below repairs anything this slack lets through.
+    let mut d = vec![0.0; num_core];
+    exact_reduced_costs(&basis, costs, &mut ws.y, &mut d);
+    let dual_tol = (options.tolerance * 100.0).max(1e-7);
+    if d.iter()
+        .enumerate()
+        .any(|(j, &dj)| !basis.in_basis[j] && dj < -dual_tol)
+    {
+        return None;
+    }
+
+    match dual_phase(&mut basis, costs, &mut d, options, &mut state, &mut ws) {
+        Ok(DualOutcome::PrimalFeasible) => {}
+        _ => return None,
+    }
+
+    // Primal cleanup: mops up the bounded dual infeasibility the relaxed seed
+    // check and the ratio-test slack allowed, and certifies optimality with
+    // the existing (fresh-factor-confirming) phase machinery.  Near-neighbour
+    // warm starts terminate here in a handful of pivots.
+    let mut pricing = Pricing::new(num_core, pricing_rule(options));
+    state.start_phase(options);
+    let before = state.iterations_left;
+    let outcome = run_phase(
+        &mut basis,
+        costs,
+        options,
+        &mut state,
+        &mut pricing,
+        &mut ws,
+    )
+    .ok()?;
+    state.stats.phase2_iterations = before - state.iterations_left;
+    if matches!(outcome, PhaseOutcome::Unbounded) {
+        // Could be genuine unboundedness or a bad seed; let the cold path be
+        // the authority either way.
+        return None;
+    }
+
+    // A residual artificial that refuses to stay at zero means the donor's
+    // redundant rows are *not* redundant under this problem's coefficients —
+    // the "optimum" would violate a real constraint.  Only the cold path
+    // (whose Phase 1 minimises exactly these) can decide feasibility.
+    for (r, &col) in basis.basis.iter().enumerate() {
+        if col >= num_core && basis.xb[r].abs() > 1e-7 {
+            return None;
+        }
+    }
+
+    let mut z = vec![0.0; num_core];
+    for (r, &col) in basis.basis.iter().enumerate() {
+        if col < num_core {
+            z[col] = basis.xb[r];
+        }
+    }
+    state.stats.refactorizations = basis.factorizations;
+    state.stats.basis_updates = basis.total_updates;
+    state.stats.basis_repairs = basis.repairs;
+    state.stats.devex_resets = pricing.resets;
+    state.stats.warm_started = true;
+    Some(SolvedPoint {
+        objective: basis.objective(costs),
+        z,
+        stats: state.stats,
+        basis: Some(basis.basis.clone()),
+    })
+}
+
+/// Run dual-simplex pivots until the basic solution is primal feasible.
+///
+/// Per iteration:
+///
+/// 1. **Leaving row** by dual Devex pricing: score `x_r² / w_r` over the rows
+///    with `x_r < −tol` (the reference weights `w` are updated from the
+///    FTRANed entering column each pivot, mirroring primal Devex with the
+///    roles of rows and columns swapped).
+/// 2. **Pivot row** `e_r' B⁻¹ A` over the core columns — the same
+///    BTRAN-plus-CSR-pass the primal pricing update uses.
+/// 3. **Dual ratio test** (Harris-style two passes) over the nonbasic columns
+///    with `α_rj < −eps`: pass 1 bounds the dual step by the most restrictive
+///    slightly-relaxed ratio `d_j / −α_rj`, pass 2 picks the largest pivot
+///    element under that bound.  Negative `d_j` within the seed slack is
+///    clamped to zero for the test; the primal cleanup settles the difference.
+/// 4. **Pivot** via the ordinary Forrest–Tomlin update path, plus an
+///    incremental dual update of `d` from the pivot row.
+///
+/// Any stall (no entering candidate — primal infeasible in exact arithmetic —
+/// a breakdown beyond the repair budget, or the pivot budget running out)
+/// reports [`DualOutcome::Stalled`] and the caller falls back to the cold
+/// path, so this phase never has to be heroic about edge cases.
+fn dual_phase(
+    basis: &mut RevisedState<'_>,
+    costs: &[f64],
+    d: &mut [f64],
+    options: &SolveOptions,
+    state: &mut PivotState,
+    ws: &mut Workspace,
+) -> Result<DualOutcome, SimplexError> {
+    let eps = options.tolerance;
+    let feas_tol = eps.max(1e-9);
+    let mut weights = vec![1.0f64; basis.num_rows()];
+    let mut weight_max = 1.0f64;
+    // A warm start whose cleanup rivals a cold solve in pivots is not worth
+    // finishing — give up and let the cold path run undisturbed.
+    let budget = basis.num_rows().max(512);
+    let mut pivots = 0usize;
+    // Whether the current iteration is already the post-refactorisation retry
+    // of a FTRAN/BTRAN pivot disagreement (see below).
+    let mut mismatch_retry = false;
+
+    loop {
+        if pivots >= budget || state.iterations_left == 0 {
+            return Ok(DualOutcome::Stalled);
+        }
+        let interval = options.refactor_interval.max(basis.num_rows() / 32).max(1);
+        if basis.lu.updates() >= interval
+            && basis.refactorize().is_err()
+            && basis
+                .repair(options, "dual-phase periodic refactorisation", true)
+                .is_err()
+        {
+            return Ok(DualOutcome::Stalled);
+        }
+        if basis.dirty_reduced_costs {
+            exact_reduced_costs(basis, costs, &mut ws.y, d);
+            basis.dirty_reduced_costs = false;
+        }
+        if basis.dirty_weights {
+            weights.fill(1.0);
+            weight_max = 1.0;
+            basis.dirty_weights = false;
+        }
+
+        // ---- leaving row (dual Devex) -----------------------------------
+        let mut leaving: Option<(usize, f64)> = None;
+        for (r, &x) in basis.xb.iter().enumerate() {
+            if x < -feas_tol {
+                let score = x * x / weights[r];
+                if leaving.is_none_or(|(_, best)| score > best) {
+                    leaving = Some((r, score));
+                }
+            }
+        }
+        let Some((row, _)) = leaving else {
+            return Ok(DualOutcome::PrimalFeasible);
+        };
+
+        // ---- pivot row over the core columns ----------------------------
+        ws.rho.fill(0.0);
+        ws.rho[row] = 1.0;
+        basis.btran(&mut ws.rho);
+        ws.alpha.clear();
+        for (r, &rho_r) in ws.rho.iter().enumerate() {
+            if rho_r != 0.0 {
+                for (j, v) in basis.row_major.row(r) {
+                    ws.alpha.add(j, v * rho_r);
+                }
+            }
+        }
+
+        // ---- dual ratio test (two passes) -------------------------------
+        let mut theta_bound = f64::INFINITY;
+        for &j in ws.alpha.pattern() {
+            if basis.in_basis[j] {
+                continue;
+            }
+            let a = ws.alpha.get(j);
+            if a < -eps {
+                theta_bound = theta_bound.min((d[j].max(0.0) + feas_tol) / -a);
+            }
+        }
+        if theta_bound.is_infinite() {
+            return Ok(DualOutcome::Stalled);
+        }
+        let mut entering: Option<(usize, f64)> = None;
+        for &j in ws.alpha.pattern() {
+            if basis.in_basis[j] {
+                continue;
+            }
+            let a = ws.alpha.get(j);
+            if a < -eps
+                && d[j].max(0.0) / -a <= theta_bound
+                && entering.is_none_or(|(_, best)| -a > best)
+            {
+                entering = Some((j, -a));
+            }
+        }
+        let Some((col, _)) = entering else {
+            return Ok(DualOutcome::Stalled);
+        };
+
+        basis.ftran_column(col, &mut ws.w);
+        let pivot = ws.w[row];
+        if pivot >= -eps * 0.5 {
+            // The FTRANed pivot disagrees with the BTRAN pivot row: the
+            // factors have drifted.  Rebuild once and retry the iteration —
+            // but only once per pivot: with *fresh* factors the disagreement
+            // is pure rounding at the tolerance boundary, and since nothing
+            // else in the iteration changes, retrying again would select the
+            // identical (row, col) and spin forever.
+            if mismatch_retry || basis.refactorize().is_err() {
+                return Ok(DualOutcome::Stalled);
+            }
+            mismatch_retry = true;
+            continue;
+        }
+        mismatch_retry = false;
+
+        // ---- incremental dual update from the pivot row ------------------
+        let theta_d = d[col].max(0.0) / pivot; // ≤ 0 by construction
+        for &j in ws.alpha.pattern() {
+            if j == col || basis.in_basis[j] {
+                continue;
+            }
+            let a = ws.alpha.get(j);
+            if a != 0.0 {
+                d[j] -= theta_d * a;
+            }
+        }
+        let leaving_col = basis.basis[row];
+        if leaving_col < d.len() {
+            d[leaving_col] = -theta_d;
+        }
+        d[col] = 0.0;
+
+        // ---- dual Devex weight update from the FTRANed column ------------
+        let gamma_r = weights[row].max(1.0);
+        for (i, &wi) in ws.w.iter().enumerate() {
+            if i != row && wi != 0.0 {
+                let ratio = wi / pivot;
+                let candidate = ratio * ratio * gamma_r;
+                if candidate > weights[i] {
+                    weights[i] = candidate;
+                    weight_max = weight_max.max(candidate);
+                }
+            }
+        }
+        weights[row] = (gamma_r / (pivot * pivot)).max(1.0);
+        weight_max = weight_max.max(weights[row]);
+        if weight_max > DEVEX_WEIGHT_LIMIT {
+            weights.fill(1.0);
+            weight_max = 1.0;
+        }
+
+        if basis.apply_pivot(row, col, &ws.w, options).is_err() {
+            return Ok(DualOutcome::Stalled);
+        }
+        state.iterations_left -= 1;
+        state.stats.dual_iterations += 1;
+        pivots += 1;
     }
 }
 

@@ -26,6 +26,18 @@ pub struct Solution {
     pub values: Vec<f64>,
     /// Iteration counts and pivot-rule statistics.
     pub stats: SolveStats,
+    /// The optimal basis over *standard-form* columns (one column index per
+    /// constraint row), usable as [`SolveOptions::warm_basis`] to seed a
+    /// dual-simplex re-solve of an **identically shaped** program (same
+    /// variables, bounds, and constraint relations — only the coefficients may
+    /// differ).  An index `>=` the standard-form column count marks a
+    /// redundant row whose artificial variable stayed basic at zero; the
+    /// warm-start path re-creates an artificial for such rows (and falls back
+    /// to the cold path if it refuses to stay at zero under the perturbed
+    /// coefficients).  `None` only when the program had no constraint rows.
+    ///
+    /// [`SolveOptions::warm_basis`]: crate::SolveOptions::warm_basis
+    pub optimal_basis: Option<Vec<usize>>,
 }
 
 impl Solution {
@@ -52,6 +64,7 @@ mod tests {
             objective_value: 1.5,
             values: vec![0.25, 0.75],
             stats: SolveStats::default(),
+            optimal_basis: None,
         };
         assert_eq!(solution.value(VariableId(0)), 0.25);
         assert_eq!(

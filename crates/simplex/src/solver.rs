@@ -101,7 +101,7 @@ impl std::fmt::Display for SolverBackend {
 }
 
 /// Options controlling a solve.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SolveOptions {
     /// Hard cap on the total number of pivots across both phases.
     pub max_iterations: usize,
@@ -132,6 +132,16 @@ pub struct SolveOptions {
     /// Isolated breakdowns over a long run each get a fresh budget;
     /// [`SolveStats::basis_repairs`] reports the total.
     pub max_repairs: usize,
+    /// Sparse backend only: seed the solve from this standard-form basis (one
+    /// column index per constraint row, as reported by
+    /// [`Solution::optimal_basis`](crate::Solution::optimal_basis) of an
+    /// earlier solve of an *identically shaped* program).  A valid, dual-feasible
+    /// seed skips Phase 1 entirely and replaces most of Phase 2 with a short
+    /// **dual simplex** cleanup; a seed that is malformed, singular, or
+    /// dual-infeasible silently falls back to the ordinary two-phase primal
+    /// path ([`SolveStats::warm_started`] reports which path ran).
+    #[serde(default)]
+    pub warm_basis: Option<Vec<usize>>,
 }
 
 impl Default for SolveOptions {
@@ -145,6 +155,7 @@ impl Default for SolveOptions {
             pricing: PricingRule::default(),
             partial_pricing: 0,
             max_repairs: 2,
+            warm_basis: None,
         }
     }
 }
@@ -179,6 +190,15 @@ pub struct SolveStats {
     /// Sparse backend only: how many times the Devex reference framework was
     /// reset because its weights overflowed their trust bound.
     pub devex_resets: usize,
+    /// Sparse backend only: dual-simplex pivots performed by a warm-started
+    /// solve before the primal cleanup confirmed optimality.  Zero for cold
+    /// solves (and for warm seeds that fell back to the primal path).
+    #[serde(default)]
+    pub dual_iterations: usize,
+    /// Whether this solve was produced by the warm-start path (a seeded basis
+    /// plus a dual-simplex cleanup) rather than the two-phase primal method.
+    #[serde(default)]
+    pub warm_started: bool,
     /// Which backend produced this solve.
     pub backend: SolverBackend,
 }
@@ -249,6 +269,11 @@ pub(crate) struct SolvedPoint {
     pub z: Vec<f64>,
     pub objective: f64,
     pub stats: SolveStats,
+    /// The optimal basis: one column index per row, where an index `>=` the
+    /// core column count marks a redundant row whose artificial variable
+    /// stayed (harmlessly) basic at zero.  `None` only when the program had
+    /// no constraint rows.
+    pub basis: Option<Vec<usize>>,
 }
 
 /// Solve an already-validated program.  Called by [`LinearProgram::solve_with`].
@@ -279,6 +304,7 @@ pub(crate) fn solve_prepared(
         objective_value,
         values,
         stats: point.stats,
+        optimal_basis: point.basis,
     })
 }
 
@@ -305,6 +331,7 @@ fn solve_unconstrained(
             backend: options.backend,
             ..SolveStats::default()
         },
+        optimal_basis: None,
     })
 }
 
@@ -399,6 +426,7 @@ fn solve_dense(sf: &StandardForm, options: &SolveOptions) -> Result<SolvedPoint,
         z: z[..num_core_columns].to_vec(),
         objective: tableau.objective(),
         stats: state.stats,
+        basis: Some(tableau.basis().to_vec()),
     })
 }
 
