@@ -8,7 +8,8 @@
 //! pool; per-solve wall-clocks are still measured inside each task, so set
 //! `CPM_THREADS=1` for contention-free timings when comparing runs.  The
 //! refactorisation cadence can be overridden with the `CPM_REFACTOR`
-//! environment variable, the pricing rule with `CPM_PRICING=dantzig|devex`,
+//! environment variable, the pricing rule with
+//! `CPM_PRICING=dantzig|devex|steepest`,
 //! and the sweep itself with `CPM_SWEEP=64,128` (comma-separated group sizes).
 
 use std::time::Instant;
@@ -55,6 +56,7 @@ fn main() {
     let pricing = match std::env::var("CPM_PRICING").as_deref() {
         Ok("dantzig") => Some(PricingRule::Dantzig),
         Ok("devex") => Some(PricingRule::Devex),
+        Ok("steepest") => Some(PricingRule::SteepestEdge),
         _ => None,
     };
 

@@ -31,7 +31,12 @@ fn main() {
     .into_iter()
     .map(|a| Alpha::new(a).unwrap())
     .collect();
-    let n = 6;
+    // The paper's panel uses n = 6; CPM_FIG8_N scales the α sweep up for
+    // benchmarking the warm-chained solve path on nontrivial LPs.
+    let n = std::env::var("CPM_FIG8_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(6);
     let sweep_b =
         score_sweeps::combinations_vs_alpha(n, &alphas).expect("constrained LPs must solve");
     println!("\nFigure 8(b) — L0 of weak-honesty combinations vs alpha, n = {n}");

@@ -87,6 +87,56 @@ fn main() {
     );
     run_grid(&batches, &threads, &keys);
     alpha_sweep_storm();
+    solver_stats_attribution();
+}
+
+/// Per-key solver-stat attribution: where the LP wins come from.  Presolve
+/// reductions (weak-honesty singleton rows folding into bounds), bound flips
+/// from the long-step ratio tests, and reference-framework resets are all
+/// [`SolveStats`](cpm_simplex::SolveStats) counters the probe surfaces so a
+/// serving regression can be traced to the responsible solver layer.
+fn solver_stats_attribution() {
+    let alpha = Alpha::new(0.9).unwrap();
+    let n: usize = std::env::var("CPM_SERVE_SWEEP_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32);
+    let families = [
+        ("unconstrained", PropertySet::empty()),
+        (
+            "WH",
+            PropertySet::empty().with(Property::WeakHonesty),
+        ),
+        (
+            "WH+CM",
+            PropertySet::empty()
+                .with(Property::WeakHonesty)
+                .with(Property::ColumnMonotonicity),
+        ),
+    ];
+    println!();
+    println!(
+        "solver attribution (n = {n}) | pivots p1+p2 | presolve rows/cols removed | bound flips | SE resets | devex resets"
+    );
+    for (label, properties) in families {
+        let designed = SpecKey::new(n, alpha, properties)
+            .spec()
+            .design()
+            .expect("attribution designs must solve");
+        match designed.solver_stats() {
+            Some(stats) => println!(
+                "{label:13} | {}+{} | {}/{} | {} | {} | {}",
+                stats.phase1_iterations,
+                stats.phase2_iterations,
+                stats.presolve_rows_removed,
+                stats.presolve_cols_removed,
+                stats.bound_flips,
+                stats.steepest_edge_resets,
+                stats.devex_resets,
+            ),
+            None => println!("{label:13} | closed form (no LP)"),
+        }
+    }
 }
 
 fn run_grid(batches: &[usize], threads: &[usize], keys: &[SpecKey]) {

@@ -248,6 +248,11 @@ impl DesignProblem {
             // ~60 pivots per LP variable comfortably covers the observed
             // worst case (degenerate constrained designs pivot ≈ 3x columns).
             max_iterations: 500_000usize.max(60 * dim * dim),
+            // Projected steepest edge beats Devex on every measured group
+            // size (n = 64: ~2x fewer phase-2 pivots; n = 128: ~15% fewer and
+            // much better per-pivot locality); Devex remains selectable for
+            // comparisons via explicit options.
+            pricing: cpm_simplex::PricingRule::SteepestEdge,
             ..SolveOptions::default()
         }
     }

@@ -139,20 +139,43 @@ pub fn combinations_vs_group_size(
 }
 
 /// Figure 8(b): the same combinations as a function of α at fixed group size.
+///
+/// Parallelism is over the nine *property combinations* rather than the α
+/// points: within one combination every α solves an identically shaped LP, so
+/// each task walks the α axis sequentially and seeds every solve from its
+/// predecessor's [`DesignSolution::optimal_basis`].  The warm dual-simplex
+/// cleanup replaces most of the two-phase cold solve, which is a large
+/// wall-clock win over the per-point fan-out once `n` is nontrivial.
 pub fn combinations_vs_alpha(n: usize, alphas: &[Alpha]) -> Result<CombinationSweep, CoreError> {
-    let points = crate::par::try_parallel_map(alphas.to_vec(), |alpha| {
-        let scores = weak_honesty_combinations()
-            .into_iter()
-            .map(|(label, properties)| {
-                let solution = optimal_constrained(n, alpha, Objective::l0(), properties)?;
-                Ok((label, rescaled_l0(&solution.mechanism)))
-            })
-            .collect::<Result<Vec<_>, CoreError>>()?;
-        Ok::<_, CoreError>(CombinationPoint {
-            x: alpha.value(),
-            scores,
-        })
+    let alphas = alphas.to_vec();
+    // One task per combination; each returns that combination's score at every α.
+    let columns = crate::par::try_parallel_map(weak_honesty_combinations(), {
+        let alphas = alphas.clone();
+        move |(label, properties)| {
+            let mut basis: Option<Vec<usize>> = None;
+            let mut scores = Vec::with_capacity(alphas.len());
+            for &alpha in &alphas {
+                let solution = DesignProblem::constrained(n, alpha, Objective::l0(), properties)
+                    .with_warm_basis(basis.take())
+                    .solve()?;
+                basis = solution.optimal_basis.clone();
+                scores.push(rescaled_l0(&solution.mechanism));
+            }
+            Ok::<_, CoreError>((label, scores))
+        }
     })?;
+    // Transpose back into per-α points, preserving the combination order.
+    let points = alphas
+        .iter()
+        .enumerate()
+        .map(|(k, alpha)| CombinationPoint {
+            x: alpha.value(),
+            scores: columns
+                .iter()
+                .map(|(label, scores)| (label.clone(), scores[k]))
+                .collect(),
+        })
+        .collect();
     Ok(CombinationSweep {
         swept: "alpha".to_string(),
         fixed: n as f64,
@@ -333,6 +356,27 @@ mod tests {
         let sweep = combinations_vs_group_size(alpha, &[3]).unwrap();
         let wh = score_of(&sweep.points[0], "WH");
         assert!(wh > closed_form::gm_l0(alpha) + 1e-6);
+    }
+
+    #[test]
+    fn figure8b_warm_chained_alpha_sweep_matches_independent_solves() {
+        // The α sweep chains each combination's solves through warm bases; the
+        // scores must be indistinguishable from solving every point cold.
+        let alphas = [a(0.6), a(0.76), a(0.9)];
+        let sweep = combinations_vs_alpha(5, &alphas).unwrap();
+        assert_eq!(sweep.points.len(), alphas.len());
+        for (point, &alpha) in sweep.points.iter().zip(&alphas) {
+            for (label, properties) in weak_honesty_combinations() {
+                let cold = optimal_constrained(5, alpha, Objective::l0(), properties).unwrap();
+                assert!(
+                    (score_of(point, &label) - rescaled_l0(&cold.mechanism)).abs() < 1e-6,
+                    "alpha={} {label}: chained {} vs cold {}",
+                    alpha.value(),
+                    score_of(point, &label),
+                    rescaled_l0(&cold.mechanism)
+                );
+            }
+        }
     }
 
     #[test]

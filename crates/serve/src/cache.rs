@@ -883,16 +883,9 @@ impl Drop for SnapshotLock {
 }
 
 /// Atomic file write: `.tmp` sibling + rename, so a crash mid-write can never
-/// leave a truncated snapshot behind.
+/// leave a truncated snapshot behind.  Shared with the offline tooling.
 fn write_designs_file(path: &Path, designs: &[Arc<DesignedMechanism>]) -> io::Result<()> {
-    let mut tmp = path.as_os_str().to_owned();
-    tmp.push(".tmp");
-    let tmp = std::path::PathBuf::from(tmp);
-    let mut file = std::fs::File::create(&tmp)?;
-    write_designs(&mut file, designs)?;
-    file.sync_all()?;
-    drop(file);
-    std::fs::rename(&tmp, path)
+    crate::snapshot::write_file(path, designs)
 }
 
 #[cfg(test)]

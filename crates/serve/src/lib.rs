@@ -60,6 +60,9 @@
 //!   `serve_tcp` binary; one engine, N blocking connection threads).
 //! * [`boot`] — environment-driven start-up: `CPM_SERVE_WARM` key specs and
 //!   `CPM_WARM_FILE` snapshot load/save shared by the binaries.
+//! * [`snapshot`] — offline snapshot-file helpers (read / atomic write /
+//!   merge / [`snapshot::KeyFilter`]) behind the `cpm-snapshot` inspector
+//!   binary, for stitching warm files together between runs.
 //! * [`workload`] — hot-key / Zipf-mix / cold-storm request generators shared
 //!   by the `serve_probe` bin, the `serving_throughput` bench, and the demo.
 
@@ -73,6 +76,7 @@ pub mod error;
 pub mod frontend;
 pub mod key;
 pub mod net;
+pub mod snapshot;
 pub mod workload;
 
 #[allow(deprecated)]

@@ -1,0 +1,163 @@
+//! Offline snapshot-file tooling: read, write, merge, and filter
+//! `CPM_WARM_FILE` design snapshots without standing up a [`DesignCache`].
+//!
+//! A snapshot is a JSON array of [`DesignedMechanism`] artifacts.  The running
+//! cache reads and writes them through
+//! [`DesignCache::load_snapshot_file`](crate::DesignCache::load_snapshot_file) /
+//! [`DesignCache::save_snapshot_file_merging`](crate::DesignCache::save_snapshot_file_merging);
+//! this module is the everything-else path — the `cpm-snapshot` inspector
+//! binary, tests, and scripts that stitch warm files together between runs.
+//!
+//! [`DesignCache`]: crate::DesignCache
+
+use std::borrow::Borrow;
+use std::io;
+use std::path::Path;
+
+use cpm_core::{Alpha, DesignedMechanism, ObjectiveKey, PropertySet, SpecKey};
+
+use crate::error::ServeError;
+
+/// Parse a snapshot file into its design artifacts, preserving file order.
+pub fn read_file<P: AsRef<Path>>(path: P) -> Result<Vec<DesignedMechanism>, ServeError> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ServeError::Snapshot(format!("reading {}: {e}", path.display())))?;
+    serde_json::from_str(&text)
+        .map_err(|e| ServeError::Snapshot(format!("parsing {}: {e}", path.display())))
+}
+
+/// Write designs as a snapshot file, atomically (`.tmp` sibling + rename), so
+/// a concurrently-loading server never observes a torn file.
+pub fn write_file<P: AsRef<Path>, D: Borrow<DesignedMechanism>>(
+    path: P,
+    designs: &[D],
+) -> io::Result<()> {
+    let path = path.as_ref();
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    let by_ref: Vec<&DesignedMechanism> = designs.iter().map(|d| d.borrow()).collect();
+    let text = serde_json::to_string(&by_ref)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    {
+        use std::io::Write as _;
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(text.as_bytes())?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Union several snapshots into one, sorted by [`SpecKey`].  On a key
+/// collision the artifact from the *earliest* snapshot wins, matching the
+/// resident-wins rule of
+/// [`DesignCache::save_snapshot_file_merging`](crate::DesignCache::save_snapshot_file_merging).
+pub fn merge(snapshots: Vec<Vec<DesignedMechanism>>) -> Vec<DesignedMechanism> {
+    let mut seen = std::collections::HashSet::new();
+    let mut merged: Vec<DesignedMechanism> = snapshots
+        .into_iter()
+        .flatten()
+        .filter(|design| seen.insert(design.key()))
+        .collect();
+    merged.sort_by_key(|design| design.key());
+    merged
+}
+
+/// A conjunctive [`SpecKey`] filter: within each populated dimension the key
+/// must equal one of the listed values; an empty dimension matches everything.
+#[derive(Debug, Default, Clone)]
+pub struct KeyFilter {
+    /// Accepted group sizes.
+    pub n: Vec<usize>,
+    /// Accepted privacy parameters, matched bit-exactly through
+    /// [`Alpha::key`] — `0.76` selects only designs keyed at exactly `0.76`.
+    pub alpha: Vec<Alpha>,
+    /// Accepted requested-property sets, compared pre-closure (as keyed):
+    /// `{CM}` and `{CM, CH, WH}` are distinct.
+    pub properties: Vec<PropertySet>,
+    /// Accepted design objectives.
+    pub objective: Vec<ObjectiveKey>,
+}
+
+impl KeyFilter {
+    /// Whether no dimension is populated (and hence every key matches).
+    pub fn is_empty(&self) -> bool {
+        self.n.is_empty()
+            && self.alpha.is_empty()
+            && self.properties.is_empty()
+            && self.objective.is_empty()
+    }
+
+    /// Whether `key` satisfies every populated dimension.
+    pub fn matches(&self, key: &SpecKey) -> bool {
+        (self.n.is_empty() || self.n.contains(&key.n))
+            && (self.alpha.is_empty() || self.alpha.iter().any(|a| a.key() == key.alpha))
+            && (self.properties.is_empty() || self.properties.contains(&key.properties))
+            && (self.objective.is_empty() || self.objective.contains(&key.objective))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpm_core::{MechanismSpec, Property};
+
+    fn design(n: usize, alpha: f64) -> DesignedMechanism {
+        MechanismSpec::new(n, Alpha::new(alpha).unwrap())
+            .design()
+            .unwrap()
+    }
+
+    #[test]
+    fn write_then_read_round_trips_keys_and_matrices() {
+        let dir = std::env::temp_dir().join("cpm_snapshot_roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.json");
+        let designs = vec![design(4, 0.5), design(6, 0.76)];
+        write_file(&path, &designs).unwrap();
+        let restored = read_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(restored.len(), 2);
+        for (a, b) in designs.iter().zip(&restored) {
+            assert_eq!(a.key(), b.key());
+            assert_eq!(a.mechanism().entries(), b.mechanism().entries());
+        }
+    }
+
+    #[test]
+    fn merge_is_first_wins_and_key_sorted() {
+        let a = design(4, 0.5);
+        let b = design(6, 0.76);
+        // Same key as `a` from a "later" file: must lose the collision.
+        let a_again = design(4, 0.5);
+        let merged = merge(vec![vec![b.clone()], vec![a.clone(), a_again]]);
+        assert_eq!(merged.len(), 2);
+        let keys: Vec<SpecKey> = merged.iter().map(|d| d.key()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn filter_dimensions_are_conjunctive_and_empty_matches_all() {
+        let key = SpecKey::new(
+            6,
+            Alpha::new(0.76).unwrap(),
+            PropertySet::from_iter([Property::WeakHonesty]),
+        );
+        assert!(KeyFilter::default().matches(&key));
+        let mut filter = KeyFilter {
+            n: vec![6],
+            alpha: vec![Alpha::new(0.76).unwrap()],
+            ..KeyFilter::default()
+        };
+        assert!(filter.matches(&key));
+        filter.n = vec![4];
+        assert!(!filter.matches(&key), "n mismatch must veto despite α match");
+        filter.n.push(6);
+        assert!(filter.matches(&key), "any-of within a dimension");
+        filter.objective = vec![ObjectiveKey::L1];
+        assert!(!filter.matches(&key));
+    }
+}

@@ -12,13 +12,12 @@
 //! * a [`LinearProgram`] model-builder API (named variables, bounds, `<=`/`>=`/`=`
 //!   constraints, minimisation or maximisation objectives) storing constraints
 //!   sparsely in a term arena,
+//! * an **LP presolve pass** that shrinks the model before standardisation and
+//!   reconstructs the full solution — values, duals, and basis — afterwards,
 //! * conversion to sparse (CSC) standard form with slack / surplus / artificial
 //!   variables — see [`SparseMatrix`],
 //! * Phase 1 (minimise the sum of artificials) to find a basic feasible solution,
 //! * Phase 2 with the user objective,
-//! * **Devex reference-framework pricing** ([`PricingRule::Devex`], the default)
-//!   with an automatic switch to Bland's rule when degeneracy stalls progress,
-//!   guaranteeing termination,
 //! * the **revised simplex** default backend ([`SolverBackend::SparseRevised`]):
 //!   the basis inverse is a **sparse LU factorisation** maintained by
 //!   Forrest–Tomlin rank-one updates, so a pivot costs `O(nnz)` instead of the
@@ -38,33 +37,75 @@
 //!   to the cold primal path silently; [`SolveStats::warm_started`] and
 //!   [`SolveStats::dual_iterations`] report which path ran.
 //!
-//! ## Architecture: the solve pipeline
+//! ## Architecture: the presolve → standardise → solve → postsolve pipeline
 //!
-//! A call to [`LinearProgram::solve`] flows through four layers:
+//! A call to [`LinearProgram::solve`] flows through five layers:
 //!
 //! ```text
 //! LinearProgram          model.rs      named variables, bounds, constraint arena
+//!       │ presolve                     (skipped when SolveOptions::presolve = false)
+//!       ▼
+//! PresolvedProgram       presolve.rs   α≈1 ratio-row aliasing, singleton rows →
+//!       │                              bounds, fixed-variable substitution,
+//!       │                              duplicate/dominated row folding, empty
+//!       │                              columns; records a postsolve map
 //!       │ standardize
 //!       ▼
-//! StandardForm           standard.rs   min c'z, Az = b, z ≥ 0, b ≥ 0; CSC matrix
-//!       │                sparse.rs     (SparseMatrix + RowMajor mirror + SPA utils)
-//!       ▼
-//! revised simplex        revised.rs    two-phase driver, Harris ratio test,
-//!       │                              Devex / Dantzig / Bland pricing,
-//!       │                              incremental reduced costs, basis repair
+//! StandardForm           standard.rs   min c'z, Az = b, z ≥ 0 (boxed columns keep
+//!       │                sparse.rs     finite uppers), b ≥ 0; CSC matrix
+//!       ▼                              (SparseMatrix + RowMajor mirror + SPA utils)
+//! revised simplex        revised.rs    two-phase driver, Harris two-pass +
+//!       │                              long-step/bound-flipping ratio tests,
+//!       │                              Devex / steepest-edge / Dantzig / Bland
+//!       │                              pricing, incremental reduced costs,
+//!       │                              basis repair, dual-simplex warm starts
 //!       ▼
 //! LU basis inverse       lu.rs         Markowitz factorisation (singleton peeling
-//!                                      + threshold pivoting), sparse triangular
-//!                                      FTRAN/BTRAN, Forrest–Tomlin updates
+//!       │                              + threshold pivoting), Suhl–Suhl ordered
+//!       │ postsolve                    sparse triangular FTRAN/BTRAN with
+//!       ▼                              dense-result pattern harvest,
+//! Solution               solution.rs   Forrest–Tomlin updates; postsolve expands
+//!                                      values and basis back to the original model
 //! ```
 //!
+//! Presolve (on by default via [`SolveOptions::presolve`]) targets the
+//! reductions that actually occur in the mechanism LPs: weak-honesty
+//! singleton rows fold into variable bounds, α = 1 DP-ratio pairs alias whole
+//! variable chains, and property rows duplicated by the implication closure
+//! collapse to the tightest representative.  The postsolve map restores
+//! removed variables and rows so [`Solution::optimal_basis`] stays expressed
+//! in the *original* standard form — warm starts and basis provenance work
+//! identically with presolve on or off.  [`SolveStats::presolve_rows_removed`]
+//! and [`SolveStats::presolve_cols_removed`] attribute the shrinkage.
+//!
 //! The LU factors are rebuilt every [`SolveOptions::refactor_interval`]
-//! Forrest–Tomlin updates (and whenever an update signals numerical trouble —
-//! the *basis repair* path, bounded by [`SolveOptions::max_repairs`]).  Pricing
-//! behaviour is controlled by [`SolveOptions::pricing`] (Devex or Dantzig
-//! scoring) and [`SolveOptions::partial_pricing`] (cyclic section scans);
-//! [`SolveStats`] reports factorisations, rank-one updates, repairs, and Devex
-//! framework resets separately.
+//! Forrest–Tomlin updates — treated as a floor and stretched to `rows / 32` on
+//! tall problems — and whenever an update signals numerical trouble (the
+//! *basis repair* path, bounded by [`SolveOptions::max_repairs`]).
+//!
+//! ## Pricing × ratio-test option matrix
+//!
+//! Entering-variable pricing is selected by [`SolveOptions::pricing`]; the
+//! leaving side always runs the Harris two-pass ratio test extended with
+//! long-step **bound flips**: when the tightest limit is the entering (or a
+//! passing boxed) variable's *opposite bound*, the variable flips across its
+//! box without a basis change ([`SolveStats::bound_flips`]).
+//!
+//! | [`PricingRule`]  | score                         | per-pivot cost | best for |
+//! |------------------|-------------------------------|----------------|----------|
+//! | `Dantzig`        | most negative reduced cost    | cheapest       | small / well-scaled LPs |
+//! | `Devex`          | `d_j² / γ_j`, reference grows | one extra BTRAN row | mid-size degenerate LPs |
+//! | `SteepestEdge`   | `d_j² / ‖B⁻¹a_j‖²` exact in the reference frame, weights rebuilt on refactorisation | pivot-column FTRAN reuse + masked updates | the large mechanism LPs (n ≥ 64: fewest pivots, best locality) |
+//!
+//! All rules fall back to Bland's rule when degeneracy stalls progress,
+//! guaranteeing termination; [`SolveOptions::partial_pricing`] optionally
+//! prices in cyclic column sections under any rule.  `cpm-core`'s
+//! `recommended_options` picks per problem size: steepest edge for the
+//! mechanism designs (it wins at every measured n — ~2x fewer phase-2 pivots
+//! at n = 64), `max_iterations` scaled to `60 · dim²`, presolve on.
+//! [`SolveStats`] reports factorisations, rank-one updates, repairs, bound
+//! flips, and per-rule framework resets ([`SolveStats::devex_resets`],
+//! [`SolveStats::steepest_edge_resets`]) separately.
 //!
 //! ## Example
 //!
@@ -98,6 +139,7 @@
 mod error;
 mod lu;
 mod model;
+mod presolve;
 mod revised;
 mod solution;
 mod solver;

@@ -46,6 +46,25 @@
 //! between refactorisations, which is what keeps FTRAN/BTRAN flat over long
 //! pivot runs.  A too-small updated diagonal reports [`LuError::Singular`] and
 //! the caller refactorises from scratch (the basis-repair path).
+//!
+//! ## Suhl–Suhl hypersparse solves
+//!
+//! The plain [`LuFactors::ftran`]/[`LuFactors::btran`] pair visits **every**
+//! stored operator — `O(nnz(L) + nnz(U))` per solve even when the right-hand
+//! side is a unit vector and the result has a handful of nonzeros.  On the
+//! mechanism LPs (tens of thousands of rows, entering columns with ≤ `n + 2`
+//! entries) that dense scan dominates per-pivot cost.  The `*_sparse` variants
+//! ([`LuFactors::ftran_sparse`], [`LuFactors::btran_sparse`]) instead compute
+//! the result's nonzero **pattern** while they solve, in the style of
+//! Gilbert–Peierls reachability as ordered by Suhl & Suhl: each row keeps the
+//! list of operators that *read* it ([`LuFactors::ftran_readers`] /
+//! [`LuFactors::btran_readers`] for the L side, `row_adj` /
+//! `pivot_col_of_row` for the U side), and a solve visits exactly the
+//! operators reachable from the input pattern, in elimination order, via a
+//! binary heap keyed by operator index (L) or pivot-order stamp (U).  Work is
+//! proportional to the reach, not to the factor size.  Inputs already denser
+//! than [`SPARSE_RHS_FRACTION`] fall back to the dense scan, which is faster
+//! at that point.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -63,6 +82,62 @@ const DROP_TOL: f64 = 1e-12;
 /// Relative threshold of the Markowitz pivot test: a bump pivot must be at
 /// least this fraction of the largest magnitude in its column.
 const MARKOWITZ_THRESHOLD: f64 = 0.1;
+
+/// A sparse solve is attempted only when the input pattern holds at most
+/// `m / SPARSE_RHS_FRACTION` nonzeros; denser inputs take the plain dense
+/// scan, whose straight-line passes beat heap-ordered reach at that density.
+const SPARSE_RHS_FRACTION: usize = 8;
+
+/// Bound on how many candidate columns one bump-pivot search examines after
+/// the ascending-count stopping rule fails to close the search early.
+const MARKOWITZ_CANDIDATES: usize = 8;
+
+/// `true` when a right-hand side with `nnz` nonzeros out of `m` rows is worth
+/// the reach-based solve.
+fn pattern_is_sparse(nnz: usize, m: usize) -> bool {
+    nnz * SPARSE_RHS_FRACTION <= m
+}
+
+/// Grow a scratch flag vector to cover indices `0..n`.
+fn ensure_flags(flags: &mut Vec<bool>, n: usize) {
+    if flags.len() < n {
+        flags.resize(n, false);
+    }
+}
+
+/// Push not-yet-seen L-op indices onto a min-heap (forward reach).
+fn push_ops_min(
+    ops: &[u32],
+    heap: &mut BinaryHeap<Reverse<(u64, usize)>>,
+    seen: &mut [bool],
+    touched: &mut Vec<usize>,
+) {
+    for &k in ops {
+        let k = k as usize;
+        if !seen[k] {
+            seen[k] = true;
+            touched.push(k);
+            heap.push(Reverse((k as u64, k)));
+        }
+    }
+}
+
+/// Push not-yet-seen L-op indices onto a max-heap (backward reach).
+fn push_ops_max(
+    ops: &[u32],
+    heap: &mut BinaryHeap<(u64, usize)>,
+    seen: &mut [bool],
+    touched: &mut Vec<usize>,
+) {
+    for &k in ops {
+        let k = k as usize;
+        if !seen[k] {
+            seen[k] = true;
+            touched.push(k);
+            heap.push((k as u64, k));
+        }
+    }
+}
 
 /// The factorisation or update met a numerically singular basis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -137,12 +212,30 @@ pub(crate) struct LuFactors {
     pivot_col_of_row: Vec<usize>,
     /// Forrest–Tomlin updates applied since the factorisation was built.
     updates: usize,
+    /// `row → indices of L-ops that read that row in the FTRAN direction`
+    /// (a `Col` op reads its pivot row, a `Row` op reads its entry rows).
+    /// Each list is ascending, so the sparse solves can binary-search for
+    /// "operators after the one currently firing".
+    ftran_readers: Vec<Vec<u32>>,
+    /// `row → indices of L-ops that read that row in the BTRAN direction`
+    /// (transposed roles: a `Col` op reads its entry rows, a `Row` op its
+    /// pivot row).  Ascending, like `ftran_readers`.
+    btran_readers: Vec<Vec<u32>>,
     /// Reusable scratch for [`LuFactors::update`] (one update per simplex
     /// pivot — allocating these per call would put two `O(m)` zero-fills on
     /// the hottest loop of the solver).
     scratch_acc: SparseAccumulator,
     scratch_heap: BinaryHeap<Reverse<(u64, usize)>>,
     scratch_seen: Vec<usize>,
+    /// Scratch for the reach-based sparse solves: per-row nonzero marks, a
+    /// per-node (L-op index or U-column id) visited flag with its undo list,
+    /// and the two reach heaps (min-order for forward passes, max-order for
+    /// backward passes).
+    row_marked: Vec<bool>,
+    node_seen: Vec<bool>,
+    node_touched: Vec<usize>,
+    reach_min: BinaryHeap<Reverse<(u64, usize)>>,
+    reach_max: BinaryHeap<(u64, usize)>,
 }
 
 impl LuFactors {
@@ -186,6 +279,14 @@ impl LuFactors {
         let mut row_singletons: Vec<usize> = (0..m).filter(|&r| row_count[r] == 1).collect();
         let mut col_singletons: Vec<usize> = (0..m).filter(|&j| col_count[j] == 1).collect();
 
+        // Bump-pivot candidate queue: columns keyed by their active count,
+        // maintained lazily (stale entries are skipped on pop; count changes
+        // push a fresh entry rather than updating in place).
+        let mut bump: BinaryHeap<Reverse<(usize, usize)>> = (0..m)
+            .map(|j| Reverse((col_count[j], j)))
+            .collect();
+        let mut bump_kept: Vec<(usize, usize)> = Vec::new();
+
         // Per-pivot outputs, in elimination order.
         let mut pivot_rows: Vec<usize> = Vec::with_capacity(m);
         let mut pivot_cols: Vec<usize> = Vec::with_capacity(m);
@@ -212,11 +313,55 @@ impl LuFactors {
             }) {
                 let row = active[j][0].0;
                 (row, j)
-            // 3. Markowitz bump pivot with threshold stability test.
+            // 3. Markowitz bump pivot with threshold stability test, examining
+            // candidate columns in ascending active-count order.  Since the
+            // singleton queues drained first, every active row has count ≥ 2,
+            // so any entry in a column of count `c` costs at least `c − 1` —
+            // once that bound reaches the best cost seen, no later column can
+            // win and the search stops (with a candidate cap as a backstop).
             } else {
-                let Some((row, col)) =
-                    markowitz_pivot(&remaining, &active, &row_count, &col_count, abs_pivot_tol)
-                else {
+                let mut best: Option<(usize, usize, usize, f64)> = None;
+                bump_kept.clear();
+                while let Some(&Reverse((c, j))) = bump.peek() {
+                    if pivoted_col[j] || c != col_count[j] {
+                        bump.pop();
+                        continue;
+                    }
+                    if let Some((_, _, best_cost, _)) = best {
+                        if c - 1 >= best_cost || bump_kept.len() >= MARKOWITZ_CANDIDATES {
+                            break;
+                        }
+                    }
+                    bump.pop();
+                    bump_kept.push((c, j));
+                    let col_max = active[j]
+                        .iter()
+                        .fold(0.0f64, |acc, &(_, v)| acc.max(v.abs()));
+                    if col_max < abs_pivot_tol {
+                        continue;
+                    }
+                    let acceptable = col_max * MARKOWITZ_THRESHOLD;
+                    for &(r, v) in &active[j] {
+                        if v.abs() < acceptable || v.abs() < abs_pivot_tol {
+                            continue;
+                        }
+                        let cost = (row_count[r] - 1) * (c - 1);
+                        let better = match best {
+                            None => true,
+                            Some((_, _, best_cost, best_mag)) => {
+                                cost < best_cost || (cost == best_cost && v.abs() > best_mag)
+                            }
+                        };
+                        if better {
+                            best = Some((r, j, cost, v.abs()));
+                        }
+                    }
+                }
+                // Losing candidates stay live for later pivots.
+                for &(c, j) in &bump_kept {
+                    bump.push(Reverse((c, j)));
+                }
+                let Some((row, col, _, _)) = best else {
                     return Err(LuError::Singular);
                 };
                 (row, col)
@@ -300,7 +445,10 @@ impl LuFactors {
                     }
                 }
                 active[j] = rebuilt;
-                col_count[j] = active[j].len();
+                if col_count[j] != active[j].len() {
+                    col_count[j] = active[j].len();
+                    bump.push(Reverse((col_count[j], j)));
+                }
                 if col_count[j] == 0 {
                     return Err(LuError::Singular);
                 }
@@ -352,6 +500,16 @@ impl LuFactors {
                 )
             })
             .unzip();
+        let mut ftran_readers: Vec<Vec<u32>> = vec![Vec::new(); m];
+        let mut btran_readers: Vec<Vec<u32>> = vec![Vec::new(); m];
+        for (k, op) in lops.iter().enumerate() {
+            if let LOp::Col { pivot_row, entries } = op {
+                ftran_readers[*pivot_row].push(k as u32);
+                for &(r, _) in entries {
+                    btran_readers[r].push(k as u32);
+                }
+            }
+        }
         let factors = LuFactors {
             lops,
             ucols,
@@ -364,9 +522,16 @@ impl LuFactors {
             row_adj,
             pivot_col_of_row,
             updates: 0,
+            ftran_readers,
+            btran_readers,
             scratch_acc: SparseAccumulator::with_len(m),
             scratch_heap: BinaryHeap::new(),
             scratch_seen: Vec::new(),
+            row_marked: vec![false; m],
+            node_seen: vec![false; m],
+            node_touched: Vec::new(),
+            reach_min: BinaryHeap::new(),
+            reach_max: BinaryHeap::new(),
         };
         Ok((factors, row_of_slot))
     }
@@ -425,7 +590,13 @@ impl LuFactors {
 
     /// BTRAN: `v ← (B⁻¹)ᵀ v` (equivalently `v' B⁻¹` for a row vector).
     pub fn btran(&self, v: &mut [f64]) {
-        // Uᵀ is lower triangular in pivot order: forward substitution.
+        self.btran_u_dense(v);
+        self.btran_l_dense(v);
+    }
+
+    /// BTRAN's first half: `Uᵀ` is lower triangular in pivot order, so this is
+    /// a forward substitution over every U column.
+    fn btran_u_dense(&self, v: &mut [f64]) {
         let mut id = self.head;
         while id != NONE {
             let c = &self.ucols[id];
@@ -436,7 +607,10 @@ impl LuFactors {
             v[c.pivot_row] = total / c.pivot_value;
             id = self.order_next[id];
         }
-        // Transposed L-ops, newest first.
+    }
+
+    /// BTRAN's second half: the transposed L-ops, newest first.
+    fn btran_l_dense(&self, v: &mut [f64]) {
         for op in self.lops.iter().rev() {
             match op {
                 LOp::Col { pivot_row, entries } => {
@@ -458,14 +632,578 @@ impl LuFactors {
         }
     }
 
+    /// Sparse L-side forward pass (Suhl–Suhl ordered reach).  `pattern` must
+    /// list the nonzero rows of `v` exactly, without duplicates; on return it
+    /// lists the nonzero rows of the result.  Returns `false` when the input
+    /// was too dense and the plain [`LuFactors::solve_l`] ran instead — the
+    /// pattern is then stale and must be treated as dense by the caller.
+    pub fn solve_l_sparse(&mut self, v: &mut [f64], pattern: &mut Vec<usize>) -> bool {
+        let m = v.len();
+        if !pattern_is_sparse(pattern.len(), m) {
+            self.solve_l(v);
+            return false;
+        }
+        ensure_flags(&mut self.node_seen, self.lops.len());
+        let mut marked = std::mem::take(&mut self.row_marked);
+        let mut seen = std::mem::take(&mut self.node_seen);
+        let mut touched = std::mem::take(&mut self.node_touched);
+        let mut heap = std::mem::take(&mut self.reach_min);
+        for &r in pattern.iter() {
+            marked[r] = true;
+        }
+        for &r in pattern.iter() {
+            push_ops_min(&self.ftran_readers[r], &mut heap, &mut seen, &mut touched);
+        }
+        let mut abort_after = None;
+        while let Some(Reverse((_, k))) = heap.pop() {
+            match &self.lops[k] {
+                LOp::Col { pivot_row, entries } => {
+                    let t = v[*pivot_row];
+                    if t != 0.0 {
+                        for &(r, l) in entries {
+                            v[r] -= l * t;
+                            if !marked[r] {
+                                marked[r] = true;
+                                pattern.push(r);
+                                let readers = &self.ftran_readers[r];
+                                let from = readers.partition_point(|&x| (x as usize) <= k);
+                                push_ops_min(&readers[from..], &mut heap, &mut seen, &mut touched);
+                            }
+                        }
+                    }
+                }
+                LOp::Row { pivot_row, entries } => {
+                    let p = *pivot_row;
+                    let mut total = v[p];
+                    for &(r, mult) in entries {
+                        total -= mult * v[r];
+                    }
+                    v[p] = total;
+                    if !marked[p] {
+                        marked[p] = true;
+                        pattern.push(p);
+                        let readers = &self.ftran_readers[p];
+                        let from = readers.partition_point(|&x| (x as usize) <= k);
+                        push_ops_min(&readers[from..], &mut heap, &mut seen, &mut touched);
+                    }
+                }
+            }
+            // Suhl's switch: once the result has filled in past the sparse
+            // threshold, heap-ordered reach loses to the straight-line scan —
+            // stop tracking and finish the remaining operators densely.
+            if !pattern_is_sparse(pattern.len(), m) {
+                abort_after = Some(k);
+                break;
+            }
+        }
+        for &r in pattern.iter() {
+            marked[r] = false;
+        }
+        for &k in &touched {
+            seen[k] = false;
+        }
+        touched.clear();
+        heap.clear();
+        self.row_marked = marked;
+        self.node_seen = seen;
+        self.node_touched = touched;
+        self.reach_min = heap;
+        let Some(last) = abort_after else {
+            return true;
+        };
+        // Dense finish: every operator at or before `last` has either fired or
+        // had all-zero inputs (the reach guarantee), so replaying the rest in
+        // index order completes the solve.  The pattern is stale from here.
+        for op in &self.lops[last + 1..] {
+            match op {
+                LOp::Col { pivot_row, entries } => {
+                    let t = v[*pivot_row];
+                    if t != 0.0 {
+                        for &(r, l) in entries {
+                            v[r] -= l * t;
+                        }
+                    }
+                }
+                LOp::Row { pivot_row, entries } => {
+                    let mut total = v[*pivot_row];
+                    for &(r, mult) in entries {
+                        total -= mult * v[r];
+                    }
+                    v[*pivot_row] = total;
+                }
+            }
+        }
+        false
+    }
+
+    /// Sparse backward substitution with U, visiting only the U columns
+    /// reachable from the input pattern (descending pivot-order stamps).
+    /// Same pattern contract and fallback semantics as
+    /// [`LuFactors::solve_l_sparse`].
+    pub fn solve_u_sparse(&mut self, v: &mut [f64], pattern: &mut Vec<usize>) -> bool {
+        let m = v.len();
+        if !pattern_is_sparse(pattern.len(), m) {
+            self.solve_u(v);
+            return false;
+        }
+        ensure_flags(&mut self.node_seen, self.ucols.len());
+        let mut marked = std::mem::take(&mut self.row_marked);
+        let mut seen = std::mem::take(&mut self.node_seen);
+        let mut touched = std::mem::take(&mut self.node_touched);
+        let mut heap = std::mem::take(&mut self.reach_max);
+        for &r in pattern.iter() {
+            marked[r] = true;
+        }
+        for &r in pattern.iter() {
+            let cid = self.pivot_col_of_row[r];
+            if cid != NONE && !seen[cid] {
+                seen[cid] = true;
+                touched.push(cid);
+                heap.push((self.ord[cid], cid));
+            }
+        }
+        let mut abort_at = None;
+        while let Some((_, cid)) = heap.pop() {
+            let c = &self.ucols[cid];
+            let t = v[c.pivot_row];
+            if t != 0.0 {
+                let t = t / c.pivot_value;
+                v[c.pivot_row] = t;
+                for (&r, &val) in c.rows.iter().zip(&c.vals) {
+                    v[r] -= val * t;
+                    if !marked[r] {
+                        marked[r] = true;
+                        pattern.push(r);
+                        let next = self.pivot_col_of_row[r];
+                        if next != NONE && !seen[next] {
+                            seen[next] = true;
+                            touched.push(next);
+                            heap.push((self.ord[next], next));
+                        }
+                    }
+                }
+            }
+            // Suhl's switch (see the L pass): finish densely once filled in.
+            if !pattern_is_sparse(pattern.len(), m) {
+                abort_at = Some(cid);
+                break;
+            }
+        }
+        for &r in pattern.iter() {
+            marked[r] = false;
+        }
+        for &cid in &touched {
+            seen[cid] = false;
+        }
+        touched.clear();
+        heap.clear();
+        self.row_marked = marked;
+        self.node_seen = seen;
+        self.node_touched = touched;
+        self.reach_max = heap;
+        let Some(last) = abort_at else {
+            return true;
+        };
+        // Dense finish: columns later in the order than `last` have all been
+        // popped (descending stamps) or were unreachable no-ops, so resuming
+        // the plain backward scan from its predecessor completes the solve.
+        let mut id = self.order_prev[last];
+        while id != NONE {
+            let c = &self.ucols[id];
+            let t = v[c.pivot_row];
+            if t != 0.0 {
+                let t = t / c.pivot_value;
+                v[c.pivot_row] = t;
+                for (&r, &val) in c.rows.iter().zip(&c.vals) {
+                    v[r] -= val * t;
+                }
+            }
+            id = self.order_prev[id];
+        }
+        false
+    }
+
+    /// Sparse FTRAN: `v ← B⁻¹ v` with pattern tracking.  Returns `false` when
+    /// either triangular pass fell back to the dense scans (the pattern is
+    /// then stale).  The solver composes [`LuFactors::solve_l_sparse`] and
+    /// [`LuFactors::solve_u_sparse`] directly so it can capture the spike
+    /// between the passes; this is the plain composition for everyone else
+    /// (currently the differential tests).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn ftran_sparse(&mut self, v: &mut [f64], pattern: &mut Vec<usize>) -> bool {
+        if !self.solve_l_sparse(v, pattern) {
+            self.solve_u(v);
+            return false;
+        }
+        self.solve_u_sparse(v, pattern)
+    }
+
+    /// Sparse BTRAN: `v ← (B⁻¹)ᵀ v` with pattern tracking.  Returns `false`
+    /// when it fell back to the dense scans (the pattern is then stale).
+    pub fn btran_sparse(&mut self, v: &mut [f64], pattern: &mut Vec<usize>) -> bool {
+        let m = v.len();
+        if !pattern_is_sparse(pattern.len(), m) {
+            self.btran(v);
+            return false;
+        }
+
+        // Pass 1: Uᵀ forward substitution in ascending pivot order.  A column
+        // fires when its own pivot row is nonzero (the diagonal scaling) or
+        // any of its above-diagonal entry rows is (`row_adj`).
+        ensure_flags(&mut self.node_seen, self.ucols.len());
+        let mut marked = std::mem::take(&mut self.row_marked);
+        let mut seen = std::mem::take(&mut self.node_seen);
+        let mut touched = std::mem::take(&mut self.node_touched);
+        let mut heap = std::mem::take(&mut self.reach_min);
+        for &r in pattern.iter() {
+            marked[r] = true;
+        }
+        for &r in pattern.iter() {
+            let pc = self.pivot_col_of_row[r];
+            if pc != NONE && !seen[pc] {
+                seen[pc] = true;
+                touched.push(pc);
+                heap.push(Reverse((self.ord[pc], pc)));
+            }
+            for &cid in &self.row_adj[r] {
+                if !seen[cid] {
+                    seen[cid] = true;
+                    touched.push(cid);
+                    heap.push(Reverse((self.ord[cid], cid)));
+                }
+            }
+        }
+        let mut abort_at = None;
+        while let Some(Reverse((_, cid))) = heap.pop() {
+            let c = &self.ucols[cid];
+            let p = c.pivot_row;
+            let mut total = v[p];
+            for (&r, &val) in c.rows.iter().zip(&c.vals) {
+                total -= val * v[r];
+            }
+            v[p] = total / c.pivot_value;
+            if !marked[p] {
+                marked[p] = true;
+                pattern.push(p);
+                for &next in &self.row_adj[p] {
+                    if !seen[next] {
+                        seen[next] = true;
+                        touched.push(next);
+                        heap.push(Reverse((self.ord[next], next)));
+                    }
+                }
+            }
+            // Suhl's switch (see the L pass): finish densely once filled in.
+            if !pattern_is_sparse(pattern.len(), m) {
+                abort_at = Some(cid);
+                break;
+            }
+        }
+        for &cid in &touched {
+            seen[cid] = false;
+        }
+        touched.clear();
+        if let Some(last) = abort_at {
+            // Columns earlier in the order than `last` have all been popped
+            // (ascending stamps) or were unreachable no-ops; resume the plain
+            // forward scan from its successor, then finish with the dense
+            // transposed-L pass.
+            heap.clear();
+            for &r in pattern.iter() {
+                marked[r] = false;
+            }
+            self.row_marked = marked;
+            self.node_seen = seen;
+            self.node_touched = touched;
+            self.reach_min = heap;
+            let mut id = self.order_next[last];
+            while id != NONE {
+                let c = &self.ucols[id];
+                let mut total = v[c.pivot_row];
+                for (&r, &val) in c.rows.iter().zip(&c.vals) {
+                    total -= val * v[r];
+                }
+                v[c.pivot_row] = total / c.pivot_value;
+                id = self.order_next[id];
+            }
+            self.btran_l_dense(v);
+            return false;
+        }
+
+        // If the U pass filled the vector up, finish with the dense L pass.
+        if !pattern_is_sparse(pattern.len(), m) {
+            for &r in pattern.iter() {
+                marked[r] = false;
+            }
+            self.row_marked = marked;
+            self.node_seen = seen;
+            self.node_touched = touched;
+            self.reach_min = heap;
+            self.btran_l_dense(v);
+            return false;
+        }
+        self.reach_min = heap;
+
+        // Pass 2: transposed L-ops, newest first (descending op index).
+        ensure_flags(&mut seen, self.lops.len());
+        let mut heap = std::mem::take(&mut self.reach_max);
+        for &r in pattern.iter() {
+            push_ops_max(&self.btran_readers[r], &mut heap, &mut seen, &mut touched);
+        }
+        let mut abort_after = None;
+        while let Some((_, k)) = heap.pop() {
+            match &self.lops[k] {
+                LOp::Col { pivot_row, entries } => {
+                    let p = *pivot_row;
+                    let mut t = v[p];
+                    for &(r, l) in entries {
+                        t -= l * v[r];
+                    }
+                    v[p] = t;
+                    if !marked[p] {
+                        marked[p] = true;
+                        pattern.push(p);
+                        let readers = &self.btran_readers[p];
+                        let upto = readers.partition_point(|&x| (x as usize) < k);
+                        push_ops_max(&readers[..upto], &mut heap, &mut seen, &mut touched);
+                    }
+                }
+                LOp::Row { pivot_row, entries } => {
+                    let t = v[*pivot_row];
+                    if t != 0.0 {
+                        for &(r, mult) in entries {
+                            v[r] -= mult * t;
+                            if !marked[r] {
+                                marked[r] = true;
+                                pattern.push(r);
+                                let readers = &self.btran_readers[r];
+                                let upto = readers.partition_point(|&x| (x as usize) < k);
+                                push_ops_max(&readers[..upto], &mut heap, &mut seen, &mut touched);
+                            }
+                        }
+                    }
+                }
+            }
+            // Suhl's switch (see the L pass): finish densely once filled in.
+            if !pattern_is_sparse(pattern.len(), m) {
+                abort_after = Some(k);
+                break;
+            }
+        }
+        for &r in pattern.iter() {
+            marked[r] = false;
+        }
+        for &k in &touched {
+            seen[k] = false;
+        }
+        touched.clear();
+        heap.clear();
+        self.row_marked = marked;
+        self.node_seen = seen;
+        self.node_touched = touched;
+        self.reach_max = heap;
+        let Some(last) = abort_after else {
+            return true;
+        };
+        // Dense finish: operators newer than `last` have all been popped
+        // (descending indices) or were no-ops; replay the older ones
+        // newest-first with the plain transposed scan.
+        for op in self.lops[..last].iter().rev() {
+            match op {
+                LOp::Col { pivot_row, entries } => {
+                    let mut t = v[*pivot_row];
+                    for &(r, l) in entries {
+                        t -= l * v[r];
+                    }
+                    v[*pivot_row] = t;
+                }
+                LOp::Row { pivot_row, entries } => {
+                    let t = v[*pivot_row];
+                    if t != 0.0 {
+                        for &(r, mult) in entries {
+                            v[r] -= mult * t;
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Sparse BTRAN that **gives up** instead of densifying: when either
+    /// pass's nonzero pattern outgrows the hypersparse threshold, the vector
+    /// is zeroed back out and `false` is returned.  For callers where the
+    /// result is optional (the steepest-edge cross term), abandoning is far
+    /// cheaper than the dense finish [`LuFactors::btran_sparse`] would pay.
+    /// `cap` bounds the result pattern: the solve abandons as soon as more
+    /// than `cap` nonzero rows exist.  A tight cap matters — the reach
+    /// exploration itself is the cost, so a failed attempt must fail fast.
+    pub fn btran_sparse_bounded(
+        &mut self,
+        v: &mut [f64],
+        pattern: &mut Vec<usize>,
+        cap: usize,
+    ) -> bool {
+        let m = v.len();
+        let cap = cap.min(m / SPARSE_RHS_FRACTION);
+        // Every row this routine writes is recorded in `pattern` (inputs are
+        // pre-marked; fills are pushed when first marked), so zeroing over the
+        // pattern restores a clean vector on abandonment.
+        macro_rules! abandon {
+            ($marked:ident, $seen:ident, $touched:ident, $heap:ident, $heap_slot:ident) => {{
+                for &r in pattern.iter() {
+                    $marked[r] = false;
+                    v[r] = 0.0;
+                }
+                pattern.clear();
+                for &k in &$touched {
+                    $seen[k] = false;
+                }
+                $touched.clear();
+                $heap.clear();
+                self.row_marked = $marked;
+                self.node_seen = $seen;
+                self.node_touched = $touched;
+                self.$heap_slot = $heap;
+                return false;
+            }};
+        }
+        if pattern.len() > cap {
+            for &r in pattern.iter() {
+                v[r] = 0.0;
+            }
+            pattern.clear();
+            return false;
+        }
+
+        // Pass 1: Uᵀ reach, as in `btran_sparse`.
+        ensure_flags(&mut self.node_seen, self.ucols.len());
+        let mut marked = std::mem::take(&mut self.row_marked);
+        let mut seen = std::mem::take(&mut self.node_seen);
+        let mut touched = std::mem::take(&mut self.node_touched);
+        let mut heap = std::mem::take(&mut self.reach_min);
+        for &r in pattern.iter() {
+            marked[r] = true;
+        }
+        for &r in pattern.iter() {
+            let pc = self.pivot_col_of_row[r];
+            if pc != NONE && !seen[pc] {
+                seen[pc] = true;
+                touched.push(pc);
+                heap.push(Reverse((self.ord[pc], pc)));
+            }
+            for &cid in &self.row_adj[r] {
+                if !seen[cid] {
+                    seen[cid] = true;
+                    touched.push(cid);
+                    heap.push(Reverse((self.ord[cid], cid)));
+                }
+            }
+        }
+        while let Some(Reverse((_, cid))) = heap.pop() {
+            let c = &self.ucols[cid];
+            let p = c.pivot_row;
+            let mut total = v[p];
+            for (&r, &val) in c.rows.iter().zip(&c.vals) {
+                total -= val * v[r];
+            }
+            v[p] = total / c.pivot_value;
+            if !marked[p] {
+                marked[p] = true;
+                pattern.push(p);
+                for &next in &self.row_adj[p] {
+                    if !seen[next] {
+                        seen[next] = true;
+                        touched.push(next);
+                        heap.push(Reverse((self.ord[next], next)));
+                    }
+                }
+            }
+            if pattern.len() > cap {
+                abandon!(marked, seen, touched, heap, reach_min);
+            }
+        }
+        for &cid in &touched {
+            seen[cid] = false;
+        }
+        touched.clear();
+        self.reach_min = heap;
+
+        // Pass 2: transposed L-ops, as in `btran_sparse`.
+        ensure_flags(&mut seen, self.lops.len());
+        let mut heap = std::mem::take(&mut self.reach_max);
+        for &r in pattern.iter() {
+            push_ops_max(&self.btran_readers[r], &mut heap, &mut seen, &mut touched);
+        }
+        while let Some((_, k)) = heap.pop() {
+            match &self.lops[k] {
+                LOp::Col { pivot_row, entries } => {
+                    let p = *pivot_row;
+                    let mut t = v[p];
+                    for &(r, l) in entries {
+                        t -= l * v[r];
+                    }
+                    v[p] = t;
+                    if !marked[p] {
+                        marked[p] = true;
+                        pattern.push(p);
+                        let readers = &self.btran_readers[p];
+                        let upto = readers.partition_point(|&x| (x as usize) < k);
+                        push_ops_max(&readers[..upto], &mut heap, &mut seen, &mut touched);
+                    }
+                }
+                LOp::Row { pivot_row, entries } => {
+                    let t = v[*pivot_row];
+                    if t != 0.0 {
+                        for &(r, mult) in entries {
+                            v[r] -= mult * t;
+                            if !marked[r] {
+                                marked[r] = true;
+                                pattern.push(r);
+                                let readers = &self.btran_readers[r];
+                                let upto = readers.partition_point(|&x| (x as usize) < k);
+                                push_ops_max(&readers[..upto], &mut heap, &mut seen, &mut touched);
+                            }
+                        }
+                    }
+                }
+            }
+            if pattern.len() > cap {
+                abandon!(marked, seen, touched, heap, reach_max);
+            }
+        }
+        for &r in pattern.iter() {
+            marked[r] = false;
+        }
+        for &k in &touched {
+            seen[k] = false;
+        }
+        touched.clear();
+        heap.clear();
+        self.row_marked = marked;
+        self.node_seen = seen;
+        self.node_touched = touched;
+        self.reach_max = heap;
+        true
+    }
+
     /// Forrest–Tomlin update: the basis column pivoted on `leaving_row` is
     /// replaced by the entering column whose **partial FTRAN** (through
     /// [`LuFactors::solve_l`] only) is `spike`.
     ///
+    /// `spike_pattern`, when given, must list the nonzero rows of `spike`
+    /// without duplicates (a superset with exact zeros is fine) — the update
+    /// then touches only those rows instead of scanning all of `spike`.
+    ///
     /// On `Err(Singular)` the factors are left in an inconsistent state and the
     /// caller **must** refactorise from scratch before using them again — this
     /// is the trigger of the basis-repair path.
-    pub fn update(&mut self, leaving_row: usize, spike: &[f64]) -> Result<(), LuError> {
+    pub fn update(
+        &mut self,
+        leaving_row: usize,
+        spike: &[f64],
+        spike_pattern: Option<&[usize]>,
+    ) -> Result<(), LuError> {
         let p_id = self.pivot_col_of_row[leaving_row];
         debug_assert_ne!(p_id, NONE, "leaving row has no pivot column");
 
@@ -538,12 +1276,26 @@ impl LuFactors {
         self.ucols[p_id].vals.clear();
         let mut rows = Vec::new();
         let mut vals = Vec::new();
-        for (r, &v) in spike.iter().enumerate() {
-            if r != leaving_row && v.abs() > DROP_TOL {
-                rows.push(r);
-                vals.push(v);
-                self.row_adj[r].push(p_id);
-                spike_max = spike_max.max(v.abs());
+        {
+            let mut take = |r: usize, v: f64| {
+                if r != leaving_row && v.abs() > DROP_TOL {
+                    rows.push(r);
+                    vals.push(v);
+                    self.row_adj[r].push(p_id);
+                    spike_max = spike_max.max(v.abs());
+                }
+            };
+            match spike_pattern {
+                Some(pattern) => {
+                    for &r in pattern {
+                        take(r, spike[r]);
+                    }
+                }
+                None => {
+                    for (r, &v) in spike.iter().enumerate() {
+                        take(r, v);
+                    }
+                }
             }
         }
         self.ucols[p_id].rows = rows;
@@ -557,6 +1309,11 @@ impl LuFactors {
         self.next_ord += 1;
 
         if !eta.is_empty() {
+            let k = self.lops.len() as u32;
+            for &(r, _) in &eta {
+                self.ftran_readers[r].push(k);
+            }
+            self.btran_readers[leaving_row].push(k);
             self.lops.push(LOp::Row {
                 pivot_row: leaving_row,
                 entries: eta,
@@ -619,43 +1376,6 @@ fn pop_valid<T: Copy>(stack: &mut Vec<T>, valid: impl Fn(&T) -> bool) -> Option<
     None
 }
 
-/// Best Markowitz pivot among the remaining active columns: minimise
-/// `(row_count − 1)(col_count − 1)` over entries with `|v| ≥ 0.1 · max|col|`
-/// and `|v| ≥ abs_pivot_tol`, breaking ties towards larger magnitude.
-fn markowitz_pivot(
-    remaining: &[usize],
-    active: &[Vec<(usize, f64)>],
-    row_count: &[usize],
-    col_count: &[usize],
-    abs_pivot_tol: f64,
-) -> Option<(usize, usize)> {
-    let mut best: Option<(usize, usize, usize, f64)> = None; // (row, col, cost, |v|)
-    for &j in remaining {
-        let col_max = active[j]
-            .iter()
-            .fold(0.0f64, |acc, &(_, v)| acc.max(v.abs()));
-        if col_max < abs_pivot_tol {
-            continue;
-        }
-        let acceptable = col_max * MARKOWITZ_THRESHOLD;
-        for &(r, v) in &active[j] {
-            if v.abs() < acceptable || v.abs() < abs_pivot_tol {
-                continue;
-            }
-            let cost = (row_count[r] - 1) * (col_count[j] - 1);
-            let better = match best {
-                None => true,
-                Some((_, _, best_cost, best_mag)) => {
-                    cost < best_cost || (cost == best_cost && v.abs() > best_mag)
-                }
-            };
-            if better {
-                best = Some((r, j, cost, v.abs()));
-            }
-        }
-    }
-    best.map(|(r, j, _, _)| (r, j))
-}
 
 fn remove_from(list: &mut Vec<usize>, id: usize) {
     if let Some(k) = list.iter().position(|&x| x == id) {
@@ -844,7 +1564,7 @@ mod tests {
                     spike[r] = v;
                 }
                 lu.solve_l(&mut spike);
-                lu.update(leaving_row, &spike)
+                lu.update(leaving_row, &spike, None)
                     .unwrap_or_else(|_| panic!("m={m} step={step}: update declared singular"));
 
                 // The updated factors must agree with factoring the modified
@@ -905,7 +1625,143 @@ mod tests {
         let (mut lu, _) = LuFactors::factor(3, &cols, 1e-11).unwrap();
         let mut spike = vec![0.0, 1.0, 0.0];
         lu.solve_l(&mut spike);
-        assert_eq!(lu.update(0, &spike).err(), Some(LuError::Singular));
+        assert_eq!(lu.update(0, &spike, None).err(), Some(LuError::Singular));
+    }
+
+    #[test]
+    fn sparse_solves_match_dense_solves_before_and_after_updates() {
+        // The reach-based FTRAN/BTRAN must agree with the dense scans on
+        // arbitrary sparse right-hand sides, and the returned pattern must
+        // cover every nonzero of the result.  Exercised across FT updates so
+        // the incrementally maintained reader lists are covered too.
+        let mut rng = Rng(0x90aD);
+        let mut sparse_hits = 0usize;
+        for m in [9usize, 24, 64, 120] {
+            let cols = random_basis(m, m * 2, &mut rng);
+            let (mut lu, _) = LuFactors::factor(m, &cols, 1e-11).unwrap();
+            for step in 0..8 {
+                // A unit-ish sparse RHS (1-3 nonzeros, always sparse enough).
+                let mut v = vec![0.0; m];
+                let mut pattern = Vec::new();
+                for _ in 0..(1 + step % 3) {
+                    let r = rng.below(m);
+                    if v[r] == 0.0 {
+                        v[r] = rng.next_f64() * 4.0 - 2.0;
+                        pattern.push(r);
+                    }
+                }
+
+                let mut dense_f = v.clone();
+                lu.ftran(&mut dense_f);
+                let mut sparse_f = v.clone();
+                let mut pat_f = pattern.clone();
+                if lu.ftran_sparse(&mut sparse_f, &mut pat_f) {
+                    sparse_hits += 1;
+                    for (r, &x) in dense_f.iter().enumerate() {
+                        if x.abs() > 1e-12 {
+                            assert!(pat_f.contains(&r), "ftran pattern missed row {r}");
+                        }
+                    }
+                }
+                assert_vec_close(&sparse_f, &dense_f, 1e-9);
+
+                let mut dense_b = v.clone();
+                lu.btran(&mut dense_b);
+                let mut sparse_b = v.clone();
+                let mut pat_b = pattern.clone();
+                if lu.btran_sparse(&mut sparse_b, &mut pat_b) {
+                    sparse_hits += 1;
+                    for (r, &x) in dense_b.iter().enumerate() {
+                        if x.abs() > 1e-12 {
+                            assert!(pat_b.contains(&r), "btran pattern missed row {r}");
+                        }
+                    }
+                }
+                assert_vec_close(&sparse_b, &dense_b, 1e-9);
+
+                // Apply a Forrest–Tomlin update through the sparse spike path.
+                let leaving_row = rng.below(m);
+                let mut spike = vec![0.0; m];
+                let mut spike_pat = vec![leaving_row];
+                spike[leaving_row] = 3.0 + rng.next_f64();
+                for _ in 0..3 {
+                    let r = rng.below(m);
+                    if spike[r] == 0.0 {
+                        spike[r] = rng.next_f64() - 0.5;
+                        spike_pat.push(r);
+                    }
+                }
+                if lu.solve_l_sparse(&mut spike, &mut spike_pat) {
+                    lu.update(leaving_row, &spike, Some(&spike_pat)).unwrap();
+                } else {
+                    lu.update(leaving_row, &spike, None).unwrap();
+                }
+            }
+        }
+        assert!(
+            sparse_hits >= 1,
+            "the reach-based paths never ran ({sparse_hits} hits) — thresholds broken?"
+        );
+    }
+
+    /// On a block-bidiagonal basis (independent 8-row blocks) a unit
+    /// right-hand side reaches at most its own block, so the reach-based
+    /// solves must complete sparse — and still agree with the dense scans.
+    #[test]
+    fn reach_solves_complete_sparse_on_a_block_bidiagonal_basis() {
+        let m = 512;
+        let columns: Vec<Vec<(usize, f64)>> = (0..m)
+            .map(|j| {
+                let mut col = vec![(j, 2.0)];
+                if j + 1 < m && j % 8 != 7 {
+                    col.push((j + 1, -1.0));
+                }
+                col
+            })
+            .collect();
+        let (mut lu, _) = LuFactors::factor(m, &columns, 1e-11).unwrap();
+        for seed_row in [0usize, 100, 511] {
+            let mut v = vec![0.0; m];
+            v[seed_row] = 1.0;
+            let mut dense_f = v.clone();
+            lu.ftran(&mut dense_f);
+            let mut pat = vec![seed_row];
+            assert!(lu.ftran_sparse(&mut v, &mut pat), "ftran fell back dense");
+            assert_vec_close(&v, &dense_f, 1e-9);
+            for (r, &x) in dense_f.iter().enumerate() {
+                if x.abs() > 1e-12 {
+                    assert!(pat.contains(&r), "ftran pattern missed row {r}");
+                }
+            }
+
+            let mut v = vec![0.0; m];
+            v[seed_row] = 1.0;
+            let mut dense_b = v.clone();
+            lu.btran(&mut dense_b);
+            let mut pat = vec![seed_row];
+            assert!(lu.btran_sparse(&mut v, &mut pat), "btran fell back dense");
+            assert_vec_close(&v, &dense_b, 1e-9);
+            for (r, &x) in dense_b.iter().enumerate() {
+                if x.abs() > 1e-12 {
+                    assert!(pat.contains(&r), "btran pattern missed row {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dense_inputs_fall_back_to_the_dense_scan() {
+        let mut rng = Rng(0xD0_17);
+        let m = 16;
+        let cols = random_basis(m, m * 3, &mut rng);
+        let (mut lu, _) = LuFactors::factor(m, &cols, 1e-11).unwrap();
+        let v0: Vec<f64> = (0..m).map(|_| rng.next_f64() + 0.1).collect();
+        let mut pattern: Vec<usize> = (0..m).collect();
+        let mut v = v0.clone();
+        assert!(!lu.ftran_sparse(&mut v, &mut pattern), "dense RHS must fall back");
+        let mut expect = v0.clone();
+        lu.ftran(&mut expect);
+        assert_vec_close(&v, &expect, 1e-12);
     }
 
     #[test]
@@ -934,7 +1790,7 @@ mod tests {
                 .enumerate()
                 .filter(|&(r, v)| r != leaving_row && v.abs() > 1e-12)
                 .count();
-            lu.update(leaving_row, &spike).unwrap();
+            lu.update(leaving_row, &spike, None).unwrap();
             let after: usize = lu.ucols.iter().map(|c| c.rows.len()).sum();
             assert!(
                 after <= before + spike_nnz,

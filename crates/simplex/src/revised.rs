@@ -51,6 +51,76 @@ use crate::standard::StandardForm;
 /// Devex weights above this bound trigger a reference-framework reset.
 const DEVEX_WEIGHT_LIMIT: f64 = 1e7;
 
+/// A dense vector paired with its nonzero pattern, as produced by the
+/// hypersparse LU solves.  `dense` marks a vector whose pattern is stale —
+/// a sparse solve fell back to the dense scan — so consumers must walk the
+/// whole vector instead of the pattern.
+#[derive(Clone)]
+struct PatVec {
+    values: Vec<f64>,
+    pattern: Vec<usize>,
+    dense: bool,
+}
+
+impl PatVec {
+    fn new(len: usize) -> Self {
+        PatVec {
+            values: vec![0.0; len],
+            pattern: Vec::new(),
+            dense: false,
+        }
+    }
+
+    /// Zero the vector, using the pattern when it is trustworthy.
+    fn clear(&mut self) {
+        if self.dense {
+            self.values.fill(0.0);
+            self.dense = false;
+        } else {
+            for &r in &self.pattern {
+                self.values[r] = 0.0;
+            }
+        }
+        self.pattern.clear();
+    }
+
+    /// Record a nonzero on a freshly cleared vector.
+    fn set(&mut self, r: usize, v: f64) {
+        self.values[r] = v;
+        self.pattern.push(r);
+    }
+}
+
+/// Iterate the nonzeros of a [`PatVec`] as `(index, value)` pairs, walking the
+/// pattern when it is valid and the whole vector otherwise.
+macro_rules! for_nz {
+    ($pv:expr, $r:ident, $v:ident, $body:block) => {
+        if $pv.dense {
+            for ($r, &$v) in $pv.values.iter().enumerate() {
+                if $v != 0.0 $body
+            }
+        } else {
+            for &$r in $pv.pattern.iter() {
+                let $v = $pv.values[$r];
+                if $v != 0.0 $body
+            }
+        }
+    };
+}
+
+/// What the (long-step) ratio test decided for an entering column.
+enum RatioOutcome {
+    /// No basic variable and no bound blocks the step: the program is
+    /// unbounded along this column.
+    Unbounded,
+    /// The entering column hits its **own** opposite bound before any basic
+    /// variable blocks: flip it through the box — no pivot, no factor update.
+    BoundFlip,
+    /// Ordinary pivot: the basic variable on `row` leaves, at its lower bound
+    /// or (boxed basics only) at its upper bound.
+    Pivot { row: usize, to_upper: bool },
+}
+
 /// The revised-simplex working state: basis bookkeeping, the LU factors, and
 /// the current basic solution.
 struct RevisedState<'a> {
@@ -73,8 +143,15 @@ struct RevisedState<'a> {
     /// fallback point of the repair path.
     last_good_basis: Vec<usize>,
     /// Partial FTRAN (through the L operators only) of the last entering
-    /// column — the spike consumed by the Forrest–Tomlin update.
+    /// column — the spike consumed by the Forrest–Tomlin update — with its
+    /// nonzero pattern (`spike_dense` marks a stale pattern, as in [`PatVec`]).
     spike: Vec<f64>,
+    spike_pattern: Vec<usize>,
+    spike_dense: bool,
+    /// EWMA of the FTRAN result density (`nnz / m`), used to skip the
+    /// reach-based U pass when results have been filling in anyway — the
+    /// bookkeeping up to the abort point is pure overhead then.
+    ftran_density: f64,
     factorizations: usize,
     total_updates: usize,
     /// Total repairs across the solve (reported in the stats).
@@ -89,6 +166,16 @@ struct RevisedState<'a> {
     dirty_reduced_costs: bool,
     /// Set when a repair rolled the basis back: Devex weights must reset.
     dirty_weights: bool,
+    /// Whether any core column is boxed (`sf.upper` finite); gates all the
+    /// bound-side bookkeeping so unboxed programs pay nothing.
+    has_boxes: bool,
+    /// Nonbasic boxed core columns currently sitting at their **upper** bound
+    /// (`z_j = u_j`); everything else nonbasic sits at zero.
+    at_upper: Vec<bool>,
+    /// `at_upper` snapshot taken with [`RevisedState::last_good_basis`] — a
+    /// repair rollback must restore both or the recomputed `x_B` would belong
+    /// to a different vertex.
+    last_good_at_upper: Vec<bool>,
 }
 
 impl<'a> RevisedState<'a> {
@@ -126,12 +213,18 @@ impl<'a> RevisedState<'a> {
             xb: sf.rhs.clone(),
             last_good_basis: basis,
             spike: vec![0.0; num_rows],
+            spike_pattern: Vec::new(),
+            spike_dense: false,
+            ftran_density: 0.0,
             factorizations: 0,
             total_updates: 0,
             repairs: 0,
             repair_streak: 0,
             dirty_reduced_costs: false,
             dirty_weights: false,
+            has_boxes: sf.upper.iter().any(|u| u.is_finite()),
+            at_upper: vec![false; num_core],
+            last_good_at_upper: vec![false; num_core],
         };
         state.refactorize()?;
         Ok(state)
@@ -173,15 +266,32 @@ impl<'a> RevisedState<'a> {
             xb: sf.rhs.clone(),
             last_good_basis: basis,
             spike: vec![0.0; num_rows],
+            spike_pattern: Vec::new(),
+            spike_dense: false,
+            ftran_density: 0.0,
             factorizations: 0,
             total_updates: 0,
             repairs: 0,
             repair_streak: 0,
             dirty_reduced_costs: false,
             dirty_weights: false,
+            has_boxes: sf.upper.iter().any(|u| u.is_finite()),
+            at_upper: vec![false; num_core],
+            last_good_at_upper: vec![false; num_core],
         };
         state.refactorize()?;
         Ok(state)
+    }
+
+    /// Upper bound of a column's standard-form value (`z`), `INFINITY` for
+    /// slacks without boxes and for artificials.
+    #[inline]
+    fn ub(&self, col: usize) -> f64 {
+        if col < self.num_core {
+            self.sf.upper[col]
+        } else {
+            f64::INFINITY
+        }
     }
 
     fn num_rows(&self) -> usize {
@@ -190,18 +300,6 @@ impl<'a> RevisedState<'a> {
 
     fn num_artificials(&self) -> usize {
         self.artificial_rows.len()
-    }
-
-    /// Scatter column `j` of the (core + artificial) constraint matrix into `out`.
-    fn scatter_column(&self, j: usize, out: &mut [f64]) {
-        out.fill(0.0);
-        if j < self.num_core {
-            for (r, v) in self.sf.matrix.column(j) {
-                out[r] = v;
-            }
-        } else {
-            out[self.artificial_rows[j - self.num_core]] = 1.0;
-        }
     }
 
     /// The `(row, value)` entries of column `j`, covering artificials as unit
@@ -233,17 +331,128 @@ impl<'a> RevisedState<'a> {
     }
 
     /// FTRAN the entering column `j` into `w` (`w = B⁻¹ a_j`), saving the
-    /// partial result after the L pass as the Forrest–Tomlin spike.
-    fn ftran_column(&mut self, j: usize, w: &mut [f64]) {
-        self.scatter_column(j, w);
-        self.lu.solve_l(w);
-        self.spike.copy_from_slice(w);
-        self.lu.solve_u(w);
+    /// partial result after the L pass as the Forrest–Tomlin spike (with its
+    /// pattern, so the update can stay sparse too).
+    fn ftran_column(&mut self, j: usize, w: &mut PatVec) {
+        w.clear();
+        if j < self.num_core {
+            for (r, v) in self.sf.matrix.column(j) {
+                w.set(r, v);
+            }
+        } else {
+            w.set(self.artificial_rows[j - self.num_core], 1.0);
+        }
+        let l_sparse = self.lu.solve_l_sparse(&mut w.values, &mut w.pattern);
+
+        // Save the spike before the U pass.
+        if self.spike_dense {
+            self.spike.fill(0.0);
+        } else {
+            for &r in &self.spike_pattern {
+                self.spike[r] = 0.0;
+            }
+        }
+        self.spike_pattern.clear();
+        if l_sparse {
+            for &r in &w.pattern {
+                self.spike[r] = w.values[r];
+            }
+            self.spike_pattern.extend_from_slice(&w.pattern);
+            self.spike_dense = false;
+            if self.ftran_density > 0.2 {
+                self.lu.solve_u(&mut w.values);
+                w.dense = true;
+            } else {
+                w.dense = !self.lu.solve_u_sparse(&mut w.values, &mut w.pattern);
+            }
+            if !w.dense {
+                // Ascending row order keeps every pattern consumer (ratio-test
+                // tie-breaks, FP accumulation) bitwise identical to the dense
+                // scans, so the pivot trajectory is independent of which path
+                // each solve took.
+                w.pattern.sort_unstable();
+            }
+        } else {
+            self.spike.copy_from_slice(&w.values);
+            self.spike_dense = true;
+            self.lu.solve_u(&mut w.values);
+            w.dense = true;
+        }
+        if w.dense {
+            // Harvest the nonzero pattern from the dense result: even solves
+            // that densified *during elimination* usually end mostly zero on
+            // these LPs, and every downstream consumer (ratio test, basic-
+            // solution update, steepest-edge masking) iterates the pattern.
+            // The ascending harvest order matches the dense scan order, so
+            // trajectories are bitwise unchanged.
+            w.pattern.clear();
+            for (r, &v) in w.values.iter().enumerate() {
+                if v != 0.0 {
+                    w.pattern.push(r);
+                }
+            }
+            if w.pattern.len() * 4 <= w.values.len() {
+                w.dense = false;
+            } else {
+                w.pattern.clear();
+            }
+        }
+        let m = w.values.len().max(1);
+        let density = if w.dense {
+            1.0
+        } else {
+            w.pattern.len() as f64 / m as f64
+        };
+        self.ftran_density = 0.9 * self.ftran_density + 0.1 * density;
+        if !w.dense {
+        }
     }
 
-    /// BTRAN: overwrite `y` with `y B⁻¹`.
+    /// BTRAN: overwrite `y` with `y B⁻¹` (dense — used for full cost vectors).
     fn btran(&self, y: &mut [f64]) {
         self.lu.btran(y);
+    }
+
+    /// Sparse BTRAN of the unit vector `e_row` into `rho` — the pivot-row
+    /// transform `ρ' = e_r' B⁻¹`.
+    fn btran_unit(&mut self, row: usize, rho: &mut PatVec) {
+        rho.clear();
+        rho.set(row, 1.0);
+        rho.dense = !self.lu.btran_sparse(&mut rho.values, &mut rho.pattern);
+        if !rho.dense {
+            rho.pattern.sort_unstable(); // see ftran_column on why
+        } else {
+            // Same dense-result pattern harvest as `ftran_column`.
+            rho.pattern.clear();
+            for (r, &v) in rho.values.iter().enumerate() {
+                if v != 0.0 {
+                    rho.pattern.push(r);
+                }
+            }
+            if rho.pattern.len() * 4 <= rho.values.len() {
+                rho.dense = false;
+            } else {
+                rho.pattern.clear();
+            }
+        }
+        if !rho.dense {
+        }
+    }
+
+    /// Bounded sparse BTRAN of an already-populated pattern vector in place
+    /// (used for the masked steepest-edge reference vector `w̃`).  Returns
+    /// `false` — with `v` zeroed back out — when the solve abandoned because
+    /// the result densified; the caller treats the cross term as unavailable
+    /// rather than paying a dense solve for an optional quantity.
+    fn btran_patvec(&mut self, v: &mut PatVec) -> bool {
+        debug_assert!(!v.dense);
+        let cap = (2 * v.pattern.len()).max(128);
+        if self.lu.btran_sparse_bounded(&mut v.values, &mut v.pattern, cap) {
+            v.pattern.sort_unstable(); // see ftran_column on why
+            true
+        } else {
+            false
+        }
     }
 
     /// Ratio test.  `None` means the column is unbounded.
@@ -262,48 +471,110 @@ impl<'a> RevisedState<'a> {
     ///   degenerate pivots; the tiny transient infeasibility (≤ `feas_tol`) is
     ///   absorbed by the clamping in [`RevisedState::apply_pivot`] and by the
     ///   exact `x_B` recomputation at every refactorisation.
-    fn ratio_test(&self, w: &[f64], eps: f64, use_bland: bool) -> Option<usize> {
+    /// Boxed extension (the *long-step* part): an entering column at its lower
+    /// bound moves up (`σ = +1`), one at its upper bound moves down
+    /// (`σ = −1`); basic variables move by `−σ θ w_r` and may block at either
+    /// of their own bounds, and the entering column's own span `u_q` is a
+    /// third limit — when it is the tightest, the column just flips to its
+    /// opposite bound with no pivot at all ([`RatioOutcome::BoundFlip`]).
+    fn ratio_test(&self, w: &PatVec, entering: usize, eps: f64, use_bland: bool) -> RatioOutcome {
+        let sigma = if self.has_boxes && entering < self.num_core && self.at_upper[entering] {
+            -1.0
+        } else {
+            1.0
+        };
+        let span = self.ub(entering);
         if use_bland {
-            let mut best: Option<(usize, f64)> = None;
-            for (r, &wr) in w.iter().enumerate() {
-                if wr > eps {
-                    let ratio = self.xb[r] / wr;
+            let mut best: Option<(usize, f64, bool)> = None;
+            for_nz!(w, r, wr, {
+                let delta = sigma * wr;
+                let cand = if delta > eps {
+                    Some((self.xb[r] / delta, false))
+                } else if delta < -eps {
+                    let ub = self.ub(self.basis[r]);
+                    if ub.is_finite() {
+                        Some(((ub - self.xb[r]) / -delta, true))
+                    } else {
+                        None
+                    }
+                } else {
+                    None
+                };
+                if let Some((ratio, to_upper)) = cand {
                     match best {
-                        None => best = Some((r, ratio)),
-                        Some((best_row, best_ratio)) => {
+                        None => best = Some((r, ratio, to_upper)),
+                        Some((best_row, best_ratio, _)) => {
                             if ratio < best_ratio - eps
                                 || (ratio < best_ratio + eps
                                     && self.basis[r] < self.basis[best_row])
                             {
-                                best = Some((r, ratio));
+                                best = Some((r, ratio, to_upper));
                             }
                         }
                     }
                 }
-            }
-            return best.map(|(r, _)| r);
+            });
+            return match best {
+                Some((row, ratio, to_upper)) if ratio <= span => {
+                    RatioOutcome::Pivot { row, to_upper }
+                }
+                _ if span.is_finite() => RatioOutcome::BoundFlip,
+                Some((row, _, to_upper)) => RatioOutcome::Pivot { row, to_upper },
+                None => RatioOutcome::Unbounded,
+            };
         }
         let feas_tol = eps.max(1e-10);
         let mut theta_bound = f64::INFINITY;
-        for (r, &wr) in w.iter().enumerate() {
-            if wr > eps {
-                theta_bound = theta_bound.min((self.xb[r] + feas_tol) / wr);
+        for_nz!(w, r, wr, {
+            let delta = sigma * wr;
+            if delta > eps {
+                theta_bound = theta_bound.min((self.xb[r] + feas_tol) / delta);
+            } else if delta < -eps {
+                let ub = self.ub(self.basis[r]);
+                if ub.is_finite() {
+                    theta_bound = theta_bound.min((ub - self.xb[r] + feas_tol) / -delta);
+                }
             }
+        });
+        if span < theta_bound {
+            return RatioOutcome::BoundFlip;
         }
         if theta_bound.is_infinite() {
-            return None;
+            return RatioOutcome::Unbounded;
         }
-        let mut best: Option<(usize, f64)> = None;
-        for (r, &wr) in w.iter().enumerate() {
-            if wr > eps && self.xb[r] / wr <= theta_bound {
+        let mut best: Option<(usize, f64, bool)> = None;
+        for_nz!(w, r, wr, {
+            let delta = sigma * wr;
+            let cand = if delta > eps && self.xb[r] / delta <= theta_bound {
+                Some(false)
+            } else if delta < -eps {
+                let ub = self.ub(self.basis[r]);
+                if ub.is_finite() && (ub - self.xb[r]) / -delta <= theta_bound {
+                    Some(true)
+                } else {
+                    None
+                }
+            } else {
+                None
+            };
+            if let Some(to_upper) = cand {
                 match best {
-                    None => best = Some((r, wr)),
-                    Some((_, best_wr)) if wr > best_wr => best = Some((r, wr)),
+                    None => best = Some((r, delta.abs(), to_upper)),
+                    Some((_, best_mag, _)) if delta.abs() > best_mag => {
+                        best = Some((r, delta.abs(), to_upper))
+                    }
                     _ => {}
                 }
             }
+        });
+        match best {
+            Some((row, _, to_upper)) => RatioOutcome::Pivot { row, to_upper },
+            // Unreachable in exact arithmetic (the pass-1 minimiser fits its
+            // own bound); flip if the box allows, else report unbounded and
+            // let the caller's certification machinery decide.
+            None if span.is_finite() => RatioOutcome::BoundFlip,
+            None => RatioOutcome::Unbounded,
         }
-        best.map(|(r, _)| r)
     }
 
     /// Execute the basis change `col` enters / row `row` leaves, given the
@@ -315,32 +586,67 @@ impl<'a> RevisedState<'a> {
         &mut self,
         row: usize,
         col: usize,
-        w: &[f64],
+        w: &PatVec,
+        to_upper: bool,
         options: &SolveOptions,
     ) -> Result<bool, SimplexError> {
-        let pivot_value = w[row];
+        let pivot_value = w.values[row];
         debug_assert!(pivot_value.abs() > 0.0, "pivot on a zero element");
-        let nondegenerate = self.xb[row] > 0.0;
+        let sigma = if self.has_boxes && col < self.num_core && self.at_upper[col] {
+            -1.0
+        } else {
+            1.0
+        };
+        let leaving = self.basis[row];
+        // Step length t: how far the entering variable travels from its
+        // current bound (`t >= 0`); the leaving variable lands exactly on the
+        // bound the ratio test picked.
+        let t = if to_upper {
+            (self.ub(leaving) - self.xb[row]) / -(sigma * pivot_value)
+        } else {
+            self.xb[row] / (sigma * pivot_value)
+        };
+        let nondegenerate = t > 0.0;
 
-        // Update the basic solution: the entering variable moves to θ, every
-        // other basic variable retreats along the column.
-        let theta = self.xb[row] / pivot_value;
-        for (r, &wr) in w.iter().enumerate() {
-            if r != row && wr != 0.0 {
-                self.xb[r] -= wr * theta;
+        // Update the basic solution: the entering variable moves by t from its
+        // bound, every other basic variable retreats along the column.
+        for_nz!(w, r, wr, {
+            if r != row {
+                self.xb[r] -= sigma * wr * t;
                 if self.xb[r] < 0.0 && self.xb[r] > -1e-11 {
                     self.xb[r] = 0.0;
+                } else if self.has_boxes {
+                    let ub = self.ub(self.basis[r]);
+                    if self.xb[r] > ub && self.xb[r] < ub + 1e-11 {
+                        self.xb[r] = ub;
+                    }
                 }
             }
-        }
-        self.xb[row] = theta;
+        });
+        self.xb[row] = if sigma > 0.0 { t } else { self.ub(col) - t };
 
+        if self.has_boxes {
+            if to_upper {
+                // Artificials and plain slacks have no finite upper bound, so
+                // a variable leaving at its upper bound is always a core
+                // boxed column.
+                self.at_upper[leaving] = true;
+            }
+            if col < self.num_core {
+                self.at_upper[col] = false;
+            }
+        }
         self.in_basis[self.basis[row]] = false;
         self.in_basis[col] = true;
         self.basis[row] = col;
         self.total_updates += 1;
 
-        if self.lu.update(row, &self.spike).is_err() {
+        let spike_pattern = if self.spike_dense {
+            None
+        } else {
+            Some(self.spike_pattern.as_slice())
+        };
+        if self.lu.update(row, &self.spike, spike_pattern).is_err() {
             // The update left the factors unusable; rebuild from scratch (this
             // recomputes x_B exactly from the repaired basis).
             self.repair(options, "Forrest–Tomlin update met a singular basis", false)?;
@@ -348,6 +654,27 @@ impl<'a> RevisedState<'a> {
             self.repair_streak = 0;
         }
         Ok(nondegenerate)
+    }
+
+    /// Flip a nonbasic boxed column to its opposite bound: the basic solution
+    /// absorbs the full span of the box along the FTRANed column `w`, the
+    /// basis and its factors stay untouched.
+    fn bound_flip(&mut self, col: usize, w: &PatVec) {
+        debug_assert!(col < self.num_core && self.ub(col).is_finite());
+        let span = self.ub(col);
+        let sigma = if self.at_upper[col] { -1.0 } else { 1.0 };
+        for_nz!(w, r, wr, {
+            self.xb[r] -= sigma * wr * span;
+            if self.xb[r] < 0.0 && self.xb[r] > -1e-11 {
+                self.xb[r] = 0.0;
+            } else {
+                let ub = self.ub(self.basis[r]);
+                if self.xb[r] > ub && self.xb[r] < ub + 1e-11 {
+                    self.xb[r] = ub;
+                }
+            }
+        });
+        self.at_upper[col] = !self.at_upper[col];
     }
 
     /// Rebuild the LU factors from the current basis columns and recompute
@@ -376,16 +703,42 @@ impl<'a> RevisedState<'a> {
         }
         self.lu = lu;
         self.factorizations += 1;
+        // Fresh factors are at their sparsest: let the FTRAN path try the
+        // hypersparse route again instead of staying locked dense by the
+        // tail-of-window density estimate.
+        self.ftran_density = 0.0;
         self.last_good_basis.clone_from(&self.basis);
+        if self.has_boxes {
+            self.last_good_at_upper.clone_from(&self.at_upper);
+        }
         self.dirty_reduced_costs = true;
 
-        // Fresh basic solution; clamp the usual tiny negative round-off.
+        // Fresh basic solution; clamp the usual tiny negative round-off.  With
+        // boxed columns the effective right-hand side subtracts the at-upper
+        // nonbasic contributions: x_B = B⁻¹ (b − Σ_{j at upper} u_j a_j).
         self.xb.copy_from_slice(&self.sf.rhs);
+        if self.has_boxes {
+            let mut xb = std::mem::take(&mut self.xb);
+            for (j, &up) in self.at_upper.iter().enumerate() {
+                if up {
+                    let u = self.sf.upper[j];
+                    for (r, v) in self.sf.matrix.column(j) {
+                        xb[r] -= u * v;
+                    }
+                }
+            }
+            self.xb = xb;
+        }
         let mut xb = std::mem::take(&mut self.xb);
         self.lu.ftran(&mut xb);
-        for value in xb.iter_mut() {
+        for (r, value) in xb.iter_mut().enumerate() {
             if *value < 0.0 && *value > -1e-9 {
                 *value = 0.0;
+            } else if self.has_boxes {
+                let ub = self.ub(self.basis[r]);
+                if *value > ub && *value < ub + 1e-9 {
+                    *value = ub;
+                }
             }
         }
         self.xb = xb;
@@ -429,6 +782,9 @@ impl<'a> RevisedState<'a> {
                     });
                 }
                 self.basis.clone_from(&self.last_good_basis);
+                if self.has_boxes {
+                    self.at_upper.clone_from(&self.last_good_at_upper);
+                }
                 self.in_basis.fill(false);
                 for &col in &self.basis {
                     self.in_basis[col] = true;
@@ -441,13 +797,26 @@ impl<'a> RevisedState<'a> {
         }
     }
 
-    /// The current objective `c_B' x_B` under the given cost vector.
+    /// The current objective `c_B' x_B` (plus `Σ c_j u_j` over nonbasic
+    /// at-upper boxed columns) under the given cost vector.
     fn objective(&self, costs: &[f64]) -> f64 {
-        self.basis
+        let basic: f64 = self
+            .basis
             .iter()
             .zip(self.xb.iter())
             .map(|(&col, &value)| costs[col] * value)
-            .sum()
+            .sum();
+        if !self.has_boxes {
+            return basic;
+        }
+        basic
+            + self
+                .at_upper
+                .iter()
+                .enumerate()
+                .filter(|&(_, &up)| up)
+                .map(|(j, _)| costs[j] * self.sf.upper[j])
+                .sum::<f64>()
     }
 }
 
@@ -458,9 +827,24 @@ struct Pricing {
     rule: PricingRule,
     /// Reduced costs of the core columns (meaningless for basic columns).
     d: Vec<f64>,
-    /// Devex reference-framework weights.
+    /// Reference-framework weights: Devex estimates, or exact projected
+    /// steepest-edge norms `γ_j` under [`PricingRule::SteepestEdge`].
     weights: Vec<f64>,
     weight_max: f64,
+    /// Steepest edge only: membership of each core column in the reference
+    /// framework `F` fixed at the last rebuild (`γ_j = δ(j∈F) + Σ w_i²` over
+    /// rows whose basic variable is in `F`).
+    in_ref: Vec<bool>,
+    /// Steepest edge only: the framework must be rebuilt from the current
+    /// nonbasic set before the next pivot.
+    ref_stale: bool,
+    /// Candidate list: the nonbasic columns whose reduced cost is currently
+    /// attractive.  Maintained incrementally (the pivot-row update is the only
+    /// thing that changes a reduced cost), so pricing scans this list instead
+    /// of every column; an exact recompute rebuilds it, which is what keeps
+    /// optimality proofs sound even if the list went stale.
+    list: Vec<usize>,
+    in_list: Vec<bool>,
     /// `d` must be recomputed from scratch before the next use.
     dirty: bool,
     /// `d` is exact (recomputed and not yet drifted by incremental updates), so
@@ -472,6 +856,13 @@ struct Pricing {
     resets: usize,
 }
 
+/// Reduced costs below this join the candidate list (a strict superset of the
+/// `d < -tolerance` test pricing applies, so the list never hides a winner).
+const CANDIDATE_EPS: f64 = 1e-10;
+
+/// Lower bound applied to steepest-edge weights after each update.
+const GAMMA_FLOOR: f64 = 1e-4;
+
 impl Pricing {
     fn new(num_core: usize, rule: PricingRule) -> Self {
         Pricing {
@@ -479,6 +870,10 @@ impl Pricing {
             d: vec![0.0; num_core],
             weights: vec![1.0; num_core],
             weight_max: 1.0,
+            in_ref: vec![false; num_core],
+            ref_stale: true,
+            list: Vec::new(),
+            in_list: vec![false; num_core],
             dirty: true,
             exact: false,
             cursor: 0,
@@ -486,11 +881,48 @@ impl Pricing {
         }
     }
 
-    /// Reset the Devex reference framework (all weights back to one).
+    /// Reset the reference framework (all weights back to one; steepest edge
+    /// additionally re-anchors `F` to the current nonbasic set lazily).
     fn reset_weights(&mut self) {
         self.weights.fill(1.0);
         self.weight_max = 1.0;
+        self.ref_stale = true;
         self.resets += 1;
+    }
+
+    /// Steepest edge: fix the reference framework to the current nonbasic set
+    /// with unit weights (each nonbasic column's projected norm is then
+    /// exactly `δ(j∈F) = 1`).
+    fn rebuild_reference(&mut self, in_basis: &[bool]) {
+        for (j, r) in self.in_ref.iter_mut().enumerate() {
+            *r = !in_basis[j];
+        }
+        self.weights.fill(1.0);
+        self.weight_max = 1.0;
+        self.ref_stale = false;
+    }
+
+    /// Exact projected steepest-edge norm of the entering column from its
+    /// FTRANed representation `w = B⁻¹ a_q`.
+    fn exact_gamma(&self, w: &PatVec, basis_cols: &[usize], entering: usize) -> f64 {
+        let mut g = if self.in_ref[entering] { 1.0 } else { 0.0 };
+        for_nz!(w, i, wi, {
+            let c = basis_cols[i];
+            if c < self.in_ref.len() && self.in_ref[c] {
+                g += wi * wi;
+            }
+        });
+        g
+    }
+
+    /// Put `j` on the candidate list if its reduced cost warrants it
+    /// (side-aware: an at-upper column prices favourably on *positive* `d`).
+    #[inline]
+    fn consider_candidate(&mut self, j: usize, up: bool) {
+        if !self.in_list[j] && favourable(self.d[j], up, CANDIDATE_EPS) {
+            self.in_list[j] = true;
+            self.list.push(j);
+        }
     }
 
     /// Recompute the reduced costs exactly: `y = c_B' B⁻¹`, then
@@ -500,12 +932,22 @@ impl Pricing {
             *slot = costs[basis.basis[r]];
         }
         basis.btran(y);
+        for &j in &self.list {
+            self.in_list[j] = false;
+        }
+        self.list.clear();
         for (j, d) in self.d.iter_mut().enumerate() {
             *d = if basis.in_basis[j] {
                 0.0
             } else {
                 costs[j] - basis.column_dot(j, y)
             };
+            if !basis.in_basis[j]
+                && favourable(*d, basis.has_boxes && basis.at_upper[j], CANDIDATE_EPS)
+            {
+                self.in_list[j] = true;
+                self.list.push(j);
+            }
         }
         self.dirty = false;
         self.exact = true;
@@ -514,26 +956,33 @@ impl Pricing {
     /// Pick the entering column per the active rule, or `None` when no
     /// candidate prices favourably.  With partial pricing the scan walks
     /// cyclic sections and stops at the first section holding a candidate.
-    fn select(&mut self, eps: f64, partial: usize, in_basis: &[bool]) -> Option<usize> {
+    fn select(
+        &mut self,
+        eps: f64,
+        partial: usize,
+        in_basis: &[bool],
+        at_upper: &[bool],
+    ) -> Option<usize> {
         let n = self.d.len();
         if n == 0 {
             return None;
         }
         if partial == 0 || partial >= n {
-            return self.select_range(eps, in_basis, 0, n);
+            return self.select_from_list(eps, in_basis, at_upper);
         }
         let sections = n.div_ceil(partial);
         for s in 0..sections {
             let start = (self.cursor + s * partial) % n;
             let end = (start + partial).min(n);
-            if let Some(j) = self.select_range(eps, in_basis, start, end) {
+            if let Some(j) = self.select_range(eps, in_basis, at_upper, start, end) {
                 self.cursor = start;
                 return Some(j);
             }
             // Wrap the tail section around to keep sections aligned to the
             // cursor rather than to zero.
             if start + partial > n {
-                if let Some(j) = self.select_range(eps, in_basis, 0, start + partial - n) {
+                if let Some(j) = self.select_range(eps, in_basis, at_upper, 0, start + partial - n)
+                {
                     self.cursor = start;
                     return Some(j);
                 }
@@ -542,18 +991,55 @@ impl Pricing {
         None
     }
 
-    fn select_range(&self, eps: f64, in_basis: &[bool], start: usize, end: usize) -> Option<usize> {
+    /// Scan the candidate list, evicting entries that went basic or stopped
+    /// pricing favourably (they re-join through
+    /// [`Pricing::consider_candidate`] if an update revives them).
+    fn select_from_list(&mut self, eps: f64, in_basis: &[bool], at_upper: &[bool]) -> Option<usize> {
         let mut best: Option<(usize, f64)> = None;
-        #[allow(clippy::needless_range_loop)] // three parallel arrays indexed by j
+        let mut k = 0;
+        while k < self.list.len() {
+            let j = self.list[k];
+            if in_basis[j] || !favourable(self.d[j], at_upper[j], CANDIDATE_EPS) {
+                self.in_list[j] = false;
+                self.list.swap_remove(k);
+                continue;
+            }
+            let d = self.d[j];
+            if favourable(d, at_upper[j], eps) {
+                let score = match self.rule {
+                    PricingRule::Dantzig => d.abs(),
+                    PricingRule::Devex | PricingRule::SteepestEdge => d * d / self.weights[j],
+                };
+                match best {
+                    None => best = Some((j, score)),
+                    Some((_, best_score)) if score > best_score => best = Some((j, score)),
+                    _ => {}
+                }
+            }
+            k += 1;
+        }
+        best.map(|(j, _)| j)
+    }
+
+    fn select_range(
+        &self,
+        eps: f64,
+        in_basis: &[bool],
+        at_upper: &[bool],
+        start: usize,
+        end: usize,
+    ) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        #[allow(clippy::needless_range_loop)] // parallel arrays indexed by j
         for j in start..end {
             if in_basis[j] {
                 continue;
             }
             let d = self.d[j];
-            if d < -eps {
+            if favourable(d, at_upper[j], eps) {
                 let score = match self.rule {
-                    PricingRule::Dantzig => -d,
-                    PricingRule::Devex => d * d / self.weights[j],
+                    PricingRule::Dantzig => d.abs(),
+                    PricingRule::Devex | PricingRule::SteepestEdge => d * d / self.weights[j],
                 };
                 match best {
                     None => best = Some((j, score)),
@@ -570,6 +1056,7 @@ impl Pricing {
     /// `alpha` holds the pivot row `e_r' B⁻¹ A` over the core columns,
     /// `alpha_rq = w[row]` is the pivot element, `d_q` the entering column's
     /// (verified) reduced cost, and `leaving` the column leaving the basis.
+    #[allow(clippy::too_many_arguments)]
     fn update_from_pivot_row(
         &mut self,
         alpha: &SparseAccumulator,
@@ -577,7 +1064,9 @@ impl Pricing {
         entering: usize,
         d_q: f64,
         leaving: usize,
+        leaving_to_upper: bool,
         in_basis: &[bool],
+        at_upper: &[bool],
     ) {
         let theta_d = d_q / alpha_rq;
         let gamma_q = self.weights[entering].max(1.0);
@@ -590,6 +1079,7 @@ impl Pricing {
                 continue;
             }
             self.d[j] -= theta_d * a;
+            self.consider_candidate(j, at_upper[j]);
             let ratio = a / alpha_rq;
             let candidate = ratio * ratio * gamma_q;
             if candidate > self.weights[j] {
@@ -601,6 +1091,7 @@ impl Pricing {
         // exactly one (B⁻¹ a_leaving = e_r), so its new reduced cost is −θ_d.
         if leaving < self.d.len() {
             self.d[leaving] = -theta_d;
+            self.consider_candidate(leaving, leaving_to_upper);
             let w = (gamma_q / (alpha_rq * alpha_rq)).max(1.0);
             self.weights[leaving] = w;
             self.weight_max = self.weight_max.max(w);
@@ -611,24 +1102,137 @@ impl Pricing {
             self.reset_weights();
         }
     }
+
+    /// The projected steepest-edge counterpart of
+    /// [`Pricing::update_from_pivot_row`].
+    ///
+    /// With `q` entering on row `r` and `l = basis[r]` leaving, the projected
+    /// norm of every nonbasic column with `α_rj ≠ 0` transforms as
+    ///
+    /// ```text
+    /// γ_j' = γ_j − 2·(α_rj/α_rq)·τ_j + (α_rj/α_rq)²·γ_q − 2·δ(l∈F)·α_rj²
+    /// ```
+    ///
+    /// where `γ_q` is the **exact** norm of the entering column (recomputed
+    /// from its FTRAN) and `τ_j = a_j' B⁻ᵀ w̃` with `w̃` the entering FTRAN
+    /// masked to reference rows other than `r`.  The leaving column's new
+    /// representation is `e_r − (w − e_r)/α_rq`, which collapses to
+    /// `γ_l' = γ_q / α_rq²` in the reference norm.  Every weight is clamped
+    /// from below by the exactly-known row-`r` component so drift can only
+    /// make columns *more* attractive to the verification step, never
+    /// invisible to it.
+    #[allow(clippy::too_many_arguments)]
+    fn update_steepest(
+        &mut self,
+        alpha: &SparseAccumulator,
+        tau: &SparseAccumulator,
+        alpha_rq: f64,
+        gamma_q: f64,
+        entering: usize,
+        d_q: f64,
+        leaving: usize,
+        leaving_to_upper: bool,
+        leaving_in_ref: bool,
+        in_basis: &[bool],
+        at_upper: &[bool],
+    ) {
+        let theta_d = d_q / alpha_rq;
+        let entering_in_ref = self.in_ref[entering];
+        for &j in alpha.pattern() {
+            if j == entering || in_basis[j] {
+                continue;
+            }
+            let a = alpha.get(j);
+            if a == 0.0 {
+                continue;
+            }
+            self.d[j] -= theta_d * a;
+            self.consider_candidate(j, at_upper[j]);
+            let ratio = a / alpha_rq;
+            let mut g = self.weights[j] - 2.0 * ratio * tau.get(j) + ratio * ratio * gamma_q;
+            if leaving_in_ref {
+                g -= 2.0 * a * a;
+            }
+            // The new row-r component is exactly α_rj/α_rq (projected iff the
+            // entering column sits in F), plus δ(j∈F): a hard lower bound.
+            let mut floor = if self.in_ref[j] { 1.0 } else { 0.0 };
+            if entering_in_ref {
+                floor += ratio * ratio;
+            }
+            self.weights[j] = g.max(floor).max(GAMMA_FLOOR);
+        }
+        if leaving < self.d.len() {
+            self.d[leaving] = -theta_d;
+            self.consider_candidate(leaving, leaving_to_upper);
+            let inv = 1.0 / (alpha_rq * alpha_rq);
+            self.weights[leaving] = (gamma_q * inv).max(GAMMA_FLOOR);
+        }
+        self.d[entering] = 0.0;
+        self.exact = false;
+    }
 }
 
-/// Dense work vectors shared across phases.
+/// Does a nonbasic column price favourably?  At the lower bound it wants a
+/// negative reduced cost (move up); at the upper bound a positive one (move
+/// down).
+#[inline]
+fn favourable(d: f64, at_upper: bool, thresh: f64) -> bool {
+    if at_upper {
+        d > thresh
+    } else {
+        d < -thresh
+    }
+}
+
+/// Work vectors shared across phases: a dense cost-BTRAN buffer plus
+/// pattern-tracked FTRAN/BTRAN results and the pivot-row accumulator.
 struct Workspace {
     y: Vec<f64>,
-    w: Vec<f64>,
-    rho: Vec<f64>,
+    w: PatVec,
+    rho: PatVec,
     alpha: SparseAccumulator,
+    /// Steepest-edge scratch: the masked reference vector `w̃` (then `B⁻ᵀ w̃`).
+    v: PatVec,
+    /// Steepest-edge scratch: the row `τ = (B⁻ᵀ w̃)' A` over the core columns.
+    tau: SparseAccumulator,
 }
 
 impl Workspace {
     fn new(num_rows: usize, num_core: usize) -> Self {
         Workspace {
             y: vec![0.0; num_rows],
-            w: vec![0.0; num_rows],
-            rho: vec![0.0; num_rows],
+            w: PatVec::new(num_rows),
+            rho: PatVec::new(num_rows),
             alpha: SparseAccumulator::with_len(num_core),
+            v: PatVec::new(num_rows),
+            tau: SparseAccumulator::with_len(num_core),
         }
+    }
+
+    /// Compute the pivot row `α = ρ' A` over the core columns into `alpha`
+    /// from the BTRANed unit vector in `rho`.
+    fn pivot_row(&mut self, row_major: &RowMajor) {
+        self.alpha.clear();
+        let rho = &self.rho;
+        let alpha = &mut self.alpha;
+        for_nz!(rho, r, rho_r, {
+            for (j, v) in row_major.row(r) {
+                alpha.add(j, v * rho_r);
+            }
+        });
+    }
+
+    /// Compute `τ = v' A` over the core columns into `tau` from the BTRANed
+    /// masked reference vector in `v` (the steepest-edge cross term).
+    fn tau_row(&mut self, row_major: &RowMajor) {
+        self.tau.clear();
+        let v = &self.v;
+        let tau = &mut self.tau;
+        for_nz!(v, r, v_r, {
+            for (j, a) in row_major.row(r) {
+                tau.add(j, a * v_r);
+            }
+        });
     }
 }
 
@@ -648,7 +1252,8 @@ pub(crate) fn solve(
             return Ok(point);
         }
     }
-    cold_solve(sf, options)
+    let out = cold_solve(sf, options);
+    out
 }
 
 /// The original two-phase primal path (Phase 1 over artificials, Phase 2 with
@@ -725,6 +1330,13 @@ fn cold_solve(sf: &StandardForm, options: &SolveOptions) -> Result<SolvedPoint, 
     }
 
     let mut z = vec![0.0; num_core];
+    if basis.has_boxes {
+        for (j, &up) in basis.at_upper.iter().enumerate() {
+            if up {
+                z[j] = sf.upper[j];
+            }
+        }
+    }
     for (r, &col) in basis.basis.iter().enumerate() {
         if col < num_core {
             z[col] = basis.xb[r];
@@ -733,7 +1345,11 @@ fn cold_solve(sf: &StandardForm, options: &SolveOptions) -> Result<SolvedPoint, 
     state.stats.refactorizations = basis.factorizations;
     state.stats.basis_updates = basis.total_updates;
     state.stats.basis_repairs = basis.repairs;
-    state.stats.devex_resets = pricing.resets;
+    if matches!(pricing.rule, PricingRule::SteepestEdge) {
+        state.stats.steepest_edge_resets = pricing.resets;
+    } else {
+        state.stats.devex_resets = pricing.resets;
+    }
     Ok(SolvedPoint {
         objective: basis.objective(&phase2_costs),
         z,
@@ -791,6 +1407,13 @@ fn exact_reduced_costs(basis: &RevisedState<'_>, costs: &[f64], y: &mut [f64], d
 fn warm_solve(sf: &StandardForm, options: &SolveOptions, seed: &[usize]) -> Option<SolvedPoint> {
     let num_rows = sf.num_rows();
     let num_core = sf.num_columns();
+
+    // The dual warm path has no bound-flipping machinery: a boxed standard
+    // form (only produced for LPs with two-sided bounds, which mechanism LPs
+    // never have) takes the cold primal path instead.
+    if sf.upper.iter().any(|u| u.is_finite()) {
+        return None;
+    }
 
     // Shape check: one column per row, core entries distinct.  Entries beyond
     // the core columns mark rows the donor kept basic through an artificial
@@ -873,6 +1496,13 @@ fn warm_solve(sf: &StandardForm, options: &SolveOptions, seed: &[usize]) -> Opti
     }
 
     let mut z = vec![0.0; num_core];
+    if basis.has_boxes {
+        for (j, &up) in basis.at_upper.iter().enumerate() {
+            if up {
+                z[j] = sf.upper[j];
+            }
+        }
+    }
     for (r, &col) in basis.basis.iter().enumerate() {
         if col < num_core {
             z[col] = basis.xb[r];
@@ -881,7 +1511,11 @@ fn warm_solve(sf: &StandardForm, options: &SolveOptions, seed: &[usize]) -> Opti
     state.stats.refactorizations = basis.factorizations;
     state.stats.basis_updates = basis.total_updates;
     state.stats.basis_repairs = basis.repairs;
-    state.stats.devex_resets = pricing.resets;
+    if matches!(pricing.rule, PricingRule::SteepestEdge) {
+        state.stats.steepest_edge_resets = pricing.resets;
+    } else {
+        state.stats.devex_resets = pricing.resets;
+    }
     state.stats.warm_started = true;
     Some(SolvedPoint {
         objective: basis.objective(costs),
@@ -971,17 +1605,8 @@ fn dual_phase(
         };
 
         // ---- pivot row over the core columns ----------------------------
-        ws.rho.fill(0.0);
-        ws.rho[row] = 1.0;
-        basis.btran(&mut ws.rho);
-        ws.alpha.clear();
-        for (r, &rho_r) in ws.rho.iter().enumerate() {
-            if rho_r != 0.0 {
-                for (j, v) in basis.row_major.row(r) {
-                    ws.alpha.add(j, v * rho_r);
-                }
-            }
-        }
+        basis.btran_unit(row, &mut ws.rho);
+        ws.pivot_row(&basis.row_major);
 
         // ---- dual ratio test (two passes) -------------------------------
         let mut theta_bound = f64::INFINITY;
@@ -1015,7 +1640,7 @@ fn dual_phase(
         };
 
         basis.ftran_column(col, &mut ws.w);
-        let pivot = ws.w[row];
+        let pivot = ws.w.values[row];
         if pivot >= -eps * 0.5 {
             // The FTRANed pivot disagrees with the BTRAN pivot row: the
             // factors have drifted.  Rebuild once and retry the iteration —
@@ -1050,15 +1675,18 @@ fn dual_phase(
 
         // ---- dual Devex weight update from the FTRANed column ------------
         let gamma_r = weights[row].max(1.0);
-        for (i, &wi) in ws.w.iter().enumerate() {
-            if i != row && wi != 0.0 {
-                let ratio = wi / pivot;
-                let candidate = ratio * ratio * gamma_r;
-                if candidate > weights[i] {
-                    weights[i] = candidate;
-                    weight_max = weight_max.max(candidate);
+        {
+            let w = &ws.w;
+            for_nz!(w, i, wi, {
+                if i != row {
+                    let ratio = wi / pivot;
+                    let candidate = ratio * ratio * gamma_r;
+                    if candidate > weights[i] {
+                        weights[i] = candidate;
+                        weight_max = weight_max.max(candidate);
+                    }
                 }
-            }
+            });
         }
         weights[row] = (gamma_r / (pivot * pivot)).max(1.0);
         weight_max = weight_max.max(weights[row]);
@@ -1067,7 +1695,7 @@ fn dual_phase(
             weight_max = 1.0;
         }
 
-        if basis.apply_pivot(row, col, &ws.w, options).is_err() {
+        if basis.apply_pivot(row, col, &ws.w, false, options).is_err() {
             return Ok(DualOutcome::Stalled);
         }
         state.iterations_left -= 1;
@@ -1097,8 +1725,16 @@ fn run_phase(
         // tracks rows/32 on the mechanism LPs), so stretch the cadence with
         // the row count.
         let interval = options.refactor_interval.max(basis.num_rows() / 32).max(1);
-        if basis.lu.updates() >= interval && basis.refactorize().is_err() {
-            basis.repair(options, "periodic refactorisation", true)?;
+        if basis.lu.updates() >= interval {
+            if basis.refactorize().is_err() {
+                basis.repair(options, "periodic refactorisation", true)?;
+            }
+            // Steepest edge re-initialises exactly at each refactorisation:
+            // re-anchoring `F` to the current nonbasic set makes every weight
+            // exactly one, and a young framework keeps the masked reference
+            // vector w̃ small, which is what keeps the per-pivot cross-term
+            // BTRAN on the sparse path.
+            pricing.ref_stale = true;
         }
         if basis.dirty_reduced_costs {
             pricing.dirty = true;
@@ -1107,6 +1743,9 @@ fn run_phase(
         if basis.dirty_weights {
             pricing.reset_weights();
             basis.dirty_weights = false;
+        }
+        if matches!(pricing.rule, PricingRule::SteepestEdge) && pricing.ref_stale {
+            pricing.rebuild_reference(&basis.in_basis);
         }
 
         // ---- entering column -------------------------------------------------
@@ -1117,7 +1756,7 @@ fn run_phase(
             if pricing.dirty {
                 pricing.recompute(basis, costs, &mut ws.y);
             }
-            match pricing.select(eps, options.partial_pricing, &basis.in_basis) {
+            match pricing.select(eps, options.partial_pricing, &basis.in_basis, &basis.at_upper) {
                 Some(j) => break Some(j),
                 None if !pricing.exact => {
                     // The incremental reduced costs may have drifted; prove
@@ -1147,52 +1786,114 @@ fn run_phase(
 
         // Verify a candidate priced from drifted reduced costs against the
         // FTRANed column before pivoting on it.
-        let d_actual = costs[col]
-            - basis
-                .basis
-                .iter()
-                .zip(ws.w.iter())
-                .map(|(&b, &wr)| costs[b] * wr)
-                .sum::<f64>();
-        if !state.using_bland && !pricing.exact && d_actual >= -eps * 0.5 {
+        let mut d_actual = costs[col];
+        {
+            let w = &ws.w;
+            for_nz!(w, r, wr, {
+                d_actual -= costs[basis.basis[r]] * wr;
+            });
+        }
+        let entering_up = basis.has_boxes && col < basis.num_core && basis.at_upper[col];
+        if !state.using_bland && !pricing.exact && !favourable(d_actual, entering_up, eps * 0.5) {
             pricing.d[col] = d_actual;
             pricing.dirty = true;
             continue;
         }
 
-        let Some(row) = basis.ratio_test(&ws.w, eps, state.using_bland) else {
-            return Ok(PhaseOutcome::Unbounded);
+        let (row, to_upper) = match basis.ratio_test(&ws.w, col, eps, state.using_bland) {
+            RatioOutcome::Unbounded => return Ok(PhaseOutcome::Unbounded),
+            RatioOutcome::BoundFlip => {
+                // Long-step: the entering column's own box is the tightest
+                // limit — flip it through to the opposite bound.  The basis
+                // (and its factors) are untouched, the reduced costs are
+                // unchanged, and the move strictly improves the objective, so
+                // it is safe even under Bland's rule.
+                basis.bound_flip(col, &ws.w);
+                state.stats.bound_flips += 1;
+                state.record_pivot(options, true);
+                continue;
+            }
+            RatioOutcome::Pivot { row, to_upper } => (row, to_upper),
         };
 
         // ---- pricing update from the pivot row (before the basis changes) ----
         if !state.using_bland {
-            ws.rho.fill(0.0);
-            ws.rho[row] = 1.0;
-            basis.btran(&mut ws.rho);
-            ws.alpha.clear();
-            for (r, &rho_r) in ws.rho.iter().enumerate() {
-                if rho_r != 0.0 {
-                    for (j, v) in basis.row_major.row(r) {
-                        ws.alpha.add(j, v * rho_r);
+            basis.btran_unit(row, &mut ws.rho);
+            ws.pivot_row(&basis.row_major);
+            let leaving = basis.basis[row];
+            if matches!(pricing.rule, PricingRule::SteepestEdge) {
+                // The entering FTRAN gives the projected norm exactly, for
+                // free; a stored weight far from it means the incremental
+                // updates have degraded and the framework is re-anchored.
+                let exact = pricing.exact_gamma(&ws.w, &basis.basis, col);
+                let stored = pricing.weights[col];
+                let gamma_q = if exact > 16.0 * stored || stored > 16.0 * exact {
+                    pricing.rebuild_reference(&basis.in_basis);
+                    pricing.resets += 1;
+                    1.0
+                } else {
+                    exact
+                };
+                let leaving_in_ref = leaving < pricing.in_ref.len() && pricing.in_ref[leaving];
+                // Build w̃ — the entering FTRAN masked to reference rows other
+                // than the pivot row — then τ = (B⁻ᵀ w̃)' A for the cross term.
+                ws.v.clear();
+                {
+                    let (w, v) = (&ws.w, &mut ws.v);
+                    for_nz!(w, i, wi, {
+                        if i != row {
+                            let c = basis.basis[i];
+                            if c < pricing.in_ref.len() && pricing.in_ref[c] {
+                                v.set(i, wi);
+                            }
+                        }
+                    });
+                }
+                if ws.v.pattern.is_empty() {
+                    ws.tau.clear();
+                } else {
+                    let have_tau = basis.btran_patvec(&mut ws.v);
+                    if have_tau {
+                        ws.tau_row(&basis.row_major);
+                    } else {
+                        // Abandoned BTRAN: update without the cross term; the
+                        // floors keep the weights safe and the entering-side
+                        // exactness check catches any 16x drift.
+                        ws.tau.clear();
                     }
                 }
+                pricing.update_steepest(
+                    &ws.alpha,
+                    &ws.tau,
+                    ws.w.values[row],
+                    gamma_q,
+                    col,
+                    d_actual,
+                    leaving,
+                    to_upper,
+                    leaving_in_ref,
+                    &basis.in_basis,
+                    &basis.at_upper,
+                );
+            } else {
+                pricing.update_from_pivot_row(
+                    &ws.alpha,
+                    ws.w.values[row],
+                    col,
+                    d_actual,
+                    leaving,
+                    to_upper,
+                    &basis.in_basis,
+                    &basis.at_upper,
+                );
             }
-            let leaving = basis.basis[row];
-            pricing.update_from_pivot_row(
-                &ws.alpha,
-                ws.w[row],
-                col,
-                d_actual,
-                leaving,
-                &basis.in_basis,
-            );
         } else {
             // Bland mode prices exactly each iteration; the incremental state
             // is stale once we leave it.
             pricing.dirty = true;
         }
 
-        let nondegenerate = basis.apply_pivot(row, col, &ws.w, options)?;
+        let nondegenerate = basis.apply_pivot(row, col, &ws.w, to_upper, options)?;
         state.record_pivot(options, nondegenerate);
     }
 }
@@ -1206,7 +1907,14 @@ fn price_bland(basis: &RevisedState<'_>, costs: &[f64], eps: f64, y: &mut [f64])
         *slot = costs[basis.basis[r]];
     }
     basis.btran(y);
-    (0..basis.num_core).find(|&j| !basis.in_basis[j] && costs[j] - basis.column_dot(j, y) < -eps)
+    (0..basis.num_core).find(|&j| {
+        !basis.in_basis[j]
+            && favourable(
+                costs[j] - basis.column_dot(j, y),
+                basis.has_boxes && basis.at_upper[j],
+                eps,
+            )
+    })
 }
 
 /// After Phase 1, pivot any artificial variables that are still basic (at value
@@ -1231,16 +1939,14 @@ fn drive_out_artificials(
             if basis.basis[row] < basis.num_core {
                 continue;
             }
-            ws.rho.fill(0.0);
-            ws.rho[row] = 1.0;
-            basis.btran(&mut ws.rho);
+            basis.btran_unit(row, &mut ws.rho);
             let replacement = (0..basis.num_core)
-                .find(|&j| !basis.in_basis[j] && basis.column_dot(j, &ws.rho).abs() > eps);
+                .find(|&j| !basis.in_basis[j] && basis.column_dot(j, &ws.rho.values).abs() > eps);
             if let Some(col) = replacement {
                 basis.ftran_column(col, &mut ws.w);
-                debug_assert!(ws.w[row].abs() > eps * 0.5);
+                debug_assert!(ws.w.values[row].abs() > eps * 0.5);
                 let repairs_before = basis.repairs;
-                basis.apply_pivot(row, col, &ws.w, options)?;
+                basis.apply_pivot(row, col, &ws.w, false, options)?;
                 if basis.repairs != repairs_before && restarts < basis.num_rows() {
                     restarts += 1;
                     continue 'scan;
@@ -1272,13 +1978,13 @@ mod tests {
         let options = SolveOptions::default();
         let mut state = RevisedState::new(&sf).unwrap();
 
-        let mut w = vec![0.0; 2];
+        let mut w = PatVec::new(2);
         state.ftran_column(0, &mut w);
         let w0 = w.clone();
-        state.apply_pivot(0, 0, &w0, &options).unwrap();
+        state.apply_pivot(0, 0, &w0, false, &options).unwrap();
         state.ftran_column(1, &mut w);
         let w1 = w.clone();
-        state.apply_pivot(1, 1, &w1, &options).unwrap();
+        state.apply_pivot(1, 1, &w1, false, &options).unwrap();
 
         // B^{-1} = [[0.5, -0.5], [0, 1]]; check on a probe vector.
         let mut v = vec![4.0, 1.0];
@@ -1391,8 +2097,9 @@ mod tests {
         pricing.dirty = false;
         pricing.exact = true;
         let in_basis = vec![false; 10];
+        let at_upper = vec![false; 10];
         // A 3-wide section scan must still find the single candidate at 7.
-        assert_eq!(pricing.select(1e-9, 3, &in_basis), Some(7));
+        assert_eq!(pricing.select(1e-9, 3, &in_basis, &at_upper), Some(7));
         // And remember where it found it.
         assert_eq!(pricing.cursor % 10, 6);
     }

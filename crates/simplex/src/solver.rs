@@ -67,6 +67,15 @@ pub enum PricingRule {
     /// the default.
     #[default]
     Devex,
+    /// Projected steepest-edge pricing (Forrest & Goldfarb): the weights are
+    /// *exact* squared norms of the candidate columns projected onto a
+    /// reference framework, maintained by an update that spends one extra
+    /// BTRAN plus one matrix row pass per pivot.  Each entering column's
+    /// stored weight is verified against the exact norm computed from its
+    /// FTRAN; a large mismatch resets the framework.  Costs noticeably more
+    /// per pivot than Devex and wins where degeneracy makes pivot counts the
+    /// bottleneck.
+    SteepestEdge,
 }
 
 impl std::fmt::Display for PricingRule {
@@ -74,6 +83,7 @@ impl std::fmt::Display for PricingRule {
         match self {
             PricingRule::Dantzig => write!(f, "dantzig"),
             PricingRule::Devex => write!(f, "devex"),
+            PricingRule::SteepestEdge => write!(f, "steepest-edge"),
         }
     }
 }
@@ -142,6 +152,21 @@ pub struct SolveOptions {
     /// path ([`SolveStats::warm_started`] reports which path ran).
     #[serde(default)]
     pub warm_basis: Option<Vec<usize>>,
+    /// Run the LP presolve pipeline (aliasing, singleton/empty/duplicate row
+    /// elimination, fixed-variable substitution) before standardising.  The
+    /// reductions are deterministic, so warm bases and the design cache stay
+    /// consistent across runs with the same setting; disable only to compare
+    /// against the raw formulation.  [`SolveStats::presolve_rows_removed`] and
+    /// [`SolveStats::presolve_cols_removed`] report what it accomplished.
+    #[serde(default = "default_presolve")]
+    pub presolve: bool,
+}
+
+// Referenced by the string path in the `#[serde(default = "...")]` attribute
+// above; rustc's dead-code pass cannot see through that.
+#[allow(dead_code)]
+fn default_presolve() -> bool {
+    true
 }
 
 impl Default for SolveOptions {
@@ -156,6 +181,7 @@ impl Default for SolveOptions {
             partial_pricing: 0,
             max_repairs: 2,
             warm_basis: None,
+            presolve: true,
         }
     }
 }
@@ -190,6 +216,23 @@ pub struct SolveStats {
     /// Sparse backend only: how many times the Devex reference framework was
     /// reset because its weights overflowed their trust bound.
     pub devex_resets: usize,
+    /// Sparse backend only: how many times the projected steepest-edge
+    /// reference framework was rebuilt because an entering column's stored
+    /// weight disagreed with the exact projected norm of its FTRANed column.
+    #[serde(default)]
+    pub steepest_edge_resets: usize,
+    /// Sparse backend only: boxed nonbasic variables flipped to their opposite
+    /// bound by the long-step ratio tests instead of being pivoted through the
+    /// basis.
+    #[serde(default)]
+    pub bound_flips: usize,
+    /// Constraint rows removed by presolve before standardisation.
+    #[serde(default)]
+    pub presolve_rows_removed: usize,
+    /// Variables eliminated by presolve (fixed, aliased, or empty) before
+    /// standardisation.
+    #[serde(default)]
+    pub presolve_cols_removed: usize,
     /// Sparse backend only: dual-simplex pivots performed by a warm-started
     /// solve before the primal cleanup confirmed optimality.  Zero for cold
     /// solves (and for warm seeds that fell back to the primal path).
@@ -281,31 +324,74 @@ pub(crate) fn solve_prepared(
     lp: &LinearProgram,
     options: &SolveOptions,
 ) -> Result<Solution, SimplexError> {
-    let sf = standardize(lp);
-
-    if sf.num_rows() == 0 {
-        // No constraints: the optimum of a non-negative-variable LP is attained at the
-        // lower bounds unless some cost is negative, in which case it is unbounded.
-        return solve_unconstrained(&sf, options);
-    }
-
-    let point = match options.backend {
-        SolverBackend::SparseRevised => revised::solve(&sf, options)?,
-        SolverBackend::DenseTableau => solve_dense(&sf, options)?,
+    let presolved = if options.presolve {
+        Some(crate::presolve::presolve(lp)?)
+    } else {
+        None
+    };
+    let (lp, map) = match &presolved {
+        Some(pre) => (&pre.lp, Some(&pre.map)),
+        None => (lp, None),
     };
 
-    let values = sf.recover_values(&point.z);
-    let mut objective_value = point.objective + sf.objective_constant;
-    if sf.maximize {
-        objective_value = -objective_value;
+    // Presolve may eliminate the entire program (every variable aliased or
+    // fixed): the map alone reconstructs the optimum.
+    if lp.num_variables() == 0 {
+        let map = map.expect("only presolve produces an empty program");
+        return Ok(Solution {
+            status: SolveStatus::Optimal,
+            objective_value: map.objective_offset,
+            values: map.expand_values(&[]),
+            stats: SolveStats {
+                backend: options.backend,
+                presolve_rows_removed: map.rows_removed,
+                presolve_cols_removed: map.cols_removed,
+                ..SolveStats::default()
+            },
+            optimal_basis: None,
+        });
     }
-    Ok(Solution {
-        status: SolveStatus::Optimal,
-        objective_value,
-        values,
-        stats: point.stats,
-        optimal_basis: point.basis,
-    })
+
+    // The sparse backend understands boxed columns natively (bound-flipping
+    // ratio test), so two-sided bounds stay as boxes instead of extra rows;
+    // the dense tableau still wants the row encoding.
+    let sf = match options.backend {
+        SolverBackend::SparseRevised => crate::standard::standardize_boxed(lp),
+        SolverBackend::DenseTableau => standardize(lp),
+    };
+
+    let mut solution = if sf.num_rows() == 0 {
+        // No constraints: the optimum of a non-negative-variable LP is attained
+        // at the lower bounds unless a negative cost runs to an open upper
+        // bound, in which case it is unbounded.
+        solve_unconstrained(&sf, options)?
+    } else {
+        let point = match options.backend {
+            SolverBackend::SparseRevised => revised::solve(&sf, options)?,
+            SolverBackend::DenseTableau => solve_dense(&sf, options)?,
+        };
+
+        let values = sf.recover_values(&point.z);
+        let mut objective_value = point.objective + sf.objective_constant;
+        if sf.maximize {
+            objective_value = -objective_value;
+        }
+        Solution {
+            status: SolveStatus::Optimal,
+            objective_value,
+            values,
+            stats: point.stats,
+            optimal_basis: point.basis,
+        }
+    };
+
+    if let Some(map) = map {
+        solution.objective_value += map.objective_offset;
+        solution.values = map.expand_values(&solution.values);
+        solution.stats.presolve_rows_removed = map.rows_removed;
+        solution.stats.presolve_cols_removed = map.cols_removed;
+    }
+    Ok(solution)
 }
 
 /// Handle the degenerate "no constraints" case directly.
@@ -313,13 +399,25 @@ fn solve_unconstrained(
     sf: &StandardForm,
     options: &SolveOptions,
 ) -> Result<Solution, SimplexError> {
-    // Any column with a negative cost can grow without bound.
-    if sf.costs.iter().any(|&c| c < 0.0) {
-        return Err(SimplexError::Unbounded);
+    // A negative-cost column runs to its upper bound — or without bound when
+    // the box is open above.
+    let mut z = vec![0.0; sf.num_columns()];
+    for (j, &c) in sf.costs.iter().enumerate() {
+        if c < 0.0 {
+            if sf.upper[j].is_finite() {
+                z[j] = sf.upper[j];
+            } else {
+                return Err(SimplexError::Unbounded);
+            }
+        }
     }
-    let z = vec![0.0; sf.num_columns()];
     let values = sf.recover_values(&z);
-    let mut objective_value = sf.objective_constant;
+    let mut objective_value = sf.objective_constant
+        + sf.costs
+            .iter()
+            .zip(z.iter())
+            .map(|(&c, &v)| c * v)
+            .sum::<f64>();
     if sf.maximize {
         objective_value = -objective_value;
     }
