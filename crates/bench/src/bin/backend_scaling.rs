@@ -9,15 +9,18 @@
 //! `CPM_THREADS=1` for contention-free timings when comparing runs.  The
 //! refactorisation cadence can be overridden with the `CPM_REFACTOR`
 //! environment variable, the pricing rule with
-//! `CPM_PRICING=dantzig|devex|steepest`,
-//! and the sweep itself with `CPM_SWEEP=64,128` (comma-separated group sizes).
+//! `CPM_PRICING=dantzig|devex|steepest`, the LP form with
+//! `CPM_FORM=auto|primal|dual` (default `auto`, which takes the dual on the
+//! tall mechanism LPs), the closed-form crash seed with `CPM_CRASH=0`
+//! (disable, for cold-walk ablations), and the sweep itself with
+//! `CPM_SWEEP=64,128` (comma-separated group sizes).
 
 use std::time::Instant;
 
 use cpm_bench::cli::FigureOptions;
 use cpm_core::prelude::*;
 use cpm_eval::par::parallel_map;
-use cpm_simplex::{PricingRule, SolveOptions, SolverBackend};
+use cpm_simplex::{LpForm, PricingRule, SolveOptions, SolverBackend};
 
 /// Largest group size the dense tableau is asked to solve.
 const DENSE_MAX_N: usize = 32;
@@ -50,7 +53,7 @@ fn main() {
         }
         Err(_) => default_sweep(),
     };
-    let refactor_interval = std::env::var("CPM_REFACTOR")
+    let refactor_interval: Option<usize> = std::env::var("CPM_REFACTOR")
         .ok()
         .and_then(|v| v.parse().ok());
     let pricing = match std::env::var("CPM_PRICING").as_deref() {
@@ -59,6 +62,13 @@ fn main() {
         Ok("steepest") => Some(PricingRule::SteepestEdge),
         _ => None,
     };
+    let form = match std::env::var("CPM_FORM").as_deref() {
+        Ok("primal") => Some(LpForm::Primal),
+        Ok("dual") => Some(LpForm::Dual),
+        Ok("auto") => Some(LpForm::Auto),
+        _ => None,
+    };
+    let crash = !matches!(std::env::var("CPM_CRASH").as_deref(), Ok("0") | Ok("off"));
 
     let tasks: Vec<(usize, SolverBackend)> = sweep
         .iter()
@@ -79,21 +89,24 @@ fn main() {
         );
     }
     println!(
-        "n | backend | rows x cols | terms | solve | phase1+phase2 pivots | factors | updates | repairs | objective"
+        "n | backend | form | rows x cols | terms | solve | phase1+phase2 pivots | factors | updates | repairs | objective"
     );
     let rows = parallel_map(tasks, |(n, backend)| {
-        let problem = DesignProblem::unconstrained(n, alpha, Objective::l0());
+        let problem = DesignProblem::unconstrained(n, alpha, Objective::l0()).with_crash_seed(crash);
         let (lp, _) = problem.build_lp().unwrap();
-        let mut solve_options = SolveOptions {
-            backend,
-            max_iterations: 5_000_000,
-            ..SolveOptions::default()
-        };
+        // Start from the per-size tuning (`tuned` picks steepest edge and
+        // `LpForm::Auto`), then layer the env overrides through the builders.
+        let mut solve_options = SolveOptions::tuned((n + 1) * (n + 1))
+            .with_backend(backend)
+            .with_max_iterations(5_000_000);
         if let Some(interval) = refactor_interval {
-            solve_options.refactor_interval = interval;
+            solve_options = solve_options.with_refactor_interval(interval);
         }
         if let Some(rule) = pricing {
-            solve_options.pricing = rule;
+            solve_options = solve_options.with_pricing(rule);
+        }
+        if let Some(form) = form {
+            solve_options = solve_options.with_form(form);
         }
         let start = Instant::now();
         match problem.solve_with(&solve_options) {
@@ -101,7 +114,8 @@ fn main() {
                 let elapsed = start.elapsed();
                 let stats = solution.solver_stats;
                 format!(
-                    "{n:4} | {backend} | {}x{} | {} | {elapsed:10.2?} | {}+{} | {} | {} | {} | {:.9}",
+                    "{n:4} | {backend} | {} | {}x{} | {} | {elapsed:10.2?} | {}+{} | {} | {} | {} | {:.9}",
+                    stats.form,
                     lp.num_constraints(),
                     lp.num_variables(),
                     lp.num_terms(),

@@ -116,7 +116,7 @@ fn solver_stats_attribution() {
     ];
     println!();
     println!(
-        "solver attribution (n = {n}) | pivots p1+p2 | presolve rows/cols removed | bound flips | SE resets | devex resets"
+        "solver attribution (n = {n}) | form | pivots p1+p2 | presolve rows/cols removed | bound flips | SE resets | devex resets"
     );
     for (label, properties) in families {
         let designed = SpecKey::new(n, alpha, properties)
@@ -125,7 +125,8 @@ fn solver_stats_attribution() {
             .expect("attribution designs must solve");
         match designed.solver_stats() {
             Some(stats) => println!(
-                "{label:13} | {}+{} | {}/{} | {} | {} | {}",
+                "{label:13} | {} | {}+{} | {}/{} | {} | {} | {}",
+                stats.form,
                 stats.phase1_iterations,
                 stats.phase2_iterations,
                 stats.presolve_rows_removed,

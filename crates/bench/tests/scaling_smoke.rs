@@ -1,6 +1,8 @@
 //! Release-mode scaling smoke test: the n = 64 unconstrained-L0 design LP must
-//! solve well within a generous wall-clock bound, and n = 128 must at least
-//! build and solve without numerical breakdown.
+//! solve well within a generous wall-clock bound, n = 128 must stay inside
+//! the post-dual-form budget (the crash-seeded dual certification is ~0.5 s;
+//! a regression to the cold walk is tens of seconds), and n = 256 must solve
+//! through `LpForm::Auto`'s dual routing.
 //!
 //! These are `#[ignore]`d so the ordinary (debug) `cargo test` stays fast; CI
 //! runs them explicitly with
@@ -12,7 +14,7 @@
 use std::time::{Duration, Instant};
 
 use cpm_core::prelude::*;
-use cpm_simplex::SolverBackend;
+use cpm_simplex::{LpForm, SolverBackend};
 
 /// Generous ceiling for one n = 64 unconstrained-L0 solve in release mode.
 /// The eta-file baseline needed ~22 s; the LU backend is several times faster,
@@ -63,17 +65,18 @@ fn n128_unconstrained_l0_completes_without_breakdown() {
     );
 }
 
-/// Ceiling for the cold n = 128 solve under the PR-6 machinery (presolve +
-/// steepest edge + bound flips + Suhl–Suhl solves).  Measured: ~32 s and
-/// 257 + ~38k pivots on the dev box; the PR-5 baseline was ~91 s and
-/// 257 + ~45.5k pivots.  70 s / 45k pivots trips on a regression back to the
-/// baseline while tolerating slow CI hardware.
-const N128_BUDGET: Duration = Duration::from_secs(70);
-const N128_PIVOT_BUDGET: usize = 45_000;
+/// Ceiling for the default-path n = 128 solve under the PR-7 machinery: the
+/// closed-form geometric crash basis certifies through the dual form in zero
+/// pivots.  Measured: ~0.5 s and 0 + 0 pivots on the dev box (the PR-6 cold
+/// walk was ~32 s and 257 + ~38k pivots; PR 5, ~91 s).  15 s / 1k pivots
+/// trips whenever the crash seed stops being accepted — which silently falls
+/// back to the tens-of-seconds cold walk — while tolerating slow CI hardware.
+const N128_BUDGET: Duration = Duration::from_secs(15);
+const N128_PIVOT_BUDGET: usize = 1_000;
 
 #[test]
 #[ignore = "release-mode scaling smoke test; run explicitly (see CI workflow)"]
-fn n128_cold_solve_stays_under_the_pivot_and_time_budget() {
+fn n128_default_solve_stays_under_the_pivot_and_time_budget() {
     let alpha = Alpha::new(0.9).unwrap();
     let problem = DesignProblem::unconstrained(128, alpha, Objective::l0());
     let start = Instant::now();
@@ -83,13 +86,54 @@ fn n128_cold_solve_stays_under_the_pivot_and_time_budget() {
         solution.solver_stats.phase1_iterations + solution.solver_stats.phase2_iterations;
     assert!(
         elapsed < N128_BUDGET,
-        "n = 128 cold solve took {elapsed:?} (budget {N128_BUDGET:?})"
+        "n = 128 default-path solve took {elapsed:?} (budget {N128_BUDGET:?})"
     );
     assert!(
         pivots < N128_PIVOT_BUDGET,
-        "n = 128 cold solve took {pivots} pivots (budget {N128_PIVOT_BUDGET})"
+        "n = 128 default-path solve took {pivots} pivots (budget {N128_PIVOT_BUDGET})"
     );
     let n = 128.0f64;
+    let a = alpha.value();
+    let trace = (n - 1.0) * (1.0 - a) / (1.0 + a) + 2.0 / (1.0 + a);
+    let expected = 1.0 - trace / (n + 1.0);
+    assert!(
+        (solution.objective_value - expected).abs() < 1e-6,
+        "objective {} vs closed form {expected}",
+        solution.objective_value
+    );
+}
+
+/// Generous ceiling for the n = 256 unconstrained-L0 LP (131 841 rows ×
+/// 66 049 columns — a size the pre-dual solver never finished).  Measured:
+/// ~5.2 s, 0 + 0 pivots, 2 factorisations through `LpForm::Auto` → dual with
+/// the geometric crash seed.
+const N256_BUDGET: Duration = Duration::from_secs(60);
+const N256_PIVOT_BUDGET: usize = 1_000;
+
+#[test]
+#[ignore = "release-mode scaling smoke test; run explicitly (see CI workflow)"]
+fn n256_lp_solves_through_the_dual_form_within_budget() {
+    let alpha = Alpha::new(0.9).unwrap();
+    let problem = DesignProblem::unconstrained(256, alpha, Objective::l0());
+    let start = Instant::now();
+    let solution = problem.solve().expect("n = 256 BASICDP must solve");
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < N256_BUDGET,
+        "n = 256 solve took {elapsed:?} (budget {N256_BUDGET:?})"
+    );
+    let pivots =
+        solution.solver_stats.phase1_iterations + solution.solver_stats.phase2_iterations;
+    assert!(
+        pivots < N256_PIVOT_BUDGET,
+        "n = 256 solve took {pivots} pivots (budget {N256_PIVOT_BUDGET})"
+    );
+    assert_eq!(
+        solution.solver_stats.form,
+        LpForm::Dual,
+        "LpForm::Auto must route the tall n = 256 LP to the dual form"
+    );
+    let n = 256.0f64;
     let a = alpha.value();
     let trace = (n - 1.0) * (1.0 - a) / (1.0 + a) + 2.0 / (1.0 + a);
     let expected = 1.0 - trace / (n + 1.0);

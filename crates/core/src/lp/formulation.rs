@@ -57,6 +57,22 @@ pub struct DesignProblem {
     /// [`SolveOptions::warm_basis`] is already set.
     #[serde(default)]
     pub warm_basis: Option<Vec<usize>>,
+    /// Seed otherwise-cold solves from the closed-form **Geometric Mechanism
+    /// crash basis** (on by default).  Theorem 3 makes GM the exact optimum of
+    /// the unconstrained `L0` program, so the crash collapses that solve to a
+    /// single factorisation; on constrained problems the GM basis is still
+    /// dual-feasible whenever the objective is the one GM optimises, and the
+    /// dual-simplex cleanup drives out the property violations instead of a
+    /// full cold solve.  A crash seed that does not fit (other objectives,
+    /// presolve reductions, degenerate tightness) is rejected by the solver's
+    /// seed validation and the solve proceeds cold — the flag can change pivot
+    /// counts, never answers.  Disable for solver benchmarking ablations.
+    #[serde(default = "default_crash_seed")]
+    pub crash_seed: bool,
+}
+
+fn default_crash_seed() -> bool {
+    true
 }
 
 /// The result of solving a [`DesignProblem`].
@@ -86,6 +102,7 @@ impl DesignProblem {
             output_dp: None,
             backend: SolverBackend::default(),
             warm_basis: None,
+            crash_seed: true,
         }
     }
 
@@ -104,6 +121,7 @@ impl DesignProblem {
             output_dp: None,
             backend: SolverBackend::default(),
             warm_basis: None,
+            crash_seed: true,
         }
     }
 
@@ -128,6 +146,14 @@ impl DesignProblem {
     #[must_use]
     pub fn with_warm_basis(mut self, basis: Option<Vec<usize>>) -> Self {
         self.warm_basis = basis;
+        self
+    }
+
+    /// Enable or disable the closed-form crash seed for cold solves (see
+    /// [`DesignProblem::crash_seed`]).
+    #[must_use]
+    pub fn with_crash_seed(mut self, crash_seed: bool) -> Self {
+        self.crash_seed = crash_seed;
         self
     }
 
@@ -235,26 +261,22 @@ impl DesignProblem {
         Ok((lp, vars))
     }
 
-    /// Solver options tuned for this problem instance: the problem's
-    /// [`DesignProblem::backend`] choice plus a pivot budget that scales with
-    /// the `(n+1)²`-variable LP, so large group sizes (n = 128 and beyond)
-    /// never trip the generic iteration limit.  The sparse backend's LU
-    /// refactorisation cadence, Devex pricing, and basis-repair budget all
-    /// come from [`SolveOptions::default`].
+    /// Solver options tuned for this problem instance:
+    /// [`SolveOptions::tuned`] sized for the `(n+1)²`-variable LP (pivot
+    /// budget that never trips the generic iteration limit at n = 128 and
+    /// beyond, projected steepest-edge pricing, and `LpForm::Auto`) plus the
+    /// problem's [`DesignProblem::backend`] choice.
+    ///
+    /// `LpForm::Auto` routes the mechanism LPs through the **dual form** once
+    /// they are large enough to care (≥ 512 rows, i.e. n ≥ 16 with weak
+    /// honesty, and ≥ 1.5x more rows than columns, which every mechanism LP
+    /// satisfies at ~2x): the dual basis is half the size and the
+    /// nonnegative mechanism costs make phase 1 vanish.  Small or square
+    /// programs keep the primal path; [`cpm_simplex::SolveStats::form`]
+    /// reports which form actually ran.
     pub fn recommended_options(&self) -> SolveOptions {
         let dim = self.n + 1;
-        SolveOptions {
-            backend: self.backend,
-            // ~60 pivots per LP variable comfortably covers the observed
-            // worst case (degenerate constrained designs pivot ≈ 3x columns).
-            max_iterations: 500_000usize.max(60 * dim * dim),
-            // Projected steepest edge beats Devex on every measured group
-            // size (n = 64: ~2x fewer phase-2 pivots; n = 128: ~15% fewer and
-            // much better per-pivot locality); Devex remains selectable for
-            // comparisons via explicit options.
-            pricing: cpm_simplex::PricingRule::SteepestEdge,
-            ..SolveOptions::default()
-        }
+        SolveOptions::tuned(dim * dim).with_backend(self.backend)
     }
 
     /// Solve the design problem with recommended solver options (honouring the
@@ -269,9 +291,18 @@ impl DesignProblem {
     /// already carry one.
     pub fn solve_with(&self, options: &SolveOptions) -> Result<DesignSolution, CoreError> {
         let (lp, vars) = self.build_lp()?;
-        let solution = if options.warm_basis.is_none() && self.warm_basis.is_some() {
+        let seed = if options.warm_basis.is_some() {
+            None
+        } else if self.warm_basis.is_some() {
+            self.warm_basis.clone()
+        } else if self.crash_seed {
+            self.geometric_crash_basis(&lp, &vars)
+        } else {
+            None
+        };
+        let solution = if let Some(seed) = seed {
             let mut seeded = options.clone();
-            seeded.warm_basis = self.warm_basis.clone();
+            seeded.warm_basis = Some(seed);
             lp.solve_with(&seeded)?
         } else {
             lp.solve_with(options)?
@@ -306,6 +337,42 @@ impl DesignProblem {
             solver_stats: solution.stats,
             optimal_basis: solution.optimal_basis,
         })
+    }
+
+    /// The closed-form crash seed for this problem: the active set implied by
+    /// the Geometric Mechanism at this `(n, α)`, expressed as a standard-form
+    /// basis via [`cpm_simplex::crash_basis`] (see
+    /// [`DesignProblem::crash_seed`] for when it helps and how it can fail
+    /// safely).
+    fn geometric_crash_basis(
+        &self,
+        lp: &LinearProgram,
+        vars: &[Vec<VariableId>],
+    ) -> Option<Vec<usize>> {
+        let gm = crate::mechanisms::GeometricMechanism::new(self.n, self.alpha).ok()?;
+        let gm = gm.matrix();
+        let dim = self.n + 1;
+        let mut values = vec![0.0; lp.num_variables()];
+        for i in 0..dim {
+            for j in 0..dim {
+                values[vars[i][j].index()] = gm.prob(i, j);
+            }
+        }
+        // The epigraph variable of a `Max` aggregator sits at the largest
+        // per-column loss of the conjectured mechanism.
+        if let Aggregator::Max = self.objective.aggregator {
+            let t = (0..dim)
+                .map(|j| {
+                    (0..dim)
+                        .map(|i| self.objective.loss.penalty(i, j) * gm.prob(i, j))
+                        .sum::<f64>()
+                })
+                .fold(0.0f64, f64::max);
+            if let Some(value) = values.get_mut(dim * dim) {
+                *value = t;
+            }
+        }
+        cpm_simplex::crash_basis(lp, &values)
     }
 }
 
@@ -481,6 +548,20 @@ mod tests {
         Alpha::new(v).unwrap()
     }
 
+    /// A pre-PR-7 serialized `DesignProblem` carries no `crash_seed` field;
+    /// it must deserialize with the seed on (the production default), not
+    /// `bool::default()`.
+    #[test]
+    fn missing_crash_seed_field_defaults_to_on() {
+        let problem = DesignProblem::unconstrained(4, a(0.62), Objective::l0());
+        let mut json = serde_json::to_string(&problem).unwrap();
+        assert!(json.contains("\"crash_seed\":true"));
+        json = json.replace(",\"crash_seed\":true", "");
+        let back: DesignProblem = serde_json::from_str(&json).unwrap();
+        assert!(back.crash_seed);
+        assert_eq!(back, problem);
+    }
+
     #[test]
     fn lp_sizes_are_as_expected() {
         let problem = DesignProblem::unconstrained(4, a(0.62), Objective::l0());
@@ -611,6 +692,7 @@ mod tests {
             output_dp: None,
             backend: SolverBackend::default(),
             warm_basis: None,
+            crash_seed: true,
         };
         let solution = problem.solve().expect("solve ok");
         // The minimax L0 loss of any DP mechanism is at least the uniform-column

@@ -75,8 +75,8 @@ fn describe(design: &DesignedMechanism) -> String {
     let key = design.key();
     let how = match design.solver_stats() {
         Some(stats) => format!(
-            "lp {}+{} pivots",
-            stats.phase1_iterations, stats.phase2_iterations
+            "lp[{}] {}+{} pivots",
+            stats.form, stats.phase1_iterations, stats.phase2_iterations
         ),
         None => match design.choice() {
             Some(choice) => format!("closed-form {choice:?}"),

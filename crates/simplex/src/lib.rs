@@ -35,7 +35,25 @@
 //!   objective)` family is re-solved under small coefficient perturbations.
 //!   Any defective seed (wrong shape, singular, dual-infeasible) falls back
 //!   to the cold primal path silently; [`SolveStats::warm_started`] and
-//!   [`SolveStats::dual_iterations`] report which path ran.
+//!   [`SolveStats::dual_iterations`] report which path ran,
+//! * a **dual-form solve path** ([`SolveOptions::form`], [`LpForm`]): tall
+//!   programs (the mechanism LPs have ~2x more rows than columns) are
+//!   transposed by `dual.rs` and solved as `min −b'y, A'y ≤ c` — one row per
+//!   primal *structural* column, so the basis is half the size, and because
+//!   the mechanism costs satisfy `c ≥ 0` the all-slack start is feasible and
+//!   **phase 1 vanishes**.  The dual-optimal basis maps back to a
+//!   primal-optimal basis by complementary slackness and is certified with
+//!   the ordinary warm-start machinery, so callers still receive primal
+//!   values, duals, objective, and a warm-start-valid
+//!   [`Solution::optimal_basis`].  [`SolveStats::form`] reports which form
+//!   ran,
+//! * a **crash-basis constructor** ([`crash_basis`]): turns a conjectured
+//!   optimal point (e.g. a closed-form mechanism the caller believes is the
+//!   LP's optimum) into a standard-form basis by classifying tight rows and
+//!   interior columns, usable as a warm seed.  The seed is a *hint, never an
+//!   answer*: it flows through the same warm-start verification as any other
+//!   seed, so a wrong conjecture costs one declined factorisation and falls
+//!   back to the cold path — it can never produce a wrong optimum.
 //!
 //! ## Architecture: the presolve → standardise → solve → postsolve pipeline
 //!
@@ -53,7 +71,19 @@
 //!       ▼
 //! StandardForm           standard.rs   min c'z, Az = b, z ≥ 0 (boxed columns keep
 //!       │                sparse.rs     finite uppers), b ≥ 0; CSC matrix
-//!       ▼                              (SparseMatrix + RowMajor mirror + SPA utils)
+//!       │                              (SparseMatrix + RowMajor mirror + SPA utils)
+//!       │ LpForm::Dual (tall programs, row-encoded, Auto-picked by aspect ratio)
+//!       ├──────────────▶ dual.rs       dualize: rows ↔ columns, slack columns fold
+//!       │                              into y sign bounds, c ≥ 0 ⇒ all-slack start
+//!       │                              (no phase 1); solve the transpose with the
+//!       │                              same revised machinery below, then map the
+//!       │                              dual basis back by complementary slackness
+//!       │                              (basic structural column ⇔ tight dual row,
+//!       │                              basic y_r ⇔ nonbasic primal slack) and
+//!       │                              certify it through the warm-start path —
+//!       │                              the recovered basis is primal-optimal and
+//!       │                              warm-start-valid (a re-solve takes 0 pivots)
+//!       ▼
 //! revised simplex        revised.rs    two-phase driver, Harris two-pass +
 //!       │                              long-step/bound-flipping ratio tests,
 //!       │                              Devex / steepest-edge / Dantzig / Bland
@@ -136,6 +166,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod dual;
 mod error;
 mod lu;
 mod model;
@@ -150,5 +181,6 @@ mod tableau;
 pub use error::SimplexError;
 pub use model::{Constraint, LinearProgram, Objective, Relation, VariableId};
 pub use solution::{Solution, SolveStatus};
-pub use solver::{PivotRule, PricingRule, SolveOptions, SolveStats, SolverBackend};
+pub use solver::{LpForm, PivotRule, PricingRule, SolveOptions, SolveStats, SolverBackend};
 pub use sparse::SparseMatrix;
+pub use standard::crash_basis;

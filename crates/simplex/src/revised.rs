@@ -1404,7 +1404,11 @@ fn exact_reduced_costs(basis: &RevisedState<'_>, costs: &[f64], y: &mut [f64], d
 /// feasibility, and certify with a primal cleanup.  `None` means "fall back to
 /// the cold path" — a malformed/singular/dual-infeasible seed, a stalled dual
 /// phase, or anything numerically suspicious.
-fn warm_solve(sf: &StandardForm, options: &SolveOptions, seed: &[usize]) -> Option<SolvedPoint> {
+pub(crate) fn warm_solve(
+    sf: &StandardForm,
+    options: &SolveOptions,
+    seed: &[usize],
+) -> Option<SolvedPoint> {
     let num_rows = sf.num_rows();
     let num_core = sf.num_columns();
 

@@ -110,6 +110,49 @@ impl std::fmt::Display for SolverBackend {
     }
 }
 
+/// Which form of the linear program the sparse backend pivots on.
+///
+/// The mechanism-design LPs have ~2x more constraint rows than columns, so
+/// their **dual** has a basis half the size — and because every cost is
+/// non-negative, `y = 0` is dual-feasible, which makes Phase 1 vanish in dual
+/// form.  [`crate::dual`] builds the dual, solves it with the ordinary
+/// machinery, and maps the dual-optimal basis back to a primal-optimal one by
+/// complementary slackness, so [`Solution::optimal_basis`](crate::Solution)
+/// stays expressed in the *primal* standard form either way: warm starts,
+/// serialized bases, and α-family seeding are form-agnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum LpForm {
+    /// Decide per problem: solve tall programs (rows ≥ 1.5 · cols and at
+    /// least [`LpForm::AUTO_MIN_ROWS`] rows, no two-sided variable bounds)
+    /// in dual form, everything else in primal form.  The default.
+    #[default]
+    Auto,
+    /// Always pivot on the primal (the pre-dual behaviour).
+    Primal,
+    /// Pivot on the dual whenever the program is eligible (sparse backend,
+    /// at least one row and one structural column).  An ineligible or
+    /// numerically unlucky dual attempt silently falls back to the primal
+    /// path — [`SolveStats::form`] reports which form actually ran.
+    Dual,
+}
+
+impl LpForm {
+    /// Minimum row count before [`LpForm::Auto`] considers the dual form:
+    /// below this the whole solve is milliseconds and the extra
+    /// dualize/certify factorisations are pure overhead.
+    pub const AUTO_MIN_ROWS: usize = 512;
+}
+
+impl std::fmt::Display for LpForm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LpForm::Auto => write!(f, "auto"),
+            LpForm::Primal => write!(f, "primal"),
+            LpForm::Dual => write!(f, "dual"),
+        }
+    }
+}
+
 /// Options controlling a solve.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SolveOptions {
@@ -160,6 +203,13 @@ pub struct SolveOptions {
     /// [`SolveStats::presolve_cols_removed`] report what it accomplished.
     #[serde(default = "default_presolve")]
     pub presolve: bool,
+    /// Sparse backend only: which form of the LP to pivot on (see [`LpForm`]).
+    /// [`LpForm::Auto`] (the default) solves tall programs in dual form; a
+    /// warm seed composes with either choice — in dual form the stored
+    /// primal-optimal basis is mapped to a dual-feasible seed by
+    /// complementary slackness, so α-sweeps chain warm in dual form too.
+    #[serde(default)]
+    pub form: LpForm,
 }
 
 // Referenced by the string path in the `#[serde(default = "...")]` attribute
@@ -182,7 +232,110 @@ impl Default for SolveOptions {
             max_repairs: 2,
             warm_basis: None,
             presolve: true,
+            form: LpForm::default(),
         }
+    }
+}
+
+impl SolveOptions {
+    /// Options tuned for a problem with `num_variables` LP variables: the
+    /// pivot budget scales with the variable count (~60 pivots per variable
+    /// comfortably covers the observed worst case — degenerate constrained
+    /// designs pivot ≈ 3x columns), pricing is projected steepest edge (the
+    /// winner at every measured mechanism-LP size), and [`LpForm::Auto`]
+    /// picks the cheaper of the primal and dual forms.  Chain the `with_*`
+    /// builders below to override a single knob without re-deriving the rest:
+    ///
+    /// ```
+    /// use cpm_simplex::{PricingRule, SolveOptions};
+    /// let options = SolveOptions::tuned(4_096).with_pricing(PricingRule::Devex);
+    /// assert_eq!(options.pricing, PricingRule::Devex);
+    /// assert!(options.max_iterations >= 60 * 4_096);
+    /// ```
+    pub fn tuned(num_variables: usize) -> Self {
+        SolveOptions {
+            max_iterations: 500_000usize.max(60 * num_variables),
+            pricing: PricingRule::SteepestEdge,
+            form: LpForm::Auto,
+            ..SolveOptions::default()
+        }
+    }
+
+    /// Builder: replace [`SolveOptions::max_iterations`].
+    #[must_use]
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Builder: replace [`SolveOptions::tolerance`].
+    #[must_use]
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Builder: replace [`SolveOptions::pivot_rule`].
+    #[must_use]
+    pub fn with_pivot_rule(mut self, pivot_rule: PivotRule) -> Self {
+        self.pivot_rule = pivot_rule;
+        self
+    }
+
+    /// Builder: replace [`SolveOptions::backend`].
+    #[must_use]
+    pub fn with_backend(mut self, backend: SolverBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Builder: replace [`SolveOptions::refactor_interval`].
+    #[must_use]
+    pub fn with_refactor_interval(mut self, refactor_interval: usize) -> Self {
+        self.refactor_interval = refactor_interval;
+        self
+    }
+
+    /// Builder: replace [`SolveOptions::pricing`].
+    #[must_use]
+    pub fn with_pricing(mut self, pricing: PricingRule) -> Self {
+        self.pricing = pricing;
+        self
+    }
+
+    /// Builder: replace [`SolveOptions::partial_pricing`].
+    #[must_use]
+    pub fn with_partial_pricing(mut self, partial_pricing: usize) -> Self {
+        self.partial_pricing = partial_pricing;
+        self
+    }
+
+    /// Builder: replace [`SolveOptions::max_repairs`].
+    #[must_use]
+    pub fn with_max_repairs(mut self, max_repairs: usize) -> Self {
+        self.max_repairs = max_repairs;
+        self
+    }
+
+    /// Builder: replace [`SolveOptions::warm_basis`].
+    #[must_use]
+    pub fn with_warm_basis(mut self, warm_basis: Option<Vec<usize>>) -> Self {
+        self.warm_basis = warm_basis;
+        self
+    }
+
+    /// Builder: replace [`SolveOptions::presolve`].
+    #[must_use]
+    pub fn with_presolve(mut self, presolve: bool) -> Self {
+        self.presolve = presolve;
+        self
+    }
+
+    /// Builder: replace [`SolveOptions::form`].
+    #[must_use]
+    pub fn with_form(mut self, form: LpForm) -> Self {
+        self.form = form;
+        self
     }
 }
 
@@ -242,8 +395,23 @@ pub struct SolveStats {
     /// plus a dual-simplex cleanup) rather than the two-phase primal method.
     #[serde(default)]
     pub warm_started: bool,
+    /// Which form of the LP the pivots ran on.  [`LpForm::Dual`] means the
+    /// dualized program was solved and its optimal basis mapped back to the
+    /// primal by complementary slackness; `phase1_iterations` /
+    /// `phase2_iterations` then count the dual-form pivots plus the primal
+    /// certification cleanup.  Always `Primal` or `Dual` in a reported stat —
+    /// never `Auto` (that is an *options* value, resolved before the solve).
+    #[serde(default = "default_stats_form")]
+    pub form: LpForm,
     /// Which backend produced this solve.
     pub backend: SolverBackend,
+}
+
+// Pre-dual snapshots carry no `form` field; every solve they describe ran on
+// the primal.  (Referenced by the serde attribute string above.)
+#[allow(dead_code)]
+fn default_stats_form() -> LpForm {
+    LpForm::Primal
 }
 
 /// Outcome of running simplex iterations to optimality on one phase.
@@ -269,6 +437,8 @@ impl PivotState {
             iterations_left: options.max_iterations,
             stats: SolveStats {
                 backend: options.backend,
+                // The dual path overrides this after merging its own counters.
+                form: LpForm::Primal,
                 ..SolveStats::default()
             },
             using_bland: matches!(options.pivot_rule, PivotRule::Bland),
@@ -344,6 +514,7 @@ pub(crate) fn solve_prepared(
             values: map.expand_values(&[]),
             stats: SolveStats {
                 backend: options.backend,
+                form: LpForm::Primal,
                 presolve_rows_removed: map.rows_removed,
                 presolve_cols_removed: map.cols_removed,
                 ..SolveStats::default()
@@ -354,10 +525,15 @@ pub(crate) fn solve_prepared(
 
     // The sparse backend understands boxed columns natively (bound-flipping
     // ratio test), so two-sided bounds stay as boxes instead of extra rows;
-    // the dense tableau still wants the row encoding.
-    let sf = match options.backend {
-        SolverBackend::SparseRevised => crate::standard::standardize_boxed(lp),
-        SolverBackend::DenseTableau => standardize(lp),
+    // the dense tableau still wants the row encoding.  The dual-form path
+    // wants the row encoding too (its dualize transform folds slack columns
+    // into sign bounds on `y`, which requires every primal column unboxed),
+    // so the standard form is chosen together with the resolved LP form.
+    let form = resolve_form(options, lp);
+    let sf = match (options.backend, form) {
+        (SolverBackend::SparseRevised, LpForm::Dual) => standardize(lp),
+        (SolverBackend::SparseRevised, _) => crate::standard::standardize_boxed(lp),
+        (SolverBackend::DenseTableau, _) => standardize(lp),
     };
 
     let mut solution = if sf.num_rows() == 0 {
@@ -367,7 +543,16 @@ pub(crate) fn solve_prepared(
         solve_unconstrained(&sf, options)?
     } else {
         let point = match options.backend {
-            SolverBackend::SparseRevised => revised::solve(&sf, options)?,
+            SolverBackend::SparseRevised => match form {
+                LpForm::Dual => match crate::dual::solve_via_dual(&sf, options)? {
+                    Some(point) => point,
+                    // Ineligible or numerically unlucky dual attempt: the
+                    // primal path is always correct.  The row-encoded form is
+                    // a valid input for it (a superset of the boxed one).
+                    None => revised::solve(&sf, options)?,
+                },
+                _ => revised::solve(&sf, options)?,
+            },
             SolverBackend::DenseTableau => solve_dense(&sf, options)?,
         };
 
@@ -392,6 +577,35 @@ pub(crate) fn solve_prepared(
         solution.stats.presolve_cols_removed = map.cols_removed;
     }
     Ok(solution)
+}
+
+/// Resolve [`SolveOptions::form`] to the form the solve will actually run on:
+/// `Auto` becomes `Dual` exactly when the (presolved) program is tall enough
+/// for the half-size dual basis to pay for the dualize and certification
+/// factorisations — at least [`LpForm::AUTO_MIN_ROWS`] rows and rows ≥
+/// 1.5 · cols — and no variable carries two-sided bounds (boxed columns keep
+/// the primal and dual standard forms, and therefore their warm-basis spaces,
+/// from coinciding).  The dense tableau always pivots on the primal.
+fn resolve_form(options: &SolveOptions, lp: &LinearProgram) -> LpForm {
+    if options.backend != SolverBackend::SparseRevised {
+        return LpForm::Primal;
+    }
+    match options.form {
+        LpForm::Primal => LpForm::Primal,
+        LpForm::Dual => LpForm::Dual,
+        LpForm::Auto => {
+            let rows = lp.num_constraints();
+            let cols = lp.num_variables();
+            let boxed = lp.variables.iter().any(|v| {
+                v.lower.is_finite() && v.upper.is_finite() && v.upper > v.lower
+            });
+            if rows >= LpForm::AUTO_MIN_ROWS && 2 * rows >= 3 * cols && !boxed {
+                LpForm::Dual
+            } else {
+                LpForm::Primal
+            }
+        }
+    }
 }
 
 /// Handle the degenerate "no constraints" case directly.
@@ -427,6 +641,7 @@ fn solve_unconstrained(
         values,
         stats: SolveStats {
             backend: options.backend,
+            form: LpForm::Primal,
             ..SolveStats::default()
         },
         optimal_basis: None,
@@ -646,6 +861,34 @@ mod tests {
             backend,
             ..SolveOptions::default()
         }
+    }
+
+    /// Pre-PR-6 serialized options carry no `presolve` field and pre-dual
+    /// stats carry no `form`; both must fill from their documented defaults
+    /// (`true` / `Primal`), not `Default::default()` — this pins the vendored
+    /// derive's `#[serde(default = "path")]` support.
+    #[test]
+    fn serde_defaults_for_missing_presolve_and_form_fields() {
+        let mut options_json = serde_json::to_string(&SolveOptions::default()).unwrap();
+        assert!(options_json.contains("\"presolve\":true"));
+        options_json = options_json.replace("\"presolve\":true,", "");
+        let options: SolveOptions = serde_json::from_str(&options_json).unwrap();
+        assert!(options.presolve, "missing `presolve` defaults to on");
+
+        let mut stats_json = serde_json::to_string(&SolveStats {
+            form: LpForm::Dual,
+            ..SolveStats::default()
+        })
+        .unwrap();
+        assert!(stats_json.contains("\"form\":"));
+        stats_json = stats_json.replace(",\"form\":\"Dual\"", "");
+        assert!(!stats_json.contains("form"), "field removed from the fixture");
+        let stats: SolveStats = serde_json::from_str(&stats_json).unwrap();
+        assert_eq!(
+            stats.form,
+            LpForm::Primal,
+            "a pre-dual snapshot's solve ran on the primal"
+        );
     }
 
     #[test]

@@ -51,6 +51,10 @@ pub(crate) struct StandardForm {
     /// them nonbasic at either bound and flips them through the box instead of
     /// pivoting where the ratio test allows.
     pub upper: Vec<f64>,
+    /// Number of structural columns; columns `num_structural..num_columns()`
+    /// are the slack/surplus singletons appended per inequality row (the
+    /// dualize transform folds them into sign bounds on the dual variables).
+    pub num_structural: usize,
     /// Per-row column index usable as the initial basic variable, if any.
     pub basis_hint: Vec<Option<usize>>,
     /// Mapping from user variables to standard-form columns.
@@ -278,11 +282,148 @@ fn standardize_with(lp: &LinearProgram, boxed: bool) -> StandardForm {
         rhs: rhs_vec,
         costs,
         upper,
+        num_structural: num_structural_columns,
         basis_hint,
         mapping,
         objective_constant,
         maximize,
     }
+}
+
+/// Activity tolerance for [`crash_basis`] row classification: a row whose
+/// activity is within this distance of its right-hand side — **relative to
+/// the magnitude of the row's own terms** — is treated as *tight* at the
+/// conjectured point.  The relative scale matters: mechanism LPs have rows
+/// whose terms decay geometrically (down to ~1e-13 at n = 256), and an
+/// absolute tolerance would classify every far-tail row as tight and wreck
+/// the crash.  Against the per-row scale, float cancellation noise sits at
+/// ~1e-16 while a genuinely loose geometric-tail row sits at ~1e-1, so 1e-7
+/// separates them with room on both sides.
+
+/// Build a **crash basis** for `lp` from a conjectured (near-)optimal point.
+///
+/// `values` gives one value per model variable.  The returned vector is a
+/// standard-form basis — one column per constraint row, in the basis space of
+/// [`SolveOptions::warm_basis`](crate::SolveOptions::warm_basis) — encoding
+/// the active set the point implies: variables strictly between their bounds
+/// become basic, rows with visible slack keep their slack column basic, and
+/// the leftover rows (the tight ones) host the basic structural columns.
+/// When the point has more interior variables than tight rows, the smallest
+/// ones are demoted to nonbasic (they are the near-degenerate tail); when it
+/// has fewer, the unclaimed rows fall back to their own slack column — or an
+/// artificial marker for equality rows — exactly as a cold solve treats
+/// redundant rows.
+///
+/// The seed is a *hint*, never an answer: the warm-start machinery factors
+/// it, rejects it if singular or dual-infeasible, repairs residual primal
+/// infeasibility with the dual-simplex cleanup, and certifies optimality with
+/// the ordinary primal machinery.  A conjecture that is exactly the optimal
+/// vertex (e.g. the closed-form Geometric Mechanism on the unconstrained
+/// BASICDP program) reduces the whole solve to one factorisation; a merely
+/// *feasible* conjecture with the same cost structure still skips Phase 1 and
+/// most of Phase 2.
+///
+/// Returns `None` when `values` has the wrong length.  The basis is expressed
+/// against the standard form of `lp` itself — callers that solve with
+/// presolve enabled rely on the reduction being a no-op for the seed to fit
+/// (a mismatched seed is silently discarded by the solver, never misused).
+pub fn crash_basis(lp: &LinearProgram, values: &[f64]) -> Option<Vec<usize>> {
+    if values.len() != lp.num_variables() {
+        return None;
+    }
+    let sf = standardize_boxed(lp);
+    let m = sf.num_rows();
+    let num_core = sf.num_columns();
+
+    // Interior structural columns, remembered with their distance from the
+    // nearest bound so the near-degenerate tail can be demoted first.  A
+    // strictly positive distance counts — closed-form conjectures produce
+    // exact zeros at the bounds they sit on, and geometrically decaying
+    // interiors (~1e-13 at n = 256) are interior all the same.
+    let mut interior: Vec<(f64, usize)> = Vec::new();
+    for (var, mapping) in sf.mapping.iter().enumerate() {
+        let value = values[var];
+        match *mapping {
+            VariableMapping::Shifted { col, offset } => {
+                let dist_lower = value - offset;
+                let dist_upper = sf.upper[col] - dist_lower;
+                if dist_lower > 0.0 && dist_upper > 0.0 {
+                    interior.push((dist_lower.min(dist_upper), col));
+                }
+            }
+            VariableMapping::Negated { col, offset } => {
+                let dist = offset - value;
+                if dist > 0.0 {
+                    interior.push((dist, col));
+                }
+            }
+            VariableMapping::Split { pos, neg } => {
+                if value > 0.0 {
+                    interior.push((value, pos));
+                } else if value < 0.0 {
+                    interior.push((-value, neg));
+                }
+            }
+            VariableMapping::Fixed(_) => {}
+        }
+    }
+
+    // Row activities at the conjectured point, from the model itself (the
+    // standard form may have flipped row signs; the model view has not).
+    let mut slots: Vec<Option<usize>> = vec![None; m];
+    let mut slack_cursor = sf.num_structural;
+    for (row, constraint) in lp.constraints().enumerate() {
+        let mut activity = 0.0;
+        let mut scale = constraint.rhs.abs();
+        for &(var, coeff) in constraint.terms {
+            let term = coeff * values[var.index()];
+            activity += term;
+            scale = scale.max(term.abs());
+        }
+        let slack_col = match constraint.relation {
+            Relation::Equal => continue,
+            _ => {
+                let col = slack_cursor;
+                slack_cursor += 1;
+                col
+            }
+        };
+        if (activity - constraint.rhs).abs() > 1e-7 * scale {
+            slots[row] = Some(slack_col);
+        }
+    }
+    debug_assert_eq!(slack_cursor, num_core);
+
+    // Hand the empty slots (tight + equality rows) to the largest interior
+    // columns; demote any excess, and pad any shortfall with the row's own
+    // slack — or an artificial marker on equality rows, which the solver's
+    // seeded path re-keys to that slot.
+    let open = slots.iter().filter(|slot| slot.is_none()).count();
+    if interior.len() > open {
+        interior.sort_by(|a, b| b.0.total_cmp(&a.0));
+        interior.truncate(open);
+    }
+    let mut spares = interior.iter().map(|&(_, col)| col);
+    let mut basis = Vec::with_capacity(m);
+    for (row, slot) in slots.into_iter().enumerate() {
+        basis.push(match slot {
+            Some(col) => col,
+            None => match spares.next() {
+                Some(col) => col,
+                None => match lp.constraint(row).relation {
+                    Relation::Equal => num_core + row,
+                    // Tight row left over: keep its slack basic at zero, the
+                    // same degenerate state a cold solve would report.
+                    _ => sf.num_structural
+                        + lp.constraints()
+                            .take(row)
+                            .filter(|c| c.relation != Relation::Equal)
+                            .count(),
+                },
+            },
+        });
+    }
+    Some(basis)
 }
 
 #[cfg(test)]

@@ -4,8 +4,9 @@
 //! this crate parses the derive input token stream by hand.  It supports exactly the
 //! shapes this workspace uses:
 //!
-//! * structs with named fields (with optional `#[serde(default)]` per field and
-//!   `#[serde(transparent)]` on the container),
+//! * structs with named fields (with optional `#[serde(default)]` or
+//!   `#[serde(default = "path::to::fn")]` per field and `#[serde(transparent)]`
+//!   on the container),
 //! * tuple structs (single-field newtypes serialise transparently, like real serde),
 //! * enums with unit, tuple, and struct variants (externally tagged, like real
 //!   serde's default representation).
@@ -34,7 +35,17 @@ enum Kind {
 
 struct Field {
     name: String,
-    default: bool,
+    default: Option<FieldDefault>,
+}
+
+/// How a missing field is filled during deserialisation.
+enum FieldDefault {
+    /// `#[serde(default)]` — `Default::default()`.
+    Std,
+    /// `#[serde(default = "path")]` — call the named function.  The generated
+    /// impl lives in the same module as the struct, so a bare function name
+    /// resolves exactly as it does for real serde.
+    Path(String),
 }
 
 struct Variant {
@@ -56,7 +67,7 @@ enum VariantFields {
 #[derive(Default)]
 struct SerdeMarks {
     transparent: bool,
-    default: bool,
+    default: Option<FieldDefault>,
 }
 
 /// Consume leading `#[...]` attributes starting at `i`, recording serde markers.
@@ -82,8 +93,22 @@ fn skip_attributes(tokens: &[TokenTree], mut i: usize, marks: &mut SerdeMarks) -
                     if text.contains("transparent") {
                         marks.transparent = true;
                     }
-                    if text.split(',').any(|part| part.trim() == "default") {
-                        marks.default = true;
+                    for part in text.split(',') {
+                        let part = part.trim();
+                        if part == "default" {
+                            marks.default = Some(FieldDefault::Std);
+                        } else if let Some(rest) = part.strip_prefix("default") {
+                            // `default = "path::to::fn"` — the token-stream
+                            // string keeps the quotes; strip `=` and them.
+                            let rest = rest.trim_start();
+                            if let Some(rest) = rest.strip_prefix('=') {
+                                let path = rest.trim().trim_matches('"').trim();
+                                if !path.is_empty() {
+                                    marks.default =
+                                        Some(FieldDefault::Path(path.to_string()));
+                                }
+                            }
+                        }
                     }
                 }
             }
@@ -350,12 +375,12 @@ fn named_field_initialisers(fields: &[Field], owner: &str) -> String {
         .iter()
         .map(|f| {
             let fname = &f.name;
-            let missing = if f.default {
-                "::std::default::Default::default()".to_string()
-            } else {
-                format!(
+            let missing = match &f.default {
+                Some(FieldDefault::Std) => "::std::default::Default::default()".to_string(),
+                Some(FieldDefault::Path(path)) => format!("{path}()"),
+                None => format!(
                     "return ::std::result::Result::Err(serde::Error::missing_field(\"{owner}\", \"{fname}\"))"
-                )
+                ),
             };
             format!(
                 "{fname}: match serde::object_get(fields, \"{fname}\") {{ ::std::option::Option::Some(v) => serde::Deserialize::from_value(v)?, ::std::option::Option::None => {missing} }},"
