@@ -52,7 +52,11 @@ fn bench_presolve(c: &mut Criterion) {
                 ..problem.recommended_options()
             };
             group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
-                b.iter(|| problem.solve_with(&options).expect("constrained cold solve"))
+                b.iter(|| {
+                    problem
+                        .solve_with(&options)
+                        .expect("constrained cold solve")
+                })
             });
         }
     }

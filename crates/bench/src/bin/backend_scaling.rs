@@ -92,7 +92,8 @@ fn main() {
         "n | backend | form | rows x cols | terms | solve | phase1+phase2 pivots | factors | updates | repairs | objective"
     );
     let rows = parallel_map(tasks, |(n, backend)| {
-        let problem = DesignProblem::unconstrained(n, alpha, Objective::l0()).with_crash_seed(crash);
+        let problem =
+            DesignProblem::unconstrained(n, alpha, Objective::l0()).with_crash_seed(crash);
         let (lp, _) = problem.build_lp().unwrap();
         // Start from the per-size tuning (`tuned` picks steepest edge and
         // `LpForm::Auto`), then layer the env overrides through the builders.

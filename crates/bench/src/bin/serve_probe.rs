@@ -11,7 +11,14 @@
 //! * `storm` — the cache is cleared first, so the batch pays its own design
 //!   cost, LP keys included (cold-start amortisation + single flight).
 //!
-//! After the grid, an **α-sweep storm** compares a cold start over one
+//! After the grid, a **thread-scaling curve** re-runs the hot scenario per
+//! thread count and reads the engine's own `cpm_engine_chunk_nanos` /
+//! `cpm_engine_batch_nanos` telemetry (histogram deltas per cell) — per-chunk
+//! p50/p99 shows whether extra threads shrink the work each one does or just
+//! add scheduling noise.  On a single-CPU host the sweep degenerates to one
+//! row (and says so) rather than failing.
+//!
+//! After that, an **α-sweep storm** compares a cold start over one
 //! `(n, properties, objective)` family — the worst-case serving pattern —
 //! with the cache's family warm seeding on vs off: total LP design time and
 //! the `warm_seeded` counter show how much of the storm the dual-simplex
@@ -86,6 +93,7 @@ fn main() {
         "batch | threads | scenario | unique keys | design | sample | draws/sec | hits/misses"
     );
     run_grid(&batches, &threads, &keys);
+    thread_scaling(&threads, keys[0]);
     alpha_sweep_storm();
     solver_stats_attribution();
 }
@@ -103,10 +111,7 @@ fn solver_stats_attribution() {
         .unwrap_or(32);
     let families = [
         ("unconstrained", PropertySet::empty()),
-        (
-            "WH",
-            PropertySet::empty().with(Property::WeakHonesty),
-        ),
+        ("WH", PropertySet::empty().with(Property::WeakHonesty)),
         (
             "WH+CM",
             PropertySet::empty()
@@ -183,6 +188,62 @@ fn run_grid(batches: &[usize], threads: &[usize], keys: &[SpecKey]) {
                 }
             }
         }
+    }
+}
+
+/// Thread-scaling curve on the hot scenario, read from the engine's own
+/// telemetry: per-cell deltas of the `cpm_engine_chunk_nanos` and
+/// `cpm_engine_batch_nanos` histograms.  Chunks are the unit the engine shards
+/// across the pool, so chunk p50/p99 is the per-thread view of the batch —
+/// ideal scaling halves chunk latency per doubling while draws/sec doubles.
+fn thread_scaling(threads: &[usize], hot_key: SpecKey) {
+    let batch_size: usize = std::env::var("CPM_SERVE_SCALING_BATCH")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200_000);
+    let chunk_hist = cpm_obs::registry().histogram("cpm_engine_chunk_nanos");
+    let batch_hist = cpm_obs::registry().histogram("cpm_engine_batch_nanos");
+
+    println!();
+    println!(
+        "thread scaling (hot key, batch = {batch_size}) | chunks | chunk p50 | chunk p99 | batch | draws/sec"
+    );
+    if threads.len() == 1 {
+        println!("(single-thread sweep: host reports one available CPU, so the curve is one row)");
+    }
+    for &thread_count in threads {
+        std::env::set_var("CPM_THREADS", thread_count.to_string());
+        let engine = Engine::new(EngineConfig::default());
+        engine.warm(&[hot_key]).expect("hot design must solve");
+        let requests = workload::hot_key_requests(hot_key, batch_size, 1);
+        let chunk_before = chunk_hist.snapshot();
+        let batch_before = batch_hist.snapshot();
+        let start = Instant::now();
+        engine
+            .privatize_batch(&requests)
+            .expect("hot batch must privatize");
+        let total = start.elapsed();
+        let chunks = chunk_hist.snapshot().diff(&chunk_before);
+        let batch = batch_hist.snapshot().diff(&batch_before);
+        println!(
+            "{thread_count:2} | {:3} | {:>9} | {:>9} | {:>9} | {:10.0}",
+            chunks.count,
+            format_nanos(chunks.p50()),
+            format_nanos(chunks.p99()),
+            format_nanos(batch.p50()),
+            batch_size as f64 / total.as_secs_f64(),
+        );
+    }
+}
+
+/// Render an optional nanosecond quantile as a human duration.
+fn format_nanos(nanos: Option<u64>) -> String {
+    match nanos {
+        None => "-".to_string(),
+        Some(n) if n >= 1_000_000_000 => format!("{:.2}s", n as f64 / 1e9),
+        Some(n) if n >= 1_000_000 => format!("{:.2}ms", n as f64 / 1e6),
+        Some(n) if n >= 1_000 => format!("{:.2}us", n as f64 / 1e3),
+        Some(n) => format!("{n}ns"),
     }
 }
 

@@ -82,8 +82,7 @@ fn n128_default_solve_stays_under_the_pivot_and_time_budget() {
     let start = Instant::now();
     let solution = problem.solve().expect("n = 128 BASICDP must solve");
     let elapsed = start.elapsed();
-    let pivots =
-        solution.solver_stats.phase1_iterations + solution.solver_stats.phase2_iterations;
+    let pivots = solution.solver_stats.phase1_iterations + solution.solver_stats.phase2_iterations;
     assert!(
         elapsed < N128_BUDGET,
         "n = 128 default-path solve took {elapsed:?} (budget {N128_BUDGET:?})"
@@ -122,8 +121,7 @@ fn n256_lp_solves_through_the_dual_form_within_budget() {
         elapsed < N256_BUDGET,
         "n = 256 solve took {elapsed:?} (budget {N256_BUDGET:?})"
     );
-    let pivots =
-        solution.solver_stats.phase1_iterations + solution.solver_stats.phase2_iterations;
+    let pivots = solution.solver_stats.phase1_iterations + solution.solver_stats.phase2_iterations;
     assert!(
         pivots < N256_PIVOT_BUDGET,
         "n = 256 solve took {pivots} pivots (budget {N256_PIVOT_BUDGET})"

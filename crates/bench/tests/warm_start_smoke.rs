@@ -10,7 +10,12 @@
 use cpm_core::prelude::*;
 
 fn basicdp(n: usize, alpha: f64) -> DesignProblem {
+    // The closed-form crash seed (PR 7) solves these unconstrained programs in
+    // zero pivots, which makes a pivot-ratio comparison degenerate (0 < 0).
+    // This smoke gates the *warm-start* lever, so measure both sides with the
+    // crash seed off and the real simplex walks exposed.
     DesignProblem::unconstrained(n, Alpha::new(alpha).unwrap(), Objective::l0())
+        .with_crash_seed(false)
 }
 
 #[test]

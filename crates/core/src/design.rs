@@ -399,6 +399,12 @@ impl MechanismSpec {
             }
         };
         let design_nanos = start.elapsed().as_nanos() as u64;
+        cpm_obs::histogram!("cpm_design_nanos").record(design_nanos);
+        if solver_stats.is_some() {
+            cpm_obs::counter!("cpm_design_solves_total{kind=\"lp\"}").inc();
+        } else {
+            cpm_obs::counter!("cpm_design_solves_total{kind=\"flowchart\"}").inc();
+        }
         let report = PropertyReport::evaluate(&mechanism, self.tolerance);
         let score = rescaled_l0(&mechanism);
         // The stored spec drops the transient warm-start hint — including one

@@ -301,6 +301,9 @@ impl DesignProblem {
             None
         };
         let solution = if let Some(seed) = seed {
+            if options.warm_basis.is_none() && self.warm_basis.is_none() {
+                cpm_obs::counter!("cpm_lp_crash_seeded_total").inc();
+            }
             let mut seeded = options.clone();
             seeded.warm_basis = Some(seed);
             lp.solve_with(&seeded)?

@@ -114,13 +114,16 @@ fn unconstrained_dual_form_runs_dual_and_recovers_an_exact_basis() {
     for n in [8usize, 16] {
         // Disable the closed-form crash seed so the dual walk is exercised
         // rather than certified away in zero pivots.
-        let problem = DesignProblem::unconstrained(n, a(0.9), Objective::l0())
-            .with_crash_seed(false);
+        let problem =
+            DesignProblem::unconstrained(n, a(0.9), Objective::l0()).with_crash_seed(false);
         let primal = solve_as(&problem, LpForm::Primal);
         let dual = solve_as(&problem, LpForm::Dual);
 
         assert_eq!(dual.solver_stats.form, LpForm::Dual);
-        assert_eq!(dual.solver_stats.phase1_iterations, 0, "the dual starts feasible: no Phase 1");
+        assert_eq!(
+            dual.solver_stats.phase1_iterations, 0,
+            "the dual starts feasible: no Phase 1"
+        );
         assert!((dual.objective_value - primal.objective_value).abs() < 1e-9);
         assert_zero_pivot_reseed(&problem, &dual);
     }

@@ -1,0 +1,227 @@
+//! The flight recorder: a lock-striped ring buffer of the most recent span
+//! and event records, dumped to stderr when something terminal happens
+//! (solver numerical breakdown, cache poisoning, frontend connection error).
+//!
+//! Writers append to one of [`STRIPES`] independent `Mutex`-protected rings,
+//! chosen by a per-thread stripe id assigned on first use — so concurrent
+//! threads almost never contend on the same lock, and each append is a short
+//! critical section (one vec slot write).  [`dump`] merges all stripes,
+//! sorts by timestamp, and prints the last [`CAPACITY`]-bounded window.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::trace::{now_nanos, Level};
+
+/// Number of independent ring-buffer stripes.
+pub const STRIPES: usize = 8;
+
+/// Records retained per stripe; the recorder holds up to `STRIPES * PER_STRIPE`
+/// records in total.
+pub const PER_STRIPE: usize = 128;
+
+/// Total flight-recorder capacity.
+pub const CAPACITY: usize = STRIPES * PER_STRIPE;
+
+/// One retained record.
+#[derive(Debug, Clone)]
+pub enum Record {
+    /// A structured event (see [`crate::trace::event`]).
+    Event {
+        /// Monotonic nanos since process start.
+        at_nanos: u64,
+        /// Severity it was recorded at.
+        level: Level,
+        /// Module tag (`simplex`, `cache`, ...).
+        target: &'static str,
+        /// Rendered message.
+        message: String,
+    },
+    /// A closed span.
+    Span {
+        /// Monotonic nanos at close.
+        at_nanos: u64,
+        /// Module tag.
+        target: &'static str,
+        /// Span name.
+        name: &'static str,
+        /// Wall time the span covered.
+        duration_nanos: u64,
+    },
+}
+
+impl Record {
+    fn at_nanos(&self) -> u64 {
+        match self {
+            Record::Event { at_nanos, .. } | Record::Span { at_nanos, .. } => *at_nanos,
+        }
+    }
+}
+
+struct Ring {
+    slots: Vec<Record>,
+    /// Next slot to overwrite once `slots` has grown to `PER_STRIPE`.
+    head: usize,
+}
+
+impl Ring {
+    const fn new() -> Ring {
+        Ring {
+            slots: Vec::new(),
+            head: 0,
+        }
+    }
+
+    fn push(&mut self, record: Record) {
+        if self.slots.len() < PER_STRIPE {
+            self.slots.push(record);
+        } else {
+            self.slots[self.head] = record;
+            self.head = (self.head + 1) % PER_STRIPE;
+        }
+    }
+}
+
+static RINGS: [Mutex<Ring>; STRIPES] = [const { Mutex::new(Ring::new()) }; STRIPES];
+
+fn stripe() -> usize {
+    static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static MY_STRIPE: usize = NEXT_STRIPE.fetch_add(1, Ordering::Relaxed) % STRIPES;
+    }
+    MY_STRIPE.with(|s| *s)
+}
+
+fn push(record: Record) {
+    // A poisoned stripe just loses its history; recording must never panic.
+    if let Ok(mut ring) = RINGS[stripe()].lock() {
+        ring.push(record);
+    }
+}
+
+/// Append an event record (called by [`crate::trace::event`]).
+pub fn record_event(level: Level, target: &'static str, message: String) {
+    push(Record::Event {
+        at_nanos: now_nanos(),
+        level,
+        target,
+        message,
+    });
+}
+
+/// Append a closed-span record (called by [`crate::trace::SpanGuard`]).
+pub fn record_span(target: &'static str, name: &'static str, duration_nanos: u64) {
+    push(Record::Span {
+        at_nanos: now_nanos(),
+        target,
+        name,
+        duration_nanos,
+    });
+}
+
+/// Merge every stripe into one timestamp-sorted window (oldest first).
+pub fn recent() -> Vec<Record> {
+    let mut merged = Vec::new();
+    for ring in &RINGS {
+        if let Ok(ring) = ring.lock() {
+            merged.extend(ring.slots.iter().cloned());
+        }
+    }
+    merged.sort_by_key(Record::at_nanos);
+    merged
+}
+
+/// Dump the recorder to `out` under a `reason` banner; returns the number of
+/// records written.
+pub fn dump_to<W: Write>(out: &mut W, reason: &str) -> usize {
+    let records = recent();
+    let _ = writeln!(
+        out,
+        "=== cpm flight recorder dump ({reason}; {} records) ===",
+        records.len()
+    );
+    for record in &records {
+        match record {
+            Record::Event {
+                at_nanos,
+                level,
+                target,
+                message,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "  [{:>12.6}s {:>5?} {target}] {message}",
+                    *at_nanos as f64 / 1e9,
+                    level
+                );
+            }
+            Record::Span {
+                at_nanos,
+                target,
+                name,
+                duration_nanos,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "  [{:>12.6}s  span {target}] {name} {:.3}ms",
+                    *at_nanos as f64 / 1e9,
+                    *duration_nanos as f64 / 1e6
+                );
+            }
+        }
+    }
+    let _ = writeln!(out, "=== end flight recorder dump ===");
+    records.len()
+}
+
+/// Dump the recorder to stderr and bump `cpm_flight_dumps_total` (the counter
+/// tests assert on after injecting a breakdown).  Returns the record count.
+pub fn dump(reason: &str) -> usize {
+    let count = {
+        let mut err = std::io::stderr().lock();
+        dump_to(&mut err, reason)
+    };
+    crate::metrics::registry()
+        .counter("cpm_flight_dumps_total")
+        .inc();
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_overwrites_oldest_when_full() {
+        let mut ring = Ring::new();
+        for i in 0..(PER_STRIPE as u64 + 10) {
+            ring.push(Record::Span {
+                at_nanos: i,
+                target: "test",
+                name: "s",
+                duration_nanos: 0,
+            });
+        }
+        assert_eq!(ring.slots.len(), PER_STRIPE);
+        let mut stamps: Vec<u64> = ring.slots.iter().map(Record::at_nanos).collect();
+        stamps.sort_unstable();
+        assert_eq!(stamps[0], 10);
+        assert_eq!(*stamps.last().unwrap(), PER_STRIPE as u64 + 9);
+    }
+
+    #[test]
+    fn dump_renders_recorded_history_in_order() {
+        record_event(Level::Error, "test", "first".to_string());
+        record_span("test", "work", 1_500_000);
+        let mut buf = Vec::new();
+        let count = dump_to(&mut buf, "unit test");
+        assert!(count >= 2);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("flight recorder dump (unit test"));
+        assert!(text.contains("first"));
+        assert!(text.contains("work"));
+        let stamps: Vec<u64> = recent().iter().map(Record::at_nanos).collect();
+        assert!(stamps.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

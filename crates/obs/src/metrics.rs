@@ -1,0 +1,481 @@
+//! The metrics registry: named atomic counters, gauges, and fixed-bucket log2
+//! histograms, rendered as a Prometheus-style text exposition.
+//!
+//! Hot-path updates are a single relaxed atomic RMW (plus one relaxed load of
+//! the global enable flag); registration is the only locked operation and
+//! call sites amortise it through a `OnceLock` handle (see the [`counter!`],
+//! [`gauge!`], and [`histogram!`] macros in the crate root).  Metric objects
+//! are leaked on first registration, so handles are `&'static` and never
+//! reference-counted on the hot path.
+//!
+//! [`counter!`]: crate::counter
+//! [`gauge!`]: crate::gauge
+//! [`histogram!`]: crate::histogram
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+use crate::enabled;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.  A no-op while the crate-wide switch is off
+    /// ([`crate::set_enabled`]), so disabled deployments pay one relaxed load.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move both ways (resident entries, live
+/// connections).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Add `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if enabled() {
+            self.0.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Set the value outright.
+    #[inline]
+    pub fn set(&self, value: i64) {
+        if enabled() {
+            self.0.store(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of buckets in a [`Histogram`]: one per power of two of a `u64`,
+/// plus the zero bucket.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A fixed-bucket log2 histogram.
+///
+/// Bucket 0 holds the value `0`; bucket `k ≥ 1` holds values in
+/// `[2^(k-1), 2^k - 1]`; the last bucket is unbounded above.  Recording is one
+/// `leading_zeros` plus three relaxed `fetch_add`s — lock-free and
+/// allocation-free, safe on any hot path.  Quantile extraction returns the
+/// **upper bound** of the bucket containing the requested rank, so an estimate
+/// `e` for an exact sample quantile `x` always satisfies `x ≤ e < 2·x` (for
+/// `x > 0`) — a one-sided, factor-of-two-tight bound the tests pin against a
+/// sorted-sample oracle.
+#[derive(Debug)]
+pub struct Histogram {
+    counts: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+/// Bucket index for a recorded value (see [`Histogram`] for the layout).
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        (64 - value.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `k`; `u64::MAX` for the unbounded last
+/// bucket (rendered as `+Inf`).
+#[inline]
+pub fn bucket_upper_bound(k: usize) -> u64 {
+    match k {
+        0 => 0,
+        _ if k >= HISTOGRAM_BUCKETS - 1 => u64::MAX,
+        _ => (1u64 << k) - 1,
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if !enabled() {
+            return;
+        }
+        self.counts[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a duration in nanoseconds (saturating at `u64::MAX`).
+    #[inline]
+    pub fn record_duration(&self, duration: Duration) {
+        self.record(duration.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// A point-in-time copy of the bucket counts (the three atomics are read
+    /// independently, so a snapshot taken under concurrent writers can be off
+    /// by the writes in flight — fine for monitoring, and exact when quiesced).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: std::array::from_fn(|k| self.counts[k].load(Ordering::Relaxed)),
+            sum: self.sum.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned, mergeable copy of a [`Histogram`]'s state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`Histogram`] for the layout).
+    pub counts: [u64; HISTOGRAM_BUCKETS],
+    /// Sum of every recorded value.
+    pub sum: u64,
+    /// Total observations.
+    pub count: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            counts: [0; HISTOGRAM_BUCKETS],
+            sum: 0,
+            count: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Fold another snapshot into this one (bucket-wise addition) — the merge
+    /// that makes per-shard histograms equal the global one.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+
+    /// The observations recorded since `earlier` (bucket-wise saturating
+    /// subtraction) — the shape probes use to attribute a histogram to one
+    /// measured interval.
+    pub fn diff(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: std::array::from_fn(|k| self.counts[k].saturating_sub(earlier.counts[k])),
+            sum: self.sum.saturating_sub(earlier.sum),
+            count: self.count.saturating_sub(earlier.count),
+        }
+    }
+
+    /// The `q`-quantile estimate (`0 < q ≤ 1`): the upper bound of the bucket
+    /// containing the rank-`⌈q·count⌉` observation.  Returns `None` when
+    /// empty.  See [`Histogram`] for the factor-of-two accuracy contract.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (k, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_upper_bound(k));
+            }
+        }
+        Some(bucket_upper_bound(HISTOGRAM_BUCKETS - 1))
+    }
+
+    /// Median estimate (see [`HistogramSnapshot::quantile`]).
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> Option<u64> {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+
+    /// Mean of the recorded values (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+}
+
+enum Metric {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// The global registry of named metrics.
+///
+/// Names follow the Prometheus convention `family{label="value",...}`: the
+/// part before the brace is the family (one `# TYPE` line per family in the
+/// exposition), the optional brace block carries labels.  Registering the same
+/// name twice returns the same object; registering it as a different kind
+/// panics (a naming bug worth failing loudly on).
+#[derive(Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+/// The process-wide registry (created on first use).
+pub fn registry() -> &'static MetricsRegistry {
+    static REGISTRY: OnceLock<MetricsRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(MetricsRegistry::default)
+}
+
+impl MetricsRegistry {
+    fn slot<T, F>(
+        &self,
+        name: &str,
+        make: F,
+        pick: impl Fn(&Metric) -> Option<&'static T>,
+    ) -> &'static T
+    where
+        F: FnOnce() -> Metric,
+    {
+        let mut metrics = self.metrics.lock().expect("metrics registry poisoned");
+        let entry = metrics.entry(name.to_string()).or_insert_with(make);
+        match pick(entry) {
+            Some(metric) => metric,
+            None => panic!(
+                "metric {name:?} already registered as a {}, requested as a different kind",
+                entry.kind()
+            ),
+        }
+    }
+
+    /// The counter named `name`, registered on first use.
+    pub fn counter(&self, name: &str) -> &'static Counter {
+        self.slot(
+            name,
+            || Metric::Counter(Box::leak(Box::default())),
+            |m| match m {
+                Metric::Counter(c) => Some(*c),
+                _ => None,
+            },
+        )
+    }
+
+    /// The gauge named `name`, registered on first use.
+    pub fn gauge(&self, name: &str) -> &'static Gauge {
+        self.slot(
+            name,
+            || Metric::Gauge(Box::leak(Box::default())),
+            |m| match m {
+                Metric::Gauge(g) => Some(*g),
+                _ => None,
+            },
+        )
+    }
+
+    /// The histogram named `name`, registered on first use.
+    pub fn histogram(&self, name: &str) -> &'static Histogram {
+        self.slot(
+            name,
+            || Metric::Histogram(Box::leak(Box::default())),
+            |m| match m {
+                Metric::Histogram(h) => Some(*h),
+                _ => None,
+            },
+        )
+    }
+
+    /// Render every registered metric as a Prometheus-style text exposition.
+    ///
+    /// Counters and gauges render as `name value`; histograms render
+    /// cumulative `family_bucket{...,le="..."}` lines (empty buckets are
+    /// skipped, the `+Inf` bucket is always present) plus `_sum` and `_count`.
+    /// Families are sorted, each introduced by one `# TYPE family kind` line.
+    /// Histogram values are nanoseconds unless the family name says otherwise.
+    pub fn render(&self) -> String {
+        let metrics = self.metrics.lock().expect("metrics registry poisoned");
+        let mut out = String::new();
+        let mut last_family = String::new();
+        for (name, metric) in metrics.iter() {
+            let (family, labels) = split_name(name);
+            if family != last_family {
+                let _ = writeln!(out, "# TYPE {family} {}", metric.kind());
+                last_family = family.to_string();
+            }
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "{name} {}", c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "{name} {}", g.get());
+                }
+                Metric::Histogram(h) => {
+                    let snap = h.snapshot();
+                    let mut cumulative = 0u64;
+                    for (k, &c) in snap.counts.iter().enumerate() {
+                        if c == 0 {
+                            continue;
+                        }
+                        cumulative += c;
+                        let le = match bucket_upper_bound(k) {
+                            u64::MAX => "+Inf".to_string(),
+                            bound => bound.to_string(),
+                        };
+                        let _ = writeln!(
+                            out,
+                            "{family}_bucket{{{}le=\"{le}\"}} {cumulative}",
+                            join_labels(labels)
+                        );
+                    }
+                    if snap.counts[HISTOGRAM_BUCKETS - 1] == 0 {
+                        let _ = writeln!(
+                            out,
+                            "{family}_bucket{{{}le=\"+Inf\"}} {cumulative}",
+                            join_labels(labels)
+                        );
+                    }
+                    let suffix = label_suffix(labels);
+                    let _ = writeln!(out, "{family}_sum{suffix} {}", snap.sum);
+                    let _ = writeln!(out, "{family}_count{suffix} {}", snap.count);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Split `family{labels}` into `(family, labels-without-braces)`.
+fn split_name(name: &str) -> (&str, &str) {
+    match name.split_once('{') {
+        Some((family, rest)) => (family, rest.trim_end_matches('}')),
+        None => (name, ""),
+    }
+}
+
+/// Labels as a `k="v",` prefix ready to precede `le="..."`.
+fn join_labels(labels: &str) -> String {
+    if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{labels},")
+    }
+}
+
+/// Labels as a full `{k="v"}` suffix (empty when unlabelled).
+fn label_suffix(labels: &str) -> String {
+    if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{labels}}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_register_once_and_accumulate() {
+        let registry = MetricsRegistry::default();
+        let c = registry.counter("test_total");
+        c.inc();
+        c.add(4);
+        assert_eq!(registry.counter("test_total").get(), 5);
+        let g = registry.gauge("test_entries");
+        g.add(3);
+        g.add(-1);
+        assert_eq!(registry.gauge("test_entries").get(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let registry = MetricsRegistry::default();
+        registry.counter("same_name");
+        registry.gauge("same_name");
+    }
+
+    #[test]
+    fn bucket_layout_is_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(10), 1023);
+        assert_eq!(bucket_upper_bound(HISTOGRAM_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn render_produces_type_lines_and_histogram_series() {
+        let registry = MetricsRegistry::default();
+        registry.counter("zz_hits_total").add(7);
+        let h = registry.histogram("zz_latency_nanos{op=\"privatize\"}");
+        h.record(3);
+        h.record(100);
+        let text = registry.render();
+        assert!(text.contains("# TYPE zz_hits_total counter"));
+        assert!(text.contains("zz_hits_total 7"));
+        assert!(text.contains("# TYPE zz_latency_nanos histogram"));
+        assert!(text.contains("zz_latency_nanos_bucket{op=\"privatize\",le=\"3\"} 1"));
+        assert!(text.contains("zz_latency_nanos_bucket{op=\"privatize\",le=\"127\"} 2"));
+        assert!(text.contains("zz_latency_nanos_bucket{op=\"privatize\",le=\"+Inf\"} 2"));
+        assert!(text.contains("zz_latency_nanos_sum{op=\"privatize\"} 103"));
+        assert!(text.contains("zz_latency_nanos_count{op=\"privatize\"} 2"));
+    }
+}

@@ -1,0 +1,234 @@
+//! RAII tracing spans and an env-gated structured logger.
+//!
+//! Configuration comes from `CPM_TRACE` with the grammar
+//! `level[:target,target,...]`:
+//!
+//! * `off` (the default), `error`, `info`, `debug` — the stderr verbosity;
+//! * an optional `:`-separated comma list restricts stderr output to those
+//!   targets (span/event targets are short module tags such as `simplex`,
+//!   `cache`, `engine`, `net`, `boot`, `wire`).
+//!
+//! The logger prints to stderr with monotonic timestamps measured from process
+//! start.  Independently of the stderr level, every span close and event is
+//! appended to the [flight recorder](crate::flight) (subject only to the
+//! crate-wide [`crate::enabled`] switch), so a post-mortem dump always has
+//! recent history even when the console is quiet.
+
+use std::io::Write as _;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Stderr verbosity, ordered `Off < Error < Info < Debug`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// No stderr output (flight recording still happens).
+    Off,
+    /// Only error events.
+    Error,
+    /// Errors plus informational events.
+    Info,
+    /// Everything, including span close lines.
+    Debug,
+}
+
+impl Level {
+    fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "0" | "" => Some(Level::Off),
+            "error" => Some(Level::Error),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+
+    fn tag(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Error => "error",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+struct TraceConfig {
+    level: Level,
+    /// Empty means "all targets".
+    targets: Vec<String>,
+}
+
+impl TraceConfig {
+    fn from_env() -> TraceConfig {
+        let raw = std::env::var("CPM_TRACE").unwrap_or_default();
+        let (level_part, target_part) = match raw.split_once(':') {
+            Some((l, t)) => (l, t),
+            None => (raw.as_str(), ""),
+        };
+        let level = Level::parse(level_part).unwrap_or(Level::Off);
+        let targets = target_part
+            .split(',')
+            .map(|t| t.trim().to_string())
+            .filter(|t| !t.is_empty())
+            .collect();
+        TraceConfig { level, targets }
+    }
+
+    fn emits(&self, level: Level, target: &str) -> bool {
+        level != Level::Off
+            && self.level >= level
+            && (self.targets.is_empty() || self.targets.iter().any(|t| t == target))
+    }
+}
+
+fn config() -> &'static TraceConfig {
+    static CONFIG: OnceLock<TraceConfig> = OnceLock::new();
+    CONFIG.get_or_init(TraceConfig::from_env)
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Monotonic nanoseconds since the first call into the tracing layer.
+#[inline]
+pub fn now_nanos() -> u64 {
+    epoch().elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
+
+fn stderr_line(level: Level, target: &str, body: &std::fmt::Arguments<'_>) {
+    let nanos = now_nanos();
+    let mut err = std::io::stderr().lock();
+    let _ = writeln!(
+        err,
+        "[{:>12.6}s {:>5} {}] {}",
+        nanos as f64 / 1e9,
+        level.tag(),
+        target,
+        body
+    );
+}
+
+/// Record a structured event: into the flight recorder always (when the crate
+/// switch is on), and to stderr when `CPM_TRACE` admits `(level, target)`.
+pub fn event(level: Level, target: &'static str, message: String) {
+    if !crate::enabled() {
+        return;
+    }
+    if config().emits(level, target) {
+        stderr_line(level, target, &format_args!("{message}"));
+    }
+    crate::flight::record_event(level, target, message);
+}
+
+/// An RAII span: times the enclosed scope, records it to the flight recorder
+/// on drop, and prints a close line at `debug` verbosity.  Construct via the
+/// [`span!`](crate::span) macro or [`SpanGuard::enter`]; inert (two relaxed
+/// loads total) when the crate switch is off.
+#[must_use = "a span measures the scope it is bound to; binding to _ drops it immediately"]
+pub struct SpanGuard {
+    live: Option<SpanLive>,
+}
+
+struct SpanLive {
+    target: &'static str,
+    name: &'static str,
+    started: Instant,
+}
+
+impl SpanGuard {
+    /// Open a span over `(target, name)`.
+    #[inline]
+    pub fn enter(target: &'static str, name: &'static str) -> SpanGuard {
+        if !crate::enabled() {
+            return SpanGuard { live: None };
+        }
+        SpanGuard {
+            live: Some(SpanLive {
+                target,
+                name,
+                started: Instant::now(),
+            }),
+        }
+    }
+
+    /// Nanoseconds elapsed since the span opened (0 for an inert span).
+    pub fn elapsed_nanos(&self) -> u64 {
+        self.live
+            .as_ref()
+            .map(|l| l.started.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+            .unwrap_or(0)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(live) = self.live.take() else {
+            return;
+        };
+        let duration_nanos = live.started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        if config().emits(Level::Debug, live.target) {
+            stderr_line(
+                Level::Debug,
+                live.target,
+                &format_args!(
+                    "span {} closed after {:.3}ms",
+                    live.name,
+                    duration_nanos as f64 / 1e6
+                ),
+            );
+        }
+        crate::flight::record_span(live.target, live.name, duration_nanos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parsing_and_ordering() {
+        assert_eq!(Level::parse("off"), Some(Level::Off));
+        assert_eq!(Level::parse("ERROR"), Some(Level::Error));
+        assert_eq!(Level::parse("Info"), Some(Level::Info));
+        assert_eq!(Level::parse("debug"), Some(Level::Debug));
+        assert_eq!(Level::parse("bogus"), None);
+        assert!(
+            Level::Debug > Level::Info && Level::Info > Level::Error && Level::Error > Level::Off
+        );
+    }
+
+    #[test]
+    fn target_filter_restricts_emission() {
+        let cfg = TraceConfig {
+            level: Level::Info,
+            targets: vec!["cache".to_string()],
+        };
+        assert!(cfg.emits(Level::Info, "cache"));
+        assert!(cfg.emits(Level::Error, "cache"));
+        assert!(!cfg.emits(Level::Info, "engine"));
+        assert!(!cfg.emits(Level::Debug, "cache"));
+        let all = TraceConfig {
+            level: Level::Debug,
+            targets: vec![],
+        };
+        assert!(all.emits(Level::Debug, "anything"));
+        let off = TraceConfig {
+            level: Level::Off,
+            targets: vec![],
+        };
+        assert!(!off.emits(Level::Error, "cache"));
+    }
+
+    #[test]
+    fn spans_measure_time_monotonically() {
+        let guard = SpanGuard::enter("test", "sleepy");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        if crate::enabled() {
+            assert!(guard.elapsed_nanos() >= 1_000_000);
+        }
+        drop(guard);
+        assert!(now_nanos() > 0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Oracle tests for the log2 latency histograms.
+//!
+//! The histogram quantizes values into 64 power-of-two buckets and answers
+//! quantile queries with the *upper bound* of the bucket containing the rank.
+//! That gives a one-sided guarantee the tests below pin down exactly: for any
+//! sample set and any quantile, `exact <= estimate < 2 * max(exact, 1)` where
+//! `exact` is the true order statistic from the sorted samples (bucket 63 is
+//! unbounded and excluded from the bound).
+//!
+//! Also covered: bucket boundary placement (each power of two starts a new
+//! bucket), merge semantics (shard histograms merged bucket-wise equal one
+//! global histogram fed the union of the samples), and `diff` as the inverse
+//! of `merge`.
+
+use cpm_obs::{bucket_index, bucket_upper_bound, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
+use proptest::prelude::*;
+
+/// Exact quantile oracle: same rank convention as `HistogramSnapshot::quantile`
+/// (`rank = ceil(q * count)` clamped to `[1, count]`), answered from the sorted
+/// samples instead of the buckets.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::default();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// The histogram estimate is the bucket upper bound, so it never undershoots
+/// and overshoots by strictly less than 2x (values 0 and 1 are exact).
+fn assert_quantile_bound(sorted: &[u64], snap: &HistogramSnapshot, q: f64) {
+    let exact = exact_quantile(sorted, q);
+    let estimate = snap.quantile(q).expect("non-empty histogram");
+    assert!(
+        estimate >= exact,
+        "q={q}: estimate {estimate} undershoots exact {exact}"
+    );
+    if bucket_index(exact) < HISTOGRAM_BUCKETS - 1 {
+        assert!(
+            estimate < 2 * exact.max(1),
+            "q={q}: estimate {estimate} >= 2 * exact {exact}"
+        );
+    }
+}
+
+#[test]
+fn bucket_boundaries_follow_powers_of_two() {
+    // Bucket 0 is reserved for the value 0; bucket k >= 1 holds
+    // [2^(k-1), 2^k - 1], so each power of two starts a fresh bucket.
+    assert_eq!(bucket_index(0), 0);
+    assert_eq!(bucket_index(1), 1);
+    for k in 1..HISTOGRAM_BUCKETS - 1 {
+        let lo = 1u64 << (k - 1);
+        let hi = (1u64 << k) - 1;
+        assert_eq!(bucket_index(lo), k, "low edge of bucket {k}");
+        assert_eq!(bucket_index(hi), k, "high edge of bucket {k}");
+        assert_eq!(bucket_upper_bound(k), hi, "upper bound of bucket {k}");
+    }
+    // The last bucket absorbs everything from 2^62 upward, u64::MAX included.
+    assert_eq!(bucket_index(1u64 << 62), HISTOGRAM_BUCKETS - 1);
+    assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    assert_eq!(bucket_upper_bound(HISTOGRAM_BUCKETS - 1), u64::MAX);
+}
+
+#[test]
+fn bucket_index_matches_reference_log2() {
+    // Differential check against a naive loop-based log2 over a mixed sweep of
+    // small values and values straddling each power of two.
+    let reference = |v: u64| -> usize {
+        if v == 0 {
+            return 0;
+        }
+        let mut k = 0usize;
+        while (1u64 << k) <= v && k < HISTOGRAM_BUCKETS {
+            k += 1;
+        }
+        k.min(HISTOGRAM_BUCKETS - 1)
+    };
+    for v in 0..4096u64 {
+        assert_eq!(bucket_index(v), reference(v), "value {v}");
+    }
+    for k in 1..63 {
+        for v in [(1u64 << k) - 1, 1u64 << k, (1u64 << k) + 1] {
+            assert_eq!(bucket_index(v), reference(v), "value {v}");
+        }
+    }
+}
+
+#[test]
+fn percentiles_match_oracle_on_fixed_samples() {
+    // Deterministic spread: exact powers of two, mid-bucket values, zeros, and
+    // a heavy tail, shuffled by construction order.
+    let samples: Vec<u64> = vec![
+        0,
+        0,
+        1,
+        2,
+        3,
+        4,
+        7,
+        8,
+        15,
+        16,
+        100,
+        128,
+        129,
+        1000,
+        1024,
+        4095,
+        4096,
+        65_535,
+        1_000_000,
+        1 << 40,
+    ];
+    let snap = snapshot_of(&samples);
+    let mut sorted = samples.clone();
+    sorted.sort_unstable();
+    for q in [0.5, 0.9, 0.99] {
+        assert_quantile_bound(&sorted, &snap, q);
+    }
+    // p50 / p90 / p99 are aliases for quantile().
+    assert_eq!(snap.p50(), snap.quantile(0.5));
+    assert_eq!(snap.p90(), snap.quantile(0.9));
+    assert_eq!(snap.p99(), snap.quantile(0.99));
+    assert_eq!(snap.count, samples.len() as u64);
+    assert_eq!(snap.sum, samples.iter().sum::<u64>());
+}
+
+#[test]
+fn single_value_histogram_is_tight() {
+    // With one sample, every quantile lands in that sample's bucket.
+    for v in [0u64, 1, 7, 64, 12_345] {
+        let snap = snapshot_of(&[v]);
+        let expected = bucket_upper_bound(bucket_index(v));
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(snap.quantile(q), Some(expected), "value {v} q {q}");
+        }
+    }
+    assert_eq!(HistogramSnapshot::default().quantile(0.5), None);
+}
+
+#[test]
+fn merge_is_bucketwise_addition_and_diff_inverts_it() {
+    let a = snapshot_of(&[1, 2, 3, 100, 5000]);
+    let b = snapshot_of(&[0, 7, 8, 9, 1 << 30]);
+    let mut merged = a.clone();
+    merged.merge(&b);
+    assert_eq!(merged.count, a.count + b.count);
+    assert_eq!(merged.sum, a.sum + b.sum);
+    for k in 0..HISTOGRAM_BUCKETS {
+        assert_eq!(merged.counts[k], a.counts[k] + b.counts[k], "bucket {k}");
+    }
+    // diff undoes merge: (a + b) - a == b, bucket for bucket.
+    let recovered = merged.diff(&a);
+    assert_eq!(recovered.counts, b.counts);
+    assert_eq!(recovered.count, b.count);
+    assert_eq!(recovered.sum, b.sum);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// p50/p90/p99 stay within [exact, 2*exact) of the sorted-sample oracle on
+    /// random samples spanning the full bucket range.
+    #[test]
+    fn prop_percentiles_bound_oracle(
+        // Uniform over buckets, then a fraction within the bucket, so the tail
+        // buckets actually get exercised (a flat u64 range almost never would).
+        raw in proptest::collection::vec((0u32..62, 0.0f64..1.0), 1..200)
+    ) {
+        let samples: Vec<u64> = raw
+            .iter()
+            .map(|&(k, frac)| {
+                let lo = if k == 0 { 0u64 } else { 1u64 << (k - 1) };
+                let hi = (1u64 << k).saturating_sub(1).max(lo);
+                lo + ((hi - lo) as f64 * frac) as u64
+            })
+            .collect();
+        let snap = snapshot_of(&samples);
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in [0.5, 0.9, 0.99] {
+            assert_quantile_bound(&sorted, &snap, q);
+        }
+    }
+
+    /// Sharded recording merges to the global view: splitting a sample stream
+    /// across N per-shard histograms and merging the snapshots is
+    /// indistinguishable from recording everything into one histogram.
+    #[test]
+    fn prop_shard_merge_equals_global(
+        samples in proptest::collection::vec(0u64..1_000_000, 0..300),
+        shards in 1usize..8,
+    ) {
+        let global = snapshot_of(&samples);
+        let shard_hists: Vec<Histogram> = (0..shards).map(|_| Histogram::default()).collect();
+        for (i, &v) in samples.iter().enumerate() {
+            shard_hists[i % shards].record(v);
+        }
+        let mut merged = HistogramSnapshot::default();
+        for h in &shard_hists {
+            merged.merge(&h.snapshot());
+        }
+        prop_assert_eq!(merged.counts, global.counts);
+        prop_assert_eq!(merged.count, global.count);
+        prop_assert_eq!(merged.sum, global.sum);
+        prop_assert_eq!(merged.quantile(0.5), global.quantile(0.5));
+        prop_assert_eq!(merged.quantile(0.99), global.quantile(0.99));
+    }
+}

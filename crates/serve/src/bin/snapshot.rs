@@ -62,17 +62,44 @@ fn list(files: &[String]) -> i32 {
             }
         };
         println!("{file}: {} design(s)", designs.len());
-        for design in &designs {
-            println!("  {}", describe(design));
+        if designs.is_empty() {
+            continue;
+        }
+        let rows: Vec<[String; 5]> = designs.iter().map(describe).collect();
+        let header = ["key", "designed via", "basis", "score", "design time"];
+        let mut widths: [usize; 5] = header.map(str::len);
+        for row in &rows {
+            for (width, cell) in widths.iter_mut().zip(row) {
+                *width = (*width).max(cell.len());
+            }
+        }
+        let print_row = |cells: [&str; 5]| {
+            println!(
+                "  {:<kw$}  {:<hw$}  {:<bw$}  {:>sw$}  {:>tw$}",
+                cells[0],
+                cells[1],
+                cells[2],
+                cells[3],
+                cells[4],
+                kw = widths[0],
+                hw = widths[1],
+                bw = widths[2],
+                sw = widths[3],
+                tw = widths[4],
+            );
+        };
+        print_row(header);
+        for row in &rows {
+            print_row([&row[0], &row[1], &row[2], &row[3], &row[4]]);
         }
     }
     0
 }
 
-/// One human-readable line per artifact: the key, how it was designed, the
-/// solve effort, and whether it can seed a warm start.
-fn describe(design: &DesignedMechanism) -> String {
-    let key = design.key();
+/// One table row per artifact: the key, how it was designed (with the solve
+/// effort), whether it carries an optimal basis that can seed a warm start,
+/// its objective score, and the design time it cost to produce.
+fn describe(design: &DesignedMechanism) -> [String; 5] {
     let how = match design.solver_stats() {
         Some(stats) => format!(
             "lp[{}] {}+{} pivots",
@@ -84,15 +111,17 @@ fn describe(design: &DesignedMechanism) -> String {
         },
     };
     let basis = if design.optimal_basis().is_some() {
-        "basis"
+        "yes"
     } else {
-        "no-basis"
+        "-"
     };
-    format!(
-        "{key}  {how}  {basis}  score {:.6}  {:.3}s",
-        design.score(),
-        design.design_time().as_secs_f64()
-    )
+    [
+        design.key().to_string(),
+        how,
+        basis.to_string(),
+        format!("{:.6}", design.score()),
+        format!("{:.3}s", design.design_time().as_secs_f64()),
+    ]
 }
 
 fn merge(args: &[String]) -> i32 {
@@ -145,10 +174,7 @@ fn prune(args: &[String]) -> i32 {
     let mut files: Vec<String> = Vec::new();
     let mut rest = rest.into_iter();
     while let Some(arg) = rest.next() {
-        let mut value_of = |flag: &str| {
-            rest.next()
-                .ok_or_else(|| format!("{flag} needs a value"))
-        };
+        let mut value_of = |flag: &str| rest.next().ok_or_else(|| format!("{flag} needs a value"));
         let parsed: Result<(), String> = match arg.as_str() {
             "--keep" => {
                 keep = true;
@@ -162,9 +188,7 @@ fn prune(args: &[String]) -> i32 {
             "--alpha" => value_of("--alpha").and_then(|v| {
                 v.parse::<f64>()
                     .map_err(|e| format!("--alpha {v}: {e}"))
-                    .and_then(|a| {
-                        Alpha::new(a).map_err(|e| format!("--alpha {v}: {e}"))
-                    })
+                    .and_then(|a| Alpha::new(a).map_err(|e| format!("--alpha {v}: {e}")))
                     .map(|a| filter.alpha.push(a))
             }),
             "--properties" => value_of("--properties").and_then(|v| {

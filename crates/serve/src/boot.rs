@@ -82,6 +82,10 @@ pub fn parse_warm_keys(list: &str) -> Result<Vec<SpecKey>, String> {
 /// restored from the snapshot file carry their optimal bases, so even keys
 /// *near* (not equal to) a snapshotted α start warm.
 pub fn bootstrap(engine: &Engine) -> io::Result<BootReport> {
+    // Start the optional CPM_METRICS_DUMP stderr dumper with the server, so
+    // both binaries get periodic scrapes without per-binary wiring.
+    cpm_obs::start_metrics_dump_from_env();
+    let _boot_span = cpm_obs::span!("boot", "bootstrap");
     let mut report = BootReport::default();
     let warm_file = std::env::var(WARM_FILE_ENV).ok().filter(|p| !p.is_empty());
     // Whether an existing warm file was read back successfully; a missing or
@@ -92,10 +96,13 @@ pub fn bootstrap(engine: &Engine) -> io::Result<BootReport> {
         if std::path::Path::new(path).exists() {
             // A bad snapshot degrades to a cold start, never a failed start —
             // the warm file is an optimisation, not a dependency.
+            let load_started = std::time::Instant::now();
             match engine.load_snapshot(path) {
                 Ok(loaded) => {
                     report.loaded = loaded;
                     loaded_cleanly = true;
+                    cpm_obs::histogram!("cpm_boot_snapshot_load_nanos")
+                        .record_duration(load_started.elapsed());
                     eprintln!("cpm-serve: loaded {loaded} design(s) from {path}");
                 }
                 Err(error) => {
@@ -117,6 +124,7 @@ pub fn bootstrap(engine: &Engine) -> io::Result<BootReport> {
                 .warm(&keys)
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
             report.warmed = keys.len();
+            cpm_obs::counter!("cpm_boot_warm_keys_total").add(keys.len() as u64);
             let stats = engine.cache_stats();
             eprintln!(
                 "cpm-serve: warm complete ({} designs, {} LP solves, {:.1} ms designing)",
@@ -135,9 +143,12 @@ pub fn bootstrap(engine: &Engine) -> io::Result<BootReport> {
         // this process's cache capacity, and a failed save is a warning — the
         // warm file is an optimisation, never a startup dependency.
         if !loaded_cleanly || engine.cache_stats().design_solves > 0 {
+            let save_started = std::time::Instant::now();
             match engine.cache().save_snapshot_file_merging(path) {
                 Ok(saved) => {
                     report.saved = saved;
+                    cpm_obs::histogram!("cpm_boot_snapshot_save_nanos")
+                        .record_duration(save_started.elapsed());
                     eprintln!("cpm-serve: saved {saved} design(s) to {path}");
                 }
                 Err(error) => {

@@ -150,6 +150,11 @@ impl Drop for FlightGuard<'_> {
             self.cache.remove_in_flight(self.shard, &self.key);
             self.flight
                 .finish(Err(ServeError::DesignPanicked { key: self.key }));
+            cpm_obs::error(
+                "cache",
+                format!("design panicked for key {}; waiters released", self.key),
+            );
+            cpm_obs::flight::dump("design cache poisoning");
         }
     }
 }
@@ -250,6 +255,12 @@ pub struct DesignCache {
     /// `CPM_SERVE_FAMILY_SEED=0` escape hatch and A/B probes turn it off).
     family_seeding: AtomicBool,
     tick: AtomicU64,
+    /// Ready entries currently resident, maintained at every residency change
+    /// so [`DesignCache::stats`] (and metrics scrapes through it) never has to
+    /// walk the stripes taking every shard lock — the design hot path and the
+    /// monitoring path share no locks at all.  [`DesignCache::len`] stays the
+    /// exact, fully-locked count for callers that need a linearisable answer.
+    resident: AtomicU64,
     hits: AtomicU64,
     coalesced: AtomicU64,
     misses: AtomicU64,
@@ -295,6 +306,7 @@ impl DesignCache {
             family_index: Mutex::new(FamilyIndex::default()),
             family_seeding: AtomicBool::new(seeding),
             tick: AtomicU64::new(0),
+            resident: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -340,6 +352,7 @@ impl DesignCache {
             Some(Entry::Ready { design, last_used }) => {
                 *last_used = self.next_tick();
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                cpm_obs::counter!("cpm_cache_hits_total").inc();
                 Some(Arc::clone(design))
             }
             _ => None,
@@ -363,15 +376,18 @@ impl DesignCache {
                 Some(Entry::Ready { design, last_used }) => {
                     *last_used = self.next_tick();
                     self.hits.fetch_add(1, Ordering::Relaxed);
+                    cpm_obs::counter!("cpm_cache_hits_total").inc();
                     return Ok((Arc::clone(design), Lookup::Hit));
                 }
                 Some(Entry::InFlight(flight)) => {
                     // Single flight: somebody else is already designing this key.
                     self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    cpm_obs::counter!("cpm_cache_coalesced_total").inc();
                     Action::Wait(Arc::clone(flight))
                 }
                 None => {
                     self.misses.fetch_add(1, Ordering::Relaxed);
+                    cpm_obs::counter!("cpm_cache_misses_total").inc();
                     let flight = Arc::new(Flight::new());
                     shard
                         .entries
@@ -381,7 +397,12 @@ impl DesignCache {
             }
         };
         match action {
-            Action::Wait(flight) => flight.wait().map(|design| (design, Lookup::Coalesced)),
+            Action::Wait(flight) => {
+                let wait_started = std::time::Instant::now();
+                let waited = flight.wait();
+                cpm_obs::histogram!("cpm_cache_wait_nanos").record_duration(wait_started.elapsed());
+                waited.map(|design| (design, Lookup::Coalesced))
+            }
             Action::Design(flight) => self
                 .design_and_publish(shard_index, key, flight)
                 .map(|design| (design, Lookup::Designed)),
@@ -454,6 +475,20 @@ impl DesignCache {
         for victim in &evicted {
             index.remove(victim);
         }
+        drop(index);
+        drop(shard);
+        self.add_resident(1 - evicted.len() as i64);
+    }
+
+    /// Fold a residency delta into the lock-free counter and mirror it to the
+    /// live gauge.
+    fn add_resident(&self, delta: i64) {
+        let now = if delta >= 0 {
+            self.resident.fetch_add(delta as u64, Ordering::Relaxed) + delta as u64
+        } else {
+            self.resident.fetch_sub((-delta) as u64, Ordering::Relaxed) - (-delta) as u64
+        };
+        cpm_obs::gauge!("cpm_cache_resident_entries").set(now as i64);
     }
 
     fn remove_in_flight(&self, shard_index: usize, key: &SpecKey) {
@@ -484,6 +519,7 @@ impl DesignCache {
                 Some(key) => {
                     shard.entries.remove(&key);
                     self.evictions.fetch_add(1, Ordering::Relaxed);
+                    cpm_obs::counter!("cpm_cache_evictions_total").inc();
                     evicted.push(key);
                 }
                 None => break,
@@ -609,6 +645,7 @@ impl DesignCache {
                 .insert(&key);
             inserted += 1;
         }
+        self.add_resident(inserted as i64);
         if inserted < total {
             eprintln!(
                 "cpm-serve: snapshot held {total} design(s) but only {inserted} fit the \
@@ -704,9 +741,13 @@ impl DesignCache {
                 }
             }
             drop(index);
+            let before = shard.entries.len();
             shard
                 .entries
                 .retain(|_, entry| matches!(entry, Entry::InFlight(_)));
+            let removed = before - shard.entries.len();
+            drop(shard);
+            self.add_resident(-(removed as i64));
         }
     }
 
@@ -722,7 +763,7 @@ impl DesignCache {
             preloaded: self.preloaded.load(Ordering::Relaxed),
             warm_seeded: self.warm_seeded.load(Ordering::Relaxed),
             design_nanos: self.design_nanos.load(Ordering::Relaxed),
-            entries: self.len(),
+            entries: self.resident.load(Ordering::Relaxed) as usize,
         }
     }
 
@@ -774,6 +815,7 @@ impl DesignCache {
         let mut spec = key.spec();
         if let Some(seed) = self.family_seed(key) {
             self.warm_seeded.fetch_add(1, Ordering::Relaxed);
+            cpm_obs::counter!("cpm_cache_warm_seeded_total").inc();
             spec = spec.warm_start(Some(seed));
         }
         spec.design()

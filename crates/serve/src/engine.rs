@@ -216,6 +216,7 @@ impl Engine {
                 stats: BatchStats::default(),
             });
         }
+        let batch_span = cpm_obs::span!("engine", "privatize_batch");
         for (index, request) in requests.iter().enumerate() {
             if request.input > request.key.n {
                 return Err(ServeError::InvalidInput {
@@ -302,6 +303,10 @@ impl Engine {
 
         let sample_start = Instant::now();
         let chunk_outputs = cpm_eval::par::parallel_map(tasks, |(design, indices, stream)| {
+            // Per-chunk timing is what the thread-scaling probe reads: each
+            // chunk runs on one worker, so the chunk-latency histogram is the
+            // per-thread view of the sampling phase.
+            let chunk_start = Instant::now();
             let mut rng = StdRng::seed_from_u64(splitmix64(
                 batch_seed ^ (stream + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
             ));
@@ -314,6 +319,7 @@ impl Engine {
                     (index, drawn)
                 })
                 .collect();
+            cpm_obs::histogram!("cpm_engine_chunk_nanos").record_duration(chunk_start.elapsed());
             outputs
         });
         stats.sample_time = sample_start.elapsed();
@@ -324,6 +330,10 @@ impl Engine {
                 outputs[index as usize] = drawn;
             }
         }
+        cpm_obs::counter!("cpm_engine_batches_total").inc();
+        cpm_obs::counter!("cpm_engine_draws_total").add(stats.requests as u64);
+        cpm_obs::histogram!("cpm_engine_batch_nanos").record(batch_span.elapsed_nanos());
+        cpm_obs::histogram!("cpm_engine_draws_per_sec").record(stats.draws_per_sec() as u64);
         Ok(BatchOutcome { outputs, stats })
     }
 }

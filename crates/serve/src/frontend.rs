@@ -16,13 +16,27 @@
 //!  "objective": "L0", "inputs": [3, 17, 0]}
 //! ```
 //!
-//! `op` is one of `privatize` (default when empty), `warm`, `stats`, `shutdown`.
-//! `properties` lists the paper's short names separated by `+`, `,`, or spaces.
-//! The response mirrors the request frame format:
+//! `op` is one of `privatize` (default when empty), `warm`, `stats`, `metrics`,
+//! `shutdown`.  `properties` lists the paper's short names separated by `+`,
+//! `,`, or spaces.  The response mirrors the request frame format:
 //!
 //! ```json
 //! {"ok": true, "outputs": [2, 18, 1], "cache_hits": 1, ...}
 //! ```
+//!
+//! ## The `metrics` op
+//!
+//! `{"op": "metrics"}` scrapes the process-wide [`cpm_obs`] registry without
+//! restarting or attaching to the server: the response's `metrics` field holds
+//! the full Prometheus-style text exposition (every other numeric field is
+//! zero).  An example scrape, abbreviated:
+//!
+//! ```json
+//! {"ok": true, "metrics": "# TYPE cpm_cache_hits_total counter\ncpm_cache_hits_total 412\n# TYPE cpm_engine_batch_nanos histogram\ncpm_engine_batch_nanos_bucket{le=\"524287\"} 9\n..."}
+//! ```
+//!
+//! See the `cpm-obs` crate docs for the metric catalogue (names, types,
+//! labels, meanings).
 
 use std::io::{self, Read, Write};
 
@@ -39,7 +53,8 @@ pub const MAX_FRAME_LEN: usize = 1 << 24;
 /// One request frame, as decoded from JSON.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct WireRequest {
-    /// `privatize` (default when empty), `warm`, `stats`, or `shutdown`.
+    /// `privatize` (default when empty), `warm`, `stats`, `metrics`, or
+    /// `shutdown`.
     #[serde(default)]
     pub op: String,
     /// Group size of the requested mechanism.
@@ -89,6 +104,10 @@ pub struct WireResponse {
     /// Microseconds spent sampling (this batch; 0 for `stats`).
     #[serde(default)]
     pub sample_micros: u64,
+    /// The Prometheus-style text exposition (`metrics` op only; empty
+    /// otherwise).
+    #[serde(default)]
+    pub metrics: String,
 }
 
 /// Totals for one served connection.
@@ -189,6 +208,38 @@ fn failure(message: String) -> WireResponse {
 /// Process one decoded request against the engine.  Returns the response and
 /// whether the connection should close (`shutdown`).
 pub fn dispatch(engine: &Engine, request: &WireRequest) -> (WireResponse, bool) {
+    // The request counter fires on entry so the `metrics` op's own scrape
+    // already includes it; latency is recorded after the work.
+    let op = normalized_op(request.op.as_str());
+    if cpm_obs::enabled() {
+        cpm_obs::registry()
+            .counter(&format!("cpm_wire_requests_total{{op=\"{op}\"}}"))
+            .inc();
+    }
+    let op_started = std::time::Instant::now();
+    let outcome = dispatch_inner(engine, request);
+    if cpm_obs::enabled() {
+        cpm_obs::registry()
+            .histogram(&format!("cpm_wire_op_nanos{{op=\"{op}\"}}"))
+            .record_duration(op_started.elapsed());
+    }
+    outcome
+}
+
+/// Fold a wire op into the closed label set (unknown ops become `other`) so a
+/// hostile client cannot grow the metrics registry without bound.
+fn normalized_op(op: &str) -> &'static str {
+    match op {
+        "" | "privatize" => "privatize",
+        "warm" => "warm",
+        "stats" => "stats",
+        "metrics" => "metrics",
+        "shutdown" => "shutdown",
+        _ => "other",
+    }
+}
+
+fn dispatch_inner(engine: &Engine, request: &WireRequest) -> (WireResponse, bool) {
     match request.op.as_str() {
         "" | "privatize" => match parse_key(request) {
             Ok(key) => {
@@ -246,6 +297,14 @@ pub fn dispatch(engine: &Engine, request: &WireRequest) -> (WireResponse, bool) 
                 false,
             )
         }
+        "metrics" => (
+            WireResponse {
+                ok: true,
+                metrics: cpm_obs::registry().render(),
+                ..WireResponse::default()
+            },
+            false,
+        ),
         "shutdown" => (
             WireResponse {
                 ok: true,

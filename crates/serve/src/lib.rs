@@ -65,6 +65,18 @@
 //!   binary, for stitching warm files together between runs.
 //! * [`workload`] — hot-key / Zipf-mix / cold-storm request generators shared
 //!   by the `serve_probe` bin, the `serving_throughput` bench, and the demo.
+//!
+//! ## Observability
+//!
+//! Every layer above reports into the [`cpm_obs`] telemetry crate: the cache
+//! keeps live hit/miss/evict/coalesce counters and a resident-entries gauge,
+//! the engine records per-batch and per-chunk latency histograms, the wire
+//! front end counts and times each op (and answers the `metrics` op with a
+//! Prometheus-style scrape of the whole registry), the TCP listener tracks
+//! connection lifecycle, and boot times snapshot load/save.  Tracing is gated
+//! by `CPM_TRACE`, periodic stderr scrapes by `CPM_METRICS_DUMP`, and the
+//! whole subsystem by `CPM_OBS=0`.  See the `cpm-obs` front page for the full
+//! metric catalogue.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

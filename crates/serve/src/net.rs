@@ -263,6 +263,7 @@ fn accept_loop<A: Acceptor>(
                     eprintln!("cpm-serve: at the {MAX_CONNECTIONS}-connection limit; rejecting");
                     last_ceiling_log = Some(now);
                 }
+                cpm_obs::counter!("cpm_net_rejections_total").inc();
                 A::shutdown_conn(&conn);
                 // Back off before re-polling: at the ceiling the next accept
                 // would almost certainly be rejected too, and rejecting in a
@@ -293,6 +294,8 @@ fn accept_loop<A: Acceptor>(
                         return;
                     }
                 };
+                cpm_obs::counter!("cpm_net_connections_total").inc();
+                cpm_obs::gauge!("cpm_net_active_connections").add(1);
                 match serve_connection(&engine, &mut reader, &mut writer) {
                     Ok(summary) => {
                         totals_for_conn.connections.fetch_add(1, Ordering::Relaxed);
@@ -303,8 +306,14 @@ fn accept_loop<A: Acceptor>(
                             .draws
                             .fetch_add(summary.draws, Ordering::Relaxed);
                     }
-                    Err(error) => eprintln!("cpm-serve: connection failed: {error}"),
+                    Err(error) => {
+                        eprintln!("cpm-serve: connection failed: {error}");
+                        cpm_obs::counter!("cpm_net_conn_errors_total").inc();
+                        cpm_obs::error("net", format!("connection failed: {error}"));
+                        cpm_obs::flight::dump("frontend connection error");
+                    }
                 }
+                cpm_obs::gauge!("cpm_net_active_connections").add(-1);
             });
         match handle {
             Ok(handle) => {

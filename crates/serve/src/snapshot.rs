@@ -154,7 +154,10 @@ mod tests {
         };
         assert!(filter.matches(&key));
         filter.n = vec![4];
-        assert!(!filter.matches(&key), "n mismatch must veto despite α match");
+        assert!(
+            !filter.matches(&key),
+            "n mismatch must veto despite α match"
+        );
         filter.n.push(6);
         assert!(filter.matches(&key), "any-of within a dimension");
         filter.objective = vec![ObjectiveKey::L1];

@@ -229,8 +229,8 @@ impl Dualized {
 
         let mut uncovered = (0..m).filter(|&r| !covered[r]);
         let mut dual_seed = Vec::with_capacity(ns);
-        for j in 0..ns {
-            if in_s[j] {
+        for (j, &in_basis) in in_s.iter().enumerate().take(ns) {
+            if in_basis {
                 dual_seed.push(self.y_entry_col(uncovered.next()?));
             } else {
                 dual_seed.push(self.dual_slack_col(j));
@@ -246,7 +246,11 @@ impl Dualized {
     /// for the complementary-slackness argument).  `None` when the dual
     /// basis is not mappable (a split `y` with both parts basic, or a count
     /// mismatch) — the caller falls back to the cold primal path.
-    pub fn map_dual_basis(&self, primal: &StandardForm, dual_basis: &[usize]) -> Option<Vec<usize>> {
+    pub fn map_dual_basis(
+        &self,
+        primal: &StandardForm,
+        dual_basis: &[usize],
+    ) -> Option<Vec<usize>> {
         let nd = self.sf.num_rows();
         let nds = self.sf.num_structural;
         let dual_core = self.sf.num_columns();
@@ -276,8 +280,8 @@ impl Dualized {
         let mut s_cols = (0..nd).filter(|&j| tight[j]);
         let mut primal_basis = Vec::with_capacity(m);
         let mut next_artificial = primal.num_columns();
-        for r in 0..m {
-            if y_basic[r] {
+        for (r, &y_is_basic) in y_basic.iter().enumerate().take(m) {
+            if y_is_basic {
                 // A basic y_r pairs with one tight dual row's structural
                 // column (pairing arbitrary — the factorisation re-keys).
                 primal_basis.push(s_cols.next()?);
@@ -409,7 +413,9 @@ mod tests {
     }
 
     fn primal_objective(lp: &LinearProgram) -> f64 {
-        lp.solve_with(&SolveOptions::default()).unwrap().objective_value
+        lp.solve_with(&SolveOptions::default())
+            .unwrap()
+            .objective_value
     }
 
     #[test]
@@ -474,10 +480,13 @@ mod tests {
         let point = via_dual(&lp);
         let sf = standardize(&lp);
         let values = sf.recover_values(&point.z);
-        assert_close(point.objective + sf.objective_constant, primal_objective(&lp));
+        assert_close(
+            point.objective + sf.objective_constant,
+            primal_objective(&lp),
+        );
         // f + lo within the range rows.
         let range = values[0] + values[1];
-        assert!(range >= 1.0 - 1e-9 && range <= 6.0 + 1e-9);
+        assert!((1.0 - 1e-9..=6.0 + 1e-9).contains(&range));
     }
 
     #[test]

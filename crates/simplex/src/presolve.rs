@@ -209,8 +209,11 @@ pub(crate) fn presolve(lp: &LinearProgram) -> Result<Presolved, SimplexError> {
         for &(var, coeff) in row.terms {
             *scratch.entry(uf.find(var.0)).or_insert(0.0) += coeff;
         }
-        let mut terms: Vec<(usize, f64)> =
-            scratch.iter().map(|(&v, &c)| (v, c)).filter(|&(_, c)| c != 0.0).collect();
+        let mut terms: Vec<(usize, f64)> = scratch
+            .iter()
+            .map(|(&v, &c)| (v, c))
+            .filter(|&(_, c)| c != 0.0)
+            .collect();
         terms.sort_unstable_by_key(|&(v, _)| v);
         rows.push(Some(Row {
             terms,
@@ -221,7 +224,9 @@ pub(crate) fn presolve(lp: &LinearProgram) -> Result<Presolved, SimplexError> {
 
     // ---- 2. fixed-substitution / empty-row / singleton fixpoint ------------
     let mut fixed: Vec<Option<f64>> = (0..num_vars)
-        .map(|i| (uf.parent[i] == i && lower[i].is_finite() && lower[i] == upper[i]).then_some(lower[i]))
+        .map(|i| {
+            (uf.parent[i] == i && lower[i].is_finite() && lower[i] == upper[i]).then_some(lower[i])
+        })
         .collect();
     loop {
         let mut changed = false;
@@ -281,7 +286,6 @@ pub(crate) fn presolve(lp: &LinearProgram) -> Result<Presolved, SimplexError> {
                     }
                     if lower[v] >= upper[v] {
                         let value = lower[v];
-                        lower[v] = value;
                         upper[v] = value;
                         fixed[v] = Some(value);
                     }
@@ -395,10 +399,10 @@ pub(crate) fn presolve(lp: &LinearProgram) -> Result<Presolved, SimplexError> {
             vars[v] = VarDisposition::Kept(id.index());
         }
     }
-    for v in 0..num_vars {
+    for (v, var) in vars.iter_mut().enumerate().take(num_vars) {
         let root = uf.find(v);
         if root != v {
-            vars[v] = VarDisposition::Alias(root);
+            *var = VarDisposition::Alias(root);
         }
     }
     for row in rows.iter().flatten() {

@@ -404,8 +404,7 @@ impl<'a> RevisedState<'a> {
             w.pattern.len() as f64 / m as f64
         };
         self.ftran_density = 0.9 * self.ftran_density + 0.1 * density;
-        if !w.dense {
-        }
+        if !w.dense {}
     }
 
     /// BTRAN: overwrite `y` with `y B⁻¹` (dense — used for full cost vectors).
@@ -435,8 +434,7 @@ impl<'a> RevisedState<'a> {
                 rho.pattern.clear();
             }
         }
-        if !rho.dense {
-        }
+        if !rho.dense {}
     }
 
     /// Bounded sparse BTRAN of an already-populated pattern vector in place
@@ -447,7 +445,10 @@ impl<'a> RevisedState<'a> {
     fn btran_patvec(&mut self, v: &mut PatVec) -> bool {
         debug_assert!(!v.dense);
         let cap = (2 * v.pattern.len()).max(128);
-        if self.lu.btran_sparse_bounded(&mut v.values, &mut v.pattern, cap) {
+        if self
+            .lu
+            .btran_sparse_bounded(&mut v.values, &mut v.pattern, cap)
+        {
             v.pattern.sort_unstable(); // see ftran_column on why
             true
         } else {
@@ -471,6 +472,7 @@ impl<'a> RevisedState<'a> {
     ///   degenerate pivots; the tiny transient infeasibility (≤ `feas_tol`) is
     ///   absorbed by the clamping in [`RevisedState::apply_pivot`] and by the
     ///   exact `x_B` recomputation at every refactorisation.
+    ///
     /// Boxed extension (the *long-step* part): an entering column at its lower
     /// bound moves up (`σ = +1`), one at its upper bound moves down
     /// (`σ = −1`); basic variables move by `−σ θ w_r` and may block at either
@@ -683,6 +685,7 @@ impl<'a> RevisedState<'a> {
     /// exact pivoting is nonsingular, so a rejected pivot usually means drift,
     /// and a badly conditioned exact representation beats none.
     fn refactorize(&mut self) -> Result<(), SimplexError> {
+        let refactor_started = std::time::Instant::now();
         let num_rows = self.num_rows();
         let columns: Vec<Vec<(usize, f64)>> = self
             .basis
@@ -742,6 +745,7 @@ impl<'a> RevisedState<'a> {
             }
         }
         self.xb = xb;
+        cpm_obs::histogram!("cpm_lp_refactorize_nanos").record_duration(refactor_started.elapsed());
         Ok(())
     }
 
@@ -762,6 +766,9 @@ impl<'a> RevisedState<'a> {
         context: &'static str,
         current_basis_failed: bool,
     ) -> Result<(), SimplexError> {
+        // Repairs are rare and always interesting: span them so the flight
+        // recorder shows the recovery attempts leading up to any breakdown.
+        let repair_span = cpm_obs::span!("simplex", "basis_repair");
         let mut roll_back_first = current_basis_failed;
         loop {
             if self.repair_streak >= options.max_repairs {
@@ -791,6 +798,7 @@ impl<'a> RevisedState<'a> {
                 }
             }
             if self.refactorize().is_ok() {
+                cpm_obs::histogram!("cpm_lp_repair_nanos").record(repair_span.elapsed_nanos());
                 return Ok(());
             }
             roll_back_first = true;
@@ -994,7 +1002,12 @@ impl Pricing {
     /// Scan the candidate list, evicting entries that went basic or stopped
     /// pricing favourably (they re-join through
     /// [`Pricing::consider_candidate`] if an update revives them).
-    fn select_from_list(&mut self, eps: f64, in_basis: &[bool], at_upper: &[bool]) -> Option<usize> {
+    fn select_from_list(
+        &mut self,
+        eps: f64,
+        in_basis: &[bool],
+        at_upper: &[bool],
+    ) -> Option<usize> {
         let mut best: Option<(usize, f64)> = None;
         let mut k = 0;
         while k < self.list.len() {
@@ -1252,8 +1265,7 @@ pub(crate) fn solve(
             return Ok(point);
         }
     }
-    let out = cold_solve(sf, options);
-    out
+    cold_solve(sf, options)
 }
 
 /// The original two-phase primal path (Phase 1 over artificials, Phase 2 with
@@ -1285,6 +1297,7 @@ fn cold_solve(sf: &StandardForm, options: &SolveOptions) -> Result<SolvedPoint, 
         // pivots.  The configured rule applies to Phase 2.
         pricing.rule = PricingRule::Dantzig;
         let before = state.iterations_left;
+        let phase_span = cpm_obs::span!("simplex", "phase1");
         let outcome = run_phase(
             &mut basis,
             &phase1_costs,
@@ -1293,6 +1306,9 @@ fn cold_solve(sf: &StandardForm, options: &SolveOptions) -> Result<SolvedPoint, 
             &mut pricing,
             &mut ws,
         )?;
+        cpm_obs::histogram!("cpm_lp_phase_nanos{phase=\"phase1\"}")
+            .record(phase_span.elapsed_nanos());
+        drop(phase_span);
         state.stats.phase1_iterations = before - state.iterations_left;
         if matches!(outcome, PhaseOutcome::Unbounded) {
             // Phase 1 is bounded below by zero; unboundedness is numerical.
@@ -1316,6 +1332,7 @@ fn cold_solve(sf: &StandardForm, options: &SolveOptions) -> Result<SolvedPoint, 
     pricing.reset_weights();
     pricing.resets -= 1; // the phase boundary is not a mid-run framework reset
     let before = state.iterations_left;
+    let phase_span = cpm_obs::span!("simplex", "phase2");
     let outcome = run_phase(
         &mut basis,
         &phase2_costs,
@@ -1324,6 +1341,8 @@ fn cold_solve(sf: &StandardForm, options: &SolveOptions) -> Result<SolvedPoint, 
         &mut pricing,
         &mut ws,
     )?;
+    cpm_obs::histogram!("cpm_lp_phase_nanos{phase=\"phase2\"}").record(phase_span.elapsed_nanos());
+    drop(phase_span);
     state.stats.phase2_iterations = before - state.iterations_left;
     if matches!(outcome, PhaseOutcome::Unbounded) {
         return Err(SimplexError::Unbounded);
@@ -1436,6 +1455,7 @@ pub(crate) fn warm_solve(
         }
     }
 
+    let _warm_span = cpm_obs::span!("simplex", "warm_solve");
     let mut basis = RevisedState::with_basis(sf, seed).ok()?;
     let mut state = PivotState::new(options);
     state.stats.artificial_variables = basis.num_artificials();
@@ -1760,7 +1780,12 @@ fn run_phase(
             if pricing.dirty {
                 pricing.recompute(basis, costs, &mut ws.y);
             }
-            match pricing.select(eps, options.partial_pricing, &basis.in_basis, &basis.at_upper) {
+            match pricing.select(
+                eps,
+                options.partial_pricing,
+                &basis.in_basis,
+                &basis.at_upper,
+            ) {
                 Some(j) => break Some(j),
                 None if !pricing.exact => {
                     // The incremental reduced costs may have drifted; prove

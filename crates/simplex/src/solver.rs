@@ -490,7 +490,70 @@ pub(crate) struct SolvedPoint {
 }
 
 /// Solve an already-validated program.  Called by [`LinearProgram::solve_with`].
+///
+/// This is the observability choke point for the whole solver: every solve is
+/// wrapped in a `simplex/lp_solve` span, completed stats are folded into the
+/// global metrics registry, and a [`SimplexError::NumericalBreakdown`] that
+/// *escapes* (repair budget exhausted — the recoverable ones are handled in
+/// [`crate::revised`]) dumps the flight recorder to stderr.  Setting
+/// `CPM_OBS_INJECT_BREAKDOWN=1` forces that terminal path without needing a
+/// genuinely singular basis (used by the observability integration test; keep
+/// it out of multi-test processes — it poisons every solve).
 pub(crate) fn solve_prepared(
+    lp: &LinearProgram,
+    options: &SolveOptions,
+) -> Result<Solution, SimplexError> {
+    let span = cpm_obs::span!("simplex", "lp_solve");
+    let injected = std::env::var("CPM_OBS_INJECT_BREAKDOWN")
+        .map(|v| !matches!(v.trim(), "" | "0" | "off" | "false"))
+        .unwrap_or(false);
+    let result = if injected {
+        Err(SimplexError::NumericalBreakdown {
+            context: "injected by CPM_OBS_INJECT_BREAKDOWN",
+            repairs: 0,
+        })
+    } else {
+        solve_prepared_inner(lp, options)
+    };
+    match &result {
+        Ok(solution) => record_solve_metrics(&solution.stats, span.elapsed_nanos()),
+        Err(SimplexError::NumericalBreakdown { context, repairs }) => {
+            cpm_obs::counter!("cpm_lp_breakdowns_total").inc();
+            cpm_obs::error(
+                "simplex",
+                format!("terminal numerical breakdown: {context} (after {repairs} repairs)"),
+            );
+            cpm_obs::flight::dump("solver numerical breakdown");
+        }
+        Err(_) => {}
+    }
+    result
+}
+
+/// Fold one completed solve's [`SolveStats`] into the metrics registry (see
+/// the cpm-obs crate docs for the catalogue).
+fn record_solve_metrics(stats: &SolveStats, solve_nanos: u64) {
+    if !cpm_obs::enabled() {
+        return;
+    }
+    if stats.form == LpForm::Dual {
+        cpm_obs::counter!("cpm_lp_solves_total{form=\"dual\"}").inc();
+        cpm_obs::histogram!("cpm_lp_solve_nanos{form=\"dual\"}").record(solve_nanos);
+    } else {
+        cpm_obs::counter!("cpm_lp_solves_total{form=\"primal\"}").inc();
+        cpm_obs::histogram!("cpm_lp_solve_nanos{form=\"primal\"}").record(solve_nanos);
+    }
+    cpm_obs::counter!("cpm_lp_pivots_total{phase=\"primal\"}")
+        .add((stats.phase1_iterations + stats.phase2_iterations) as u64);
+    cpm_obs::counter!("cpm_lp_pivots_total{phase=\"dual\"}").add(stats.dual_iterations as u64);
+    cpm_obs::counter!("cpm_lp_refactorizations_total").add(stats.refactorizations as u64);
+    cpm_obs::counter!("cpm_lp_repairs_total").add(stats.basis_repairs as u64);
+    if stats.warm_started {
+        cpm_obs::counter!("cpm_lp_warm_started_total").inc();
+    }
+}
+
+fn solve_prepared_inner(
     lp: &LinearProgram,
     options: &SolveOptions,
 ) -> Result<Solution, SimplexError> {
@@ -596,9 +659,10 @@ fn resolve_form(options: &SolveOptions, lp: &LinearProgram) -> LpForm {
         LpForm::Auto => {
             let rows = lp.num_constraints();
             let cols = lp.num_variables();
-            let boxed = lp.variables.iter().any(|v| {
-                v.lower.is_finite() && v.upper.is_finite() && v.upper > v.lower
-            });
+            let boxed = lp
+                .variables
+                .iter()
+                .any(|v| v.lower.is_finite() && v.upper.is_finite() && v.upper > v.lower);
             if rows >= LpForm::AUTO_MIN_ROWS && 2 * rows >= 3 * cols && !boxed {
                 LpForm::Dual
             } else {
@@ -882,7 +946,10 @@ mod tests {
         .unwrap();
         assert!(stats_json.contains("\"form\":"));
         stats_json = stats_json.replace(",\"form\":\"Dual\"", "");
-        assert!(!stats_json.contains("form"), "field removed from the fixture");
+        assert!(
+            !stats_json.contains("form"),
+            "field removed from the fixture"
+        );
         let stats: SolveStats = serde_json::from_str(&stats_json).unwrap();
         assert_eq!(
             stats.form,

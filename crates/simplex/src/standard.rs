@@ -299,7 +299,7 @@ fn standardize_with(lp: &LinearProgram, boxed: bool) -> StandardForm {
 /// the crash.  Against the per-row scale, float cancellation noise sits at
 /// ~1e-16 while a genuinely loose geometric-tail row sits at ~1e-1, so 1e-7
 /// separates them with room on both sides.
-
+///
 /// Build a **crash basis** for `lp` from a conjectured (near-)optimal point.
 ///
 /// `values` gives one value per model variable.  The returned vector is a
@@ -414,11 +414,13 @@ pub fn crash_basis(lp: &LinearProgram, values: &[f64]) -> Option<Vec<usize>> {
                     Relation::Equal => num_core + row,
                     // Tight row left over: keep its slack basic at zero, the
                     // same degenerate state a cold solve would report.
-                    _ => sf.num_structural
-                        + lp.constraints()
-                            .take(row)
-                            .filter(|c| c.relation != Relation::Equal)
-                            .count(),
+                    _ => {
+                        sf.num_structural
+                            + lp.constraints()
+                                .take(row)
+                                .filter(|c| c.relation != Relation::Equal)
+                                .count()
+                    }
                 },
             },
         });

@@ -3,9 +3,11 @@
 //! must land on the same optimum, and boxed LPs must flip bounds instead of
 //! pivoting where the long step applies.
 
-use cpm_simplex::{
-    LinearProgram, PricingRule, Relation, SolveOptions, SolverBackend, VariableId,
-};
+// The grid construction mirrors the paper's double-subscript notation; explicit
+// index loops are clearer than iterator chains here.
+#![allow(clippy::needless_range_loop)]
+
+use cpm_simplex::{LinearProgram, PricingRule, Relation, SolveOptions, SolverBackend, VariableId};
 
 /// The BASICDP-shaped grid LP from the mechanism formulation (see
 /// `mechanism_shaped_lps.rs`): degenerate, ratio-coupled, equality-normalised.
@@ -61,7 +63,9 @@ fn steepest_edge_agrees_with_devex_and_dantzig_on_the_dp_lp() {
     let steepest = lp
         .solve_with(&sparse_options(PricingRule::SteepestEdge))
         .unwrap();
-    let dantzig = lp.solve_with(&sparse_options(PricingRule::Dantzig)).unwrap();
+    let dantzig = lp
+        .solve_with(&sparse_options(PricingRule::Dantzig))
+        .unwrap();
     assert!((steepest.objective_value - devex.objective_value).abs() < 1e-8);
     assert!((steepest.objective_value - dantzig.objective_value).abs() < 1e-8);
     // Both reference-framework rules must actually have run their machinery.
@@ -109,9 +113,7 @@ fn loose_caps_are_solved_by_bound_flips_not_pivots() {
         Relation::LessEq,
         2.0 * K as f64,
     );
-    let solution = lp
-        .solve_with(&sparse_options(PricingRule::Devex))
-        .unwrap();
+    let solution = lp.solve_with(&sparse_options(PricingRule::Devex)).unwrap();
     assert!((solution.objective_value - -(K as f64)).abs() < 1e-9);
     for &v in &vars {
         assert!((solution.value(v) - 1.0).abs() < 1e-9);

@@ -18,6 +18,12 @@
 //! * [`serve`] (`cpm-serve`) — the serving subsystem: a snapshot-persistable design
 //!   cache keyed by [`cpm_core::SpecKey`], batch privatization, and stdio/TCP/unix
 //!   front ends.
+//! * [`obs`] (`cpm-obs`) — zero-dependency telemetry: a global metrics registry
+//!   (counters / gauges / log2 latency histograms with a Prometheus-style text
+//!   renderer), `CPM_TRACE`-gated tracing spans, and a flight-recorder ring
+//!   buffer dumped to stderr on solver breakdown, cache poisoning, or frontend
+//!   errors.  `CPM_METRICS_DUMP=<secs>` prints periodic scrapes; the serving
+//!   wire protocol exposes the same scrape via the `metrics` op.
 //!
 //! ## Quickstart
 //!
@@ -49,6 +55,7 @@
 pub use cpm_core as core;
 pub use cpm_data as data;
 pub use cpm_eval as eval;
+pub use cpm_obs as obs;
 pub use cpm_serve as serve;
 pub use cpm_simplex as simplex;
 

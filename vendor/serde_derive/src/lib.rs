@@ -104,8 +104,7 @@ fn skip_attributes(tokens: &[TokenTree], mut i: usize, marks: &mut SerdeMarks) -
                             if let Some(rest) = rest.strip_prefix('=') {
                                 let path = rest.trim().trim_matches('"').trim();
                                 if !path.is_empty() {
-                                    marks.default =
-                                        Some(FieldDefault::Path(path.to_string()));
+                                    marks.default = Some(FieldDefault::Path(path.to_string()));
                                 }
                             }
                         }
