@@ -1,0 +1,107 @@
+//! Collect probe: measure the report-collection pipeline — ingest throughput
+//! into the lock-striped accumulators and end-to-end estimate latency (matrix
+//! inversion included and, separately, amortised through the cached inverse).
+//! The numbers land in BENCHMARKS.md's "Collect pipeline" section.
+//!
+//! Scenarios:
+//!
+//! * `ingest/single-key` — one hot key, batches of 1M outputs through
+//!   [`ReportCollector::ingest_batch`] (one shard lock + relaxed adds);
+//! * `ingest/multi-key` — a 16-key round-robin mix through
+//!   [`ReportCollector::ingest_reports`] (run-length key grouping);
+//! * `estimate` — per group size `n ∈ {8, 32, 128}`: the first estimate (pays
+//!   the LU inversion) and the steady-state estimate (cached inverse).
+//!
+//! Overrides: `CPM_COLLECT_REPORTS` (default 1,000,000 per round),
+//! `CPM_COLLECT_ROUNDS` (default 5; best round is reported).
+
+use std::time::Instant;
+
+use cpm_collect::prelude::*;
+use cpm_core::{Alpha, MechanismSpec, PropertySet, SpecKey};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// Best-of-`rounds` wall time for `work`, in seconds.
+fn best_of<F: FnMut()>(rounds: usize, mut work: F) -> f64 {
+    let mut best = f64::MAX;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        work();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let reports = env_usize("CPM_COLLECT_REPORTS", 1_000_000);
+    let rounds = env_usize("CPM_COLLECT_ROUNDS", 5);
+    let alpha = Alpha::new(0.9).unwrap();
+
+    println!("collect probe: {reports} reports/round, best of {rounds} rounds\n");
+
+    // Ingest, single hot key: the line-rate path the smoke test floors at
+    // 1M reports/sec.
+    let key = SpecKey::new(32, alpha, PropertySet::empty());
+    let outputs: Vec<usize> = (0..reports).map(|i| i % 33).collect();
+    let secs = best_of(rounds, || {
+        let collector = ReportCollector::new();
+        let summary = collector.ingest_batch(&key, outputs.iter().copied());
+        assert_eq!(summary.accepted, reports as u64);
+    });
+    println!(
+        "ingest/single-key   {:>8.1}M reports/sec  ({:.2} ms per {reports})",
+        reports as f64 / secs / 1e6,
+        secs * 1e3
+    );
+
+    // Ingest, 16-key mix in blocks of 64: exercises the run-length grouping
+    // and spreads the stream across shards.
+    let keys: Vec<SpecKey> = (0..16)
+        .map(|rank| SpecKey::new(8 + rank, alpha, PropertySet::empty()))
+        .collect();
+    let mixed: Vec<Report> = (0..reports)
+        .map(|i| {
+            let key = keys[(i / 64) % keys.len()];
+            Report::new(key, (i % (key.n + 1)) as u32).unwrap()
+        })
+        .collect();
+    let secs = best_of(rounds, || {
+        let collector = ReportCollector::new();
+        let summary = collector.ingest_reports(&mixed);
+        assert_eq!(summary.accepted, reports as u64);
+    });
+    println!(
+        "ingest/multi-key    {:>8.1}M reports/sec  ({:.2} ms per {reports})",
+        reports as f64 / secs / 1e6,
+        secs * 1e3
+    );
+
+    // Estimate latency: cold (first call pays the LU inversion through the
+    // design's cached inverse) vs steady state (inverse already resident).
+    println!();
+    for n in [8usize, 32, 128] {
+        let design = MechanismSpec::new(n, alpha).design().expect("GM design");
+        let observed: Vec<u64> = (0..=n as u64).collect();
+
+        let start = Instant::now();
+        let freq = estimate_from_design(&design, &observed).expect("GM is invertible");
+        let cold = start.elapsed().as_secs_f64();
+        assert_eq!(freq.len(), n + 1);
+
+        let secs = best_of(rounds, || {
+            let freq = estimate_from_design(&design, &observed).expect("GM is invertible");
+            assert_eq!(freq.len(), n + 1);
+        });
+        println!(
+            "estimate n={n:<4} cold {:>9.1} µs (LU inversion)   steady {:>7.2} µs",
+            cold * 1e6,
+            secs * 1e6
+        );
+    }
+}

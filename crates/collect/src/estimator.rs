@@ -1,0 +1,293 @@
+//! Matrix-inversion frequency estimation over accumulated reports.
+//!
+//! The repo's mechanism matrices are column-stochastic with
+//! `M[i][j] = Pr[output = i | input = j]`, so an observed output histogram `o`
+//! over `N` independent reports satisfies `E[o] = M·t` where `t` is the true
+//! input histogram.  With `A = M⁻¹` the estimator is simply
+//!
+//! ```text
+//! t̂ = A·o
+//! ```
+//!
+//! which is *unbiased*: `E[t̂] = A·M·t = t`.  (The issue statement writes the
+//! solve as `M̂ᵀx = observed`; with this repo's column-stochastic row-major
+//! convention no transpose is needed — `M⁻¹` applied to the observed histogram
+//! is already the estimator.)
+//!
+//! Each report is an independent categorical draw, so the estimator's
+//! per-coordinate variance has the closed form
+//! `Var(t̂_k) = Σ_i A_ki²·E[o_i] − t_k`; the plug-in version replaces the
+//! expectations with their observed/estimated values (clamped at zero, since
+//! plug-in can go slightly negative at small counts).  Summing over `k` gives
+//! the paper's closed-form expected squared error, exposed here as
+//! [`expected_rmse`] — the oracle the end-to-end round-trip test checks its
+//! empirical RMSE against.
+
+use cpm_core::{CoreError, DesignedMechanism, Mechanism};
+use cpm_eval::metrics::{confidence_interval, ConfidenceInterval};
+
+/// Unbiased input-frequency estimates for one mechanism's report stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrequencyEstimates {
+    /// Total reports behind the estimate (`Σ observed`).
+    pub total_reports: u64,
+    /// `t̂_k` for each input count `k` in `0..=n`.  Individual entries may be
+    /// negative (the unbiased estimator is not constrained to the simplex).
+    pub estimates: Vec<f64>,
+    /// Plug-in variance of each `t̂_k`, clamped at zero.
+    pub variances: Vec<f64>,
+}
+
+impl FrequencyEstimates {
+    /// Number of histogram cells (`n + 1`).
+    pub fn len(&self) -> usize {
+        self.estimates.len()
+    }
+
+    /// Whether the estimate is empty (never true for a designed mechanism).
+    pub fn is_empty(&self) -> bool {
+        self.estimates.is_empty()
+    }
+
+    /// Normal-approximation confidence interval for cell `k` at `level`.
+    pub fn confidence_interval(&self, k: usize, level: f64) -> ConfidenceInterval {
+        confidence_interval(self.estimates[k], self.variances[k], level)
+    }
+
+    /// The estimates clamped to `[0, ∞)` and rounded to integer counts — the
+    /// form `cpm_eval`'s empirical metrics score against a true histogram.
+    pub fn rounded_counts(&self) -> Vec<usize> {
+        self.estimates
+            .iter()
+            .map(|&e| e.max(0.0).round() as usize)
+            .collect()
+    }
+
+    /// Empirical root-mean-square error against a known true histogram
+    /// (test/benchmark oracle; real deployments have no truth to compare to).
+    pub fn rmse_against(&self, truth: &[f64]) -> f64 {
+        assert_eq!(truth.len(), self.estimates.len());
+        let sum_squares: f64 = self
+            .estimates
+            .iter()
+            .zip(truth)
+            .map(|(&e, &t)| (e - t) * (e - t))
+            .sum();
+        (sum_squares / truth.len() as f64).sqrt()
+    }
+}
+
+/// Estimate input frequencies from a raw inverse matrix (row-major
+/// `dim × dim`) and an observed output histogram of length `dim`.
+pub fn estimate_with_inverse(inverse: &[f64], observed: &[u64]) -> FrequencyEstimates {
+    let dim = observed.len();
+    assert_eq!(
+        inverse.len(),
+        dim * dim,
+        "inverse must be dim x dim for the observed histogram"
+    );
+    let start = cpm_obs::enabled().then(cpm_obs::now_nanos);
+    let observed_f: Vec<f64> = observed.iter().map(|&c| c as f64).collect();
+    let total_reports: u64 = observed.iter().fold(0u64, |acc, &c| acc.saturating_add(c));
+    let mut estimates = vec![0.0; dim];
+    let mut variances = vec![0.0; dim];
+    for k in 0..dim {
+        let row = &inverse[k * dim..(k + 1) * dim];
+        let mut est = 0.0;
+        let mut second_moment = 0.0;
+        for i in 0..dim {
+            est += row[i] * observed_f[i];
+            second_moment += row[i] * row[i] * observed_f[i];
+        }
+        estimates[k] = est;
+        variances[k] = (second_moment - est).max(0.0);
+    }
+    if let Some(start) = start {
+        cpm_obs::counter!("cpm_collect_estimates_total").inc();
+        cpm_obs::histogram!("cpm_collect_estimate_nanos")
+            .record(cpm_obs::now_nanos().saturating_sub(start));
+    }
+    FrequencyEstimates {
+        total_reports,
+        estimates,
+        variances,
+    }
+}
+
+/// Estimate input frequencies for a designed mechanism, using its cached
+/// inverse.  Fails for singular designs (the Uniform mechanism).
+pub fn estimate_from_design(
+    design: &DesignedMechanism,
+    observed: &[u64],
+) -> Result<FrequencyEstimates, CoreError> {
+    let dim = design.mechanism().dim();
+    if observed.len() != dim {
+        return Err(CoreError::DimensionMismatch {
+            entries: observed.len(),
+            expected: dim,
+        });
+    }
+    Ok(estimate_with_inverse(design.inverse()?, observed))
+}
+
+/// Estimate input frequencies for a raw mechanism (factors the inverse on
+/// every call; prefer [`estimate_from_design`] for repeated estimates).
+pub fn estimate(mechanism: &Mechanism, observed: &[u64]) -> Result<FrequencyEstimates, CoreError> {
+    let dim = mechanism.dim();
+    if observed.len() != dim {
+        return Err(CoreError::DimensionMismatch {
+            entries: observed.len(),
+            expected: dim,
+        });
+    }
+    Ok(estimate_with_inverse(&mechanism.inverse()?, observed))
+}
+
+/// The closed-form expected root-mean-square error of the estimator on a true
+/// input histogram `truth` (counts, summing to the population size `N`):
+///
+/// ```text
+/// E[Σ_k (t̂_k − t_k)²] = Σ_i (Σ_k A_ki²)·E[o_i] − N,   E[o] = M·t
+/// ```
+///
+/// divided by the cell count and square-rooted.  This is the paper's error
+/// bound specialised to the deployed design; the end-to-end test asserts the
+/// empirical RMSE lands within 2× of it.
+pub fn expected_rmse(mechanism: &Mechanism, truth: &[f64]) -> Result<f64, CoreError> {
+    let dim = mechanism.dim();
+    if truth.len() != dim {
+        return Err(CoreError::DimensionMismatch {
+            entries: truth.len(),
+            expected: dim,
+        });
+    }
+    let inverse = mechanism.inverse()?;
+    let population: f64 = truth.iter().sum();
+    let mut expected_sse = -population;
+    for i in 0..dim {
+        // E[o_i] = Σ_j M_ij t_j.
+        let expected_observed: f64 = (0..dim).map(|j| mechanism.prob(i, j) * truth[j]).sum();
+        let column_norm: f64 = (0..dim)
+            .map(|k| {
+                let a = inverse[k * dim + i];
+                a * a
+            })
+            .sum();
+        expected_sse += column_norm * expected_observed;
+    }
+    Ok((expected_sse.max(0.0) / dim as f64).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpm_core::prelude::*;
+
+    fn gm_design(n: usize, alpha: f64) -> DesignedMechanism {
+        MechanismSpec::new(n, Alpha::new(alpha).unwrap())
+            .design()
+            .unwrap()
+    }
+
+    #[test]
+    fn exact_expected_histogram_recovers_the_truth_exactly() {
+        // Feed the estimator o = M·t (the noiseless expectation, scaled to
+        // integers): t̂ must equal t to solver precision.
+        let design = gm_design(6, 0.5);
+        let m = design.mechanism();
+        let dim = m.dim();
+        let truth: Vec<f64> = (0..dim).map(|k| (1000 * (k + 1)) as f64).collect();
+        // Build integer-valued o by scaling: use a large multiple so rounding
+        // is negligible.
+        let observed: Vec<u64> = (0..dim)
+            .map(|i| {
+                let expected: f64 = (0..dim).map(|j| m.prob(i, j) * truth[j] * 1e6).sum();
+                expected.round() as u64
+            })
+            .collect();
+        let estimates = estimate_from_design(&design, &observed).unwrap();
+        for (k, &t) in truth.iter().enumerate() {
+            let scaled = estimates.estimates[k] / 1e6;
+            assert!((scaled - t).abs() < 1.0, "cell {k}: {scaled} vs {t}");
+        }
+    }
+
+    #[test]
+    fn estimates_sum_to_the_report_total() {
+        // Every column of M⁻¹ sums to 1 (M is column-stochastic), so Σt̂ = Σo.
+        let design = gm_design(8, 0.9);
+        let observed: Vec<u64> = (0..design.mechanism().dim())
+            .map(|i| (i as u64 + 1) * 37)
+            .collect();
+        let total: u64 = observed.iter().sum();
+        let estimates = estimate_from_design(&design, &observed).unwrap();
+        assert_eq!(estimates.total_reports, total);
+        let sum: f64 = estimates.estimates.iter().sum();
+        assert!(
+            (sum - total as f64).abs() < 1e-6 * total as f64,
+            "{sum} vs {total}"
+        );
+    }
+
+    #[test]
+    fn uniform_mechanism_reports_singular() {
+        // The Uniform mechanism's identical columns carry nothing to invert.
+        let um = UniformMechanism::new(4).unwrap();
+        let observed = vec![5u64; 5];
+        let err = estimate(um.matrix(), &observed).unwrap_err();
+        assert!(matches!(err, CoreError::SingularMatrix { .. }), "{err}");
+    }
+
+    #[test]
+    fn cached_inverse_is_reused_and_errs_are_cached_too() {
+        let design = gm_design(5, 0.7);
+        let first = design.inverse().unwrap().as_ptr();
+        let second = design.inverse().unwrap().as_ptr();
+        assert_eq!(first, second, "the inverse must be factored once");
+    }
+
+    #[test]
+    fn dimension_mismatches_are_reported() {
+        let design = gm_design(4, 0.5);
+        let err = estimate_from_design(&design, &[1, 2, 3]).unwrap_err();
+        assert!(matches!(err, CoreError::DimensionMismatch { .. }));
+        let err = expected_rmse(design.mechanism(), &[1.0]).unwrap_err();
+        assert!(matches!(err, CoreError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn plug_in_variance_tracks_the_closed_form() {
+        // With o set to its expectation, the plug-in per-cell variances summed
+        // and normalised must reproduce expected_rmse almost exactly.
+        let design = gm_design(6, 0.8);
+        let m = design.mechanism();
+        let dim = m.dim();
+        let truth: Vec<f64> = vec![10_000.0; dim];
+        let observed: Vec<u64> = (0..dim)
+            .map(|i| {
+                (0..dim)
+                    .map(|j| m.prob(i, j) * truth[j])
+                    .sum::<f64>()
+                    .round() as u64
+            })
+            .collect();
+        let estimates = estimate_from_design(&design, &observed).unwrap();
+        let plug_in_rmse = (estimates.variances.iter().sum::<f64>() / dim as f64).sqrt();
+        let oracle = expected_rmse(m, &truth).unwrap();
+        assert!(
+            (plug_in_rmse - oracle).abs() < 0.05 * oracle.max(1.0),
+            "plug-in {plug_in_rmse} vs closed form {oracle}"
+        );
+    }
+
+    #[test]
+    fn confidence_intervals_wrap_the_eval_helpers() {
+        let design = gm_design(4, 0.9);
+        let observed = vec![100u64; 5];
+        let estimates = estimate_from_design(&design, &observed).unwrap();
+        let ci = estimates.confidence_interval(2, 0.95);
+        assert_eq!(ci.level, 0.95);
+        assert!(ci.half_width > 0.0);
+        assert!(ci.contains(estimates.estimates[2]));
+    }
+}

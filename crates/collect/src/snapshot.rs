@@ -1,0 +1,150 @@
+//! Periodic estimate snapshots with atomic tmp-rename persistence.
+//!
+//! Mirrors `cpm_serve::snapshot`'s discipline: a snapshot file is a JSON
+//! array, written to a `.tmp` sibling, fsynced, and renamed into place so a
+//! concurrent reader (a dashboard, the next process generation) never
+//! observes a torn file.  Unlike design snapshots these are *outputs* — a
+//! frozen view of what the collector currently believes about each key's
+//! input distribution.
+
+use std::io;
+use std::path::Path;
+
+use cpm_core::SpecKey;
+use serde::{Deserialize, Serialize};
+
+use crate::estimator::FrequencyEstimates;
+
+/// One key's frozen estimate: the collector's belief at snapshot time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EstimateSnapshot {
+    /// The mechanism the reports were drawn from.
+    pub key: SpecKey,
+    /// Reports behind the estimate.
+    pub total_reports: u64,
+    /// Unbiased per-cell frequency estimates (`0..=n`).
+    pub estimates: Vec<f64>,
+    /// Plug-in variances, aligned with `estimates`.
+    pub variances: Vec<f64>,
+}
+
+impl EstimateSnapshot {
+    /// Freeze a [`FrequencyEstimates`] under its key.
+    pub fn from_estimates(key: SpecKey, estimates: &FrequencyEstimates) -> Self {
+        EstimateSnapshot {
+            key,
+            total_reports: estimates.total_reports,
+            estimates: estimates.estimates.clone(),
+            variances: estimates.variances.clone(),
+        }
+    }
+
+    /// Internal-consistency check used on read: both vectors must span the
+    /// key's `0..=n` cells.
+    fn validate(&self) -> Result<(), String> {
+        let dim = self.key.n + 1;
+        if self.estimates.len() != dim || self.variances.len() != dim {
+            return Err(format!(
+                "snapshot for {} carries {} estimates / {} variances, expected {dim}",
+                self.key,
+                self.estimates.len(),
+                self.variances.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Write snapshots atomically (`.tmp` sibling + fsync + rename).
+pub fn write_file<P: AsRef<Path>>(path: P, snapshots: &[EstimateSnapshot]) -> io::Result<()> {
+    let path = path.as_ref();
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    let text = serde_json::to_string(&snapshots.to_vec())
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    {
+        use std::io::Write as _;
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(text.as_bytes())?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Read a snapshot file, validating each entry's shape against its key.
+pub fn read_file<P: AsRef<Path>>(path: P) -> io::Result<Vec<EstimateSnapshot>> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path)?;
+    let snapshots: Vec<EstimateSnapshot> = serde_json::from_str(&text).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("parsing {}: {e}", path.display()),
+        )
+    })?;
+    for snapshot in &snapshots {
+        snapshot
+            .validate()
+            .map_err(|msg| io::Error::new(io::ErrorKind::InvalidData, msg))?;
+    }
+    Ok(snapshots)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpm_core::{Alpha, PropertySet};
+
+    fn snapshot(n: usize) -> EstimateSnapshot {
+        EstimateSnapshot {
+            key: SpecKey::new(n, Alpha::new(0.9).unwrap(), PropertySet::empty()),
+            total_reports: 42,
+            estimates: vec![1.5; n + 1],
+            variances: vec![0.25; n + 1],
+        }
+    }
+
+    #[test]
+    fn write_then_read_round_trips_and_leaves_no_tmp() {
+        let dir = std::env::temp_dir().join("cpm_collect_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("estimates.json");
+        let snapshots = vec![snapshot(3), snapshot(5)];
+        write_file(&path, &snapshots).unwrap();
+        assert!(
+            !path.with_extension("json.tmp").exists(),
+            "the tmp sibling must be renamed away"
+        );
+        let restored = read_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(restored, snapshots);
+    }
+
+    #[test]
+    fn malformed_shapes_are_rejected_on_read() {
+        let dir = std::env::temp_dir().join("cpm_collect_snapshot_bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        let mut bad = snapshot(3);
+        bad.estimates.pop();
+        write_file(&path, &[bad]).unwrap();
+        let err = read_file(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("expected 4"), "{err}");
+    }
+
+    #[test]
+    fn from_estimates_freezes_the_current_belief() {
+        let estimates = FrequencyEstimates {
+            total_reports: 7,
+            estimates: vec![1.0, 2.0, 4.0],
+            variances: vec![0.1, 0.2, 0.3],
+        };
+        let key = SpecKey::new(2, Alpha::new(0.5).unwrap(), PropertySet::empty());
+        let frozen = EstimateSnapshot::from_estimates(key, &estimates);
+        assert_eq!(frozen.total_reports, 7);
+        assert_eq!(frozen.estimates, estimates.estimates);
+        frozen.validate().unwrap();
+    }
+}

@@ -1,0 +1,415 @@
+//! The fixed-size binary report wire format.
+//!
+//! A *report* is the whole client→collector payload of local differential
+//! privacy: the mechanism the client drew from (its bit-exact [`SpecKey`]) and
+//! the privatized output index — never the true input.  Reports travel in
+//! *batch frames* that ride the serve front end's existing 4-byte
+//! length-prefixed framing; the first bytes of the payload distinguish a
+//! binary report frame from a JSON request (JSON can never start with
+//! [`REPORT_MAGIC`]).
+//!
+//! ## Frame layout (all integers little-endian)
+//!
+//! ```text
+//! header (12 bytes)                 records (20 bytes each)
+//! +-------+---------+------+-------+ +-----+------------+-------+-----+-----+--------+
+//! | magic | version | rsvd | count | |  n  | alpha bits | props | obj |  d  | output |
+//! | 4B    | u16     | u16  | u32   | | u32 | u64        | u8    | u8  | u16 | u32    |
+//! +-------+---------+------+-------+ +-----+------------+-------+-----+-----+--------+
+//! ```
+//!
+//! * `magic` — [`REPORT_MAGIC`] (`b"CPMR"`).
+//! * `version` — [`WIRE_VERSION`]; decoding rejects anything newer.
+//! * `count` — number of records; the frame length must match exactly.
+//! * `alpha bits` — the IEEE-754 bits of α, bit-exact with [`AlphaKey`] so a
+//!   decoded report lands on the same cache/accumulator key that designed it.
+//! * `props` — [`PropertySet::bits`] (values ≥ 128 are invalid).
+//! * `obj`/`d` — objective tag (`0=L0, 1=L1, 2=L2, 3=L0,d`) and the `L0,d`
+//!   threshold (must be 0 unless the tag is `3`).
+//! * `output` — the reported output index in `0..=n`.
+//!
+//! Every field is validated on decode: a hostile or corrupt frame yields a
+//! [`WireError`], never a panic or a poisoned accumulator.
+
+use std::fmt;
+
+use cpm_core::{Alpha, ObjectiveKey, PropertySet, SpecKey};
+
+/// Leading bytes of a binary report frame.
+pub const REPORT_MAGIC: [u8; 4] = *b"CPMR";
+
+/// Current frame version; bump on any layout change.
+pub const WIRE_VERSION: u16 = 1;
+
+/// Bytes in the batch-frame header.
+pub const HEADER_LEN: usize = 12;
+
+/// Bytes per report record.
+pub const RECORD_LEN: usize = 20;
+
+const OBJ_L0: u8 = 0;
+const OBJ_L1: u8 = 1;
+const OBJ_L2: u8 = 2;
+const OBJ_L0_BEYOND: u8 = 3;
+
+/// One privatized report: which designed mechanism produced it and the output
+/// index the client drew.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Report {
+    /// The mechanism the client was served.
+    pub key: SpecKey,
+    /// The privatized output index, in `0..=key.n`.
+    pub output: u32,
+}
+
+impl Report {
+    /// Build a report, checking the output range.
+    pub fn new(key: SpecKey, output: u32) -> Result<Self, WireError> {
+        if output as usize > key.n {
+            return Err(WireError::OutputOutOfRange { output, n: key.n });
+        }
+        Ok(Report { key, output })
+    }
+}
+
+/// Decoding/encoding failures for binary report frames.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireError {
+    /// The payload does not start with [`REPORT_MAGIC`].
+    BadMagic,
+    /// The frame's version is newer than this decoder.
+    UnsupportedVersion(u16),
+    /// The payload length does not match `HEADER_LEN + count * RECORD_LEN`.
+    LengthMismatch {
+        /// Declared record count.
+        count: u32,
+        /// Actual payload length in bytes.
+        len: usize,
+    },
+    /// A record's α bits decode to a value outside `(0, 1]`.
+    InvalidAlpha(f64),
+    /// A record's property bitmask has undefined bits set.
+    InvalidProperties(u8),
+    /// A record's objective tag is unknown, or `d` is inconsistent with it.
+    InvalidObjective {
+        /// The objective tag byte.
+        tag: u8,
+        /// The accompanying distance field.
+        d: u16,
+    },
+    /// A record's group size is zero.
+    InvalidGroupSize,
+    /// The `L0,d` threshold exceeds the group size.
+    DistanceTooLarge {
+        /// The threshold.
+        d: usize,
+        /// The group size.
+        n: usize,
+    },
+    /// A reported output exceeds the key's group size.
+    OutputOutOfRange {
+        /// The reported output.
+        output: u32,
+        /// The group size.
+        n: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMagic => write!(f, "payload does not start with the CPMR report magic"),
+            WireError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported report frame version {v} (decoder speaks {WIRE_VERSION})"
+                )
+            }
+            WireError::LengthMismatch { count, len } => write!(
+                f,
+                "frame declares {count} records but carries {len} bytes \
+                 (expected {})",
+                HEADER_LEN + *count as usize * RECORD_LEN
+            ),
+            WireError::InvalidAlpha(value) => {
+                write!(f, "report alpha {value} is outside (0, 1]")
+            }
+            WireError::InvalidProperties(bits) => {
+                write!(f, "report property bitmask {bits:#04x} has undefined bits")
+            }
+            WireError::InvalidObjective { tag, d } => {
+                write!(f, "report objective tag {tag} with d = {d} is invalid")
+            }
+            WireError::InvalidGroupSize => write!(f, "report group size n must be >= 1"),
+            WireError::DistanceTooLarge { d, n } => {
+                write!(f, "report L0,d threshold {d} exceeds group size {n}")
+            }
+            WireError::OutputOutOfRange { output, n } => {
+                write!(f, "report output {output} exceeds group size {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Whether a frame payload looks like a binary report frame (magic match).
+pub fn is_report_frame(payload: &[u8]) -> bool {
+    payload.len() >= REPORT_MAGIC.len() && payload[..REPORT_MAGIC.len()] == REPORT_MAGIC
+}
+
+fn objective_tag(objective: ObjectiveKey) -> (u8, u16) {
+    match objective {
+        ObjectiveKey::L0 => (OBJ_L0, 0),
+        ObjectiveKey::L1 => (OBJ_L1, 0),
+        ObjectiveKey::L2 => (OBJ_L2, 0),
+        ObjectiveKey::L0Beyond(d) => (OBJ_L0_BEYOND, d as u16),
+    }
+}
+
+/// Append one record's 20 bytes to `out`.
+///
+/// Fails when the key cannot be represented: `n` beyond `u32`, or an `L0,d`
+/// threshold beyond `u16` (both far outside any designable mechanism).
+pub fn encode_record(report: &Report, out: &mut Vec<u8>) -> Result<(), WireError> {
+    let key = &report.key;
+    if key.n > u32::MAX as usize {
+        return Err(WireError::InvalidGroupSize);
+    }
+    if let ObjectiveKey::L0Beyond(d) = key.objective {
+        if d > u16::MAX as usize {
+            return Err(WireError::DistanceTooLarge { d, n: key.n });
+        }
+    }
+    let (tag, d) = objective_tag(key.objective);
+    out.extend_from_slice(&(key.n as u32).to_le_bytes());
+    out.extend_from_slice(&key.alpha.bits().to_le_bytes());
+    out.push(key.properties.bits());
+    out.push(tag);
+    out.extend_from_slice(&d.to_le_bytes());
+    out.extend_from_slice(&report.output.to_le_bytes());
+    Ok(())
+}
+
+/// Decode one 20-byte record, validating every field.
+pub fn decode_record(bytes: &[u8]) -> Result<Report, WireError> {
+    assert_eq!(bytes.len(), RECORD_LEN, "record slice must be RECORD_LEN");
+    let n = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+    if n == 0 {
+        return Err(WireError::InvalidGroupSize);
+    }
+    let alpha_bits = u64::from_le_bytes(bytes[4..12].try_into().unwrap());
+    let alpha_value = f64::from_bits(alpha_bits);
+    let alpha = Alpha::new(alpha_value).map_err(|_| WireError::InvalidAlpha(alpha_value))?;
+    let properties =
+        PropertySet::from_bits(bytes[12]).ok_or(WireError::InvalidProperties(bytes[12]))?;
+    let tag = bytes[13];
+    let d = u16::from_le_bytes(bytes[14..16].try_into().unwrap());
+    let objective = match (tag, d) {
+        (OBJ_L0, 0) => ObjectiveKey::L0,
+        (OBJ_L1, 0) => ObjectiveKey::L1,
+        (OBJ_L2, 0) => ObjectiveKey::L2,
+        (OBJ_L0_BEYOND, d) => {
+            if d as usize > n {
+                return Err(WireError::DistanceTooLarge { d: d as usize, n });
+            }
+            ObjectiveKey::L0Beyond(d as usize)
+        }
+        (tag, d) => return Err(WireError::InvalidObjective { tag, d }),
+    };
+    let output = u32::from_le_bytes(bytes[16..20].try_into().unwrap());
+    let key = SpecKey::with_objective(n, alpha, properties, objective);
+    Report::new(key, output)
+}
+
+/// Encode a batch of reports as one frame payload (header + records), ready to
+/// hand to the length-prefixed framer.
+pub fn encode_batch(reports: &[Report]) -> Result<Vec<u8>, WireError> {
+    let mut out = Vec::with_capacity(HEADER_LEN + reports.len() * RECORD_LEN);
+    out.extend_from_slice(&REPORT_MAGIC);
+    out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+    out.extend_from_slice(&0u16.to_le_bytes());
+    out.extend_from_slice(&(reports.len() as u32).to_le_bytes());
+    for report in reports {
+        encode_record(report, &mut out)?;
+    }
+    Ok(out)
+}
+
+/// Decode a frame payload into its reports, validating the header and every
+/// record.
+pub fn decode_batch(payload: &[u8]) -> Result<Vec<Report>, WireError> {
+    if !is_report_frame(payload) {
+        return Err(WireError::BadMagic);
+    }
+    if payload.len() < HEADER_LEN {
+        return Err(WireError::LengthMismatch {
+            count: 0,
+            len: payload.len(),
+        });
+    }
+    let version = u16::from_le_bytes(payload[4..6].try_into().unwrap());
+    if version != WIRE_VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    let count = u32::from_le_bytes(payload[8..12].try_into().unwrap());
+    let expected = HEADER_LEN + count as usize * RECORD_LEN;
+    if payload.len() != expected {
+        return Err(WireError::LengthMismatch {
+            count,
+            len: payload.len(),
+        });
+    }
+    let mut reports = Vec::with_capacity(count as usize);
+    for chunk in payload[HEADER_LEN..].chunks_exact(RECORD_LEN) {
+        reports.push(decode_record(chunk)?);
+    }
+    Ok(reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpm_core::{Property, PropertySet};
+
+    fn key(n: usize, alpha: f64) -> SpecKey {
+        SpecKey::new(n, Alpha::new(alpha).unwrap(), PropertySet::empty())
+    }
+
+    fn keyed(n: usize, alpha: f64, objective: ObjectiveKey) -> SpecKey {
+        SpecKey::with_objective(
+            n,
+            Alpha::new(alpha).unwrap(),
+            PropertySet::empty(),
+            objective,
+        )
+    }
+
+    #[test]
+    fn batch_round_trips_every_objective_and_property_mix() {
+        let keys = [
+            key(8, 0.9),
+            keyed(32, 0.5, ObjectiveKey::L1),
+            keyed(4, 0.76, ObjectiveKey::L2),
+            keyed(16, 0.3, ObjectiveKey::L0Beyond(2)),
+            SpecKey::new(
+                6,
+                Alpha::new(0.65).unwrap(),
+                PropertySet::empty()
+                    .with(Property::Fairness)
+                    .with(Property::WeakHonesty),
+            ),
+        ];
+        let reports: Vec<Report> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| Report::new(k, i as u32).unwrap())
+            .collect();
+        let payload = encode_batch(&reports).unwrap();
+        assert!(is_report_frame(&payload));
+        assert_eq!(payload.len(), HEADER_LEN + reports.len() * RECORD_LEN);
+        let decoded = decode_batch(&payload).unwrap();
+        assert_eq!(decoded, reports);
+    }
+
+    #[test]
+    fn alpha_bits_survive_bit_exactly() {
+        // 0.1 has no exact binary representation; the key must still match.
+        let k = key(5, 0.1);
+        let payload = encode_batch(&[Report::new(k, 3).unwrap()]).unwrap();
+        let decoded = decode_batch(&payload).unwrap();
+        assert_eq!(decoded[0].key, k);
+        assert_eq!(decoded[0].key.alpha.bits(), k.alpha.bits());
+    }
+
+    #[test]
+    fn hostile_frames_are_rejected_not_panicked() {
+        assert_eq!(decode_batch(b"not a frame"), Err(WireError::BadMagic));
+        assert_eq!(decode_batch(b""), Err(WireError::BadMagic));
+        // Magic present but the header itself is truncated.
+        let good = encode_batch(&[Report::new(key(8, 0.9), 1).unwrap()]).unwrap();
+        assert!(matches!(
+            decode_batch(&good[..HEADER_LEN - 2]),
+            Err(WireError::LengthMismatch { count: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_and_overlong_frames_are_length_mismatches() {
+        let good = encode_batch(&[Report::new(key(8, 0.9), 1).unwrap()]).unwrap();
+        let truncated = &good[..good.len() - 1];
+        assert!(matches!(
+            decode_batch(truncated),
+            Err(WireError::LengthMismatch { .. })
+        ));
+        let mut overlong = good.clone();
+        overlong.push(0);
+        assert!(matches!(
+            decode_batch(&overlong),
+            Err(WireError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn future_versions_are_refused() {
+        let mut payload = encode_batch(&[Report::new(key(8, 0.9), 1).unwrap()]).unwrap();
+        payload[4..6].copy_from_slice(&2u16.to_le_bytes());
+        assert_eq!(
+            decode_batch(&payload),
+            Err(WireError::UnsupportedVersion(2))
+        );
+    }
+
+    #[test]
+    fn corrupt_records_name_the_bad_field() {
+        let base = Report::new(key(8, 0.9), 1).unwrap();
+        // α out of range.
+        let mut payload = encode_batch(&[base]).unwrap();
+        payload[HEADER_LEN + 4..HEADER_LEN + 12].copy_from_slice(&2.0f64.to_bits().to_le_bytes());
+        assert!(matches!(
+            decode_batch(&payload),
+            Err(WireError::InvalidAlpha(v)) if v == 2.0
+        ));
+        // Undefined property bit.
+        let mut payload = encode_batch(&[base]).unwrap();
+        payload[HEADER_LEN + 12] = 0x80;
+        assert_eq!(
+            decode_batch(&payload),
+            Err(WireError::InvalidProperties(0x80))
+        );
+        // Unknown objective tag.
+        let mut payload = encode_batch(&[base]).unwrap();
+        payload[HEADER_LEN + 13] = 9;
+        assert!(matches!(
+            decode_batch(&payload),
+            Err(WireError::InvalidObjective { tag: 9, .. })
+        ));
+        // Non-zero d on a non-L0,d objective.
+        let mut payload = encode_batch(&[base]).unwrap();
+        payload[HEADER_LEN + 14] = 1;
+        assert!(matches!(
+            decode_batch(&payload),
+            Err(WireError::InvalidObjective { tag: OBJ_L0, d: 1 })
+        ));
+        // Output beyond n.
+        let mut payload = encode_batch(&[base]).unwrap();
+        payload[HEADER_LEN + 16..HEADER_LEN + 20].copy_from_slice(&9u32.to_le_bytes());
+        assert_eq!(
+            decode_batch(&payload),
+            Err(WireError::OutputOutOfRange { output: 9, n: 8 })
+        );
+        // Zero group size.
+        let mut payload = encode_batch(&[base]).unwrap();
+        payload[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&0u32.to_le_bytes());
+        assert_eq!(decode_batch(&payload), Err(WireError::InvalidGroupSize));
+    }
+
+    #[test]
+    fn report_new_checks_the_output_range() {
+        assert!(Report::new(key(4, 0.5), 4).is_ok());
+        assert_eq!(
+            Report::new(key(4, 0.5), 5),
+            Err(WireError::OutputOutOfRange { output: 5, n: 4 })
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests for the collect pipeline: the matrix-inversion
+//! estimator is unbiased in expectation for random invertible mechanisms and
+//! random populations, and sharded/merged accumulation is bit-for-bit equal to
+//! single-threaded ingestion of the same stream.
+
+use std::sync::Arc;
+
+use cpm_collect::prelude::*;
+use cpm_core::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn gm_design(n: usize, alpha: f64) -> DesignedMechanism {
+    // The unconstrained L0 design is the Geometric Mechanism — always
+    // invertible (unlike the Uniform mechanism), which is what an estimator
+    // proptest needs.
+    MechanismSpec::new(n, Alpha::new(alpha).unwrap())
+        .design()
+        .unwrap()
+}
+
+/// Draw a random population over `0..=n` (counts summing to `total`) from a
+/// seeded multinomial with random cell weights.
+fn random_population(n: usize, total: u64, rng: &mut StdRng) -> Vec<u64> {
+    let weights: Vec<f64> = (0..=n).map(|_| rng.gen_range(0.05f64..1.0)).collect();
+    let weight_sum: f64 = weights.iter().sum();
+    let mut counts: Vec<u64> = weights
+        .iter()
+        .map(|w| (w / weight_sum * total as f64).floor() as u64)
+        .collect();
+    let assigned: u64 = counts.iter().sum();
+    counts[0] += total - assigned;
+    counts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Over seeded trials, the mean of `t̂_k` lands within the CI half-width
+    /// of the true `t_k`: the estimator is unbiased in expectation.
+    #[test]
+    fn estimates_are_unbiased_in_expectation(
+        n in 4usize..12,
+        alpha in 0.3f64..0.9,
+        seed in 0u64..1_000,
+    ) {
+        let design = gm_design(n, alpha);
+        let sampler = design.alias_sampler();
+        let trials = 8;
+        let per_trial: u64 = 40_000;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let truth = random_population(n, per_trial, &mut rng);
+        // Watch the cell with the largest true count (best signal-to-noise).
+        let watched = truth
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(k, _)| k)
+            .unwrap();
+
+        let mut estimates_of_watched = Vec::with_capacity(trials);
+        let mut variance_of_watched = 0.0;
+        for trial in 0..trials {
+            let mut draw_rng =
+                StdRng::seed_from_u64(seed ^ (0x9E37_79B9 + trial as u64));
+            let collector = ReportCollector::new();
+            for (input, &count) in truth.iter().enumerate() {
+                collector.ingest_batch(
+                    &design.key(),
+                    (0..count).map(|_| sampler.sample(input, &mut draw_rng)),
+                );
+            }
+            let observed = collector.observed(&design.key()).unwrap();
+            prop_assert_eq!(observed.iter().sum::<u64>(), per_trial);
+            let freq = estimate_from_design(&design, &observed).unwrap();
+            estimates_of_watched.push(freq.estimates[watched]);
+            variance_of_watched = freq.variances[watched];
+        }
+
+        let mean: f64 = estimates_of_watched.iter().sum::<f64>() / trials as f64;
+        // CI for the mean of `trials` independent estimates, with a generous
+        // z (≈5σ) so the deterministic seeds stay far from the boundary.
+        let half_width = 5.0 * (variance_of_watched / trials as f64).sqrt();
+        prop_assert!(
+            (mean - truth[watched] as f64).abs() <= half_width.max(1.0),
+            "cell {}: mean estimate {} vs truth {} (half-width {})",
+            watched, mean, truth[watched], half_width
+        );
+    }
+
+    /// Partitioning a mixed-key report stream across sub-collectors (ingested
+    /// from threads) and merging equals single-threaded ingestion bit-for-bit.
+    #[test]
+    fn sharded_merge_equals_single_threaded_ingest(
+        seed in 0u64..10_000,
+        reports_len in 1usize..4_000,
+        parts in 2usize..6,
+    ) {
+        let keys = [
+            SpecKey::new(4, Alpha::new(0.5).unwrap(), PropertySet::empty()),
+            SpecKey::new(9, Alpha::new(0.9).unwrap(),
+                         PropertySet::empty().with(Property::Fairness)),
+            SpecKey::new(32, Alpha::new(0.76).unwrap(), PropertySet::empty()),
+        ];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let reports: Vec<Report> = (0..reports_len)
+            .map(|_| {
+                let key = keys[rng.gen_range(0usize..keys.len())];
+                let output = rng.gen_range(0usize..=key.n) as u32;
+                Report::new(key, output).unwrap()
+            })
+            .collect();
+
+        // Reference: one collector, one thread, in stream order.
+        let reference = ReportCollector::new();
+        reference.ingest_reports(&reports);
+
+        // Sharded: split the stream into `parts` slices, ingest each from its
+        // own thread into its own collector, then merge.
+        let chunk = reports.len().div_ceil(parts);
+        let merged = ReportCollector::with_shards(4);
+        let handles: Vec<_> = reports
+            .chunks(chunk)
+            .map(|slice| {
+                let slice = slice.to_vec();
+                let sub = Arc::new(ReportCollector::with_shards(2));
+                let worker = Arc::clone(&sub);
+                let handle = std::thread::spawn(move || worker.ingest_reports(&slice));
+                (sub, handle)
+            })
+            .collect();
+        for (sub, handle) in handles {
+            handle.join().unwrap();
+            merged.merge_from(&sub);
+        }
+
+        prop_assert_eq!(merged.keys(), reference.keys());
+        for key in reference.keys() {
+            prop_assert_eq!(
+                merged.observed(&key).unwrap(),
+                reference.observed(&key).unwrap()
+            );
+        }
+        prop_assert_eq!(
+            merged.stats().ingested,
+            reference.stats().ingested
+        );
+    }
+}

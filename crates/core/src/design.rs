@@ -426,6 +426,7 @@ impl MechanismSpec {
             basis,
             cdf_sampler: OnceLock::new(),
             alias_sampler: OnceLock::new(),
+            inverse: OnceLock::new(),
         })
     }
 }
@@ -497,6 +498,7 @@ pub struct DesignedMechanism {
     basis: Option<Vec<usize>>,
     cdf_sampler: OnceLock<MechanismSampler>,
     alias_sampler: OnceLock<AliasSampler>,
+    inverse: OnceLock<Result<Vec<f64>, CoreError>>,
 }
 
 impl Clone for DesignedMechanism {
@@ -513,6 +515,7 @@ impl Clone for DesignedMechanism {
             basis: self.basis.clone(),
             cdf_sampler: OnceLock::new(),
             alias_sampler: OnceLock::new(),
+            inverse: OnceLock::new(),
         }
     }
 }
@@ -614,6 +617,18 @@ impl DesignedMechanism {
         self.alias_sampler
             .get_or_init(|| AliasSampler::new(&self.mechanism))
     }
+
+    /// The cached row-major inverse `M⁻¹` of the designed matrix — the
+    /// estimator's linear map from observed output histograms to unbiased
+    /// input-frequency estimates.  Factored once on first use (like the
+    /// samplers); the `Err` outcome is cached too, so singular designs (the
+    /// Uniform mechanism) fail in O(1) on every subsequent call.
+    pub fn inverse(&self) -> Result<&[f64], CoreError> {
+        match self.inverse.get_or_init(|| self.mechanism.inverse()) {
+            Ok(inv) => Ok(inv.as_slice()),
+            Err(e) => Err(e.clone()),
+        }
+    }
 }
 
 impl fmt::Display for DesignedMechanism {
@@ -702,6 +717,7 @@ impl Deserialize for DesignedMechanism {
             basis,
             cdf_sampler: OnceLock::new(),
             alias_sampler: OnceLock::new(),
+            inverse: OnceLock::new(),
         })
     }
 }

@@ -59,6 +59,13 @@ pub enum CoreError {
         /// Explanation of the failure.
         reason: String,
     },
+    /// A mechanism matrix is (numerically) singular, so it has no inverse and
+    /// admits no matrix-inversion frequency estimator — e.g. the Uniform
+    /// mechanism, whose identical columns carry no information to invert.
+    SingularMatrix {
+        /// Elimination column at which no usable pivot was found.
+        column: usize,
+    },
     /// The underlying LP solver failed (infeasible, unbounded, or iteration limit).
     Solver(SimplexError),
     /// The LP produced a solution that is not a valid mechanism even after cleanup
@@ -103,6 +110,11 @@ impl fmt::Display for CoreError {
                 )
             }
             CoreError::InvalidSpec { reason } => write!(f, "invalid mechanism spec: {reason}"),
+            CoreError::SingularMatrix { column } => write!(
+                f,
+                "mechanism matrix is singular (no pivot in column {column}); \
+                 it has no inverse and supports no unbiased frequency estimator"
+            ),
             CoreError::Solver(err) => write!(f, "LP solver error: {err}"),
             CoreError::DegenerateSolution { reason } => {
                 write!(f, "LP returned a degenerate mechanism: {reason}")

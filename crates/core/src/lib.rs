@@ -85,6 +85,7 @@ pub mod closed_form;
 pub mod derivability;
 pub mod design;
 pub mod error;
+pub mod linalg;
 pub mod lp;
 pub mod matrix;
 pub mod mechanisms;
@@ -97,6 +98,7 @@ pub mod symmetrize;
 pub use alpha::{Alpha, AlphaKey};
 pub use design::{DesignedMechanism, MechanismSpec, SpecKey, DEFAULT_PROPERTY_TOLERANCE};
 pub use error::CoreError;
+pub use linalg::LuFactors;
 pub use matrix::{Mechanism, DEFAULT_TOLERANCE};
 pub use mechanisms::{
     BinaryRandomizedResponse, ExplicitFairMechanism, ExponentialMechanism, GeometricMechanism,
@@ -118,6 +120,7 @@ pub mod prelude {
         DesignedMechanism, MechanismSpec, SpecKey, DEFAULT_PROPERTY_TOLERANCE,
     };
     pub use crate::error::CoreError;
+    pub use crate::linalg::LuFactors;
     #[allow(deprecated)]
     pub use crate::lp::weak_honest_mechanism;
     pub use crate::lp::{

@@ -1,0 +1,227 @@
+//! Small dense linear algebra: LU factorisation with partial pivoting.
+//!
+//! The frequency estimator inverts the designed `(n+1) × (n+1)` mechanism
+//! matrix to turn an observed output histogram into unbiased input-frequency
+//! estimates (`t̂ = M⁻¹·o`).  Those matrices are small and dense — nothing like
+//! the sparse constraint systems `cpm-simplex` factorises — so this module
+//! carries its own textbook Doolittle LU with partial pivoting, sized for
+//! `dim ≲ 10³`.
+//!
+//! Singularity is a *first-class outcome*, not a panic: the Uniform mechanism
+//! (every column identical) is a legitimate design whose matrix carries no
+//! invertible information, and factoring it reports
+//! [`CoreError::SingularMatrix`].
+
+use crate::error::CoreError;
+
+/// Relative pivot threshold below which elimination declares the matrix
+/// singular.  Scaled by the largest absolute entry of the input so the test is
+/// invariant to uniform rescaling.
+const PIVOT_TOLERANCE: f64 = 1e-12;
+
+/// A dense LU factorisation `P·A = L·U` with partial (row) pivoting.
+///
+/// The factors are stored packed in a single row-major `dim × dim` buffer
+/// (unit-diagonal `L` below, `U` on and above), plus the row-pivot
+/// permutation.  Factor once, then [`solve`](Self::solve) any number of
+/// right-hand sides or materialise the full [`inverse`](Self::inverse).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LuFactors {
+    dim: usize,
+    /// Packed L (strictly lower, unit diagonal implicit) and U (upper).
+    lu: Vec<f64>,
+    /// `pivots[k]` = source row swapped into position `k` at step `k`.
+    pivots: Vec<usize>,
+}
+
+impl LuFactors {
+    /// Factor a row-major `dim × dim` matrix.
+    ///
+    /// Returns [`CoreError::DimensionMismatch`] if `entries` is not
+    /// `dim × dim` and [`CoreError::SingularMatrix`] if elimination finds no
+    /// usable pivot (all candidates below the relative tolerance).
+    pub fn factor(dim: usize, entries: &[f64]) -> Result<Self, CoreError> {
+        if entries.len() != dim * dim {
+            return Err(CoreError::DimensionMismatch {
+                entries: entries.len(),
+                expected: dim * dim,
+            });
+        }
+        let scale = entries.iter().fold(0.0_f64, |acc, &v| acc.max(v.abs()));
+        if dim == 0 || scale == 0.0 {
+            return Err(CoreError::SingularMatrix { column: 0 });
+        }
+        let threshold = scale * PIVOT_TOLERANCE;
+        let mut lu = entries.to_vec();
+        let mut pivots = vec![0usize; dim];
+        for k in 0..dim {
+            // Partial pivoting: bring the largest remaining entry of column k
+            // onto the diagonal.
+            let mut best = k;
+            let mut best_abs = lu[k * dim + k].abs();
+            for row in (k + 1)..dim {
+                let abs = lu[row * dim + k].abs();
+                if abs > best_abs {
+                    best = row;
+                    best_abs = abs;
+                }
+            }
+            if best_abs <= threshold {
+                return Err(CoreError::SingularMatrix { column: k });
+            }
+            pivots[k] = best;
+            if best != k {
+                for col in 0..dim {
+                    lu.swap(k * dim + col, best * dim + col);
+                }
+            }
+            let pivot = lu[k * dim + k];
+            for row in (k + 1)..dim {
+                let factor = lu[row * dim + k] / pivot;
+                lu[row * dim + k] = factor;
+                for col in (k + 1)..dim {
+                    lu[row * dim + col] -= factor * lu[k * dim + col];
+                }
+            }
+        }
+        Ok(LuFactors { dim, lu, pivots })
+    }
+
+    /// The factored dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Solve `A·x = rhs` in place (`rhs` becomes `x`).
+    ///
+    /// # Panics
+    /// If `rhs.len() != dim`.
+    pub fn solve_in_place(&self, rhs: &mut [f64]) {
+        let dim = self.dim;
+        assert_eq!(rhs.len(), dim, "right-hand side must have length dim");
+        // Apply the row permutation, then forward- and back-substitute.
+        for k in 0..dim {
+            rhs.swap(k, self.pivots[k]);
+        }
+        for row in 1..dim {
+            let mut acc = rhs[row];
+            let l_row = &self.lu[row * dim..row * dim + row];
+            for (l, &x) in l_row.iter().zip(rhs.iter()) {
+                acc -= l * x;
+            }
+            rhs[row] = acc;
+        }
+        for row in (0..dim).rev() {
+            let mut acc = rhs[row];
+            let u_row = &self.lu[row * dim + row + 1..(row + 1) * dim];
+            for (u, &x) in u_row.iter().zip(rhs[row + 1..].iter()) {
+                acc -= u * x;
+            }
+            rhs[row] = acc / self.lu[row * dim + row];
+        }
+    }
+
+    /// Solve `A·x = rhs`, returning a fresh solution vector.
+    pub fn solve(&self, rhs: &[f64]) -> Vec<f64> {
+        let mut x = rhs.to_vec();
+        self.solve_in_place(&mut x);
+        x
+    }
+
+    /// Materialise the dense row-major inverse `A⁻¹` (one solve per unit
+    /// vector).
+    pub fn inverse(&self) -> Vec<f64> {
+        let dim = self.dim;
+        let mut inv = vec![0.0; dim * dim];
+        let mut column = vec![0.0; dim];
+        for j in 0..dim {
+            column.iter_mut().for_each(|v| *v = 0.0);
+            column[j] = 1.0;
+            self.solve_in_place(&mut column);
+            for i in 0..dim {
+                inv[i * dim + j] = column[i];
+            }
+        }
+        inv
+    }
+}
+
+/// Factor and invert a row-major `dim × dim` matrix in one call.
+pub fn invert(dim: usize, entries: &[f64]) -> Result<Vec<f64>, CoreError> {
+    Ok(LuFactors::factor(dim, entries)?.inverse())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat_vec(dim: usize, m: &[f64], v: &[f64]) -> Vec<f64> {
+        (0..dim)
+            .map(|i| (0..dim).map(|j| m[i * dim + j] * v[j]).sum())
+            .collect()
+    }
+
+    #[test]
+    fn solves_a_known_system() {
+        // A = [[2, 1], [1, 3]], b = [5, 10] → x = [1, 3].
+        let lu = LuFactors::factor(2, &[2.0, 1.0, 1.0, 3.0]).unwrap();
+        let x = lu.solve(&[5.0, 10.0]);
+        assert!((x[0] - 1.0).abs() < 1e-12, "{x:?}");
+        assert!((x[1] - 3.0).abs() < 1e-12, "{x:?}");
+    }
+
+    #[test]
+    fn pivoting_handles_a_zero_leading_entry() {
+        // Without row exchanges the first pivot is exactly zero.
+        let lu = LuFactors::factor(2, &[0.0, 1.0, 1.0, 0.0]).unwrap();
+        let x = lu.solve(&[7.0, -2.0]);
+        assert!((x[0] + 2.0).abs() < 1e-12 && (x[1] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let dim = 5;
+        // A diagonally-dominant (hence invertible) test matrix.
+        let entries: Vec<f64> = (0..dim * dim)
+            .map(|k| {
+                let (i, j) = (k / dim, k % dim);
+                if i == j {
+                    3.0 + i as f64
+                } else {
+                    1.0 / (1.0 + (i as f64 - j as f64).abs())
+                }
+            })
+            .collect();
+        let inv = invert(dim, &entries).unwrap();
+        for j in 0..dim {
+            let e_j: Vec<f64> = (0..dim).map(|i| if i == j { 1.0 } else { 0.0 }).collect();
+            let col: Vec<f64> = (0..dim).map(|i| inv[i * dim + j]).collect();
+            let back = mat_vec(dim, &entries, &col);
+            for (i, v) in back.iter().enumerate() {
+                assert!((v - e_j[i]).abs() < 1e-9, "A·A⁻¹ column {j} row {i}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn singular_matrices_are_reported_not_panicked() {
+        // Two identical columns.
+        let err = LuFactors::factor(2, &[1.0, 1.0, 2.0, 2.0]).unwrap_err();
+        assert!(matches!(err, CoreError::SingularMatrix { .. }), "{err}");
+        // The all-zero matrix.
+        let err = LuFactors::factor(3, &[0.0; 9]).unwrap_err();
+        assert!(matches!(err, CoreError::SingularMatrix { .. }));
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let err = LuFactors::factor(3, &[1.0; 8]).unwrap_err();
+        assert_eq!(
+            err,
+            CoreError::DimensionMismatch {
+                entries: 8,
+                expected: 9
+            }
+        );
+    }
+}

@@ -118,6 +118,17 @@ impl Mechanism {
         &self.entries
     }
 
+    /// The dense row-major inverse `M⁻¹`, the linear map that turns an
+    /// observed output histogram into unbiased input-frequency estimates
+    /// (`E[o] = M·t`, so `t̂ = M⁻¹·o`).
+    ///
+    /// Fails with [`CoreError::SingularMatrix`] for non-invertible designs
+    /// such as the Uniform mechanism.  Repeated callers should prefer the
+    /// cached [`DesignedMechanism::inverse`](crate::DesignedMechanism::inverse).
+    pub fn inverse(&self) -> Result<Vec<f64>, CoreError> {
+        crate::linalg::invert(self.dim(), &self.entries)
+    }
+
     /// The diagonal `Pr[i | i]` — the per-input probability of reporting the truth.
     pub fn diagonal(&self) -> Vec<f64> {
         (0..self.dim()).map(|i| self.prob(i, i)).collect()

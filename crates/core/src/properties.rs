@@ -147,6 +147,23 @@ impl PropertySet {
         Property::ALL.iter().copied().collect()
     }
 
+    /// The raw backing bitmask — bit order `RH, RM, CH, CM, F, WH, S` from the
+    /// least-significant bit.  This is the fixed-size wire encoding used by
+    /// the `cpm-collect` binary report format.
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Rebuild a set from its [`bits`](Self::bits) encoding; `None` if any bit
+    /// beyond the seven defined properties is set.
+    pub const fn from_bits(bits: u8) -> Option<Self> {
+        if bits < 1 << 7 {
+            Some(PropertySet(bits))
+        } else {
+            None
+        }
+    }
+
     fn bit(property: Property) -> u8 {
         match property {
             Property::RowHonesty => 1,

@@ -28,8 +28,8 @@ pub mod runner;
 pub mod table;
 
 pub use metrics::{
-    empirical_error_rate, empirical_error_rate_beyond, mean_absolute_error, root_mean_square_error,
-    SummaryStats,
+    confidence_interval, empirical_error_rate, empirical_error_rate_beyond, mean_absolute_error,
+    root_mean_square_error, z_critical, ConfidenceInterval, SummaryStats,
 };
 pub use runner::{build_mechanism, evaluate_repeated, l0_score, NamedMechanism};
 
@@ -37,8 +37,8 @@ pub use runner::{build_mechanism, evaluate_repeated, l0_score, NamedMechanism};
 pub mod prelude {
     pub use crate::experiments::{adult_experiment, binomial_experiments, heatmaps, score_sweeps};
     pub use crate::metrics::{
-        empirical_error_rate, empirical_error_rate_beyond, mean_absolute_error,
-        root_mean_square_error, SummaryStats,
+        confidence_interval, empirical_error_rate, empirical_error_rate_beyond,
+        mean_absolute_error, root_mean_square_error, z_critical, ConfidenceInterval, SummaryStats,
     };
     pub use crate::par::parallel_map;
     pub use crate::runner::{build_mechanism, evaluate_repeated, l0_score, NamedMechanism};

@@ -8,8 +8,21 @@
 //! * the empirical `L0,d` — the fraction of groups whose report is more than `d`
 //!   steps from the truth (Figures 11 and 12),
 //! * the root-mean-square error of the reports (Figure 13).
+//!
+//! The module also carries the normal-approximation [`ConfidenceInterval`]
+//! machinery shared with the online estimator in `cpm-collect` (Figures 10/13
+//! error bars, promoted from offline plotting to a reusable primitive).
 
 use serde::{Deserialize, Serialize};
+
+/// Shared preamble for the pairwise metrics: truth and reports must align.
+fn check_equal_lengths(true_counts: &[usize], reported: &[usize]) {
+    assert_eq!(
+        true_counts.len(),
+        reported.len(),
+        "true and reported count slices must have equal length"
+    );
+}
 
 /// Fraction of groups whose reported count differs from the true count.
 pub fn empirical_error_rate(true_counts: &[usize], reported: &[usize]) -> f64 {
@@ -19,11 +32,7 @@ pub fn empirical_error_rate(true_counts: &[usize], reported: &[usize]) -> f64 {
 /// Fraction of groups whose reported count is **more than** `d` steps away from the
 /// true count (so `d = 0` recovers [`empirical_error_rate`]).
 pub fn empirical_error_rate_beyond(true_counts: &[usize], reported: &[usize], d: usize) -> f64 {
-    assert_eq!(
-        true_counts.len(),
-        reported.len(),
-        "true and reported count slices must have equal length"
-    );
+    check_equal_lengths(true_counts, reported);
     if true_counts.is_empty() {
         return 0.0;
     }
@@ -37,11 +46,7 @@ pub fn empirical_error_rate_beyond(true_counts: &[usize], reported: &[usize], d:
 
 /// Root-mean-square error of the reported counts.
 pub fn root_mean_square_error(true_counts: &[usize], reported: &[usize]) -> f64 {
-    assert_eq!(
-        true_counts.len(),
-        reported.len(),
-        "true and reported count slices must have equal length"
-    );
+    check_equal_lengths(true_counts, reported);
     if true_counts.is_empty() {
         return 0.0;
     }
@@ -58,11 +63,7 @@ pub fn root_mean_square_error(true_counts: &[usize], reported: &[usize]) -> f64 
 
 /// Mean absolute error of the reported counts.
 pub fn mean_absolute_error(true_counts: &[usize], reported: &[usize]) -> f64 {
-    assert_eq!(
-        true_counts.len(),
-        reported.len(),
-        "true and reported count slices must have equal length"
-    );
+    check_equal_lengths(true_counts, reported);
     if true_counts.is_empty() {
         return 0.0;
     }
@@ -119,6 +120,117 @@ impl SummaryStats {
             std_error: std_dev / (count as f64).sqrt(),
         }
     }
+
+    /// Normal-approximation confidence interval for the underlying mean at the
+    /// given two-sided `level` (e.g. `0.95`).
+    pub fn confidence_interval(&self, level: f64) -> ConfidenceInterval {
+        confidence_interval(self.mean, self.std_error * self.std_error, level)
+    }
+}
+
+/// A symmetric normal-approximation confidence interval around a point
+/// estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// The point estimate at the interval's centre.
+    pub estimate: f64,
+    /// Half the interval width (`z · σ̂`).
+    pub half_width: f64,
+    /// The two-sided coverage level in `(0, 1)`, e.g. `0.95`.
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// The interval's lower endpoint.
+    pub fn lower(&self) -> f64 {
+        self.estimate - self.half_width
+    }
+
+    /// The interval's upper endpoint.
+    pub fn upper(&self) -> f64 {
+        self.estimate + self.half_width
+    }
+
+    /// Whether `value` lies inside the interval (endpoints inclusive).
+    pub fn contains(&self, value: f64) -> bool {
+        self.lower() <= value && value <= self.upper()
+    }
+}
+
+/// Build a normal-approximation interval `estimate ± z(level)·sqrt(variance)`.
+///
+/// # Panics
+/// If `level` is not in `(0, 1)` or `variance` is negative.
+pub fn confidence_interval(estimate: f64, variance: f64, level: f64) -> ConfidenceInterval {
+    assert!(variance >= 0.0, "variance must be non-negative: {variance}");
+    ConfidenceInterval {
+        estimate,
+        half_width: z_critical(level) * variance.sqrt(),
+        level,
+    }
+}
+
+/// The two-sided standard-normal critical value for coverage `level`
+/// (`z_critical(0.95) ≈ 1.960`), via Acklam's rational approximation of the
+/// inverse normal CDF (absolute error below `1.2e-9` — far inside anything a
+/// plug-in variance estimate can resolve).
+///
+/// # Panics
+/// If `level` is not in `(0, 1)`.
+pub fn z_critical(level: f64) -> f64 {
+    assert!(
+        level > 0.0 && level < 1.0,
+        "confidence level must be in (0, 1): {level}"
+    );
+    inverse_normal_cdf((1.0 + level) / 2.0)
+}
+
+/// Acklam's inverse standard-normal CDF for `p` in `(0, 1)`.
+// The coefficients are kept exactly as published, trailing zeros included.
+#[allow(clippy::excessive_precision)]
+fn inverse_normal_cdf(p: f64) -> f64 {
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -inverse_normal_cdf(1.0 - p)
+    }
 }
 
 #[cfg(test)]
@@ -153,6 +265,12 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic_in_rmse_too() {
+        root_mean_square_error(&[1], &[1, 2]);
+    }
+
+    #[test]
     fn summary_stats() {
         let stats = SummaryStats::from_samples(&[1.0, 2.0, 3.0, 4.0]);
         assert_eq!(stats.count, 4);
@@ -164,5 +282,35 @@ mod tests {
         assert_eq!(single.std_dev, 0.0);
         let empty = SummaryStats::from_samples(&[]);
         assert_eq!(empty.count, 0);
+    }
+
+    #[test]
+    fn z_critical_matches_the_standard_table() {
+        assert!((z_critical(0.90) - 1.6448536).abs() < 1e-4);
+        assert!((z_critical(0.95) - 1.9599640).abs() < 1e-4);
+        assert!((z_critical(0.99) - 2.5758293).abs() < 1e-4);
+        // Deep-tail branch of the approximation.
+        assert!((z_critical(0.9999) - 3.8905919).abs() < 1e-4);
+    }
+
+    #[test]
+    fn confidence_intervals_cover_and_expose_endpoints() {
+        let ci = confidence_interval(10.0, 4.0, 0.95);
+        assert!((ci.half_width - 1.9599640 * 2.0).abs() < 1e-3);
+        assert!((ci.lower() + ci.upper() - 20.0).abs() < 1e-12);
+        assert!(ci.contains(10.0) && ci.contains(ci.upper()));
+        assert!(!ci.contains(ci.upper() + 1e-6));
+
+        // SummaryStats plumbs its standard error through.
+        let stats = SummaryStats::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+        let ci = stats.confidence_interval(0.95);
+        assert!((ci.estimate - stats.mean).abs() < 1e-12);
+        assert!((ci.half_width - z_critical(0.95) * stats.std_error).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence level")]
+    fn out_of_range_level_panics() {
+        z_critical(1.0);
     }
 }

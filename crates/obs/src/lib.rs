@@ -53,6 +53,14 @@
 //! | `cpm_boot_snapshot_load_nanos` | histogram | — | Warm-file snapshot load time at boot. |
 //! | `cpm_boot_snapshot_save_nanos` | histogram | — | Warm-file snapshot save time at shutdown. |
 //! | `cpm_boot_warm_keys_total` | counter | — | Keys pre-warmed at boot (file + `CPM_SERVE_WARM`). |
+//! | `cpm_cache_shard_resident` | gauge | `shard` | Ready designs resident per cache stripe (closed label set — one per stripe). |
+//! | `cpm_collect_reports_total` | counter | — | Privatized reports accepted by the collector. |
+//! | `cpm_collect_rejected_total` | counter | — | Reports dropped as out of range for their key. |
+//! | `cpm_collect_batches_total` | counter | — | Report batches ingested. |
+//! | `cpm_collect_keys` | gauge | — | Distinct mechanism keys with resident accumulators. |
+//! | `cpm_collect_ingest_nanos` | histogram | — | Wall time per ingested batch. |
+//! | `cpm_collect_estimates_total` | counter | — | Frequency estimations performed. |
+//! | `cpm_collect_estimate_nanos` | histogram | — | Wall time per estimation (matrix inverse cached on the design). |
 //!
 //! ## Scraping
 //!

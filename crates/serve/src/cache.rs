@@ -476,8 +476,24 @@ impl DesignCache {
             index.remove(victim);
         }
         drop(index);
+        self.update_shard_gauge(shard_index, &shard);
         drop(shard);
         self.add_resident(1 - evicted.len() as i64);
+    }
+
+    /// Mirror one stripe's ready-entry count to the per-shard gauge family
+    /// `cpm_cache_shard_resident{shard="i"}`.  The label set is closed — the
+    /// stripe count is fixed at construction — so the registry cannot grow
+    /// without bound.  Called at every residency change while the owning
+    /// stripe's lock is held, so the gauge never drifts from the map.
+    fn update_shard_gauge(&self, shard_index: usize, shard: &Shard) {
+        if cpm_obs::enabled() {
+            cpm_obs::registry()
+                .gauge(&format!(
+                    "cpm_cache_shard_resident{{shard=\"{shard_index}\"}}"
+                ))
+                .set(shard.ready_len() as i64);
+        }
     }
 
     /// Fold a residency delta into the lock-free counter and mirror it to the
@@ -643,6 +659,7 @@ impl DesignCache {
                 .lock()
                 .expect("family index poisoned")
                 .insert(&key);
+            self.update_shard_gauge(shard_index, &shard);
             inserted += 1;
         }
         self.add_resident(inserted as i64);
@@ -729,7 +746,7 @@ impl DesignCache {
     /// Drop every ready entry (in-flight designs are left to finish).  Used by
     /// probes to reproduce cold-start behaviour within one process.
     pub fn clear(&self) {
-        for shard in &self.shards {
+        for (shard_index, shard) in self.shards.iter().enumerate() {
             let mut shard = shard.lock().expect("shard poisoned");
             // Index removal nests inside each shard's lock (see `publish`),
             // so a design published concurrently to another shard keeps its
@@ -746,6 +763,7 @@ impl DesignCache {
                 .entries
                 .retain(|_, entry| matches!(entry, Entry::InFlight(_)));
             let removed = before - shard.entries.len();
+            self.update_shard_gauge(shard_index, &shard);
             drop(shard);
             self.add_resident(-(removed as i64));
         }
@@ -1123,6 +1141,26 @@ mod tests {
         let fresh = DesignCache::new(8);
         assert_eq!(fresh.load_snapshot_file(&path).unwrap(), 1);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn per_shard_residency_gauges_are_published() {
+        // The registry is process-global and other tests' caches write the
+        // same `shard="i"` labels concurrently, so this asserts the family
+        // exists after traffic (exact per-stripe values are covered by the
+        // spawned-server smoke tests, where the process is ours alone).
+        let cache = DesignCache::with_shards(8, 2);
+        let keys: Vec<SpecKey> = (2..6).map(gm_key).collect();
+        for key in &keys {
+            cache.get(key).unwrap();
+        }
+        cache.clear();
+        let exposition = cpm_obs::registry().render();
+        assert!(
+            exposition.contains("cpm_cache_shard_resident{shard=\"0\"}")
+                && exposition.contains("cpm_cache_shard_resident{shard=\"1\"}"),
+            "per-shard gauge family missing from:\n{exposition}"
+        );
     }
 
     #[test]

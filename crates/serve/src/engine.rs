@@ -10,13 +10,14 @@
 //! schedules the workers — while distinct shards draw from decorrelated streams.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use cpm_collect::ReportCollector;
 use cpm_core::{DesignedMechanism, SpecKey};
 
 use crate::cache::{CacheStats, DesignCache, Lookup};
@@ -52,6 +53,10 @@ pub struct EngineConfig {
     /// Minimum draws per sampling shard — below this, fan-out overhead beats the
     /// parallel speedup and the batch stays on fewer workers.
     pub min_chunk: usize,
+    /// Whether privatize batches auto-feed their `(key, output)` pairs into
+    /// the engine's [`ReportCollector`] (loopback collection; real LDP
+    /// deployments leave this off and let clients send reports explicitly).
+    pub collect_outputs: bool,
 }
 
 impl Default for EngineConfig {
@@ -61,14 +66,16 @@ impl Default for EngineConfig {
             cache_shards: DesignCache::DEFAULT_SHARDS,
             seed: 0x5EED_CAFE,
             min_chunk: 4096,
+            collect_outputs: false,
         }
     }
 }
 
 impl EngineConfig {
     /// Read overrides from the environment: `CPM_SERVE_CAPACITY`,
-    /// `CPM_SERVE_SHARDS`, `CPM_SERVE_SEED`, `CPM_SERVE_MIN_CHUNK` (each optional,
-    /// falling back to the defaults).
+    /// `CPM_SERVE_SHARDS`, `CPM_SERVE_SEED`, `CPM_SERVE_MIN_CHUNK`, and
+    /// `CPM_COLLECT_OUTPUTS` (`1`/`on`/`true` turns loopback collection on;
+    /// each optional, falling back to the defaults).
     pub fn from_env() -> Self {
         fn env_u64(name: &str) -> Option<u64> {
             std::env::var(name).ok().and_then(|v| v.parse().ok())
@@ -85,6 +92,9 @@ impl EngineConfig {
             min_chunk: env_u64("CPM_SERVE_MIN_CHUNK")
                 .map(|v| v as usize)
                 .unwrap_or(defaults.min_chunk),
+            collect_outputs: std::env::var("CPM_COLLECT_OUTPUTS")
+                .map(|v| matches!(v.trim().to_ascii_lowercase().as_str(), "1" | "on" | "true"))
+                .unwrap_or(defaults.collect_outputs),
         }
     }
 }
@@ -142,6 +152,8 @@ pub struct Engine {
     seed: u64,
     min_chunk: usize,
     batches: AtomicU64,
+    collector: Arc<ReportCollector>,
+    collect_outputs: AtomicBool,
 }
 
 impl Engine {
@@ -152,6 +164,8 @@ impl Engine {
             seed: config.seed,
             min_chunk: config.min_chunk.max(1),
             batches: AtomicU64::new(0),
+            collector: Arc::new(ReportCollector::new()),
+            collect_outputs: AtomicBool::new(config.collect_outputs),
         }
     }
 
@@ -168,6 +182,24 @@ impl Engine {
     /// Snapshot of the cache counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// The engine's report collector.  Always present (and cheap while
+    /// empty): the wire `report` op feeds it whether or not loopback
+    /// collection is on.
+    pub fn collector(&self) -> &Arc<ReportCollector> {
+        &self.collector
+    }
+
+    /// Whether privatize batches loop their outputs back into the collector.
+    pub fn is_collecting(&self) -> bool {
+        self.collect_outputs.load(Ordering::Relaxed)
+    }
+
+    /// Flip loopback collection at runtime (also settable at construction via
+    /// [`EngineConfig::collect_outputs`] / `CPM_COLLECT_OUTPUTS=1`).
+    pub fn set_collecting(&self, on: bool) {
+        self.collect_outputs.store(on, Ordering::Relaxed);
     }
 
     /// Resolve one design through the cache (designing on a cold miss).
@@ -330,6 +362,23 @@ impl Engine {
                 outputs[index as usize] = drawn;
             }
         }
+
+        // Loopback collection: feed (key, output) runs into the collector so
+        // an estimate can be served without a client-side report round trip.
+        if self.collect_outputs.load(Ordering::Relaxed) {
+            let mut start = 0;
+            while start < requests.len() {
+                let key = requests[start].key;
+                let mut end = start + 1;
+                while end < requests.len() && requests[end].key == key {
+                    end += 1;
+                }
+                self.collector
+                    .ingest_batch(&key, outputs[start..end].iter().copied());
+                start = end;
+            }
+        }
+
         cpm_obs::counter!("cpm_engine_batches_total").inc();
         cpm_obs::counter!("cpm_engine_draws_total").add(stats.requests as u64);
         cpm_obs::histogram!("cpm_engine_batch_nanos").record(batch_span.elapsed_nanos());
@@ -423,6 +472,39 @@ mod tests {
         let outcome = engine.privatize_batch(&[]).unwrap();
         assert!(outcome.outputs.is_empty());
         assert_eq!(outcome.stats.requests, 0);
+    }
+
+    #[test]
+    fn loopback_collection_is_off_by_default_and_exact_when_on() {
+        let engine = Engine::with_defaults();
+        let hot = key(4, 0.5);
+        let cold = key(6, 0.9);
+        let requests: Vec<Request> = (0..1000)
+            .map(|i| {
+                if i % 3 == 0 {
+                    Request::new(cold, i % 7)
+                } else {
+                    Request::new(hot, i % 5)
+                }
+            })
+            .collect();
+        engine.privatize_batch_seeded(&requests, 9).unwrap();
+        assert!(engine.collector().is_empty(), "collection must be opt-in");
+
+        engine.set_collecting(true);
+        assert!(engine.is_collecting());
+        let outcome = engine.privatize_batch_seeded(&requests, 9).unwrap();
+        // The collector's histograms must equal the batch outputs exactly.
+        for k in [hot, cold] {
+            let mut expected = vec![0u64; k.n + 1];
+            for (request, &output) in requests.iter().zip(&outcome.outputs) {
+                if request.key == k {
+                    expected[output] += 1;
+                }
+            }
+            assert_eq!(engine.collector().observed(&k).unwrap(), expected);
+        }
+        assert_eq!(engine.collector().stats().ingested, requests.len() as u64);
     }
 
     #[test]

@@ -4,10 +4,18 @@
 //!
 //! ## Framing
 //!
-//! Each message is a 4-byte little-endian length followed by that many bytes of
-//! UTF-8 JSON.  Frames above [`MAX_FRAME_LEN`] are rejected (a corrupt length
+//! Each message is a 4-byte little-endian length followed by that many bytes
+//! of payload.  Frames above [`MAX_FRAME_LEN`] are rejected (a corrupt length
 //! prefix must not trigger a giant allocation).  A clean EOF between frames ends
 //! the connection.
+//!
+//! A payload is either UTF-8 JSON (below) or a **binary report frame**: if the
+//! payload starts with the `b"CPMR"` magic it is decoded as a
+//! `cpm_collect::wire` batch (versioned 12-byte header + 20-byte records, one
+//! `(SpecKey, output)` report each) and ingested into the engine's collector.
+//! JSON can never start with the magic, so the two formats share one framing
+//! layer unambiguously.  The response to a binary frame is the usual JSON
+//! `{"ok": true, "ingested": N, "rejected": 0}`.
 //!
 //! ## Requests
 //!
@@ -16,13 +24,40 @@
 //!  "objective": "L0", "inputs": [3, 17, 0]}
 //! ```
 //!
-//! `op` is one of `privatize` (default when empty), `warm`, `stats`, `metrics`,
-//! `shutdown`.  `properties` lists the paper's short names separated by `+`,
-//! `,`, or spaces.  The response mirrors the request frame format:
+//! `op` is one of `privatize` (default when empty), `warm`, `report`,
+//! `estimate`, `stats`, `metrics`, `shutdown`.  `properties` lists the paper's
+//! short names separated by `+`, `,`, or spaces.  The response mirrors the
+//! request frame format:
 //!
 //! ```json
 //! {"ok": true, "outputs": [2, 18, 1], "cache_hits": 1, ...}
 //! ```
+//!
+//! ## The collect pipeline: `report` and `estimate`
+//!
+//! `report` is the JSON fallback for the binary report format — it carries
+//! privatized outputs for **one** key and feeds the engine's
+//! `cpm_collect::ReportCollector`:
+//!
+//! ```json
+//! {"op": "report", "n": 32, "alpha": 0.9, "reports": [2, 18, 1, 32]}
+//! ```
+//!
+//! → `{"ok": true, "ingested": 4, "rejected": 0}`.  Out-of-range outputs are
+//! counted in `rejected`, never fatal.
+//!
+//! `estimate` inverts the key's designed mechanism matrix over everything the
+//! collector has accumulated for it, returning the unbiased input-frequency
+//! estimates and their plug-in variances (`estimates[k] ± z·sqrt(variances[k])`
+//! is the client's confidence interval):
+//!
+//! ```json
+//! {"op": "estimate", "n": 32, "alpha": 0.9}
+//! ```
+//!
+//! → `{"ok": true, "reports": 4, "estimates": [...], "variances": [...]}`.
+//! Estimating a key with no reports, or a singular design (the Uniform
+//! mechanism carries nothing to invert), fails soft with `ok: false`.
 //!
 //! ## The `metrics` op
 //!
@@ -53,8 +88,8 @@ pub const MAX_FRAME_LEN: usize = 1 << 24;
 /// One request frame, as decoded from JSON.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct WireRequest {
-    /// `privatize` (default when empty), `warm`, `stats`, `metrics`, or
-    /// `shutdown`.
+    /// `privatize` (default when empty), `warm`, `report`, `estimate`,
+    /// `stats`, `metrics`, or `shutdown`.
     #[serde(default)]
     pub op: String,
     /// Group size of the requested mechanism.
@@ -73,6 +108,9 @@ pub struct WireRequest {
     /// True counts to privatise (one draw per entry; `privatize` only).
     #[serde(default)]
     pub inputs: Vec<usize>,
+    /// Privatised outputs to accumulate (`report` only).
+    #[serde(default)]
+    pub reports: Vec<usize>,
 }
 
 /// One response frame, encoded to JSON.
@@ -108,6 +146,21 @@ pub struct WireResponse {
     /// otherwise).
     #[serde(default)]
     pub metrics: String,
+    /// Reports accepted into the collector (`report` and binary frames).
+    #[serde(default)]
+    pub ingested: u64,
+    /// Reports dropped as out of range, as above.
+    #[serde(default)]
+    pub rejected: u64,
+    /// Total reports backing the estimates (`estimate` only).
+    #[serde(default)]
+    pub reports: u64,
+    /// Unbiased input-frequency estimates `t̂ = M⁻¹·o` (`estimate` only).
+    #[serde(default)]
+    pub estimates: Vec<f64>,
+    /// Plug-in variances, one per estimate (`estimate` only).
+    #[serde(default)]
+    pub variances: Vec<f64>,
 }
 
 /// Totals for one served connection.
@@ -232,6 +285,8 @@ fn normalized_op(op: &str) -> &'static str {
     match op {
         "" | "privatize" => "privatize",
         "warm" => "warm",
+        "report" => "report",
+        "estimate" => "estimate",
         "stats" => "stats",
         "metrics" => "metrics",
         "shutdown" => "shutdown",
@@ -282,6 +337,53 @@ fn dispatch_inner(engine: &Engine, request: &WireRequest) -> (WireResponse, bool
             },
             Err(message) => (failure(message), false),
         },
+        "report" => match parse_key(request) {
+            Ok(key) => {
+                let summary = engine
+                    .collector()
+                    .ingest_batch(&key, request.reports.iter().copied());
+                (
+                    WireResponse {
+                        ok: true,
+                        ingested: summary.accepted,
+                        rejected: summary.rejected,
+                        ..WireResponse::default()
+                    },
+                    false,
+                )
+            }
+            Err(message) => (failure(message), false),
+        },
+        "estimate" => match parse_key(request) {
+            Ok(key) => match engine.collector().observed(&key) {
+                Some(observed) => {
+                    match engine
+                        .design(&key)
+                        .map_err(|e| e.to_string())
+                        .and_then(|design| {
+                            cpm_collect::estimate_from_design(&design, &observed)
+                                .map_err(|e| e.to_string())
+                        }) {
+                        Ok(freq) => (
+                            WireResponse {
+                                ok: true,
+                                reports: freq.total_reports,
+                                estimates: freq.estimates,
+                                variances: freq.variances,
+                                ..WireResponse::default()
+                            },
+                            false,
+                        ),
+                        Err(message) => (failure(message), false),
+                    }
+                }
+                None => (
+                    failure("no reports collected for this key yet".to_string()),
+                    false,
+                ),
+            },
+            Err(message) => (failure(message), false),
+        },
         "stats" => {
             let stats = engine.cache_stats();
             (
@@ -316,6 +418,35 @@ fn dispatch_inner(engine: &Engine, request: &WireRequest) -> (WireResponse, bool
     }
 }
 
+/// Decode and ingest one binary `b"CPMR"` report frame.  Mirrors [`dispatch`]'s
+/// metric discipline under the `report` op label.
+fn dispatch_report_frame(engine: &Engine, payload: &[u8]) -> WireResponse {
+    if cpm_obs::enabled() {
+        cpm_obs::registry()
+            .counter("cpm_wire_requests_total{op=\"report\"}")
+            .inc();
+    }
+    let op_started = std::time::Instant::now();
+    let response = match cpm_collect::wire::decode_batch(payload) {
+        Ok(reports) => {
+            let summary = engine.collector().ingest_reports(&reports);
+            WireResponse {
+                ok: true,
+                ingested: summary.accepted,
+                rejected: summary.rejected,
+                ..WireResponse::default()
+            }
+        }
+        Err(error) => failure(format!("malformed report frame: {error}")),
+    };
+    if cpm_obs::enabled() {
+        cpm_obs::registry()
+            .histogram("cpm_wire_op_nanos{op=\"report\"}")
+            .record_duration(op_started.elapsed());
+    }
+    response
+}
+
 /// Serve frames until EOF or a `shutdown` op.  One bad frame (malformed JSON,
 /// unknown op, invalid α) yields an `ok: false` response and the loop continues;
 /// only I/O failures end the connection with an error.
@@ -327,12 +458,17 @@ pub fn serve_connection<R: Read, W: Write>(
     let mut summary = ConnectionSummary::default();
     while let Some(payload) = read_frame(reader)? {
         summary.frames += 1;
-        let (response, close) = match std::str::from_utf8(&payload)
-            .map_err(|e| e.to_string())
-            .and_then(|text| serde_json::from_str::<WireRequest>(text).map_err(|e| e.to_string()))
-        {
-            Ok(request) => dispatch(engine, &request),
-            Err(message) => (failure(format!("malformed request: {message}")), false),
+        let (response, close) = if cpm_collect::wire::is_report_frame(&payload) {
+            (dispatch_report_frame(engine, &payload), false)
+        } else {
+            match std::str::from_utf8(&payload)
+                .map_err(|e| e.to_string())
+                .and_then(|text| {
+                    serde_json::from_str::<WireRequest>(text).map_err(|e| e.to_string())
+                }) {
+                Ok(request) => dispatch(engine, &request),
+                Err(message) => (failure(format!("malformed request: {message}")), false),
+            }
         };
         summary.draws += response.outputs.len() as u64;
         let encoded = serde_json::to_string(&response)
@@ -441,6 +577,78 @@ mod tests {
         truncated.extend_from_slice(b"abc");
         let mut reader = Cursor::new(truncated);
         assert!(serve_connection(&engine, &mut reader, &mut output).is_err());
+    }
+
+    #[test]
+    fn report_then_estimate_round_trip() {
+        let engine = Engine::with_defaults();
+        // 60 reports at output 0, 40 at output 4, for the (n=4, α=0.5) GM.
+        let mut reports = String::from(r#"{"op": "report", "n": 4, "alpha": 0.5, "reports": ["#);
+        let outputs: Vec<String> = (0..100)
+            .map(|i| if i < 60 { "0" } else { "4" }.to_string())
+            .collect();
+        reports.push_str(&outputs.join(","));
+        reports.push_str("]}");
+        let (responses, _) = run(
+            &engine,
+            &[
+                &reports,
+                r#"{"op": "report", "n": 4, "alpha": 0.5, "reports": [9]}"#,
+                r#"{"op": "estimate", "n": 4, "alpha": 0.5}"#,
+                r#"{"op": "estimate", "n": 7, "alpha": 0.5}"#,
+            ],
+        );
+        assert!(responses[0].ok, "error: {}", responses[0].error);
+        assert_eq!(responses[0].ingested, 100);
+        // Output 9 is out of range for n = 4: rejected, not fatal.
+        assert!(responses[1].ok);
+        assert_eq!(responses[1].ingested, 0);
+        assert_eq!(responses[1].rejected, 1);
+        let estimate = &responses[2];
+        assert!(estimate.ok, "error: {}", estimate.error);
+        assert_eq!(estimate.reports, 100);
+        assert_eq!(estimate.estimates.len(), 5);
+        assert_eq!(estimate.variances.len(), 5);
+        assert!((estimate.estimates.iter().sum::<f64>() - 100.0).abs() < 1e-6);
+        // No reports for the (n=7, α=0.5) key.
+        assert!(!responses[3].ok);
+        assert!(responses[3].error.contains("no reports"));
+    }
+
+    #[test]
+    fn binary_report_frames_share_the_connection() {
+        use cpm_collect::wire::{encode_batch, Report};
+        let engine = Engine::with_defaults();
+        let key = SpecKey::new(8, Alpha::new(0.9).unwrap(), PropertySet::empty());
+        let reports: Vec<Report> = (0..=8).map(|o| Report::new(key, o).unwrap()).collect();
+        let batch = encode_batch(&reports).unwrap();
+
+        let mut input = Vec::new();
+        input.extend_from_slice(&(batch.len() as u32).to_le_bytes());
+        input.extend_from_slice(&batch);
+        input.extend_from_slice(&frame(r#"{"op": "estimate", "n": 8, "alpha": 0.9}"#));
+        // A corrupt binary frame (magic intact, body truncated) fails soft.
+        let corrupt = &batch[..batch.len() - 3];
+        input.extend_from_slice(&(corrupt.len() as u32).to_le_bytes());
+        input.extend_from_slice(corrupt);
+
+        let mut reader = Cursor::new(input);
+        let mut output = Vec::new();
+        let summary = serve_connection(&engine, &mut reader, &mut output).unwrap();
+        assert_eq!(summary.frames, 3);
+
+        let mut responses: Vec<WireResponse> = Vec::new();
+        let mut cursor = Cursor::new(output);
+        while let Some(payload) = read_frame(&mut cursor).unwrap() {
+            responses.push(serde_json::from_str(&String::from_utf8(payload).unwrap()).unwrap());
+        }
+        assert!(responses[0].ok, "error: {}", responses[0].error);
+        assert_eq!(responses[0].ingested, 9);
+        assert!(responses[1].ok, "error: {}", responses[1].error);
+        assert_eq!(responses[1].reports, 9);
+        assert_eq!(responses[1].estimates.len(), 9);
+        assert!(!responses[2].ok, "truncated binary frame must fail soft");
+        assert!(responses[2].error.contains("report frame"));
     }
 
     #[test]

@@ -54,8 +54,9 @@
 //!   save/load persistence.
 //! * [`engine`] — [`Engine`]: batched privatization with per-batch
 //!   [`BatchStats`] (hits, misses, design time, sample time).
-//! * [`frontend`] — a length-prefixed JSON request/response loop over any
-//!   `Read`/`Write` (the `serve_stdio` binary serves stdin/stdout).
+//! * [`frontend`] — a length-prefixed request/response loop over any
+//!   `Read`/`Write` (the `serve_stdio` binary serves stdin/stdout): JSON ops
+//!   plus binary `b"CPMR"` report frames.
 //! * [`net`] — TCP / unix-socket listeners over the same protocol (the
 //!   `serve_tcp` binary; one engine, N blocking connection threads).
 //! * [`boot`] — environment-driven start-up: `CPM_SERVE_WARM` key specs and
@@ -65,6 +66,26 @@
 //!   binary, for stitching warm files together between runs.
 //! * [`workload`] — hot-key / Zipf-mix / cold-storm request generators shared
 //!   by the `serve_probe` bin, the `serving_throughput` bench, and the demo.
+//!
+//! ## The collect loop
+//!
+//! Serving draws is half of a local-differential-privacy deployment; the
+//! other half is *collecting* the privatized outputs and estimating the true
+//! input-frequency histogram.  Every [`Engine`] owns a
+//! [`cpm_collect::ReportCollector`] ([`Engine::collector`]); reports reach it
+//! three ways:
+//!
+//! * binary `b"CPMR"` report frames on any front-end connection (the
+//!   line-rate path — see [`frontend`] for the grammar);
+//! * the JSON `{"op":"report"}` fallback;
+//! * engine loopback — [`Engine::set_collecting`] (or
+//!   `CPM_COLLECT_OUTPUTS=1`) makes `privatize_batch` feed its own outputs
+//!   straight into the collector, closing the loop in one process.
+//!
+//! `{"op":"estimate"}` then inverts the designed mechanism matrix over the
+//! accumulated histogram (`cpm_collect::estimate_from_design`, inverse cached
+//! on the [`cpm_core::DesignedMechanism`]) and returns unbiased estimates
+//! with plug-in variances.
 //!
 //! ## Observability
 //!

@@ -1,0 +1,197 @@
+//! Release-mode collect-pipeline smoke tests.
+//!
+//! These are `#[ignore]`d so the ordinary (debug) `cargo test` stays fast; CI
+//! runs them explicitly with
+//! `cargo test --release -p cpm-serve --test collect_smoke -- --ignored`.
+//!
+//! Covered end to end:
+//!
+//! * a ~1M-user population privatized through the engine with loopback
+//!   collection on round-trips to frequency estimates whose empirical RMSE is
+//!   within 2× the paper's closed-form expectation at `(n=32, α=0.9)`;
+//! * a real `serve_stdio` process ingests ≥100k binary `b"CPMR"` report
+//!   frames and answers the `estimate` op within the same error bound;
+//! * single-core ingest sustains at least 1M reports/second (the line-rate
+//!   floor recorded in BENCHMARKS.md).
+
+use std::process::{Command, Stdio};
+use std::time::Instant;
+
+use cpm_collect::prelude::*;
+use cpm_collect::wire::encode_batch;
+use cpm_core::{Alpha, PropertySet, SpecKey};
+use cpm_serve::frontend::{read_frame, write_frame, WireResponse};
+use cpm_serve::prelude::*;
+
+/// A Zipf(1.0)-shaped truth histogram over `0..=n` summing to `total`.
+fn zipf_truth(n: usize, total: u64) -> Vec<u64> {
+    let weights: Vec<f64> = (0..=n).map(|k| 1.0 / (k + 1) as f64).collect();
+    let weight_sum: f64 = weights.iter().sum();
+    let mut counts: Vec<u64> = weights
+        .iter()
+        .map(|w| (w / weight_sum * total as f64).floor() as u64)
+        .collect();
+    let assigned: u64 = counts.iter().sum();
+    counts[0] += total - assigned;
+    counts
+}
+
+fn truth_as_f64(truth: &[u64]) -> Vec<f64> {
+    truth.iter().map(|&c| c as f64).collect()
+}
+
+#[test]
+#[ignore = "release-mode collect smoke test; run explicitly (see CI workflow)"]
+fn million_report_round_trip_meets_the_paper_error_bound() {
+    let n = 32;
+    let key = SpecKey::new(n, Alpha::new(0.9).unwrap(), PropertySet::empty());
+    let truth = zipf_truth(n, 1_000_000);
+    let requests: Vec<Request> = truth
+        .iter()
+        .enumerate()
+        .flat_map(|(input, &count)| (0..count).map(move |_| Request::new(key, input)))
+        .collect();
+    assert_eq!(requests.len(), 1_000_000);
+
+    let engine = Engine::with_defaults();
+    engine.set_collecting(true);
+    for chunk in requests.chunks(100_000) {
+        engine.privatize_batch(chunk).expect("privatize chunk");
+    }
+
+    let observed = engine
+        .collector()
+        .observed(&key)
+        .expect("loopback collection populated the key");
+    assert_eq!(observed.iter().sum::<u64>(), 1_000_000);
+
+    let design = engine.design(&key).expect("GM design");
+    let freq = estimate_from_design(&design, &observed).expect("GM is invertible");
+    assert!(
+        (freq.estimates.iter().sum::<f64>() - 1_000_000.0).abs() < 1.0,
+        "estimates preserve the population total"
+    );
+
+    let truth_f = truth_as_f64(&truth);
+    let empirical = freq.rmse_against(&truth_f);
+    let expected = expected_rmse(design.mechanism(), &truth_f).expect("closed-form bound");
+    println!("1M-report round trip: empirical RMSE {empirical:.2}, closed-form {expected:.2}");
+    assert!(
+        empirical <= 2.0 * expected,
+        "empirical RMSE {empirical:.2} exceeds 2x the closed-form bound {expected:.2}"
+    );
+}
+
+#[test]
+#[ignore = "release-mode collect smoke test; run explicitly (see CI workflow)"]
+fn stdio_front_end_ingests_binary_report_frames_and_estimates() {
+    let n = 32;
+    let total: u64 = 100_000;
+    let key = SpecKey::new(n, Alpha::new(0.9).unwrap(), PropertySet::empty());
+    let truth = zipf_truth(n, total);
+
+    // Draw the reports locally from the same deterministic design the server
+    // will invert (the GM at a given (n, α) is closed-form and unique).
+    let design = MechanismSpec::new(n, Alpha::new(0.9).unwrap())
+        .design()
+        .expect("GM design");
+    let sampler = design.alias_sampler();
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mut reports: Vec<Report> = Vec::with_capacity(total as usize);
+    for (input, &count) in truth.iter().enumerate() {
+        for _ in 0..count {
+            let output = sampler.sample(input, &mut rng) as u32;
+            reports.push(Report::new(key, output).expect("in-range output"));
+        }
+    }
+
+    let bin = env!("CARGO_BIN_EXE_serve_stdio");
+    let mut serve = Command::new(bin)
+        .env_remove("CPM_OBS")
+        .env_remove("CPM_TRACE")
+        .env_remove("CPM_SERVE_WARM")
+        .env_remove("CPM_WARM_FILE")
+        .env_remove("CPM_COLLECT_OUTPUTS")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("serve_stdio spawns");
+    let mut frames = 0;
+    {
+        let stdin = serve.stdin.as_mut().unwrap();
+        // 10k reports per frame: few enough response frames that the stdout
+        // pipe cannot fill while we are still writing stdin.
+        for chunk in reports.chunks(10_000) {
+            let batch = encode_batch(chunk).expect("encodable batch");
+            write_frame(stdin, &batch).unwrap();
+            frames += 1;
+        }
+        write_frame(stdin, br#"{"op": "estimate", "n": 32, "alpha": 0.9}"#).unwrap();
+        write_frame(stdin, br#"{"op": "shutdown"}"#).unwrap();
+    }
+    let output = serve.wait_with_output().expect("serve_stdio exits");
+    assert!(output.status.success(), "serving process failed");
+
+    let mut cursor = std::io::Cursor::new(output.stdout);
+    let mut responses: Vec<WireResponse> = Vec::new();
+    while let Some(payload) = read_frame(&mut cursor).unwrap() {
+        responses.push(serde_json::from_str(std::str::from_utf8(&payload).unwrap()).unwrap());
+    }
+    assert_eq!(responses.len(), frames + 2, "report acks + estimate + ack");
+    let mut ingested = 0;
+    for ack in &responses[..frames] {
+        assert!(ack.ok, "report frame rejected: {}", ack.error);
+        assert_eq!(ack.rejected, 0);
+        ingested += ack.ingested;
+    }
+    assert_eq!(ingested, total);
+
+    let estimate = &responses[frames];
+    assert!(estimate.ok, "estimate op failed: {}", estimate.error);
+    assert_eq!(estimate.reports, total);
+    assert_eq!(estimate.estimates.len(), n + 1);
+    assert!((estimate.estimates.iter().sum::<f64>() - total as f64).abs() < 1.0);
+
+    let truth_f = truth_as_f64(&truth);
+    let empirical = (estimate
+        .estimates
+        .iter()
+        .zip(&truth_f)
+        .map(|(e, t)| (e - t) * (e - t))
+        .sum::<f64>()
+        / truth_f.len() as f64)
+        .sqrt();
+    let expected = expected_rmse(design.mechanism(), &truth_f).expect("closed-form bound");
+    println!(
+        "100k-report wire round trip: empirical RMSE {empirical:.2}, closed-form {expected:.2}"
+    );
+    assert!(
+        empirical <= 2.0 * expected,
+        "empirical RMSE {empirical:.2} exceeds 2x the closed-form bound {expected:.2}"
+    );
+}
+
+#[test]
+#[ignore = "release-mode collect smoke test; run explicitly (see CI workflow)"]
+fn single_core_ingest_sustains_a_million_reports_per_second() {
+    let key = SpecKey::new(32, Alpha::new(0.9).unwrap(), PropertySet::empty());
+    let outputs: Vec<usize> = (0..1_000_000).map(|i| i % 33).collect();
+
+    // Best of a few rounds so one scheduler hiccup cannot fail the floor.
+    let mut best = f64::MIN;
+    for _ in 0..3 {
+        let collector = ReportCollector::new();
+        let start = Instant::now();
+        let summary = collector.ingest_batch(&key, outputs.iter().copied());
+        let elapsed = start.elapsed().as_secs_f64();
+        assert_eq!(summary.accepted, 1_000_000);
+        best = best.max(1_000_000.0 / elapsed);
+    }
+    println!("single-core ingest: {:.1}M reports/sec", best / 1e6);
+    assert!(
+        best >= 1_000_000.0,
+        "ingest throughput {best:.0} reports/sec is below the 1M/sec floor"
+    );
+}

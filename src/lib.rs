@@ -18,6 +18,11 @@
 //! * [`serve`] (`cpm-serve`) — the serving subsystem: a snapshot-persistable design
 //!   cache keyed by [`cpm_core::SpecKey`], batch privatization, and stdio/TCP/unix
 //!   front ends.
+//! * [`collect`] (`cpm-collect`) — the collection subsystem closing the LDP loop:
+//!   a binary report wire format, lock-striped per-key accumulators, and the
+//!   matrix-inversion estimator (`t̂ = M⁻¹·o` with plug-in variances and CIs)
+//!   over the mechanism the serve side designed.  `serve → privatize → report →
+//!   collect → estimate` is demonstrated end to end by `examples/collect_demo.rs`.
 //! * [`obs`] (`cpm-obs`) — zero-dependency telemetry: a global metrics registry
 //!   (counters / gauges / log2 latency histograms with a Prometheus-style text
 //!   renderer), `CPM_TRACE`-gated tracing spans, and a flight-recorder ring
@@ -52,6 +57,7 @@
 //! assert_eq!(designed.mechanism().entries(), em.entries());
 //! ```
 
+pub use cpm_collect as collect;
 pub use cpm_core as core;
 pub use cpm_data as data;
 pub use cpm_eval as eval;
@@ -61,6 +67,7 @@ pub use cpm_simplex as simplex;
 
 /// Convenience prelude re-exporting the most commonly used items across the workspace.
 pub mod prelude {
+    pub use cpm_collect::prelude::*;
     pub use cpm_core::prelude::*;
     pub use cpm_data::prelude::*;
     pub use cpm_eval::prelude::*;
