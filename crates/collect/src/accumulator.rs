@@ -12,19 +12,39 @@
 //! poison on any input — at 10 M reports/sec a single counter takes ~58,000
 //! years to saturate, at which point the estimate is clamped rather than
 //! corrupted.
+//!
+//! Memory is bounded against untrusted report streams on two axes: a key's
+//! group size may not exceed [`wire::REPORT_MAX_N`] (capping one counter block
+//! at ~512 KiB instead of letting a hostile `n` demand gigabytes), and the
+//! collector holds at most `max_keys` distinct accumulators
+//! ([`DEFAULT_MAX_KEYS`] unless configured via
+//! [`ReportCollector::with_limits`]).  Since α is keyed by raw `f64` bits, a
+//! client could otherwise mint an unlimited number of distinct keys and grow
+//! the map without bound.  Reports violating either bound are counted as
+//! rejected, never allocated for.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use cpm_core::SpecKey;
 
-use crate::wire::Report;
+use crate::wire::{self, Report};
 
 /// Default shard count, matching the design cache's stripe width.
 pub const DEFAULT_SHARDS: usize = 16;
+
+/// Default cap on distinct keys holding live accumulators.
+///
+/// Unlike the design cache, the collector never evicts — evicting would
+/// silently drop counts and bias every later estimate — so beyond the cap new
+/// keys are *rejected* (their reports count as rejected) rather than displacing
+/// old ones.  At the default, worst-case resident memory is
+/// `DEFAULT_MAX_KEYS × (REPORT_MAX_N + 1) × 8` bytes only if every key uses the
+/// maximal group size; realistic mixes sit orders of magnitude lower.
+pub const DEFAULT_MAX_KEYS: usize = 4096;
 
 /// Per-key counter block: one atomic counter per output index `0..=n`.
 #[derive(Debug)]
@@ -85,6 +105,8 @@ pub struct CollectorStats {
 #[derive(Debug)]
 pub struct ReportCollector {
     shards: Vec<Mutex<HashMap<SpecKey, Arc<KeyAccumulator>>>>,
+    max_keys: usize,
+    key_count: AtomicUsize,
     ingested: AtomicU64,
     rejected: AtomicU64,
     batches: AtomicU64,
@@ -97,20 +119,35 @@ impl Default for ReportCollector {
 }
 
 impl ReportCollector {
-    /// A collector with [`DEFAULT_SHARDS`] stripes.
+    /// A collector with [`DEFAULT_SHARDS`] stripes and [`DEFAULT_MAX_KEYS`].
     pub fn new() -> Self {
         Self::with_shards(DEFAULT_SHARDS)
     }
 
-    /// A collector with an explicit stripe count (minimum 1).
+    /// A collector with an explicit stripe count (minimum 1) and the default
+    /// key cap.
     pub fn with_shards(shards: usize) -> Self {
+        Self::with_limits(shards, DEFAULT_MAX_KEYS)
+    }
+
+    /// A collector with explicit stripe count and distinct-key cap (both
+    /// clamped to a minimum of 1).  Reports for keys beyond the cap are
+    /// rejected, never allocated for.
+    pub fn with_limits(shards: usize, max_keys: usize) -> Self {
         let shards = shards.max(1);
         ReportCollector {
             shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            max_keys: max_keys.max(1),
+            key_count: AtomicUsize::new(0),
             ingested: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             batches: AtomicU64::new(0),
         }
+    }
+
+    /// The distinct-key cap this collector enforces.
+    pub fn max_keys(&self) -> usize {
+        self.max_keys
     }
 
     fn shard_of(&self, key: &SpecKey) -> usize {
@@ -121,12 +158,30 @@ impl ReportCollector {
 
     /// Resolve (creating on first sight) the counter block for `key`.  One
     /// shard-lock acquisition; the returned handle counts lock-free.
-    fn accumulator(&self, key: &SpecKey) -> Arc<KeyAccumulator> {
+    ///
+    /// `None` when the key is inadmissible: its group size exceeds
+    /// [`wire::REPORT_MAX_N`] (the counter block would be attacker-sized), or
+    /// it is unseen and the collector already holds `max_keys` accumulators.
+    fn accumulator(&self, key: &SpecKey) -> Option<Arc<KeyAccumulator>> {
+        if key.n == 0 || key.n > wire::REPORT_MAX_N {
+            return None;
+        }
         let mut shard = self.shards[self.shard_of(key)]
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner());
         if let Some(existing) = shard.get(key) {
-            return Arc::clone(existing);
+            return Some(Arc::clone(existing));
+        }
+        // Claim a key slot before allocating; the atomic keeps the cap exact
+        // across shards (keys are never removed, so a claimed slot is final).
+        if self
+            .key_count
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |count| {
+                (count < self.max_keys).then_some(count + 1)
+            })
+            .is_err()
+        {
+            return None;
         }
         let created = Arc::new(KeyAccumulator::new(key.n + 1));
         shard.insert(*key, Arc::clone(&created));
@@ -134,7 +189,7 @@ impl ReportCollector {
         if cpm_obs::enabled() {
             cpm_obs::gauge!("cpm_collect_keys").add(1);
         }
-        created
+        Some(created)
     }
 
     /// Ingest one report.  Returns whether it was accepted.
@@ -145,7 +200,9 @@ impl ReportCollector {
     /// Ingest a batch of outputs for a single key — the line-rate path.
     ///
     /// The shard lock is taken once; each report is a single relaxed atomic
-    /// add.  Out-of-range outputs are counted as rejected, never panicked on.
+    /// add.  Out-of-range outputs — and whole batches for inadmissible keys
+    /// (group size beyond [`wire::REPORT_MAX_N`], or a new key past the
+    /// `max_keys` cap) — are counted as rejected, never panicked on.
     pub fn ingest_batch(
         &self,
         key: &SpecKey,
@@ -153,15 +210,20 @@ impl ReportCollector {
     ) -> IngestSummary {
         let start = cpm_obs::enabled().then(cpm_obs::now_nanos);
         let accumulator = self.accumulator(key);
-        let dim = accumulator.counts.len();
         let mut summary = IngestSummary::default();
-        for output in outputs {
-            if output < dim {
-                accumulator.counts[output].fetch_add(1, Ordering::Relaxed);
-                summary.accepted += 1;
-            } else {
-                summary.rejected += 1;
+        match accumulator {
+            Some(accumulator) => {
+                let dim = accumulator.counts.len();
+                for output in outputs {
+                    if output < dim {
+                        accumulator.counts[output].fetch_add(1, Ordering::Relaxed);
+                        summary.accepted += 1;
+                    } else {
+                        summary.rejected += 1;
+                    }
+                }
             }
+            None => summary.rejected = outputs.into_iter().count() as u64,
         }
         self.ingested.fetch_add(summary.accepted, Ordering::Relaxed);
         self.rejected.fetch_add(summary.rejected, Ordering::Relaxed);
@@ -257,7 +319,13 @@ impl ReportCollector {
             let Some(counts) = other.observed(&key) else {
                 continue;
             };
-            let accumulator = self.accumulator(&key);
+            let Some(accumulator) = self.accumulator(&key) else {
+                // Key inadmissible here (over this collector's key cap): its
+                // counts stay behind in `other` rather than vanish silently.
+                self.rejected
+                    .fetch_add(counts.iter().sum(), Ordering::Relaxed);
+                continue;
+            };
             let mut accepted = 0u64;
             for (output, &count) in counts.iter().enumerate() {
                 if count == 0 || output >= accumulator.counts.len() {
@@ -388,13 +456,69 @@ mod tests {
         let target = ReportCollector::new();
         target.ingest_batch(&k, [0, 0, 0]);
         let huge = ReportCollector::new();
-        huge.accumulator(&k).counts[0].store(u64::MAX - 1, Ordering::Relaxed);
+        huge.accumulator(&k).unwrap().counts[0].store(u64::MAX - 1, Ordering::Relaxed);
         target.merge_from(&huge);
         assert_eq!(
             target.observed(&k).unwrap()[0],
             u64::MAX,
             "clamped, not wrapped"
         );
+    }
+
+    #[test]
+    fn oversized_group_sizes_never_allocate() {
+        let collector = ReportCollector::new();
+        // A key claiming n = u32::MAX - 1 would demand a ~34 GB counter block;
+        // it must bounce as rejected without touching the shard maps.
+        let hostile = key(u32::MAX as usize - 1, 0.9);
+        let summary = collector.ingest_batch(&hostile, [0, 1, 2]);
+        assert_eq!(
+            summary,
+            IngestSummary {
+                accepted: 0,
+                rejected: 3
+            }
+        );
+        assert!(collector.is_empty());
+        assert!(collector.observed(&hostile).is_none());
+        // The bound is wire::REPORT_MAX_N exactly.
+        assert!(collector.ingest(&key(wire::REPORT_MAX_N, 0.9), 0));
+        assert!(!collector.ingest(&key(wire::REPORT_MAX_N + 1, 0.9), 0));
+    }
+
+    #[test]
+    fn key_cap_rejects_new_keys_but_keeps_serving_old_ones() {
+        let collector = ReportCollector::with_limits(4, 2);
+        assert_eq!(collector.max_keys(), 2);
+        let (a, b, c) = (key(2, 0.5), key(3, 0.5), key(4, 0.5));
+        assert!(collector.ingest(&a, 0));
+        assert!(collector.ingest(&b, 0));
+        // Third distinct key is over the cap: rejected, not evicting.
+        assert!(!collector.ingest(&c, 0));
+        assert_eq!(collector.len(), 2);
+        // Existing keys keep accumulating.
+        assert!(collector.ingest(&a, 1));
+        assert_eq!(collector.observed(&a).unwrap(), vec![1, 1, 0]);
+        assert!(collector.observed(&c).is_none());
+        let stats = collector.stats();
+        assert_eq!((stats.ingested, stats.rejected, stats.keys), (3, 1, 2));
+    }
+
+    #[test]
+    fn merge_into_capped_collector_counts_overflow_as_rejected() {
+        let source = ReportCollector::new();
+        let (a, b) = (key(2, 0.5), key(3, 0.5));
+        source.ingest_batch(&a, [0, 1]);
+        source.ingest_batch(&b, [2, 2, 2]);
+        let target = ReportCollector::with_limits(4, 1);
+        target.merge_from(&source);
+        // Exactly one key fits; the other key's counts are tallied as rejected
+        // (and remain intact in the source).
+        assert_eq!(target.len(), 1);
+        let stats = target.stats();
+        assert_eq!(stats.ingested + stats.rejected, 5);
+        assert!(stats.rejected > 0);
+        assert_eq!(source.total(&a) + source.total(&b), 5);
     }
 
     #[test]

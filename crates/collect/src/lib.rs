@@ -48,12 +48,14 @@ pub mod estimator;
 pub mod snapshot;
 pub mod wire;
 
-pub use accumulator::{CollectorStats, IngestSummary, ReportCollector, DEFAULT_SHARDS};
+pub use accumulator::{
+    CollectorStats, IngestSummary, ReportCollector, DEFAULT_MAX_KEYS, DEFAULT_SHARDS,
+};
 pub use estimator::{
     estimate, estimate_from_design, estimate_with_inverse, expected_rmse, FrequencyEstimates,
 };
 pub use snapshot::EstimateSnapshot;
-pub use wire::{Report, WireError, REPORT_MAGIC, WIRE_VERSION};
+pub use wire::{Report, WireError, REPORT_MAGIC, REPORT_MAX_N, WIRE_VERSION};
 
 /// Commonly used items, re-exported for `use cpm_collect::prelude::*`.
 pub mod prelude {

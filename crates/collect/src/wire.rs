@@ -19,7 +19,8 @@
 //! ```
 //!
 //! * `magic` — [`REPORT_MAGIC`] (`b"CPMR"`).
-//! * `version` — [`WIRE_VERSION`]; decoding rejects anything newer.
+//! * `version` — [`WIRE_VERSION`]; decoding accepts exactly this version and
+//!   rejects everything else (no cross-version compatibility window).
 //! * `count` — number of records; the frame length must match exactly.
 //! * `alpha bits` — the IEEE-754 bits of α, bit-exact with [`AlphaKey`] so a
 //!   decoded report lands on the same cache/accumulator key that designed it.
@@ -29,7 +30,10 @@
 //! * `output` — the reported output index in `0..=n`.
 //!
 //! Every field is validated on decode: a hostile or corrupt frame yields a
-//! [`WireError`], never a panic or a poisoned accumulator.
+//! [`WireError`], never a panic or a poisoned accumulator.  In particular the
+//! group size is bounded by [`REPORT_MAX_N`] — the accumulator allocates
+//! `n + 1` counters per key, so an unbounded `n` straight off the wire would
+//! let one 20-byte record demand gigabytes.
 
 use std::fmt;
 
@@ -40,6 +44,15 @@ pub const REPORT_MAGIC: [u8; 4] = *b"CPMR";
 
 /// Current frame version; bump on any layout change.
 pub const WIRE_VERSION: u16 = 1;
+
+/// Largest group size accepted from the wire (and by the accumulator).
+///
+/// The design side solves an `O(n²)` LP per mechanism, so group sizes far
+/// below this are already impractical to *serve*; the bound exists so that an
+/// untrusted report cannot make the collector allocate `n + 1` counters for an
+/// arbitrary `n` (at the cap, one key's counter block is ~512 KiB, not the
+/// ~34 GB a hostile `n = u32::MAX` record would otherwise demand).
+pub const REPORT_MAX_N: usize = 1 << 16;
 
 /// Bytes in the batch-frame header.
 pub const HEADER_LEN: usize = 12;
@@ -77,7 +90,8 @@ impl Report {
 pub enum WireError {
     /// The payload does not start with [`REPORT_MAGIC`].
     BadMagic,
-    /// The frame's version is newer than this decoder.
+    /// The frame's version is not the exact [`WIRE_VERSION`] this decoder
+    /// speaks (older and newer frames are both refused).
     UnsupportedVersion(u16),
     /// The payload length does not match `HEADER_LEN + count * RECORD_LEN`.
     LengthMismatch {
@@ -97,8 +111,10 @@ pub enum WireError {
         /// The accompanying distance field.
         d: u16,
     },
-    /// A record's group size is zero.
+    /// A record's group size is zero or exceeds [`REPORT_MAX_N`].
     InvalidGroupSize,
+    /// A batch holds more records than the `u32` count field can declare.
+    BatchTooLarge(usize),
     /// The `L0,d` threshold exceeds the group size.
     DistanceTooLarge {
         /// The threshold.
@@ -140,7 +156,15 @@ impl fmt::Display for WireError {
             WireError::InvalidObjective { tag, d } => {
                 write!(f, "report objective tag {tag} with d = {d} is invalid")
             }
-            WireError::InvalidGroupSize => write!(f, "report group size n must be >= 1"),
+            WireError::InvalidGroupSize => {
+                write!(f, "report group size n must be in 1..={REPORT_MAX_N}")
+            }
+            WireError::BatchTooLarge(len) => {
+                write!(
+                    f,
+                    "batch of {len} reports exceeds the u32 record-count field"
+                )
+            }
             WireError::DistanceTooLarge { d, n } => {
                 write!(f, "report L0,d threshold {d} exceeds group size {n}")
             }
@@ -169,11 +193,12 @@ fn objective_tag(objective: ObjectiveKey) -> (u8, u16) {
 
 /// Append one record's 20 bytes to `out`.
 ///
-/// Fails when the key cannot be represented: `n` beyond `u32`, or an `L0,d`
-/// threshold beyond `u16` (both far outside any designable mechanism).
+/// Fails when the key cannot be represented or would be refused on decode:
+/// `n` outside `1..=`[`REPORT_MAX_N`], or an `L0,d` threshold beyond `u16`
+/// (both far outside any designable mechanism).
 pub fn encode_record(report: &Report, out: &mut Vec<u8>) -> Result<(), WireError> {
     let key = &report.key;
-    if key.n > u32::MAX as usize {
+    if key.n == 0 || key.n > REPORT_MAX_N {
         return Err(WireError::InvalidGroupSize);
     }
     if let ObjectiveKey::L0Beyond(d) = key.objective {
@@ -195,7 +220,7 @@ pub fn encode_record(report: &Report, out: &mut Vec<u8>) -> Result<(), WireError
 pub fn decode_record(bytes: &[u8]) -> Result<Report, WireError> {
     assert_eq!(bytes.len(), RECORD_LEN, "record slice must be RECORD_LEN");
     let n = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
-    if n == 0 {
+    if n == 0 || n > REPORT_MAX_N {
         return Err(WireError::InvalidGroupSize);
     }
     let alpha_bits = u64::from_le_bytes(bytes[4..12].try_into().unwrap());
@@ -225,6 +250,9 @@ pub fn decode_record(bytes: &[u8]) -> Result<Report, WireError> {
 /// Encode a batch of reports as one frame payload (header + records), ready to
 /// hand to the length-prefixed framer.
 pub fn encode_batch(reports: &[Report]) -> Result<Vec<u8>, WireError> {
+    if reports.len() > u32::MAX as usize {
+        return Err(WireError::BatchTooLarge(reports.len()));
+    }
     let mut out = Vec::with_capacity(HEADER_LEN + reports.len() * RECORD_LEN);
     out.extend_from_slice(&REPORT_MAGIC);
     out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
@@ -351,12 +379,44 @@ mod tests {
     }
 
     #[test]
-    fn future_versions_are_refused() {
+    fn non_current_versions_are_refused() {
+        // Only the exact WIRE_VERSION is accepted: newer...
         let mut payload = encode_batch(&[Report::new(key(8, 0.9), 1).unwrap()]).unwrap();
         payload[4..6].copy_from_slice(&2u16.to_le_bytes());
         assert_eq!(
             decode_batch(&payload),
             Err(WireError::UnsupportedVersion(2))
+        );
+        // ...and older frames alike.
+        payload[4..6].copy_from_slice(&0u16.to_le_bytes());
+        assert_eq!(
+            decode_batch(&payload),
+            Err(WireError::UnsupportedVersion(0))
+        );
+    }
+
+    #[test]
+    fn oversized_group_sizes_are_refused_without_allocating() {
+        // A single well-formed record claiming n = u32::MAX - 1 must bounce at
+        // validation, not reach an accumulator that would allocate ~34 GB.
+        let mut payload = encode_batch(&[Report::new(key(8, 0.9), 0).unwrap()]).unwrap();
+        payload[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&(u32::MAX - 1).to_le_bytes());
+        assert_eq!(decode_batch(&payload), Err(WireError::InvalidGroupSize));
+        // The bound is exact: REPORT_MAX_N passes, REPORT_MAX_N + 1 does not.
+        payload[HEADER_LEN..HEADER_LEN + 4]
+            .copy_from_slice(&(REPORT_MAX_N as u32).to_le_bytes());
+        assert!(decode_batch(&payload).is_ok());
+        payload[HEADER_LEN..HEADER_LEN + 4]
+            .copy_from_slice(&(REPORT_MAX_N as u32 + 1).to_le_bytes());
+        assert_eq!(decode_batch(&payload), Err(WireError::InvalidGroupSize));
+        // Encoding refuses the same keys decoding would.
+        let huge = Report {
+            key: key(REPORT_MAX_N + 1, 0.9),
+            output: 0,
+        };
+        assert_eq!(
+            encode_record(&huge, &mut Vec::new()),
+            Err(WireError::InvalidGroupSize)
         );
     }
 

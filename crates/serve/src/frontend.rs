@@ -44,7 +44,11 @@
 //! ```
 //!
 //! → `{"ok": true, "ingested": 4, "rejected": 0}`.  Out-of-range outputs are
-//! counted in `rejected`, never fatal.
+//! counted in `rejected`, never fatal.  Group sizes are bounded by
+//! `cpm_collect::REPORT_MAX_N` on both the JSON and binary paths (a hostile
+//! `n` must not size an allocation), and the collector holds at most
+//! `cpm_collect::DEFAULT_MAX_KEYS` distinct keys — reports past either bound
+//! are rejected, not fatal.
 //!
 //! `estimate` inverts the key's designed mechanism matrix over everything the
 //! collector has accumulated for it, returning the unbiased input-frequency
@@ -338,6 +342,17 @@ fn dispatch_inner(engine: &Engine, request: &WireRequest) -> (WireResponse, bool
             Err(message) => (failure(message), false),
         },
         "report" => match parse_key(request) {
+            // The JSON fallback enforces the same group-size bound as the
+            // binary decoder: without it a single request could name an
+            // arbitrary `n` and the collector would be asked to allocate
+            // `n + 1` counters for it.
+            Ok(key) if key.n == 0 || key.n > cpm_collect::REPORT_MAX_N => (
+                failure(format!(
+                    "report group size n must be in 1..={}",
+                    cpm_collect::REPORT_MAX_N
+                )),
+                false,
+            ),
             Ok(key) => {
                 let summary = engine
                     .collector()
@@ -577,6 +592,24 @@ mod tests {
         truncated.extend_from_slice(b"abc");
         let mut reader = Cursor::new(truncated);
         assert!(serve_connection(&engine, &mut reader, &mut output).is_err());
+    }
+
+    #[test]
+    fn oversized_report_group_sizes_fail_soft_without_allocating() {
+        let engine = Engine::with_defaults();
+        // n = u32::MAX - 1 would size a ~34 GB accumulator if it reached the
+        // collector; the report op must refuse it at validation instead.
+        let (responses, _) = run(
+            &engine,
+            &[
+                r#"{"op": "report", "n": 4294967294, "alpha": 0.9, "reports": [0]}"#,
+                r#"{"op": "report", "n": 0, "alpha": 0.9, "reports": [0]}"#,
+            ],
+        );
+        assert!(!responses[0].ok);
+        assert!(responses[0].error.contains("group size"));
+        assert!(!responses[1].ok);
+        assert!(engine.collector().is_empty());
     }
 
     #[test]
