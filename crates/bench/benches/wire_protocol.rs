@@ -1,0 +1,150 @@
+//! Criterion bench: wire-protocol overhead — JSON vs compact `CPMF` binary.
+//!
+//! Measures the three costs a codec adds to a privatize round trip, with the
+//! design already resident so nothing but wire work is on the clock:
+//!
+//! * encode: request struct → frame payload bytes;
+//! * decode: frame payload bytes → [`cpm_serve::proto::Op`];
+//! * end-to-end: framed request through a [`ProtoConnection`] to a framed
+//!   response (sniff + decode + dispatch + encode).
+//!
+//! The per-frame byte counts (the other half of "wire overhead" in
+//! BENCHMARKS.md) are printed once at start-up.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cpm_serve::proto::{self, Op, ProtoConfig, ProtoConnection};
+use cpm_serve::{Engine, EngineConfig, WireRequest};
+
+const BATCH_SIZES: [usize; 3] = [1, 16, 256];
+
+fn request_for(inputs: Vec<usize>) -> WireRequest {
+    WireRequest {
+        op: "privatize".to_string(),
+        n: 32,
+        alpha: 0.9,
+        properties: String::new(),
+        objective: String::new(),
+        inputs,
+        reports: Vec::new(),
+    }
+}
+
+fn json_payload(request: &WireRequest) -> Vec<u8> {
+    serde_json::to_string(request)
+        .expect("request serializes")
+        .into_bytes()
+}
+
+fn binary_payload(request: &WireRequest) -> Vec<u8> {
+    let op = proto::op_from_request(request).expect("request is valid");
+    proto::encode_request(&op).expect("op encodes")
+}
+
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Print the per-frame wire sizes once, so a bench run yields both halves of
+/// the BENCHMARKS.md wire-overhead table.
+fn print_frame_sizes() {
+    eprintln!("wire_protocol: privatize request bytes (payload, framed):");
+    for &size in &BATCH_SIZES {
+        let request = request_for((0..size).map(|i| i % 33).collect());
+        let json = json_payload(&request);
+        let binary = binary_payload(&request);
+        eprintln!(
+            "  batch {size:>3}: JSON {:>5} ({:>5}) | CPMF {:>4} ({:>4}) | ratio {:.1}x",
+            json.len(),
+            json.len() + 4,
+            binary.len(),
+            binary.len() + 4,
+            json.len() as f64 / binary.len() as f64,
+        );
+    }
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_encode");
+    for &size in &BATCH_SIZES {
+        let request = request_for((0..size).map(|i| i % 33).collect());
+        let op = proto::op_from_request(&request).expect("request is valid");
+        group.bench_with_input(BenchmarkId::new("json", size), &size, |b, _| {
+            b.iter(|| json_payload(black_box(&request)))
+        });
+        group.bench_with_input(BenchmarkId::new("binary", size), &size, |b, _| {
+            b.iter(|| proto::encode_request(black_box(&op)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_decode");
+    for &size in &BATCH_SIZES {
+        let request = request_for((0..size).map(|i| i % 33).collect());
+        let json = json_payload(&request);
+        let binary = binary_payload(&request);
+        group.bench_with_input(BenchmarkId::new("json", size), &size, |b, _| {
+            b.iter(|| {
+                let parsed: WireRequest =
+                    serde_json::from_str(std::str::from_utf8(black_box(&json)).unwrap()).unwrap();
+                proto::op_from_request(&parsed).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("binary", size), &size, |b, _| {
+            b.iter(|| proto::decode_request(black_box(&binary)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let engine = Engine::new(EngineConfig::default());
+    // Warm the one key every request hits, so the bench times wire work plus
+    // an O(1) alias draw — not LP design.
+    let warmup = request_for(vec![0]);
+    let op = proto::op_from_request(&warmup).expect("request is valid");
+    if let Op::Privatize { key, .. } = &op {
+        engine.warm(&[*key]).expect("GM warms instantly");
+    }
+
+    let mut group = c.benchmark_group("wire_end_to_end");
+    for &size in &BATCH_SIZES {
+        let request = request_for((0..size).map(|i| i % 33).collect());
+        let json = frame(&json_payload(&request));
+        let binary = frame(&binary_payload(&request));
+        group.bench_with_input(BenchmarkId::new("json", size), &size, |b, _| {
+            let mut conn = ProtoConnection::new(ProtoConfig::default());
+            b.iter(|| {
+                conn.ingest(&engine, black_box(&json)).unwrap();
+                let produced = conn.pending_output().len();
+                assert!(produced > 0);
+                conn.advance_output(produced);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("binary", size), &size, |b, _| {
+            let mut conn = ProtoConnection::new(ProtoConfig::default());
+            b.iter(|| {
+                conn.ingest(&engine, black_box(&binary)).unwrap();
+                let produced = conn.pending_output().len();
+                assert!(produced > 0);
+                conn.advance_output(produced);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn all(c: &mut Criterion) {
+    print_frame_sizes();
+    bench_encode(c);
+    bench_decode(c);
+    bench_end_to_end(c);
+}
+
+criterion_group!(benches, all);
+criterion_main!(benches);

@@ -37,7 +37,8 @@
 
 use std::fmt;
 
-use cpm_core::{Alpha, ObjectiveKey, PropertySet, SpecKey};
+use cpm_core::SpecKey;
+use cpm_wire::{put_spec_key, take_spec_key, KeyError, Reader, SpecKeyError, Wire};
 
 /// Leading bytes of a binary report frame.
 pub const REPORT_MAGIC: [u8; 4] = *b"CPMR";
@@ -51,19 +52,18 @@ pub const WIRE_VERSION: u16 = 1;
 /// below this are already impractical to *serve*; the bound exists so that an
 /// untrusted report cannot make the collector allocate `n + 1` counters for an
 /// arbitrary `n` (at the cap, one key's counter block is ~512 KiB, not the
-/// ~34 GB a hostile `n = u32::MAX` record would otherwise demand).
-pub const REPORT_MAX_N: usize = 1 << 16;
+/// ~34 GB a hostile `n = u32::MAX` record would otherwise demand).  The value
+/// is the workspace-wide [`cpm_wire::MAX_GROUP_SIZE`], enforced inside the
+/// shared [`SpecKey`] codec, so the `CPMR` and `CPMF` formats agree on it by
+/// construction.
+pub const REPORT_MAX_N: usize = cpm_wire::MAX_GROUP_SIZE;
 
 /// Bytes in the batch-frame header.
 pub const HEADER_LEN: usize = 12;
 
-/// Bytes per report record.
-pub const RECORD_LEN: usize = 20;
-
-const OBJ_L0: u8 = 0;
-const OBJ_L1: u8 = 1;
-const OBJ_L2: u8 = 2;
-const OBJ_L0_BEYOND: u8 = 3;
+/// Bytes per report record: the shared [`cpm_wire::SPEC_KEY_LEN`]-byte key
+/// codec plus the `u32` output.
+pub const RECORD_LEN: usize = cpm_wire::SPEC_KEY_LEN + 4;
 
 /// One privatized report: which designed mechanism produced it and the output
 /// index the client drew.
@@ -182,68 +182,39 @@ pub fn is_report_frame(payload: &[u8]) -> bool {
     payload.len() >= REPORT_MAGIC.len() && payload[..REPORT_MAGIC.len()] == REPORT_MAGIC
 }
 
-fn objective_tag(objective: ObjectiveKey) -> (u8, u16) {
-    match objective {
-        ObjectiveKey::L0 => (OBJ_L0, 0),
-        ObjectiveKey::L1 => (OBJ_L1, 0),
-        ObjectiveKey::L2 => (OBJ_L2, 0),
-        ObjectiveKey::L0Beyond(d) => (OBJ_L0_BEYOND, d as u16),
+/// Translate a shared-codec key failure into this format's error surface.
+fn key_error(error: KeyError) -> WireError {
+    match error {
+        KeyError::InvalidAlpha(value) => WireError::InvalidAlpha(value),
+        KeyError::InvalidProperties(bits) => WireError::InvalidProperties(bits),
+        KeyError::InvalidObjective { tag, d } => WireError::InvalidObjective { tag, d },
+        KeyError::InvalidGroupSize => WireError::InvalidGroupSize,
+        KeyError::DistanceTooLarge { d, n } => WireError::DistanceTooLarge { d, n },
     }
 }
 
-/// Append one record's 20 bytes to `out`.
+/// Append one record's 20 bytes to `out`: the shared [`SpecKey`] codec
+/// ([`cpm_wire::put_spec_key`]) followed by the `u32` output.
 ///
 /// Fails when the key cannot be represented or would be refused on decode:
 /// `n` outside `1..=`[`REPORT_MAX_N`], or an `L0,d` threshold beyond `u16`
 /// (both far outside any designable mechanism).
 pub fn encode_record(report: &Report, out: &mut Vec<u8>) -> Result<(), WireError> {
-    let key = &report.key;
-    if key.n == 0 || key.n > REPORT_MAX_N {
-        return Err(WireError::InvalidGroupSize);
-    }
-    if let ObjectiveKey::L0Beyond(d) = key.objective {
-        if d > u16::MAX as usize {
-            return Err(WireError::DistanceTooLarge { d, n: key.n });
-        }
-    }
-    let (tag, d) = objective_tag(key.objective);
-    out.extend_from_slice(&(key.n as u32).to_le_bytes());
-    out.extend_from_slice(&key.alpha.bits().to_le_bytes());
-    out.push(key.properties.bits());
-    out.push(tag);
-    out.extend_from_slice(&d.to_le_bytes());
-    out.extend_from_slice(&report.output.to_le_bytes());
+    put_spec_key(&report.key, out).map_err(key_error)?;
+    report.output.put(out);
     Ok(())
 }
 
 /// Decode one 20-byte record, validating every field.
 pub fn decode_record(bytes: &[u8]) -> Result<Report, WireError> {
     assert_eq!(bytes.len(), RECORD_LEN, "record slice must be RECORD_LEN");
-    let n = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
-    if n == 0 || n > REPORT_MAX_N {
-        return Err(WireError::InvalidGroupSize);
-    }
-    let alpha_bits = u64::from_le_bytes(bytes[4..12].try_into().unwrap());
-    let alpha_value = f64::from_bits(alpha_bits);
-    let alpha = Alpha::new(alpha_value).map_err(|_| WireError::InvalidAlpha(alpha_value))?;
-    let properties =
-        PropertySet::from_bits(bytes[12]).ok_or(WireError::InvalidProperties(bytes[12]))?;
-    let tag = bytes[13];
-    let d = u16::from_le_bytes(bytes[14..16].try_into().unwrap());
-    let objective = match (tag, d) {
-        (OBJ_L0, 0) => ObjectiveKey::L0,
-        (OBJ_L1, 0) => ObjectiveKey::L1,
-        (OBJ_L2, 0) => ObjectiveKey::L2,
-        (OBJ_L0_BEYOND, d) => {
-            if d as usize > n {
-                return Err(WireError::DistanceTooLarge { d: d as usize, n });
-            }
-            ObjectiveKey::L0Beyond(d as usize)
-        }
-        (tag, d) => return Err(WireError::InvalidObjective { tag, d }),
-    };
-    let output = u32::from_le_bytes(bytes[16..20].try_into().unwrap());
-    let key = SpecKey::with_objective(n, alpha, properties, objective);
+    let mut reader = Reader::new(bytes);
+    let key = take_spec_key(&mut reader).map_err(|error| match error {
+        SpecKeyError::Key(error) => key_error(error),
+        // The slice is exactly RECORD_LEN, so the 16-byte key cannot truncate.
+        SpecKeyError::Decode(_) => unreachable!("RECORD_LEN slice cannot truncate a key"),
+    })?;
+    let output = u32::take(&mut reader).expect("RECORD_LEN slice carries the output");
     Report::new(key, output)
 }
 
@@ -298,7 +269,7 @@ pub fn decode_batch(payload: &[u8]) -> Result<Vec<Report>, WireError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cpm_core::{Property, PropertySet};
+    use cpm_core::{Alpha, ObjectiveKey, Property, PropertySet};
 
     fn key(n: usize, alpha: f64) -> SpecKey {
         SpecKey::new(n, Alpha::new(alpha).unwrap(), PropertySet::empty())
@@ -403,8 +374,7 @@ mod tests {
         payload[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&(u32::MAX - 1).to_le_bytes());
         assert_eq!(decode_batch(&payload), Err(WireError::InvalidGroupSize));
         // The bound is exact: REPORT_MAX_N passes, REPORT_MAX_N + 1 does not.
-        payload[HEADER_LEN..HEADER_LEN + 4]
-            .copy_from_slice(&(REPORT_MAX_N as u32).to_le_bytes());
+        payload[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&(REPORT_MAX_N as u32).to_le_bytes());
         assert!(decode_batch(&payload).is_ok());
         payload[HEADER_LEN..HEADER_LEN + 4]
             .copy_from_slice(&(REPORT_MAX_N as u32 + 1).to_le_bytes());
@@ -449,7 +419,7 @@ mod tests {
         payload[HEADER_LEN + 14] = 1;
         assert!(matches!(
             decode_batch(&payload),
-            Err(WireError::InvalidObjective { tag: OBJ_L0, d: 1 })
+            Err(WireError::InvalidObjective { tag: 0, d: 1 })
         ));
         // Output beyond n.
         let mut payload = encode_batch(&[base]).unwrap();

@@ -45,11 +45,21 @@
 //! | `cpm_engine_chunk_nanos` | histogram | — | Latency per per-thread sampling chunk (the thread-scaling probe reads this). |
 //! | `cpm_engine_draws_per_sec` | histogram | — | Per-batch sampling throughput (draws/second, not nanos). |
 //! | `cpm_net_connections_total` | counter | — | Connections accepted. |
-//! | `cpm_net_rejections_total` | counter | — | Connections rejected at the `MAX_CONNECTIONS` ceiling. |
+//! | `cpm_net_rejections_total` | counter | — | Connections rejected at the configured connection ceiling. |
 //! | `cpm_net_active_connections` | gauge | — | Currently open connections. |
-//! | `cpm_net_conn_errors_total` | counter | — | Connections torn down by I/O error (each dumps the flight recorder). |
+//! | `cpm_net_workers` | gauge | — | Reactor worker threads serving all connections. |
+//! | `cpm_net_bytes_in_total` | counter | — | Bytes read from client sockets. |
+//! | `cpm_net_bytes_out_total` | counter | — | Response bytes written to client sockets. |
+//! | `cpm_net_idle_closed_total` | counter | — | Connections reaped by the idle timeout. |
+//! | `cpm_net_conn_errors_total` | counter | — | Connections torn down by I/O or protocol error (each dumps the flight recorder). |
+//! | `cpm_net_frame_decode_errors_total` | counter | — | Frames refused as undecodable (bad JSON, malformed `CPMF`/`CPMR`). |
 //! | `cpm_wire_requests_total` | counter | `op` | Wire requests dispatched, by op (`privatize`, `warm`, `stats`, `metrics`, ...). |
 //! | `cpm_wire_op_nanos` | histogram | `op` | Dispatch latency per wire op. |
+//! | `cpm_report_rate_limited_total` | counter | — | Reports refused by the per-connection `CPM_REPORT_RATE` token bucket. |
+//! | `cpm_http_requests_total` | counter | — | HTTP requests served (the `GET /metrics` endpoint). |
+//! | `cpm_collect_flushes_total` | counter | — | Background estimate-snapshot flushes completed. |
+//! | `cpm_collect_flush_errors_total` | counter | — | Flush passes (or per-key estimates) that failed. |
+//! | `cpm_collect_flush_nanos` | histogram | — | Wall time per estimate-snapshot flush. |
 //! | `cpm_boot_snapshot_load_nanos` | histogram | — | Warm-file snapshot load time at boot. |
 //! | `cpm_boot_snapshot_save_nanos` | histogram | — | Warm-file snapshot save time at shutdown. |
 //! | `cpm_boot_warm_keys_total` | counter | — | Keys pre-warmed at boot (file + `CPM_SERVE_WARM`). |

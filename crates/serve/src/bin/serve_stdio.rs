@@ -1,5 +1,6 @@
-//! The stdin/stdout mechanism server: length-prefixed JSON frames in, frames
-//! out (see [`cpm_serve::frontend`] for the protocol).
+//! The stdin/stdout mechanism server: length-prefixed frames in, frames out
+//! (see [`cpm_serve::proto`] for the protocol — JSON, compact `CPMF` binary,
+//! and `CPMR` report batches all share the framing).
 //!
 //! Configuration comes from the environment (`CPM_SERVE_CAPACITY`,
 //! `CPM_SERVE_SHARDS`, `CPM_SERVE_SEED`, `CPM_SERVE_MIN_CHUNK`, plus
@@ -8,15 +9,19 @@
 //! `32:0.9:WH+CM;64:0.9:`) are designed before the first frame is read, and a
 //! `CPM_WARM_FILE` snapshot is loaded before / written after warming (see
 //! [`cpm_serve::boot`]), so restarts pay deploy-time I/O instead of
-//! first-request LP solves.
+//! first-request LP solves.  `CPM_COLLECT_FLUSH_SECS` starts the background
+//! estimate-snapshot flusher; `CPM_REPORT_RATE` rate-limits report ingestion.
 
 use std::io;
+use std::sync::Arc;
 
+use cpm_serve::boot::start_flusher_from_env;
 use cpm_serve::prelude::*;
 
 fn main() -> io::Result<()> {
-    let engine = Engine::new(EngineConfig::from_env());
+    let engine = Arc::new(Engine::new(EngineConfig::from_env()));
     bootstrap(&engine)?;
+    let _flusher = start_flusher_from_env(&engine);
 
     let stdin = io::stdin();
     let stdout = io::stdout();

@@ -14,6 +14,9 @@
 //!   to a cold start and is rewritten — never a failed start.
 
 use std::io;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
 
 use cpm_core::{Alpha, ObjectiveKey, PropertySet, SpecKey};
 
@@ -24,6 +27,14 @@ pub const WARM_FILE_ENV: &str = "CPM_WARM_FILE";
 
 /// Environment variable listing the keys to design at start-up.
 pub const WARM_KEYS_ENV: &str = "CPM_SERVE_WARM";
+
+/// Environment variable: seconds between background estimate-snapshot flushes
+/// (unset or `0` disables the flusher).
+pub const FLUSH_SECS_ENV: &str = "CPM_COLLECT_FLUSH_SECS";
+
+/// Environment variable: the file the estimate flusher writes (default
+/// `cpm-estimates.json`).
+pub const FLUSH_FILE_ENV: &str = "CPM_COLLECT_FLUSH_FILE";
 
 /// What [`bootstrap`] did, for start-up logging.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -161,6 +172,142 @@ pub fn bootstrap(engine: &Engine) -> io::Result<BootReport> {
     Ok(report)
 }
 
+/// A running background estimate flusher.  Dropping (or [`stop`ping]
+/// (FlusherHandle::stop)) the handle wakes the thread, runs one final flush,
+/// and joins it — collected reports are never lost to a clean shutdown.
+pub struct FlusherHandle {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl FlusherHandle {
+    /// Signal the flusher, wait for its final flush, and join the thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            let (stopped, wake) = &*self.stop;
+            *stopped.lock().expect("flusher flag poisoned") = true;
+            wake.notify_all();
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for FlusherHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Start the background estimate-snapshot flusher if `CPM_COLLECT_FLUSH_SECS`
+/// asks for one: every period, every key the collector has reports for is
+/// estimated through its designed mechanism and the whole set is written
+/// atomically to `CPM_COLLECT_FLUSH_FILE` (default `cpm-estimates.json`), so
+/// an operator — or a crash-restarted process — always has a recent view of
+/// the collected frequencies without issuing `estimate` ops.
+pub fn start_flusher_from_env(engine: &Arc<Engine>) -> Option<FlusherHandle> {
+    let period_secs: u64 = std::env::var(FLUSH_SECS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0);
+    if period_secs == 0 {
+        return None;
+    }
+    let path = std::env::var(FLUSH_FILE_ENV)
+        .ok()
+        .filter(|p| !p.is_empty())
+        .unwrap_or_else(|| "cpm-estimates.json".to_string());
+    eprintln!("cpm-serve: flushing estimates to {path} every {period_secs}s");
+    Some(start_flusher(
+        Arc::clone(engine),
+        path,
+        Duration::from_secs(period_secs),
+    ))
+}
+
+/// Start a flusher with an explicit path and period (the env-driven entry is
+/// [`start_flusher_from_env`]).
+pub fn start_flusher(engine: Arc<Engine>, path: String, period: Duration) -> FlusherHandle {
+    let stop = Arc::new((Mutex::new(false), Condvar::new()));
+    let stop_for_thread = Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
+        .name("cpm-collect-flush".to_string())
+        .spawn(move || {
+            let (stopped, wake) = &*stop_for_thread;
+            loop {
+                let mut flag = stopped.lock().expect("flusher flag poisoned");
+                while !*flag {
+                    let (next, timeout) = wake
+                        .wait_timeout(flag, period)
+                        .expect("flusher flag poisoned");
+                    flag = next;
+                    if timeout.timed_out() {
+                        break;
+                    }
+                }
+                let finishing = *flag;
+                drop(flag);
+                flush_estimates(&engine, &path);
+                if finishing {
+                    return;
+                }
+            }
+        })
+        .expect("spawning the flusher thread");
+    FlusherHandle {
+        stop,
+        handle: Some(handle),
+    }
+}
+
+/// One flush pass: estimate every collected key and write the snapshot file.
+/// Failures are logged and counted, never fatal — the flusher is an
+/// observability aid, not a correctness dependency.
+fn flush_estimates(engine: &Engine, path: &str) {
+    let flush_started = std::time::Instant::now();
+    let keys = engine.collector().keys();
+    let mut snapshots = Vec::with_capacity(keys.len());
+    for key in keys {
+        let Some(observed) = engine.collector().observed(&key) else {
+            continue;
+        };
+        match engine
+            .design(&key)
+            .map_err(|e| e.to_string())
+            .and_then(|design| {
+                cpm_collect::estimate_from_design(&design, &observed).map_err(|e| e.to_string())
+            }) {
+            Ok(estimates) => {
+                snapshots.push(cpm_collect::EstimateSnapshot::from_estimates(
+                    key, &estimates,
+                ));
+            }
+            Err(error) => {
+                // A singular design (e.g. Uniform) has nothing to invert;
+                // skip the key rather than aborting the whole flush.
+                cpm_obs::counter!("cpm_collect_flush_errors_total").inc();
+                cpm_obs::error("collect", format!("flush estimate failed: {error}"));
+            }
+        }
+    }
+    if snapshots.is_empty() {
+        return;
+    }
+    match cpm_collect::snapshot::write_file(path, &snapshots) {
+        Ok(()) => {
+            cpm_obs::counter!("cpm_collect_flushes_total").inc();
+            cpm_obs::histogram!("cpm_collect_flush_nanos").record_duration(flush_started.elapsed());
+        }
+        Err(error) => {
+            cpm_obs::counter!("cpm_collect_flush_errors_total").inc();
+            eprintln!("cpm-serve: could not flush estimates to {path} ({error}); continuing");
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,5 +339,32 @@ mod tests {
 
         let keys = parse_warm_keys("32:0.9:WH+CM; 64:0.9: ;").unwrap();
         assert_eq!(keys.len(), 2);
+    }
+
+    #[test]
+    fn flusher_writes_estimates_and_flushes_once_more_on_stop() {
+        let engine = Arc::new(Engine::with_defaults());
+        let key = SpecKey::new(4, Alpha::new(0.5).unwrap(), PropertySet::empty());
+        engine
+            .collector()
+            .ingest_batch(&key, (0..100).map(|i| if i < 60 { 0 } else { 4 }));
+        let path = std::env::temp_dir().join(format!(
+            "cpm-flush-test-{}-{:?}.json",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        // A long period: the only flush is the final one the stop triggers.
+        let flusher = start_flusher(
+            Arc::clone(&engine),
+            path.to_string_lossy().into_owned(),
+            Duration::from_secs(3600),
+        );
+        flusher.stop();
+        let snapshots = cpm_collect::snapshot::read_file(&path).unwrap();
+        assert_eq!(snapshots.len(), 1);
+        assert_eq!(snapshots[0].key, key);
+        assert_eq!(snapshots[0].total_reports, 100);
+        let _ = std::fs::remove_file(&path);
     }
 }

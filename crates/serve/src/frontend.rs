@@ -9,12 +9,14 @@
 //! prefix must not trigger a giant allocation).  A clean EOF between frames ends
 //! the connection.
 //!
-//! A payload is either UTF-8 JSON (below) or a **binary report frame**: if the
-//! payload starts with the `b"CPMR"` magic it is decoded as a
-//! `cpm_collect::wire` batch (versioned 12-byte header + 20-byte records, one
-//! `(SpecKey, output)` report each) and ingested into the engine's collector.
-//! JSON can never start with the magic, so the two formats share one framing
-//! layer unambiguously.  The response to a binary frame is the usual JSON
+//! A payload is UTF-8 JSON (below), a **compact binary request frame**
+//! (`b"CPMF"` magic — see [`crate::proto`] for the format; its response is
+//! binary too), or a **binary report frame**: if the payload starts with the
+//! `b"CPMR"` magic it is decoded as a `cpm_collect::wire` batch (versioned
+//! 12-byte header + 20-byte records, one `(SpecKey, output)` report each) and
+//! ingested into the engine's collector.  JSON can never start with either
+//! magic, so the three formats share one framing layer unambiguously.  The
+//! response to a report frame is the usual JSON
 //! `{"ok": true, "ingested": N, "rejected": 0}`.
 //!
 //! ## Requests
@@ -81,9 +83,9 @@ use std::io::{self, Read, Write};
 
 use serde::{Deserialize, Serialize};
 
-use cpm_core::{Alpha, ObjectiveKey, PropertySet, SpecKey};
+use cpm_core::PropertySet;
 
-use crate::engine::{Engine, Request};
+use crate::engine::Engine;
 
 /// Upper bound on one frame's payload (16 MiB) — a corrupt or hostile length
 /// prefix fails fast instead of allocating unbounded memory.
@@ -240,20 +242,6 @@ pub fn parse_properties(text: &str) -> Result<PropertySet, String> {
     text.parse().map_err(|e: cpm_core::CoreError| e.to_string())
 }
 
-/// Build the mechanism key a wire request denotes.
-fn parse_key(request: &WireRequest) -> Result<SpecKey, String> {
-    let alpha = Alpha::new(request.alpha).map_err(|e| e.to_string())?;
-    let properties: PropertySet = request
-        .properties
-        .parse()
-        .map_err(|e: cpm_core::CoreError| e.to_string())?;
-    let objective = ObjectiveKey::parse(&request.objective)
-        .ok_or_else(|| format!("unknown objective {:?}", request.objective))?;
-    Ok(SpecKey::with_objective(
-        request.n, alpha, properties, objective,
-    ))
-}
-
 fn failure(message: String) -> WireResponse {
     WireResponse {
         ok: false,
@@ -264,17 +252,25 @@ fn failure(message: String) -> WireResponse {
 
 /// Process one decoded request against the engine.  Returns the response and
 /// whether the connection should close (`shutdown`).
+///
+/// This is the JSON entry into the shared op dispatcher in [`crate::proto`]:
+/// the request is translated to a [`crate::proto::Op`] and dispatched exactly
+/// as its binary-codec twin would be.
 pub fn dispatch(engine: &Engine, request: &WireRequest) -> (WireResponse, bool) {
     // The request counter fires on entry so the `metrics` op's own scrape
-    // already includes it; latency is recorded after the work.
-    let op = normalized_op(request.op.as_str());
+    // already includes it; latency is recorded after the work (op translation
+    // included — a malformed key costs wire time too).
+    let op = crate::proto::normalized_op(request.op.as_str());
     if cpm_obs::enabled() {
         cpm_obs::registry()
             .counter(&format!("cpm_wire_requests_total{{op=\"{op}\"}}"))
             .inc();
     }
     let op_started = std::time::Instant::now();
-    let outcome = dispatch_inner(engine, request);
+    let outcome = match crate::proto::op_from_request(request) {
+        Ok(op) => crate::proto::dispatch_inner(engine, &op),
+        Err(message) => (failure(message), false),
+    };
     if cpm_obs::enabled() {
         cpm_obs::registry()
             .histogram(&format!("cpm_wire_op_nanos{{op=\"{op}\"}}"))
@@ -283,223 +279,58 @@ pub fn dispatch(engine: &Engine, request: &WireRequest) -> (WireResponse, bool) 
     outcome
 }
 
-/// Fold a wire op into the closed label set (unknown ops become `other`) so a
-/// hostile client cannot grow the metrics registry without bound.
-fn normalized_op(op: &str) -> &'static str {
-    match op {
-        "" | "privatize" => "privatize",
-        "warm" => "warm",
-        "report" => "report",
-        "estimate" => "estimate",
-        "stats" => "stats",
-        "metrics" => "metrics",
-        "shutdown" => "shutdown",
-        _ => "other",
-    }
-}
-
-fn dispatch_inner(engine: &Engine, request: &WireRequest) -> (WireResponse, bool) {
-    match request.op.as_str() {
-        "" | "privatize" => match parse_key(request) {
-            Ok(key) => {
-                let batch: Vec<Request> = request
-                    .inputs
-                    .iter()
-                    .map(|&input| Request::new(key, input))
-                    .collect();
-                match engine.privatize_batch(&batch) {
-                    Ok(outcome) => (
-                        WireResponse {
-                            ok: true,
-                            outputs: outcome.outputs,
-                            cache_hits: outcome.stats.cache_hits,
-                            cache_misses: outcome.stats.cache_misses,
-                            design_solves: outcome.stats.cache_misses,
-                            entries: engine.cache().len() as u64,
-                            design_micros: outcome.stats.design_time.as_micros() as u64,
-                            sample_micros: outcome.stats.sample_time.as_micros() as u64,
-                            ..WireResponse::default()
-                        },
-                        false,
-                    ),
-                    Err(error) => (failure(error.to_string()), false),
-                }
-            }
-            Err(message) => (failure(message), false),
-        },
-        "warm" => match parse_key(request) {
-            Ok(key) => match engine.warm(&[key]) {
-                Ok(()) => (
-                    WireResponse {
-                        ok: true,
-                        entries: engine.cache().len() as u64,
-                        ..WireResponse::default()
-                    },
-                    false,
-                ),
-                Err(error) => (failure(error.to_string()), false),
-            },
-            Err(message) => (failure(message), false),
-        },
-        "report" => match parse_key(request) {
-            // The JSON fallback enforces the same group-size bound as the
-            // binary decoder: without it a single request could name an
-            // arbitrary `n` and the collector would be asked to allocate
-            // `n + 1` counters for it.
-            Ok(key) if key.n == 0 || key.n > cpm_collect::REPORT_MAX_N => (
-                failure(format!(
-                    "report group size n must be in 1..={}",
-                    cpm_collect::REPORT_MAX_N
-                )),
-                false,
-            ),
-            Ok(key) => {
-                let summary = engine
-                    .collector()
-                    .ingest_batch(&key, request.reports.iter().copied());
-                (
-                    WireResponse {
-                        ok: true,
-                        ingested: summary.accepted,
-                        rejected: summary.rejected,
-                        ..WireResponse::default()
-                    },
-                    false,
-                )
-            }
-            Err(message) => (failure(message), false),
-        },
-        "estimate" => match parse_key(request) {
-            Ok(key) => match engine.collector().observed(&key) {
-                Some(observed) => {
-                    match engine
-                        .design(&key)
-                        .map_err(|e| e.to_string())
-                        .and_then(|design| {
-                            cpm_collect::estimate_from_design(&design, &observed)
-                                .map_err(|e| e.to_string())
-                        }) {
-                        Ok(freq) => (
-                            WireResponse {
-                                ok: true,
-                                reports: freq.total_reports,
-                                estimates: freq.estimates,
-                                variances: freq.variances,
-                                ..WireResponse::default()
-                            },
-                            false,
-                        ),
-                        Err(message) => (failure(message), false),
-                    }
-                }
-                None => (
-                    failure("no reports collected for this key yet".to_string()),
-                    false,
-                ),
-            },
-            Err(message) => (failure(message), false),
-        },
-        "stats" => {
-            let stats = engine.cache_stats();
-            (
-                WireResponse {
-                    ok: true,
-                    cache_hits: stats.hits,
-                    cache_misses: stats.misses,
-                    design_solves: stats.design_solves,
-                    entries: stats.entries as u64,
-                    design_micros: stats.design_nanos / 1_000,
-                    ..WireResponse::default()
-                },
-                false,
-            )
-        }
-        "metrics" => (
-            WireResponse {
-                ok: true,
-                metrics: cpm_obs::registry().render(),
-                ..WireResponse::default()
-            },
-            false,
-        ),
-        "shutdown" => (
-            WireResponse {
-                ok: true,
-                ..WireResponse::default()
-            },
-            true,
-        ),
-        other => (failure(format!("unknown op {other:?}")), false),
-    }
-}
-
-/// Decode and ingest one binary `b"CPMR"` report frame.  Mirrors [`dispatch`]'s
-/// metric discipline under the `report` op label.
-fn dispatch_report_frame(engine: &Engine, payload: &[u8]) -> WireResponse {
-    if cpm_obs::enabled() {
-        cpm_obs::registry()
-            .counter("cpm_wire_requests_total{op=\"report\"}")
-            .inc();
-    }
-    let op_started = std::time::Instant::now();
-    let response = match cpm_collect::wire::decode_batch(payload) {
-        Ok(reports) => {
-            let summary = engine.collector().ingest_reports(&reports);
-            WireResponse {
-                ok: true,
-                ingested: summary.accepted,
-                rejected: summary.rejected,
-                ..WireResponse::default()
-            }
-        }
-        Err(error) => failure(format!("malformed report frame: {error}")),
-    };
-    if cpm_obs::enabled() {
-        cpm_obs::registry()
-            .histogram("cpm_wire_op_nanos{op=\"report\"}")
-            .record_duration(op_started.elapsed());
-    }
-    response
-}
-
 /// Serve frames until EOF or a `shutdown` op.  One bad frame (malformed JSON,
 /// unknown op, invalid α) yields an `ok: false` response and the loop continues;
 /// only I/O failures end the connection with an error.
+///
+/// This is the blocking adapter over the pull-based protocol state machine in
+/// [`crate::proto`] — the poll reactor in [`crate::net`] drives the identical
+/// machine nonblockingly, so both transports speak byte-identical protocol.
 pub fn serve_connection<R: Read, W: Write>(
     engine: &Engine,
     reader: &mut R,
     writer: &mut W,
 ) -> io::Result<ConnectionSummary> {
-    let mut summary = ConnectionSummary::default();
-    while let Some(payload) = read_frame(reader)? {
-        summary.frames += 1;
-        let (response, close) = if cpm_collect::wire::is_report_frame(&payload) {
-            (dispatch_report_frame(engine, &payload), false)
-        } else {
-            match std::str::from_utf8(&payload)
-                .map_err(|e| e.to_string())
-                .and_then(|text| {
-                    serde_json::from_str::<WireRequest>(text).map_err(|e| e.to_string())
-                }) {
-                Ok(request) => dispatch(engine, &request),
-                Err(message) => (failure(format!("malformed request: {message}")), false),
-            }
-        };
-        summary.draws += response.outputs.len() as u64;
-        let encoded = serde_json::to_string(&response)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        write_frame(writer, encoded.as_bytes())?;
-        if close {
+    let mut conn = crate::proto::ProtoConnection::new(crate::proto::ProtoConfig::from_env());
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        let got = reader.read(&mut buf)?;
+        if got == 0 {
+            flush_pending(&mut conn, writer)?;
+            conn.finish()?;
+            break;
+        }
+        let outcome = conn.ingest(engine, &buf[..got]);
+        // Responses produced before a protocol error are still delivered.
+        flush_pending(&mut conn, writer)?;
+        outcome?;
+        if conn.wants_close() {
             break;
         }
     }
-    Ok(summary)
+    Ok(conn.summary())
+}
+
+fn flush_pending<W: Write>(
+    conn: &mut crate::proto::ProtoConnection,
+    writer: &mut W,
+) -> io::Result<()> {
+    loop {
+        let pending = conn.pending_output();
+        if pending.is_empty() {
+            return writer.flush();
+        }
+        writer.write_all(pending)?;
+        let written = pending.len();
+        conn.advance_output(written);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::engine::Engine;
+    use cpm_core::{Alpha, SpecKey};
     use std::io::Cursor;
 
     fn frame(json: &str) -> Vec<u8> {

@@ -43,6 +43,41 @@
 //! for the *same* cold key coalesce onto one solve), then shards the draws
 //! across the pool with one seeded, reproducible RNG stream per shard.
 //!
+//! ## Serving I/O: reactor + codec split
+//!
+//! The I/O stack layers a readiness-driven reactor over one transport-agnostic
+//! protocol state machine, so every transport and codec shares a single
+//! dispatcher:
+//!
+//! ```text
+//!            ┌──────────────────────── crate::net ────────────────────────┐
+//!            │  worker 0                      workers 1..N                │
+//!            │  ┌─────────────────┐           ┌──────────────────────┐    │
+//!  clients ──┼─▶│ nonblocking     │ round-    │ poll(2) over wake    │    │
+//!            │  │ listener +      │──robin───▶│ pipe + owned conns   │    │
+//!            │  │ poll(2) + conns │ injection │ (buffers, idle reap) │    │
+//!            │  └────────┬────────┘  queues   └──────────┬───────────┘    │
+//!            └───────────┼────────────────────────────────┼───────────────┘
+//!                        │ raw bytes in / response bytes out
+//!                        ▼                                ▼
+//!            ┌─────────────────────── crate::proto ───────────────────────┐
+//!            │  ProtoConnection: sniff ─▶ frame ─▶ decode ─▶ dispatch     │
+//!            │                                                            │
+//!            │  first bytes:  "GET "  ──▶ HTTP GET /metrics (one-shot)    │
+//!            │  frame payload: b"CPMF" ─▶ compact binary codec (cpm-wire) │
+//!            │                 b"CPMR" ─▶ binary report batch             │
+//!            │                 else    ─▶ JSON (WireRequest/WireResponse) │
+//!            │                                                            │
+//!            │  every codec ──▶ Op ──▶ dispatch_op(engine) ──▶ response   │
+//!            │  (report ops pass a per-connection token bucket first)     │
+//!            └────────────────────────────────────────────────────────────┘
+//!                        ▲
+//!                        │ blocking Read/Write adapter
+//!            ┌───────────┴───────────┐
+//!            │ crate::frontend::serve_connection (stdio bin, tests)       │
+//!            └────────────────────────────────────────────────────────────┘
+//! ```
+//!
 //! ## Pieces
 //!
 //! * [`key`] — re-exports the cache identity, [`cpm_core::SpecKey`]: the
@@ -54,13 +89,20 @@
 //!   save/load persistence.
 //! * [`engine`] — [`Engine`]: batched privatization with per-batch
 //!   [`BatchStats`] (hits, misses, design time, sample time).
-//! * [`frontend`] — a length-prefixed request/response loop over any
-//!   `Read`/`Write` (the `serve_stdio` binary serves stdin/stdout): JSON ops
-//!   plus binary `b"CPMR"` report frames.
-//! * [`net`] — TCP / unix-socket listeners over the same protocol (the
-//!   `serve_tcp` binary; one engine, N blocking connection threads).
+//! * [`proto`] — the transport-agnostic protocol state machine: bytes in,
+//!   response bytes out.  One dispatcher serves three frame codecs (JSON,
+//!   compact `b"CPMF"` binary, `b"CPMR"` report batches) plus a content-
+//!   negotiated `GET /metrics` HTTP mode, with per-connection report rate
+//!   limiting.
+//! * [`frontend`] — the blocking `Read`/`Write` adapter over [`proto`] (the
+//!   `serve_stdio` binary serves stdin/stdout) and the JSON request/response
+//!   types.
+//! * [`net`] — the poll(2) reactor serving [`proto`] over TCP / unix sockets
+//!   (the `serve_tcp` binary): a fixed worker set owns every connection, so
+//!   concurrency is bounded by file descriptors, not threads.
 //! * [`boot`] — environment-driven start-up: `CPM_SERVE_WARM` key specs and
-//!   `CPM_WARM_FILE` snapshot load/save shared by the binaries.
+//!   `CPM_WARM_FILE` snapshot load/save shared by the binaries, plus the
+//!   `CPM_COLLECT_FLUSH_SECS` background estimate-snapshot flusher.
 //! * [`snapshot`] — offline snapshot-file helpers (read / atomic write /
 //!   merge / [`snapshot::KeyFilter`]) behind the `cpm-snapshot` inspector
 //!   binary, for stitching warm files together between runs.
@@ -109,6 +151,7 @@ pub mod error;
 pub mod frontend;
 pub mod key;
 pub mod net;
+pub mod proto;
 pub mod snapshot;
 pub mod workload;
 
@@ -122,6 +165,7 @@ pub use frontend::{serve_connection, ConnectionSummary, WireRequest, WireRespons
 pub use key::MechanismKey;
 pub use key::{ObjectiveKey, SpecKey};
 pub use net::{Server, ServerSummary};
+pub use proto::{Op, ProtoConfig, ProtoConnection};
 
 /// Commonly used items, re-exported for `use cpm_serve::prelude::*`.
 pub mod prelude {

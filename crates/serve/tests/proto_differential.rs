@@ -1,0 +1,279 @@
+//! Differential and adversarial tests for the protocol layer.
+//!
+//! Two properties pin the compact binary codec to the JSON codec:
+//!
+//! 1. **Decode equivalence** — a JSON wire request and the `CPMF` encoding of
+//!    the op it denotes decode to the *same* [`Op`], for every op kind.
+//! 2. **Dispatch equivalence** — feeding the same op sequence through a
+//!    JSON-codec connection and a binary-codec connection (against two
+//!    identically seeded engines) yields semantically identical responses:
+//!    same success/failure, same outputs bit-for-bit, same counters, same
+//!    estimates.  Only the wall-clock timing fields may differ.
+//!
+//! The adversarial half feeds the state machine hostile input: truncated
+//! frames, corrupted headers, and random bytes behind a valid `CPMF` magic.
+//! None of it may panic, and a connection that survives a malformed frame
+//! must keep serving well-formed ones.
+
+use cpm_serve::proto::{self, Op, ProtoConfig, ProtoConnection};
+use cpm_serve::{Engine, EngineConfig, WireRequest, WireResponse};
+use proptest::prelude::*;
+
+/// Parse-valid mechanism specs the generators draw from.  Small `n` keeps
+/// design solves cheap; the constrained entries exercise the LP path.
+const KEYS: &[(usize, f64, &str, &str)] = &[
+    (4, 0.5, "", ""),
+    (5, 0.75, "", "L1"),
+    (6, 0.5, "", "L2"),
+    (4, 0.9, "", "L0"),
+];
+
+fn request_for(op_idx: usize, key_idx: usize, values: &[usize]) -> WireRequest {
+    let (n, alpha, properties, objective) = KEYS[key_idx % KEYS.len()];
+    let clamped: Vec<usize> = values.iter().map(|v| v % n).collect();
+    let (op, inputs, reports) = match op_idx {
+        0 => ("privatize", clamped, Vec::new()),
+        1 => ("warm", Vec::new(), Vec::new()),
+        2 => ("report", Vec::new(), clamped),
+        3 => ("estimate", Vec::new(), Vec::new()),
+        4 => ("stats", Vec::new(), Vec::new()),
+        5 => ("metrics", Vec::new(), Vec::new()),
+        _ => ("shutdown", Vec::new(), Vec::new()),
+    };
+    WireRequest {
+        op: op.to_string(),
+        n,
+        alpha,
+        properties: properties.to_string(),
+        objective: objective.to_string(),
+        inputs,
+        reports,
+    }
+}
+
+/// Length-prefix one payload the way every framed codec expects it.
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Pull every complete length-prefixed response frame out of a connection.
+fn drain_frames(conn: &mut ProtoConnection) -> Vec<Vec<u8>> {
+    let pending = conn.pending_output().to_vec();
+    conn.advance_output(pending.len());
+    let mut frames = Vec::new();
+    let mut cursor = 0;
+    while cursor + 4 <= pending.len() {
+        let len = u32::from_le_bytes(pending[cursor..cursor + 4].try_into().unwrap()) as usize;
+        cursor += 4;
+        assert!(cursor + len <= pending.len(), "torn response frame");
+        frames.push(pending[cursor..cursor + len].to_vec());
+        cursor += len;
+    }
+    assert_eq!(
+        cursor,
+        pending.len(),
+        "trailing bytes after response frames"
+    );
+    frames
+}
+
+/// Blank the fields that legitimately differ between two equivalent
+/// dispatches: wall-clock timings, and the metrics exposition (the registry
+/// is process-global, so its text moves between any two scrapes).
+fn normalized(mut response: WireResponse) -> serde::Value {
+    response.design_micros = 0;
+    response.sample_micros = 0;
+    response.metrics = String::new();
+    serde::Serialize::to_value(&response)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Property 1: both codecs decode to the identical [`Op`].
+    #[test]
+    fn json_and_binary_requests_decode_to_the_same_op(
+        op_idx in 0usize..7,
+        key_idx in 0usize..4,
+        values in proptest::collection::vec(0usize..64, 0..6),
+    ) {
+        let request = request_for(op_idx, key_idx, &values);
+        let op = proto::op_from_request(&request).map_err(|e| e.to_string())?;
+        let encoded = proto::encode_request(&op).map_err(|e| e.to_string())?;
+        prop_assert!(proto::is_binary_frame(&encoded));
+        let decoded = proto::decode_request(&encoded).map_err(|e| e.to_string())?;
+        prop_assert_eq!(&decoded, &op);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Property 2: the same op sequence through the JSON codec and the binary
+    /// codec produces semantically identical responses.  Two engines with the
+    /// same seed replay identically, so even privatize draws must agree
+    /// bit-for-bit.
+    #[test]
+    fn json_and_binary_dispatch_agree_on_every_response(
+        ops in proptest::collection::vec((0usize..5, 0usize..4, 0usize..64), 1..5),
+    ) {
+        let engine_json = Engine::new(EngineConfig::default());
+        let engine_bin = Engine::new(EngineConfig::default());
+        let mut conn_json = ProtoConnection::new(ProtoConfig::default());
+        let mut conn_bin = ProtoConnection::new(ProtoConfig::default());
+
+        for (step, &(op_idx, key_idx, value)) in ops.iter().enumerate() {
+            let request = request_for(op_idx, key_idx, &[value, value + 1]);
+            let op = proto::op_from_request(&request).map_err(|e| e.to_string())?;
+
+            let json_payload = serde_json::to_string(&request)
+                .expect("request serializes")
+                .into_bytes();
+            conn_json
+                .ingest(&engine_json, &frame(&json_payload))
+                .map_err(|e| e.to_string())?;
+            let binary_payload = proto::encode_request(&op).map_err(|e| e.to_string())?;
+            conn_bin
+                .ingest(&engine_bin, &frame(&binary_payload))
+                .map_err(|e| e.to_string())?;
+
+            let json_frames = drain_frames(&mut conn_json);
+            let bin_frames = drain_frames(&mut conn_bin);
+            prop_assert_eq!(json_frames.len(), 1);
+            prop_assert_eq!(bin_frames.len(), 1);
+
+            let from_json: WireResponse =
+                serde_json::from_str(std::str::from_utf8(&json_frames[0]).expect("UTF-8"))
+                    .expect("JSON response parses");
+            let (_tag, from_bin) =
+                proto::decode_response(&bin_frames[0]).map_err(|e| e.to_string())?;
+            let (lhs, rhs) = (normalized(from_json), normalized(from_bin));
+            prop_assert!(
+                lhs == rhs,
+                "step {} (op {}) diverged: JSON {:?} vs binary {:?}",
+                step,
+                op.label(),
+                lhs,
+                rhs
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Hostile bodies behind a valid `CPMF` magic: decode must refuse or
+    /// round-trip, never panic, and the connection must survive.
+    #[test]
+    fn random_binary_bodies_never_panic_and_never_kill_the_connection(
+        body in proptest::collection::vec(0u8..=255, 0..48),
+    ) {
+        let mut payload = proto::FRAME_MAGIC.to_vec();
+        payload.extend_from_slice(&body);
+        // Direct decode: refuse or produce an op that re-encodes.
+        if let Ok(op) = proto::decode_request(&payload) {
+            let encoded = proto::encode_request(&op).map_err(|e| e.to_string())?;
+            let again = proto::decode_request(&encoded).map_err(|e| e.to_string())?;
+            prop_assert_eq!(again, op);
+        }
+
+        // Through the state machine: a malformed frame gets an in-band error
+        // response and the connection keeps serving.
+        let engine = Engine::new(EngineConfig::default());
+        let mut conn = ProtoConnection::new(ProtoConfig::default());
+        conn.ingest(&engine, &frame(&payload)).map_err(|e| e.to_string())?;
+        let first = drain_frames(&mut conn);
+        prop_assert!(first.len() == 1, "every framed request is answered");
+
+        let stats = proto::encode_request(&Op::Stats).map_err(|e| e.to_string())?;
+        conn.ingest(&engine, &frame(&stats)).map_err(|e| e.to_string())?;
+        let second = drain_frames(&mut conn);
+        prop_assert_eq!(second.len(), 1);
+        let (_, response) = proto::decode_response(&second[0]).map_err(|e| e.to_string())?;
+        prop_assert!(response.ok, "connection must keep serving after a hostile frame");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Single-byte corruption of a well-formed frame: answered in-band or
+    /// refused, never a panic, never a torn response.
+    #[test]
+    fn corrupted_valid_frames_are_handled_in_band(
+        op_idx in 0usize..7,
+        key_idx in 0usize..4,
+        pos in 0usize..1024,
+        delta in 1u8..=255,
+    ) {
+        let request = request_for(op_idx, key_idx, &[1, 2]);
+        let op = proto::op_from_request(&request).map_err(|e| e.to_string())?;
+        let payload = proto::encode_request(&op).map_err(|e| e.to_string())?;
+        let mut corrupted = payload.clone();
+        let pos = pos % corrupted.len();
+        corrupted[pos] = corrupted[pos].wrapping_add(delta);
+
+        let engine = Engine::new(EngineConfig::default());
+        let mut conn = ProtoConnection::new(ProtoConfig::default());
+        // Corrupting the first payload byte can turn the magic into "GET "-ish
+        // bytes or JSON; all of those are legal sniff outcomes.  The contract
+        // is only: no panic, and framed inputs produce whole framed outputs.
+        conn.ingest(&engine, &frame(&corrupted)).map_err(|e| e.to_string())?;
+        let _ = drain_frames(&mut conn);
+    }
+}
+
+#[test]
+fn every_truncation_of_a_valid_frame_is_a_hard_eof_error() {
+    let engine = Engine::new(EngineConfig::default());
+    let payload = proto::encode_request(&Op::Stats).expect("stats encodes");
+    let framed = frame(&payload);
+
+    for cut in 0..framed.len() {
+        let mut conn = ProtoConnection::new(ProtoConfig::default());
+        conn.ingest(&engine, &framed[..cut])
+            .expect("partial frames buffer cleanly");
+        assert!(
+            drain_frames(&mut conn).is_empty(),
+            "cut {cut}: no response yet"
+        );
+        let finished = conn.finish();
+        if cut == 0 {
+            finished.expect("EOF at a frame boundary is clean");
+        } else {
+            let err = finished.expect_err("EOF mid-frame must be an error");
+            assert!(
+                err.to_string().contains("EOF inside a frame"),
+                "cut {cut}: unexpected error {err}"
+            );
+        }
+    }
+}
+
+#[test]
+fn byte_at_a_time_hostile_and_valid_frames_interleave() {
+    let engine = Engine::new(EngineConfig::default());
+    let mut conn = ProtoConnection::new(ProtoConfig::default());
+
+    let mut hostile = proto::FRAME_MAGIC.to_vec();
+    hostile.extend_from_slice(&[0xFF; 9]);
+    let stats = proto::encode_request(&Op::Stats).expect("stats encodes");
+
+    let mut stream = frame(&hostile);
+    stream.extend_from_slice(&frame(&stats));
+    for byte in stream {
+        conn.ingest(&engine, &[byte])
+            .expect("byte-at-a-time ingest");
+    }
+    let frames = drain_frames(&mut conn);
+    assert_eq!(frames.len(), 2, "both frames answered");
+    let (_, refused) = proto::decode_response(&frames[0]).expect("error response decodes");
+    assert!(!refused.ok);
+    assert!(refused.error.contains("malformed binary frame"));
+    let (_, served) = proto::decode_response(&frames[1]).expect("stats response decodes");
+    assert!(served.ok);
+}

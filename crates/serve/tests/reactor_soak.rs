@@ -1,0 +1,199 @@
+//! Reactor soak: mixed idle + active connections, clean shutdown, no fd leak.
+//!
+//! The debug-mode test soaks a few hundred connections so `cargo test -q`
+//! exercises the reactor's mixed-traffic path on every run; the `#[ignore]`d
+//! release variant scales the same scenario to 1k connections for CI
+//! (`cargo test --release -p cpm-serve --test reactor_soak -- --ignored`).
+//!
+//! Every variant checks the property that matters for long-lived servers:
+//! after the clients disconnect and the server stops, the process holds
+//! exactly as many file descriptors as before the server existed.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use cpm_collect::wire::encode_batch;
+use cpm_collect::Report;
+use cpm_core::{Alpha, PropertySet, SpecKey};
+use cpm_serve::net::NetConfig;
+use cpm_serve::prelude::*;
+use cpm_serve::proto::{self, Op, ProtoConfig};
+
+/// Open file descriptors in this process.
+fn fd_count() -> usize {
+    std::fs::read_dir("/proc/self/fd")
+        .expect("procfs fd dir")
+        .count()
+}
+
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+fn read_response(stream: &mut TcpStream) -> Vec<u8> {
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len).expect("response length");
+    let mut body = vec![0u8; u32::from_le_bytes(len) as usize];
+    stream.read_exact(&mut body).expect("response body");
+    body
+}
+
+/// Drive one active connection through a mixed op sequence: binary stats,
+/// JSON privatize, a `CPMR` report batch, and a binary estimate.
+fn drive_active(stream: &mut TcpStream, key: SpecKey, ordinal: usize) -> u64 {
+    let mut frames = 0;
+
+    let stats = proto::encode_request(&Op::Stats).expect("stats encodes");
+    stream.write_all(&frame(&stats)).expect("stats writes");
+    let (_, response) = proto::decode_response(&read_response(stream)).expect("stats decodes");
+    assert!(response.ok);
+    frames += 1;
+
+    let input = ordinal % key.n;
+    let json = format!(
+        r#"{{"op":"privatize","n":{},"alpha":0.5,"inputs":[{input}]}}"#,
+        key.n
+    );
+    stream
+        .write_all(&frame(json.as_bytes()))
+        .expect("privatize writes");
+    let body = read_response(stream);
+    let text = std::str::from_utf8(&body).expect("JSON response is UTF-8");
+    assert!(
+        text.contains(r#""ok":true"#) || text.contains(r#""ok": true"#),
+        "{text}"
+    );
+    frames += 1;
+
+    let reports: Vec<Report> = (0..4)
+        .map(|i| Report {
+            key,
+            output: ((ordinal + i) % (key.n + 1)) as u32,
+        })
+        .collect();
+    let batch = encode_batch(&reports).expect("batch encodes");
+    stream.write_all(&frame(&batch)).expect("batch writes");
+    let ack = read_response(stream);
+    let ack_text = std::str::from_utf8(&ack).expect("CPMR ack is JSON");
+    assert!(
+        ack_text.contains(r#""ok":true"#) || ack_text.contains(r#""ok": true"#),
+        "{ack_text}"
+    );
+    frames += 1;
+
+    let estimate = proto::encode_request(&Op::Estimate { key }).expect("estimate encodes");
+    stream
+        .write_all(&frame(&estimate))
+        .expect("estimate writes");
+    let (_, response) = proto::decode_response(&read_response(stream)).expect("estimate decodes");
+    assert!(response.ok, "estimate failed: {}", response.error);
+    frames += 1;
+
+    frames
+}
+
+/// One HTTP scrape over its own connection (HTTP mode is one-shot).
+fn scrape_metrics(addr: std::net::SocketAddr) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    stream
+        .write_all(b"GET /metrics HTTP/1.0\r\n\r\n")
+        .expect("HTTP request writes");
+    let mut body = String::new();
+    stream
+        .read_to_string(&mut body)
+        .expect("HTTP response reads");
+    assert!(body.starts_with("HTTP/1.0 200 OK\r\n"), "{body}");
+    assert!(
+        body.contains("cpm_net_active_connections"),
+        "scrape carries the catalogue"
+    );
+}
+
+fn soak(total: usize) {
+    let fds_before = fd_count();
+    {
+        let engine = Arc::new(Engine::with_defaults());
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let config = NetConfig {
+            workers: 2,
+            max_connections: 16_384,
+            idle_timeout: None,
+            proto: ProtoConfig::default(),
+        };
+        let server = Server::tcp_with(engine, listener, config).expect("server spawns");
+        let addr = server.local_addr().expect("tcp addr");
+        let key = SpecKey::new(4, Alpha::new(0.5).unwrap(), PropertySet::empty());
+
+        // Half the fleet connects and stays silent for the whole soak; the
+        // other half works through mixed codecs while the idlers sit there.
+        let idle: Vec<TcpStream> = (0..total / 2)
+            .map(|_| {
+                let stream = TcpStream::connect(addr).expect("idle connect");
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(30)))
+                    .expect("read timeout");
+                stream
+            })
+            .collect();
+
+        let mut expected_frames = 0;
+        let mut active: Vec<TcpStream> = Vec::with_capacity(total - total / 2);
+        for ordinal in 0..(total - total / 2) {
+            let mut stream = TcpStream::connect(addr).expect("active connect");
+            stream
+                .set_read_timeout(Some(Duration::from_secs(30)))
+                .expect("read timeout");
+            expected_frames += drive_active(&mut stream, key, ordinal);
+            active.push(stream);
+        }
+        scrape_metrics(addr);
+
+        // Clean shutdown with every connection still open: the reactor drains
+        // intact connections as clean closes.
+        drop(idle);
+        drop(active);
+        let summary = server.stop();
+        assert_eq!(
+            summary.connections,
+            total as u64 + 1,
+            "idle + active + HTTP"
+        );
+        assert!(
+            summary.frames >= expected_frames,
+            "drained fewer frames ({}) than the clients sent ({expected_frames})",
+            summary.frames
+        );
+        assert_eq!(
+            summary.draws,
+            (total - total / 2) as u64,
+            "one draw per active conn"
+        );
+    }
+
+    // The listener, every accepted socket, and both ends of each worker's
+    // wake pipe must be gone.
+    let fds_after = fd_count();
+    assert_eq!(
+        fds_after, fds_before,
+        "fd leak: {fds_before} fds before the soak, {fds_after} after"
+    );
+}
+
+#[test]
+fn mixed_soak_shuts_down_cleanly_without_leaking_fds() {
+    soak(256);
+}
+
+#[test]
+#[ignore = "release-mode reactor soak; run explicitly (see CI workflow)"]
+fn thousand_connection_soak_shuts_down_cleanly_without_leaking_fds() {
+    soak(1_000);
+}

@@ -1,0 +1,20 @@
+//! # cpm-sys — the workspace's only `unsafe` OS surface
+//!
+//! Everything above this crate is `#![forbid(unsafe_code)]`; the readiness
+//! syscall the serving reactor needs (`poll(2)`) is not reachable from safe
+//! std, so it lives here behind a safe, bounds-checked wrapper.  The crate
+//! declares the symbol directly against the C library std already links — no
+//! external `libc` crate is required (the build container has no registry
+//! access).
+//!
+//! Scope is deliberately tiny: one syscall, one `#[repr(C)]` struct, event
+//! bitmask constants.  Anything else the serving tier needs from the OS goes
+//! through std.
+
+#![warn(missing_docs)]
+
+#[cfg(unix)]
+pub mod poll;
+
+#[cfg(unix)]
+pub use poll::{poll_ready, PollFd, POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT};
