@@ -46,11 +46,12 @@
 //! ```
 //!
 //! → `{"ok": true, "ingested": 4, "rejected": 0}`.  Out-of-range outputs are
-//! counted in `rejected`, never fatal.  Group sizes are bounded by
-//! `cpm_collect::REPORT_MAX_N` on both the JSON and binary paths (a hostile
-//! `n` must not size an allocation), and the collector holds at most
-//! `cpm_collect::DEFAULT_MAX_KEYS` distinct keys — reports past either bound
-//! are rejected, not fatal.
+//! counted in `rejected`, never fatal.  Group sizes are bounded by the one
+//! serving ceiling [`crate::proto::MAX_WIRE_N`] on every report path — JSON,
+//! `CPMF`, and `CPMR` alike (a hostile `n` must not size an allocation, here
+//! or later when the key is designed for estimation) — and the collector
+//! holds at most `cpm_collect::DEFAULT_MAX_KEYS` distinct keys; reports past
+//! either bound are rejected, not fatal.
 //!
 //! `estimate` inverts the key's designed mechanism matrix over everything the
 //! collector has accumulated for it, returning the unbiased input-frequency

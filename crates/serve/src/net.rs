@@ -436,8 +436,12 @@ impl<A: Acceptor> Reactor<A> {
                 let mut events = 0i16;
                 // After peer EOF only the unflushed output matters; EOF keeps
                 // the socket permanently readable, so re-arming POLLIN would
-                // spin the worker until the peer drains its side.
-                if !conn.peer_eof {
+                // spin the worker until the peer drains its side.  A closing
+                // connection stops reading too: the state machine discards
+                // post-close bytes anyway, and a peer that keeps writing must
+                // not keep refreshing the idle clock while refusing to read
+                // the response that would let the connection close.
+                if !conn.peer_eof && !conn.proto.closing() {
                     events |= POLLIN;
                 }
                 if !conn.proto.pending_output().is_empty() {

@@ -92,6 +92,14 @@ const MAX_HTTP_HEADER: usize = 8 * 1024;
 /// would be a single-frame memory bomb.  The paper's experiments top out at
 /// `n` in the hundreds; 4096 leaves generous headroom while capping the
 /// worst-case design at ~134 MB.
+///
+/// This is also the serving tier's *report-ingestion* ceiling, on every path
+/// (the JSON `report` op, `CPMF` report frames, and `CPMR` batches): every
+/// collected key is eventually designed — by the `estimate` op or the
+/// background snapshot flusher — so the collector must never hold a key the
+/// design path would refuse.  The `CPMR` wire format itself admits group
+/// sizes up to [`cpm_collect::REPORT_MAX_N`] for library consumers; the
+/// serve tier counts records above [`MAX_WIRE_N`] as rejected.
 pub const MAX_WIRE_N: usize = 4096;
 
 /// One decoded request, independent of the codec it arrived in.
@@ -217,15 +225,11 @@ pub fn op_from_request(request: &WireRequest) -> Result<Op, String> {
         }),
         "report" => {
             let key = parse_key(request)?;
-            // The JSON fallback enforces the same group-size bound as the
-            // binary decoders: without it a single request could name an
-            // arbitrary `n` and the collector would be asked to allocate
-            // `n + 1` counters for it.
-            if key.n == 0 || key.n > cpm_collect::REPORT_MAX_N {
-                return Err(format!(
-                    "report group size n must be in 1..={}",
-                    cpm_collect::REPORT_MAX_N
-                ));
+            // parse_key already enforced the MAX_WIRE_N ceiling; a zero group
+            // size has no output range, so refuse it explicitly rather than
+            // letting the collector silently count every output as rejected.
+            if key.n == 0 {
+                return Err("report group size n must be at least 1".to_string());
             }
             Ok(Op::Report {
                 key,
@@ -453,6 +457,33 @@ fn failure(message: String) -> WireResponse {
     }
 }
 
+/// Ingest decoded reports under the serving ceiling: records naming a group
+/// size beyond [`MAX_WIRE_N`] are counted as rejected without ever reaching
+/// the collector.  The `CPMR` format admits larger keys than the serve tier
+/// is willing to design, and a key that cannot be designed can never be
+/// estimated — admitting it would only hand the background flusher an
+/// attacker-sized design matrix.
+fn ingest_reports_capped(engine: &Engine, reports: &[cpm_collect::Report]) -> WireResponse {
+    let oversized = reports.iter().filter(|r| r.key.n > MAX_WIRE_N).count() as u64;
+    let summary = if oversized == 0 {
+        engine.collector().ingest_reports(reports)
+    } else {
+        cpm_obs::counter!("cpm_report_oversized_total").add(oversized);
+        let admissible: Vec<cpm_collect::Report> = reports
+            .iter()
+            .filter(|r| r.key.n <= MAX_WIRE_N)
+            .copied()
+            .collect();
+        engine.collector().ingest_reports(&admissible)
+    };
+    WireResponse {
+        ok: true,
+        ingested: summary.accepted,
+        rejected: summary.rejected + oversized,
+        ..WireResponse::default()
+    }
+}
+
 /// Process one decoded [`Op`] against the engine, with the standard metric
 /// discipline (request counter on entry, latency histogram after the work).
 /// Returns the response and whether the connection should close.
@@ -523,18 +554,7 @@ pub(crate) fn dispatch_inner(engine: &Engine, op: &Op) -> (WireResponse, bool) {
                 false,
             )
         }
-        Op::ReportBatch(reports) => {
-            let summary = engine.collector().ingest_reports(reports);
-            (
-                WireResponse {
-                    ok: true,
-                    ingested: summary.accepted,
-                    rejected: summary.rejected,
-                    ..WireResponse::default()
-                },
-                false,
-            )
-        }
+        Op::ReportBatch(reports) => (ingest_reports_capped(engine, reports), false),
         Op::Estimate { key } => match engine.collector().observed(key) {
             Some(observed) => {
                 match engine
@@ -756,6 +776,13 @@ impl ProtoConnection {
     /// header) is returned — the transport should close the connection; soft
     /// failures are answered in-band and return `Ok`.
     pub fn ingest(&mut self, engine: &Engine, bytes: &[u8]) -> Result<(), ProtoError> {
+        if self.closing {
+            // Post-close bytes are discarded, never buffered: a peer that
+            // keeps writing after `shutdown` (while refusing to read the ack,
+            // so the connection cannot finish closing) must not grow this
+            // buffer without bound.
+            return Ok(());
+        }
         self.inbuf.extend_from_slice(bytes);
         self.pump(engine)
     }
@@ -804,7 +831,11 @@ impl ProtoConnection {
     fn pump(&mut self, engine: &Engine) -> Result<(), ProtoError> {
         loop {
             if self.closing {
-                // Post-shutdown bytes are never processed (pinned behavior).
+                // Post-shutdown bytes are never processed (pinned behavior);
+                // drop whatever arrived pipelined behind the closing frame so
+                // the buffer does not outlive its last useful byte.
+                self.consumed = 0;
+                self.inbuf.clear();
                 return Ok(());
             }
             let available = self.inbuf.len() - self.consumed;
@@ -950,15 +981,7 @@ impl ProtoConnection {
         let response = match cpm_collect::wire::decode_batch(payload) {
             Ok(reports) => match self.rate_limit(reports.len()) {
                 Some(refused) => refused,
-                None => {
-                    let summary = engine.collector().ingest_reports(&reports);
-                    WireResponse {
-                        ok: true,
-                        ingested: summary.accepted,
-                        rejected: summary.rejected,
-                        ..WireResponse::default()
-                    }
-                }
+                None => ingest_reports_capped(engine, &reports),
             },
             Err(error) => {
                 cpm_obs::counter!("cpm_net_frame_decode_errors_total").inc();
@@ -1200,6 +1223,49 @@ mod tests {
         let pending = conn.pending_output().len();
         conn.advance_output(pending);
         assert!(conn.wants_close());
+    }
+
+    #[test]
+    fn post_shutdown_bytes_are_discarded_not_buffered() {
+        let engine = Engine::with_defaults();
+        let mut conn = ProtoConnection::new(ProtoConfig::default());
+        let mut input = frame(br#"{"op": "shutdown"}"#);
+        // A partial frame pipelined behind the shutdown must be dropped, not
+        // retained as "truncated input".
+        input.extend_from_slice(&frame(br#"{"op": "stats"}"#)[..7]);
+        conn.ingest(&engine, &input).unwrap();
+        assert!(conn.closing());
+        // A peer that keeps writing after shutdown is ignored outright.
+        conn.ingest(&engine, &vec![0x55; 64 * 1024]).unwrap();
+        assert_eq!(conn.summary().frames, 1);
+        assert_eq!(read_frames(conn.pending_output()).len(), 1);
+        // Nothing stayed buffered: EOF now is clean, not mid-frame.
+        conn.finish().unwrap();
+    }
+
+    #[test]
+    fn cpmr_records_beyond_the_serving_ceiling_are_rejected() {
+        use cpm_collect::wire::{encode_batch, Report};
+        let engine = Engine::with_defaults();
+        let mut conn = ProtoConnection::new(ProtoConfig::default());
+        let good = spec_key(8, 0.9);
+        // Valid for the CPMR wire format (<= REPORT_MAX_N), but beyond what
+        // the serve tier will ever design — it must never enter the collector.
+        let oversized = spec_key(MAX_WIRE_N + 1, 0.9);
+        let batch = encode_batch(&[
+            Report::new(good, 3).unwrap(),
+            Report::new(oversized, 0).unwrap(),
+        ])
+        .unwrap();
+        conn.ingest(&engine, &frame(&batch)).unwrap();
+        let frames = read_frames(conn.pending_output());
+        let ack: WireResponse =
+            serde_json::from_str(std::str::from_utf8(&frames[0]).unwrap()).unwrap();
+        assert!(ack.ok, "error: {}", ack.error);
+        assert_eq!(ack.ingested, 1);
+        assert_eq!(ack.rejected, 1, "the oversized key must be refused");
+        assert!(engine.collector().observed(&good).is_some());
+        assert!(engine.collector().observed(&oversized).is_none());
     }
 
     #[test]
